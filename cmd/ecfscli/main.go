@@ -1,0 +1,139 @@
+// Command ecfscli is a minimal client for a TCP-deployed ECFS cluster
+// (see cmd/ecfsd).
+//
+// Subcommands:
+//
+//	ecfscli -nodes ... -k 2 -m 1 put <name> <localfile>
+//	ecfscli -nodes ... -k 2 -m 1 get <name> <off> <len>
+//	ecfscli -nodes ... -k 2 -m 1 update <name> <off> <hexbytes>
+package main
+
+import (
+	"encoding/hex"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"flag"
+
+	"repro/internal/ecfs"
+	"repro/internal/erasure"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func main() {
+	var (
+		nodes = flag.String("nodes", "", "node address map: 0=host:port,1=host:port,...")
+		k     = flag.Int("k", 6, "data blocks per stripe")
+		m     = flag.Int("m", 4, "parity blocks per stripe")
+		block = flag.Int("block", 1<<20, "block size in bytes")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 2 {
+		usage()
+	}
+	addrs, err := parseNodes(*nodes)
+	if err != nil {
+		fatal(err)
+	}
+	rpc := transport.NewTCPClient(addrs)
+	defer rpc.Close()
+	code, err := erasure.New(*k, *m, erasure.Vandermonde)
+	if err != nil {
+		fatal(err)
+	}
+	cli := ecfs.NewClient(wire.ClientIDBase, rpc, code, *block)
+
+	switch args[0] {
+	case "put":
+		if len(args) != 3 {
+			usage()
+		}
+		data, err := os.ReadFile(args[2])
+		if err != nil {
+			fatal(err)
+		}
+		ino, err := cli.Create(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		stripes, err := cli.WriteFile(ino, data)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ecfscli: wrote %q as ino %d (%d bytes, %d stripes)\n", args[1], ino, len(data), stripes)
+	case "get":
+		if len(args) != 4 {
+			usage()
+		}
+		ino, err := cli.Create(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		off, size := parseI64(args[2]), parseI64(args[3])
+		data, _, err := cli.Read(ino, off, int(size))
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(data)
+	case "update":
+		if len(args) != 4 {
+			usage()
+		}
+		ino, err := cli.Create(args[1])
+		if err != nil {
+			fatal(err)
+		}
+		payload, err := hex.DecodeString(args[3])
+		if err != nil {
+			fatal(fmt.Errorf("bad hex payload: %w", err))
+		}
+		lat, err := cli.Update(ino, parseI64(args[2]), payload, 0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ecfscli: updated %d bytes at %s (modeled latency %v)\n", len(payload), args[2], lat)
+	default:
+		usage()
+	}
+}
+
+func parseNodes(s string) (map[wire.NodeID]string, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-nodes required")
+	}
+	out := make(map[wire.NodeID]string)
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad -nodes entry %q", part)
+		}
+		id, err := strconv.Atoi(kv[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad node id %q", kv[0])
+		}
+		out[wire.NodeID(id)] = kv[1]
+	}
+	return out, nil
+}
+
+func parseI64(s string) int64 {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		fatal(fmt.Errorf("bad number %q", s))
+	}
+	return v
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: ecfscli -nodes 0=addr,1=addr,... [-k K -m M -block N] put|get|update ...")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ecfscli: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,125 @@
+// Command ecfsd runs one ECFS node — the metadata server or an OSD —
+// over real TCP, so the same file system that the benchmark harness
+// drives in-process can be deployed as an actual distributed cluster.
+//
+// A 3-OSD toy cluster on one machine:
+//
+//	ecfsd -role mds -listen :7000 -k 2 -m 1 -osds 3 &
+//	ecfsd -role osd -id 1 -listen :7001 -nodes 0=:7000,1=:7001,2=:7002,3=:7003 &
+//	ecfsd -role osd -id 2 -listen :7002 -nodes 0=:7000,1=:7001,2=:7002,3=:7003 &
+//	ecfsd -role osd -id 3 -listen :7003 -nodes 0=:7000,1=:7001,2=:7002,3=:7003 &
+//	ecfscli -nodes 0=:7000,1=:7001,2=:7002,3=:7003 -k 2 -m 1 put file.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/ecfs"
+	"repro/internal/erasure"
+	"repro/internal/transport"
+	"repro/internal/update"
+	"repro/internal/wire"
+)
+
+func main() {
+	var (
+		role   = flag.String("role", "osd", "node role: mds | osd")
+		id     = flag.Int("id", 1, "OSD node id (1..N); the MDS is node 0")
+		listen = flag.String("listen", ":7000", "listen address")
+		nodes  = flag.String("nodes", "", "node address map: 0=host:port,1=host:port,...")
+		method = flag.String("method", "tsue", "update method: "+strings.Join(update.AllMethods, ", "))
+		k      = flag.Int("k", 6, "data blocks per stripe")
+		m      = flag.Int("m", 4, "parity blocks per stripe")
+		osds   = flag.Int("osds", 16, "cluster OSD count (MDS role)")
+		block  = flag.Int("block", 1<<20, "block size in bytes")
+		hdd    = flag.Bool("hdd", false, "use the HDD device profile")
+	)
+	flag.Parse()
+
+	switch *role {
+	case "mds":
+		ids := make([]wire.NodeID, *osds)
+		for i := range ids {
+			ids[i] = wire.NodeID(i + 1)
+		}
+		mds, err := ecfs.NewMDS(ids, *k, *m)
+		if err != nil {
+			fatal(err)
+		}
+		srv, err := transport.ServeTCP(wire.MDSNode, *listen, mds.Handler)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ecfsd: mds serving RS(%d,%d) for %d OSDs on %s\n", *k, *m, *osds, srv.Addr())
+		waitSignal()
+		srv.Close()
+	case "osd":
+		addrs, err := parseNodes(*nodes)
+		if err != nil {
+			fatal(err)
+		}
+		prof := device.ChameleonSSD()
+		if *hdd {
+			prof = device.Datacenter2TBHDD()
+		}
+		cfg := update.DefaultConfig()
+		cfg.BlockSize = *block
+		rpc := transport.NewTCPClient(addrs)
+		defer rpc.Close()
+		osd, err := ecfs.NewOSD(wire.NodeID(*id), prof, rpc, *method, cfg, erasure.Vandermonde)
+		if err != nil {
+			fatal(err)
+		}
+		defer osd.Close()
+		srv, err := transport.ServeTCP(wire.NodeID(*id), *listen, osd.Handler)
+		if err != nil {
+			fatal(err)
+		}
+		stop := make(chan struct{})
+		osd.StartHeartbeats(2*time.Second, stop)
+		fmt.Printf("ecfsd: osd %d (%s, %s) serving on %s\n", *id, *method, prof.Kind, srv.Addr())
+		waitSignal()
+		close(stop)
+		srv.Close()
+	default:
+		fatal(fmt.Errorf("unknown role %q", *role))
+	}
+}
+
+func parseNodes(s string) (map[wire.NodeID]string, error) {
+	if s == "" {
+		return nil, fmt.Errorf("ecfsd: -nodes required for OSD role")
+	}
+	out := make(map[wire.NodeID]string)
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("ecfsd: bad -nodes entry %q", part)
+		}
+		id, err := strconv.Atoi(kv[0])
+		if err != nil {
+			return nil, fmt.Errorf("ecfsd: bad node id %q", kv[0])
+		}
+		out[wire.NodeID(id)] = kv[1]
+	}
+	return out, nil
+}
+
+func waitSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	<-ch
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "ecfsd: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Command tracegen emits synthetic block traces in the repository's CSV
+// format.
+//
+// Usage:
+//
+//	tracegen -trace ten -ops 100000 -size 1073741824 > ten.csv
+//	tracegen -trace msr:src10 -ops 50000 -o src10.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		name = flag.String("trace", "ali", "workload: ali | ten | msr:<volume> (volumes: "+strings.Join(trace.MSRVolumes, ",")+")")
+		ops  = flag.Int("ops", 10000, "number of requests")
+		size = flag.Int64("size", 1<<30, "volume size in bytes")
+		seed = flag.Int64("seed", 1, "generator seed")
+		out  = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var t *trace.Trace
+	switch {
+	case *name == "ali":
+		t = trace.AliCloud(*size, *ops, *seed)
+	case *name == "ten":
+		t = trace.TenCloud(*size, *ops, *seed)
+	case strings.HasPrefix(*name, "msr:"):
+		vol := strings.TrimPrefix(*name, "msr:")
+		var ok bool
+		t, ok = trace.MSR(vol, *size, *ops, *seed)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tracegen: unknown MSR volume %q\n", vol)
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "tracegen: unknown trace %q\n", *name)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := t.WriteCSV(w); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+	st := t.Stats()
+	fmt.Fprintf(os.Stderr, "tracegen: %s: %d ops, %.0f%% updates, %.0f%% of updates 4KiB, %.1f MiB update volume\n",
+		t.Name, st.Ops, 100*st.UpdateFrac, 100*st.Frac4K, float64(st.UpdateBytes)/(1<<20))
+}

@@ -1,0 +1,87 @@
+// Command tsuebench regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	tsuebench                         # all experiments at quick scale
+//	tsuebench -exp fig5 -scale paper  # one experiment, paper scale
+//	tsuebench -exp table1 -ops 20000 -osds 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (fig5, fig6a, fig6b, fig7, table1, table2, fig8a, fig8b) or 'all'")
+		scale   = flag.String("scale", "quick", "experiment scale: quick | paper")
+		ops     = flag.Int("ops", 0, "override trace operation count")
+		osds    = flag.Int("osds", 0, "override OSD count")
+		seed    = flag.Int64("seed", 0, "override workload seed")
+		clients = flag.String("clients", "", "override client sweep, e.g. 4,16,64")
+	)
+	flag.Parse()
+
+	var s bench.Scale
+	switch *scale {
+	case "quick":
+		s = bench.Quick()
+	case "paper":
+		s = bench.Paper()
+	default:
+		fmt.Fprintf(os.Stderr, "tsuebench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *ops > 0 {
+		s.Ops = *ops
+	}
+	if *osds > 0 {
+		s.NumOSDs = *osds
+	}
+	if *seed != 0 {
+		s.Seed = *seed
+	}
+	if *clients != "" {
+		var cs []int
+		for _, f := range strings.Split(*clients, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "tsuebench: bad -clients %q\n", *clients)
+				os.Exit(2)
+			}
+			cs = append(cs, n)
+		}
+		s.Clients = cs
+	}
+
+	lookup := func(id string) (func(bench.Scale) (*bench.Report, error), bool) {
+		if fn, ok := bench.Experiments[id]; ok {
+			return fn, true
+		}
+		fn, ok := bench.Extensions[id]
+		return fn, ok
+	}
+	ids := bench.Order
+	if *exp != "all" {
+		if _, ok := lookup(*exp); !ok {
+			fmt.Fprintf(os.Stderr, "tsuebench: unknown experiment %q (want %s, latency, compression, or all)\n", *exp, strings.Join(bench.Order, ", "))
+			os.Exit(2)
+		}
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		fn, _ := lookup(id)
+		rep, err := fn(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tsuebench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		rep.Fprint(os.Stdout)
+	}
+}

@@ -1,0 +1,69 @@
+// Quickstart: bring up an in-process ECFS cluster running TSUE, write a
+// striped+encoded file, apply partial updates through the two-stage
+// update path, read them back immediately (read-your-writes via the
+// DataLog), then flush the three log layers and verify that every stripe
+// still satisfies its parity equations.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+
+	tsue "repro"
+)
+
+func main() {
+	opts := tsue.DefaultOptions()
+	opts.BlockSize = 256 << 10 // keep the demo light
+	cluster := tsue.MustNewCluster(opts)
+	defer cluster.Close()
+
+	client := cluster.NewClient()
+	ino, err := client.Create("demo-volume")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One full stripe of data: K blocks, encoded into M parity blocks by
+	// the client and distributed across distinct OSDs.
+	data := make([]byte, client.StripeSpan())
+	rand.New(rand.NewSource(42)).Read(data)
+	if _, err := client.WriteFile(ino, data); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d bytes as RS(%d,%d) stripes across %d OSDs\n",
+		len(data), opts.K, opts.M, opts.NumOSDs)
+
+	// Partial updates: these take TSUE's synchronous front end — a
+	// sequential DataLog append plus replica forwarding — and return in
+	// microseconds of modeled latency; no read-modify-write blocks them.
+	payload := []byte("TSUE two-stage update: log append now, recycle later")
+	lat, err := client.Update(ino, 12345, payload, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	copy(data[12345:], payload)
+	fmt.Printf("update acknowledged after modeled %v (front-end only)\n", lat)
+
+	// Read-your-writes: the DataLog doubles as a read cache.
+	got, readLat, err := client.Read(ino, 12345, len(payload))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		log.Fatalf("stale read: %q", got)
+	}
+	fmt.Printf("read back the update from the log cache in %v\n", readLat)
+
+	// Force the asynchronous back end to finish: DataLog -> DeltaLog ->
+	// ParityLog -> parity blocks, then verify all stripes.
+	if err := cluster.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.VerifyStripes(ino, data); err != nil {
+		log.Fatalf("stripe verification failed: %v", err)
+	}
+	fmt.Println("all stripes verify: data matches and parity is consistent")
+}

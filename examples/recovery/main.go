@@ -1,0 +1,93 @@
+// Recovery: exercise the failure path of the paper's §4.2. A client
+// updates a TSUE volume; one OSD is killed while updates are still
+// buffered in its DataLog; recovery reconstructs the lost blocks from
+// stripe survivors AND replays the dead node's replica log so that no
+// acknowledged update is lost. The recovered cluster is then verified
+// byte-for-byte against an in-memory mirror.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	tsue "repro"
+
+	"repro/internal/ecfs"
+)
+
+func main() {
+	opts := tsue.DefaultOptions()
+	opts.BlockSize = 64 << 10
+	cfg := tsue.DefaultStrategyConfig()
+	cfg.UnitSize = 16 << 20 // large units: nothing recycles before the crash
+	opts.Strategy = &cfg
+	cluster := tsue.MustNewCluster(opts)
+	defer cluster.Close()
+
+	client := cluster.NewClient()
+	ino, err := client.Create("vol")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fileSize := 2 * client.StripeSpan()
+	mirror := make([]byte, fileSize)
+	rng := rand.New(rand.NewSource(9))
+	rng.Read(mirror)
+	if _, err := client.WriteFile(ino, mirror); err != nil {
+		log.Fatal(err)
+	}
+
+	// Updates that will still be sitting in DataLogs when the node dies.
+	for i := 0; i < 200; i++ {
+		off := int64(rng.Intn(fileSize - 256))
+		data := make([]byte, 1+rng.Intn(256))
+		rng.Read(data)
+		if _, err := client.Update(ino, off, data, 0); err != nil {
+			log.Fatal(err)
+		}
+		copy(mirror[off:], data)
+	}
+	fmt.Println("200 updates acknowledged; none recycled yet (units not full)")
+
+	// Kill an OSD holding data blocks of stripe 0.
+	loc, err := cluster.MDS.Lookup(ino, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	victim := loc.Nodes[0]
+	cluster.FailOSD(victim)
+	fmt.Printf("OSD %d failed — its DataLog content is lost with it\n", victim)
+
+	// Build a replacement under the same node id and recover.
+	repl, err := ecfs.NewOSD(victim, opts.Device, cluster.Tr.Caller(victim), "tsue", cfg, opts.Kind)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer repl.Close()
+	res, err := cluster.Recover(victim, repl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered %d blocks (%d KiB) at %.1f MB/s; %d KiB of pending updates replayed from replica logs\n",
+		res.Blocks, res.Bytes>>10, res.Bandwidth/1e6, res.ReplayedBytes>>10)
+
+	// Re-register the replacement and verify every byte.
+	cluster.Tr.Register(victim, repl.Handler)
+	for i, o := range cluster.OSDs {
+		if o.ID() == victim {
+			cluster.OSDs[i] = repl
+		}
+	}
+	cluster.MDS.Heartbeat(victim, time.Now())
+	got, _, err := client.Read(ino, 0, fileSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(got, mirror) {
+		log.Fatal("data lost: post-recovery content does not match the mirror")
+	}
+	fmt.Println("post-recovery read matches the mirror: no acknowledged update was lost")
+}

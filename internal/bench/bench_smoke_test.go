@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps individual experiment tests fast.
+func tinyScale() Scale {
+	s := Quick()
+	s.NumOSDs = 16
+	s.FileSize = 4 << 20
+	s.Ops = 1200
+	s.Clients = []int{4, 64}
+	return s
+}
+
+func getCell(r *Report, match func(row []string) bool, col int) (float64, bool) {
+	for _, row := range r.Rows {
+		if match(row) {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil {
+				return 0, false
+			}
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func TestFig5ShapeTSUEWins(t *testing.T) {
+	s := tinyScale()
+	// One geometry is enough for the smoke shape test.
+	old := fig5Geometries
+	fig5Geometries = [][2]int{{6, 4}}
+	defer func() { fig5Geometries = old }()
+	rep, err := Fig5(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + rep.String())
+	col := len(rep.Header) - 1 // highest client count
+	pick := func(method, tn string) float64 {
+		v, ok := getCell(rep, func(row []string) bool { return row[2] == method && row[1] == tn }, col)
+		if !ok {
+			t.Fatalf("missing row %s/%s", method, tn)
+		}
+		return v
+	}
+	for _, tn := range []string{"ali", "ten"} {
+		tsue := pick("tsue", tn)
+		for _, other := range []string{"fo", "pl", "plr", "parix", "cord"} {
+			if tsue <= pick(other, tn) {
+				t.Errorf("%s: tsue (%.1f) should beat %s (%.1f)", tn, tsue, other, pick(other, tn))
+			}
+		}
+	}
+	// Ten-Cloud (stronger locality) should favor TSUE at least as much.
+	if pick("tsue", "ten") < pick("tsue", "ali")*0.8 {
+		t.Errorf("ten-cloud tsue (%.1f) unexpectedly far below ali (%.1f)", pick("tsue", "ten"), pick("tsue", "ali"))
+	}
+}
+
+func TestFig5ClientScaling(t *testing.T) {
+	s := tinyScale()
+	old := fig5Geometries
+	fig5Geometries = [][2]int{{6, 2}}
+	defer func() { fig5Geometries = old }()
+	rep, err := Fig5(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rep.Rows {
+		lo, _ := strconv.ParseFloat(row[3], 64)
+		hi, _ := strconv.ParseFloat(row[4], 64)
+		if hi < lo {
+			t.Errorf("%s/%s: throughput decreased with more clients: %v -> %v", row[0], row[2], lo, hi)
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	s := tinyScale()
+	rep, err := Fig7(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + rep.String())
+	for _, row := range rep.Rows {
+		if !strings.HasPrefix(row[0], "ten") {
+			continue
+		}
+		base, _ := strconv.ParseFloat(row[1], 64)
+		o5, _ := strconv.ParseFloat(row[6], 64)
+		if o5 <= base {
+			t.Errorf("%s: full TSUE (%.1f) should beat baseline (%.1f)", row[0], o5, base)
+		}
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	s := tinyScale()
+	rep, err := Table1(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + rep.String())
+	get := func(method string, col int) float64 {
+		v, ok := getCell(rep, func(row []string) bool { return row[0] == method }, col)
+		if !ok {
+			t.Fatalf("missing %s", method)
+		}
+		return v
+	}
+	// TSUE overwrite count far below FO's.
+	if get("tsue", 3) >= get("fo", 3)*0.5 {
+		t.Errorf("tsue overwrites (%v) should be well below fo (%v)", get("tsue", 3), get("fo", 3))
+	}
+	// TSUE lifespan multiple >= 1 (it is the normalization reference or better).
+	if get("tsue", 7) < 1 {
+		t.Errorf("tsue lifespan ratio %v < 1", get("tsue", 7))
+	}
+	// CoRD's network traffic should be the lowest or near-lowest.
+	if get("cord", 5) > get("fo", 5) {
+		t.Errorf("cord traffic (%v GB) should undercut fo (%v GB)", get("cord", 5), get("fo", 5))
+	}
+}
+
+func TestTable2Produces(t *testing.T) {
+	s := tinyScale()
+	rep, err := Table2(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + rep.String())
+	if len(rep.Rows) < 4 {
+		t.Fatalf("too few rows: %d", len(rep.Rows))
+	}
+}
+
+func TestFig6aFlat(t *testing.T) {
+	s := tinyScale()
+	rep, err := Fig6a(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + rep.String())
+	if len(rep.Rows) < 5 {
+		t.Fatalf("too few windows: %d", len(rep.Rows))
+	}
+}
+
+func TestFig6bMemoryGrows(t *testing.T) {
+	s := tinyScale()
+	rep, err := Fig6b(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + rep.String())
+	first, _ := strconv.ParseFloat(rep.Rows[0][2], 64)
+	last, _ := strconv.ParseFloat(rep.Rows[len(rep.Rows)-1][2], 64)
+	if last <= first {
+		t.Errorf("log memory should grow with unit quota: %v -> %v", first, last)
+	}
+}
+
+func TestFig8aShape(t *testing.T) {
+	s := tinyScale()
+	s.Ops = 600
+	rep, err := Fig8a(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + rep.String())
+	// TSUE beats FO on every volume.
+	var tsueRow, foRow []string
+	for _, row := range rep.Rows {
+		if row[0] == "tsue" {
+			tsueRow = row
+		}
+		if row[0] == "fo" {
+			foRow = row
+		}
+	}
+	for i := 1; i < len(tsueRow); i++ {
+		tv, _ := strconv.ParseFloat(tsueRow[i], 64)
+		fv, _ := strconv.ParseFloat(foRow[i], 64)
+		if tv <= fv {
+			t.Errorf("volume %s: tsue (%v) should beat fo (%v) on HDDs", rep.Header[i], tv, fv)
+		}
+	}
+}
+
+func TestFig8bShape(t *testing.T) {
+	s := tinyScale()
+	s.Ops = 500
+	rep, err := Fig8b(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + rep.String())
+	if len(rep.Rows) != len(fig8Methods) {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		for i := 1; i < len(row); i++ {
+			v, err := strconv.ParseFloat(row[i], 64)
+			if err != nil || v <= 0 {
+				t.Errorf("%s/%s: bad bandwidth %q", row[0], rep.Header[i], row[i])
+			}
+		}
+	}
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	if len(Experiments) != len(Order) {
+		t.Fatalf("registry size %d != order %d", len(Experiments), len(Order))
+	}
+	for _, id := range Order {
+		if Experiments[id] == nil {
+			t.Fatalf("experiment %s missing", id)
+		}
+	}
+}
+
+func TestMakeTraceUnknown(t *testing.T) {
+	if _, err := makeTrace("nosuch", tinyScale()); err == nil {
+		t.Fatal("unknown trace must error")
+	}
+}

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestLatencyExtension(t *testing.T) {
+	s := tinyScale()
+	rep, err := Latency(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + rep.String())
+	if len(rep.Rows) != 6 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+}
+
+func TestCompressionExtension(t *testing.T) {
+	s := tinyScale()
+	rep, err := Compression(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + rep.String())
+	get := func(payload, compress string) float64 {
+		v, ok := getCell(rep, func(row []string) bool { return row[0] == payload && row[1] == compress }, 2)
+		if !ok {
+			t.Fatalf("missing row %s/%s", payload, compress)
+		}
+		return v
+	}
+	if get("redundant", "true") >= get("redundant", "false") {
+		t.Error("compression should cut traffic on redundant payloads")
+	}
+	// Random payloads: per-message skip keeps traffic roughly unchanged.
+	if get("random", "true") > get("random", "false")*1.1 {
+		t.Error("compression must not inflate traffic on random payloads")
+	}
+}
+
+func TestExtensionRegistry(t *testing.T) {
+	for id, fn := range Extensions {
+		if fn == nil {
+			t.Fatalf("extension %s nil", id)
+		}
+	}
+	if len(Extensions) != 2 {
+		t.Fatalf("extensions = %d", len(Extensions))
+	}
+	_ = strconv.Itoa
+}

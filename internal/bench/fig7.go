@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/update"
+)
+
+// fig7Variant is one bar group of the Fig. 7 breakdown: cumulative
+// enablement of the paper's optimizations on top of the two-log baseline.
+type fig7Variant struct {
+	name   string
+	mutate func(*update.Config)
+}
+
+func fig7Variants() []fig7Variant {
+	// Baseline: DataLog + ParityLog only, no locality exploitation, no
+	// pool structure, one pool, no DeltaLog.
+	base := func(cfg *update.Config) {
+		cfg.DataLogLocality = false
+		cfg.ParityLogLocality = false
+		cfg.UseLogPool = false
+		cfg.Pools = 1
+		cfg.UseDeltaLog = false
+	}
+	return []fig7Variant{
+		{"Baseline", base},
+		{"O1", func(cfg *update.Config) { base(cfg); cfg.DataLogLocality = true }},
+		{"O2", func(cfg *update.Config) {
+			base(cfg)
+			cfg.DataLogLocality = true
+			cfg.ParityLogLocality = true
+		}},
+		{"O3", func(cfg *update.Config) {
+			cfg.UseLogPool = true
+			cfg.Pools = 1
+			cfg.UseDeltaLog = false
+		}},
+		{"O4", func(cfg *update.Config) {
+			cfg.UseLogPool = true
+			cfg.Pools = 4
+			cfg.UseDeltaLog = false
+		}},
+		{"O5", func(cfg *update.Config) {
+			cfg.UseLogPool = true
+			cfg.Pools = 4
+			cfg.UseDeltaLog = true
+		}},
+	}
+}
+
+// Fig7 reproduces the contribution breakdown: Baseline, then cumulative
+// O1 (data-log locality), O2 (parity-log locality), O3 (log pool
+// structure), O4 (4 pools per SSD), O5 (DeltaLog), for Ali-Cloud and
+// Ten-Cloud under RS(6,2), RS(6,3), RS(6,4).
+func Fig7(s Scale) (*Report, error) {
+	variants := fig7Variants()
+	rep := &Report{
+		ID:     "fig7",
+		Title:  "Breakdown of update throughput (TSUE variants, IOPS x1000)",
+		Header: []string{"workload", "Baseline", "O1", "O2", "O3", "O4", "O5"},
+	}
+	clients := lastOr(s.Clients, 64)
+	for _, tn := range []string{"ali", "ten"} {
+		for _, m := range []int{2, 3, 4} {
+			tr, err := makeTrace(tn, s)
+			if err != nil {
+				return nil, err
+			}
+			row := []string{fmt.Sprintf("%s_RS(6,%d)", tn, m)}
+			for _, v := range variants {
+				res, err := run(runConfig{
+					Method: "tsue", K: 6, M: m, Trace: tr, Scale: s,
+					NoFlush: true, Mutate: v.mutate,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("fig7 %s RS(6,%d) %s: %w", tn, m, v.name, err)
+				}
+				row = append(row, fmtK(res.iops(clients)))
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	rep.Notes = append(rep.Notes,
+		"cumulative variants; expected shape: O3 (log pool) largest jump, O1 > O2, O4 minimal, O5 ~ +30%")
+	return rep, nil
+}

@@ -1,0 +1,57 @@
+// Package core assembles the paper's primary contribution — the TSUE
+// two-stage update method — from its building blocks and documents how
+// they fit together. It is the entry point a reader should start from:
+//
+//   - internal/logpool holds the FIFO log-pool structure (§3.2): fixed
+//     16 MiB log units in the EMPTY → RECYCLABLE → RECYCLING → RECYCLED
+//     lifecycle, the two-level block/offset index with the page bitmap
+//     (§3.3.1), locality merging (Overwrite for data, XOR folding for
+//     deltas), the read-cache role of retained units (§3.3.3), and the
+//     recycling thread pool with per-block ordering (§3.2.1).
+//
+//   - internal/update/tsue.go binds three of those pools into the
+//     three-layer log (DataLog → DeltaLog → ParityLog, §3.1): the
+//     synchronous front end appends to the DataLog and replicates the
+//     record; the asynchronous back end recycles data-log extents into
+//     the data blocks (one read-modify-write per merged extent),
+//     forwards deltas to the first parity OSD's DeltaLog (copy on the
+//     second), merges them across blocks per Equation 5, and finally
+//     XORs merged parity deltas into the parity blocks.
+//
+//   - internal/erasure provides the Reed-Solomon mathematics
+//     (Equations 1-5); internal/ecfs is the cluster file system the
+//     method runs in; internal/bench regenerates the paper's evaluation.
+package core
+
+import (
+	"repro/internal/update"
+)
+
+// Config is the TSUE configuration (unit size, quota, pools per device,
+// feature gates O1-O5).
+type Config = update.Config
+
+// Strategy is the update-strategy interface every method implements.
+type Strategy = update.Strategy
+
+// Env is the OSD-side environment a strategy is bound to.
+type Env = update.Env
+
+// DefaultConfig returns the paper's production TSUE configuration:
+// 16 MiB units, 4 units per pool, 4 pools per SSD, 2-copy DataLog,
+// DeltaLog enabled, all locality optimizations on.
+func DefaultConfig() Config { return update.DefaultConfig() }
+
+// New constructs the TSUE strategy bound to env — the object that
+// receives client updates for the blocks an OSD hosts and runs the
+// two-stage pipeline described in the package documentation.
+func New(cfg Config, env Env) (Strategy, error) {
+	return update.New("tsue", cfg, env)
+}
+
+// NewBaseline constructs one of the comparison methods the paper
+// re-implements in the same file system: "fo", "fl", "pl", "plr",
+// "parix" or "cord".
+func NewBaseline(name string, cfg Config, env Env) (Strategy, error) {
+	return update.New(name, cfg, env)
+}

@@ -1,0 +1,64 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/blockstore"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/erasure"
+	"repro/internal/wire"
+)
+
+// soloEnv is a one-node environment: peer calls fail, which is fine for
+// exercising construction and local-only paths.
+type soloEnv struct {
+	store *blockstore.Store
+	dev   *device.Device
+}
+
+func newSoloEnv() *soloEnv {
+	dev := device.New("solo", device.ChameleonSSD())
+	return &soloEnv{store: blockstore.New(dev), dev: dev}
+}
+
+func (e *soloEnv) ID() wire.NodeID          { return 1 }
+func (e *soloEnv) Store() *blockstore.Store { return e.store }
+func (e *soloEnv) Dev() *device.Device      { return e.dev }
+func (e *soloEnv) Call(to wire.NodeID, msg *wire.Msg) (*wire.Resp, error) {
+	return &wire.Resp{}, nil
+}
+func (e *soloEnv) Code(k, m int) (*erasure.Code, error) {
+	return erasure.New(k, m, erasure.Vandermonde)
+}
+
+func TestNewTSUE(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.BlockSize = 4 << 10
+	s, err := core.New(cfg, newSoloEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Name() != "tsue" {
+		t.Fatalf("name = %q", s.Name())
+	}
+}
+
+func TestNewBaselines(t *testing.T) {
+	for _, name := range []string{"fo", "fl", "pl", "plr", "parix", "cord"} {
+		cfg := core.DefaultConfig()
+		cfg.BlockSize = 4 << 10
+		s, err := core.NewBaseline(name, cfg, newSoloEnv())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Name() != name {
+			t.Fatalf("name = %q, want %q", s.Name(), name)
+		}
+		s.Close()
+	}
+	if _, err := core.NewBaseline("nosuch", core.DefaultConfig(), newSoloEnv()); err == nil {
+		t.Fatal("unknown baseline must fail")
+	}
+}

@@ -1,0 +1,324 @@
+package ecfs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/erasure"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Client is the POSIX-facing access component (§4): it encodes normal
+// writes into stripes, distinguishes writes from updates, routes updates
+// to the data block's OSD, and reads with location caching.
+type Client struct {
+	id        wire.NodeID
+	rpc       transport.RPC
+	code      *erasure.Code
+	blockSize int
+
+	locMu sync.RWMutex
+	locs  map[stripeAddr]wire.StripeLoc
+}
+
+type stripeAddr struct {
+	ino    uint64
+	stripe uint32
+}
+
+// NewClient builds a client talking over rpc with the given stripe
+// geometry.
+func NewClient(id wire.NodeID, rpc transport.RPC, code *erasure.Code, blockSize int) *Client {
+	return &Client{id: id, rpc: rpc, code: code, blockSize: blockSize, locs: make(map[stripeAddr]wire.StripeLoc)}
+}
+
+// StripeSpan returns the bytes of file data covered by one stripe.
+func (c *Client) StripeSpan() int { return c.code.K * c.blockSize }
+
+// Create opens-or-creates a file and returns its ino.
+func (c *Client) Create(name string) (uint64, error) {
+	resp, err := c.rpc.Call(wire.MDSNode, &wire.Msg{Kind: wire.KMDSCreate, Name: name})
+	if err != nil {
+		return 0, err
+	}
+	if err := resp.Error(); err != nil {
+		return 0, err
+	}
+	return resp.Ino, nil
+}
+
+func (c *Client) lookup(ino uint64, stripe uint32) (wire.StripeLoc, error) {
+	key := stripeAddr{ino, stripe}
+	c.locMu.RLock()
+	loc, ok := c.locs[key]
+	c.locMu.RUnlock()
+	if ok {
+		return loc, nil
+	}
+	resp, err := c.rpc.Call(wire.MDSNode, &wire.Msg{Kind: wire.KMDSLookup, Block: wire.BlockID{Ino: ino, Stripe: stripe}})
+	if err != nil {
+		return wire.StripeLoc{}, err
+	}
+	if err := resp.Error(); err != nil {
+		return wire.StripeLoc{}, err
+	}
+	c.locMu.Lock()
+	c.locs[key] = resp.Loc
+	c.locMu.Unlock()
+	return resp.Loc, nil
+}
+
+// InvalidateLocations clears the placement cache (after recovery moves
+// blocks).
+func (c *Client) InvalidateLocations() {
+	c.locMu.Lock()
+	c.locs = make(map[stripeAddr]wire.StripeLoc)
+	c.locMu.Unlock()
+}
+
+// WriteStripe encodes and distributes one full stripe of file data
+// (len(data) must be K*blockSize). Returns the modeled latency: blocks
+// are transferred concurrently, so the cost is the slowest member.
+func (c *Client) WriteStripe(ino uint64, stripe uint32, data []byte) (time.Duration, error) {
+	if len(data) != c.StripeSpan() {
+		return 0, fmt.Errorf("ecfs: stripe write of %d bytes, want %d", len(data), c.StripeSpan())
+	}
+	loc, err := c.lookup(ino, stripe)
+	if err != nil {
+		return 0, err
+	}
+	shards := make([][]byte, c.code.K)
+	for i := range shards {
+		shards[i] = data[i*c.blockSize : (i+1)*c.blockSize]
+	}
+	parity, err := c.code.Encode(shards)
+	if err != nil {
+		return 0, err
+	}
+	all := append(append([][]byte{}, shards...), parity...)
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		max  time.Duration
+		rerr error
+	)
+	for i, shard := range all {
+		wg.Add(1)
+		go func(i int, shard []byte) {
+			defer wg.Done()
+			b := wire.BlockID{Ino: ino, Stripe: stripe, Idx: uint8(i)}
+			resp, err := c.rpc.Call(loc.Nodes[i], &wire.Msg{Kind: wire.KWriteBlock, Block: b, Data: shard, Loc: loc})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				rerr = err
+				return
+			}
+			if e := resp.Error(); e != nil {
+				rerr = e
+				return
+			}
+			if resp.Cost > max {
+				max = resp.Cost
+			}
+		}(i, shard)
+	}
+	wg.Wait()
+	return max, rerr
+}
+
+// WriteFile stripes data from file offset 0, zero-padding the tail
+// stripe, and returns the number of stripes written.
+func (c *Client) WriteFile(ino uint64, data []byte) (int, error) {
+	span := c.StripeSpan()
+	stripes := (len(data) + span - 1) / span
+	for s := 0; s < stripes; s++ {
+		chunk := make([]byte, span)
+		copy(chunk, data[s*span:min(len(data), (s+1)*span)])
+		if _, err := c.WriteStripe(ino, uint32(s), chunk); err != nil {
+			return s, err
+		}
+	}
+	return stripes, nil
+}
+
+// Update applies a partial update at a file byte offset, splitting it
+// across data blocks as needed. v is the virtual workload time of the
+// request. Returns the synchronous update latency (max across split
+// parts, which proceed concurrently).
+func (c *Client) Update(ino uint64, off int64, data []byte, v time.Duration) (time.Duration, error) {
+	parts, err := c.split(ino, off, len(data))
+	if err != nil {
+		return 0, err
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		max  time.Duration
+		rerr error
+	)
+	for _, p := range parts {
+		wg.Add(1)
+		go func(p part) {
+			defer wg.Done()
+			resp, err := c.rpc.Call(p.node, &wire.Msg{
+				Kind:  wire.KUpdate,
+				Block: p.block,
+				Off:   p.off,
+				Data:  data[p.src : p.src+p.n],
+				K:     uint8(c.code.K),
+				M:     uint8(c.code.M),
+				Loc:   p.loc,
+				V:     int64(v),
+			})
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				rerr = err
+				return
+			}
+			if e := resp.Error(); e != nil {
+				rerr = e
+				return
+			}
+			if resp.Cost > max {
+				max = resp.Cost
+			}
+		}(p)
+	}
+	wg.Wait()
+	return max, rerr
+}
+
+// Read fetches [off, off+size) of a file.
+func (c *Client) Read(ino uint64, off int64, size int) ([]byte, time.Duration, error) {
+	parts, err := c.split(ino, off, size)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make([]byte, size)
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		max  time.Duration
+		rerr error
+	)
+	for _, p := range parts {
+		wg.Add(1)
+		go func(p part) {
+			defer wg.Done()
+			resp, err := c.rpc.Call(p.node, &wire.Msg{
+				Kind: wire.KRead, Block: p.block, Off: p.off, Size: uint32(p.n),
+			})
+			if err != nil {
+				// Degraded read: the data block's OSD is down, so
+				// rebuild the requested range from K surviving blocks
+				// of the stripe.
+				var data []byte
+				var cost time.Duration
+				data, cost, err = c.degradedRead(p)
+				if err == nil {
+					resp = &wire.Resp{Data: data, Cost: cost}
+				}
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				rerr = err
+				return
+			}
+			if e := resp.Error(); e != nil {
+				rerr = e
+				return
+			}
+			copy(out[p.src:p.src+p.n], resp.Data)
+			if resp.Cost > max {
+				max = resp.Cost
+			}
+		}(p)
+	}
+	wg.Wait()
+	if rerr != nil {
+		return nil, 0, rerr
+	}
+	return out, max, nil
+}
+
+// degradedRead reconstructs one part's data block from stripe survivors —
+// the degraded-read path an erasure-coded file system must serve while a
+// node is down and recovery has not yet completed. It reflects the last
+// *recycled* state: updates still buffered in the failed node's DataLog
+// are only restored by recovery's replica-log replay (Cluster.Recover).
+func (c *Client) degradedRead(p part) ([]byte, time.Duration, error) {
+	n := c.code.K + c.code.M
+	shards := make([][]byte, n)
+	have := 0
+	var cost time.Duration
+	for idx := 0; idx < n && have < c.code.K; idx++ {
+		if idx == int(p.block.Idx) {
+			continue
+		}
+		b := p.block.WithIdx(uint8(idx))
+		resp, err := c.rpc.Call(p.loc.Nodes[idx], &wire.Msg{Kind: wire.KBlockFetch, Block: b})
+		if err != nil || !resp.OK() {
+			continue
+		}
+		shards[idx] = resp.Data
+		have++
+		if resp.Cost > cost {
+			cost = resp.Cost
+		}
+	}
+	if have < c.code.K {
+		return nil, 0, fmt.Errorf("ecfs: degraded read of %v: only %d of %d shards reachable", p.block, have, c.code.K)
+	}
+	if err := c.code.Reconstruct(shards); err != nil {
+		return nil, 0, fmt.Errorf("ecfs: degraded read of %v: %w", p.block, err)
+	}
+	rebuilt := shards[p.block.Idx]
+	if int(p.off)+p.n > len(rebuilt) {
+		return nil, 0, fmt.Errorf("ecfs: degraded read of %v: range beyond block", p.block)
+	}
+	return rebuilt[p.off : int(p.off)+p.n], cost, nil
+}
+
+// part maps a byte range of a file request onto one data block.
+type part struct {
+	node  wire.NodeID
+	block wire.BlockID
+	loc   wire.StripeLoc
+	off   uint32 // intra-block offset
+	src   int    // offset within the request payload
+	n     int
+}
+
+func (c *Client) split(ino uint64, off int64, size int) ([]part, error) {
+	if off < 0 || size < 0 {
+		return nil, fmt.Errorf("ecfs: negative range")
+	}
+	span := int64(c.StripeSpan())
+	var parts []part
+	src := 0
+	for size > 0 {
+		stripe := uint32(off / span)
+		inStripe := off % span
+		blockIdx := int(inStripe) / c.blockSize
+		blockOff := uint32(int(inStripe) % c.blockSize)
+		n := min(size, c.blockSize-int(blockOff))
+		loc, err := c.lookup(ino, stripe)
+		if err != nil {
+			return nil, err
+		}
+		b := wire.BlockID{Ino: ino, Stripe: stripe, Idx: uint8(blockIdx)}
+		parts = append(parts, part{
+			node: loc.Nodes[blockIdx], block: b, loc: loc,
+			off: blockOff, src: src, n: n,
+		})
+		off += int64(n)
+		src += n
+		size -= n
+	}
+	return parts, nil
+}

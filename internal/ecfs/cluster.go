@@ -1,0 +1,465 @@
+package ecfs
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/erasure"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/update"
+	"repro/internal/wire"
+)
+
+// Options configures an in-process cluster.
+type Options struct {
+	NumOSDs   int
+	K, M      int
+	BlockSize int
+	Method    string // "fo", "fl", "pl", "plr", "parix", "cord", "tsue"
+	Device    device.Profile
+	Net       netsim.Profile
+	Kind      erasure.MatrixKind
+	// Update strategy tunables; zero value uses update.DefaultConfig()
+	// with BlockSize applied.
+	Strategy *update.Config
+}
+
+// DefaultOptions mirrors the paper's SSD testbed: 16 OSD nodes, 25 Gb/s
+// Ethernet, RS(6,4), 1 MiB blocks, TSUE.
+func DefaultOptions() Options {
+	return Options{
+		NumOSDs:   16,
+		K:         6,
+		M:         4,
+		BlockSize: 1 << 20,
+		Method:    "tsue",
+		Device:    device.ChameleonSSD(),
+		Net:       netsim.Ethernet25G(),
+		Kind:      erasure.Vandermonde,
+	}
+}
+
+// Cluster is a fully assembled in-process ECFS deployment.
+type Cluster struct {
+	Opts    Options
+	Net     *netsim.Network
+	Tr      *transport.Inproc
+	MDS     *MDS
+	OSDs    []*OSD
+	code    *erasure.Code
+	nextCli wire.NodeID
+	failed  map[wire.NodeID]bool
+}
+
+// NewCluster builds and wires a cluster.
+func NewCluster(opts Options) (*Cluster, error) {
+	if opts.NumOSDs < opts.K+opts.M {
+		return nil, fmt.Errorf("ecfs: %d OSDs < K+M = %d", opts.NumOSDs, opts.K+opts.M)
+	}
+	if opts.Method == "" {
+		opts.Method = "tsue"
+	}
+	code, err := erasure.New(opts.K, opts.M, opts.Kind)
+	if err != nil {
+		return nil, err
+	}
+	cfg := update.DefaultConfig()
+	if opts.Strategy != nil {
+		cfg = *opts.Strategy
+	}
+	cfg.BlockSize = opts.BlockSize
+
+	nw := netsim.New(opts.Net)
+	tr := transport.NewInproc(nw)
+	c := &Cluster{
+		Opts: opts, Net: nw, Tr: tr, code: code,
+		nextCli: wire.ClientIDBase,
+		failed:  make(map[wire.NodeID]bool),
+	}
+
+	ids := make([]wire.NodeID, opts.NumOSDs)
+	for i := range ids {
+		ids[i] = wire.NodeID(i + 1)
+	}
+	mds, err := NewMDS(ids, opts.K, opts.M)
+	if err != nil {
+		return nil, err
+	}
+	c.MDS = mds
+	tr.Register(wire.MDSNode, mds.Handler)
+
+	for _, id := range ids {
+		osd, err := NewOSD(id, opts.Device, tr.Caller(id), opts.Method, cfg, opts.Kind)
+		if err != nil {
+			return nil, err
+		}
+		c.OSDs = append(c.OSDs, osd)
+		tr.Register(id, osd.Handler)
+	}
+	return c, nil
+}
+
+// MustNewCluster panics on configuration errors.
+func MustNewCluster(opts Options) *Cluster {
+	c, err := NewCluster(opts)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NewClient provisions a client with a fresh node id.
+func (c *Cluster) NewClient() *Client {
+	id := c.nextCli
+	c.nextCli++
+	return NewClient(id, c.Tr.Caller(id), c.code, c.Opts.BlockSize)
+}
+
+// Code returns the cluster's RS code.
+func (c *Cluster) Code() *erasure.Code { return c.code }
+
+// OSD returns the OSD with the given node id, or nil.
+func (c *Cluster) OSD(id wire.NodeID) *OSD {
+	for _, o := range c.OSDs {
+		if o.id == id {
+			return o
+		}
+	}
+	return nil
+}
+
+// Alive returns the OSDs that have not been failed.
+func (c *Cluster) Alive() []*OSD {
+	out := make([]*OSD, 0, len(c.OSDs))
+	for _, o := range c.OSDs {
+		if !c.failed[o.id] {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Flush drains every strategy's logs cluster-wide, phase by phase, so all
+// asynchronous update state reaches the data and parity blocks.
+func (c *Cluster) Flush() error {
+	dead := c.MDS.DeadNodes()
+	payload := encodeDeadList(dead)
+	for phase := 1; phase <= update.DrainPhases; phase++ {
+		for _, o := range c.Alive() {
+			resp, err := c.Tr.Caller(wire.MDSNode).Call(o.id, &wire.Msg{Kind: wire.KDrainLogs, Flag: uint8(phase), Data: payload})
+			if err != nil {
+				return err
+			}
+			if err := resp.Error(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// FailOSD simulates a node failure: the OSD stops answering and the MDS
+// marks it dead. Its device and store contents are considered lost.
+func (c *Cluster) FailOSD(id wire.NodeID) {
+	c.failed[id] = true
+	c.Tr.Deregister(id)
+	c.MDS.MarkDead(id)
+}
+
+// RecoveryResult summarizes a completed recovery.
+type RecoveryResult struct {
+	Blocks        int
+	Bytes         int64
+	ReplayedBytes int64         // pending updates replayed from replica logs
+	VirtualTime   time.Duration // bottleneck duration incl. the forced log drain
+	Bandwidth     float64       // bytes/second
+}
+
+// Recover rebuilds every block the failed node hosted onto the
+// replacement OSD (which must already be registered under a live node
+// id), using K surviving blocks per stripe. Logs are drained first —
+// exactly the consistency requirement of §2.3.2 — and the drain cost is
+// part of the measured recovery time, which is how pending logs depress
+// recovery bandwidth for the deferred-recycle baselines (Fig. 8b).
+func (c *Cluster) Recover(failed wire.NodeID, replacement *OSD) (*RecoveryResult, error) {
+	resources := c.resources()
+	before := make([]time.Duration, len(resources))
+	for i, r := range resources {
+		before[i] = r.Busy()
+	}
+
+	if err := c.Flush(); err != nil {
+		return nil, fmt.Errorf("ecfs: pre-recovery drain: %w", err)
+	}
+
+	refs := c.MDS.StripesOn(failed)
+	res := &RecoveryResult{}
+	caller := c.Tr.Caller(replacement.id)
+	for _, ref := range refs {
+		n := c.Opts.K + c.Opts.M
+		shards := make([][]byte, n)
+		have := 0
+		for idx := 0; idx < n && have < c.Opts.K; idx++ {
+			node := ref.Loc.Nodes[idx]
+			if node == failed || c.failed[node] {
+				continue
+			}
+			b := wire.BlockID{Ino: ref.Ino, Stripe: ref.Stripe, Idx: uint8(idx)}
+			resp, err := caller.Call(node, &wire.Msg{Kind: wire.KBlockFetch, Block: b})
+			if err != nil {
+				return nil, err
+			}
+			if !resp.OK() {
+				continue // block never written on that node
+			}
+			shards[idx] = resp.Data
+			have++
+		}
+		if have < c.Opts.K {
+			// The stripe was never fully written; nothing to rebuild.
+			continue
+		}
+		if err := c.code.Reconstruct(shards); err != nil {
+			return nil, fmt.Errorf("ecfs: reconstruct %d/%d: %w", ref.Ino, ref.Stripe, err)
+		}
+		lost := wire.BlockID{Ino: ref.Ino, Stripe: ref.Stripe, Idx: ref.Idx}
+		data := shards[ref.Idx]
+		// A lost *data* block may have updates that were still buffered
+		// in the dead node's DataLog. Its replica log on the next
+		// OSD(s) of the stripe holds them (§4.2): replay on top of the
+		// reconstructed content and push the resulting parity deltas.
+		if int(ref.Idx) < c.Opts.K {
+			replayed, err := c.replayReplica(caller, ref, lost, data)
+			if err != nil {
+				return nil, err
+			}
+			res.ReplayedBytes += replayed
+		}
+		replacement.store.WriteFull(lost, data, true)
+		res.Blocks++
+		res.Bytes += int64(len(data))
+	}
+	// Replica replay appends parity deltas to surviving parity logs;
+	// drain them so parity is fully consistent before service resumes.
+	if res.ReplayedBytes > 0 {
+		if err := c.Flush(); err != nil {
+			return nil, fmt.Errorf("ecfs: post-replay drain: %w", err)
+		}
+	}
+	// Recovery time is the busiest resource's *additional* busy time
+	// over the drain + fetch + rebuild window.
+	for i, r := range resources {
+		if d := r.Busy() - before[i]; d > res.VirtualTime {
+			res.VirtualTime = d
+		}
+	}
+	if res.VirtualTime > 0 {
+		res.Bandwidth = float64(res.Bytes) / res.VirtualTime.Seconds()
+	}
+	return res, nil
+}
+
+// replayReplica fetches the replica-log extents of a lost data block from
+// the stripe's replica holders, applies them to the reconstructed
+// content (in place), and forwards parity deltas for any bytes that
+// changed. Methods without replica logs answer with an error or an empty
+// payload and are skipped.
+func (c *Cluster) replayReplica(caller transport.RPC, ref StripeRef, lost wire.BlockID, data []byte) (int64, error) {
+	n := len(ref.Loc.Nodes)
+	reps := 1
+	if c.Opts.Strategy != nil && c.Opts.Strategy.DataLogReplicas > 0 {
+		reps = c.Opts.Strategy.DataLogReplicas
+	}
+	var recs []update.ExtentRec
+	for r := 1; r <= reps && r < n; r++ {
+		node := ref.Loc.Nodes[(int(ref.Idx)+r)%n]
+		if c.failed[node] {
+			continue
+		}
+		resp, err := caller.Call(node, &wire.Msg{Kind: wire.KReplicaFetch, Block: lost})
+		if err != nil || !resp.OK() || len(resp.Data) == 0 {
+			continue
+		}
+		recs, err = update.DecodeExtents(resp.Data)
+		if err != nil {
+			return 0, err
+		}
+		break
+	}
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	var replayed int64
+	for _, rec := range recs {
+		end := int(rec.Off) + len(rec.Data)
+		if end > len(data) {
+			continue
+		}
+		delta := make([]byte, len(rec.Data))
+		changed := false
+		for i, b := range rec.Data {
+			delta[i] = data[int(rec.Off)+i] ^ b
+			if delta[i] != 0 {
+				changed = true
+			}
+		}
+		copy(data[rec.Off:], rec.Data)
+		if !changed {
+			continue // already recycled before the failure: idempotent
+		}
+		replayed += int64(len(rec.Data))
+		for j := 0; j < c.Opts.M; j++ {
+			pNode := ref.Loc.Nodes[c.Opts.K+j]
+			if c.failed[pNode] {
+				continue
+			}
+			pd := c.code.ParityDelta(j, int(ref.Idx), delta)
+			pb := wire.BlockID{Ino: ref.Ino, Stripe: ref.Stripe, Idx: uint8(c.Opts.K + j)}
+			resp, err := caller.Call(pNode, &wire.Msg{
+				Kind: wire.KParityLogAdd, Block: pb, Off: rec.Off, Data: pd,
+				K: uint8(c.Opts.K), M: uint8(c.Opts.M), Loc: ref.Loc,
+			})
+			if err != nil {
+				return replayed, err
+			}
+			if err := resp.Error(); err != nil {
+				return replayed, err
+			}
+		}
+	}
+	return replayed, nil
+}
+
+// resources collects every accounted resource in the cluster.
+func (c *Cluster) resources() []*sim.Resource {
+	out := make([]*sim.Resource, 0, 2*len(c.OSDs))
+	for _, o := range c.OSDs {
+		out = append(out, o.dev.Resource())
+	}
+	out = append(out, c.Net.Resources()...)
+	return out
+}
+
+// Resources exposes the cluster's accounted resources for throughput
+// derivation.
+func (c *Cluster) Resources() []*sim.Resource { return c.resources() }
+
+// DeviceStats sums device workload across all OSDs (Table 1 columns).
+func (c *Cluster) DeviceStats() device.Stats {
+	var s device.Stats
+	for _, o := range c.OSDs {
+		s = s.Add(o.dev.Stats())
+	}
+	return s
+}
+
+// OSDTraffic returns the total bytes sent by OSD NICs — the paper's
+// NETWORK TRAFFIC column (inter-OSD update traffic; client ingress is
+// identical across methods and excluded).
+func (c *Cluster) OSDTraffic() int64 {
+	var n int64
+	for _, nic := range c.Net.NICs() {
+		if isOSDNIC(nic.Name(), len(c.OSDs)) {
+			n += nic.SentBytes()
+		}
+	}
+	return n
+}
+
+func isOSDNIC(name string, osds int) bool {
+	var id int
+	if _, err := fmt.Sscanf(name, "node%d", &id); err != nil {
+		return false
+	}
+	return id >= 1 && id <= osds
+}
+
+// Close shuts down every OSD's background workers.
+func (c *Cluster) Close() {
+	for _, o := range c.OSDs {
+		o.Close()
+	}
+}
+
+// Scrub verifies parity consistency of every placed stripe of every file
+// — the background integrity check a production cluster runs. It returns
+// the number of stripes checked and the first inconsistency found.
+// Pending logs are legal during a scrub only for methods whose reads are
+// log-aware; call Flush first for a strict check.
+func (c *Cluster) Scrub() (int, error) {
+	checked := 0
+	for _, ino := range c.MDS.Files() {
+		stripes := c.MDS.Stripes(ino)
+		if err := c.VerifyStripes(ino, nil); err != nil {
+			return checked, err
+		}
+		checked += stripes
+	}
+	return checked, nil
+}
+
+// VerifyStripes checks every placed stripe of a file: data blocks versus
+// the expected mirror and parity consistency via re-encode. It returns
+// the first inconsistency found. Call Flush first.
+func (c *Cluster) VerifyStripes(ino uint64, mirror []byte) error {
+	span := c.Opts.K * c.Opts.BlockSize
+	stripes := c.MDS.Stripes(ino)
+	for s := 0; s < stripes; s++ {
+		loc, err := c.MDS.Lookup(ino, uint32(s))
+		if err != nil {
+			return err
+		}
+		data := make([][]byte, c.Opts.K)
+		for i := 0; i < c.Opts.K; i++ {
+			b := wire.BlockID{Ino: ino, Stripe: uint32(s), Idx: uint8(i)}
+			osd := c.OSD(loc.Nodes[i])
+			if osd == nil {
+				return fmt.Errorf("ecfs: verify: node %d missing", loc.Nodes[i])
+			}
+			snap, ok := osd.store.Snapshot(b)
+			if !ok {
+				return fmt.Errorf("ecfs: verify: block %v missing", b)
+			}
+			if len(snap) != c.Opts.BlockSize {
+				return fmt.Errorf("ecfs: verify: block %v has %d bytes", b, len(snap))
+			}
+			data[i] = snap
+			if mirror != nil {
+				lo := s*span + i*c.Opts.BlockSize
+				for j := 0; j < c.Opts.BlockSize; j++ {
+					var want byte
+					if lo+j < len(mirror) {
+						want = mirror[lo+j]
+					}
+					if snap[j] != want {
+						return fmt.Errorf("ecfs: verify: data mismatch at stripe %d block %d byte %d: got %d want %d", s, i, j, snap[j], want)
+					}
+				}
+			}
+		}
+		parity := make([][]byte, c.Opts.M)
+		for j := 0; j < c.Opts.M; j++ {
+			b := wire.BlockID{Ino: ino, Stripe: uint32(s), Idx: uint8(c.Opts.K + j)}
+			osd := c.OSD(loc.Nodes[c.Opts.K+j])
+			if osd == nil {
+				return fmt.Errorf("ecfs: verify: node %d missing", loc.Nodes[c.Opts.K+j])
+			}
+			snap, ok := osd.store.Snapshot(b)
+			if !ok {
+				return fmt.Errorf("ecfs: verify: parity %v missing", b)
+			}
+			parity[j] = snap
+		}
+		ok, err := c.code.Verify(data, parity)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("ecfs: verify: stripe %d parity inconsistent", s)
+		}
+	}
+	return nil
+}

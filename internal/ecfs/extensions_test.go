@@ -1,0 +1,233 @@
+package ecfs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// TestCompressionEquivalence: the §7 compression extension must not
+// change any byte of the final state.
+func TestCompressionEquivalence(t *testing.T) {
+	opts := testOptions("tsue")
+	cfg := *opts.Strategy
+	cfg.CompressDeltas = true
+	opts.Strategy = &cfg
+	c := MustNewCluster(opts)
+	defer c.Close()
+	cli := c.NewClient()
+	fileSize := 64 << 10
+	ino, mirror := writeTestFile(t, c, cli, fileSize, 31)
+	rng := rand.New(rand.NewSource(33))
+	for i := 0; i < 300; i++ {
+		off := int64(rng.Intn(fileSize - 512))
+		data := make([]byte, 1+rng.Intn(512))
+		rng.Read(data)
+		if _, err := cli.Update(ino, off, data, time.Duration(i)*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		copy(mirror[off:], data)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyStripes(ino, mirror); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompressionReducesTraffic: compressible update payloads must shrink
+// inter-OSD traffic when the extension is enabled.
+func TestCompressionReducesTraffic(t *testing.T) {
+	traffic := func(compress bool) int64 {
+		opts := testOptions("tsue")
+		cfg := *opts.Strategy
+		cfg.CompressDeltas = compress
+		opts.Strategy = &cfg
+		c := MustNewCluster(opts)
+		defer c.Close()
+		cli := c.NewClient()
+		fileSize := 64 << 10
+		ino, _ := writeTestFile(t, c, cli, fileSize, 35)
+		payload := bytes.Repeat([]byte("compressible! "), 64) // ~900 B, highly redundant
+		rng := rand.New(rand.NewSource(37))
+		for i := 0; i < 150; i++ {
+			off := int64(rng.Intn(fileSize - len(payload)))
+			if _, err := cli.Update(ino, off, payload, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.VerifyStripes(ino, nil); err != nil {
+			t.Fatal(err)
+		}
+		return c.OSDTraffic()
+	}
+	plain := traffic(false)
+	compressed := traffic(true)
+	if compressed >= plain {
+		t.Fatalf("compression did not reduce traffic: %d >= %d", compressed, plain)
+	}
+	if float64(compressed) > 0.9*float64(plain) {
+		t.Fatalf("compression saved too little on redundant deltas: %d vs %d", compressed, plain)
+	}
+}
+
+// TestDegradedRead: with one OSD down and no recovery yet, reads of its
+// blocks must be served by on-the-fly reconstruction from survivors.
+func TestDegradedRead(t *testing.T) {
+	for _, method := range []string{"tsue", "fo"} {
+		method := method
+		t.Run(method, func(t *testing.T) {
+			t.Parallel()
+			c := MustNewCluster(testOptions(method))
+			defer c.Close()
+			cli := c.NewClient()
+			fileSize := 48 << 10
+			ino, mirror := writeTestFile(t, c, cli, fileSize, 41)
+			rng := rand.New(rand.NewSource(43))
+			for i := 0; i < 100; i++ {
+				off := int64(rng.Intn(fileSize - 128))
+				data := make([]byte, 1+rng.Intn(128))
+				rng.Read(data)
+				if _, err := cli.Update(ino, off, data, 0); err != nil {
+					t.Fatal(err)
+				}
+				copy(mirror[off:], data)
+			}
+			// Flush so survivors hold the full state, then kill a node.
+			if err := c.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			loc, _ := c.MDS.Lookup(ino, 0)
+			c.FailOSD(loc.Nodes[1])
+
+			got, _, err := cli.Read(ino, 0, fileSize)
+			if err != nil {
+				t.Fatalf("degraded read failed: %v", err)
+			}
+			if !bytes.Equal(got, mirror[:fileSize]) {
+				t.Fatal("degraded read returned wrong data")
+			}
+		})
+	}
+}
+
+func TestDegradedReadTooManyFailures(t *testing.T) {
+	c := MustNewCluster(testOptions("fo")) // K=4, M=2: three failures is fatal
+	defer c.Close()
+	cli := c.NewClient()
+	ino, _ := writeTestFile(t, c, cli, 48<<10, 45)
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	loc, _ := c.MDS.Lookup(ino, 0)
+	c.FailOSD(loc.Nodes[0])
+	c.FailOSD(loc.Nodes[1])
+	c.FailOSD(loc.Nodes[2])
+	if _, _, err := cli.Read(ino, 0, 4096); err == nil {
+		t.Fatal("read must fail with more than M nodes down")
+	}
+}
+
+func TestScrub(t *testing.T) {
+	c := MustNewCluster(testOptions("tsue"))
+	defer c.Close()
+	cli := c.NewClient()
+	ino1, _ := writeTestFile(t, c, cli, 32<<10, 47)
+	ino2, err := cli.Create("second")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, cli.StripeSpan())
+	if _, err := cli.WriteFile(ino2, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Scrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.MDS.Stripes(ino1) + c.MDS.Stripes(ino2)
+	if n != want {
+		t.Fatalf("scrubbed %d stripes, want %d", n, want)
+	}
+	// Corrupt one byte of a parity block: scrub must catch it.
+	loc, _ := c.MDS.Lookup(ino1, 0)
+	pNode := c.OSD(loc.Nodes[c.Opts.K])
+	pb := wireBlock(ino1, 0, uint8(c.Opts.K))
+	snap, _ := pNode.Store().Snapshot(pb)
+	snap[0] ^= 0xff
+	pNode.Store().WriteFull(pb, snap, true)
+	if _, err := c.Scrub(); err == nil {
+		t.Fatal("scrub missed a corrupted parity block")
+	}
+}
+
+// TestCrashRecoveryBattery alternates workload bursts with node failures
+// and recoveries, verifying full consistency after each round.
+func TestCrashRecoveryBattery(t *testing.T) {
+	opts := testOptions("tsue")
+	c := MustNewCluster(opts)
+	defer c.Close()
+	cli := c.NewClient()
+	fileSize := 64 << 10
+	ino, mirror := writeTestFile(t, c, cli, fileSize, 51)
+	rng := rand.New(rand.NewSource(53))
+
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 80; i++ {
+			off := int64(rng.Intn(fileSize - 200))
+			data := make([]byte, 1+rng.Intn(200))
+			rng.Read(data)
+			if _, err := cli.Update(ino, off, data, time.Duration(i)*time.Millisecond); err != nil {
+				t.Fatalf("round %d update: %v", round, err)
+			}
+			copy(mirror[off:], data)
+		}
+		// Fail a different OSD each round, with pending log state.
+		victim := c.OSDs[(round*3+1)%len(c.OSDs)].ID()
+		c.FailOSD(victim)
+		cfg := *opts.Strategy
+		cfg.BlockSize = opts.BlockSize
+		repl, err := NewOSD(victim, opts.Device, c.Tr.Caller(victim), "tsue", cfg, opts.Kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Recover(victim, repl); err != nil {
+			t.Fatalf("round %d recover: %v", round, err)
+		}
+		c.Tr.Register(victim, repl.Handler)
+		delete(c.failed, victim)
+		for i, o := range c.OSDs {
+			if o.ID() == victim {
+				o.Close()
+				c.OSDs[i] = repl
+			}
+		}
+		got, _, err := cli.Read(ino, 0, fileSize)
+		if err != nil {
+			t.Fatalf("round %d read: %v", round, err)
+		}
+		if !bytes.Equal(got, mirror[:fileSize]) {
+			t.Fatalf("round %d: content diverged after recovery", round)
+		}
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.VerifyStripes(ino, mirror); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}
+
+func wireBlock(ino uint64, stripe uint32, idx uint8) wire.BlockID {
+	return wire.BlockID{Ino: ino, Stripe: stripe, Idx: idx}
+}

@@ -1,0 +1,204 @@
+// Package ecfs is the erasure-coded cluster file system of the paper
+// (§4, Fig. 4): a metadata server (MDS) tracking files, stripe placement
+// and node liveness; object storage device servers (OSDs) hosting data
+// and parity blocks behind a pluggable update strategy; and a client that
+// encodes writes, routes updates, and reads with read-your-writes
+// semantics. Recovery reconstructs a failed OSD's blocks from stripe
+// survivors after logs are drained.
+package ecfs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// MDS is the metadata server: namespace, placement and liveness.
+type MDS struct {
+	k, m int
+	osds []wire.NodeID
+
+	mu      sync.Mutex
+	nextIno uint64
+	files   map[string]uint64
+	meta    map[uint64]*fileMeta
+	beats   map[wire.NodeID]time.Time
+	dead    map[wire.NodeID]bool
+}
+
+type fileMeta struct {
+	name    string
+	stripes map[uint32]wire.StripeLoc
+}
+
+// NewMDS creates a metadata server for a cluster of the given OSDs and
+// stripe geometry. It requires len(osds) >= k+m so every stripe can place
+// its blocks on distinct nodes.
+func NewMDS(osds []wire.NodeID, k, m int) (*MDS, error) {
+	if k < 1 || m < 1 {
+		return nil, fmt.Errorf("ecfs: invalid geometry RS(%d,%d)", k, m)
+	}
+	if len(osds) < k+m {
+		return nil, fmt.Errorf("ecfs: %d OSDs cannot host RS(%d,%d) stripes", len(osds), k, m)
+	}
+	return &MDS{
+		k: k, m: m,
+		osds:    append([]wire.NodeID(nil), osds...),
+		nextIno: 1,
+		files:   make(map[string]uint64),
+		meta:    make(map[uint64]*fileMeta),
+		beats:   make(map[wire.NodeID]time.Time),
+		dead:    make(map[wire.NodeID]bool),
+	}, nil
+}
+
+// Geometry returns the cluster's (K, M).
+func (m *MDS) Geometry() (int, int) { return m.k, m.m }
+
+// Create registers a file and returns its inode number; creating an
+// existing name returns the existing ino (open-or-create semantics).
+func (m *MDS) Create(name string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ino, ok := m.files[name]; ok {
+		return ino
+	}
+	ino := m.nextIno
+	m.nextIno++
+	m.files[name] = ino
+	m.meta[ino] = &fileMeta{name: name, stripes: make(map[uint32]wire.StripeLoc)}
+	return ino
+}
+
+// Lookup resolves (ino, stripe) to its placement, creating the placement
+// deterministically on first touch.
+func (m *MDS) Lookup(ino uint64, stripe uint32) (wire.StripeLoc, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fm := m.meta[ino]
+	if fm == nil {
+		return wire.StripeLoc{}, fmt.Errorf("ecfs: unknown ino %d", ino)
+	}
+	if loc, ok := fm.stripes[stripe]; ok {
+		return loc, nil
+	}
+	loc := m.placeLocked(ino, stripe)
+	fm.stripes[stripe] = loc
+	return loc, nil
+}
+
+// placeLocked spreads the K+M blocks of a stripe across distinct OSDs,
+// rotating the starting node per (ino, stripe) so load balances.
+func (m *MDS) placeLocked(ino uint64, stripe uint32) wire.StripeLoc {
+	n := len(m.osds)
+	start := int((ino*2654435761 + uint64(stripe)*40503) % uint64(n))
+	nodes := make([]wire.NodeID, m.k+m.m)
+	for i := range nodes {
+		nodes[i] = m.osds[(start+i)%n]
+	}
+	return wire.StripeLoc{Nodes: nodes}
+}
+
+// Heartbeat records a liveness report.
+func (m *MDS) Heartbeat(id wire.NodeID, at time.Time) {
+	m.mu.Lock()
+	m.beats[id] = at
+	delete(m.dead, id)
+	m.mu.Unlock()
+}
+
+// LastHeartbeat returns the most recent heartbeat time for a node.
+func (m *MDS) LastHeartbeat(id wire.NodeID) (time.Time, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.beats[id]
+	return t, ok
+}
+
+// MarkDead flags an OSD as failed (heartbeat timeout or explicit kill).
+func (m *MDS) MarkDead(id wire.NodeID) {
+	m.mu.Lock()
+	m.dead[id] = true
+	m.mu.Unlock()
+}
+
+// DeadNodes returns the currently failed OSDs.
+func (m *MDS) DeadNodes() []wire.NodeID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]wire.NodeID, 0, len(m.dead))
+	for id := range m.dead {
+		out = append(out, id)
+	}
+	return out
+}
+
+// StripesOn returns every (ino, stripe, placement) whose stripe places a
+// block on the given node — the recovery work list.
+func (m *MDS) StripesOn(id wire.NodeID) []StripeRef {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []StripeRef
+	for ino, fm := range m.meta {
+		for stripe, loc := range fm.stripes {
+			for idx, n := range loc.Nodes {
+				if n == id {
+					out = append(out, StripeRef{Ino: ino, Stripe: stripe, Idx: uint8(idx), Loc: loc})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// StripeRef names one block of one placed stripe.
+type StripeRef struct {
+	Ino    uint64
+	Stripe uint32
+	Idx    uint8
+	Loc    wire.StripeLoc
+}
+
+// Files returns every (name, ino) pair in the namespace.
+func (m *MDS) Files() map[string]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]uint64, len(m.files))
+	for name, ino := range m.files {
+		out[name] = ino
+	}
+	return out
+}
+
+// Stripes returns the number of placed stripes of a file.
+func (m *MDS) Stripes(ino uint64) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if fm := m.meta[ino]; fm != nil {
+		return len(fm.stripes)
+	}
+	return 0
+}
+
+// Handler serves the MDS RPC surface.
+func (m *MDS) Handler(msg *wire.Msg) *wire.Resp {
+	switch msg.Kind {
+	case wire.KMDSCreate:
+		return &wire.Resp{Ino: m.Create(msg.Name)}
+	case wire.KMDSLookup:
+		loc, err := m.Lookup(msg.Block.Ino, msg.Block.Stripe)
+		if err != nil {
+			return &wire.Resp{Err: err.Error()}
+		}
+		return &wire.Resp{Loc: loc}
+	case wire.KMDSHeartbeat:
+		m.Heartbeat(msg.From, time.Now())
+		return &wire.Resp{}
+	case wire.KMDSStat:
+		return &wire.Resp{Val: int64(m.Stripes(msg.Block.Ino))}
+	default:
+		return &wire.Resp{Err: fmt.Sprintf("mds: unexpected message %v", msg.Kind)}
+	}
+}

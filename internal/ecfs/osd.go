@@ -1,0 +1,196 @@
+package ecfs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/blockstore"
+	"repro/internal/device"
+	"repro/internal/erasure"
+	"repro/internal/transport"
+	"repro/internal/update"
+	"repro/internal/wire"
+)
+
+// OSD is one object storage device server: a device model, the block
+// store it prices, and the update strategy instance bound to this node.
+// OSD implements update.Env.
+type OSD struct {
+	id       wire.NodeID
+	dev      *device.Device
+	store    *blockstore.Store
+	rpc      transport.RPC
+	strategy update.Strategy
+	codeKind erasure.MatrixKind
+
+	codeMu sync.RWMutex
+	codes  map[[2]int]*erasure.Code
+}
+
+// NewOSD builds an OSD and its strategy. The caller registers
+// osd.Handler on the transport.
+func NewOSD(id wire.NodeID, prof device.Profile, rpc transport.RPC, method string, cfg update.Config, kind erasure.MatrixKind) (*OSD, error) {
+	dev := device.New(fmt.Sprintf("osd%d/%s", id, prof.Kind), prof)
+	o := &OSD{
+		id:       id,
+		dev:      dev,
+		store:    blockstore.New(dev),
+		rpc:      rpc,
+		codeKind: kind,
+		codes:    make(map[[2]int]*erasure.Code),
+	}
+	s, err := update.New(method, cfg, o)
+	if err != nil {
+		return nil, err
+	}
+	o.strategy = s
+	return o, nil
+}
+
+// --- update.Env implementation ---
+
+// ID returns the OSD's node id.
+func (o *OSD) ID() wire.NodeID { return o.id }
+
+// Store returns the block container.
+func (o *OSD) Store() *blockstore.Store { return o.store }
+
+// Dev returns the device model.
+func (o *OSD) Dev() *device.Device { return o.dev }
+
+// Call performs a synchronous RPC to a peer node.
+func (o *OSD) Call(to wire.NodeID, msg *wire.Msg) (*wire.Resp, error) {
+	return o.rpc.Call(to, msg)
+}
+
+// Code returns the cached RS code for a geometry.
+func (o *OSD) Code(k, m int) (*erasure.Code, error) {
+	key := [2]int{k, m}
+	o.codeMu.RLock()
+	c := o.codes[key]
+	o.codeMu.RUnlock()
+	if c != nil {
+		return c, nil
+	}
+	o.codeMu.Lock()
+	defer o.codeMu.Unlock()
+	if c = o.codes[key]; c != nil {
+		return c, nil
+	}
+	c, err := erasure.New(k, m, o.codeKind)
+	if err != nil {
+		return nil, err
+	}
+	o.codes[key] = c
+	return c, nil
+}
+
+// Strategy exposes the bound update strategy (tests, metrics).
+func (o *OSD) Strategy() update.Strategy { return o.strategy }
+
+// Handler dispatches inbound messages.
+func (o *OSD) Handler(msg *wire.Msg) *wire.Resp {
+	switch msg.Kind {
+	case wire.KWriteBlock:
+		// Normal write of a freshly encoded stripe member: a large
+		// sequential write (§4 "Normal Write").
+		cost := o.store.WriteFull(msg.Block, msg.Data, true)
+		return &wire.Resp{Cost: cost}
+	case wire.KUpdate:
+		cost, err := o.strategy.Update(msg)
+		if err != nil {
+			return &wire.Resp{Err: err.Error()}
+		}
+		return &wire.Resp{Cost: cost}
+	case wire.KRead:
+		data, cost, err := o.strategy.Read(msg.Block, msg.Off, int(msg.Size))
+		if err != nil {
+			return &wire.Resp{Err: err.Error()}
+		}
+		return &wire.Resp{Data: data, Cost: cost}
+	case wire.KBlockFetch:
+		size := o.store.Size(msg.Block)
+		if size < 0 {
+			return &wire.Resp{Err: fmt.Sprintf("osd%d: no block %v", o.id, msg.Block)}
+		}
+		data, cost, err := o.store.ReadRange(msg.Block, 0, size, false)
+		if err != nil {
+			return &wire.Resp{Err: err.Error()}
+		}
+		return &wire.Resp{Data: data, Cost: cost}
+	case wire.KBlockStore:
+		cost := o.store.WriteFull(msg.Block, msg.Data, true)
+		return &wire.Resp{Cost: cost}
+	case wire.KDrainLogs:
+		dead := decodeDeadList(msg.Data)
+		if err := o.strategy.Drain(int(msg.Flag), dead); err != nil {
+			return &wire.Resp{Err: err.Error()}
+		}
+		return &wire.Resp{}
+	case wire.KPing:
+		return &wire.Resp{Val: int64(o.id)}
+	default:
+		return o.strategy.Handle(msg)
+	}
+}
+
+// Close stops the strategy's background workers.
+func (o *OSD) Close() { o.strategy.Close() }
+
+// DrainAll runs all drain phases locally (single-node tests).
+func (o *OSD) DrainAll() error {
+	for phase := 1; phase <= update.DrainPhases; phase++ {
+		if err := o.strategy.Drain(phase, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// encodeDeadList/decodeDeadList pack failed node ids into a byte payload
+// for KDrainLogs.
+func encodeDeadList(dead []wire.NodeID) []byte {
+	out := make([]byte, 0, 4*len(dead))
+	for _, d := range dead {
+		out = append(out, byte(d), byte(d>>8), byte(d>>16), byte(d>>24))
+	}
+	return out
+}
+
+func decodeDeadList(b []byte) []wire.NodeID {
+	out := make([]wire.NodeID, 0, len(b)/4)
+	for i := 0; i+4 <= len(b); i += 4 {
+		out = append(out, wire.NodeID(uint32(b[i])|uint32(b[i+1])<<8|uint32(b[i+2])<<16|uint32(b[i+3])<<24))
+	}
+	return out
+}
+
+// Heartbeat sends one liveness report to the MDS. From is set explicitly
+// because the TCP transport, unlike the in-process one, does not stamp
+// the sender.
+func (o *OSD) Heartbeat() error {
+	resp, err := o.rpc.Call(wire.MDSNode, &wire.Msg{Kind: wire.KMDSHeartbeat, From: o.id})
+	if err != nil {
+		return err
+	}
+	return resp.Error()
+}
+
+// StartHeartbeats sends periodic heartbeats until stop is closed (used
+// by the TCP deployment; the in-process harness drives liveness
+// directly).
+func (o *OSD) StartHeartbeats(interval time.Duration, stop <-chan struct{}) {
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				_ = o.Heartbeat()
+			}
+		}
+	}()
+}

@@ -1,0 +1,271 @@
+package erasure
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/gf256"
+)
+
+// MatrixKind selects the construction of the encoding matrix.
+type MatrixKind int
+
+const (
+	// Vandermonde derives parity rows from a systematized Vandermonde
+	// matrix (the construction sketched in Equation 1 of the paper).
+	Vandermonde MatrixKind = iota
+	// Cauchy uses a Cauchy matrix for the parity rows.
+	Cauchy
+)
+
+func (k MatrixKind) String() string {
+	switch k {
+	case Vandermonde:
+		return "vandermonde"
+	case Cauchy:
+		return "cauchy"
+	default:
+		return fmt.Sprintf("MatrixKind(%d)", int(k))
+	}
+}
+
+// Code is a systematic RS(K, M) erasure code. It is immutable after
+// construction and safe for concurrent use.
+type Code struct {
+	K, M int
+	Kind MatrixKind
+	// enc is the (K+M) x K encoding matrix; the top K rows are identity.
+	enc Matrix
+}
+
+// ErrTooFewShards is returned when fewer than K shards survive.
+var ErrTooFewShards = errors.New("erasure: fewer than K shards available")
+
+// New constructs an RS(k, m) code. k >= 1, m >= 1, k+m <= 256.
+func New(k, m int, kind MatrixKind) (*Code, error) {
+	if k < 1 || m < 1 {
+		return nil, fmt.Errorf("erasure: invalid parameters RS(%d,%d)", k, m)
+	}
+	if k+m > 256 {
+		return nil, fmt.Errorf("erasure: RS(%d,%d) exceeds GF(2^8) capacity", k, m)
+	}
+	var (
+		enc Matrix
+		err error
+	)
+	switch kind {
+	case Vandermonde:
+		enc, err = vandermonde(k, m)
+	case Cauchy:
+		enc, err = cauchy(k, m)
+	default:
+		return nil, fmt.Errorf("erasure: unknown matrix kind %v", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Code{K: k, M: m, Kind: kind, enc: enc}, nil
+}
+
+// MustNew is New that panics on error, for tests and static configuration.
+func MustNew(k, m int, kind MatrixKind) *Code {
+	c, err := New(k, m, kind)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Coeff returns the encoding coefficient relating data block `data` to
+// parity block `parity` — the value written ∂(parity+1)(data+1) in the
+// paper's equations. Indices are zero-based.
+func (c *Code) Coeff(parity, data int) byte {
+	return c.enc.At(c.K+parity, data)
+}
+
+// Encode computes the M parity shards for the given K data shards.
+// All shards must have identical length. The returned parity shards are
+// freshly allocated.
+func (c *Code) Encode(data [][]byte) ([][]byte, error) {
+	if err := c.checkDataShards(data); err != nil {
+		return nil, err
+	}
+	size := len(data[0])
+	parity := make([][]byte, c.M)
+	for p := range parity {
+		parity[p] = make([]byte, size)
+		c.EncodeInto(parity[p], p, data)
+	}
+	return parity, nil
+}
+
+// EncodeInto computes parity shard p into dst, which must have the same
+// length as the data shards.
+func (c *Code) EncodeInto(dst []byte, p int, data [][]byte) {
+	clear(dst)
+	row := c.enc.Row(c.K + p)
+	for d, shard := range data {
+		gf256.MulAddSlice(row[d], dst, shard)
+	}
+}
+
+// Verify reports whether parity is consistent with data.
+func (c *Code) Verify(data, parity [][]byte) (bool, error) {
+	if err := c.checkDataShards(data); err != nil {
+		return false, err
+	}
+	if len(parity) != c.M {
+		return false, fmt.Errorf("erasure: got %d parity shards, want %d", len(parity), c.M)
+	}
+	size := len(data[0])
+	buf := make([]byte, size)
+	for p := 0; p < c.M; p++ {
+		if len(parity[p]) != size {
+			return false, fmt.Errorf("erasure: parity shard %d has length %d, want %d", p, len(parity[p]), size)
+		}
+		c.EncodeInto(buf, p, data)
+		for i := range buf {
+			if buf[i] != parity[p][i] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Reconstruct rebuilds the missing shards in place. shards must have
+// length K+M, ordered data shards then parity shards; missing shards are
+// nil. At least K shards must be present. Reconstructed shards are
+// allocated into the nil slots.
+func (c *Code) Reconstruct(shards [][]byte) error {
+	n := c.K + c.M
+	if len(shards) != n {
+		return fmt.Errorf("erasure: got %d shards, want %d", len(shards), n)
+	}
+	present := make([]int, 0, n)
+	missing := make([]int, 0, c.M)
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			missing = append(missing, i)
+			continue
+		}
+		if size == -1 {
+			size = len(s)
+		} else if len(s) != size {
+			return fmt.Errorf("erasure: shard %d has length %d, want %d", i, len(s), size)
+		}
+		present = append(present, i)
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	if len(present) < c.K {
+		return fmt.Errorf("%w: have %d, need %d", ErrTooFewShards, len(present), c.K)
+	}
+	// Take the first K surviving rows of the encoding matrix; invert; the
+	// product with the survivors yields the original data shards.
+	rows := present[:c.K]
+	sub := c.enc.SubMatrix(rows)
+	inv, err := sub.Invert()
+	if err != nil {
+		return fmt.Errorf("erasure: reconstruction matrix singular: %w", err)
+	}
+	// dataRow(d) = sum over j of inv[d][j] * shards[rows[j]].
+	rebuiltData := make(map[int][]byte, len(missing))
+	needData := func(d int) []byte {
+		if d < c.K {
+			if shards[d] != nil {
+				return shards[d]
+			}
+			if b, ok := rebuiltData[d]; ok {
+				return b
+			}
+			b := make([]byte, size)
+			for j, r := range rows {
+				gf256.MulAddSlice(inv.At(d, j), b, shards[r])
+			}
+			rebuiltData[d] = b
+			return b
+		}
+		return nil
+	}
+	// First rebuild missing data shards, then missing parity from data.
+	for _, idx := range missing {
+		if idx < c.K {
+			shards[idx] = needData(idx)
+		}
+	}
+	for _, idx := range missing {
+		if idx >= c.K {
+			buf := make([]byte, size)
+			row := c.enc.Row(idx)
+			for d := 0; d < c.K; d++ {
+				gf256.MulAddSlice(row[d], buf, needData(d))
+			}
+			shards[idx] = buf
+		}
+	}
+	return nil
+}
+
+func (c *Code) checkDataShards(data [][]byte) error {
+	if len(data) != c.K {
+		return fmt.Errorf("erasure: got %d data shards, want %d", len(data), c.K)
+	}
+	size := len(data[0])
+	for i, s := range data {
+		if len(s) != size {
+			return fmt.Errorf("erasure: data shard %d has length %d, want %d", i, len(s), size)
+		}
+	}
+	return nil
+}
+
+// DataDelta computes newData XOR oldData into a fresh slice. In GF(2^8)
+// subtraction is XOR, so this is the (D^n - D^{n-1}) term of Equation 2.
+func DataDelta(oldData, newData []byte) []byte {
+	if len(oldData) != len(newData) {
+		panic("erasure: DataDelta length mismatch")
+	}
+	d := make([]byte, len(newData))
+	for i := range d {
+		d[i] = newData[i] ^ oldData[i]
+	}
+	return d
+}
+
+// ParityDelta computes the parity delta ∂ * dataDelta for parity block p
+// and data block d (Equation 2). The result is freshly allocated.
+func (c *Code) ParityDelta(p, d int, dataDelta []byte) []byte {
+	out := make([]byte, len(dataDelta))
+	gf256.MulSlice(c.Coeff(p, d), out, dataDelta)
+	return out
+}
+
+// ApplyParityDelta folds a parity delta into a parity block in place:
+// P^n = P^{n-1} + delta.
+func ApplyParityDelta(parity, delta []byte) {
+	gf256.XorSlice(parity, delta)
+}
+
+// Fold XORs b into a in place (Equation 3: deltas of the same address
+// accumulate by field addition, so only the combined delta survives).
+func Fold(a, b []byte) {
+	gf256.XorSlice(a, b)
+}
+
+// MergeDeltas implements Equation 5: given data deltas for several data
+// blocks of one stripe, all covering the same intra-block address range,
+// it produces the single parity delta for parity block p.
+// deltas maps data-block index -> delta bytes (all equal length).
+func (c *Code) MergeDeltas(p int, deltas map[int][]byte) []byte {
+	var out []byte
+	for d, delta := range deltas {
+		if out == nil {
+			out = make([]byte, len(delta))
+		}
+		gf256.MulAddSlice(c.Coeff(p, d), out, delta)
+	}
+	return out
+}

@@ -1,0 +1,297 @@
+package erasure
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randShards(rng *rand.Rand, k, size int) [][]byte {
+	shards := make([][]byte, k)
+	for i := range shards {
+		shards[i] = make([]byte, size)
+		rng.Read(shards[i])
+	}
+	return shards
+}
+
+func TestNewRejectsBadParams(t *testing.T) {
+	for _, km := range [][2]int{{0, 1}, {1, 0}, {-1, 2}, {200, 100}} {
+		if _, err := New(km[0], km[1], Vandermonde); err == nil {
+			t.Errorf("New(%d,%d) should fail", km[0], km[1])
+		}
+	}
+	if _, err := New(4, 2, MatrixKind(99)); err == nil {
+		t.Error("unknown matrix kind should fail")
+	}
+}
+
+func TestEncodeVerifyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, kind := range []MatrixKind{Vandermonde, Cauchy} {
+		for _, km := range [][2]int{{6, 2}, {6, 3}, {6, 4}, {12, 2}, {12, 3}, {12, 4}} {
+			c := MustNew(km[0], km[1], kind)
+			data := randShards(rng, c.K, 512)
+			parity, err := c.Encode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ok, err := c.Verify(data, parity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				t.Fatalf("%v RS(%d,%d): freshly encoded parity does not verify", kind, c.K, c.M)
+			}
+			// Corrupt one byte: must no longer verify.
+			data[0][0] ^= 0xff
+			ok, _ = c.Verify(data, parity)
+			if ok {
+				t.Fatalf("%v RS(%d,%d): corrupted stripe verified", kind, c.K, c.M)
+			}
+		}
+	}
+}
+
+func TestEncodeRejectsMismatchedShards(t *testing.T) {
+	c := MustNew(4, 2, Vandermonde)
+	shards := [][]byte{make([]byte, 8), make([]byte, 8), make([]byte, 9), make([]byte, 8)}
+	if _, err := c.Encode(shards); err == nil {
+		t.Fatal("Encode must reject unequal shard lengths")
+	}
+	if _, err := c.Encode(shards[:2]); err == nil {
+		t.Fatal("Encode must reject wrong shard count")
+	}
+}
+
+func TestReconstructAllPatterns(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, kind := range []MatrixKind{Vandermonde, Cauchy} {
+		c := MustNew(4, 3, kind)
+		data := randShards(rng, c.K, 256)
+		parity, err := c.Encode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := append(append([][]byte{}, data...), parity...)
+		n := c.K + c.M
+		// Every erasure pattern of size 1..M must be recoverable.
+		for mask := 1; mask < 1<<n; mask++ {
+			lost := popcount(mask)
+			if lost > c.M {
+				continue
+			}
+			shards := make([][]byte, n)
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) == 0 {
+					shards[i] = append([]byte(nil), full[i]...)
+				}
+			}
+			if err := c.Reconstruct(shards); err != nil {
+				t.Fatalf("%v: reconstruct mask %b: %v", kind, mask, err)
+			}
+			for i := 0; i < n; i++ {
+				if !bytes.Equal(shards[i], full[i]) {
+					t.Fatalf("%v: shard %d wrong after reconstructing mask %b", kind, i, mask)
+				}
+			}
+		}
+	}
+}
+
+func TestReconstructTooManyLost(t *testing.T) {
+	c := MustNew(4, 2, Vandermonde)
+	shards := make([][]byte, 6)
+	for i := 0; i < 3; i++ { // only 3 survivors < K=4
+		shards[i] = make([]byte, 16)
+	}
+	if err := c.Reconstruct(shards); err == nil {
+		t.Fatal("expected error with fewer than K survivors")
+	}
+}
+
+func TestReconstructNoOpWhenComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c := MustNew(3, 2, Cauchy)
+	data := randShards(rng, 3, 64)
+	parity, _ := c.Encode(data)
+	shards := append(append([][]byte{}, data...), parity...)
+	before := make([][]byte, len(shards))
+	for i, s := range shards {
+		before[i] = append([]byte(nil), s...)
+	}
+	if err := c.Reconstruct(shards); err != nil {
+		t.Fatal(err)
+	}
+	for i := range shards {
+		if !bytes.Equal(shards[i], before[i]) {
+			t.Fatal("Reconstruct modified complete stripe")
+		}
+	}
+}
+
+// TestIncrementalUpdateEquivalence is the core invariant behind every
+// update strategy in the paper: applying parity deltas (Eq. 2) must yield
+// exactly the parity of a full re-encode.
+func TestIncrementalUpdateEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, kind := range []MatrixKind{Vandermonde, Cauchy} {
+		c := MustNew(6, 3, kind)
+		size := 128
+		data := randShards(rng, c.K, size)
+		parity, _ := c.Encode(data)
+
+		// Apply 20 random sub-block updates incrementally.
+		for i := 0; i < 20; i++ {
+			d := rng.Intn(c.K)
+			off := rng.Intn(size - 8)
+			n := 1 + rng.Intn(8)
+			newData := make([]byte, n)
+			rng.Read(newData)
+			old := append([]byte(nil), data[d][off:off+n]...)
+			copy(data[d][off:off+n], newData)
+			delta := DataDelta(old, newData)
+			for p := 0; p < c.M; p++ {
+				pd := c.ParityDelta(p, d, delta)
+				ApplyParityDelta(parity[p][off:off+n], pd)
+			}
+		}
+		want, _ := c.Encode(data)
+		for p := 0; p < c.M; p++ {
+			if !bytes.Equal(parity[p], want[p]) {
+				t.Fatalf("%v: incremental parity %d diverged from re-encode", kind, p)
+			}
+		}
+	}
+}
+
+// TestFoldEquivalence checks Equation 3/4: folding N deltas of the same
+// address equals the single old-to-latest delta.
+func TestFoldEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	orig := make([]byte, 64)
+	rng.Read(orig)
+	cur := append([]byte(nil), orig...)
+	acc := make([]byte, 64)
+	for i := 0; i < 10; i++ {
+		next := make([]byte, 64)
+		rng.Read(next)
+		Fold(acc, DataDelta(cur, next))
+		cur = next
+	}
+	want := DataDelta(orig, cur)
+	if !bytes.Equal(acc, want) {
+		t.Fatal("folded deltas != end-to-end delta")
+	}
+}
+
+// TestMergeDeltasEquivalence checks Equation 5: merging deltas across data
+// blocks produces the same parity as applying each delta individually.
+func TestMergeDeltasEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	c := MustNew(6, 4, Vandermonde)
+	size := 96
+	deltas := map[int][]byte{}
+	for _, d := range []int{0, 2, 5} {
+		b := make([]byte, size)
+		rng.Read(b)
+		deltas[d] = b
+	}
+	for p := 0; p < c.M; p++ {
+		merged := c.MergeDeltas(p, deltas)
+		want := make([]byte, size)
+		for d, delta := range deltas {
+			ApplyParityDelta(want, c.ParityDelta(p, d, delta))
+		}
+		if !bytes.Equal(merged, want) {
+			t.Fatalf("MergeDeltas parity %d mismatch", p)
+		}
+	}
+}
+
+func TestDataDeltaProperties(t *testing.T) {
+	f := func(a, b []byte) bool {
+		n := min(len(a), len(b))
+		a, b = a[:n], b[:n]
+		d := DataDelta(a, b)
+		// old XOR delta == new
+		got := append([]byte(nil), a...)
+		for i := range got {
+			got[i] ^= d[i]
+		}
+		return bytes.Equal(got, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoeffMatchesEncode(t *testing.T) {
+	// Parity of a one-hot data pattern isolates a single coefficient.
+	c := MustNew(5, 3, Cauchy)
+	data := make([][]byte, c.K)
+	for i := range data {
+		data[i] = make([]byte, 1)
+	}
+	for d := 0; d < c.K; d++ {
+		for i := range data {
+			data[i][0] = 0
+		}
+		data[d][0] = 1
+		parity, _ := c.Encode(data)
+		for p := 0; p < c.M; p++ {
+			if parity[p][0] != c.Coeff(p, d) {
+				t.Fatalf("Coeff(%d,%d) = %#x but encode gives %#x", p, d, c.Coeff(p, d), parity[p][0])
+			}
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Vandermonde.String() != "vandermonde" || Cauchy.String() != "cauchy" {
+		t.Fatal("MatrixKind.String wrong")
+	}
+	if MatrixKind(42).String() == "" {
+		t.Fatal("unknown kind should still stringify")
+	}
+}
+
+func BenchmarkEncodeRS6_4_1MB(b *testing.B) {
+	benchEncode(b, 6, 4, 1<<20)
+}
+
+func BenchmarkEncodeRS12_4_1MB(b *testing.B) {
+	benchEncode(b, 12, 4, 1<<20)
+}
+
+func benchEncode(b *testing.B, k, m, size int) {
+	rng := rand.New(rand.NewSource(1))
+	c := MustNew(k, m, Vandermonde)
+	data := randShards(rng, k, size)
+	b.SetBytes(int64(k * size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstructRS6_4(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	c := MustNew(6, 4, Vandermonde)
+	data := randShards(rng, 6, 1<<20)
+	parity, _ := c.Encode(data)
+	full := append(append([][]byte{}, data...), parity...)
+	b.SetBytes(int64(6 << 20))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shards := make([][]byte, len(full))
+		copy(shards, full)
+		shards[0], shards[3], shards[7] = nil, nil, nil
+		if err := c.Reconstruct(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package erasure
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestIdentity(t *testing.T) {
+	id := Identity(4)
+	if !id.IsIdentity() {
+		t.Fatal("Identity(4) is not identity")
+	}
+	m := NewMatrix(4, 4)
+	m.Set(0, 1, 3)
+	if m.IsIdentity() {
+		t.Fatal("non-identity matrix reported as identity")
+	}
+	if NewMatrix(2, 3).IsIdentity() {
+		t.Fatal("non-square matrix reported as identity")
+	}
+}
+
+func TestMatrixMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewMatrix(5, 5)
+	rng.Read(m.Data)
+	got := m.Mul(Identity(5))
+	for i := range got.Data {
+		if got.Data[i] != m.Data[i] {
+			t.Fatal("m * I != m")
+		}
+	}
+	got = Identity(5).Mul(m)
+	for i := range got.Data {
+		if got.Data[i] != m.Data[i] {
+			t.Fatal("I * m != m")
+		}
+	}
+}
+
+func TestMatrixMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	NewMatrix(2, 3).Mul(NewMatrix(2, 3))
+}
+
+func TestInvertRandomMatrices(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	inverted := 0
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(8)
+		m := NewMatrix(n, n)
+		rng.Read(m.Data)
+		inv, err := m.Invert()
+		if err != nil {
+			continue // singular random matrix: fine, skip
+		}
+		inverted++
+		if !m.Mul(inv).IsIdentity() {
+			t.Fatalf("m * m^-1 != I for n=%d", n)
+		}
+		if !inv.Mul(m).IsIdentity() {
+			t.Fatalf("m^-1 * m != I for n=%d", n)
+		}
+	}
+	if inverted < 25 {
+		t.Fatalf("too few invertible random matrices: %d", inverted)
+	}
+}
+
+func TestInvertSingular(t *testing.T) {
+	m := NewMatrix(3, 3)
+	// Two identical rows -> singular.
+	for c := 0; c < 3; c++ {
+		m.Set(0, c, byte(c+1))
+		m.Set(1, c, byte(c+1))
+		m.Set(2, c, byte(2*c+5))
+	}
+	if _, err := m.Invert(); err == nil {
+		t.Fatal("expected error inverting singular matrix")
+	}
+}
+
+func TestInvertNonSquare(t *testing.T) {
+	if _, err := NewMatrix(2, 3).Invert(); err == nil {
+		t.Fatal("expected error inverting non-square matrix")
+	}
+}
+
+func TestSubMatrix(t *testing.T) {
+	m := NewMatrix(4, 2)
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 2; c++ {
+			m.Set(r, c, byte(10*r+c))
+		}
+	}
+	s := m.SubMatrix([]int{3, 1})
+	if s.At(0, 0) != 30 || s.At(0, 1) != 31 || s.At(1, 0) != 10 || s.At(1, 1) != 11 {
+		t.Fatalf("SubMatrix rows wrong: %+v", s)
+	}
+}
+
+func TestVandermondeSystematic(t *testing.T) {
+	for _, km := range [][2]int{{2, 1}, {4, 2}, {6, 3}, {12, 4}} {
+		m, err := vandermonde(km[0], km[1])
+		if err != nil {
+			t.Fatalf("vandermonde(%d,%d): %v", km[0], km[1], err)
+		}
+		if !m.SubMatrix(seq(0, km[0])).IsIdentity() {
+			t.Fatalf("vandermonde(%d,%d) top block is not identity", km[0], km[1])
+		}
+	}
+}
+
+func TestCauchySystematic(t *testing.T) {
+	m, err := cauchy(6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.SubMatrix(seq(0, 6)).IsIdentity() {
+		t.Fatal("cauchy top block is not identity")
+	}
+}
+
+// TestMDSProperty verifies that for small codes, EVERY K-subset of rows of
+// the encoding matrix is invertible — the defining property that makes any
+// M erasures recoverable.
+func TestMDSProperty(t *testing.T) {
+	for _, kind := range []MatrixKind{Vandermonde, Cauchy} {
+		for _, km := range [][2]int{{3, 2}, {4, 3}, {6, 2}} {
+			k, m := km[0], km[1]
+			c := MustNew(k, m, kind)
+			n := k + m
+			// Enumerate all K-subsets via bitmask.
+			for mask := 0; mask < 1<<n; mask++ {
+				if popcount(mask) != k {
+					continue
+				}
+				rows := make([]int, 0, k)
+				for i := 0; i < n; i++ {
+					if mask&(1<<i) != 0 {
+						rows = append(rows, i)
+					}
+				}
+				if _, err := c.enc.SubMatrix(rows).Invert(); err != nil {
+					t.Fatalf("%v RS(%d,%d): rows %v not invertible: %v", kind, k, m, rows, err)
+				}
+			}
+		}
+	}
+}
+
+func popcount(x int) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,237 @@
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddIsXor(t *testing.T) {
+	if Add(0x53, 0xCA) != 0x53^0xCA {
+		t.Fatal("Add must be XOR")
+	}
+	if Add(7, 7) != 0 {
+		t.Fatal("x+x must be 0")
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		if got := Mul(byte(a), 1); got != byte(a) {
+			t.Fatalf("a*1 = %d, want %d", got, a)
+		}
+		if got := Mul(byte(a), 0); got != 0 {
+			t.Fatalf("a*0 = %d, want 0", got)
+		}
+	}
+}
+
+func TestMulKnownValues(t *testing.T) {
+	// Hand-computed products in GF(2^8)/0x11d.
+	cases := []struct{ a, b, want byte }{
+		{2, 2, 4},
+		{0x80, 2, 0x1d}, // wraps through the polynomial
+		{0x53, 2, 0xa6},
+		{3, 7, 9},
+	}
+	for _, c := range cases {
+		if got := Mul(c.a, c.b); got != c.want {
+			t.Errorf("Mul(%#x,%#x) = %#x, want %#x", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMulCommutative(t *testing.T) {
+	f := func(a, b byte) bool { return Mul(a, b) == Mul(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAssociative(t *testing.T) {
+	f := func(a, b, c byte) bool { return Mul(Mul(a, b), c) == Mul(a, Mul(b, c)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistributive(t *testing.T) {
+	f := func(a, b, c byte) bool { return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c)) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivInvertsMul(t *testing.T) {
+	f := func(a, b byte) bool {
+		if b == 0 {
+			return true
+		}
+		return Div(Mul(a, b), b) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInv(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		if got := Mul(byte(a), Inv(byte(a))); got != 1 {
+			t.Fatalf("a * a^-1 = %d for a=%d, want 1", got, a)
+		}
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Inv(0) must panic")
+		}
+	}()
+	Inv(0)
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div(x,0) must panic")
+		}
+	}()
+	Div(5, 0)
+}
+
+func TestExpPeriodic(t *testing.T) {
+	for n := 0; n < 10; n++ {
+		if Exp(n) != Exp(n+255) {
+			t.Fatalf("Exp not periodic at %d", n)
+		}
+	}
+	if Exp(-1) != Exp(254) {
+		t.Fatal("Exp must handle negative exponents")
+	}
+}
+
+func TestPow(t *testing.T) {
+	for a := 0; a < 256; a++ {
+		want := byte(1)
+		for n := 0; n < 8; n++ {
+			if got := Pow(byte(a), n); got != want {
+				t.Fatalf("Pow(%d,%d) = %d, want %d", a, n, got, want)
+			}
+			want = Mul(want, byte(a))
+		}
+	}
+}
+
+func TestMulSlice(t *testing.T) {
+	src := []byte{0, 1, 2, 3, 0xff, 0x80}
+	dst := make([]byte, len(src))
+	MulSlice(3, dst, src)
+	for i := range src {
+		if dst[i] != Mul(3, src[i]) {
+			t.Fatalf("MulSlice mismatch at %d", i)
+		}
+	}
+	MulSlice(0, dst, src)
+	if !bytes.Equal(dst, make([]byte, len(src))) {
+		t.Fatal("MulSlice with c=0 must clear dst")
+	}
+	MulSlice(1, dst, src)
+	if !bytes.Equal(dst, src) {
+		t.Fatal("MulSlice with c=1 must copy")
+	}
+}
+
+func TestMulAddSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]byte, 1024)
+	dst := make([]byte, 1024)
+	ref := make([]byte, 1024)
+	rng.Read(src)
+	rng.Read(dst)
+	copy(ref, dst)
+	MulAddSlice(0x57, dst, src)
+	for i := range ref {
+		ref[i] ^= Mul(0x57, src[i])
+	}
+	if !bytes.Equal(dst, ref) {
+		t.Fatal("MulAddSlice disagrees with scalar reference")
+	}
+	// c=0 is a no-op.
+	copy(ref, dst)
+	MulAddSlice(0, dst, src)
+	if !bytes.Equal(dst, ref) {
+		t.Fatal("MulAddSlice with c=0 must be a no-op")
+	}
+}
+
+func TestMulAddSliceSelfInverse(t *testing.T) {
+	// Applying the same delta twice must restore dst (characteristic 2).
+	f := func(c byte, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		dst := make([]byte, len(data))
+		orig := make([]byte, len(data))
+		copy(dst, data)
+		copy(orig, data)
+		src := make([]byte, len(data))
+		for i := range src {
+			src[i] = byte(i*7 + 13)
+		}
+		MulAddSlice(c, dst, src)
+		MulAddSlice(c, dst, src)
+		return bytes.Equal(dst, orig)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXorSlice(t *testing.T) {
+	a := []byte{1, 2, 3}
+	b := []byte{4, 5, 6}
+	XorSlice(a, b)
+	if a[0] != 5 || a[1] != 7 || a[2] != 5 {
+		t.Fatalf("XorSlice wrong: %v", a)
+	}
+}
+
+func TestSliceLengthMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"MulSlice":    func() { MulSlice(2, make([]byte, 3), make([]byte, 4)) },
+		"MulAddSlice": func() { MulAddSlice(2, make([]byte, 3), make([]byte, 4)) },
+		"XorSlice":    func() { XorSlice(make([]byte, 3), make([]byte, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s must panic on length mismatch", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkMulAddSlice64K(b *testing.B) {
+	src := make([]byte, 64<<10)
+	dst := make([]byte, 64<<10)
+	rand.New(rand.NewSource(2)).Read(src)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulAddSlice(0x9a, dst, src)
+	}
+}
+
+func BenchmarkXorSlice64K(b *testing.B) {
+	src := make([]byte, 64<<10)
+	dst := make([]byte, 64<<10)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		XorSlice(dst, src)
+	}
+}

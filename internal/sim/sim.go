@@ -1,0 +1,196 @@
+// Package sim provides the virtual-time accounting primitives the
+// benchmark harness uses in place of a physical testbed.
+//
+// Correctness-bearing state in ECFS (block contents, parity, logs) is real
+// and mutated by real goroutines; only *time* is modelled. Every shared
+// resource — an SSD, an HDD, a NIC — is a Resource that accumulates busy
+// nanoseconds as operations are charged to it. A synchronous request path
+// sums the charges it incurs into a latency sample. An experiment then
+// derives aggregate throughput from the bottleneck resource
+// (operational-law analysis), which is deterministic and preserves the
+// relative shapes the paper reports without sleeping.
+package sim
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Resource is a serially-used resource (one device, one NIC). Charging a
+// duration models the resource being busy for that long. Resources are
+// safe for concurrent use.
+type Resource struct {
+	name string
+	busy atomic.Int64 // nanoseconds
+	ops  atomic.Int64
+}
+
+// NewResource creates a named resource with zero accumulated busy time.
+func NewResource(name string) *Resource {
+	return &Resource{name: name}
+}
+
+// Name returns the resource's name.
+func (r *Resource) Name() string { return r.name }
+
+// Charge accounts d of busy time and returns d unchanged, so call sites
+// can simultaneously account the resource and extend a latency path.
+func (r *Resource) Charge(d time.Duration) time.Duration {
+	if d < 0 {
+		panic("sim: negative charge")
+	}
+	r.busy.Add(int64(d))
+	r.ops.Add(1)
+	return d
+}
+
+// Busy returns the accumulated busy time.
+func (r *Resource) Busy() time.Duration { return time.Duration(r.busy.Load()) }
+
+// Ops returns the number of operations charged.
+func (r *Resource) Ops() int64 { return r.ops.Load() }
+
+// Reset zeroes the accumulated busy time and op count.
+func (r *Resource) Reset() {
+	r.busy.Store(0)
+	r.ops.Store(0)
+}
+
+// maxLatencySamples bounds the per-recorder sample retention used for
+// percentile queries (simple reservoir: first N samples kept).
+const maxLatencySamples = 1 << 17
+
+// LatencyRecorder aggregates synchronous path latency samples and
+// retains a bounded sample set for percentile queries.
+type LatencyRecorder struct {
+	mu      sync.Mutex
+	total   time.Duration
+	max     time.Duration
+	n       int64
+	samples []time.Duration
+}
+
+// Observe records one latency sample.
+func (l *LatencyRecorder) Observe(d time.Duration) {
+	l.mu.Lock()
+	l.total += d
+	if d > l.max {
+		l.max = d
+	}
+	l.n++
+	if len(l.samples) < maxLatencySamples {
+		l.samples = append(l.samples, d)
+	}
+	l.mu.Unlock()
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) of the retained
+// samples, or 0 with no samples.
+func (l *LatencyRecorder) Percentile(p float64) time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), l.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p/100*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Count returns the number of samples.
+func (l *LatencyRecorder) Count() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Mean returns the mean latency, or 0 with no samples.
+func (l *LatencyRecorder) Mean() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.n == 0 {
+		return 0
+	}
+	return l.total / time.Duration(l.n)
+}
+
+// Max returns the largest observed latency.
+func (l *LatencyRecorder) Max() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.max
+}
+
+// Total returns the summed latency across samples.
+func (l *LatencyRecorder) Total() time.Duration {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Reset clears all samples.
+func (l *LatencyRecorder) Reset() {
+	l.mu.Lock()
+	l.total, l.max, l.n = 0, 0, 0
+	l.samples = l.samples[:0]
+	l.mu.Unlock()
+}
+
+// Series collects (virtual time, value) points for time-series figures
+// such as Fig. 6a. Points may be added out of order; Points() sorts.
+type Series struct {
+	mu  sync.Mutex
+	pts []Point
+}
+
+// Point is one sample of a time series.
+type Point struct {
+	T time.Duration // virtual time since experiment start
+	V float64
+}
+
+// Add appends a sample.
+func (s *Series) Add(t time.Duration, v float64) {
+	s.mu.Lock()
+	s.pts = append(s.pts, Point{T: t, V: v})
+	s.mu.Unlock()
+}
+
+// Points returns the samples sorted by time.
+func (s *Series) Points() []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]Point(nil), s.pts...)
+	sort.Slice(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}
+
+// Throughput derives aggregate operations/second for a replay using the
+// bottleneck model: the experiment cannot finish faster than its busiest
+// resource, nor faster than the client population can issue requests
+// (clients issue synchronously, so C clients sustain C/avgLatency ops/s).
+func Throughput(ops int64, clients int, avgLatency time.Duration, resources []*Resource) float64 {
+	if ops == 0 {
+		return 0
+	}
+	clientTime := time.Duration(ops) * avgLatency / time.Duration(max(clients, 1))
+	bottleneck := clientTime
+	for _, r := range resources {
+		if b := r.Busy(); b > bottleneck {
+			bottleneck = b
+		}
+	}
+	if bottleneck <= 0 {
+		return 0
+	}
+	return float64(ops) / bottleneck.Seconds()
+}

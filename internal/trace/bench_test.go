@@ -1,0 +1,10 @@
+package trace
+
+import "testing"
+
+// BenchmarkGenerateTenCloud measures synthetic trace generation.
+func BenchmarkGenerateTenCloud(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		TenCloud(1<<30, 10000, int64(i))
+	}
+}

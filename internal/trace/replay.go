@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/ecfs"
+	"repro/internal/sim"
+)
+
+// ReplayResult aggregates one replay run.
+type ReplayResult struct {
+	Ops        int64
+	Updates    int64
+	Reads      int64
+	Errors     int64
+	AvgLatency time.Duration
+	MaxLatency time.Duration
+	// TotalLatency is the summed synchronous latency across requests.
+	TotalLatency time.Duration
+}
+
+// Replayer drives a trace against a cluster with a client population,
+// recording per-request synchronous latency.
+type Replayer struct {
+	Cluster *ecfs.Cluster
+	Clients int
+	// Latency collects per-request sync latencies.
+	Latency sim.LatencyRecorder
+
+	randomPayload bool
+	payloadSeed   int64
+}
+
+// RandomPayload switches update payloads from the default repeating
+// pattern to incompressible random bytes (compression experiments).
+func (r *Replayer) RandomPayload(seed int64) {
+	r.randomPayload = true
+	r.payloadSeed = seed
+}
+
+// NewReplayer builds a replayer with the given concurrent client count.
+func NewReplayer(c *ecfs.Cluster, clients int) *Replayer {
+	if clients < 1 {
+		clients = 1
+	}
+	return &Replayer{Cluster: c, Clients: clients}
+}
+
+// Prepare creates and prepopulates the backing file so every trace op
+// targets written stripes, and returns the ino. Content is a fixed
+// pattern (cheap, deterministic); trace payloads overwrite it.
+func (r *Replayer) Prepare(name string, fileSize int64) (uint64, error) {
+	cli := r.Cluster.NewClient()
+	ino, err := cli.Create(name)
+	if err != nil {
+		return 0, err
+	}
+	span := int64(cli.StripeSpan())
+	stripes := (fileSize + span - 1) / span
+	chunk := make([]byte, span)
+	for i := range chunk {
+		chunk[i] = byte(i * 31)
+	}
+	for s := int64(0); s < stripes; s++ {
+		if _, err := cli.WriteStripe(ino, uint32(s), chunk); err != nil {
+			return 0, err
+		}
+	}
+	return ino, nil
+}
+
+// Run replays the trace: ops are dealt round-robin to Clients concurrent
+// clients, preserving per-client order. Returns aggregate results.
+func (r *Replayer) Run(t *Trace, ino uint64) (*ReplayResult, error) {
+	if len(t.Ops) == 0 {
+		return &ReplayResult{}, nil
+	}
+	res := &ReplayResult{}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		userErr error
+	)
+	payload := make([]byte, maxOpSize(t))
+	if r.randomPayload {
+		rand.New(rand.NewSource(r.payloadSeed)).Read(payload)
+	} else {
+		for i := range payload {
+			payload[i] = byte(i*131 + 7)
+		}
+	}
+	for ci := 0; ci < r.Clients; ci++ {
+		cli := r.Cluster.NewClient()
+		wg.Add(1)
+		go func(ci int, cli *ecfs.Client) {
+			defer wg.Done()
+			var nOps, nUpd, nRead, nErr int64
+			var total, maxL time.Duration
+			for i := ci; i < len(t.Ops); i += r.Clients {
+				op := t.Ops[i]
+				var (
+					lat time.Duration
+					err error
+				)
+				switch op.Kind {
+				case OpUpdate:
+					lat, err = cli.Update(ino, op.Off, payload[:op.Size], op.At)
+				case OpRead:
+					_, lat, err = cli.Read(ino, op.Off, op.Size)
+				}
+				if err != nil {
+					nErr++
+					mu.Lock()
+					if userErr == nil {
+						userErr = fmt.Errorf("trace: op %d (%v off=%d size=%d): %w", i, op.Kind, op.Off, op.Size, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				nOps++
+				if op.Kind == OpUpdate {
+					nUpd++
+				} else {
+					nRead++
+				}
+				total += lat
+				if lat > maxL {
+					maxL = lat
+				}
+				r.Latency.Observe(lat)
+			}
+			mu.Lock()
+			res.Ops += nOps
+			res.Updates += nUpd
+			res.Reads += nRead
+			res.Errors += nErr
+			res.TotalLatency += total
+			if maxL > res.MaxLatency {
+				res.MaxLatency = maxL
+			}
+			mu.Unlock()
+		}(ci, cli)
+	}
+	wg.Wait()
+	if res.Ops > 0 {
+		res.AvgLatency = res.TotalLatency / time.Duration(res.Ops)
+	}
+	return res, userErr
+}
+
+// Throughput derives the aggregate IOPS of a completed replay using the
+// bottleneck model over the cluster's resources.
+func (r *Replayer) Throughput(res *ReplayResult) float64 {
+	return sim.Throughput(res.Ops, r.Clients, res.AvgLatency, r.Cluster.Resources())
+}
+
+func maxOpSize(t *Trace) int {
+	m := 1
+	for _, op := range t.Ops {
+		if op.Size > m {
+			m = op.Size
+		}
+	}
+	return m
+}

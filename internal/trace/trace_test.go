@@ -1,0 +1,244 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/ecfs"
+	"repro/internal/erasure"
+	"repro/internal/netsim"
+	"repro/internal/update"
+)
+
+func TestAliCloudStatistics(t *testing.T) {
+	tr := AliCloud(1<<30, 20000, 1)
+	s := tr.Stats()
+	if s.Ops != 20000 {
+		t.Fatalf("ops = %d", s.Ops)
+	}
+	if s.UpdateFrac < 0.73 || s.UpdateFrac > 0.77 {
+		t.Fatalf("ali update fraction = %.3f, want ~0.75", s.UpdateFrac)
+	}
+	if s.Frac4K < 0.42 || s.Frac4K > 0.50 {
+		t.Fatalf("ali 4K fraction = %.3f, want ~0.46", s.Frac4K)
+	}
+	if s.FracLE16K < 0.56 || s.FracLE16K > 0.64 {
+		t.Fatalf("ali <=16K fraction = %.3f, want ~0.60", s.FracLE16K)
+	}
+}
+
+func TestTenCloudStatistics(t *testing.T) {
+	tr := TenCloud(1<<30, 20000, 2)
+	s := tr.Stats()
+	if s.UpdateFrac < 0.67 || s.UpdateFrac > 0.71 {
+		t.Fatalf("ten update fraction = %.3f, want ~0.69", s.UpdateFrac)
+	}
+	if s.Frac4K < 0.65 || s.Frac4K > 0.73 {
+		t.Fatalf("ten 4K fraction = %.3f, want ~0.69", s.Frac4K)
+	}
+	if s.FracLE16K < 0.84 || s.FracLE16K > 0.92 {
+		t.Fatalf("ten <=16K fraction = %.3f, want ~0.88", s.FracLE16K)
+	}
+}
+
+// TestTenCloudStrongerLocality verifies the property that drives TSUE's
+// Ten-Cloud advantage: updates concentrate on far fewer distinct 64 KiB
+// extents than Ali-Cloud's.
+func TestTenCloudStrongerLocality(t *testing.T) {
+	distinct := func(tr *Trace) int {
+		seen := map[int64]bool{}
+		for _, op := range tr.Ops {
+			if op.Kind == OpUpdate {
+				seen[op.Off>>16] = true
+			}
+		}
+		return len(seen)
+	}
+	ali := distinct(AliCloud(1<<30, 20000, 3))
+	ten := distinct(TenCloud(1<<30, 20000, 3))
+	if ten >= ali {
+		t.Fatalf("ten-cloud should touch fewer extents: ali=%d ten=%d", ali, ten)
+	}
+}
+
+func TestMSRVolumes(t *testing.T) {
+	for _, vol := range MSRVolumes {
+		tr, ok := MSR(vol, 1<<28, 2000, 4)
+		if !ok {
+			t.Fatalf("unknown volume %s", vol)
+		}
+		s := tr.Stats()
+		if s.UpdateFrac < 0.7 {
+			t.Fatalf("%s: update fraction %.2f too low", vol, s.UpdateFrac)
+		}
+		if s.Ops != 2000 {
+			t.Fatalf("%s: ops = %d", vol, s.Ops)
+		}
+	}
+	if _, ok := MSR("nosuch", 1<<20, 10, 1); ok {
+		t.Fatal("unknown volume must report !ok")
+	}
+}
+
+func TestGenerateBounds(t *testing.T) {
+	tr := Generate(Params{Name: "x", FileSize: 1 << 20, Ops: 5000, UpdateFrac: 1,
+		SizeDist: []SizePoint{{1, 256 << 10}}, ZipfS: 1.3, ZipfHot: 0.5, Seed: 9})
+	for i, op := range tr.Ops {
+		if op.Off < 0 || op.Off+int64(op.Size) > tr.FileSize {
+			t.Fatalf("op %d out of bounds: off=%d size=%d", i, op.Off, op.Size)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := AliCloud(1<<26, 500, 42)
+	b := AliCloud(1<<26, 500, 42)
+	for i := range a.Ops {
+		if a.Ops[i] != b.Ops[i] {
+			t.Fatal("same seed must give identical traces")
+		}
+	}
+	c := AliCloud(1<<26, 500, 43)
+	same := true
+	for i := range a.Ops {
+		if a.Ops[i] != c.Ops[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestTimestampsMonotonic(t *testing.T) {
+	tr := AliCloud(1<<26, 1000, 5)
+	for i := 1; i < len(tr.Ops); i++ {
+		if tr.Ops[i].At <= tr.Ops[i-1].At {
+			t.Fatal("timestamps must be strictly increasing")
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := TenCloud(1<<24, 300, 6)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.FileSize != tr.FileSize || len(got.Ops) != len(tr.Ops) {
+		t.Fatalf("header mismatch: %q %d %d", got.Name, got.FileSize, len(got.Ops))
+	}
+	for i := range tr.Ops {
+		if tr.Ops[i] != got.Ops[i] {
+			t.Fatalf("op %d mismatch: %+v != %+v", i, tr.Ops[i], got.Ops[i])
+		}
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("U,1,2\n")); err == nil {
+		t.Fatal("short line must fail")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("X,1,2,3\n")); err == nil {
+		t.Fatal("bad kind must fail")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("U,a,2,3\n")); err == nil {
+		t.Fatal("bad offset must fail")
+	}
+}
+
+func testClusterOptions(method string) ecfs.Options {
+	cfg := update.DefaultConfig()
+	cfg.UnitSize = 32 << 10
+	cfg.MaxUnits = 4
+	cfg.Pools = 2
+	cfg.Workers = 2
+	return ecfs.Options{
+		NumOSDs: 8, K: 4, M: 2, BlockSize: 16 << 10, Method: method,
+		Device: device.ChameleonSSD(), Net: netsim.Ethernet25G(),
+		Kind: erasure.Vandermonde, Strategy: &cfg,
+	}
+}
+
+func TestReplayAgainstCluster(t *testing.T) {
+	c := ecfs.MustNewCluster(testClusterOptions("tsue"))
+	defer c.Close()
+	r := NewReplayer(c, 4)
+	fileSize := int64(512 << 10)
+	ino, err := r.Prepare("vol", fileSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := TenCloud(fileSize, 800, 7)
+	// Clamp sizes to the small test volume.
+	for i := range tr.Ops {
+		if tr.Ops[i].Size > 8<<10 {
+			tr.Ops[i].Size = 8 << 10
+		}
+	}
+	res, err := r.Run(tr, ino)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("%d replay errors", res.Errors)
+	}
+	if res.Ops != 800 || res.Updates == 0 || res.Reads == 0 {
+		t.Fatalf("result wrong: %+v", res)
+	}
+	if res.AvgLatency <= 0 {
+		t.Fatal("no latency recorded")
+	}
+	iops := r.Throughput(res)
+	if iops <= 0 {
+		t.Fatal("no throughput derived")
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyStripes(ino, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayLatencySamples(t *testing.T) {
+	c := ecfs.MustNewCluster(testClusterOptions("fo"))
+	defer c.Close()
+	r := NewReplayer(c, 2)
+	ino, err := r.Prepare("vol", 256<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := AliCloud(256<<10, 100, 8)
+	for i := range tr.Ops {
+		if tr.Ops[i].Size > 4<<10 {
+			tr.Ops[i].Size = 4 << 10
+		}
+	}
+	if _, err := r.Run(tr, ino); err != nil {
+		t.Fatal(err)
+	}
+	if r.Latency.Count() != 100 {
+		t.Fatalf("latency samples = %d", r.Latency.Count())
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpUpdate.String() != "U" || OpRead.String() != "R" {
+		t.Fatal("op kind strings wrong")
+	}
+}
+
+func TestStatsDuration(t *testing.T) {
+	tr := &Trace{Ops: []Op{{At: time.Second}, {At: 3 * time.Second}}}
+	if tr.Stats().Duration != 3*time.Second {
+		t.Fatal("duration wrong")
+	}
+}

@@ -1,0 +1,306 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Frame format: 4-byte big-endian length, then a gob-encoded frame body.
+// Each connection carries a strictly alternating request/response stream;
+// the client pool opens one connection per in-flight call slot.
+
+const maxFrameSize = 64 << 20 // refuse absurd frames rather than OOM
+
+type frame struct {
+	Msg  *wire.Msg
+	Resp *wire.Resp
+}
+
+func writeFrame(w *bufio.Writer, f *frame) error {
+	var buf encodeBuffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(f); err != nil {
+		return fmt.Errorf("transport: encode: %w", err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(buf.b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(buf.b); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func readFrame(r *bufio.Reader) (*frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrameSize {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	var f frame
+	if err := gob.NewDecoder(&sliceReader{b: body}).Decode(&f); err != nil {
+		return nil, fmt.Errorf("transport: decode: %w", err)
+	}
+	return &f, nil
+}
+
+type encodeBuffer struct{ b []byte }
+
+func (e *encodeBuffer) Write(p []byte) (int, error) {
+	e.b = append(e.b, p...)
+	return len(p), nil
+}
+
+type sliceReader struct {
+	b []byte
+	i int
+}
+
+func (s *sliceReader) Read(p []byte) (int, error) {
+	if s.i >= len(s.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, s.b[s.i:])
+	s.i += n
+	return n, nil
+}
+
+// TCPServer serves a node's handler on a listener.
+type TCPServer struct {
+	id      wire.NodeID
+	handler Handler
+	ln      net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// ServeTCP starts serving handler for node id on addr ("host:port",
+// ":0" for an ephemeral port). It returns once the listener is bound.
+func ServeTCP(id wire.NodeID, addr string, h Handler) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	s := &TCPServer{id: id, handler: h, ln: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and all connections.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	r := bufio.NewReaderSize(conn, 256<<10)
+	w := bufio.NewWriterSize(conn, 256<<10)
+	for {
+		f, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		if f.Msg == nil {
+			return
+		}
+		resp := s.handler(f.Msg)
+		if resp == nil {
+			resp = &wire.Resp{}
+		}
+		if err := writeFrame(w, &frame{Resp: resp}); err != nil {
+			return
+		}
+	}
+}
+
+// TCPClient is an RPC over real sockets. It maintains a small pool of
+// connections per destination address.
+type TCPClient struct {
+	mu    sync.Mutex
+	addrs map[wire.NodeID]string
+	pools map[wire.NodeID]*connPool
+}
+
+// NewTCPClient creates a client with a static node -> address map.
+// Addresses can be added later with SetAddr.
+func NewTCPClient(addrs map[wire.NodeID]string) *TCPClient {
+	c := &TCPClient{addrs: make(map[wire.NodeID]string), pools: make(map[wire.NodeID]*connPool)}
+	for id, a := range addrs {
+		c.addrs[id] = a
+	}
+	return c
+}
+
+// SetAddr registers or updates a node's address.
+func (c *TCPClient) SetAddr(id wire.NodeID, addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.addrs[id] = addr
+	delete(c.pools, id) // force reconnect to the new address
+}
+
+// Close closes all pooled connections.
+func (c *TCPClient) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, p := range c.pools {
+		p.closeAll()
+	}
+	c.pools = make(map[wire.NodeID]*connPool)
+}
+
+// Call implements RPC.
+func (c *TCPClient) Call(to wire.NodeID, msg *wire.Msg) (*wire.Resp, error) {
+	c.mu.Lock()
+	pool := c.pools[to]
+	if pool == nil {
+		addr, ok := c.addrs[to]
+		if !ok {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("transport: no address for node %d", to)
+		}
+		pool = &connPool{addr: addr}
+		c.pools[to] = pool
+	}
+	c.mu.Unlock()
+	return pool.call(msg)
+}
+
+type pooledConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+type connPool struct {
+	addr string
+	mu   sync.Mutex
+	free []*pooledConn
+}
+
+func (p *connPool) get() (*pooledConn, error) {
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		pc := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return pc, nil
+	}
+	p.mu.Unlock()
+	conn, err := net.Dial("tcp", p.addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", p.addr, err)
+	}
+	return &pooledConn{
+		conn: conn,
+		r:    bufio.NewReaderSize(conn, 256<<10),
+		w:    bufio.NewWriterSize(conn, 256<<10),
+	}, nil
+}
+
+func (p *connPool) put(pc *pooledConn) {
+	p.mu.Lock()
+	if len(p.free) < 16 {
+		p.free = append(p.free, pc)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	pc.conn.Close()
+}
+
+func (p *connPool) closeAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, pc := range p.free {
+		pc.conn.Close()
+	}
+	p.free = nil
+}
+
+func (p *connPool) call(msg *wire.Msg) (*wire.Resp, error) {
+	pc, err := p.get()
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFrame(pc.w, &frame{Msg: msg}); err != nil {
+		pc.conn.Close()
+		return nil, err
+	}
+	f, err := readFrame(pc.r)
+	if err != nil {
+		pc.conn.Close()
+		return nil, err
+	}
+	p.put(pc)
+	if f.Resp == nil {
+		return nil, errors.New("transport: response frame missing body")
+	}
+	return f.Resp, nil
+}

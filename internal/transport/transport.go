@@ -1,0 +1,136 @@
+// Package transport delivers wire.Msg RPCs between cluster nodes.
+//
+// Two implementations share one interface:
+//
+//   - Inproc: all nodes live in one process; calls are direct function
+//     dispatch priced by a netsim.Network. This is what the benchmark
+//     harness uses — deterministic, fast, and fully accounted.
+//   - TCP: real sockets with length-prefixed gob frames, used by
+//     cmd/ecfsd to run an actual distributed cluster.
+//
+// A Handler processes one message and returns a response; the response's
+// Cost field carries the modeled synchronous latency of the remote work
+// so callers can extend their own latency path.
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// Handler processes one inbound message. Implementations must be safe
+// for concurrent use.
+type Handler func(msg *wire.Msg) *wire.Resp
+
+// RPC sends messages to nodes.
+type RPC interface {
+	// Call delivers msg to node `to` and returns its response. The
+	// response Cost includes remote compute and (on simulated
+	// transports) the network transfer cost both ways.
+	Call(to wire.NodeID, msg *wire.Msg) (*wire.Resp, error)
+}
+
+// Registrar accepts handler registrations for nodes.
+type Registrar interface {
+	Register(id wire.NodeID, h Handler)
+}
+
+// Inproc is the in-process transport. It is both an RPC (from any node)
+// and a Registrar. Message payloads are passed by reference; handlers
+// must not retain or mutate request buffers beyond the call, mirroring
+// the copy semantics a real network imposes.
+type Inproc struct {
+	net *netsim.Network
+
+	mu       sync.RWMutex
+	handlers map[wire.NodeID]Handler
+	nics     map[wire.NodeID]*netsim.NIC
+}
+
+// NewInproc creates an in-process transport priced by net. net may be
+// nil, in which case calls are free (useful in unit tests).
+func NewInproc(net *netsim.Network) *Inproc {
+	return &Inproc{
+		net:      net,
+		handlers: make(map[wire.NodeID]Handler),
+		nics:     make(map[wire.NodeID]*netsim.NIC),
+	}
+}
+
+// Register installs the handler for a node and provisions its NIC.
+func (t *Inproc) Register(id wire.NodeID, h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handlers[id] = h
+	if t.net != nil && t.nics[id] == nil {
+		t.nics[id] = t.net.AddNIC(fmt.Sprintf("node%d", id))
+	}
+}
+
+// Deregister removes a node (used to simulate node failure).
+func (t *Inproc) Deregister(id wire.NodeID) {
+	t.mu.Lock()
+	delete(t.handlers, id)
+	t.mu.Unlock()
+}
+
+// ensureNIC provisions a NIC for nodes that only ever send (clients).
+func (t *Inproc) ensureNIC(id wire.NodeID) *netsim.NIC {
+	if t.net == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.nics[id] == nil {
+		t.nics[id] = t.net.AddNIC(fmt.Sprintf("node%d", id))
+	}
+	return t.nics[id]
+}
+
+// Caller returns an RPC bound to a source node, so network costs are
+// charged to the right NIC.
+func (t *Inproc) Caller(from wire.NodeID) RPC {
+	return &inprocCaller{t: t, from: from}
+}
+
+type inprocCaller struct {
+	t    *Inproc
+	from wire.NodeID
+}
+
+// ErrNodeDown is returned when the destination has no handler (failed or
+// never registered).
+type ErrNodeDown struct{ Node wire.NodeID }
+
+func (e ErrNodeDown) Error() string { return fmt.Sprintf("transport: node %d down", e.Node) }
+
+func (c *inprocCaller) Call(to wire.NodeID, msg *wire.Msg) (*wire.Resp, error) {
+	t := c.t
+	t.mu.RLock()
+	h := t.handlers[to]
+	dstNIC := t.nics[to]
+	t.mu.RUnlock()
+	if h == nil {
+		return nil, ErrNodeDown{Node: to}
+	}
+	msg.From = c.from
+	var cost time.Duration
+	if t.net != nil {
+		src := t.ensureNIC(c.from)
+		cost = t.net.Transfer(src, dstNIC, msg.WireSize())
+	}
+	resp := h(msg)
+	if resp == nil {
+		resp = &wire.Resp{}
+	}
+	if t.net != nil {
+		dst := t.ensureNIC(c.from)
+		cost += t.net.Transfer(dstNIC, dst, resp.WireSize())
+	}
+	resp.Cost += cost
+	return resp, nil
+}

@@ -1,0 +1,58 @@
+package update
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+)
+
+// Delta compression is the paper's §7 future-work item: "we explored the
+// integration of compression mechanisms into the update process to
+// alleviate network traffic congestion. ... The log content remains in
+// each layer for approximately 1 to 5 seconds. This duration is adequate
+// to facilitate the compression and decompression processes."
+//
+// When Config.CompressDeltas is set, TSUE compresses data deltas before
+// forwarding them to the DeltaLog layer and merged parity deltas before
+// forwarding to the ParityLogs, and receivers decompress before
+// indexing. Compression is skipped when it does not shrink the payload
+// (deltas of incompressible data), flagged per message.
+
+// deltaCompressFlag marks a compressed payload in Msg.Flag (bitwise,
+// composed with the role bits used by KDeltaLogAdd).
+const deltaCompressFlag = 0x80
+
+// compressDelta deflates data; ok is false (and data returned verbatim)
+// when compression would not help.
+func compressDelta(data []byte) ([]byte, bool) {
+	if len(data) < 64 {
+		return data, false // framing overhead dominates
+	}
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return data, false
+	}
+	if _, err := w.Write(data); err != nil {
+		return data, false
+	}
+	if err := w.Close(); err != nil {
+		return data, false
+	}
+	if buf.Len() >= len(data) {
+		return data, false
+	}
+	return buf.Bytes(), true
+}
+
+// decompressDelta inflates a payload produced by compressDelta.
+func decompressDelta(data []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(data))
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("update: delta decompression: %w", err)
+	}
+	return out, nil
+}

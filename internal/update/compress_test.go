@@ -1,0 +1,62 @@
+package update
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompressRoundTrip(t *testing.T) {
+	payload := bytes.Repeat([]byte("three-layer log "), 100)
+	c, ok := compressDelta(payload)
+	if !ok {
+		t.Fatal("redundant payload should compress")
+	}
+	if len(c) >= len(payload) {
+		t.Fatalf("compressed %d >= original %d", len(c), len(payload))
+	}
+	got, err := decompressDelta(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestCompressSkipsSmallAndRandom(t *testing.T) {
+	small := []byte("tiny")
+	if _, ok := compressDelta(small); ok {
+		t.Fatal("sub-64B payloads must be skipped")
+	}
+	random := make([]byte, 4096)
+	rand.New(rand.NewSource(1)).Read(random)
+	out, ok := compressDelta(random)
+	if ok {
+		t.Fatal("incompressible payload must be skipped")
+	}
+	if !bytes.Equal(out, random) {
+		t.Fatal("skipped payload must be returned verbatim")
+	}
+}
+
+func TestCompressProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		c, ok := compressDelta(data)
+		if !ok {
+			return bytes.Equal(c, data)
+		}
+		got, err := decompressDelta(c)
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecompressGarbage(t *testing.T) {
+	if _, err := decompressDelta([]byte{0xff, 0x00, 0x12}); err == nil {
+		t.Fatal("garbage must not decompress")
+	}
+}

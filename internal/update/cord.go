@@ -1,0 +1,256 @@
+package update
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/erasure"
+	"repro/internal/gf256"
+	"repro/internal/logpool"
+	"repro/internal/wire"
+)
+
+// cord is CoRD [Zhou et al., SC'24]: a combination of RAID- and
+// delta-based updating whose goal is minimal update traffic. The data OSD
+// computes the data delta with an in-place read-modify-write and sends it
+// once to the stripe's *collector* (the OSD hosting the first parity
+// block). The collector aggregates deltas from all data blocks of the
+// stripe in a buffer log, merges same-address deltas across blocks
+// (Equation 5), and forwards the much smaller merged parity deltas to
+// each parity OSD's log. The collector's single fixed-size buffer log
+// takes no concurrency into account — recycling it stalls appends, the
+// bottleneck the paper observes.
+type cord struct {
+	cfg     Config
+	env     Env
+	stripes *stripeTable
+
+	// collector buffer log: XOR-folding per source data block, single
+	// pool, single unit — the serialization point.
+	collector *logpool.Pool
+	collRec   *collectorRecycler
+
+	// parity log of merged deltas for parity blocks hosted here;
+	// deferred recycle like PL.
+	parityLog *logpool.Pool
+	parityRec *logpool.Recycler
+}
+
+func newCoRD(cfg Config, env Env) (*cord, error) {
+	c := &cord{cfg: cfg, env: env, stripes: newStripeTable()}
+	coll, err := logpool.NewPool(logpool.Config{
+		Name:     fmt.Sprintf("cord-coll/osd%d", env.ID()),
+		Mode:     logpool.XorFold,
+		UnitSize: cfg.CollectorUnitSize,
+		MaxUnits: 1, // fixed-size single buffer: append and recycle exclude
+		Device:   env.Dev(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.collector = coll
+	plog, err := logpool.NewPool(logpool.Config{
+		Name:     fmt.Sprintf("cord-parity/osd%d", env.ID()),
+		Mode:     logpool.NoMerge,
+		UnitSize: cfg.RecycleThreshold,
+		MaxUnits: 2,
+		Device:   env.Dev(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.parityLog = plog
+	c.collRec = startCollectorRecycler(c)
+	c.parityRec = logpool.StartRecycler(plog, cfg.Workers, c.recycleParity)
+	return c, nil
+}
+
+func (c *cord) Name() string { return "cord" }
+
+func (c *cord) Update(msg *wire.Msg) (time.Duration, error) {
+	store := c.env.Store()
+	b := msg.Block
+	unlock := store.Lock(b, c.cfg.BlockSize)
+	old, rc, err := store.ReadRangeNoLock(b, msg.Off, len(msg.Data), true)
+	if err != nil {
+		unlock()
+		return 0, err
+	}
+	wc, err := store.WriteRangeNoLock(b, msg.Off, msg.Data, true)
+	unlock()
+	if err != nil {
+		return 0, err
+	}
+	delta := xorBytes(old, msg.Data)
+
+	// One hop: the delta goes to the stripe collector only.
+	k := int(msg.K)
+	collectorNode := msg.Loc.Nodes[k] // first parity OSD
+	resp, err := c.env.Call(collectorNode, &wire.Msg{
+		Kind: wire.KCordCollect, Block: b, Off: msg.Off, Data: delta,
+		Idx: b.Idx, K: msg.K, M: msg.M, Loc: msg.Loc, V: msg.V,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := resp.Error(); err != nil {
+		return 0, err
+	}
+	return rc + wc + resp.Cost, nil
+}
+
+func (c *cord) Handle(msg *wire.Msg) *wire.Resp {
+	switch msg.Kind {
+	case wire.KCordCollect:
+		c.stripes.remember(msg)
+		cost := c.collector.Append(msg.Block, msg.Off, msg.Data, time.Duration(msg.V))
+		return okResp(cost)
+	case wire.KParityLogAdd:
+		c.stripes.remember(msg)
+		cost := c.parityLog.Append(msg.Block, msg.Off, msg.Data, time.Duration(msg.V))
+		return okResp(cost)
+	default:
+		return errResp(fmt.Errorf("cord: unexpected message %v", msg.Kind))
+	}
+}
+
+// collectorRecycler drains collector units stripe-by-stripe, merging the
+// per-block deltas into per-parity deltas (Eq. 5) before forwarding.
+type collectorRecycler struct {
+	c    *cord
+	done chan struct{}
+}
+
+func startCollectorRecycler(c *cord) *collectorRecycler {
+	r := &collectorRecycler{c: c, done: make(chan struct{})}
+	go r.loop()
+	return r
+}
+
+func (r *collectorRecycler) loop() {
+	defer close(r.done)
+	for {
+		u := r.c.collector.TakeRecyclable(true)
+		if u == nil {
+			return
+		}
+		cost, wall, extents, bytes := r.recycleUnit(u)
+		var entries int64 // per-unit appended records not exposed; extents suffice
+		r.c.collector.FinishRecycle(u, cost, wall, entries, extents, bytes)
+	}
+}
+
+func (r *collectorRecycler) recycleUnit(u *logpool.Unit) (cost, wall time.Duration, extents, bytes int64) {
+	c := r.c
+	// Group per-source-block extents by stripe for Eq. 5 merging.
+	type stripeWork struct {
+		si     stripeInfo
+		blocks map[int][]logpool.Extent // data idx -> extents
+		anyB   wire.BlockID
+	}
+	work := make(map[stripeKey]*stripeWork)
+	for _, be := range u.Blocks() {
+		extents += int64(len(be.Extents))
+		for _, e := range be.Extents {
+			bytes += int64(len(e.Data))
+		}
+		si, ok := c.stripes.get(be.Block)
+		if !ok {
+			continue
+		}
+		k := keyOf(be.Block)
+		sw := work[k]
+		if sw == nil {
+			sw = &stripeWork{si: si, blocks: make(map[int][]logpool.Extent), anyB: be.Block}
+			work[k] = sw
+		}
+		sw.blocks[int(be.Block.Idx)] = be.Extents
+	}
+	for _, sw := range work {
+		code, err := c.env.Code(sw.si.K, sw.si.M)
+		if err != nil {
+			continue
+		}
+		for j := 0; j < sw.si.M; j++ {
+			// Eq. 5: fold coeff-scaled deltas of all blocks into one
+			// per-parity delta index; adjacency concatenates.
+			merged := logpool.NewIndex(logpool.XorFold)
+			for src, exts := range sw.blocks {
+				coeff := code.Coeff(j, src)
+				for _, e := range exts {
+					scaled := make([]byte, len(e.Data))
+					gf256.MulSlice(coeff, scaled, e.Data)
+					merged.Insert(e.Off, scaled, e.V)
+				}
+			}
+			target := sw.si.parityNode(j)
+			pb := parityBlock(sw.anyB, sw.si.K, j)
+			for _, e := range merged.Extents() {
+				resp, err := c.env.Call(target, &wire.Msg{
+					Kind: wire.KParityLogAdd, Block: pb, Off: e.Off, Data: e.Data,
+					Idx: 0, K: uint8(sw.si.K), M: uint8(sw.si.M), Loc: sw.si.Loc, V: int64(e.V),
+				})
+				if err == nil && resp.OK() {
+					cost += resp.Cost
+					if resp.Cost > wall {
+						wall = resp.Cost
+					}
+				}
+			}
+		}
+	}
+	// A single-threaded collector: wall time is the full cost.
+	wall = cost
+	return cost, wall, extents, bytes
+}
+
+// recycleParity folds merged parity deltas into the parity block (random
+// read-modify-write per logged extent, after a random log re-read).
+func (c *cord) recycleParity(be logpool.BlockExtents, sealV time.Duration) time.Duration {
+	store := c.env.Store()
+	dev := c.env.Dev()
+	var cost time.Duration
+	unlock := store.Lock(be.Block, c.cfg.BlockSize)
+	defer unlock()
+	for _, e := range be.Extents {
+		cost += dev.Read(int64(len(e.Data))+32, true)
+		old, rc, err := store.ReadRangeNoLock(be.Block, e.Off, len(e.Data), true)
+		if err != nil {
+			continue
+		}
+		erasure.ApplyParityDelta(old, e.Data)
+		wc, err := store.WriteRangeNoLock(be.Block, e.Off, old, true)
+		if err != nil {
+			continue
+		}
+		cost += rc + wc
+	}
+	return cost
+}
+
+func (c *cord) Read(b wire.BlockID, off uint32, size int) ([]byte, time.Duration, error) {
+	return c.env.Store().ReadRange(b, off, size, true)
+}
+
+func (c *cord) Drain(phase int, dead []wire.NodeID) error {
+	switch phase {
+	case 2:
+		c.collector.Drain(0)
+	case 3:
+		c.parityLog.Drain(0)
+	}
+	return nil
+}
+
+func (c *cord) Close() {
+	c.collector.Close()
+	c.parityLog.Close()
+	<-c.collRec.done
+	c.parityRec.Wait()
+}
+
+// Settle waits for the collector's sealed units to recycle.
+func (c *cord) Settle() {
+	c.collector.WaitIdle()
+	c.parityLog.WaitIdle()
+}

@@ -1,0 +1,50 @@
+package update
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ExtentRec is one (offset, bytes) pair shipped over the wire during
+// replica replay at recovery time.
+type ExtentRec struct {
+	Off  uint32
+	Data []byte
+}
+
+// EncodeExtents packs extent records into a flat payload:
+// repeated [off u32][len u32][bytes].
+func EncodeExtents(exts []ExtentRec) []byte {
+	n := 0
+	for _, e := range exts {
+		n += 8 + len(e.Data)
+	}
+	out := make([]byte, 0, n)
+	var hdr [8]byte
+	for _, e := range exts {
+		binary.LittleEndian.PutUint32(hdr[0:], e.Off)
+		binary.LittleEndian.PutUint32(hdr[4:], uint32(len(e.Data)))
+		out = append(out, hdr[:]...)
+		out = append(out, e.Data...)
+	}
+	return out
+}
+
+// DecodeExtents unpacks a payload produced by EncodeExtents.
+func DecodeExtents(b []byte) ([]ExtentRec, error) {
+	var out []ExtentRec
+	for len(b) > 0 {
+		if len(b) < 8 {
+			return nil, fmt.Errorf("update: truncated extent header")
+		}
+		off := binary.LittleEndian.Uint32(b[0:])
+		n := binary.LittleEndian.Uint32(b[4:])
+		b = b[8:]
+		if uint32(len(b)) < n {
+			return nil, fmt.Errorf("update: truncated extent body")
+		}
+		out = append(out, ExtentRec{Off: off, Data: append([]byte(nil), b[:n]...)})
+		b = b[n:]
+	}
+	return out, nil
+}

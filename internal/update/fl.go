@@ -1,0 +1,133 @@
+package update
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/logpool"
+	"repro/internal/wire"
+)
+
+// fl is Full Logging (paper §2.2, as used by GFS/Azure-style systems):
+// updates append to a single large data-side log and the whole update
+// path is deferred. The log merges with old data only when it fills (or
+// recovery demands it); reads must overlay the log, and the single log
+// structure makes appending and recycling mutually exclusive — the
+// drawbacks the paper lists. FL is described in §2.2 but not charted; it
+// is included for completeness.
+type fl struct {
+	cfg      Config
+	env      Env
+	stripes  *stripeTable
+	dataLog  *logpool.Pool
+	recycler *logpool.Recycler
+}
+
+func newFL(cfg Config, env Env) (*fl, error) {
+	f := &fl{cfg: cfg, env: env, stripes: newStripeTable()}
+	pool, err := logpool.NewPool(logpool.Config{
+		Name:     fmt.Sprintf("fl/osd%d", env.ID()),
+		Mode:     logpool.NoMerge, // FL exploits no locality
+		UnitSize: cfg.RecycleThreshold,
+		MaxUnits: 1, // a single log: append and recycle exclude each other
+		Device:   env.Dev(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	f.dataLog = pool
+	f.recycler = logpool.StartRecycler(pool, 1, f.recycleData)
+	return f, nil
+}
+
+func (f *fl) Name() string { return "fl" }
+
+func (f *fl) Update(msg *wire.Msg) (time.Duration, error) {
+	f.stripes.remember(msg)
+	cost := f.dataLog.Append(msg.Block, msg.Off, msg.Data, time.Duration(msg.V))
+	return cost, nil
+}
+
+// recycleData merges logged records into the data block and pushes the
+// resulting deltas straight into in-place parity updates (FL keeps no
+// parity log of its own in this formulation).
+func (f *fl) recycleData(be logpool.BlockExtents, sealV time.Duration) time.Duration {
+	si, ok := f.stripes.get(be.Block)
+	if !ok {
+		return 0
+	}
+	store := f.env.Store()
+	var cost time.Duration
+	for _, e := range be.Extents {
+		unlock := store.Lock(be.Block, f.cfg.BlockSize)
+		old, rc, err := store.ReadRangeNoLock(be.Block, e.Off, len(e.Data), true)
+		if err != nil {
+			unlock()
+			continue
+		}
+		wc, err := store.WriteRangeNoLock(be.Block, e.Off, e.Data, true)
+		unlock()
+		if err != nil {
+			continue
+		}
+		cost += rc + wc
+		delta := xorBytes(old, e.Data)
+		targets := si.Loc.Nodes[si.K : si.K+si.M]
+		fanCost, err := fanout(f.env, targets, func(to wire.NodeID) *wire.Msg {
+			j := indexOfNode(si.Loc.Nodes[si.K:], to)
+			return &wire.Msg{
+				Kind:  wire.KParityDelta,
+				Block: parityBlock(be.Block, si.K, j),
+				Off:   e.Off,
+				Data:  delta,
+				Idx:   be.Block.Idx,
+				K:     uint8(si.K),
+				M:     uint8(si.M),
+				V:     int64(sealV),
+			}
+		})
+		if err == nil {
+			cost += fanCost
+		}
+	}
+	return cost
+}
+
+func (f *fl) Handle(msg *wire.Msg) *wire.Resp {
+	switch msg.Kind {
+	case wire.KParityDelta:
+		cost, err := applyParityDeltaInPlace(f.env, f.cfg, msg)
+		if err != nil {
+			return errResp(err)
+		}
+		return okResp(cost)
+	default:
+		return errResp(fmt.Errorf("fl: unexpected message %v", msg.Kind))
+	}
+}
+
+func (f *fl) Read(b wire.BlockID, off uint32, size int) ([]byte, time.Duration, error) {
+	// The log must merge with the old data on reads (FL's read penalty):
+	// base read plus overlay of all pending records.
+	data, cost, err := f.env.Store().ReadRange(b, off, size, true)
+	if err != nil {
+		return nil, 0, err
+	}
+	f.dataLog.Overlay(b, off, data)
+	return data, cost, nil
+}
+
+func (f *fl) Drain(phase int, dead []wire.NodeID) error {
+	if phase == 1 {
+		f.dataLog.Drain(0)
+	}
+	return nil
+}
+
+func (f *fl) Close() {
+	f.dataLog.Close()
+	f.recycler.Wait()
+}
+
+// Settle waits for any sealed data-log units to recycle.
+func (f *fl) Settle() { f.dataLog.WaitIdle() }

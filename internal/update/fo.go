@@ -1,0 +1,121 @@
+package update
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/erasure"
+	"repro/internal/wire"
+)
+
+// fo is the Full-Overwrite baseline [Aguilera et al., DSN'05]: in-place
+// updates of the data block AND every parity block, all on the
+// synchronous path. Every access is small-grained and random; the update
+// path is the longest of all methods (paper Fig. 1).
+type fo struct {
+	cfg Config
+	env Env
+}
+
+func newFO(cfg Config, env Env) *fo { return &fo{cfg: cfg, env: env} }
+
+func (f *fo) Name() string { return "fo" }
+
+func (f *fo) Update(msg *wire.Msg) (time.Duration, error) {
+	store := f.env.Store()
+	b := msg.Block
+	unlock := store.Lock(b, f.cfg.BlockSize)
+	old, rc, err := store.ReadRangeNoLock(b, msg.Off, len(msg.Data), true)
+	if err != nil {
+		unlock()
+		return 0, err
+	}
+	wc, err := store.WriteRangeNoLock(b, msg.Off, msg.Data, true)
+	unlock()
+	if err != nil {
+		return 0, err
+	}
+	delta := xorBytes(old, msg.Data)
+	lat := rc + wc
+
+	// In-place parity updates at every parity OSD, synchronously.
+	k, m := int(msg.K), int(msg.M)
+	targets := msg.Loc.Nodes[k : k+m]
+	src := msg.Block.Idx
+	fanCost, err := fanout(f.env, targets, func(to wire.NodeID) *wire.Msg {
+		j := indexOfNode(msg.Loc.Nodes[k:], to)
+		return &wire.Msg{
+			Kind:  wire.KParityDelta,
+			Block: parityBlock(b, k, j),
+			Off:   msg.Off,
+			Data:  delta,
+			Idx:   src,
+			K:     msg.K,
+			M:     msg.M,
+			V:     msg.V,
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return lat + fanCost, nil
+}
+
+// indexOfNode returns the position of `to` in nodes; stripes place every
+// block of a stripe on a distinct node, so the match is unique.
+func indexOfNode(nodes []wire.NodeID, to wire.NodeID) int {
+	for i, n := range nodes {
+		if n == to {
+			return i
+		}
+	}
+	return 0
+}
+
+func (f *fo) Handle(msg *wire.Msg) *wire.Resp {
+	switch msg.Kind {
+	case wire.KParityDelta:
+		cost, err := applyParityDeltaInPlace(f.env, f.cfg, msg)
+		if err != nil {
+			return errResp(err)
+		}
+		return okResp(cost)
+	default:
+		return errResp(fmt.Errorf("fo: unexpected message %v", msg.Kind))
+	}
+}
+
+// applyParityDeltaInPlace is the in-place parity read-modify-write shared
+// by FO and FL: newParity = oldParity + coeff * dataDelta (Eq. 2).
+func applyParityDeltaInPlace(env Env, cfg Config, msg *wire.Msg) (time.Duration, error) {
+	code, err := env.Code(int(msg.K), int(msg.M))
+	if err != nil {
+		return 0, err
+	}
+	j := int(msg.Block.Idx) - int(msg.K)
+	if j < 0 || j >= int(msg.M) {
+		return 0, fmt.Errorf("parity delta for non-parity block %v", msg.Block)
+	}
+	pd := code.ParityDelta(j, int(msg.Idx), msg.Data)
+	store := env.Store()
+	unlock := store.Lock(msg.Block, cfg.BlockSize)
+	defer unlock()
+	old, rc, err := store.ReadRangeNoLock(msg.Block, msg.Off, len(pd), true)
+	if err != nil {
+		return 0, err
+	}
+	erasure.ApplyParityDelta(old, pd)
+	wc, err := store.WriteRangeNoLock(msg.Block, msg.Off, old, true)
+	if err != nil {
+		return 0, err
+	}
+	return rc + wc, nil
+}
+
+func (f *fo) Read(b wire.BlockID, off uint32, size int) ([]byte, time.Duration, error) {
+	return f.env.Store().ReadRange(b, off, size, true)
+}
+
+func (f *fo) Drain(phase int, dead []wire.NodeID) error { return nil }
+
+func (f *fo) Close() {}

@@ -1,0 +1,170 @@
+package update
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/erasure"
+	"repro/internal/logpool"
+	"repro/internal/wire"
+)
+
+// pl is Parity Logging [Stodolsky et al., ISCA'93]: data blocks update in
+// place (a random read-modify-write to compute the data delta); the
+// resulting parity deltas are appended sequentially to a per-parity-OSD
+// parity log. Log recycling is deferred until the log reaches a capacity
+// threshold (or recovery forces it), and replays the raw, unmerged log
+// with random access — the recycle inefficiency the paper calls out.
+type pl struct {
+	cfg     Config
+	env     Env
+	stripes *stripeTable
+	// parityLog holds incoming parity deltas for parity blocks this OSD
+	// hosts. NoMerge: PL exploits no locality.
+	parityLog *logpool.Pool
+	recycler  *logpool.Recycler
+}
+
+func newPL(cfg Config, env Env) (*pl, error) {
+	p := &pl{cfg: cfg, env: env, stripes: newStripeTable()}
+	pool, err := logpool.NewPool(logpool.Config{
+		Name:     fmt.Sprintf("pl/osd%d", env.ID()),
+		Mode:     logpool.NoMerge,
+		UnitSize: cfg.RecycleThreshold,
+		MaxUnits: 2,
+		Device:   env.Dev(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	p.parityLog = pool
+	p.recycler = logpool.StartRecycler(pool, cfg.Workers, p.recycleParity)
+	return p, nil
+}
+
+func (p *pl) Name() string { return "pl" }
+
+func (p *pl) Update(msg *wire.Msg) (time.Duration, error) {
+	// In-place data-block read-modify-write (the expensive
+	// write-after-read the paper highlights).
+	store := p.env.Store()
+	b := msg.Block
+	unlock := store.Lock(b, p.cfg.BlockSize)
+	old, rc, err := store.ReadRangeNoLock(b, msg.Off, len(msg.Data), true)
+	if err != nil {
+		unlock()
+		return 0, err
+	}
+	wc, err := store.WriteRangeNoLock(b, msg.Off, msg.Data, true)
+	unlock()
+	if err != nil {
+		return 0, err
+	}
+	delta := xorBytes(old, msg.Data)
+
+	// Forward the data delta to every parity OSD's parity log.
+	k, m := int(msg.K), int(msg.M)
+	targets := msg.Loc.Nodes[k : k+m]
+	fanCost, err := fanout(p.env, targets, func(to wire.NodeID) *wire.Msg {
+		j := indexOfNode(msg.Loc.Nodes[k:], to)
+		return &wire.Msg{
+			Kind:  wire.KParityLogAdd,
+			Block: parityBlock(b, k, j),
+			Off:   msg.Off,
+			Data:  delta,
+			Idx:   msg.Block.Idx,
+			K:     msg.K,
+			M:     msg.M,
+			Loc:   msg.Loc,
+			V:     msg.V,
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	return rc + wc + fanCost, nil
+}
+
+func (p *pl) Handle(msg *wire.Msg) *wire.Resp {
+	switch msg.Kind {
+	case wire.KParityLogAdd:
+		p.stripes.remember(msg)
+		// Sequential append of the delta record; the source data index
+		// rides in the first payload byte position via a tiny header so
+		// recycle can recover the coefficient.
+		rec := encodeDeltaRecord(msg.Idx, msg.Data)
+		cost := p.parityLog.Append(msg.Block, msg.Off, rec, time.Duration(msg.V))
+		return okResp(cost)
+	default:
+		return errResp(fmt.Errorf("pl: unexpected message %v", msg.Kind))
+	}
+}
+
+// Delta records carry their source data-block index so the recycler can
+// pick the right encoding coefficient. The byte layout is [src][delta...];
+// NoMerge mode never splices records, so the prefix survives intact.
+func encodeDeltaRecord(src uint8, delta []byte) []byte {
+	rec := make([]byte, 1+len(delta))
+	rec[0] = src
+	copy(rec[1:], delta)
+	return rec
+}
+
+func decodeDeltaRecord(rec []byte) (uint8, []byte) { return rec[0], rec[1:] }
+
+// recycleParity replays the raw log for one parity block: each record is
+// re-read from the on-disk log (random), converted to a parity delta and
+// folded into the parity block with a random read-modify-write.
+func (p *pl) recycleParity(be logpool.BlockExtents, sealV time.Duration) time.Duration {
+	si, ok := p.stripes.get(be.Block)
+	if !ok {
+		return 0
+	}
+	code, err := p.env.Code(si.K, si.M)
+	if err != nil {
+		return 0
+	}
+	j := int(be.Block.Idx) - si.K
+	store := p.env.Store()
+	dev := p.env.Dev()
+	var cost time.Duration
+	unlock := store.Lock(be.Block, p.cfg.BlockSize)
+	defer unlock()
+	for _, e := range be.Extents {
+		src, delta := decodeDeltaRecord(e.Data)
+		// Random re-read of the log record from disk.
+		cost += dev.Read(int64(len(e.Data))+32, true)
+		pd := code.ParityDelta(j, int(src), delta)
+		old, rc, err := store.ReadRangeNoLock(be.Block, e.Off, len(pd), true)
+		if err != nil {
+			continue
+		}
+		erasure.ApplyParityDelta(old, pd)
+		wc, err := store.WriteRangeNoLock(be.Block, e.Off, old, true)
+		if err != nil {
+			continue
+		}
+		cost += rc + wc
+	}
+	return cost
+}
+
+func (p *pl) Read(b wire.BlockID, off uint32, size int) ([]byte, time.Duration, error) {
+	// Data blocks are updated in place; no log on the read path.
+	return p.env.Store().ReadRange(b, off, size, true)
+}
+
+func (p *pl) Drain(phase int, dead []wire.NodeID) error {
+	if phase == 3 {
+		p.parityLog.Drain(0)
+	}
+	return nil
+}
+
+func (p *pl) Close() {
+	p.parityLog.Close()
+	p.recycler.Wait()
+}
+
+// Settle waits for any sealed parity-log units to recycle.
+func (p *pl) Settle() { p.parityLog.WaitIdle() }

@@ -1,0 +1,319 @@
+// Package update implements the erasure-code update strategies the paper
+// evaluates — FO, FL, PL, PLR, PARIX, CoRD, and TSUE itself — behind one
+// Strategy interface, inside the same file system, exactly as the paper's
+// methodology demands for a fair comparison (§5).
+//
+// Each OSD owns one Strategy instance. The strategy receives client
+// updates for data blocks the OSD hosts, exchanges strategy-internal
+// messages with peer OSDs (delta forwards, log replicas, parity-log
+// appends), and answers reads with read-your-writes semantics over any
+// logs it keeps. Every byte it moves is priced through the device and
+// network models, so workload tables fall out of real execution.
+package update
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/blockstore"
+	"repro/internal/device"
+	"repro/internal/erasure"
+	"repro/internal/wire"
+)
+
+// Env is the OSD-side environment a strategy runs in.
+type Env interface {
+	// ID is this OSD's node id.
+	ID() wire.NodeID
+	// Store is the OSD's block container (device-priced).
+	Store() *blockstore.Store
+	// Dev is the OSD's storage device model (for log persistence).
+	Dev() *device.Device
+	// Call performs a synchronous RPC to a peer node.
+	Call(to wire.NodeID, msg *wire.Msg) (*wire.Resp, error)
+	// Code returns the (cached) RS code for the given geometry.
+	Code(k, m int) (*erasure.Code, error)
+}
+
+// DrainPhases is the number of ordered cluster-wide drain rounds needed
+// to flush any strategy completely (TSUE: DataLog, DeltaLog, ParityLog).
+const DrainPhases = 3
+
+// Strategy is one update method instance, bound to one OSD.
+type Strategy interface {
+	// Name returns the method name ("tsue", "pl", ...).
+	Name() string
+	// Update processes a client update to a data block hosted here and
+	// returns the synchronous-path latency (what the client perceives).
+	Update(msg *wire.Msg) (time.Duration, error)
+	// Handle processes a strategy-internal message from a peer OSD.
+	Handle(msg *wire.Msg) *wire.Resp
+	// Read returns block bytes honoring any pending logs, with the
+	// modeled read latency (zero on a log-cache hit).
+	Read(b wire.BlockID, off uint32, size int) ([]byte, time.Duration, error)
+	// Drain flushes asynchronous state. It is called cluster-wide for
+	// phases 1..DrainPhases in order; dead lists failed nodes so
+	// replica/copy logs can be promoted.
+	Drain(phase int, dead []wire.NodeID) error
+	// Close stops background workers.
+	Close()
+}
+
+// Config carries the tunables shared by the strategies.
+type Config struct {
+	// BlockSize is the stripe block size in bytes.
+	BlockSize int
+
+	// Log pool geometry (TSUE; also reused by FL/PL/CoRD logs).
+	UnitSize int64 // log unit capacity (paper: 16 MiB)
+	MaxUnits int   // units per pool (paper default 4; Fig. 6b sweeps it)
+	Pools    int   // log pools per device (paper: 4; Fig. 7 O4)
+	Workers  int   // recycle threads per pool
+
+	// TSUE feature gates for the Fig. 7 breakdown.
+	DataLogLocality   bool // O1: spatio-temporal merging in the data log
+	ParityLogLocality bool // O2: merging in the parity log
+	UseLogPool        bool // O3: FIFO multi-unit pool vs one small unit
+	UseDeltaLog       bool // O5: the intermediate DeltaLog layer
+	// DataLogReplicas is the number of extra DataLog copies (1 on the
+	// SSD cluster = 2 copies total; 2 on HDD = 3 copies, Fig. 2 note).
+	DataLogReplicas int
+	// CompressDeltas enables the paper's §7 future-work extension:
+	// deflate data deltas and merged parity deltas before forwarding
+	// them between log layers, trading buffered-residence CPU time for
+	// network traffic.
+	CompressDeltas bool
+
+	// Baseline knobs.
+	RecycleThreshold  int64 // PL/FL/PARIX deferred-recycle threshold
+	ReservedSpace     int64 // PLR per-block reserved log space
+	CollectorUnitSize int64 // CoRD single buffer log size
+}
+
+// DefaultConfig returns the paper's SSD-cluster configuration.
+func DefaultConfig() Config {
+	return Config{
+		BlockSize:         1 << 20,
+		UnitSize:          16 << 20,
+		MaxUnits:          4,
+		Pools:             4,
+		Workers:           4,
+		DataLogLocality:   true,
+		ParityLogLocality: true,
+		UseLogPool:        true,
+		UseDeltaLog:       true,
+		DataLogReplicas:   1,
+		RecycleThreshold:  64 << 20,
+		ReservedSpace:     64 << 10,
+		CollectorUnitSize: 4 << 20,
+	}
+}
+
+// Known method names, in the paper's comparison order.
+var Methods = []string{"fo", "pl", "plr", "parix", "cord", "tsue"}
+
+// AllMethods includes FL (§2.2), which the paper describes but does not
+// chart.
+var AllMethods = []string{"fo", "fl", "pl", "plr", "parix", "cord", "tsue"}
+
+// New constructs the named strategy bound to env.
+func New(name string, cfg Config, env Env) (Strategy, error) {
+	if cfg.BlockSize <= 0 {
+		return nil, fmt.Errorf("update: non-positive block size")
+	}
+	switch name {
+	case "fo":
+		return newFO(cfg, env), nil
+	case "fl":
+		return newFL(cfg, env)
+	case "pl":
+		return newPL(cfg, env)
+	case "plr":
+		return newPLR(cfg, env), nil
+	case "parix":
+		return newPARIX(cfg, env), nil
+	case "cord":
+		return newCoRD(cfg, env)
+	case "tsue":
+		return newTSUE(cfg, env)
+	default:
+		return nil, fmt.Errorf("update: unknown method %q", name)
+	}
+}
+
+// ---- shared helpers ----
+
+// stripeKey identifies a stripe across blocks.
+type stripeKey struct {
+	Ino    uint64
+	Stripe uint32
+}
+
+func keyOf(b wire.BlockID) stripeKey { return stripeKey{Ino: b.Ino, Stripe: b.Stripe} }
+
+// stripeInfo caches the placement/geometry carried on update messages so
+// asynchronous recycle paths can route deltas.
+type stripeInfo struct {
+	K, M int
+	Loc  wire.StripeLoc
+}
+
+type stripeTable struct {
+	mu sync.RWMutex
+	m  map[stripeKey]stripeInfo
+}
+
+func newStripeTable() *stripeTable { return &stripeTable{m: make(map[stripeKey]stripeInfo)} }
+
+func (t *stripeTable) remember(msg *wire.Msg) {
+	if len(msg.Loc.Nodes) == 0 {
+		return
+	}
+	k := keyOf(msg.Block)
+	t.mu.Lock()
+	if _, ok := t.m[k]; !ok {
+		loc := wire.StripeLoc{Nodes: append([]wire.NodeID(nil), msg.Loc.Nodes...)}
+		t.m[k] = stripeInfo{K: int(msg.K), M: int(msg.M), Loc: loc}
+	}
+	t.mu.Unlock()
+}
+
+func (t *stripeTable) get(b wire.BlockID) (stripeInfo, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	si, ok := t.m[keyOf(b)]
+	return si, ok
+}
+
+// parityNode returns the node hosting parity block j (0-based) of the
+// stripe described by si.
+func (si stripeInfo) parityNode(j int) wire.NodeID { return si.Loc.Nodes[si.K+j] }
+
+// parityBlock returns the BlockID of parity j for a block in the stripe.
+func parityBlock(b wire.BlockID, k, j int) wire.BlockID { return b.WithIdx(uint8(k + j)) }
+
+// fanout issues one call per target concurrently and returns the largest
+// response cost — the latency of parallel synchronous hops — plus the
+// first error encountered.
+func fanout(env Env, targets []wire.NodeID, mk func(to wire.NodeID) *wire.Msg) (time.Duration, error) {
+	switch len(targets) {
+	case 0:
+		return 0, nil
+	case 1:
+		resp, err := env.Call(targets[0], mk(targets[0]))
+		if err != nil {
+			return 0, err
+		}
+		if err := resp.Error(); err != nil {
+			return 0, err
+		}
+		return resp.Cost, nil
+	}
+	type result struct {
+		cost time.Duration
+		err  error
+	}
+	results := make(chan result, len(targets))
+	for _, to := range targets {
+		go func(to wire.NodeID) {
+			resp, err := env.Call(to, mk(to))
+			if err != nil {
+				results <- result{0, err}
+				return
+			}
+			results <- result{resp.Cost, resp.Error()}
+		}(to)
+	}
+	var (
+		maxCost time.Duration
+		firstE  error
+	)
+	for range targets {
+		r := <-results
+		if r.err != nil && firstE == nil {
+			firstE = r.err
+		}
+		if r.cost > maxCost {
+			maxCost = r.cost
+		}
+	}
+	return maxCost, firstE
+}
+
+// xorBytes returns a^b element-wise into a fresh slice.
+func xorBytes(a, b []byte) []byte {
+	if len(a) != len(b) {
+		panic("update: xorBytes length mismatch")
+	}
+	out := make([]byte, len(a))
+	for i := range a {
+		out[i] = a[i] ^ b[i]
+	}
+	return out
+}
+
+// errResp wraps an error into a response.
+func errResp(err error) *wire.Resp { return &wire.Resp{Err: err.Error()} }
+
+// okResp builds a success response with a cost.
+func okResp(cost time.Duration) *wire.Resp { return &wire.Resp{Cost: cost} }
+
+// intervalSet tracks covered byte ranges of a block (PARIX speculative
+// state). Not safe for concurrent use; callers hold their own lock.
+type intervalSet struct {
+	ivs []ival // sorted, disjoint, non-adjacent
+}
+
+type ival struct{ lo, hi uint32 } // [lo, hi)
+
+// addGaps merges [lo, hi) into the set and returns the previously
+// uncovered sub-ranges.
+func (s *intervalSet) addGaps(lo, hi uint32) []ival {
+	if hi <= lo {
+		return nil
+	}
+	var gaps []ival
+	cur := lo
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].hi >= lo })
+	j := i
+	newLo, newHi := lo, hi
+	for ; j < len(s.ivs) && s.ivs[j].lo <= hi; j++ {
+		iv := s.ivs[j]
+		if cur < iv.lo {
+			gaps = append(gaps, ival{cur, minU32i(iv.lo, hi)})
+		}
+		if iv.hi > cur {
+			cur = iv.hi
+		}
+		if iv.lo < newLo {
+			newLo = iv.lo
+		}
+		if iv.hi > newHi {
+			newHi = iv.hi
+		}
+	}
+	if cur < hi {
+		gaps = append(gaps, ival{cur, hi})
+	}
+	merged := append(s.ivs[:i:i], ival{newLo, newHi})
+	s.ivs = append(merged, s.ivs[j:]...)
+	return gaps
+}
+
+// covered reports whether [lo, hi) is fully covered.
+func (s *intervalSet) covered(lo, hi uint32) bool {
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].hi >= hi })
+	if i >= len(s.ivs) {
+		return false
+	}
+	return s.ivs[i].lo <= lo
+}
+
+func minU32i(a, b uint32) uint32 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,153 @@
+// Package wire defines the RPC message vocabulary of ECFS: the requests
+// clients send to the metadata server and OSDs, and the inter-OSD
+// messages the update strategies exchange (delta forwards, log replicas,
+// parity-log appends). The same messages travel over both transports —
+// in-process (with simulated network pricing) and real TCP (gob-encoded,
+// length-prefixed).
+package wire
+
+import (
+	"fmt"
+	"time"
+)
+
+// NodeID identifies a node in the cluster. The MDS is node 0; OSDs are
+// 1..N; clients use ephemeral IDs >= ClientIDBase.
+type NodeID int32
+
+// ClientIDBase is the first NodeID used for clients.
+const ClientIDBase NodeID = 1 << 16
+
+// MDSNode is the well-known NodeID of the metadata server.
+const MDSNode NodeID = 0
+
+// BlockID names one block of one stripe of one file. Idx is the position
+// inside the stripe: 0..K-1 are data blocks, K..K+M-1 are parity blocks.
+type BlockID struct {
+	Ino    uint64
+	Stripe uint32
+	Idx    uint8
+}
+
+func (b BlockID) String() string {
+	return fmt.Sprintf("ino%d/s%d/b%d", b.Ino, b.Stripe, b.Idx)
+}
+
+// WithIdx returns the BlockID of another position in the same stripe.
+func (b BlockID) WithIdx(idx uint8) BlockID {
+	b.Idx = idx
+	return b
+}
+
+// StripeLoc is the placement of one stripe: Nodes[i] hosts block Idx i.
+type StripeLoc struct {
+	Nodes []NodeID // length K+M
+}
+
+// Kind enumerates message types.
+type Kind uint8
+
+// Message kinds. Client-facing first, then strategy-internal.
+const (
+	KInvalid Kind = iota
+
+	// Client -> OSD.
+	KWriteBlock // full-block write of a freshly encoded stripe member
+	KUpdate     // partial update of a data block (the paper's subject)
+	KRead       // read a byte range of a block
+
+	// MDS RPCs.
+	KMDSCreate    // create a file, returns ino
+	KMDSLookup    // resolve (ino, stripe) -> StripeLoc
+	KMDSHeartbeat // OSD liveness report
+	KMDSStat      // file size / stripe count
+
+	// Strategy-internal, OSD -> OSD.
+	KParityDelta    // apply or log a parity delta at a parity OSD
+	KParityLogAdd   // TSUE/PL: append a parity delta to the parity log
+	KDeltaLogAdd    // TSUE: append a data delta to a DeltaLog
+	KDataLogReplica // TSUE: replicate a DataLog append
+	KParixLogAdd    // PARIX: append new (and optionally old) data
+	KCordCollect    // CoRD: send a data delta to the stripe collector
+	KBlockFetch     // fetch a whole block (recovery / reconstruction)
+	KBlockStore     // store a rebuilt block
+	KDrainLogs      // force strategy logs to be recycled (pre-recovery)
+	KReplicaFetch   // fetch replicated log extents for a block (recovery)
+	KPing           // liveness / latency probe
+)
+
+var kindNames = map[Kind]string{
+	KInvalid: "invalid", KWriteBlock: "write-block", KUpdate: "update",
+	KRead: "read", KMDSCreate: "mds-create", KMDSLookup: "mds-lookup",
+	KMDSHeartbeat: "mds-heartbeat", KMDSStat: "mds-stat",
+	KParityDelta: "parity-delta", KParityLogAdd: "parity-log-add",
+	KDeltaLogAdd: "delta-log-add", KDataLogReplica: "data-log-replica",
+	KParixLogAdd: "parix-log-add", KCordCollect: "cord-collect",
+	KBlockFetch: "block-fetch", KBlockStore: "block-store",
+	KDrainLogs: "drain-logs", KReplicaFetch: "replica-fetch", KPing: "ping",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Msg is the single envelope for every request. Fields are a union; each
+// Kind documents which fields it uses. A flat struct keeps gob encoding
+// simple and the in-process fast path allocation-light.
+type Msg struct {
+	Kind  Kind
+	From  NodeID
+	Block BlockID
+	Off   uint32
+	Size  uint32
+	Data  []byte
+	Data2 []byte // secondary payload (e.g. PARIX old data)
+	Idx   uint8  // data-block index a delta originates from
+	K, M  uint8  // stripe geometry
+	Loc   StripeLoc
+	Seq   uint64 // per-source sequence number for ordered appends
+	Name  string // file name for MDS ops
+	Flag  uint8  // kind-specific flag (e.g. PARIX first-update)
+	// V is the virtual workload time (nanoseconds since replay start) at
+	// which this request was issued. The timing model uses it for log
+	// residence statistics and stall accounting.
+	V int64
+}
+
+// WireSize approximates the bytes this message occupies on the network,
+// used by the simulated transport for pricing. Header fields are counted
+// at a fixed 64 bytes, close to the gob framing overhead.
+func (m *Msg) WireSize() int64 {
+	return 64 + int64(len(m.Data)) + int64(len(m.Data2)) + 4*int64(len(m.Loc.Nodes)) + int64(len(m.Name))
+}
+
+// Resp is the reply to a Msg.
+type Resp struct {
+	Err  string
+	Data []byte
+	Ino  uint64
+	Loc  StripeLoc
+	Val  int64
+	// Cost is the modeled synchronous latency the remote side (plus the
+	// network, on the simulated transport) contributed to this call.
+	Cost time.Duration
+}
+
+// WireSize approximates the reply's size on the network.
+func (r *Resp) WireSize() int64 {
+	return 48 + int64(len(r.Data)) + int64(len(r.Err)) + 4*int64(len(r.Loc.Nodes))
+}
+
+// OK reports whether the response carries no error.
+func (r *Resp) OK() bool { return r.Err == "" }
+
+// Error converts a non-empty Err field into an error value.
+func (r *Resp) Error() error {
+	if r.Err == "" {
+		return nil
+	}
+	return fmt.Errorf("remote: %s", r.Err)
+}

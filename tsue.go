@@ -1,0 +1,141 @@
+// Package tsue is the public API of this TSUE reproduction: a two-stage
+// data update method for an erasure-coded cluster file system (Wei et
+// al., HPDC '25), together with the full ECFS substrate it runs in, the
+// five baseline update methods the paper compares against, the synthetic
+// cloud/MSR trace workloads, and the benchmark harness that regenerates
+// every table and figure of the paper's evaluation.
+//
+// Quick start:
+//
+//	cluster := tsue.MustNewCluster(tsue.DefaultOptions())
+//	defer cluster.Close()
+//	client := cluster.NewClient()
+//	ino, _ := client.Create("volume0")
+//	client.WriteFile(ino, data)             // striped + encoded
+//	client.Update(ino, off, newBytes, 0)    // two-stage TSUE update
+//	got, _, _ := client.Read(ino, off, n)   // read-your-writes
+//
+// Everything is deterministic and in-process: devices and the network
+// are priced by models (see internal/device, internal/netsim) while
+// block contents, logs and parity are real and verified. A real TCP
+// deployment of the same nodes is available via cmd/ecfsd.
+package tsue
+
+import (
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/ecfs"
+	"repro/internal/trace"
+	"repro/internal/update"
+)
+
+// Cluster is an assembled in-process ECFS deployment.
+type Cluster = ecfs.Cluster
+
+// Options configures a cluster.
+type Options = ecfs.Options
+
+// Client is the POSIX-facing access component.
+type Client = ecfs.Client
+
+// StrategyConfig carries update-method tunables.
+type StrategyConfig = update.Config
+
+// Trace is a replayable block workload.
+type Trace = trace.Trace
+
+// Replayer drives traces against a cluster.
+type Replayer = trace.Replayer
+
+// Scale sizes a benchmark experiment.
+type Scale = bench.Scale
+
+// Report is a rendered experiment result.
+type Report = bench.Report
+
+// Methods lists the update methods of the paper's comparison, in order.
+var Methods = update.Methods
+
+// AllMethods additionally includes FL (§2.2 of the paper).
+var AllMethods = update.AllMethods
+
+// DefaultOptions mirrors the paper's SSD testbed: 16 OSDs, 25 Gb/s
+// Ethernet, RS(6,4), TSUE.
+func DefaultOptions() Options { return ecfs.DefaultOptions() }
+
+// DefaultStrategyConfig returns the paper's TSUE configuration (16 MiB
+// units, 4 units per pool, 4 pools per SSD, DeltaLog enabled).
+func DefaultStrategyConfig() StrategyConfig { return update.DefaultConfig() }
+
+// NewCluster builds and wires a cluster.
+func NewCluster(opts Options) (*Cluster, error) { return ecfs.NewCluster(opts) }
+
+// MustNewCluster panics on configuration errors.
+func MustNewCluster(opts Options) *Cluster { return ecfs.MustNewCluster(opts) }
+
+// NewReplayer builds a trace replayer with the given concurrent client
+// population.
+func NewReplayer(c *Cluster, clients int) *Replayer { return trace.NewReplayer(c, clients) }
+
+// AliCloudTrace generates a synthetic trace matching the Ali-Cloud block
+// trace statistics the paper cites (75% updates, 46% 4 KiB).
+func AliCloudTrace(fileSize int64, ops int, seed int64) *Trace {
+	return trace.AliCloud(fileSize, ops, seed)
+}
+
+// TenCloudTrace generates a synthetic trace matching the Tencent CBS
+// statistics (69% updates, 69% 4 KiB, strong locality).
+func TenCloudTrace(fileSize int64, ops int, seed int64) *Trace {
+	return trace.TenCloud(fileSize, ops, seed)
+}
+
+// MSRTrace generates a synthetic MSR Cambridge volume trace; ok is false
+// for unknown volume names (see MSRVolumes).
+func MSRTrace(volume string, fileSize int64, ops int, seed int64) (*Trace, bool) {
+	return trace.MSR(volume, fileSize, ops, seed)
+}
+
+// MSRVolumes lists the seven MSR volumes of the paper's Fig. 8.
+var MSRVolumes = trace.MSRVolumes
+
+// QuickScale sizes experiments for CI; PaperScale approaches the paper's
+// workloads.
+func QuickScale() Scale { return bench.Quick() }
+
+// PaperScale returns the larger experiment scale.
+func PaperScale() Scale { return bench.Paper() }
+
+// Experiments lists the reproducible experiment ids in the paper's
+// order: fig5, fig6a, fig6b, fig7, table1, table2, fig8a, fig8b.
+var Experiments = bench.Order
+
+// RunExperiment regenerates one of the paper's tables/figures, or one of
+// the extension experiments ("latency", "compression").
+func RunExperiment(id string, s Scale) (*Report, error) {
+	if fn, ok := bench.Experiments[id]; ok {
+		return fn(s)
+	}
+	if fn, ok := bench.Extensions[id]; ok {
+		return fn(s)
+	}
+	return nil, errUnknownExperiment(id)
+}
+
+// RunAll regenerates every table and figure, writing each report to w.
+func RunAll(s Scale, w io.Writer) error {
+	for _, id := range bench.Order {
+		rep, err := RunExperiment(id, s)
+		if err != nil {
+			return err
+		}
+		rep.Fprint(w)
+	}
+	return nil
+}
+
+type errUnknownExperiment string
+
+func (e errUnknownExperiment) Error() string {
+	return "tsue: unknown experiment " + string(e) + " (want one of fig5, fig6a, fig6b, fig7, table1, table2, fig8a, fig8b)"
+}

@@ -1,0 +1,102 @@
+package tsue_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	tsue "repro"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	opts := tsue.DefaultOptions()
+	opts.BlockSize = 16 << 10
+	cluster := tsue.MustNewCluster(opts)
+	defer cluster.Close()
+
+	cli := cluster.NewClient()
+	ino, err := cli.Create("api-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, cli.StripeSpan())
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if _, err := cli.WriteFile(ino, data); err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("public api update")
+	if _, err := cli.Update(ino, 100, payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	copy(data[100:], payload)
+	got, _, err := cli.Read(ino, 100, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("read = %q", got)
+	}
+	if err := cluster.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.VerifyStripes(ino, data); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := cluster.Scrub(); err != nil || n == 0 {
+		t.Fatalf("scrub: %d, %v", n, err)
+	}
+}
+
+func TestPublicTraces(t *testing.T) {
+	if tr := tsue.AliCloudTrace(1<<24, 100, 1); len(tr.Ops) != 100 {
+		t.Fatal("ali trace wrong")
+	}
+	if tr := tsue.TenCloudTrace(1<<24, 100, 1); len(tr.Ops) != 100 {
+		t.Fatal("ten trace wrong")
+	}
+	if _, ok := tsue.MSRTrace("src10", 1<<24, 10, 1); !ok {
+		t.Fatal("src10 should exist")
+	}
+	if _, ok := tsue.MSRTrace("bogus", 1<<24, 10, 1); ok {
+		t.Fatal("bogus volume should not exist")
+	}
+	if len(tsue.MSRVolumes) != 7 {
+		t.Fatal("want 7 MSR volumes")
+	}
+}
+
+func TestRunExperimentUnknown(t *testing.T) {
+	if _, err := tsue.RunExperiment("fig99", tsue.QuickScale()); err == nil {
+		t.Fatal("unknown experiment must fail")
+	}
+}
+
+func TestRunExperimentExtension(t *testing.T) {
+	s := tsue.QuickScale()
+	s.Ops = 400
+	s.FileSize = 2 << 20
+	rep, err := tsue.RunExperiment("latency", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "latency" || len(rep.Rows) != 6 {
+		t.Fatalf("latency report wrong: %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "tsue") {
+		t.Fatal("report must include tsue row")
+	}
+}
+
+func TestExperimentList(t *testing.T) {
+	if len(tsue.Experiments) != 8 {
+		t.Fatalf("experiments = %v", tsue.Experiments)
+	}
+	if len(tsue.Methods) != 6 || len(tsue.AllMethods) != 7 {
+		t.Fatal("method lists wrong")
+	}
+	if tsue.PaperScale().Ops <= tsue.QuickScale().Ops {
+		t.Fatal("paper scale should exceed quick scale")
+	}
+}
