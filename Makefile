@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: verify build vet test race bench example-recovery
+
+verify: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run xxx ./...
+
+example-recovery:
+	$(GO) run ./examples/recovery

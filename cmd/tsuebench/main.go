@@ -5,6 +5,8 @@
 //	tsuebench                         # all experiments at quick scale
 //	tsuebench -exp fig5 -scale paper  # one experiment, paper scale
 //	tsuebench -exp table1 -ops 20000 -osds 16
+//	tsuebench -exp recovery -recovery-workers 1,4,16
+//	tsuebench -exp recovery-multi     # fail, recover, fail another, recover
 package main
 
 import (
@@ -19,12 +21,13 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (fig5, fig6a, fig6b, fig7, table1, table2, fig8a, fig8b) or 'all'")
-		scale   = flag.String("scale", "quick", "experiment scale: quick | paper")
-		ops     = flag.Int("ops", 0, "override trace operation count")
-		osds    = flag.Int("osds", 0, "override OSD count")
-		seed    = flag.Int64("seed", 0, "override workload seed")
-		clients = flag.String("clients", "", "override client sweep, e.g. 4,16,64")
+		exp      = flag.String("exp", "all", "experiment id (fig5, fig6a, fig6b, fig7, table1, table2, fig8a, fig8b), an extension (latency, compression, recovery, recovery-multi), or 'all'")
+		scale    = flag.String("scale", "quick", "experiment scale: quick | paper")
+		ops      = flag.Int("ops", 0, "override trace operation count")
+		osds     = flag.Int("osds", 0, "override OSD count")
+		seed     = flag.Int64("seed", 0, "override workload seed")
+		clients  = flag.String("clients", "", "override client sweep, e.g. 4,16,64")
+		rworkers = flag.String("recovery-workers", "", "override the recovery experiment's worker sweep, e.g. 1,4,16")
 	)
 	flag.Parse()
 
@@ -48,16 +51,10 @@ func main() {
 		s.Seed = *seed
 	}
 	if *clients != "" {
-		var cs []int
-		for _, f := range strings.Split(*clients, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(f))
-			if err != nil || n < 1 {
-				fmt.Fprintf(os.Stderr, "tsuebench: bad -clients %q\n", *clients)
-				os.Exit(2)
-			}
-			cs = append(cs, n)
-		}
-		s.Clients = cs
+		s.Clients = parseIntList("clients", *clients)
+	}
+	if *rworkers != "" {
+		s.RecoveryWorkers = parseIntList("recovery-workers", *rworkers)
 	}
 
 	lookup := func(id string) (func(bench.Scale) (*bench.Report, error), bool) {
@@ -70,7 +67,7 @@ func main() {
 	ids := bench.Order
 	if *exp != "all" {
 		if _, ok := lookup(*exp); !ok {
-			fmt.Fprintf(os.Stderr, "tsuebench: unknown experiment %q (want %s, latency, compression, or all)\n", *exp, strings.Join(bench.Order, ", "))
+			fmt.Fprintf(os.Stderr, "tsuebench: unknown experiment %q (want %s, latency, compression, recovery, recovery-multi, or all)\n", *exp, strings.Join(bench.Order, ", "))
 			os.Exit(2)
 		}
 		ids = []string{*exp}
@@ -84,4 +81,18 @@ func main() {
 		}
 		rep.Fprint(os.Stdout)
 	}
+}
+
+// parseIntList parses a comma-separated list of positive ints or exits.
+func parseIntList(flagName, v string) []int {
+	var out []int
+	for _, f := range strings.Split(v, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "tsuebench: bad -%s %q\n", flagName, v)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
 }

@@ -1,9 +1,11 @@
 // Recovery: exercise the failure path of the paper's §4.2. A client
 // updates a TSUE volume; one OSD is killed while updates are still
-// buffered in its DataLog; recovery reconstructs the lost blocks from
-// stripe survivors AND replays the dead node's replica log so that no
-// acknowledged update is lost. The recovered cluster is then verified
-// byte-for-byte against an in-memory mirror.
+// buffered in its DataLog; the parallel rebuild engine reconstructs the
+// lost blocks from stripe survivors AND replays the dead node's replica
+// log so that no acknowledged update is lost. The scenario then
+// continues multi-failure: more updates land, a second OSD dies, and it
+// too is rebuilt. The cluster is verified byte-for-byte against an
+// in-memory mirror after each round.
 package main
 
 import (
@@ -11,16 +13,17 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
-	"time"
 
 	tsue "repro"
 
 	"repro/internal/ecfs"
+	"repro/internal/wire"
 )
 
 func main() {
 	opts := tsue.DefaultOptions()
 	opts.BlockSize = 64 << 10
+	opts.RecoveryWorkers = 8
 	cfg := tsue.DefaultStrategyConfig()
 	cfg.UnitSize = 16 << 20 // large units: nothing recycles before the crash
 	opts.Strategy = &cfg
@@ -40,54 +43,59 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Updates that will still be sitting in DataLogs when the node dies.
-	for i := 0; i < 200; i++ {
-		off := int64(rng.Intn(fileSize - 256))
-		data := make([]byte, 1+rng.Intn(256))
-		rng.Read(data)
-		if _, err := client.Update(ino, off, data, 0); err != nil {
+	update := func(n int) {
+		for i := 0; i < n; i++ {
+			off := int64(rng.Intn(fileSize - 256))
+			data := make([]byte, 1+rng.Intn(256))
+			rng.Read(data)
+			if _, err := client.Update(ino, off, data, 0); err != nil {
+				log.Fatal(err)
+			}
+			copy(mirror[off:], data)
+		}
+		fmt.Printf("%d updates acknowledged; none recycled yet (units not full)\n", n)
+	}
+	verify := func() {
+		got, _, err := client.Read(ino, 0, fileSize)
+		if err != nil {
 			log.Fatal(err)
 		}
-		copy(mirror[off:], data)
+		if !bytes.Equal(got, mirror) {
+			log.Fatal("data lost: post-recovery content does not match the mirror")
+		}
+		fmt.Println("post-recovery read matches the mirror: no acknowledged update was lost")
 	}
-	fmt.Println("200 updates acknowledged; none recycled yet (units not full)")
+	// failAndRecover kills an OSD, rebuilds its blocks with the parallel
+	// engine (8 workers, concurrent shard fetches, fetch-error fallback),
+	// and reinstates the replacement under the same node id.
+	failAndRecover := func(victim wire.NodeID) {
+		cluster.FailOSD(victim)
+		fmt.Printf("OSD %d failed — its DataLog content is lost with it\n", victim)
+		repl, err := ecfs.NewOSD(victim, opts.Device, cluster.Tr.Caller(victim), "tsue", cfg, opts.Kind)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := cluster.Recover(victim, repl)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("recovered %d blocks (%d KiB) with %d workers at %.1f MB/s; %d KiB of pending updates replayed from replica logs\n",
+			res.Blocks, res.Bytes>>10, res.Workers, res.Bandwidth/1e6, res.ReplayedBytes>>10)
+		cluster.Reinstate(repl)
+	}
 
-	// Kill an OSD holding data blocks of stripe 0.
+	// Round 1: updates buffered, first OSD dies.
+	update(200)
 	loc, err := cluster.MDS.Lookup(ino, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	victim := loc.Nodes[0]
-	cluster.FailOSD(victim)
-	fmt.Printf("OSD %d failed — its DataLog content is lost with it\n", victim)
+	failAndRecover(loc.Nodes[0])
+	verify()
 
-	// Build a replacement under the same node id and recover.
-	repl, err := ecfs.NewOSD(victim, opts.Device, cluster.Tr.Caller(victim), "tsue", cfg, opts.Kind)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer repl.Close()
-	res, err := cluster.Recover(victim, repl)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("recovered %d blocks (%d KiB) at %.1f MB/s; %d KiB of pending updates replayed from replica logs\n",
-		res.Blocks, res.Bytes>>10, res.Bandwidth/1e6, res.ReplayedBytes>>10)
-
-	// Re-register the replacement and verify every byte.
-	cluster.Tr.Register(victim, repl.Handler)
-	for i, o := range cluster.OSDs {
-		if o.ID() == victim {
-			cluster.OSDs[i] = repl
-		}
-	}
-	cluster.MDS.Heartbeat(victim, time.Now())
-	got, _, err := client.Read(ino, 0, fileSize)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if !bytes.Equal(got, mirror) {
-		log.Fatal("data lost: post-recovery content does not match the mirror")
-	}
-	fmt.Println("post-recovery read matches the mirror: no acknowledged update was lost")
+	// Round 2 (multi-failure): more updates land, then a different OSD —
+	// one holding a parity block of stripe 0 — dies as well.
+	update(200)
+	failAndRecover(loc.Nodes[len(loc.Nodes)-1])
+	verify()
 }

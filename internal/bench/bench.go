@@ -25,6 +25,7 @@ import (
 	"repro/internal/erasure"
 	"repro/internal/logpool"
 	"repro/internal/netsim"
+	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/update"
 )
@@ -44,6 +45,9 @@ type Scale struct {
 	Pools     int
 	Workers   int
 	Seed      int64
+	// RecoveryWorkers is the rebuild-parallelism sweep of the recovery
+	// experiment; empty selects the default {1, 2, 4, 8}.
+	RecoveryWorkers []int
 }
 
 // Quick returns a scale small enough for tests and CI.
@@ -235,39 +239,18 @@ func settleCluster(c *ecfs.Cluster) {
 
 // snapshotBusy records every resource's busy time.
 func snapshotBusy(c *ecfs.Cluster) []time.Duration {
-	rs := c.Resources()
-	out := make([]time.Duration, len(rs))
-	for i, r := range rs {
-		out[i] = r.Busy()
-	}
-	return out
+	return sim.SnapshotBusy(c.Resources())
 }
 
 // maxBusyDelta returns the largest per-resource busy increase since the
 // snapshot. Resources provisioned after the snapshot (new client NICs)
 // count in full.
 func maxBusyDelta(c *ecfs.Cluster, before []time.Duration) time.Duration {
-	var m time.Duration
-	for i, r := range c.Resources() {
-		var base time.Duration
-		if i < len(before) {
-			base = before[i]
-		}
-		if d := r.Busy() - base; d > m {
-			m = d
-		}
-	}
-	return m
+	return sim.MaxBusyDelta(c.Resources(), before)
 }
 
 func maxBusyOf(c *ecfs.Cluster) time.Duration {
-	var m time.Duration
-	for _, r := range c.Resources() {
-		if b := r.Busy(); b > m {
-			m = b
-		}
-	}
-	return m
+	return sim.MaxBusyDelta(c.Resources(), nil)
 }
 
 // iops derives throughput for a client count from the stored bottleneck:

@@ -213,6 +213,52 @@ func TestFig8bShape(t *testing.T) {
 	}
 }
 
+func TestRecoveryWorkersReduceTime(t *testing.T) {
+	s := tinyScale()
+	s.Ops = 600
+	s.RecoveryWorkers = []int{1, 8}
+	rep, err := Recovery(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + rep.String())
+	timeAt := func(method string, workers string) float64 {
+		v, ok := getCell(rep, func(row []string) bool { return row[0] == method && row[1] == workers }, 5)
+		if !ok {
+			t.Fatalf("missing row %s/w=%s", method, workers)
+		}
+		return v
+	}
+	for _, method := range recoveryMethods {
+		seq, par := timeAt(method, "1"), timeAt(method, "8")
+		if par > seq {
+			t.Errorf("%s: 8 workers (%vms) slower than 1 (%vms)", method, par, seq)
+		}
+		if seq <= 0 {
+			t.Errorf("%s: no recovery time measured", method)
+		}
+	}
+}
+
+func TestRecoveryMultiScrubsClean(t *testing.T) {
+	s := tinyScale()
+	s.Ops = 600
+	rep, err := RecoveryMulti(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + rep.String())
+	if len(rep.Rows) != 2 {
+		t.Fatalf("expected 2 recovery rounds, got %d", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		blocks, _ := strconv.ParseFloat(row[2], 64)
+		if blocks <= 0 {
+			t.Errorf("round %s recovered no blocks", row[0])
+		}
+	}
+}
+
 func TestExperimentRegistry(t *testing.T) {
 	if len(Experiments) != len(Order) {
 		t.Fatalf("registry size %d != order %d", len(Experiments), len(Order))

@@ -130,6 +130,8 @@ func fmtUS(d time.Duration) string {
 // Extensions maps extension-experiment ids (beyond the paper's charts) to
 // their generators.
 var Extensions = map[string]func(Scale) (*Report, error){
-	"latency":     Latency,
-	"compression": Compression,
+	"latency":        Latency,
+	"compression":    Compression,
+	"recovery":       Recovery,
+	"recovery-multi": RecoveryMulti,
 }

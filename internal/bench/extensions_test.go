@@ -46,7 +46,12 @@ func TestExtensionRegistry(t *testing.T) {
 			t.Fatalf("extension %s nil", id)
 		}
 	}
-	if len(Extensions) != 2 {
+	for _, id := range []string{"latency", "compression", "recovery", "recovery-multi"} {
+		if Extensions[id] == nil {
+			t.Fatalf("extension %s missing", id)
+		}
+	}
+	if len(Extensions) != 4 {
 		t.Fatalf("extensions = %d", len(Extensions))
 	}
 	_ = strconv.Itoa

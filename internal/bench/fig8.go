@@ -82,54 +82,19 @@ func Fig8b(s Scale) (*Report, error) {
 }
 
 // recoveryRun replays a volume's updates, fails one OSD, and measures
-// the recovery bandwidth (bytes rebuilt / bottleneck time including the
-// forced log drain).
+// the recovery bandwidth (bytes rebuilt / recovery makespan including
+// the forced log drain).
 func recoveryRun(method, vol string, s Scale) (float64, error) {
 	tr, err := makeTrace(vol, s)
 	if err != nil {
 		return 0, err
 	}
-	rc := runConfig{Method: method, K: 6, M: 4, Trace: tr, Scale: s, HDD: true, Mutate: hddTune(s)}
-	opts := rc.clusterOptions()
-	c, err := ecfs.NewCluster(opts)
+	lc, err := loadCluster(runConfig{Method: method, K: 6, M: 4, Trace: tr, Scale: s, HDD: true, Mutate: hddTune(s)})
 	if err != nil {
 		return 0, err
 	}
-	defer c.Close()
-	rep := trace.NewReplayer(c, s.ReplayCli)
-	ino, err := rep.Prepare(tr.Name, tr.FileSize)
-	if err != nil {
-		return 0, err
-	}
-	if _, err := rep.Run(tr, ino); err != nil {
-		return 0, err
-	}
-	settleCluster(c)
-	// The workload has terminated (as in the paper's recovery test);
-	// real-time recycling clears its remaining buffers within its
-	// seconds-scale residence window before the failure is injected.
-	// Threshold-driven logs (PL/PLR/PARIX) stay pending. The drain is
-	// phase-ordered cluster-wide because one node's DataLog recycle
-	// feeds another node's DeltaLog.
-	if _, ok := c.OSDs[0].Strategy().(interface{ RealTimeFlush() error }); ok {
-		for phase := 1; phase <= update.DrainPhases; phase++ {
-			for _, o := range c.Alive() {
-				if err := o.Strategy().Drain(phase, nil); err != nil {
-					return 0, err
-				}
-			}
-		}
-	}
-
-	victim := c.OSDs[1]
-	c.FailOSD(victim.ID())
-	cfg := *opts.Strategy
-	repl, err := newReplacement(c, victim.ID(), method, cfg)
-	if err != nil {
-		return 0, err
-	}
-	defer repl.Close()
-	res, err := c.Recover(victim.ID(), repl)
+	defer lc.c.Close()
+	res, err := failAndRecover(lc.c, lc.opts, method, 1, lc.c.Opts.RecoveryWorkers)
 	if err != nil {
 		return 0, err
 	}

@@ -2,6 +2,7 @@ package ecfs
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/device"
@@ -22,6 +23,9 @@ type Options struct {
 	Device    device.Profile
 	Net       netsim.Profile
 	Kind      erasure.MatrixKind
+	// RecoveryWorkers is the number of stripes Recover rebuilds in
+	// parallel; <= 0 selects DefaultRecoveryWorkers.
+	RecoveryWorkers int
 	// Update strategy tunables; zero value uses update.DefaultConfig()
 	// with BlockSize applied.
 	Strategy *update.Config
@@ -39,6 +43,8 @@ func DefaultOptions() Options {
 		Device:    device.ChameleonSSD(),
 		Net:       netsim.Ethernet25G(),
 		Kind:      erasure.Vandermonde,
+
+		RecoveryWorkers: DefaultRecoveryWorkers,
 	}
 }
 
@@ -51,7 +57,9 @@ type Cluster struct {
 	OSDs    []*OSD
 	code    *erasure.Code
 	nextCli wire.NodeID
-	failed  map[wire.NodeID]bool
+
+	failMu sync.Mutex
+	failed map[wire.NodeID]bool
 }
 
 // NewCluster builds and wires a cluster.
@@ -133,12 +141,27 @@ func (c *Cluster) OSD(id wire.NodeID) *OSD {
 
 // Alive returns the OSDs that have not been failed.
 func (c *Cluster) Alive() []*OSD {
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
 	out := make([]*OSD, 0, len(c.OSDs))
 	for _, o := range c.OSDs {
 		if !c.failed[o.id] {
 			out = append(out, o)
 		}
 	}
+	return out
+}
+
+// deadSet snapshots the failed node set, with failed forced in (recovery
+// may start before FailOSD has been called for the victim).
+func (c *Cluster) deadSet(failed wire.NodeID) map[wire.NodeID]bool {
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
+	out := make(map[wire.NodeID]bool, len(c.failed)+1)
+	for id := range c.failed {
+		out[id] = true
+	}
+	out[failed] = true
 	return out
 }
 
@@ -164,173 +187,32 @@ func (c *Cluster) Flush() error {
 // FailOSD simulates a node failure: the OSD stops answering and the MDS
 // marks it dead. Its device and store contents are considered lost.
 func (c *Cluster) FailOSD(id wire.NodeID) {
+	c.failMu.Lock()
 	c.failed[id] = true
+	c.failMu.Unlock()
 	c.Tr.Deregister(id)
 	c.MDS.MarkDead(id)
 }
 
-// RecoveryResult summarizes a completed recovery.
-type RecoveryResult struct {
-	Blocks        int
-	Bytes         int64
-	ReplayedBytes int64         // pending updates replayed from replica logs
-	VirtualTime   time.Duration // bottleneck duration incl. the forced log drain
-	Bandwidth     float64       // bytes/second
-}
-
-// Recover rebuilds every block the failed node hosted onto the
-// replacement OSD (which must already be registered under a live node
-// id), using K surviving blocks per stripe. Logs are drained first —
-// exactly the consistency requirement of §2.3.2 — and the drain cost is
-// part of the measured recovery time, which is how pending logs depress
-// recovery bandwidth for the deferred-recycle baselines (Fig. 8b).
-func (c *Cluster) Recover(failed wire.NodeID, replacement *OSD) (*RecoveryResult, error) {
-	resources := c.resources()
-	before := make([]time.Duration, len(resources))
-	for i, r := range resources {
-		before[i] = r.Busy()
-	}
-
-	if err := c.Flush(); err != nil {
-		return nil, fmt.Errorf("ecfs: pre-recovery drain: %w", err)
-	}
-
-	refs := c.MDS.StripesOn(failed)
-	res := &RecoveryResult{}
-	caller := c.Tr.Caller(replacement.id)
-	for _, ref := range refs {
-		n := c.Opts.K + c.Opts.M
-		shards := make([][]byte, n)
-		have := 0
-		for idx := 0; idx < n && have < c.Opts.K; idx++ {
-			node := ref.Loc.Nodes[idx]
-			if node == failed || c.failed[node] {
-				continue
+// Reinstate returns a recovered replacement OSD to service under its
+// node id: the transport handler is re-registered, the OSD list entry
+// swapped (the failed instance's background workers are stopped), the
+// failure flag cleared, and a heartbeat reported to the MDS. The usual
+// sequence is FailOSD, NewOSD under the same id, Recover, Reinstate.
+func (c *Cluster) Reinstate(repl *OSD) {
+	c.Tr.Register(repl.id, repl.Handler)
+	for i, o := range c.OSDs {
+		if o.id == repl.id {
+			if o != repl {
+				o.Close()
 			}
-			b := wire.BlockID{Ino: ref.Ino, Stripe: ref.Stripe, Idx: uint8(idx)}
-			resp, err := caller.Call(node, &wire.Msg{Kind: wire.KBlockFetch, Block: b})
-			if err != nil {
-				return nil, err
-			}
-			if !resp.OK() {
-				continue // block never written on that node
-			}
-			shards[idx] = resp.Data
-			have++
-		}
-		if have < c.Opts.K {
-			// The stripe was never fully written; nothing to rebuild.
-			continue
-		}
-		if err := c.code.Reconstruct(shards); err != nil {
-			return nil, fmt.Errorf("ecfs: reconstruct %d/%d: %w", ref.Ino, ref.Stripe, err)
-		}
-		lost := wire.BlockID{Ino: ref.Ino, Stripe: ref.Stripe, Idx: ref.Idx}
-		data := shards[ref.Idx]
-		// A lost *data* block may have updates that were still buffered
-		// in the dead node's DataLog. Its replica log on the next
-		// OSD(s) of the stripe holds them (§4.2): replay on top of the
-		// reconstructed content and push the resulting parity deltas.
-		if int(ref.Idx) < c.Opts.K {
-			replayed, err := c.replayReplica(caller, ref, lost, data)
-			if err != nil {
-				return nil, err
-			}
-			res.ReplayedBytes += replayed
-		}
-		replacement.store.WriteFull(lost, data, true)
-		res.Blocks++
-		res.Bytes += int64(len(data))
-	}
-	// Replica replay appends parity deltas to surviving parity logs;
-	// drain them so parity is fully consistent before service resumes.
-	if res.ReplayedBytes > 0 {
-		if err := c.Flush(); err != nil {
-			return nil, fmt.Errorf("ecfs: post-replay drain: %w", err)
+			c.OSDs[i] = repl
 		}
 	}
-	// Recovery time is the busiest resource's *additional* busy time
-	// over the drain + fetch + rebuild window.
-	for i, r := range resources {
-		if d := r.Busy() - before[i]; d > res.VirtualTime {
-			res.VirtualTime = d
-		}
-	}
-	if res.VirtualTime > 0 {
-		res.Bandwidth = float64(res.Bytes) / res.VirtualTime.Seconds()
-	}
-	return res, nil
-}
-
-// replayReplica fetches the replica-log extents of a lost data block from
-// the stripe's replica holders, applies them to the reconstructed
-// content (in place), and forwards parity deltas for any bytes that
-// changed. Methods without replica logs answer with an error or an empty
-// payload and are skipped.
-func (c *Cluster) replayReplica(caller transport.RPC, ref StripeRef, lost wire.BlockID, data []byte) (int64, error) {
-	n := len(ref.Loc.Nodes)
-	reps := 1
-	if c.Opts.Strategy != nil && c.Opts.Strategy.DataLogReplicas > 0 {
-		reps = c.Opts.Strategy.DataLogReplicas
-	}
-	var recs []update.ExtentRec
-	for r := 1; r <= reps && r < n; r++ {
-		node := ref.Loc.Nodes[(int(ref.Idx)+r)%n]
-		if c.failed[node] {
-			continue
-		}
-		resp, err := caller.Call(node, &wire.Msg{Kind: wire.KReplicaFetch, Block: lost})
-		if err != nil || !resp.OK() || len(resp.Data) == 0 {
-			continue
-		}
-		recs, err = update.DecodeExtents(resp.Data)
-		if err != nil {
-			return 0, err
-		}
-		break
-	}
-	if len(recs) == 0 {
-		return 0, nil
-	}
-	var replayed int64
-	for _, rec := range recs {
-		end := int(rec.Off) + len(rec.Data)
-		if end > len(data) {
-			continue
-		}
-		delta := make([]byte, len(rec.Data))
-		changed := false
-		for i, b := range rec.Data {
-			delta[i] = data[int(rec.Off)+i] ^ b
-			if delta[i] != 0 {
-				changed = true
-			}
-		}
-		copy(data[rec.Off:], rec.Data)
-		if !changed {
-			continue // already recycled before the failure: idempotent
-		}
-		replayed += int64(len(rec.Data))
-		for j := 0; j < c.Opts.M; j++ {
-			pNode := ref.Loc.Nodes[c.Opts.K+j]
-			if c.failed[pNode] {
-				continue
-			}
-			pd := c.code.ParityDelta(j, int(ref.Idx), delta)
-			pb := wire.BlockID{Ino: ref.Ino, Stripe: ref.Stripe, Idx: uint8(c.Opts.K + j)}
-			resp, err := caller.Call(pNode, &wire.Msg{
-				Kind: wire.KParityLogAdd, Block: pb, Off: rec.Off, Data: pd,
-				K: uint8(c.Opts.K), M: uint8(c.Opts.M), Loc: ref.Loc,
-			})
-			if err != nil {
-				return replayed, err
-			}
-			if err := resp.Error(); err != nil {
-				return replayed, err
-			}
-		}
-	}
-	return replayed, nil
+	c.failMu.Lock()
+	delete(c.failed, repl.id)
+	c.failMu.Unlock()
+	c.MDS.Heartbeat(repl.id, time.Now())
 }
 
 // resources collects every accounted resource in the cluster.

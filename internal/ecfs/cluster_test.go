@@ -270,15 +270,9 @@ func TestRecoveryAfterUpdates(t *testing.T) {
 					t.Fatalf("block %v not recovered", id)
 				}
 			}
-			// Re-register the replacement under the victim's id: reads
+			// Reinstate the replacement under the victim's id: reads
 			// must match the mirror and stripes must verify end to end.
-			c.Tr.Register(victim.ID(), repl.Handler)
-			delete(c.failed, victim.ID())
-			for i, o := range c.OSDs {
-				if o.ID() == victim.ID() {
-					c.OSDs[i] = repl
-				}
-			}
+			c.Reinstate(repl)
 			got, _, err := cli.Read(ino, 0, fileSize)
 			if err != nil {
 				t.Fatal(err)
@@ -341,14 +335,7 @@ func TestTSUEDeltaCopyPromotion(t *testing.T) {
 	if _, err := c.Recover(parity1, repl); err != nil {
 		t.Fatal(err)
 	}
-	c.Tr.Register(parity1, repl.Handler)
-	delete(c.failed, parity1)
-	// Swap the replacement into the cluster OSD list for verification.
-	for i, o := range c.OSDs {
-		if o.ID() == parity1 {
-			c.OSDs[i] = repl
-		}
-	}
+	c.Reinstate(repl)
 	if err := c.VerifyStripes(ino, mirror); err != nil {
 		t.Fatal(err)
 	}

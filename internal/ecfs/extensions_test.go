@@ -204,14 +204,7 @@ func TestCrashRecoveryBattery(t *testing.T) {
 		if _, err := c.Recover(victim, repl); err != nil {
 			t.Fatalf("round %d recover: %v", round, err)
 		}
-		c.Tr.Register(victim, repl.Handler)
-		delete(c.failed, victim)
-		for i, o := range c.OSDs {
-			if o.ID() == victim {
-				o.Close()
-				c.OSDs[i] = repl
-			}
-		}
+		c.Reinstate(repl)
 		got, _, err := cli.Read(ino, 0, fileSize)
 		if err != nil {
 			t.Fatalf("round %d read: %v", round, err)

@@ -1,0 +1,390 @@
+package ecfs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/update"
+	"repro/internal/wire"
+)
+
+// DefaultRecoveryWorkers is the stripe-rebuild parallelism used when
+// Options.RecoveryWorkers is zero.
+const DefaultRecoveryWorkers = 4
+
+// StripeRecovery records the rebuild of one lost block.
+type StripeRecovery struct {
+	Ino         uint64
+	Stripe      uint32
+	Idx         uint8
+	Bytes       int
+	Replayed    int64         // replica-log bytes replayed onto this block
+	Fetch       time.Duration // slowest of the concurrent shard fetches
+	Replay      time.Duration // replica-log fetch + parity-delta forwarding
+	Write       time.Duration // store write on the replacement
+	Retries     int           // failed fetch attempts of any cause that fell back to another holder
+	Unreachable int           // failed fetch attempts where the holder did not answer at all
+	Skipped     bool          // fewer than K shards obtainable (never fully written)
+}
+
+// Time is the stripe's synchronous rebuild latency: the parallel fetch
+// fan-out completes at its slowest member, then replica replay and the
+// replacement write extend the path.
+func (s StripeRecovery) Time() time.Duration { return s.Fetch + s.Replay + s.Write }
+
+// RecoveryResult summarizes a completed recovery.
+type RecoveryResult struct {
+	Blocks        int
+	Bytes         int64
+	ReplayedBytes int64 // pending updates replayed from replica logs
+	Skipped       int   // stripes with fewer than K shards obtainable
+	// FetchErrors counts shard fetches that failed because the holder was
+	// unreachable (transport error). Absent-block replies — the normal
+	// state of a never-fully-written stripe — fall back too but are
+	// counted only in the per-stripe Retries.
+	FetchErrors int
+	Workers     int // stripe-rebuild parallelism used
+	DrainTime   time.Duration
+	// StripeTime sums the per-stripe rebuild latencies — the cost a
+	// single sequential walker would experience.
+	StripeTime time.Duration
+	// VirtualTime is the modeled recovery makespan: the forced log drain
+	// plus the rebuild window, where Workers stripes proceed in parallel
+	// but the window can never beat the busiest resource
+	// (operational-law bound, as in sim.Throughput).
+	VirtualTime time.Duration
+	Bandwidth   float64 // bytes/second over VirtualTime
+	// Stripes holds per-stripe timing in deterministic
+	// (Ino, Stripe, Idx) order.
+	Stripes []StripeRecovery
+}
+
+// Recover rebuilds every block the failed node hosted onto the
+// replacement OSD (which must already be registered under a live node
+// id), using K surviving blocks per stripe. Logs are drained first —
+// exactly the consistency requirement of §2.3.2 — and the drain cost is
+// part of the measured recovery time, which is how pending logs depress
+// recovery bandwidth for the deferred-recycle baselines (Fig. 8b).
+//
+// The rebuild is pipelined: each stripe's K shard fetches fan out
+// concurrently, and Options.RecoveryWorkers stripes rebuild in parallel.
+// A shard fetch that fails — the holder is unreachable or answers with an
+// error — falls back to the remaining live shard holders of the stripe
+// instead of aborting the rebuild; a stripe is skipped (not failed) only
+// when fewer than K shards are obtainable at all, which is also the
+// legitimate state of a never-fully-written stripe. The reconstructed
+// bytes are independent of the worker count: any K shards of an RS
+// stripe decode to the same content.
+func (c *Cluster) Recover(failed wire.NodeID, replacement *OSD) (*RecoveryResult, error) {
+	return c.RecoverWith(failed, replacement, c.Opts.RecoveryWorkers)
+}
+
+// RecoverWith is Recover with an explicit worker count (<= 0 selects
+// DefaultRecoveryWorkers), the knob the recovery benchmark sweeps.
+func (c *Cluster) RecoverWith(failed wire.NodeID, replacement *OSD, workers int) (*RecoveryResult, error) {
+	if workers <= 0 {
+		workers = DefaultRecoveryWorkers
+	}
+	resources := c.resources()
+	start := sim.SnapshotBusy(resources)
+
+	if err := c.Flush(); err != nil {
+		return nil, fmt.Errorf("ecfs: pre-recovery drain: %w", err)
+	}
+	drained := sim.SnapshotBusy(resources)
+
+	refs := c.MDS.StripesOn(failed)
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Ino != refs[j].Ino {
+			return refs[i].Ino < refs[j].Ino
+		}
+		if refs[i].Stripe != refs[j].Stripe {
+			return refs[i].Stripe < refs[j].Stripe
+		}
+		return refs[i].Idx < refs[j].Idx
+	})
+
+	if workers > len(refs) && len(refs) > 0 {
+		workers = len(refs)
+	}
+	r := &recoverer{
+		c:      c,
+		failed: failed,
+		repl:   replacement,
+		caller: c.Tr.Caller(replacement.id),
+		down:   c.deadSet(failed),
+	}
+	res := &RecoveryResult{
+		Workers:   workers,
+		DrainTime: sim.MaxBusyDelta(resources, start),
+		Stripes:   make([]StripeRecovery, len(refs)),
+	}
+
+	type job struct {
+		i   int
+		ref StripeRef
+	}
+	jobs := make(chan job)
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				// Keep draining after a failure so the feeder below never
+				// blocks on a channel with no receivers.
+				errMu.Lock()
+				failed := firstErr != nil
+				errMu.Unlock()
+				if failed {
+					continue
+				}
+				sr, err := r.rebuildStripe(j.ref)
+				res.Stripes[j.i] = sr
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+				}
+			}
+		}()
+	}
+	for i, ref := range refs {
+		jobs <- job{i: i, ref: ref}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	for _, sr := range res.Stripes {
+		res.StripeTime += sr.Time()
+		res.FetchErrors += sr.Unreachable
+		if sr.Skipped {
+			res.Skipped++
+			continue
+		}
+		res.Blocks++
+		res.Bytes += int64(sr.Bytes)
+		res.ReplayedBytes += sr.Replayed
+	}
+
+	// Replica replay appends parity deltas to surviving parity logs;
+	// drain them so parity is fully consistent before service resumes.
+	if res.ReplayedBytes > 0 {
+		if err := c.Flush(); err != nil {
+			return nil, fmt.Errorf("ecfs: post-replay drain: %w", err)
+		}
+	}
+
+	// Rebuild-window makespan: Workers stripes proceed in parallel, so
+	// the pipelined duration is the summed per-stripe latency divided by
+	// the worker count — but never less than the additional busy time of
+	// the bottleneck resource, which parallelism cannot compress.
+	rebuild := res.StripeTime / time.Duration(workers)
+	if b := sim.MaxBusyDelta(c.resources(), drained); b > rebuild {
+		rebuild = b
+	}
+	res.VirtualTime = res.DrainTime + rebuild
+	if res.VirtualTime > 0 {
+		res.Bandwidth = float64(res.Bytes) / res.VirtualTime.Seconds()
+	}
+	return res, nil
+}
+
+// recoverer is the per-recovery engine state shared by the worker pool.
+type recoverer struct {
+	c      *Cluster
+	failed wire.NodeID
+	repl   *OSD
+	caller transport.RPC
+	// down snapshots the failed set at recovery start. A node that dies
+	// *during* the rebuild surfaces as fetch errors and is handled by
+	// the per-stripe fallback.
+	down map[wire.NodeID]bool
+}
+
+// rebuildStripe reconstructs one lost block: fetch K surviving shards
+// (concurrently, with fallback to further shard holders on error),
+// decode, replay the replica log for a data block, and write the result
+// to the replacement.
+func (r *recoverer) rebuildStripe(ref StripeRef) (StripeRecovery, error) {
+	sr := StripeRecovery{Ino: ref.Ino, Stripe: ref.Stripe, Idx: ref.Idx}
+	k := r.c.Opts.K
+	n := k + r.c.Opts.M
+	shards := make([][]byte, n)
+
+	// Candidate shard holders in index order: every live node of the
+	// stripe other than the one being rebuilt.
+	cands := make([]int, 0, n-1)
+	for idx := 0; idx < n; idx++ {
+		node := ref.Loc.Nodes[idx]
+		if node == r.failed || r.down[node] {
+			continue
+		}
+		cands = append(cands, idx)
+	}
+
+	type fetched struct {
+		idx         int
+		data        []byte
+		cost        time.Duration
+		ok          bool
+		unreachable bool
+	}
+	have := 0
+	for have < k && len(cands) > 0 {
+		wave := cands[:min(k-have, len(cands))]
+		cands = cands[len(wave):]
+		ch := make(chan fetched, len(wave))
+		for _, idx := range wave {
+			go func(idx int) {
+				b := wire.BlockID{Ino: ref.Ino, Stripe: ref.Stripe, Idx: uint8(idx)}
+				resp, err := r.caller.Call(ref.Loc.Nodes[idx], &wire.Msg{Kind: wire.KBlockFetch, Block: b})
+				if err != nil || !resp.OK() {
+					// Unreachable node or error reply (including "block
+					// never written"): fall back to another holder.
+					ch <- fetched{idx: idx, unreachable: err != nil}
+					return
+				}
+				ch <- fetched{idx: idx, data: resp.Data, cost: resp.Cost, ok: true}
+			}(idx)
+		}
+		var waveMax time.Duration
+		for range wave {
+			f := <-ch
+			if !f.ok {
+				sr.Retries++
+				if f.unreachable {
+					sr.Unreachable++
+				}
+				continue
+			}
+			shards[f.idx] = f.data
+			have++
+			if f.cost > waveMax {
+				waveMax = f.cost
+			}
+		}
+		// Fetches within a wave run concurrently, so the wave costs its
+		// slowest member; sequential fallback waves add up.
+		sr.Fetch += waveMax
+	}
+	if have < k {
+		// Fewer than K shards obtainable — the stripe was never fully
+		// written (or has lost more than M members, which per-stripe
+		// fallback cannot repair either way).
+		sr.Skipped = true
+		return sr, nil
+	}
+
+	if err := r.c.code.Reconstruct(shards); err != nil {
+		return sr, fmt.Errorf("ecfs: reconstruct %d/%d: %w", ref.Ino, ref.Stripe, err)
+	}
+	lost := wire.BlockID{Ino: ref.Ino, Stripe: ref.Stripe, Idx: ref.Idx}
+	data := shards[ref.Idx]
+	// A lost *data* block may have updates that were still buffered in
+	// the dead node's DataLog. Its replica log on the next OSD(s) of the
+	// stripe holds them (§4.2): replay on top of the reconstructed
+	// content and push the resulting parity deltas.
+	if int(ref.Idx) < k {
+		replayed, cost, err := r.replayReplica(ref, lost, data)
+		if err != nil {
+			return sr, err
+		}
+		sr.Replayed = replayed
+		sr.Replay = cost
+	}
+	sr.Write = r.repl.store.WriteFull(lost, data, true)
+	sr.Bytes = len(data)
+	return sr, nil
+}
+
+// replayReplica fetches the replica-log extents of a lost data block from
+// the stripe's replica holders, applies them to the reconstructed
+// content (in place), and forwards parity deltas for any bytes that
+// changed. Methods without replica logs answer with an error or an empty
+// payload and are skipped. It returns the replayed byte count and the
+// synchronous cost of the replay RPCs.
+func (r *recoverer) replayReplica(ref StripeRef, lost wire.BlockID, data []byte) (int64, time.Duration, error) {
+	c := r.c
+	n := len(ref.Loc.Nodes)
+	reps := 1
+	if c.Opts.Strategy != nil && c.Opts.Strategy.DataLogReplicas > 0 {
+		reps = c.Opts.Strategy.DataLogReplicas
+	}
+	var (
+		recs []update.ExtentRec
+		cost time.Duration
+	)
+	for rep := 1; rep <= reps && rep < n; rep++ {
+		node := ref.Loc.Nodes[(int(ref.Idx)+rep)%n]
+		if node == r.failed || r.down[node] {
+			continue
+		}
+		resp, err := r.caller.Call(node, &wire.Msg{Kind: wire.KReplicaFetch, Block: lost})
+		if err != nil || !resp.OK() || len(resp.Data) == 0 {
+			continue
+		}
+		cost += resp.Cost
+		recs, err = update.DecodeExtents(resp.Data)
+		if err != nil {
+			return 0, cost, err
+		}
+		break
+	}
+	if len(recs) == 0 {
+		return 0, cost, nil
+	}
+	var replayed int64
+	for _, rec := range recs {
+		end := int(rec.Off) + len(rec.Data)
+		if end > len(data) {
+			continue
+		}
+		delta := make([]byte, len(rec.Data))
+		changed := false
+		for i, b := range rec.Data {
+			delta[i] = data[int(rec.Off)+i] ^ b
+			if delta[i] != 0 {
+				changed = true
+			}
+		}
+		copy(data[rec.Off:], rec.Data)
+		if !changed {
+			continue // already recycled before the failure: idempotent
+		}
+		replayed += int64(len(rec.Data))
+		for j := 0; j < c.Opts.M; j++ {
+			pNode := ref.Loc.Nodes[c.Opts.K+j]
+			if pNode == r.failed || r.down[pNode] {
+				continue
+			}
+			pd := c.code.ParityDelta(j, int(ref.Idx), delta)
+			pb := wire.BlockID{Ino: ref.Ino, Stripe: ref.Stripe, Idx: uint8(c.Opts.K + j)}
+			resp, err := r.caller.Call(pNode, &wire.Msg{
+				Kind: wire.KParityLogAdd, Block: pb, Off: rec.Off, Data: pd,
+				K: uint8(c.Opts.K), M: uint8(c.Opts.M), Loc: ref.Loc,
+			})
+			if err != nil {
+				return replayed, cost, err
+			}
+			if err := resp.Error(); err != nil {
+				return replayed, cost, err
+			}
+			cost += resp.Cost
+		}
+	}
+	return replayed, cost, nil
+}

@@ -1,0 +1,419 @@
+package ecfs
+
+import (
+	"bytes"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// buildRecoveryCluster assembles a cluster with a written + updated file.
+// Everything is driven from one client with a fixed seed, so two calls
+// produce byte-identical cluster states.
+func buildRecoveryCluster(t *testing.T, method string, updates int) (*Cluster, *Client, uint64, []byte) {
+	t.Helper()
+	c := MustNewCluster(testOptions(method))
+	cli := c.NewClient()
+	fileSize := 64 << 10
+	ino, mirror := writeTestFile(t, c, cli, fileSize, 23)
+	rng := rand.New(rand.NewSource(29))
+	for i := 0; i < updates; i++ {
+		off := int64(rng.Intn(fileSize - 256))
+		data := make([]byte, 1+rng.Intn(256))
+		rng.Read(data)
+		if _, err := cli.Update(ino, off, data, time.Duration(i)*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		copy(mirror[off:], data)
+	}
+	return c, cli, ino, mirror
+}
+
+// failAndRecover fails the OSD at position pos, rebuilds it with the
+// given worker count, and returns the replacement and result. The
+// replacement is NOT reinstated.
+func failAndRecover(t *testing.T, c *Cluster, pos int, workers int) (*OSD, *RecoveryResult) {
+	t.Helper()
+	victim := c.OSDs[pos]
+	c.FailOSD(victim.ID())
+	repl := newTestReplacement(t, c, victim.ID())
+	res, err := c.RecoverWith(victim.ID(), repl, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return repl, res
+}
+
+func newTestReplacement(t *testing.T, c *Cluster, id wire.NodeID) *OSD {
+	t.Helper()
+	cfg := *c.Opts.Strategy
+	cfg.BlockSize = c.Opts.BlockSize
+	repl, err := NewOSD(id, c.Opts.Device, c.Tr.Caller(id), c.Opts.Method, cfg, c.Opts.Kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return repl
+}
+
+// TestRecoveryDeterministicAcrossWorkers pins the tentpole's core
+// guarantee: the parallel rebuild produces block contents byte-identical
+// to the sequential (one-worker) path, for every worker count.
+func TestRecoveryDeterministicAcrossWorkers(t *testing.T) {
+	type outcome struct {
+		repl *OSD
+		res  *RecoveryResult
+	}
+	outs := map[int]outcome{}
+	for _, workers := range []int{1, 8} {
+		c, _, _, _ := buildRecoveryCluster(t, "tsue", 200)
+		defer c.Close()
+		repl, res := failAndRecover(t, c, 2, workers)
+		defer repl.Close()
+		outs[workers] = outcome{repl: repl, res: res}
+	}
+	seq, par := outs[1], outs[8]
+	if seq.res.Blocks == 0 {
+		t.Fatal("nothing recovered")
+	}
+	if seq.res.Blocks != par.res.Blocks || seq.res.Bytes != par.res.Bytes ||
+		seq.res.ReplayedBytes != par.res.ReplayedBytes || seq.res.Skipped != par.res.Skipped {
+		t.Fatalf("result mismatch: seq=%+v par=%+v", seq.res, par.res)
+	}
+	blocks := seq.repl.Store().Blocks()
+	if len(blocks) != seq.res.Blocks {
+		t.Fatalf("store holds %d blocks, result says %d", len(blocks), seq.res.Blocks)
+	}
+	for _, id := range blocks {
+		want, _ := seq.repl.Store().Snapshot(id)
+		got, ok := par.repl.Store().Snapshot(id)
+		if !ok {
+			t.Fatalf("block %v missing from parallel rebuild", id)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("block %v differs between worker counts", id)
+		}
+	}
+	// Per-stripe timings are reported in deterministic order and sum to
+	// the serial cost.
+	var sum time.Duration
+	for i, sr := range par.res.Stripes {
+		sum += sr.Time()
+		if i > 0 {
+			prev := par.res.Stripes[i-1]
+			if prev.Ino > sr.Ino || (prev.Ino == sr.Ino && prev.Stripe > sr.Stripe) {
+				t.Fatal("per-stripe timings not in (ino, stripe) order")
+			}
+		}
+	}
+	if sum != par.res.StripeTime {
+		t.Fatalf("StripeTime %v != summed per-stripe time %v", par.res.StripeTime, sum)
+	}
+	// The pipelined makespan model must credit the extra workers.
+	if par.res.VirtualTime > seq.res.VirtualTime {
+		t.Fatalf("8 workers slower than 1: %v > %v", par.res.VirtualTime, seq.res.VirtualTime)
+	}
+}
+
+// TestRecoveryFetchErrorFallback injects fetch failures at one surviving
+// shard holder: every fetch it serves answers with an error. Recovery
+// must fall back to the remaining live holders (here including parity
+// shards) instead of aborting or silently skipping stripes.
+func TestRecoveryFetchErrorFallback(t *testing.T) {
+	c, cli, ino, mirror := buildRecoveryCluster(t, "tsue", 150)
+	defer c.Close()
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	victim := c.OSDs[2]
+	c.FailOSD(victim.ID())
+
+	// A second, live node serves everything except block fetches.
+	flaky := c.OSDs[5]
+	var injected atomic.Int64
+	c.Tr.Register(flaky.ID(), func(msg *wire.Msg) *wire.Resp {
+		if msg.Kind == wire.KBlockFetch {
+			injected.Add(1)
+			return &wire.Resp{Err: "injected fetch failure"}
+		}
+		return flaky.Handler(msg)
+	})
+
+	repl := newTestReplacement(t, c, victim.ID())
+	defer repl.Close()
+	res, err := c.Recover(victim.ID(), repl)
+	if err != nil {
+		t.Fatalf("recovery must survive per-node fetch errors: %v", err)
+	}
+	if injected.Load() == 0 {
+		t.Fatal("fault injection never triggered")
+	}
+	// Error replies are accounted as per-stripe fallback retries; they
+	// are not transport-level FetchErrors (the node did answer).
+	retries := 0
+	for _, sr := range res.Stripes {
+		retries += sr.Retries
+	}
+	if retries == 0 {
+		t.Fatal("fetch fallbacks not accounted")
+	}
+	if res.FetchErrors != 0 {
+		t.Fatalf("error replies miscounted as unreachable nodes: %d", res.FetchErrors)
+	}
+	if res.Skipped != 0 {
+		t.Fatalf("%d stripes skipped despite >= K live holders", res.Skipped)
+	}
+	for _, id := range victim.Store().Blocks() {
+		if _, ok := repl.Store().Snapshot(id); !ok {
+			t.Fatalf("block %v not recovered", id)
+		}
+	}
+	// Restore the flaky node's real handler and verify end to end.
+	c.Tr.Register(flaky.ID(), flaky.Handler)
+	c.Reinstate(repl)
+	got, _, err := cli.Read(ino, 0, len(mirror))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, mirror) {
+		t.Fatal("post-recovery read mismatch")
+	}
+	if err := c.VerifyStripes(ino, mirror); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoveryNodeDiesMidRebuild kills a second node *during* the
+// rebuild: its first served fetch deregisters it, so every later fetch
+// to it fails at the transport (the exact cluster.go:212 abort of the
+// seed). Recovery must fall back to other holders and finish.
+func TestRecoveryNodeDiesMidRebuild(t *testing.T) {
+	c, _, _, _ := buildRecoveryCluster(t, "tsue", 100)
+	defer c.Close()
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	victim := c.OSDs[1]
+	c.FailOSD(victim.ID())
+
+	dying := c.OSDs[4]
+	var killed atomic.Bool
+	c.Tr.Register(dying.ID(), func(msg *wire.Msg) *wire.Resp {
+		if msg.Kind == wire.KBlockFetch {
+			if killed.CompareAndSwap(false, true) {
+				c.FailOSD(dying.ID())
+			}
+			return &wire.Resp{Err: "node dying"}
+		}
+		return dying.Handler(msg)
+	})
+
+	repl := newTestReplacement(t, c, victim.ID())
+	defer repl.Close()
+	res, err := c.Recover(victim.ID(), repl)
+	if err != nil {
+		t.Fatalf("recovery must survive a node dying mid-rebuild: %v", err)
+	}
+	if !killed.Load() {
+		t.Fatal("second failure never triggered")
+	}
+	if res.Skipped != 0 {
+		t.Fatalf("%d stripes skipped despite K live holders", res.Skipped)
+	}
+	// Whether a given failed attempt was an error reply (before the
+	// deregistration) or a transport error (after) depends on stripe
+	// placement; together they must be visible as fallbacks.
+	retries := 0
+	for _, sr := range res.Stripes {
+		retries += sr.Retries
+	}
+	if retries == 0 {
+		t.Fatal("fetch fallbacks not accounted")
+	}
+	for _, id := range victim.Store().Blocks() {
+		if _, ok := repl.Store().Snapshot(id); !ok {
+			t.Fatalf("block %v not recovered", id)
+		}
+	}
+}
+
+// TestRecoveryDoubleFailure exercises M=2 fault tolerance: two OSDs die
+// with pending updates, and both are rebuilt one after the other while
+// the other is still down.
+func TestRecoveryDoubleFailure(t *testing.T) {
+	c, cli, ino, mirror := buildRecoveryCluster(t, "tsue", 200)
+	defer c.Close()
+
+	first, second := c.OSDs[1], c.OSDs[4]
+	c.FailOSD(first.ID())
+	c.FailOSD(second.ID())
+
+	for _, victim := range []*OSD{first, second} {
+		repl := newTestReplacement(t, c, victim.ID())
+		res, err := c.Recover(victim.ID(), repl)
+		if err != nil {
+			t.Fatalf("recover %d: %v", victim.ID(), err)
+		}
+		if res.Blocks == 0 {
+			t.Fatalf("recover %d: nothing recovered", victim.ID())
+		}
+		for _, id := range victim.Store().Blocks() {
+			if _, ok := repl.Store().Snapshot(id); !ok {
+				t.Fatalf("recover %d: block %v not recovered", victim.ID(), id)
+			}
+		}
+		c.Reinstate(repl)
+	}
+	got, _, err := cli.Read(ino, 0, len(mirror))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, mirror) {
+		t.Fatal("post-recovery read mismatch")
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyStripes(ino, mirror); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoveryNeverWrittenStripes: stripes that were placed but never
+// written (no block exists anywhere) are skipped, not treated as errors.
+func TestRecoveryNeverWrittenStripes(t *testing.T) {
+	c, cli, ino, mirror := buildRecoveryCluster(t, "tsue", 50)
+	defer c.Close()
+	// Place (but never write) several additional stripes; with 8 OSDs
+	// and 6 nodes per stripe, every OSD appears in some placement.
+	written := c.MDS.Stripes(ino)
+	for s := written; s < written+8; s++ {
+		if _, err := c.MDS.Lookup(ino, uint32(s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	victim := c.OSDs[3]
+	c.FailOSD(victim.ID())
+	repl := newTestReplacement(t, c, victim.ID())
+	defer repl.Close()
+	res, err := c.Recover(victim.ID(), repl)
+	if err != nil {
+		t.Fatalf("never-written stripes must not fail recovery: %v", err)
+	}
+	if res.Skipped == 0 {
+		t.Fatal("expected at least one never-written stripe on the victim")
+	}
+	for _, sr := range res.Stripes {
+		if sr.Skipped && sr.Bytes != 0 {
+			t.Fatalf("skipped stripe %d/%d reports %d rebuilt bytes", sr.Ino, sr.Stripe, sr.Bytes)
+		}
+	}
+	c.Reinstate(repl)
+	got, _, err := cli.Read(ino, 0, len(mirror))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, mirror) {
+		t.Fatal("post-recovery read mismatch")
+	}
+}
+
+// TestRecoveryConcurrentWithReads drives client reads (which degrade to
+// reconstruction for blocks of the dead node) while the rebuild engine
+// runs with multiple workers.
+func TestRecoveryConcurrentWithReads(t *testing.T) {
+	c, cli, ino, mirror := buildRecoveryCluster(t, "tsue", 150)
+	defer c.Close()
+	// Drain first so degraded reads see fully recycled state.
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	victim := c.OSDs[2]
+	c.FailOSD(victim.ID())
+	repl := newTestReplacement(t, c, victim.ID())
+
+	done := make(chan error, 1)
+	go func() {
+		rng := rand.New(rand.NewSource(31))
+		for i := 0; i < 40; i++ {
+			off := int64(rng.Intn(len(mirror) - 512))
+			n := 1 + rng.Intn(512)
+			got, _, err := cli.Read(ino, off, n)
+			if err != nil {
+				done <- err
+				return
+			}
+			if !bytes.Equal(got, mirror[off:off+int64(n)]) {
+				done <- errReadMismatch{off: off, n: n}
+				return
+			}
+		}
+		done <- nil
+	}()
+
+	if _, err := c.RecoverWith(victim.ID(), repl, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("concurrent read: %v", err)
+	}
+	c.Reinstate(repl)
+	if err := c.VerifyStripes(ino, mirror); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoveryErrorReturnsPromptly pins the worker-pool error path: a
+// stripe rebuild that errors (here: a replica log that fails to decode)
+// must surface the error from Recover instead of deadlocking the
+// feeder against exited workers.
+func TestRecoveryErrorReturnsPromptly(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		c, _, _, _ := buildRecoveryCluster(t, "tsue", 100)
+		defer c.Close()
+		victim := c.OSDs[2]
+		c.FailOSD(victim.ID())
+		// Every replica-log fetch answers garbage that DecodeExtents
+		// rejects, so every data-block stripe rebuild errors.
+		for _, o := range c.Alive() {
+			o := o
+			c.Tr.Register(o.ID(), func(msg *wire.Msg) *wire.Resp {
+				if msg.Kind == wire.KReplicaFetch {
+					return &wire.Resp{Data: []byte{0xFF, 0x01, 0x02}}
+				}
+				return o.Handler(msg)
+			})
+		}
+		repl := newTestReplacement(t, c, victim.ID())
+		defer repl.Close()
+
+		errCh := make(chan error, 1)
+		go func() {
+			_, err := c.RecoverWith(victim.ID(), repl, workers)
+			errCh <- err
+		}()
+		select {
+		case err := <-errCh:
+			if err == nil {
+				t.Fatalf("workers=%d: expected a decode error from recovery", workers)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("workers=%d: recovery deadlocked on stripe error", workers)
+		}
+	}
+}
+
+type errReadMismatch struct {
+	off int64
+	n   int
+}
+
+func (e errReadMismatch) Error() string {
+	return "degraded read mismatch during recovery"
+}

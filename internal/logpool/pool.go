@@ -501,16 +501,22 @@ func (p *Pool) Lookup(block wire.BlockID, off, size uint32) ([]byte, bool) {
 // to newest so later updates win. This gives the read path
 // read-your-writes semantics over the base block content.
 func (p *Pool) Overlay(block wire.BlockID, off uint32, dst []byte) {
+	// u.state is guarded by p.mu, so the pending filter happens while
+	// snapshotting the queue; a unit recycled between the snapshot and
+	// the overlay applies content the base block now also holds, which
+	// oldest-to-newest application keeps correct.
 	p.mu.Lock()
-	units := make([]*Unit, len(p.queue))
-	copy(units, p.queue)
+	units := make([]*Unit, 0, len(p.queue))
+	for _, u := range p.queue {
+		if u.state != Recycled { // recycled content already on disk
+			units = append(units, u)
+		}
+	}
 	p.mu.Unlock()
 	for _, u := range units {
 		u.mu.RLock()
-		if u.state != Recycled { // recycled content already on disk
-			if bi := u.blocks[block]; bi != nil {
-				bi.overlay(off, dst)
-			}
+		if bi := u.blocks[block]; bi != nil {
+			bi.overlay(off, dst)
 		}
 		u.mu.RUnlock()
 	}

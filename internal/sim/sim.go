@@ -58,6 +58,35 @@ func (r *Resource) Reset() {
 	r.ops.Store(0)
 }
 
+// SnapshotBusy records every resource's current busy time, positionally
+// aligned with resources. Together with MaxBusyDelta it brackets a
+// measurement window: snapshot before, delta after.
+func SnapshotBusy(resources []*Resource) []time.Duration {
+	out := make([]time.Duration, len(resources))
+	for i, r := range resources {
+		out[i] = r.Busy()
+	}
+	return out
+}
+
+// MaxBusyDelta returns the largest per-resource busy increase since the
+// snapshot — the bottleneck duration of the bracketed window. Resources
+// provisioned after the snapshot (e.g. a NIC for a client that appeared
+// mid-window) count in full.
+func MaxBusyDelta(resources []*Resource, before []time.Duration) time.Duration {
+	var m time.Duration
+	for i, r := range resources {
+		var base time.Duration
+		if i < len(before) {
+			base = before[i]
+		}
+		if d := r.Busy() - base; d > m {
+			m = d
+		}
+	}
+	return m
+}
+
 // maxLatencySamples bounds the per-recorder sample retention used for
 // percentile queries (simple reservoir: first N samples kept).
 const maxLatencySamples = 1 << 17

@@ -137,3 +137,28 @@ func TestLatencyPercentiles(t *testing.T) {
 		t.Fatal("reset must clear samples")
 	}
 }
+
+func TestSnapshotAndMaxBusyDelta(t *testing.T) {
+	a, b := NewResource("a"), NewResource("b")
+	a.Charge(5 * time.Millisecond)
+	rs := []*Resource{a, b}
+	before := SnapshotBusy(rs)
+	if len(before) != 2 || before[0] != 5*time.Millisecond || before[1] != 0 {
+		t.Fatalf("snapshot = %v", before)
+	}
+	a.Charge(time.Millisecond)
+	b.Charge(3 * time.Millisecond)
+	if d := MaxBusyDelta(rs, before); d != 3*time.Millisecond {
+		t.Fatalf("delta = %v", d)
+	}
+	// A resource provisioned after the snapshot counts in full.
+	c := NewResource("c")
+	c.Charge(10 * time.Millisecond)
+	if d := MaxBusyDelta(append(rs, c), before); d != 10*time.Millisecond {
+		t.Fatalf("delta with new resource = %v", d)
+	}
+	// A nil snapshot degrades to the plain bottleneck busy time.
+	if d := MaxBusyDelta(rs, nil); d != 6*time.Millisecond {
+		t.Fatalf("delta from nil = %v", d)
+	}
+}
