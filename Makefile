@@ -1,8 +1,14 @@
 GO ?= go
 
-.PHONY: verify build vet test race bench example-recovery
+.PHONY: verify verify-race build vet test race bench example-recovery
 
 verify: build vet test
+
+# verify-race runs the full suite under the race detector — the gate for
+# changes touching MDS sharding, recovery, or client retry concurrency.
+# Caveat: benchmark *shape* tests couple to wall-clock recycler settling
+# and can tie at tiny scales under the ~20x race slowdown (see README).
+verify-race: build vet race
 
 build:
 	$(GO) build ./...

@@ -7,6 +7,7 @@
 //	tsuebench -exp table1 -ops 20000 -osds 16
 //	tsuebench -exp recovery -recovery-workers 1,4,16
 //	tsuebench -exp recovery-multi     # fail, recover, fail another, recover
+//	tsuebench -exp mds-scale          # metadata sharding: lookup + StripesOn vs shard count
 package main
 
 import (
@@ -21,7 +22,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (fig5, fig6a, fig6b, fig7, table1, table2, fig8a, fig8b), an extension (latency, compression, recovery, recovery-multi), or 'all'")
+		exp      = flag.String("exp", "all", "experiment id (fig5, fig6a, fig6b, fig7, table1, table2, fig8a, fig8b), an extension (latency, compression, recovery, recovery-multi, mds-scale), or 'all'")
 		scale    = flag.String("scale", "quick", "experiment scale: quick | paper")
 		ops      = flag.Int("ops", 0, "override trace operation count")
 		osds     = flag.Int("osds", 0, "override OSD count")
@@ -67,7 +68,7 @@ func main() {
 	ids := bench.Order
 	if *exp != "all" {
 		if _, ok := lookup(*exp); !ok {
-			fmt.Fprintf(os.Stderr, "tsuebench: unknown experiment %q (want %s, latency, compression, recovery, recovery-multi, or all)\n", *exp, strings.Join(bench.Order, ", "))
+			fmt.Fprintf(os.Stderr, "tsuebench: unknown experiment %q (want %s, latency, compression, recovery, recovery-multi, mds-scale, or all)\n", *exp, strings.Join(bench.Order, ", "))
 			os.Exit(2)
 		}
 		ids = []string{*exp}

@@ -2,10 +2,19 @@
 // updates a TSUE volume; one OSD is killed while updates are still
 // buffered in its DataLog; the parallel rebuild engine reconstructs the
 // lost blocks from stripe survivors AND replays the dead node's replica
-// log so that no acknowledged update is lost. The scenario then
-// continues multi-failure: more updates land, a second OSD dies, and it
-// too is rebuilt. The cluster is verified byte-for-byte against an
-// in-memory mirror after each round.
+// log so that no acknowledged update is lost.
+//
+// The scenario then continues multi-failure, and the second round shows
+// placement epochs at work: the second victim is NOT resurrected under
+// its own node id. Instead a brand-new OSD joins the cluster under a
+// fresh id, recovery rebuilds the lost blocks onto it and *rebinds*
+// every affected stripe at the MDS under a bumped placement epoch. The
+// client keeps using its stale cached placements throughout: reads to
+// the moved blocks re-resolve when the dead node doesn't answer, and
+// updates to surviving members are rejected with a structured
+// stale-epoch reply and transparently retried against the fresh
+// placement. The cluster is verified byte-for-byte against an in-memory
+// mirror after each round.
 package main
 
 import (
@@ -65,37 +74,68 @@ func main() {
 		}
 		fmt.Println("post-recovery read matches the mirror: no acknowledged update was lost")
 	}
-	// failAndRecover kills an OSD, rebuilds its blocks with the parallel
-	// engine (8 workers, concurrent shard fetches, fetch-error fallback),
-	// and reinstates the replacement under the same node id.
-	failAndRecover := func(victim wire.NodeID) {
-		cluster.FailOSD(victim)
-		fmt.Printf("OSD %d failed — its DataLog content is lost with it\n", victim)
-		repl, err := ecfs.NewOSD(victim, opts.Device, cluster.Tr.Caller(victim), "tsue", cfg, opts.Kind)
+	newOSD := func(id wire.NodeID) *ecfs.OSD {
+		repl, err := ecfs.NewOSD(id, opts.Device, cluster.Tr.Caller(id), "tsue", cfg, opts.Kind)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := cluster.Recover(victim, repl)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("recovered %d blocks (%d KiB) with %d workers at %.1f MB/s; %d KiB of pending updates replayed from replica logs\n",
-			res.Blocks, res.Bytes>>10, res.Workers, res.Bandwidth/1e6, res.ReplayedBytes>>10)
-		cluster.Reinstate(repl)
+		return repl
 	}
 
-	// Round 1: updates buffered, first OSD dies.
+	// Round 1 — classic drop-in replacement: kill an OSD, rebuild its
+	// blocks with the parallel engine (8 workers, concurrent shard
+	// fetches, fetch-error fallback) onto a replacement that reuses the
+	// victim's node id, and reinstate it.
 	update(200)
 	loc, err := cluster.MDS.Lookup(ino, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	failAndRecover(loc.Nodes[0])
+	victim := loc.Nodes[0]
+	cluster.FailOSD(victim)
+	fmt.Printf("OSD %d failed — its DataLog content is lost with it\n", victim)
+	repl := newOSD(victim)
+	res, err := cluster.Recover(victim, repl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered %d blocks (%d KiB) with %d workers at %.1f MB/s; %d KiB of pending updates replayed from replica logs\n",
+		res.Blocks, res.Bytes>>10, res.Workers, res.Bandwidth/1e6, res.ReplayedBytes>>10)
+	cluster.Reinstate(repl)
 	verify()
 
-	// Round 2 (multi-failure): more updates land, then a different OSD —
-	// one holding a parity block of stripe 0 — dies as well.
+	// Round 2 — multi-failure, rebuilt onto a DIFFERENT node: more
+	// updates land, then the OSD holding a parity block of stripe 0
+	// dies. This time no hardware with the victim's identity comes
+	// back. A fresh OSD joins under a new node id, recovery rebuilds
+	// the lost blocks onto it, and every affected placement is rebound
+	// at the MDS under a bumped epoch.
 	update(200)
-	failAndRecover(loc.Nodes[len(loc.Nodes)-1])
+	victim2 := loc.Nodes[len(loc.Nodes)-1]
+	cluster.FailOSD(victim2)
+	fmt.Printf("OSD %d failed — and this time its node id retires with it\n", victim2)
+	freshID := wire.NodeID(opts.NumOSDs + 1)
+	repl2 := newOSD(freshID)
+	cluster.AddOSD(repl2) // joins the MDS placement pool under the fresh id
+	res2, err := cluster.Recover(victim2, repl2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recovered %d blocks onto NEW node %d; %d placements rebound under bumped epochs\n",
+		res2.Blocks, freshID, res2.Rebound)
+	cur, err := cluster.MDS.Lookup(ino, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stripe 0 placement epoch %d -> %d; parity slot moved %d -> %d\n",
+		loc.Epoch, cur.Epoch, victim2, cur.Nodes[len(cur.Nodes)-1])
+
+	// The client still holds the pre-failure placements in its cache.
+	// It is never told about the rebind: its next requests are either
+	// rejected with wire.StatusStaleEpoch by epoch-aware survivors or
+	// fail to reach the retired node, and both paths transparently
+	// re-resolve at the MDS and retry.
+	update(100)
 	verify()
+	fmt.Println("stale client re-resolved the rebound placements transparently — no cache flush, no victim-id reuse")
 }

@@ -11,6 +11,15 @@
 // (see internal/sim). Absolute numbers are not the authors' testbed's;
 // the shapes — who wins, by what factor, where crossovers sit — are the
 // reproduction target (see DESIGN.md).
+//
+// Beyond the paper's charts, the Extensions map adds experiments the
+// paper motivates but does not plot: update-latency distributions,
+// delta-compression traffic, recovery bandwidth versus rebuild
+// parallelism and method, sequential multi-failure recovery, and
+// mds-scale — metadata lookup and recovery work-list throughput versus
+// the MDS namespace shard count (the one experiment reporting
+// wall-clock, since pure metadata work sits outside the simulated
+// device/network clock).
 package bench
 
 import (

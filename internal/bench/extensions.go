@@ -134,4 +134,5 @@ var Extensions = map[string]func(Scale) (*Report, error){
 	"compression":    Compression,
 	"recovery":       Recovery,
 	"recovery-multi": RecoveryMulti,
+	"mds-scale":      MDSScale,
 }

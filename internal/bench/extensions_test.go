@@ -40,18 +40,45 @@ func TestCompressionExtension(t *testing.T) {
 	}
 }
 
+func TestMDSScaleExtension(t *testing.T) {
+	s := tinyScale()
+	rep, err := MDSScale(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + rep.String())
+	if len(rep.Rows) != 8 { // 4 shard counts x 2 file counts
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	// StripesOn must be paid per node's block count, not per namespace:
+	// within a shard config the small and large namespaces differ ~5x in
+	// refs_per_node, so the per-call cost may grow with refs but must
+	// stay far below a full-namespace scan blowup. Guard the invariant
+	// structurally instead: the generator verifies the reverse index
+	// covers every placement exactly (it errors otherwise), and larger
+	// namespaces must report proportionally larger refs_per_node.
+	refSmall, ok1 := getCell(rep, func(r []string) bool { return r[0] == "1" && r[1] == strconv.Itoa(s.Ops*10) }, 5)
+	refLarge, ok2 := getCell(rep, func(r []string) bool { return r[0] == "1" && r[1] == strconv.Itoa(s.Ops*50) }, 5)
+	if !ok1 || !ok2 {
+		t.Fatal("missing mds-scale rows")
+	}
+	if refLarge <= refSmall {
+		t.Fatalf("refs_per_node did not grow with the namespace: %v vs %v", refLarge, refSmall)
+	}
+}
+
 func TestExtensionRegistry(t *testing.T) {
 	for id, fn := range Extensions {
 		if fn == nil {
 			t.Fatalf("extension %s nil", id)
 		}
 	}
-	for _, id := range []string{"latency", "compression", "recovery", "recovery-multi"} {
+	for _, id := range []string{"latency", "compression", "recovery", "recovery-multi", "mds-scale"} {
 		if Extensions[id] == nil {
 			t.Fatalf("extension %s missing", id)
 		}
 	}
-	if len(Extensions) != 4 {
+	if len(Extensions) != 5 {
 		t.Fatalf("extensions = %d", len(Extensions))
 	}
 	_ = strconv.Itoa

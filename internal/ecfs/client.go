@@ -10,9 +10,22 @@ import (
 	"repro/internal/wire"
 )
 
+// maxStaleRetries bounds how many times a request is retried after a
+// stale-epoch rejection or a transport error before giving up. Each
+// retry re-resolves the placement at the MDS first, so one round trip
+// suffices in the common case; the bound only matters when the MDS
+// itself keeps handing out a placement the OSDs reject.
+const maxStaleRetries = 3
+
 // Client is the POSIX-facing access component (§4): it encodes normal
 // writes into stripes, distinguishes writes from updates, routes updates
 // to the data block's OSD, and reads with location caching.
+//
+// Cached placements carry their epoch (wire.StripeLoc.Epoch). When an
+// OSD rejects a request with wire.StatusStaleEpoch — recovery rebound
+// the stripe onto a different node set — or a cached node is
+// unreachable, the client transparently re-resolves the placement at
+// the MDS and retries, so callers never observe a rebind.
 type Client struct {
 	id        wire.NodeID
 	rpc       transport.RPC
@@ -65,13 +78,36 @@ func (c *Client) lookup(ino uint64, stripe uint32) (wire.StripeLoc, error) {
 		return wire.StripeLoc{}, err
 	}
 	c.locMu.Lock()
-	c.locs[key] = resp.Loc
+	// Never clobber a newer placement a concurrent refresh installed
+	// while this lookup was in flight.
+	if cur, ok := c.locs[key]; !ok || resp.Loc.Epoch >= cur.Epoch {
+		c.locs[key] = resp.Loc
+	}
 	c.locMu.Unlock()
 	return resp.Loc, nil
 }
 
-// InvalidateLocations clears the placement cache (after recovery moves
-// blocks).
+// refreshLoc re-resolves one stripe's placement after an attempt with
+// epoch `stale` failed. If the cache already holds a newer placement —
+// a concurrent part of the same request refreshed it first — that copy
+// is returned without another MDS round trip, so a rebind costs one
+// lookup per client, not one per in-flight shard.
+func (c *Client) refreshLoc(ino uint64, stripe uint32, stale uint64) (wire.StripeLoc, error) {
+	key := stripeAddr{ino, stripe}
+	c.locMu.Lock()
+	if cur, ok := c.locs[key]; ok && cur.Epoch > stale {
+		c.locMu.Unlock()
+		return cur, nil
+	}
+	delete(c.locs, key)
+	c.locMu.Unlock()
+	return c.lookup(ino, stripe)
+}
+
+// InvalidateLocations clears the placement cache. With placement epochs
+// this is no longer required for correctness after a recovery — stale
+// entries are detected and re-resolved per stripe — but it remains
+// useful to reset a client wholesale.
 func (c *Client) InvalidateLocations() {
 	c.locMu.Lock()
 	c.locs = make(map[stripeAddr]wire.StripeLoc)
@@ -109,24 +145,78 @@ func (c *Client) WriteStripe(ino uint64, stripe uint32, data []byte) (time.Durat
 		go func(i int, shard []byte) {
 			defer wg.Done()
 			b := wire.BlockID{Ino: ino, Stripe: stripe, Idx: uint8(i)}
-			resp, err := c.rpc.Call(loc.Nodes[i], &wire.Msg{Kind: wire.KWriteBlock, Block: b, Data: shard, Loc: loc})
+			cost, err := c.writeShard(b, shard, loc)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
 				rerr = err
 				return
 			}
-			if e := resp.Error(); e != nil {
-				rerr = e
-				return
-			}
-			if resp.Cost > max {
-				max = resp.Cost
+			if cost > max {
+				max = cost
 			}
 		}(i, shard)
 	}
 	wg.Wait()
 	return max, rerr
+}
+
+// sendWithReresolve delivers one block-addressed request, re-resolving
+// the placement and retrying when the target rejects a stale epoch or
+// is unreachable. send is invoked with the placement to use for the
+// attempt. A refresh that returns an unchanged placement stops the
+// loop: the MDS agrees with the cache, so the failure is real.
+//
+// Retry safety: a stale-epoch *rejection* happens before any server
+// state changes, so it may always be retried — even to the same node,
+// with the refreshed placement. A *transport* error, however, can (on
+// the TCP transport) mean "applied but the reply was lost"; a
+// non-idempotent request (idempotent=false) is therefore retried after
+// a transport error only if the block's host changed — a node that may
+// already have applied it is never re-delivered to.
+func (c *Client) sendWithReresolve(b wire.BlockID, loc wire.StripeLoc, idempotent bool, send func(loc wire.StripeLoc) (*wire.Resp, error)) (time.Duration, error) {
+	var (
+		lastErr   error
+		lastStale bool
+	)
+	for attempt := 0; attempt <= maxStaleRetries; attempt++ {
+		if attempt > 0 {
+			nl, err := c.refreshLoc(b.Ino, b.Stripe, loc.Epoch)
+			if err != nil {
+				return 0, err
+			}
+			sameHost := nl.Nodes[b.Idx] == loc.Nodes[b.Idx]
+			if nl.Epoch == loc.Epoch && sameHost {
+				return 0, lastErr
+			}
+			if sameHost && !lastStale && !idempotent {
+				return 0, lastErr
+			}
+			loc = nl
+		}
+		resp, err := send(loc)
+		if err != nil {
+			lastErr, lastStale = err, false
+			continue
+		}
+		if resp.IsStale() {
+			lastErr, lastStale = resp.Error(), true
+			continue
+		}
+		if e := resp.Error(); e != nil {
+			return 0, e
+		}
+		return resp.Cost, nil
+	}
+	return 0, lastErr
+}
+
+// writeShard delivers one stripe member with placement re-resolution
+// (idempotent: a full-block overwrite may be re-delivered freely).
+func (c *Client) writeShard(b wire.BlockID, shard []byte, loc wire.StripeLoc) (time.Duration, error) {
+	return c.sendWithReresolve(b, loc, true, func(loc wire.StripeLoc) (*wire.Resp, error) {
+		return c.rpc.Call(loc.Nodes[b.Idx], &wire.Msg{Kind: wire.KWriteBlock, Block: b, Data: shard, Loc: loc})
+	})
 }
 
 // WriteFile stripes data from file offset 0, zero-padding the tail
@@ -163,33 +253,40 @@ func (c *Client) Update(ino uint64, off int64, data []byte, v time.Duration) (ti
 		wg.Add(1)
 		go func(p part) {
 			defer wg.Done()
-			resp, err := c.rpc.Call(p.node, &wire.Msg{
-				Kind:  wire.KUpdate,
-				Block: p.block,
-				Off:   p.off,
-				Data:  data[p.src : p.src+p.n],
-				K:     uint8(c.code.K),
-				M:     uint8(c.code.M),
-				Loc:   p.loc,
-				V:     int64(v),
-			})
+			cost, err := c.updatePart(p, data[p.src:p.src+p.n], v)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
 				rerr = err
 				return
 			}
-			if e := resp.Error(); e != nil {
-				rerr = e
-				return
-			}
-			if resp.Cost > max {
-				max = resp.Cost
+			if cost > max {
+				max = cost
 			}
 		}(p)
 	}
 	wg.Wait()
 	return max, rerr
+}
+
+// updatePart routes one split of an update to its data block's OSD with
+// placement re-resolution. The update is not idempotent, so
+// sendWithReresolve only retries it to a *different* host after a
+// transport error (the prior target is dead or rebound away — its
+// state is discarded by recovery); stale-epoch rejections retry freely.
+func (c *Client) updatePart(p part, payload []byte, v time.Duration) (time.Duration, error) {
+	return c.sendWithReresolve(p.block, p.loc, false, func(loc wire.StripeLoc) (*wire.Resp, error) {
+		return c.rpc.Call(loc.Nodes[p.block.Idx], &wire.Msg{
+			Kind:  wire.KUpdate,
+			Block: p.block,
+			Off:   p.off,
+			Data:  payload,
+			K:     uint8(c.code.K),
+			M:     uint8(c.code.M),
+			Loc:   loc,
+			V:     int64(v),
+		})
+	})
 }
 
 // Read fetches [off, off+size) of a file.
@@ -212,6 +309,20 @@ func (c *Client) Read(ino uint64, off int64, size int) ([]byte, time.Duration, e
 			resp, err := c.rpc.Call(p.node, &wire.Msg{
 				Kind: wire.KRead, Block: p.block, Off: p.off, Size: uint32(p.n),
 			})
+			if err != nil {
+				// The cached node is unreachable. Recovery may have
+				// rebound the stripe onto a replacement: re-resolve
+				// and, if the block's host moved, read there.
+				if nl, lerr := c.refreshLoc(p.block.Ino, p.block.Stripe, p.loc.Epoch); lerr == nil {
+					p.loc = nl
+					if host := nl.Nodes[p.block.Idx]; host != p.node {
+						p.node = host
+						resp, err = c.rpc.Call(p.node, &wire.Msg{
+							Kind: wire.KRead, Block: p.block, Off: p.off, Size: uint32(p.n),
+						})
+					}
+				}
+			}
 			if err != nil {
 				// Degraded read: the data block's OSD is down, so
 				// rebuild the requested range from K surviving blocks

@@ -26,6 +26,9 @@ type Options struct {
 	// RecoveryWorkers is the number of stripes Recover rebuilds in
 	// parallel; <= 0 selects DefaultRecoveryWorkers.
 	RecoveryWorkers int
+	// MDSShards is the metadata namespace shard count (rounded up to a
+	// power of two); <= 0 selects DefaultMDSShards.
+	MDSShards int
 	// Update strategy tunables; zero value uses update.DefaultConfig()
 	// with BlockSize applied.
 	Strategy *update.Config
@@ -92,7 +95,11 @@ func NewCluster(opts Options) (*Cluster, error) {
 	for i := range ids {
 		ids[i] = wire.NodeID(i + 1)
 	}
-	mds, err := NewMDS(ids, opts.K, opts.M)
+	shards := opts.MDSShards
+	if shards <= 0 {
+		shards = DefaultMDSShards
+	}
+	mds, err := NewMDSWithShards(ids, opts.K, opts.M, shards)
 	if err != nil {
 		return nil, err
 	}
@@ -184,31 +191,54 @@ func (c *Cluster) Flush() error {
 	return nil
 }
 
-// FailOSD simulates a node failure: the OSD stops answering and the MDS
-// marks it dead. Its device and store contents are considered lost.
+// FailOSD simulates a node failure: the OSD stops answering, the MDS
+// marks it dead and evicts it from the placement pool so no *new*
+// stripe is placed on a node that cannot serve it (Reinstate re-admits
+// it). Exception: a pool already at its K+M minimum cannot shrink, so
+// on a minimum-size cluster new placements may still reference the dead
+// node until a replacement joins (see MDS.RemoveNode). Its device and
+// store contents are considered lost.
 func (c *Cluster) FailOSD(id wire.NodeID) {
 	c.failMu.Lock()
 	c.failed[id] = true
 	c.failMu.Unlock()
 	c.Tr.Deregister(id)
 	c.MDS.MarkDead(id)
+	c.MDS.RemoveNode(id)
 }
 
-// Reinstate returns a recovered replacement OSD to service under its
-// node id: the transport handler is re-registered, the OSD list entry
-// swapped (the failed instance's background workers are stopped), the
-// failure flag cleared, and a heartbeat reported to the MDS. The usual
-// sequence is FailOSD, NewOSD under the same id, Recover, Reinstate.
+// AddOSD admits an OSD to the cluster under a fresh node id: the
+// transport handler is registered, the node joins the MDS placement
+// pool (so it can be a rebind target and host future placements), and a
+// heartbeat is reported. This is how a replacement with a *different*
+// id than the victim joins before Recover rebinds stripes onto it. It
+// is Reinstate under a name that reads as admission.
+func (c *Cluster) AddOSD(osd *OSD) { c.Reinstate(osd) }
+
+// Reinstate returns a replacement OSD to service under its node id: the
+// transport handler is (re-)registered, the OSD list entry swapped (the
+// failed instance's background workers are stopped) or appended for a
+// fresh id, the node (re-)admitted to the MDS placement pool, the
+// failure flag cleared, and a heartbeat reported. The usual same-id
+// sequence is FailOSD, NewOSD under the same id, Recover, Reinstate; a
+// fresh-id replacement uses AddOSD, Recover instead and needs no
+// Reinstate.
 func (c *Cluster) Reinstate(repl *OSD) {
 	c.Tr.Register(repl.id, repl.Handler)
+	found := false
 	for i, o := range c.OSDs {
 		if o.id == repl.id {
 			if o != repl {
 				o.Close()
 			}
 			c.OSDs[i] = repl
+			found = true
 		}
 	}
+	if !found {
+		c.OSDs = append(c.OSDs, repl)
+	}
+	c.MDS.AddNode(repl.id)
 	c.failMu.Lock()
 	delete(c.failed, repl.id)
 	c.failMu.Unlock()

@@ -5,27 +5,93 @@
 // encodes writes, routes updates, and reads with read-your-writes
 // semantics. Recovery reconstructs a failed OSD's blocks from stripe
 // survivors after logs are drained.
+//
+// # Metadata scale: shards, the reverse index, and placement epochs
+//
+// The MDS namespace is partitioned into independently locked shards
+// (names and inodes hash to a shard), so metadata operations on
+// different files never contend. Alongside the namespace it maintains a
+// node→stripe reverse index, updated incrementally whenever a placement
+// is created or rebound; StripesOn — the recovery work list — reads one
+// node's bucket instead of scanning the whole namespace, so its cost is
+// proportional to the blocks the node actually hosts, not to the total
+// file count.
+//
+// Every placement carries an epoch (wire.StripeLoc.Epoch). The
+// invariants are:
+//
+//   - A placement's Nodes slice is immutable once published; rebinding
+//     a stripe onto a replacement node installs a fresh StripeLoc with
+//     Epoch+1. Cached copies therefore never mutate under a reader.
+//   - The MDS is the epoch authority. OSDs learn epochs from the
+//     placements that reach them (writes, updates, recovery's
+//     KEpochUpdate broadcast) and reject client requests carrying an
+//     older epoch with a structured wire.StatusStaleEpoch reply, which
+//     makes a client with a stale cache re-resolve and retry instead of
+//     silently writing through a dead placement.
+//   - Epoch checks happen only at the client→OSD boundary (KWriteBlock,
+//     KUpdate). Strategy-internal forwards inherit the already-validated
+//     placement of the triggering request, so a mid-flight epoch bump
+//     cannot split one update across two placements.
 package ecfs
 
 import (
+	"errors"
 	"fmt"
+	"hash/maphash"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/wire"
 )
 
-// MDS is the metadata server: namespace, placement and liveness.
-type MDS struct {
-	k, m int
-	osds []wire.NodeID
+// DefaultMDSShards is the namespace shard count used when none is
+// configured. Shard counts are rounded up to a power of two.
+const DefaultMDSShards = 16
 
-	mu      sync.Mutex
-	nextIno uint64
-	files   map[string]uint64
-	meta    map[uint64]*fileMeta
-	beats   map[wire.NodeID]time.Time
-	dead    map[wire.NodeID]bool
+// MDS is the metadata server: namespace, placement, liveness, and the
+// node→stripe reverse index that feeds recovery.
+type MDS struct {
+	k, m    int
+	nextIno atomic.Uint64
+
+	// topoMu guards the OSD placement pool, which grows when a
+	// replacement joins under a fresh node id (AddNode).
+	topoMu sync.RWMutex
+	osds   []wire.NodeID
+
+	// The namespace is sharded two ways: names hash to a nameShard
+	// (name → ino) and inodes hash to an inoShard (ino → placements).
+	// Lock order: nameShard.mu → inoShard.mu → revMu → nodeIndex.mu →
+	// topoMu; no path acquires them in the reverse direction.
+	nameShards []*nameShard
+	inoShards  []*inoShard
+	nameSeed   maphash.Seed
+
+	// rev is the reverse index: for each node, the set of (ino, stripe)
+	// whose placement puts a block there, with the block index. It is
+	// maintained incrementally on placement creation and rebind, under
+	// the owning inoShard's lock, so StripesOn never scans the
+	// namespace.
+	revMu sync.RWMutex
+	rev   map[wire.NodeID]*nodeIndex
+
+	// liveMu guards liveness state, which is touched by heartbeats on
+	// every node and must not contend with namespace traffic.
+	liveMu sync.Mutex
+	beats  map[wire.NodeID]time.Time
+	dead   map[wire.NodeID]bool
+}
+
+type nameShard struct {
+	mu    sync.Mutex
+	files map[string]uint64
+}
+
+type inoShard struct {
+	mu   sync.RWMutex
+	meta map[uint64]*fileMeta
 }
 
 type fileMeta struct {
@@ -33,101 +99,304 @@ type fileMeta struct {
 	stripes map[uint32]wire.StripeLoc
 }
 
+// stripeKey addresses one placed stripe in the reverse index.
+type stripeKey struct {
+	ino    uint64
+	stripe uint32
+}
+
+// nodeIndex is one node's bucket of the reverse index: every stripe
+// placing a block on the node, keyed by (ino, stripe) with the block
+// index as value (placements use distinct nodes, so a node hosts at
+// most one block of a stripe).
+type nodeIndex struct {
+	mu   sync.Mutex
+	refs map[stripeKey]uint8
+}
+
 // NewMDS creates a metadata server for a cluster of the given OSDs and
-// stripe geometry. It requires len(osds) >= k+m so every stripe can place
-// its blocks on distinct nodes.
+// stripe geometry with DefaultMDSShards namespace shards. It requires
+// len(osds) >= k+m so every stripe can place its blocks on distinct
+// nodes.
 func NewMDS(osds []wire.NodeID, k, m int) (*MDS, error) {
+	return NewMDSWithShards(osds, k, m, DefaultMDSShards)
+}
+
+// NewMDSWithShards is NewMDS with an explicit namespace shard count
+// (rounded up to a power of two; values < 1 select one shard). The
+// shard count is the concurrency knob the mds-scale benchmark sweeps.
+func NewMDSWithShards(osds []wire.NodeID, k, m, shards int) (*MDS, error) {
 	if k < 1 || m < 1 {
 		return nil, fmt.Errorf("ecfs: invalid geometry RS(%d,%d)", k, m)
 	}
 	if len(osds) < k+m {
 		return nil, fmt.Errorf("ecfs: %d OSDs cannot host RS(%d,%d) stripes", len(osds), k, m)
 	}
-	return &MDS{
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	md := &MDS{
 		k: k, m: m,
-		osds:    append([]wire.NodeID(nil), osds...),
-		nextIno: 1,
-		files:   make(map[string]uint64),
-		meta:    make(map[uint64]*fileMeta),
-		beats:   make(map[wire.NodeID]time.Time),
-		dead:    make(map[wire.NodeID]bool),
-	}, nil
+		osds:       append([]wire.NodeID(nil), osds...),
+		nameShards: make([]*nameShard, n),
+		inoShards:  make([]*inoShard, n),
+		nameSeed:   maphash.MakeSeed(),
+		rev:        make(map[wire.NodeID]*nodeIndex, len(osds)),
+		beats:      make(map[wire.NodeID]time.Time),
+		dead:       make(map[wire.NodeID]bool),
+	}
+	for i := 0; i < n; i++ {
+		md.nameShards[i] = &nameShard{files: make(map[string]uint64)}
+		md.inoShards[i] = &inoShard{meta: make(map[uint64]*fileMeta)}
+	}
+	for _, id := range osds {
+		md.rev[id] = &nodeIndex{refs: make(map[stripeKey]uint8)}
+	}
+	return md, nil
 }
 
 // Geometry returns the cluster's (K, M).
 func (m *MDS) Geometry() (int, int) { return m.k, m.m }
 
+// Shards returns the namespace shard count.
+func (m *MDS) Shards() int { return len(m.inoShards) }
+
+func (m *MDS) nameShard(name string) *nameShard {
+	h := maphash.String(m.nameSeed, name)
+	return m.nameShards[h&uint64(len(m.nameShards)-1)]
+}
+
+func (m *MDS) inoShard(ino uint64) *inoShard {
+	// Fibonacci hashing spreads sequential inodes across shards.
+	h := ino * 0x9E3779B97F4A7C15
+	return m.inoShards[(h>>32)&uint64(len(m.inoShards)-1)]
+}
+
 // Create registers a file and returns its inode number; creating an
 // existing name returns the existing ino (open-or-create semantics).
 func (m *MDS) Create(name string) uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if ino, ok := m.files[name]; ok {
+	ns := m.nameShard(name)
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if ino, ok := ns.files[name]; ok {
 		return ino
 	}
-	ino := m.nextIno
-	m.nextIno++
-	m.files[name] = ino
-	m.meta[ino] = &fileMeta{name: name, stripes: make(map[uint32]wire.StripeLoc)}
+	ino := m.nextIno.Add(1)
+	is := m.inoShard(ino)
+	is.mu.Lock()
+	is.meta[ino] = &fileMeta{name: name, stripes: make(map[uint32]wire.StripeLoc)}
+	is.mu.Unlock()
+	ns.files[name] = ino
 	return ino
 }
 
 // Lookup resolves (ino, stripe) to its placement, creating the placement
-// deterministically on first touch.
+// deterministically on first touch and registering it in the reverse
+// index.
 func (m *MDS) Lookup(ino uint64, stripe uint32) (wire.StripeLoc, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	fm := m.meta[ino]
+	is := m.inoShard(ino)
+	is.mu.RLock()
+	fm := is.meta[ino]
+	if fm != nil {
+		if loc, ok := fm.stripes[stripe]; ok {
+			is.mu.RUnlock()
+			return loc, nil
+		}
+	}
+	is.mu.RUnlock()
+	if fm == nil {
+		return wire.StripeLoc{}, fmt.Errorf("ecfs: unknown ino %d", ino)
+	}
+
+	is.mu.Lock()
+	defer is.mu.Unlock()
+	fm = is.meta[ino]
 	if fm == nil {
 		return wire.StripeLoc{}, fmt.Errorf("ecfs: unknown ino %d", ino)
 	}
 	if loc, ok := fm.stripes[stripe]; ok {
 		return loc, nil
 	}
-	loc := m.placeLocked(ino, stripe)
+	loc := m.place(ino, stripe)
 	fm.stripes[stripe] = loc
+	for idx, node := range loc.Nodes {
+		m.indexBlock(node, ino, stripe, uint8(idx))
+	}
 	return loc, nil
 }
 
-// placeLocked spreads the K+M blocks of a stripe across distinct OSDs,
+// place spreads the K+M blocks of a stripe across distinct OSDs,
 // rotating the starting node per (ino, stripe) so load balances.
-func (m *MDS) placeLocked(ino uint64, stripe uint32) wire.StripeLoc {
-	n := len(m.osds)
+func (m *MDS) place(ino uint64, stripe uint32) wire.StripeLoc {
+	m.topoMu.RLock()
+	osds := m.osds
+	m.topoMu.RUnlock()
+	n := len(osds)
 	start := int((ino*2654435761 + uint64(stripe)*40503) % uint64(n))
 	nodes := make([]wire.NodeID, m.k+m.m)
 	for i := range nodes {
-		nodes[i] = m.osds[(start+i)%n]
+		nodes[i] = osds[(start+i)%n]
 	}
 	return wire.StripeLoc{Nodes: nodes}
 }
 
+// nodeIndexFor returns the reverse-index bucket of a node, creating it
+// for nodes that joined after construction (replacements).
+func (m *MDS) nodeIndexFor(id wire.NodeID) *nodeIndex {
+	m.revMu.RLock()
+	ni := m.rev[id]
+	m.revMu.RUnlock()
+	if ni != nil {
+		return ni
+	}
+	m.revMu.Lock()
+	defer m.revMu.Unlock()
+	if ni = m.rev[id]; ni == nil {
+		ni = &nodeIndex{refs: make(map[stripeKey]uint8)}
+		m.rev[id] = ni
+	}
+	return ni
+}
+
+func (m *MDS) indexBlock(node wire.NodeID, ino uint64, stripe uint32, idx uint8) {
+	ni := m.nodeIndexFor(node)
+	ni.mu.Lock()
+	ni.refs[stripeKey{ino, stripe}] = idx
+	ni.mu.Unlock()
+}
+
+func (m *MDS) unindexBlock(node wire.NodeID, ino uint64, stripe uint32) {
+	ni := m.nodeIndexFor(node)
+	ni.mu.Lock()
+	delete(ni.refs, stripeKey{ino, stripe})
+	ni.mu.Unlock()
+}
+
+// ErrAlreadyPlaced is wrapped by Rebind when the target node already
+// hosts a block of the stripe — placing two blocks on one node would
+// halve the stripe's fault tolerance. Callers that rebind in bulk
+// (recovery) skip such stripes rather than failing outright.
+var ErrAlreadyPlaced = errors.New("node already in placement")
+
+// Rebind moves one block of a placed stripe from node `from` to node
+// `to`, bumping the placement epoch — the recovery path that lets a
+// stripe be rebuilt onto a replacement with a *different* node id. The
+// new placement is returned; the old StripeLoc value is left untouched
+// for holders of cached copies, which will be rejected by epoch-aware
+// OSDs and re-resolve.
+func (m *MDS) Rebind(ino uint64, stripe uint32, from, to wire.NodeID) (wire.StripeLoc, error) {
+	is := m.inoShard(ino)
+	is.mu.Lock()
+	defer is.mu.Unlock()
+	fm := is.meta[ino]
+	if fm == nil {
+		return wire.StripeLoc{}, fmt.Errorf("ecfs: rebind: unknown ino %d", ino)
+	}
+	loc, ok := fm.stripes[stripe]
+	if !ok {
+		return wire.StripeLoc{}, fmt.Errorf("ecfs: rebind: stripe %d/%d not placed", ino, stripe)
+	}
+	idx := -1
+	for i, n := range loc.Nodes {
+		if n == from {
+			idx = i
+		}
+		if n == to {
+			// Refuse to double-place: a node may host at most one
+			// block of a stripe (the reverse index and the stripe's
+			// fault tolerance both depend on it).
+			return wire.StripeLoc{}, fmt.Errorf("ecfs: rebind: node %d already in placement of %d/%d: %w", to, ino, stripe, ErrAlreadyPlaced)
+		}
+	}
+	if idx < 0 {
+		return wire.StripeLoc{}, fmt.Errorf("ecfs: rebind: node %d not in placement of %d/%d", from, ino, stripe)
+	}
+	nodes := append([]wire.NodeID(nil), loc.Nodes...)
+	nodes[idx] = to
+	nl := wire.StripeLoc{Nodes: nodes, Epoch: loc.Epoch + 1}
+	fm.stripes[stripe] = nl
+	m.unindexBlock(from, ino, stripe)
+	m.indexBlock(to, ino, stripe, uint8(idx))
+	return nl, nil
+}
+
+// AddNode admits a node to the placement pool (no-op if present) and
+// provisions its reverse-index bucket — how a replacement OSD with a
+// fresh id becomes a rebind and placement target.
+func (m *MDS) AddNode(id wire.NodeID) {
+	m.topoMu.Lock()
+	present := false
+	for _, n := range m.osds {
+		if n == id {
+			present = true
+			break
+		}
+	}
+	if !present {
+		// Copy-on-write: place reads the slice under RLock only.
+		m.osds = append(append([]wire.NodeID(nil), m.osds...), id)
+	}
+	m.topoMu.Unlock()
+	m.nodeIndexFor(id)
+}
+
+// RemoveNode evicts a node from the placement pool so no *new* stripe
+// is placed on it — used on node failure and when recovery permanently
+// replaces a victim with a fresh node id. Existing placements are
+// untouched; recovery rebinds them stripe by stripe. A pool already at
+// its K+M minimum is left intact (a stripe must remain placeable), so
+// on a minimum-size cluster a dead node stays placeable until a
+// replacement joins.
+func (m *MDS) RemoveNode(id wire.NodeID) {
+	m.topoMu.Lock()
+	defer m.topoMu.Unlock()
+	if len(m.osds) <= m.k+m.m {
+		return // keep enough nodes to place a stripe
+	}
+	out := make([]wire.NodeID, 0, len(m.osds))
+	for _, n := range m.osds {
+		if n != id {
+			out = append(out, n)
+		}
+	}
+	m.osds = out
+}
+
+// Nodes returns the current placement pool.
+func (m *MDS) Nodes() []wire.NodeID {
+	m.topoMu.RLock()
+	defer m.topoMu.RUnlock()
+	return append([]wire.NodeID(nil), m.osds...)
+}
+
 // Heartbeat records a liveness report.
 func (m *MDS) Heartbeat(id wire.NodeID, at time.Time) {
-	m.mu.Lock()
+	m.liveMu.Lock()
 	m.beats[id] = at
 	delete(m.dead, id)
-	m.mu.Unlock()
+	m.liveMu.Unlock()
 }
 
 // LastHeartbeat returns the most recent heartbeat time for a node.
 func (m *MDS) LastHeartbeat(id wire.NodeID) (time.Time, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.liveMu.Lock()
+	defer m.liveMu.Unlock()
 	t, ok := m.beats[id]
 	return t, ok
 }
 
 // MarkDead flags an OSD as failed (heartbeat timeout or explicit kill).
 func (m *MDS) MarkDead(id wire.NodeID) {
-	m.mu.Lock()
+	m.liveMu.Lock()
 	m.dead[id] = true
-	m.mu.Unlock()
+	m.liveMu.Unlock()
 }
 
 // DeadNodes returns the currently failed OSDs.
 func (m *MDS) DeadNodes() []wire.NodeID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.liveMu.Lock()
+	defer m.liveMu.Unlock()
 	out := make([]wire.NodeID, 0, len(m.dead))
 	for id := range m.dead {
 		out = append(out, id)
@@ -136,17 +405,46 @@ func (m *MDS) DeadNodes() []wire.NodeID {
 }
 
 // StripesOn returns every (ino, stripe, placement) whose stripe places a
-// block on the given node — the recovery work list.
+// block on the given node — the recovery work list. It reads the node's
+// reverse-index bucket, so the cost is proportional to the blocks the
+// node hosts, never to the namespace size.
 func (m *MDS) StripesOn(id wire.NodeID) []StripeRef {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var out []StripeRef
-	for ino, fm := range m.meta {
-		for stripe, loc := range fm.stripes {
-			for idx, n := range loc.Nodes {
-				if n == id {
-					out = append(out, StripeRef{Ino: ino, Stripe: stripe, Idx: uint8(idx), Loc: loc})
-				}
+	m.revMu.RLock()
+	ni := m.rev[id]
+	m.revMu.RUnlock()
+	if ni == nil {
+		return nil
+	}
+	ni.mu.Lock()
+	keys := make([]stripeKey, 0, len(ni.refs))
+	for k := range ni.refs {
+		keys = append(keys, k)
+	}
+	ni.mu.Unlock()
+
+	out := make([]StripeRef, 0, len(keys))
+	for _, k := range keys {
+		is := m.inoShard(k.ino)
+		is.mu.RLock()
+		fm := is.meta[k.ino]
+		var (
+			loc wire.StripeLoc
+			ok  bool
+		)
+		if fm != nil {
+			loc, ok = fm.stripes[k.stripe]
+		}
+		is.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		// Re-derive the index from the authoritative placement: a
+		// concurrent rebind may have moved the block off this node
+		// between the bucket snapshot and here.
+		for idx, n := range loc.Nodes {
+			if n == id {
+				out = append(out, StripeRef{Ino: k.ino, Stripe: k.stripe, Idx: uint8(idx), Loc: loc})
+				break
 			}
 		}
 	}
@@ -163,20 +461,23 @@ type StripeRef struct {
 
 // Files returns every (name, ino) pair in the namespace.
 func (m *MDS) Files() map[string]uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(map[string]uint64, len(m.files))
-	for name, ino := range m.files {
-		out[name] = ino
+	out := make(map[string]uint64)
+	for _, ns := range m.nameShards {
+		ns.mu.Lock()
+		for name, ino := range ns.files {
+			out[name] = ino
+		}
+		ns.mu.Unlock()
 	}
 	return out
 }
 
 // Stripes returns the number of placed stripes of a file.
 func (m *MDS) Stripes(ino uint64) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if fm := m.meta[ino]; fm != nil {
+	is := m.inoShard(ino)
+	is.mu.RLock()
+	defer is.mu.RUnlock()
+	if fm := is.meta[ino]; fm != nil {
 		return len(fm.stripes)
 	}
 	return 0

@@ -1,0 +1,276 @@
+package ecfs
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func testMDS(t testing.TB, osds, k, m, shards int) *MDS {
+	t.Helper()
+	ids := make([]wire.NodeID, osds)
+	for i := range ids {
+		ids[i] = wire.NodeID(i + 1)
+	}
+	md, err := NewMDSWithShards(ids, k, m, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return md
+}
+
+// scanStripesOn is the seed's full-namespace scan, kept as the oracle
+// the incremental reverse index must match.
+func scanStripesOn(m *MDS, id wire.NodeID) map[stripeKey]uint8 {
+	out := make(map[stripeKey]uint8)
+	for _, ino := range m.Files() {
+		for s := 0; s < m.Stripes(ino); s++ {
+			loc, err := m.Lookup(ino, uint32(s))
+			if err != nil {
+				continue
+			}
+			for idx, n := range loc.Nodes {
+				if n == id {
+					out[stripeKey{ino, uint32(s)}] = uint8(idx)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TestStripesOnMatchesScan pins the tentpole invariant: the incremental
+// node→stripe index returns exactly what a full-namespace scan would.
+func TestStripesOnMatchesScan(t *testing.T) {
+	md := testMDS(t, 12, 4, 2, 8)
+	rng := rand.New(rand.NewSource(7))
+	for f := 0; f < 200; f++ {
+		ino := md.Create(fmt.Sprintf("f%d", f))
+		for s := 0; s < 1+rng.Intn(5); s++ {
+			if _, err := md.Lookup(ino, uint32(s)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for id := wire.NodeID(1); id <= 12; id++ {
+		want := scanStripesOn(md, id)
+		got := md.StripesOn(id)
+		if len(got) != len(want) {
+			t.Fatalf("node %d: index has %d refs, scan %d", id, len(got), len(want))
+		}
+		for _, ref := range got {
+			idx, ok := want[stripeKey{ref.Ino, ref.Stripe}]
+			if !ok {
+				t.Fatalf("node %d: index has %d/%d which the scan does not", id, ref.Ino, ref.Stripe)
+			}
+			if idx != ref.Idx {
+				t.Fatalf("node %d: stripe %d/%d index mismatch: %d vs %d", id, ref.Ino, ref.Stripe, ref.Idx, idx)
+			}
+			if ref.Loc.Nodes[ref.Idx] != id {
+				t.Fatalf("node %d: ref placement does not place the block here", id)
+			}
+		}
+	}
+}
+
+// TestMDSShardRounding checks the shard-count normalization.
+func TestMDSShardRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{0, 1}, {1, 1}, {3, 4}, {16, 16}, {33, 64}} {
+		md := testMDS(t, 8, 4, 2, tc.in)
+		if md.Shards() != tc.want {
+			t.Errorf("shards(%d) = %d, want %d", tc.in, md.Shards(), tc.want)
+		}
+	}
+}
+
+// TestMDSConcurrent drives creates, lookups, rebinds and reverse-index
+// reads from many goroutines — the sharding contract, meaningful mostly
+// under -race.
+func TestMDSConcurrent(t *testing.T) {
+	md := testMDS(t, 16, 4, 2, 8)
+	md.AddNode(99) // rebind target
+	const (
+		workers = 8
+		files   = 64
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 400; i++ {
+				ino := md.Create(fmt.Sprintf("f%d", rng.Intn(files)))
+				stripe := uint32(rng.Intn(4))
+				loc, err := md.Lookup(ino, stripe)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				switch rng.Intn(4) {
+				case 0:
+					md.StripesOn(wire.NodeID(1 + rng.Intn(16)))
+				case 1:
+					// Rebind back and forth; each bump must be visible.
+					if _, err := md.Rebind(ino, stripe, loc.Nodes[0], 99); err == nil {
+						if _, err := md.Rebind(ino, stripe, 99, loc.Nodes[0]); err != nil {
+							t.Errorf("rebind back: %v", err)
+							return
+						}
+					}
+				case 2:
+					md.Stripes(ino)
+				case 3:
+					md.Heartbeat(wire.NodeID(1+rng.Intn(16)), time.Now())
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// After the dust settles the index must still match a full scan.
+	for id := wire.NodeID(1); id <= 16; id++ {
+		want := scanStripesOn(md, id)
+		if got := md.StripesOn(id); len(got) != len(want) {
+			t.Fatalf("node %d: index %d refs, scan %d", id, len(got), len(want))
+		}
+	}
+}
+
+// TestRebindBumpsEpoch checks the placement versioning contract: a
+// rebind installs a fresh immutable StripeLoc with Epoch+1, moves the
+// reverse-index entry, and leaves previously returned copies untouched.
+func TestRebindBumpsEpoch(t *testing.T) {
+	md := testMDS(t, 8, 4, 2, 4)
+	ino := md.Create("f")
+	old, err := md.Lookup(ino, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Epoch != 0 {
+		t.Fatalf("fresh placement epoch = %d", old.Epoch)
+	}
+	victim := old.Nodes[2]
+	md.AddNode(42)
+	nl, err := md.Rebind(ino, 0, victim, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Epoch != 1 {
+		t.Fatalf("rebound epoch = %d, want 1", nl.Epoch)
+	}
+	if nl.Nodes[2] != 42 {
+		t.Fatalf("rebound node = %d, want 42", nl.Nodes[2])
+	}
+	if old.Nodes[2] != victim {
+		t.Fatal("rebind mutated the published placement in place")
+	}
+	cur, err := md.Lookup(ino, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Epoch != 1 || cur.Nodes[2] != 42 {
+		t.Fatalf("lookup after rebind = %+v", cur)
+	}
+	for _, ref := range md.StripesOn(victim) {
+		if ref.Ino == ino && ref.Stripe == 0 {
+			t.Fatal("victim still indexed for the rebound stripe")
+		}
+	}
+	found := false
+	for _, ref := range md.StripesOn(42) {
+		if ref.Ino == ino && ref.Stripe == 0 && ref.Idx == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("replacement not indexed for the rebound stripe")
+	}
+	if _, err := md.Rebind(ino, 0, victim, 42); err == nil {
+		t.Fatal("rebind from a node not in the placement must fail")
+	}
+}
+
+// TestRemoveNodeStopsPlacement: after RemoveNode, no new placement uses
+// the node; the pool never shrinks below K+M.
+func TestRemoveNodeStopsPlacement(t *testing.T) {
+	md := testMDS(t, 8, 4, 2, 4)
+	md.RemoveNode(3)
+	ino := md.Create("f")
+	for s := 0; s < 64; s++ {
+		loc, err := md.Lookup(ino, uint32(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range loc.Nodes {
+			if n == 3 {
+				t.Fatalf("stripe %d placed on removed node", s)
+			}
+		}
+	}
+	small := testMDS(t, 6, 4, 2, 4)
+	small.RemoveNode(1)
+	if got := len(small.Nodes()); got != 6 {
+		t.Fatalf("pool shrank below K+M: %d nodes", got)
+	}
+}
+
+// benchNamespace builds an MDS with files×stripesPer placements.
+func benchNamespace(b *testing.B, osds, shards, files, stripesPer int) *MDS {
+	b.Helper()
+	md := testMDS(b, osds, 4, 2, shards)
+	for f := 0; f < files; f++ {
+		ino := md.Create(fmt.Sprintf("f%d", f))
+		for s := 0; s < stripesPer; s++ {
+			if _, err := md.Lookup(ino, uint32(s)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	return md
+}
+
+// BenchmarkMDSLookup measures concurrent placement resolution against
+// the shard count — the contention the sharded namespace removes.
+func BenchmarkMDSLookup(b *testing.B) {
+	for _, shards := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			md := benchNamespace(b, 16, shards, 10_000, 2)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(1))
+				for pb.Next() {
+					ino := uint64(1 + rng.Intn(10_000))
+					if _, err := md.Lookup(ino, uint32(rng.Intn(2))); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkStripesOnScaling holds the per-node block count fixed while
+// the total namespace grows (OSD count scales with file count). With
+// the incremental reverse index the cost per call stays flat —
+// sublinear in the total file count — where the seed's full scan grew
+// linearly.
+func BenchmarkStripesOnScaling(b *testing.B) {
+	for _, sz := range []struct{ files, osds int }{
+		{4_000, 16}, {16_000, 64}, {64_000, 256},
+	} {
+		b.Run(fmt.Sprintf("files=%d/osds=%d", sz.files, sz.osds), func(b *testing.B) {
+			md := benchNamespace(b, sz.osds, 16, sz.files, 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				refs := md.StripesOn(wire.NodeID(1 + i%sz.osds))
+				if len(refs) == 0 {
+					b.Fatal("empty work list")
+				}
+			}
+		})
+	}
+}

@@ -26,6 +26,14 @@ type OSD struct {
 
 	codeMu sync.RWMutex
 	codes  map[[2]int]*erasure.Code
+
+	// epochs is the highest placement epoch this OSD has seen per
+	// stripe, learned from the placements client requests carry and
+	// from recovery's KEpochUpdate broadcast. Client-boundary requests
+	// (KWriteBlock, KUpdate) carrying an older epoch are rejected with
+	// a structured stale reply so the caller re-resolves at the MDS.
+	epochMu sync.RWMutex
+	epochs  map[stripeKey]uint64
 }
 
 // NewOSD builds an OSD and its strategy. The caller registers
@@ -39,6 +47,7 @@ func NewOSD(id wire.NodeID, prof device.Profile, rpc transport.RPC, method strin
 		rpc:      rpc,
 		codeKind: kind,
 		codes:    make(map[[2]int]*erasure.Code),
+		epochs:   make(map[stripeKey]uint64),
 	}
 	s, err := update.New(method, cfg, o)
 	if err != nil {
@@ -89,15 +98,61 @@ func (o *OSD) Code(k, m int) (*erasure.Code, error) {
 // Strategy exposes the bound update strategy (tests, metrics).
 func (o *OSD) Strategy() update.Strategy { return o.strategy }
 
+// noteEpoch records a placement epoch for a stripe if it is newer than
+// the one already known.
+func (o *OSD) noteEpoch(ino uint64, stripe uint32, epoch uint64) {
+	if epoch == 0 {
+		return
+	}
+	key := stripeKey{ino, stripe}
+	o.epochMu.RLock()
+	cur := o.epochs[key]
+	o.epochMu.RUnlock()
+	if epoch <= cur {
+		return
+	}
+	o.epochMu.Lock()
+	if epoch > o.epochs[key] {
+		o.epochs[key] = epoch
+	}
+	o.epochMu.Unlock()
+}
+
+// checkEpoch validates a client-boundary request's placement epoch
+// against the stripe epochs this OSD has learned. It returns a
+// structured stale reply for an outdated placement, nil otherwise; a
+// newer epoch in the request is learned in passing. Strategy-internal
+// forwards are exempt (see the package comment).
+func (o *OSD) checkEpoch(msg *wire.Msg) *wire.Resp {
+	if len(msg.Loc.Nodes) == 0 {
+		return nil
+	}
+	key := stripeKey{msg.Block.Ino, msg.Block.Stripe}
+	o.epochMu.RLock()
+	cur := o.epochs[key]
+	o.epochMu.RUnlock()
+	if msg.Loc.Epoch < cur {
+		return wire.StaleEpochResp(msg.Block, msg.Loc.Epoch, cur)
+	}
+	o.noteEpoch(msg.Block.Ino, msg.Block.Stripe, msg.Loc.Epoch)
+	return nil
+}
+
 // Handler dispatches inbound messages.
 func (o *OSD) Handler(msg *wire.Msg) *wire.Resp {
 	switch msg.Kind {
 	case wire.KWriteBlock:
 		// Normal write of a freshly encoded stripe member: a large
 		// sequential write (§4 "Normal Write").
+		if stale := o.checkEpoch(msg); stale != nil {
+			return stale
+		}
 		cost := o.store.WriteFull(msg.Block, msg.Data, true)
 		return &wire.Resp{Cost: cost}
 	case wire.KUpdate:
+		if stale := o.checkEpoch(msg); stale != nil {
+			return stale
+		}
 		cost, err := o.strategy.Update(msg)
 		if err != nil {
 			return &wire.Resp{Err: err.Error()}
@@ -109,10 +164,13 @@ func (o *OSD) Handler(msg *wire.Msg) *wire.Resp {
 			return &wire.Resp{Err: err.Error()}
 		}
 		return &wire.Resp{Data: data, Cost: cost}
+	case wire.KEpochUpdate:
+		o.noteEpoch(msg.Block.Ino, msg.Block.Stripe, msg.Loc.Epoch)
+		return &wire.Resp{}
 	case wire.KBlockFetch:
 		size := o.store.Size(msg.Block)
 		if size < 0 {
-			return &wire.Resp{Err: fmt.Sprintf("osd%d: no block %v", o.id, msg.Block)}
+			return wire.NotFoundResp(o.id, msg.Block)
 		}
 		data, cost, err := o.store.ReadRange(msg.Block, 0, size, false)
 		if err != nil {

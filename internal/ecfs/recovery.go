@@ -1,6 +1,7 @@
 package ecfs
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -27,8 +28,33 @@ type StripeRecovery struct {
 	Replay      time.Duration // replica-log fetch + parity-delta forwarding
 	Write       time.Duration // store write on the replacement
 	Retries     int           // failed fetch attempts of any cause that fell back to another holder
-	Unreachable int           // failed fetch attempts where the holder did not answer at all
-	Skipped     bool          // fewer than K shards obtainable (never fully written)
+	Unreachable int           // failed fetch attempts where the holder did not answer at all (transport error)
+	NotFound    int           // structured "block never written" replies from reachable holders
+	Obtained    int           // surviving shards actually fetched
+	Skipped     bool          // fewer than K shards obtainable, all misses structured not-found (never fully written)
+	Lost        bool          // fewer than K shards obtainable with >= 1 holder unreachable (possible data loss)
+	Rebound     bool          // placement rebound onto the replacement with a bumped epoch
+}
+
+// DataLossError reports that recovery could not obtain K shards of a
+// stripe because holders were unreachable — as opposed to a stripe that
+// was never fully written, whose reachable holders all answer with a
+// structured not-found and which is merely skipped. The distinction is
+// exactly transport error versus wire.StatusNotFound reply.
+type DataLossError struct {
+	Ino         uint64
+	Stripe      uint32
+	Have        int // shards obtained
+	Need        int // K
+	Unreachable int // holders that did not answer at all
+	NotFound    int // reachable holders without the block
+	Stripes     int // total stripes in this state for the recovery
+}
+
+func (e *DataLossError) Error() string {
+	return fmt.Sprintf(
+		"ecfs: data loss: stripe %d/%d has %d of %d needed shards (%d holders unreachable, %d never written); %d stripe(s) affected",
+		e.Ino, e.Stripe, e.Have, e.Need, e.Unreachable, e.NotFound, e.Stripes)
 }
 
 // Time is the stripe's synchronous rebuild latency: the parallel fetch
@@ -41,11 +67,21 @@ type RecoveryResult struct {
 	Blocks        int
 	Bytes         int64
 	ReplayedBytes int64 // pending updates replayed from replica logs
-	Skipped       int   // stripes with fewer than K shards obtainable
+	Skipped       int   // never-fully-written stripes (< K shards, all misses structured not-found)
+	// Lost counts stripes that could not be rebuilt because holders
+	// were unreachable (< K shards with >= 1 transport error). When
+	// Lost > 0, Recover also returns a *DataLossError describing the
+	// first such stripe — alongside the result, so the caller still
+	// sees what *was* rebuilt.
+	Lost int
+	// Rebound counts placements rewritten onto the replacement under a
+	// bumped epoch (fresh-id recovery only; a same-id replacement
+	// reuses the victim's placements unchanged).
+	Rebound int
 	// FetchErrors counts shard fetches that failed because the holder was
 	// unreachable (transport error). Absent-block replies — the normal
 	// state of a never-fully-written stripe — fall back too but are
-	// counted only in the per-stripe Retries.
+	// counted only in the per-stripe Retries and NotFound.
 	FetchErrors int
 	Workers     int // stripe-rebuild parallelism used
 	DrainTime   time.Duration
@@ -69,6 +105,21 @@ type RecoveryResult struct {
 // exactly the consistency requirement of §2.3.2 — and the drain cost is
 // part of the measured recovery time, which is how pending logs depress
 // recovery bandwidth for the deferred-recycle baselines (Fig. 8b).
+//
+// The replacement may carry the victim's node id (the classic
+// drop-in-replacement flow) or a *fresh* id admitted via
+// Cluster.AddOSD. With a fresh id, every rebuilt — and every placed but
+// never-written — stripe is rebound at the MDS onto the replacement
+// under a bumped placement epoch, and the new epoch is broadcast to the
+// stripe's surviving members so they reject stale client placements
+// (wire.StatusStaleEpoch) until those clients re-resolve.
+//
+// A stripe with fewer than K obtainable shards is classified by *why*
+// the shards are missing: if every miss is a structured not-found reply
+// from a reachable holder the stripe was never fully written and is
+// skipped; if any holder was unreachable (transport error) the stripe
+// is counted in RecoveryResult.Lost and Recover returns a
+// *DataLossError alongside the (otherwise complete) result.
 //
 // The rebuild is pipelined: each stripe's K shard fetches fan out
 // concurrently, and Options.RecoveryWorkers stripes rebuild in parallel.
@@ -97,6 +148,11 @@ func (c *Cluster) RecoverWith(failed wire.NodeID, replacement *OSD, workers int)
 	}
 	drained := sim.SnapshotBusy(resources)
 
+	if replacement.id != failed {
+		// Permanent replacement under a fresh id: the victim must not
+		// receive new placements while its stripes are rebound.
+		c.MDS.RemoveNode(failed)
+	}
 	refs := c.MDS.StripesOn(failed)
 	sort.Slice(refs, func(i, j int) bool {
 		if refs[i].Ino != refs[j].Ino {
@@ -117,6 +173,7 @@ func (c *Cluster) RecoverWith(failed wire.NodeID, replacement *OSD, workers int)
 		repl:   replacement,
 		caller: c.Tr.Caller(replacement.id),
 		down:   c.deadSet(failed),
+		rebind: replacement.id != failed,
 	}
 	res := &RecoveryResult{
 		Workers:   workers,
@@ -168,9 +225,26 @@ func (c *Cluster) RecoverWith(failed wire.NodeID, replacement *OSD, workers int)
 		return nil, firstErr
 	}
 
+	var lossErr *DataLossError
 	for _, sr := range res.Stripes {
 		res.StripeTime += sr.Time()
 		res.FetchErrors += sr.Unreachable
+		if sr.Rebound {
+			res.Rebound++
+		}
+		if sr.Lost {
+			res.Lost++
+			if lossErr == nil {
+				lossErr = &DataLossError{
+					Ino: sr.Ino, Stripe: sr.Stripe,
+					Need:        c.Opts.K,
+					Have:        sr.Obtained,
+					Unreachable: sr.Unreachable,
+					NotFound:    sr.NotFound,
+				}
+			}
+			continue
+		}
 		if sr.Skipped {
 			res.Skipped++
 			continue
@@ -178,6 +252,9 @@ func (c *Cluster) RecoverWith(failed wire.NodeID, replacement *OSD, workers int)
 		res.Blocks++
 		res.Bytes += int64(sr.Bytes)
 		res.ReplayedBytes += sr.Replayed
+	}
+	if lossErr != nil {
+		lossErr.Stripes = res.Lost
 	}
 
 	// Replica replay appends parity deltas to surviving parity logs;
@@ -200,6 +277,9 @@ func (c *Cluster) RecoverWith(failed wire.NodeID, replacement *OSD, workers int)
 	if res.VirtualTime > 0 {
 		res.Bandwidth = float64(res.Bytes) / res.VirtualTime.Seconds()
 	}
+	if lossErr != nil {
+		return res, lossErr
+	}
 	return res, nil
 }
 
@@ -213,6 +293,42 @@ type recoverer struct {
 	// *during* the rebuild surfaces as fetch errors and is handled by
 	// the per-stripe fallback.
 	down map[wire.NodeID]bool
+	// rebind is set when the replacement carries a different node id
+	// than the victim: every handled stripe is then rebound at the MDS
+	// under a bumped epoch and the survivors are notified.
+	rebind bool
+}
+
+// rebindStripe moves a stripe's placement from the victim to the
+// replacement at the MDS (bumping the epoch) and broadcasts the new
+// epoch to the stripe's live members, so they start rejecting requests
+// that carry the pre-recovery placement. The replacement learns the
+// epoch directly — its handler may not be registered yet.
+func (r *recoverer) rebindStripe(ref StripeRef) (wire.StripeLoc, bool, error) {
+	nl, err := r.c.MDS.Rebind(ref.Ino, ref.Stripe, r.failed, r.repl.id)
+	if err != nil {
+		if errors.Is(err, ErrAlreadyPlaced) {
+			// The replacement already hosts a block of this stripe
+			// (possible only through the minimum-size-pool window
+			// where the victim stayed placeable). The stripe keeps
+			// its old placement — degraded until another node can
+			// take the slot — rather than failing the recovery.
+			return wire.StripeLoc{}, false, nil
+		}
+		return wire.StripeLoc{}, false, fmt.Errorf("ecfs: rebind %d/%d: %w", ref.Ino, ref.Stripe, err)
+	}
+	r.repl.noteEpoch(ref.Ino, ref.Stripe, nl.Epoch)
+	b := wire.BlockID{Ino: ref.Ino, Stripe: ref.Stripe}
+	for _, node := range nl.Nodes {
+		if node == r.repl.id || node == r.failed || r.down[node] {
+			continue
+		}
+		// Best effort: a member that misses the broadcast simply keeps
+		// accepting the old epoch, which is only a liveness hint; the
+		// MDS remains the placement authority.
+		_, _ = r.caller.Call(node, &wire.Msg{Kind: wire.KEpochUpdate, Block: b, Loc: nl})
+	}
+	return nl, true, nil
 }
 
 // rebuildStripe reconstructs one lost block: fetch K surviving shards
@@ -242,6 +358,7 @@ func (r *recoverer) rebuildStripe(ref StripeRef) (StripeRecovery, error) {
 		cost        time.Duration
 		ok          bool
 		unreachable bool
+		notFound    bool
 	}
 	have := 0
 	for have < k && len(cands) > 0 {
@@ -253,9 +370,11 @@ func (r *recoverer) rebuildStripe(ref StripeRef) (StripeRecovery, error) {
 				b := wire.BlockID{Ino: ref.Ino, Stripe: ref.Stripe, Idx: uint8(idx)}
 				resp, err := r.caller.Call(ref.Loc.Nodes[idx], &wire.Msg{Kind: wire.KBlockFetch, Block: b})
 				if err != nil || !resp.OK() {
-					// Unreachable node or error reply (including "block
-					// never written"): fall back to another holder.
-					ch <- fetched{idx: idx, unreachable: err != nil}
+					// Unreachable node or error reply: fall back to
+					// another holder. A structured not-found is the
+					// normal state of a never-fully-written stripe and
+					// is classified separately from transport errors.
+					ch <- fetched{idx: idx, unreachable: err != nil, notFound: err == nil && resp.IsNotFound()}
 					return
 				}
 				ch <- fetched{idx: idx, data: resp.Data, cost: resp.Cost, ok: true}
@@ -269,6 +388,9 @@ func (r *recoverer) rebuildStripe(ref StripeRef) (StripeRecovery, error) {
 				if f.unreachable {
 					sr.Unreachable++
 				}
+				if f.notFound {
+					sr.NotFound++
+				}
 				continue
 			}
 			shards[f.idx] = f.data
@@ -281,11 +403,34 @@ func (r *recoverer) rebuildStripe(ref StripeRef) (StripeRecovery, error) {
 		// slowest member; sequential fallback waves add up.
 		sr.Fetch += waveMax
 	}
+	sr.Obtained = have
 	if have < k {
-		// Fewer than K shards obtainable — the stripe was never fully
-		// written (or has lost more than M members, which per-stripe
-		// fallback cannot repair either way).
-		sr.Skipped = true
+		if sr.Unreachable > 0 || sr.Retries > sr.NotFound || have > 0 {
+			// Evidence the stripe's data exists but cannot be
+			// reassembled: a holder did not answer at all (transport
+			// error), a reachable holder failed with something other
+			// than a structured not-found, or some shards *were*
+			// fetched yet fewer than K are obtainable — possible data
+			// loss, surfaced to the caller as a *DataLossError.
+			sr.Lost = true
+		} else {
+			// Every miss was a structured not-found from a reachable
+			// holder and no shard exists anywhere: the stripe was
+			// never fully written.
+			sr.Skipped = true
+		}
+		// Either way there is no data to rebuild, but a fresh-id
+		// replacement must still take over the placement slot:
+		// otherwise the stripe keeps referencing the retired node id
+		// forever, and even a full-stripe rewrite — the one legitimate
+		// way to re-create a lost stripe — could never succeed.
+		if r.rebind {
+			_, ok, err := r.rebindStripe(ref)
+			if err != nil {
+				return sr, err
+			}
+			sr.Rebound = ok
+		}
 		return sr, nil
 	}
 
@@ -308,6 +453,13 @@ func (r *recoverer) rebuildStripe(ref StripeRef) (StripeRecovery, error) {
 	}
 	sr.Write = r.repl.store.WriteFull(lost, data, true)
 	sr.Bytes = len(data)
+	if r.rebind {
+		_, ok, err := r.rebindStripe(ref)
+		if err != nil {
+			return sr, err
+		}
+		sr.Rebound = ok
+	}
 	return sr, nil
 }
 

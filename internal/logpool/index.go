@@ -8,6 +8,12 @@
 // The same pool type backs all three log layers — DataLog, DeltaLog and
 // ParityLog — differing only in merge semantics: data logs overwrite
 // (newest data wins, Eq. 4), delta and parity logs fold by XOR (Eq. 3).
+//
+// Pools are correctness-bearing state: recovery's consistency
+// requirement (§2.3.2) is that every pool drains — recycles down to the
+// backing blocks — before a failed node's stripes are reconstructed,
+// which internal/ecfs enforces via the phase-ordered KDrainLogs
+// broadcast ahead of every rebuild.
 package logpool
 
 import (

@@ -229,13 +229,17 @@ func TestWireKindString(t *testing.T) {
 }
 
 func TestWireSizes(t *testing.T) {
+	// A placement is priced at 4 bytes per node plus its 8-byte epoch.
 	m := &wire.Msg{Data: make([]byte, 100), Data2: make([]byte, 50), Loc: wire.StripeLoc{Nodes: make([]wire.NodeID, 10)}}
-	if m.WireSize() != 64+100+50+40 {
+	if m.WireSize() != 64+100+50+40+8 {
 		t.Fatalf("msg wire size = %d", m.WireSize())
 	}
 	r := &wire.Resp{Data: make([]byte, 30), Err: "xx"}
 	if r.WireSize() != 48+30+2 {
 		t.Fatalf("resp wire size = %d", r.WireSize())
+	}
+	if (&wire.Msg{}).WireSize() != 64 {
+		t.Fatalf("empty msg must not pay the epoch: %d", (&wire.Msg{}).WireSize())
 	}
 }
 

@@ -9,6 +9,17 @@
 // appends), and answers reads with read-your-writes semantics over any
 // logs it keeps. Every byte it moves is priced through the device and
 // network models, so workload tables fall out of real execution.
+//
+// Placement handling: strategies cache the stripe placement carried on
+// update messages (stripeTable) so asynchronous recycle paths can route
+// deltas long after the triggering request returned. The cached entry
+// is refreshed whenever a message carries a newer placement epoch
+// (wire.StripeLoc.Epoch) — after recovery rebinds a stripe onto a
+// replacement node, deltas must reach the new member, not the cached
+// victim. Epoch *validation* is not a strategy concern: the OSD rejects
+// stale client requests before Strategy.Update runs, and
+// strategy-internal forwards inherit the already-validated placement of
+// the triggering request.
 package update
 
 import (
@@ -173,8 +184,11 @@ func (t *stripeTable) remember(msg *wire.Msg) {
 	}
 	k := keyOf(msg.Block)
 	t.mu.Lock()
-	if _, ok := t.m[k]; !ok {
-		loc := wire.StripeLoc{Nodes: append([]wire.NodeID(nil), msg.Loc.Nodes...)}
+	// Refresh on a newer placement epoch: after recovery rebinds a
+	// stripe onto a replacement node, asynchronous recycle paths must
+	// route deltas to the *new* member, not the cached victim.
+	if cur, ok := t.m[k]; !ok || msg.Loc.Epoch > cur.Loc.Epoch {
+		loc := wire.StripeLoc{Nodes: append([]wire.NodeID(nil), msg.Loc.Nodes...), Epoch: msg.Loc.Epoch}
 		t.m[k] = stripeInfo{K: int(msg.K), M: int(msg.M), Loc: loc}
 	}
 	t.mu.Unlock()

@@ -7,6 +7,7 @@
 package wire
 
 import (
+	"errors"
 	"fmt"
 	"time"
 )
@@ -40,8 +41,20 @@ func (b BlockID) WithIdx(idx uint8) BlockID {
 }
 
 // StripeLoc is the placement of one stripe: Nodes[i] hosts block Idx i.
+//
+// Epoch is the placement's version. It starts at 0 when the MDS first
+// places the stripe and is bumped every time recovery rebinds the stripe
+// onto a different node set (a lost block rebuilt onto a replacement
+// with a new node id). A client caches the whole StripeLoc; an OSD that
+// has learned a newer epoch for the stripe rejects requests carrying an
+// older one with StatusStaleEpoch, which tells the client to drop its
+// cache entry and re-resolve at the MDS. Nodes slices are immutable
+// once published: a rebind installs a fresh StripeLoc rather than
+// mutating the old one, so concurrent readers of a cached value are
+// always safe.
 type StripeLoc struct {
 	Nodes []NodeID // length K+M
+	Epoch uint64   // placement version; see the type comment
 }
 
 // Kind enumerates message types.
@@ -74,6 +87,7 @@ const (
 	KDrainLogs      // force strategy logs to be recycled (pre-recovery)
 	KReplicaFetch   // fetch replicated log extents for a block (recovery)
 	KPing           // liveness / latency probe
+	KEpochUpdate    // recovery tells a stripe member about a new placement epoch
 )
 
 var kindNames = map[Kind]string{
@@ -85,6 +99,7 @@ var kindNames = map[Kind]string{
 	KParixLogAdd: "parix-log-add", KCordCollect: "cord-collect",
 	KBlockFetch: "block-fetch", KBlockStore: "block-store",
 	KDrainLogs: "drain-logs", KReplicaFetch: "replica-fetch", KPing: "ping",
+	KEpochUpdate: "epoch-update",
 }
 
 func (k Kind) String() string {
@@ -117,16 +132,57 @@ type Msg struct {
 	V int64
 }
 
+// locWireSize prices a placement on the wire: 4 bytes per node id plus
+// the 8-byte epoch, shipped only when a placement is present at all.
+func locWireSize(l StripeLoc) int64 {
+	if len(l.Nodes) == 0 {
+		return 0
+	}
+	return 8 + 4*int64(len(l.Nodes))
+}
+
 // WireSize approximates the bytes this message occupies on the network,
 // used by the simulated transport for pricing. Header fields are counted
 // at a fixed 64 bytes, close to the gob framing overhead.
 func (m *Msg) WireSize() int64 {
-	return 64 + int64(len(m.Data)) + int64(len(m.Data2)) + 4*int64(len(m.Loc.Nodes)) + int64(len(m.Name))
+	return 64 + int64(len(m.Data)) + int64(len(m.Data2)) + locWireSize(m.Loc) + int64(len(m.Name))
 }
+
+// Status classifies a reply beyond the free-text Err field, so callers
+// can react to specific failure shapes (stale placement, absent block)
+// without parsing error strings. Every non-OK status also fills Err, so
+// code that only checks OK()/Error() keeps working.
+type Status uint8
+
+const (
+	// StatusOK is the zero value: the request succeeded.
+	StatusOK Status = iota
+	// StatusError is a generic failure described only by Err.
+	StatusError
+	// StatusStaleEpoch rejects a request whose StripeLoc carries an
+	// older placement epoch than the serving OSD has learned for the
+	// stripe. The caller should invalidate its cached placement,
+	// re-resolve at the MDS, and retry.
+	StatusStaleEpoch
+	// StatusNotFound reports that the addressed block has never been
+	// written on this node — a normal state for placed-but-unwritten
+	// stripes, and distinct from a transport failure. Recovery uses the
+	// distinction to tell "never fully written" from data loss.
+	StatusNotFound
+)
+
+// ErrStaleEpoch and ErrNotFound are sentinel errors wrapped by
+// Resp.Error for the corresponding statuses, so callers can use
+// errors.Is across transport boundaries.
+var (
+	ErrStaleEpoch = errors.New("stale placement epoch")
+	ErrNotFound   = errors.New("block not found")
+)
 
 // Resp is the reply to a Msg.
 type Resp struct {
 	Err  string
+	Code Status // structured classification of Err; StatusOK when Err == ""
 	Data []byte
 	Ino  uint64
 	Loc  StripeLoc
@@ -136,18 +192,51 @@ type Resp struct {
 	Cost time.Duration
 }
 
+// StaleEpochResp builds the structured rejection of a request whose
+// placement epoch (have) is older than the serving node's (cur). Val
+// carries the current epoch so the caller can log the gap.
+func StaleEpochResp(b BlockID, have, cur uint64) *Resp {
+	return &Resp{
+		Code: StatusStaleEpoch,
+		Err:  fmt.Sprintf("stale epoch %d for %v (current %d)", have, b, cur),
+		Val:  int64(cur),
+	}
+}
+
+// NotFoundResp builds the structured "block never written here" reply.
+func NotFoundResp(from NodeID, b BlockID) *Resp {
+	return &Resp{
+		Code: StatusNotFound,
+		Err:  fmt.Sprintf("osd%d: no block %v", from, b),
+	}
+}
+
+// IsStale reports whether the reply is a stale-epoch rejection.
+func (r *Resp) IsStale() bool { return r.Code == StatusStaleEpoch }
+
+// IsNotFound reports whether the reply is a structured block-not-found.
+func (r *Resp) IsNotFound() bool { return r.Code == StatusNotFound }
+
 // WireSize approximates the reply's size on the network.
 func (r *Resp) WireSize() int64 {
-	return 48 + int64(len(r.Data)) + int64(len(r.Err)) + 4*int64(len(r.Loc.Nodes))
+	return 48 + int64(len(r.Data)) + int64(len(r.Err)) + locWireSize(r.Loc)
 }
 
 // OK reports whether the response carries no error.
 func (r *Resp) OK() bool { return r.Err == "" }
 
-// Error converts a non-empty Err field into an error value.
+// Error converts a non-empty Err field into an error value. Structured
+// statuses wrap the matching sentinel so errors.Is(err, ErrStaleEpoch)
+// and errors.Is(err, ErrNotFound) work across transports.
 func (r *Resp) Error() error {
 	if r.Err == "" {
 		return nil
+	}
+	switch r.Code {
+	case StatusStaleEpoch:
+		return fmt.Errorf("remote: %s: %w", r.Err, ErrStaleEpoch)
+	case StatusNotFound:
+		return fmt.Errorf("remote: %s: %w", r.Err, ErrNotFound)
 	}
 	return fmt.Errorf("remote: %s", r.Err)
 }
