@@ -5,9 +5,9 @@ GO ?= go
 verify: build vet test
 
 # verify-race runs the full suite under the race detector — the gate for
-# changes touching MDS sharding, recovery, or client retry concurrency.
-# Caveat: benchmark *shape* tests couple to wall-clock recycler settling
-# and can tie at tiny scales under the ~20x race slowdown (see README).
+# changes touching MDS sharding, repair/drain, or client retry
+# concurrency. CI (.github/workflows/ci.yml) runs both verify targets on
+# every push and pull request.
 verify-race: build vet race
 
 build:

@@ -7,7 +7,9 @@
 //	tsuebench -exp table1 -ops 20000 -osds 16
 //	tsuebench -exp recovery -recovery-workers 1,4,16
 //	tsuebench -exp recovery-multi     # fail, recover, fail another, recover
-//	tsuebench -exp mds-scale          # metadata sharding: lookup + StripesOn vs shard count
+//	tsuebench -exp repair             # read-through repair (FIFO vs prioritized) + drain/decommission
+//	tsuebench -exp fig8b -fig8b-workers 1,4,16
+//	tsuebench -exp mds-scale          # metadata sharding: lookup/create + StripesOn vs shard count
 package main
 
 import (
@@ -22,13 +24,14 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (fig5, fig6a, fig6b, fig7, table1, table2, fig8a, fig8b), an extension (latency, compression, recovery, recovery-multi, mds-scale), or 'all'")
-		scale    = flag.String("scale", "quick", "experiment scale: quick | paper")
-		ops      = flag.Int("ops", 0, "override trace operation count")
-		osds     = flag.Int("osds", 0, "override OSD count")
-		seed     = flag.Int64("seed", 0, "override workload seed")
-		clients  = flag.String("clients", "", "override client sweep, e.g. 4,16,64")
-		rworkers = flag.String("recovery-workers", "", "override the recovery experiment's worker sweep, e.g. 1,4,16")
+		exp       = flag.String("exp", "all", "experiment id (fig5, fig6a, fig6b, fig7, table1, table2, fig8a, fig8b), an extension (latency, compression, recovery, recovery-multi, repair, mds-scale), or 'all'")
+		scale     = flag.String("scale", "quick", "experiment scale: quick | paper")
+		ops       = flag.Int("ops", 0, "override trace operation count")
+		osds      = flag.Int("osds", 0, "override OSD count")
+		seed      = flag.Int64("seed", 0, "override workload seed")
+		clients   = flag.String("clients", "", "override client sweep, e.g. 4,16,64")
+		rworkers  = flag.String("recovery-workers", "", "override the recovery experiment's worker sweep, e.g. 1,4,16")
+		f8workers = flag.String("fig8b-workers", "", "add a rebuild-worker axis to the fig8b HDD recovery sweep, e.g. 1,4,16")
 	)
 	flag.Parse()
 
@@ -57,6 +60,9 @@ func main() {
 	if *rworkers != "" {
 		s.RecoveryWorkers = parseIntList("recovery-workers", *rworkers)
 	}
+	if *f8workers != "" {
+		s.Fig8bWorkers = parseIntList("fig8b-workers", *f8workers)
+	}
 
 	lookup := func(id string) (func(bench.Scale) (*bench.Report, error), bool) {
 		if fn, ok := bench.Experiments[id]; ok {
@@ -68,7 +74,7 @@ func main() {
 	ids := bench.Order
 	if *exp != "all" {
 		if _, ok := lookup(*exp); !ok {
-			fmt.Fprintf(os.Stderr, "tsuebench: unknown experiment %q (want %s, latency, compression, recovery, recovery-multi, mds-scale, or all)\n", *exp, strings.Join(bench.Order, ", "))
+			fmt.Fprintf(os.Stderr, "tsuebench: unknown experiment %q (want %s, latency, compression, recovery, recovery-multi, repair, mds-scale, or all)\n", *exp, strings.Join(bench.Order, ", "))
 			os.Exit(2)
 		}
 		ids = []string{*exp}

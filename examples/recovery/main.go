@@ -15,6 +15,13 @@
 // stale-epoch reply and transparently retried against the fresh
 // placement. The cluster is verified byte-for-byte against an in-memory
 // mirror after each round.
+//
+// Round three needs no failure at all: the same repair machinery —
+// per-stripe epoch bumps through the prioritized repair queue — runs as
+// *planned* work. Cluster.Decommission drains a live node (each block
+// copied straight from the node itself, no K-way decode) and retires it
+// from the topology with zero downtime: the stale client keeps reading
+// and updating throughout.
 package main
 
 import (
@@ -138,4 +145,30 @@ func main() {
 	update(100)
 	verify()
 	fmt.Println("stale client re-resolved the rebound placements transparently — no cache flush, no victim-id reuse")
+
+	// Round 3 — planned migration, zero downtime: the node now hosting
+	// stripe 0's first data block is taken out of service while it is
+	// perfectly healthy. Decommission drains it through the same repair
+	// queue recovery uses, but sources every block from the node itself
+	// (one fetch, no K-way decode), cuts each stripe over under a bumped
+	// epoch, and finally retires the node from the topology.
+	cur, err = cluster.MDS.Lookup(ino, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	retiree := cur.Nodes[0]
+	fmt.Printf("decommissioning healthy OSD %d — no failure, no decode, no downtime\n", retiree)
+	res3, err := cluster.Decommission(retiree)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("drained %d blocks (%d KiB) onto the survivor pool at %.1f MB/s; %d placements rebound; node %d retired\n",
+		res3.Moved, res3.Bytes>>10, res3.Bandwidth/1e6, res3.Rebound, retiree)
+
+	// The client still caches placements naming the retired node; its
+	// next operations re-resolve exactly like after a failure — except
+	// nothing was ever down.
+	update(100)
+	verify()
+	fmt.Println("planned migration complete: same epochs, same queue, zero failed operations")
 }

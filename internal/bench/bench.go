@@ -57,6 +57,11 @@ type Scale struct {
 	// RecoveryWorkers is the rebuild-parallelism sweep of the recovery
 	// experiment; empty selects the default {1, 2, 4, 8}.
 	RecoveryWorkers []int
+	// Fig8bWorkers is the rebuild-parallelism axis of the fig8b HDD
+	// recovery sweep; empty selects the cluster default
+	// (ecfs.DefaultRecoveryWorkers), reproducing the paper's single
+	// recovery configuration.
+	Fig8bWorkers []int
 }
 
 // Quick returns a scale small enough for tests and CI.

@@ -134,5 +134,6 @@ var Extensions = map[string]func(Scale) (*Report, error){
 	"compression":    Compression,
 	"recovery":       Recovery,
 	"recovery-multi": RecoveryMulti,
+	"repair":         Repair,
 	"mds-scale":      MDSScale,
 }

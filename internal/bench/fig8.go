@@ -58,33 +58,51 @@ func Fig8a(s Scale) (*Report, error) {
 // phase, one OSD fails and its blocks are rebuilt from stripe survivors.
 // Logs must drain before reconstruction, so methods with large pending
 // logs (PL/PLR/PARIX) recover slower; TSUE's real-time recycling leaves
-// almost nothing pending and recovers at FO-like bandwidth.
+// almost nothing pending and recovers at FO-like bandwidth. Scale's
+// Fig8bWorkers adds a rebuild-parallelism axis (tsuebench
+// -fig8b-workers); the default single entry reproduces the paper's one
+// recovery configuration.
 func Fig8b(s Scale) (*Report, error) {
+	sweep := s.Fig8bWorkers
+	if len(sweep) == 0 {
+		sweep = []int{0} // 0 = the cluster default worker count
+	}
 	rep := &Report{
 		ID:     "fig8b",
 		Title:  "Recovery bandwidth after updates (MSR volumes, RS(6,4), MB/s)",
-		Header: append([]string{"method"}, trace.MSRVolumes...),
+		Header: append([]string{"method", "workers"}, trace.MSRVolumes...),
 	}
 	for _, method := range fig8Methods {
-		row := []string{method}
-		for _, vol := range trace.MSRVolumes {
-			bw, err := recoveryRun(method, vol, s)
-			if err != nil {
-				return nil, fmt.Errorf("fig8b %s %s: %w", method, vol, err)
+		for _, w := range sweep {
+			label := w
+			if label <= 0 {
+				label = ecfs.DefaultRecoveryWorkers
 			}
-			row = append(row, fmtBW(bw))
+			row := []string{method, fmt.Sprintf("%d", label)}
+			for _, vol := range trace.MSRVolumes {
+				bw, err := recoveryRun(method, vol, s, w)
+				if err != nil {
+					return nil, fmt.Errorf("fig8b %s %s w=%d: %w", method, vol, w, err)
+				}
+				row = append(row, fmtBW(bw))
+			}
+			rep.Rows = append(rep.Rows, row)
 		}
-		rep.Rows = append(rep.Rows, row)
 	}
 	rep.Notes = append(rep.Notes,
-		"expected shape: TSUE ~ FO (logs recycled in real time); PL/PLR/PARIX depressed by pending-log replay before reconstruction")
+		"expected shape: TSUE ~ FO (logs recycled in real time); PL/PLR/PARIX depressed by pending-log replay before reconstruction",
+	)
+	if len(sweep) > 1 {
+		rep.Notes = append(rep.Notes,
+			"worker axis: bandwidth grows with rebuild parallelism until the drain cost or the bottleneck device dominates")
+	}
 	return rep, nil
 }
 
 // recoveryRun replays a volume's updates, fails one OSD, and measures
 // the recovery bandwidth (bytes rebuilt / recovery makespan including
-// the forced log drain).
-func recoveryRun(method, vol string, s Scale) (float64, error) {
+// the forced log drain). workers <= 0 selects the cluster default.
+func recoveryRun(method, vol string, s Scale, workers int) (float64, error) {
 	tr, err := makeTrace(vol, s)
 	if err != nil {
 		return 0, err
@@ -94,7 +112,10 @@ func recoveryRun(method, vol string, s Scale) (float64, error) {
 		return 0, err
 	}
 	defer lc.c.Close()
-	res, err := failAndRecover(lc.c, lc.opts, method, 1, lc.c.Opts.RecoveryWorkers)
+	if workers <= 0 {
+		workers = lc.c.Opts.RecoveryWorkers
+	}
+	res, err := failAndRecover(lc.c, lc.opts, method, 1, workers)
 	if err != nil {
 		return 0, err
 	}

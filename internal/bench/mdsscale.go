@@ -54,7 +54,7 @@ func MDSScale(s Scale) (*Report, error) {
 		ID:    "mds-scale",
 		Title: fmt.Sprintf("Extension: MDS namespace sharding (RS(%d,%d), %d OSDs, wall-clock)", k, m, osds),
 		Header: []string{
-			"shards", "files", "build_ms", "lookups_per_s", "stripeson_us", "refs_per_node",
+			"shards", "files", "build_ms", "lookups_per_s", "creates_per_s", "stripeson_us", "refs_per_node",
 		},
 	}
 	ids := make([]wire.NodeID, osds)
@@ -104,6 +104,27 @@ func MDSScale(s Scale) (*Report, error) {
 			lookupSec := time.Since(lookupStart).Seconds()
 			lps := float64(lookups) / lookupSec
 
+			// Contended-write phase: parallel Create bursts of fresh
+			// names. Creates take the name shard's lock exclusively, so
+			// this is where shard-count scaling shows up in the table
+			// itself rather than only under `go test -bench -cpu > 1`.
+			burst := lookups / 4
+			if burst < loaders {
+				burst = loaders
+			}
+			createStart := time.Now()
+			for w := 0; w < loaders; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for f := w; f < burst; f += loaders {
+						md.Create(fmt.Sprintf("burst%d/f%d", f%997, f))
+					}
+				}(w)
+			}
+			wg.Wait()
+			cps := float64(burst) / time.Since(createStart).Seconds()
+
 			// Recovery work-list phase: one StripesOn per node.
 			refs := 0
 			soStart := time.Now()
@@ -120,13 +141,14 @@ func MDSScale(s Scale) (*Report, error) {
 				fmt.Sprintf("%d", files),
 				fmt.Sprintf("%.1f", buildMS),
 				fmt.Sprintf("%.0f", lps),
+				fmt.Sprintf("%.0f", cps),
 				fmt.Sprintf("%.1f", soUS),
 				fmt.Sprintf("%d", refs/osds),
 			})
 		}
 	}
 	rep.Notes = append(rep.Notes,
-		"expected shape: lookups_per_s grows with shards under concurrent load; stripeson_us tracks refs_per_node (files/OSDs), not the namespace size",
+		"expected shape: lookups_per_s and creates_per_s grow with shards under concurrent load; stripeson_us tracks refs_per_node (files/OSDs), not the namespace size",
 		"wall-clock measurement: MDS operations are pure in-memory metadata work, outside the simulated device/network clock")
 	return rep, nil
 }

@@ -3,6 +3,7 @@ package ecfs
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/erasure"
@@ -34,6 +35,28 @@ type Client struct {
 
 	locMu sync.RWMutex
 	locs  map[stripeAddr]wire.StripeLoc
+
+	degraded atomic.Int64 // reads served by K-way reconstruction
+	hints    atomic.Int64 // repair-priority hints sent after degraded reads
+}
+
+// ClientStats counts client-side repair-relevant events.
+type ClientStats struct {
+	// DegradedReads is the number of block-range reads that had to be
+	// reconstructed from K surviving shards instead of being served by
+	// the block's holder.
+	DegradedReads int64
+	// RepairHints is the number of wire.KRepairHint promotions sent to
+	// the MDS after degraded reads (read-through repair).
+	RepairHints int64
+}
+
+// Stats returns a snapshot of the client's counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		DegradedReads: c.degraded.Load(),
+		RepairHints:   c.hints.Load(),
+	}
 }
 
 type stripeAddr struct {
@@ -306,47 +329,16 @@ func (c *Client) Read(ino uint64, off int64, size int) ([]byte, time.Duration, e
 		wg.Add(1)
 		go func(p part) {
 			defer wg.Done()
-			resp, err := c.rpc.Call(p.node, &wire.Msg{
-				Kind: wire.KRead, Block: p.block, Off: p.off, Size: uint32(p.n),
-			})
-			if err != nil {
-				// The cached node is unreachable. Recovery may have
-				// rebound the stripe onto a replacement: re-resolve
-				// and, if the block's host moved, read there.
-				if nl, lerr := c.refreshLoc(p.block.Ino, p.block.Stripe, p.loc.Epoch); lerr == nil {
-					p.loc = nl
-					if host := nl.Nodes[p.block.Idx]; host != p.node {
-						p.node = host
-						resp, err = c.rpc.Call(p.node, &wire.Msg{
-							Kind: wire.KRead, Block: p.block, Off: p.off, Size: uint32(p.n),
-						})
-					}
-				}
-			}
-			if err != nil {
-				// Degraded read: the data block's OSD is down, so
-				// rebuild the requested range from K surviving blocks
-				// of the stripe.
-				var data []byte
-				var cost time.Duration
-				data, cost, err = c.degradedRead(p)
-				if err == nil {
-					resp = &wire.Resp{Data: data, Cost: cost}
-				}
-			}
+			data, cost, err := c.readPart(p)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
 				rerr = err
 				return
 			}
-			if e := resp.Error(); e != nil {
-				rerr = e
-				return
-			}
-			copy(out[p.src:p.src+p.n], resp.Data)
-			if resp.Cost > max {
-				max = resp.Cost
+			copy(out[p.src:p.src+p.n], data)
+			if cost > max {
+				max = cost
 			}
 		}(p)
 	}
@@ -355,6 +347,53 @@ func (c *Client) Read(ino uint64, off int64, size int) ([]byte, time.Duration, e
 		return nil, 0, rerr
 	}
 	return out, max, nil
+}
+
+// readPart serves one block-range read. The normal path ships the cached
+// placement so the holder can epoch-check it: a stale-epoch rejection or
+// an unreachable holder re-resolves at the MDS and retries — after a
+// repair or drain rebinds the stripe, this is how the read cuts over to
+// the new holder with no K-way decode. Only when the normal path is
+// exhausted does the read degrade to reconstruction, and then it tells
+// the MDS (wire.KRepairHint) so an in-flight repair promotes the stripe
+// to the front of its queue.
+func (c *Client) readPart(p part) ([]byte, time.Duration, error) {
+	var data []byte
+	cost, err := c.sendWithReresolve(p.block, p.loc, true, func(loc wire.StripeLoc) (*wire.Resp, error) {
+		resp, rerr := c.rpc.Call(loc.Nodes[p.block.Idx], &wire.Msg{
+			Kind: wire.KRead, Block: p.block, Off: p.off, Size: uint32(p.n), Loc: loc,
+		})
+		if rerr == nil && resp.OK() {
+			data = resp.Data
+		}
+		return resp, rerr
+	})
+	if err == nil {
+		return data, cost, nil
+	}
+	// Degraded read: the block's holder cannot serve it (node down, or
+	// the block is mid-migration), so rebuild the requested range from K
+	// surviving blocks — under the freshest placement the retry loop
+	// left in the cache.
+	if nl, lerr := c.lookup(p.block.Ino, p.block.Stripe); lerr == nil {
+		p.loc = nl
+	}
+	data, cost, derr := c.degradedRead(p)
+	if derr != nil {
+		return nil, 0, fmt.Errorf("%w (degraded fallback: %v)", err, derr)
+	}
+	c.degraded.Add(1)
+	c.hintRepair(p.block)
+	return data, cost, nil
+}
+
+// hintRepair tells the MDS a degraded read just paid the K-fetch decode
+// price for a stripe, so an active repair can promote it to the front
+// of its rebuild queue (read-through repair). Best effort: with no
+// repair running the MDS ignores the hint.
+func (c *Client) hintRepair(b wire.BlockID) {
+	c.hints.Add(1)
+	_, _ = c.rpc.Call(wire.MDSNode, &wire.Msg{Kind: wire.KRepairHint, Block: b})
 }
 
 // degradedRead reconstructs one part's data block from stripe survivors —
@@ -395,9 +434,10 @@ func (c *Client) degradedRead(p part) ([]byte, time.Duration, error) {
 	return rebuilt[p.off : int(p.off)+p.n], cost, nil
 }
 
-// part maps a byte range of a file request onto one data block.
+// part maps a byte range of a file request onto one data block. The
+// block's current host is derived from loc at send time (loc may be
+// refreshed by the stale-epoch retry loop).
 type part struct {
-	node  wire.NodeID
 	block wire.BlockID
 	loc   wire.StripeLoc
 	off   uint32 // intra-block offset
@@ -424,7 +464,7 @@ func (c *Client) split(ino uint64, off int64, size int) ([]part, error) {
 		}
 		b := wire.BlockID{Ino: ino, Stripe: stripe, Idx: uint8(blockIdx)}
 		parts = append(parts, part{
-			node: loc.Nodes[blockIdx], block: b, loc: loc,
+			block: b, loc: loc,
 			off: blockOff, src: src, n: n,
 		})
 		off += int64(n)

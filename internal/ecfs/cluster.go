@@ -162,13 +162,20 @@ func (c *Cluster) Alive() []*OSD {
 // deadSet snapshots the failed node set, with failed forced in (recovery
 // may start before FailOSD has been called for the victim).
 func (c *Cluster) deadSet(failed wire.NodeID) map[wire.NodeID]bool {
+	out := c.deadSnapshot()
+	out[failed] = true
+	return out
+}
+
+// deadSnapshot snapshots the failed node set as-is (drain must not force
+// its live source node in).
+func (c *Cluster) deadSnapshot() map[wire.NodeID]bool {
 	c.failMu.Lock()
 	defer c.failMu.Unlock()
 	out := make(map[wire.NodeID]bool, len(c.failed)+1)
 	for id := range c.failed {
 		out[id] = true
 	}
-	out[failed] = true
 	return out
 }
 

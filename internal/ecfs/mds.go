@@ -39,6 +39,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/maphash"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -82,6 +83,13 @@ type MDS struct {
 	liveMu sync.Mutex
 	beats  map[wire.NodeID]time.Time
 	dead   map[wire.NodeID]bool
+
+	// repair is the active repair/drain queue, registered for the
+	// duration of a RepairNode/MigrateNode run. wire.KRepairHint
+	// messages promote stripes in it; wire.KRepairStatus reports its
+	// pending depth. nil when no repair is running.
+	repairMu sync.RWMutex
+	repair   *repairQueue
 }
 
 type nameShard struct {
@@ -363,6 +371,101 @@ func (m *MDS) RemoveNode(id wire.NodeID) {
 	m.osds = out
 }
 
+// PickRebindTarget chooses a destination for moving one block of a
+// stripe: a live pool node not already in the placement, rotated by
+// (ino, stripe) so a drain spreads its blocks across the survivor pool
+// instead of piling them onto one node.
+func (m *MDS) PickRebindTarget(ino uint64, stripe uint32, loc wire.StripeLoc) (wire.NodeID, error) {
+	m.topoMu.RLock()
+	osds := m.osds
+	m.topoMu.RUnlock()
+	in := make(map[wire.NodeID]bool, len(loc.Nodes))
+	for _, n := range loc.Nodes {
+		in[n] = true
+	}
+	n := len(osds)
+	if n == 0 {
+		return 0, fmt.Errorf("ecfs: empty placement pool")
+	}
+	start := int((ino*2654435761 + uint64(stripe)*40503) % uint64(n))
+	// Probe the dead set in place rather than copying it per call: a
+	// drain calls this once per migrated stripe.
+	m.liveMu.Lock()
+	defer m.liveMu.Unlock()
+	for i := 0; i < n; i++ {
+		cand := osds[(start+i)%n]
+		if !in[cand] && !m.dead[cand] {
+			return cand, nil
+		}
+	}
+	return 0, fmt.Errorf("ecfs: no live rebind target outside the placement of %d/%d", ino, stripe)
+}
+
+// Forget removes a retired node entirely: placement pool, liveness
+// state, and its (empty) reverse-index bucket — the final step of a
+// decommission. The node must no longer host placements.
+func (m *MDS) Forget(id wire.NodeID) {
+	m.RemoveNode(id)
+	m.liveMu.Lock()
+	delete(m.beats, id)
+	delete(m.dead, id)
+	m.liveMu.Unlock()
+	m.revMu.Lock()
+	if ni := m.rev[id]; ni != nil {
+		ni.mu.Lock()
+		empty := len(ni.refs) == 0
+		ni.mu.Unlock()
+		if empty {
+			delete(m.rev, id)
+		}
+	}
+	m.revMu.Unlock()
+}
+
+// installRepairQueue registers the active repair/drain queue so client
+// repair hints can promote its stripes.
+func (m *MDS) installRepairQueue(q *repairQueue) {
+	m.repairMu.Lock()
+	m.repair = q
+	m.repairMu.Unlock()
+}
+
+// dropRepairQueue clears the registration if q is still the active
+// queue (a newer repair may have replaced it).
+func (m *MDS) dropRepairQueue(q *repairQueue) {
+	m.repairMu.Lock()
+	if m.repair == q {
+		m.repair = nil
+	}
+	m.repairMu.Unlock()
+}
+
+// promoteRepair moves a pending stripe to the front of the active
+// repair queue; false when no repair is running or the stripe is no
+// longer pending.
+func (m *MDS) promoteRepair(ino uint64, stripe uint32) bool {
+	m.repairMu.RLock()
+	q := m.repair
+	m.repairMu.RUnlock()
+	if q == nil {
+		return false
+	}
+	return q.promote(ino, stripe)
+}
+
+// RepairPending reports the number of stripes still queued in the
+// active repair/drain, 0 when none is running — the wire.KRepairStatus
+// answer.
+func (m *MDS) RepairPending() int {
+	m.repairMu.RLock()
+	q := m.repair
+	m.repairMu.RUnlock()
+	if q == nil {
+		return 0
+	}
+	return q.pending()
+}
+
 // Nodes returns the current placement pool.
 func (m *MDS) Nodes() []wire.NodeID {
 	m.topoMu.RLock()
@@ -451,6 +554,24 @@ func (m *MDS) StripesOn(id wire.NodeID) []StripeRef {
 	return out
 }
 
+// StripesOnSorted is StripesOn in deterministic (Ino, Stripe, Idx)
+// order — the repair queue's FIFO seed order. Anything that must agree
+// with the engines' rebuild order (benchmarks, tests) should use this
+// rather than re-sorting.
+func (m *MDS) StripesOnSorted(id wire.NodeID) []StripeRef {
+	refs := m.StripesOn(id)
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Ino != refs[j].Ino {
+			return refs[i].Ino < refs[j].Ino
+		}
+		if refs[i].Stripe != refs[j].Stripe {
+			return refs[i].Stripe < refs[j].Stripe
+		}
+		return refs[i].Idx < refs[j].Idx
+	})
+	return refs
+}
+
 // StripeRef names one block of one placed stripe.
 type StripeRef struct {
 	Ino    uint64
@@ -499,6 +620,16 @@ func (m *MDS) Handler(msg *wire.Msg) *wire.Resp {
 		return &wire.Resp{}
 	case wire.KMDSStat:
 		return &wire.Resp{Val: int64(m.Stripes(msg.Block.Ino))}
+	case wire.KRepairHint:
+		// A degraded read just paid the K-fetch decode price for this
+		// stripe: promote it in the active repair queue, if any. Val
+		// reports whether the hint landed so callers can account it.
+		if m.promoteRepair(msg.Block.Ino, msg.Block.Stripe) {
+			return &wire.Resp{Val: 1}
+		}
+		return &wire.Resp{}
+	case wire.KRepairStatus:
+		return &wire.Resp{Val: int64(m.RepairPending())}
 	default:
 		return &wire.Resp{Err: fmt.Sprintf("mds: unexpected message %v", msg.Kind)}
 	}

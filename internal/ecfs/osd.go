@@ -29,11 +29,32 @@ type OSD struct {
 
 	// epochs is the highest placement epoch this OSD has seen per
 	// stripe, learned from the placements client requests carry and
-	// from recovery's KEpochUpdate broadcast. Client-boundary requests
-	// (KWriteBlock, KUpdate) carrying an older epoch are rejected with
-	// a structured stale reply so the caller re-resolves at the MDS.
+	// from the repair engines' KEpochUpdate broadcast. Client-boundary
+	// requests (KWriteBlock, KUpdate, KRead) carrying an older epoch
+	// are rejected with a structured stale reply so the caller
+	// re-resolves at the MDS.
 	epochMu sync.RWMutex
 	epochs  map[stripeKey]uint64
+
+	// inflight counts client-boundary *mutations* (KWriteBlock,
+	// KUpdate) currently executing per stripe. An epoch fence
+	// (KEpochUpdate) waits for the stripe's count to reach zero after
+	// bumping the epoch, so a drain's post-fence refetch observes every
+	// update this OSD ever acknowledged for the stripe — requests are
+	// registered *before* their epoch check, which makes the
+	// fence-then-drain sequence airtight (see Handler).
+	inflightMu   sync.Mutex
+	inflightCond *sync.Cond
+	inflight     map[stripeKey]int
+
+	// overwrites records, per stripe, the highest placement epoch at
+	// which a client full-block write (KWriteBlock) landed here. A
+	// drain's post-fence re-store (KBlockStore with
+	// wire.StoreUnlessOverwritten) is skipped when a client has already
+	// overwritten the block at the current epoch — the old-epoch
+	// content being carried over is superseded and must not clobber it.
+	overwriteMu sync.Mutex
+	overwrites  map[stripeKey]uint64
 }
 
 // NewOSD builds an OSD and its strategy. The caller registers
@@ -41,14 +62,17 @@ type OSD struct {
 func NewOSD(id wire.NodeID, prof device.Profile, rpc transport.RPC, method string, cfg update.Config, kind erasure.MatrixKind) (*OSD, error) {
 	dev := device.New(fmt.Sprintf("osd%d/%s", id, prof.Kind), prof)
 	o := &OSD{
-		id:       id,
-		dev:      dev,
-		store:    blockstore.New(dev),
-		rpc:      rpc,
-		codeKind: kind,
-		codes:    make(map[[2]int]*erasure.Code),
-		epochs:   make(map[stripeKey]uint64),
+		id:         id,
+		dev:        dev,
+		store:      blockstore.New(dev),
+		rpc:        rpc,
+		codeKind:   kind,
+		codes:      make(map[[2]int]*erasure.Code),
+		epochs:     make(map[stripeKey]uint64),
+		inflight:   make(map[stripeKey]int),
+		overwrites: make(map[stripeKey]uint64),
 	}
+	o.inflightCond = sync.NewCond(&o.inflightMu)
 	s, err := update.New(method, cfg, o)
 	if err != nil {
 		return nil, err
@@ -118,6 +142,49 @@ func (o *OSD) noteEpoch(ino uint64, stripe uint32, epoch uint64) {
 	o.epochMu.Unlock()
 }
 
+// beginMutation registers an in-flight client-boundary mutation for the
+// stripe. It MUST be called before the request's epoch check: a fence
+// that bumps the epoch and then waits for quiescence is thereby
+// guaranteed to either see this request's registration or have it
+// rejected as stale.
+func (o *OSD) beginMutation(key stripeKey) {
+	o.inflightMu.Lock()
+	o.inflight[key]++
+	o.inflightMu.Unlock()
+}
+
+func (o *OSD) endMutation(key stripeKey) {
+	o.inflightMu.Lock()
+	if o.inflight[key]--; o.inflight[key] <= 0 {
+		delete(o.inflight, key)
+		o.inflightCond.Broadcast()
+	}
+	o.inflightMu.Unlock()
+}
+
+// noteOverwrite records a client full-block write at the given epoch,
+// so a drain's guarded re-store knows its carried-over content is
+// superseded.
+func (o *OSD) noteOverwrite(key stripeKey, epoch uint64) {
+	o.overwriteMu.Lock()
+	if epoch > o.overwrites[key] {
+		o.overwrites[key] = epoch
+	}
+	o.overwriteMu.Unlock()
+}
+
+// awaitQuiescent blocks until no client-boundary mutation is executing
+// for the stripe. Called by the KEpochUpdate fence after the epoch bump,
+// so every mutation this OSD ever acknowledged for the stripe has fully
+// landed when the fence reply goes out.
+func (o *OSD) awaitQuiescent(key stripeKey) {
+	o.inflightMu.Lock()
+	for o.inflight[key] > 0 {
+		o.inflightCond.Wait()
+	}
+	o.inflightMu.Unlock()
+}
+
 // checkEpoch validates a client-boundary request's placement epoch
 // against the stripe epochs this OSD has learned. It returns a
 // structured stale reply for an outdated placement, nil otherwise; a
@@ -143,13 +210,21 @@ func (o *OSD) Handler(msg *wire.Msg) *wire.Resp {
 	switch msg.Kind {
 	case wire.KWriteBlock:
 		// Normal write of a freshly encoded stripe member: a large
-		// sequential write (§4 "Normal Write").
+		// sequential write (§4 "Normal Write"). Registered in-flight
+		// before the epoch check so an epoch fence can wait it out.
+		key := stripeKey{msg.Block.Ino, msg.Block.Stripe}
+		o.beginMutation(key)
+		defer o.endMutation(key)
 		if stale := o.checkEpoch(msg); stale != nil {
 			return stale
 		}
+		o.noteOverwrite(key, msg.Loc.Epoch)
 		cost := o.store.WriteFull(msg.Block, msg.Data, true)
 		return &wire.Resp{Cost: cost}
 	case wire.KUpdate:
+		key := stripeKey{msg.Block.Ino, msg.Block.Stripe}
+		o.beginMutation(key)
+		defer o.endMutation(key)
 		if stale := o.checkEpoch(msg); stale != nil {
 			return stale
 		}
@@ -159,6 +234,13 @@ func (o *OSD) Handler(msg *wire.Msg) *wire.Resp {
 		}
 		return &wire.Resp{Cost: cost}
 	case wire.KRead:
+		// Reads are epoch-checked too (when the client ships its cached
+		// placement): after a repair or drain moves the block, a stale
+		// client must re-resolve instead of reading a retired copy
+		// forever — the per-stripe cutover the repair queue relies on.
+		if stale := o.checkEpoch(msg); stale != nil {
+			return stale
+		}
 		data, cost, err := o.strategy.Read(msg.Block, msg.Off, int(msg.Size))
 		if err != nil {
 			return &wire.Resp{Err: err.Error()}
@@ -166,11 +248,32 @@ func (o *OSD) Handler(msg *wire.Msg) *wire.Resp {
 		return &wire.Resp{Data: data, Cost: cost}
 	case wire.KEpochUpdate:
 		o.noteEpoch(msg.Block.Ino, msg.Block.Stripe, msg.Loc.Epoch)
+		// Fence semantics: once the epoch is bumped, wait for any
+		// mutation that passed the old epoch check to finish. When this
+		// reply goes out, the stripe's client-visible state on this OSD
+		// is final — the drain engine's post-fence refetch depends on
+		// it.
+		o.awaitQuiescent(stripeKey{msg.Block.Ino, msg.Block.Stripe})
+		// Refresh the strategy's cached stripe placement as well, so
+		// asynchronous recycle paths route deltas to the new member.
+		if r, ok := o.strategy.(update.PlacementRefresher); ok {
+			r.RefreshPlacement(msg)
+		}
 		return &wire.Resp{}
 	case wire.KBlockFetch:
 		size := o.store.Size(msg.Block)
 		if size < 0 {
 			return wire.NotFoundResp(o.id, msg.Block)
+		}
+		if msg.Flag&wire.FetchReadThrough != 0 {
+			// Drain sources a live node: serve base content plus any
+			// pending data-log overlays (read-your-writes), so the
+			// migrated copy carries updates still buffered here.
+			data, cost, err := o.strategy.Read(msg.Block, 0, size)
+			if err != nil {
+				return &wire.Resp{Err: err.Error()}
+			}
+			return &wire.Resp{Data: data, Cost: cost}
 		}
 		data, cost, err := o.store.ReadRange(msg.Block, 0, size, false)
 		if err != nil {
@@ -178,6 +281,17 @@ func (o *OSD) Handler(msg *wire.Msg) *wire.Resp {
 		}
 		return &wire.Resp{Data: data, Cost: cost}
 	case wire.KBlockStore:
+		if msg.Flag&wire.StoreUnlessOverwritten != 0 {
+			// A drain carrying over fenced source content: a client
+			// full write at the current epoch supersedes it.
+			key := stripeKey{msg.Block.Ino, msg.Block.Stripe}
+			o.overwriteMu.Lock()
+			superseded := o.overwrites[key] >= msg.Loc.Epoch && msg.Loc.Epoch > 0
+			o.overwriteMu.Unlock()
+			if superseded {
+				return &wire.Resp{Val: 1} // acknowledged, intentionally not applied
+			}
+		}
 		cost := o.store.WriteFull(msg.Block, msg.Data, true)
 		return &wire.Resp{Cost: cost}
 	case wire.KDrainLogs:

@@ -3,11 +3,9 @@ package ecfs
 import (
 	"errors"
 	"fmt"
-	"sort"
-	"sync"
 	"time"
 
-	"repro/internal/sim"
+	"repro/internal/erasure"
 	"repro/internal/transport"
 	"repro/internal/update"
 	"repro/internal/wire"
@@ -34,6 +32,11 @@ type StripeRecovery struct {
 	Skipped     bool          // fewer than K shards obtainable, all misses structured not-found (never fully written)
 	Lost        bool          // fewer than K shards obtainable with >= 1 holder unreachable (possible data loss)
 	Rebound     bool          // placement rebound onto the replacement with a bumped epoch
+	// Order is the stripe's 0-based position in the rebuild order the
+	// repair queue actually executed. Without promotions it equals the
+	// stripe's FIFO rank; a degraded-read hint moves a hot stripe's
+	// Order ahead of colder stripes seeded before it.
+	Order int
 }
 
 // DataLossError reports that recovery could not obtain K shards of a
@@ -78,6 +81,10 @@ type RecoveryResult struct {
 	// bumped epoch (fresh-id recovery only; a same-id replacement
 	// reuses the victim's placements unchanged).
 	Rebound int
+	// Promoted counts degraded-read hints that reordered the repair
+	// queue (a hint for a stripe already rebuilt or in flight is not
+	// counted).
+	Promoted int
 	// FetchErrors counts shard fetches that failed because the holder was
 	// unreachable (transport error). Absent-block replies — the normal
 	// state of a never-fully-written stripe — fall back too but are
@@ -135,160 +142,59 @@ func (c *Cluster) Recover(failed wire.NodeID, replacement *OSD) (*RecoveryResult
 }
 
 // RecoverWith is Recover with an explicit worker count (<= 0 selects
-// DefaultRecoveryWorkers), the knob the recovery benchmark sweeps.
+// DefaultRecoveryWorkers), the knob the recovery benchmark sweeps. It
+// wraps the deployment-agnostic RepairNode engine with this cluster's
+// MDS, transport and virtual-time resources; while the rebuild runs,
+// degraded client reads promote their stripe to the front of the repair
+// queue (send wire.KRepairHint) so hot stripes repair first.
 func (c *Cluster) RecoverWith(failed wire.NodeID, replacement *OSD, workers int) (*RecoveryResult, error) {
-	if workers <= 0 {
-		workers = DefaultRecoveryWorkers
-	}
-	resources := c.resources()
-	start := sim.SnapshotBusy(resources)
+	o := c.repairOptions(workers, false)
+	o.Down = c.deadSet(failed)
+	return RepairNode(c.MDS, c.Tr.Caller(replacement.id), c.code, o, failed, replacement)
+}
 
-	if err := c.Flush(); err != nil {
-		return nil, fmt.Errorf("ecfs: pre-recovery drain: %w", err)
-	}
-	drained := sim.SnapshotBusy(resources)
+// RecoverFIFO is RecoverWith with degraded-read promotion disabled: the
+// rebuild order is strictly the deterministic FIFO seed order. It is
+// the baseline the repair benchmark compares prioritized repair
+// against.
+func (c *Cluster) RecoverFIFO(failed wire.NodeID, replacement *OSD, workers int) (*RecoveryResult, error) {
+	o := c.repairOptions(workers, true)
+	o.Down = c.deadSet(failed)
+	return RepairNode(c.MDS, c.Tr.Caller(replacement.id), c.code, o, failed, replacement)
+}
 
-	if replacement.id != failed {
-		// Permanent replacement under a fresh id: the victim must not
-		// receive new placements while its stripes are rebound.
-		c.MDS.RemoveNode(failed)
+// repairOptions assembles the RepairOptions for this cluster's
+// geometry, strategy and timing model. Down is filled by the caller
+// (recovery forces the victim in; drain must not).
+func (c *Cluster) repairOptions(workers int, fifo bool) RepairOptions {
+	reps := 1
+	if c.Opts.Strategy != nil && c.Opts.Strategy.DataLogReplicas > 0 {
+		reps = c.Opts.Strategy.DataLogReplicas
 	}
-	refs := c.MDS.StripesOn(failed)
-	sort.Slice(refs, func(i, j int) bool {
-		if refs[i].Ino != refs[j].Ino {
-			return refs[i].Ino < refs[j].Ino
-		}
-		if refs[i].Stripe != refs[j].Stripe {
-			return refs[i].Stripe < refs[j].Stripe
-		}
-		return refs[i].Idx < refs[j].Idx
-	})
-
-	if workers > len(refs) && len(refs) > 0 {
-		workers = len(refs)
+	return RepairOptions{
+		K:               c.Opts.K,
+		M:               c.Opts.M,
+		Workers:         workers,
+		DataLogReplicas: reps,
+		Resources:       c.resources(),
+		Flush:           c.Flush,
+		NoPromote:       fifo,
 	}
-	r := &recoverer{
-		c:      c,
-		failed: failed,
-		repl:   replacement,
-		caller: c.Tr.Caller(replacement.id),
-		down:   c.deadSet(failed),
-		rebind: replacement.id != failed,
-	}
-	res := &RecoveryResult{
-		Workers:   workers,
-		DrainTime: sim.MaxBusyDelta(resources, start),
-		Stripes:   make([]StripeRecovery, len(refs)),
-	}
-
-	type job struct {
-		i   int
-		ref StripeRef
-	}
-	jobs := make(chan job)
-	var (
-		wg       sync.WaitGroup
-		errMu    sync.Mutex
-		firstErr error
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				// Keep draining after a failure so the feeder below never
-				// blocks on a channel with no receivers.
-				errMu.Lock()
-				failed := firstErr != nil
-				errMu.Unlock()
-				if failed {
-					continue
-				}
-				sr, err := r.rebuildStripe(j.ref)
-				res.Stripes[j.i] = sr
-				if err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					errMu.Unlock()
-				}
-			}
-		}()
-	}
-	for i, ref := range refs {
-		jobs <- job{i: i, ref: ref}
-	}
-	close(jobs)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
-
-	var lossErr *DataLossError
-	for _, sr := range res.Stripes {
-		res.StripeTime += sr.Time()
-		res.FetchErrors += sr.Unreachable
-		if sr.Rebound {
-			res.Rebound++
-		}
-		if sr.Lost {
-			res.Lost++
-			if lossErr == nil {
-				lossErr = &DataLossError{
-					Ino: sr.Ino, Stripe: sr.Stripe,
-					Need:        c.Opts.K,
-					Have:        sr.Obtained,
-					Unreachable: sr.Unreachable,
-					NotFound:    sr.NotFound,
-				}
-			}
-			continue
-		}
-		if sr.Skipped {
-			res.Skipped++
-			continue
-		}
-		res.Blocks++
-		res.Bytes += int64(sr.Bytes)
-		res.ReplayedBytes += sr.Replayed
-	}
-	if lossErr != nil {
-		lossErr.Stripes = res.Lost
-	}
-
-	// Replica replay appends parity deltas to surviving parity logs;
-	// drain them so parity is fully consistent before service resumes.
-	if res.ReplayedBytes > 0 {
-		if err := c.Flush(); err != nil {
-			return nil, fmt.Errorf("ecfs: post-replay drain: %w", err)
-		}
-	}
-
-	// Rebuild-window makespan: Workers stripes proceed in parallel, so
-	// the pipelined duration is the summed per-stripe latency divided by
-	// the worker count — but never less than the additional busy time of
-	// the bottleneck resource, which parallelism cannot compress.
-	rebuild := res.StripeTime / time.Duration(workers)
-	if b := sim.MaxBusyDelta(c.resources(), drained); b > rebuild {
-		rebuild = b
-	}
-	res.VirtualTime = res.DrainTime + rebuild
-	if res.VirtualTime > 0 {
-		res.Bandwidth = float64(res.Bytes) / res.VirtualTime.Seconds()
-	}
-	if lossErr != nil {
-		return res, lossErr
-	}
-	return res, nil
 }
 
 // recoverer is the per-recovery engine state shared by the worker pool.
+// It is deployment-agnostic: everything it touches besides the
+// in-process replacement OSD goes through the MDS handle and the RPC
+// caller, so the same engine rebuilds over the in-process transport and
+// real TCP sockets.
 type recoverer struct {
-	c      *Cluster
-	failed wire.NodeID
-	repl   *OSD
-	caller transport.RPC
+	mds      *MDS
+	caller   transport.RPC
+	code     *erasure.Code
+	k, m     int
+	replicas int // replica-log copies to consult during replay
+	failed   wire.NodeID
+	repl     *OSD
 	// down snapshots the failed set at recovery start. A node that dies
 	// *during* the rebuild surfaces as fetch errors and is handled by
 	// the per-stripe fallback.
@@ -305,7 +211,7 @@ type recoverer struct {
 // that carry the pre-recovery placement. The replacement learns the
 // epoch directly — its handler may not be registered yet.
 func (r *recoverer) rebindStripe(ref StripeRef) (wire.StripeLoc, bool, error) {
-	nl, err := r.c.MDS.Rebind(ref.Ino, ref.Stripe, r.failed, r.repl.id)
+	nl, err := r.mds.Rebind(ref.Ino, ref.Stripe, r.failed, r.repl.id)
 	if err != nil {
 		if errors.Is(err, ErrAlreadyPlaced) {
 			// The replacement already hosts a block of this stripe
@@ -325,8 +231,12 @@ func (r *recoverer) rebindStripe(ref StripeRef) (wire.StripeLoc, bool, error) {
 		}
 		// Best effort: a member that misses the broadcast simply keeps
 		// accepting the old epoch, which is only a liveness hint; the
-		// MDS remains the placement authority.
-		_, _ = r.caller.Call(node, &wire.Msg{Kind: wire.KEpochUpdate, Block: b, Loc: nl})
+		// MDS remains the placement authority. Geometry rides along so
+		// the member's strategy can refresh its stripe table and route
+		// future deltas to the replacement.
+		_, _ = r.caller.Call(node, &wire.Msg{
+			Kind: wire.KEpochUpdate, Block: b, Loc: nl, K: uint8(r.k), M: uint8(r.m),
+		})
 	}
 	return nl, true, nil
 }
@@ -337,8 +247,8 @@ func (r *recoverer) rebindStripe(ref StripeRef) (wire.StripeLoc, bool, error) {
 // to the replacement.
 func (r *recoverer) rebuildStripe(ref StripeRef) (StripeRecovery, error) {
 	sr := StripeRecovery{Ino: ref.Ino, Stripe: ref.Stripe, Idx: ref.Idx}
-	k := r.c.Opts.K
-	n := k + r.c.Opts.M
+	k := r.k
+	n := k + r.m
 	shards := make([][]byte, n)
 
 	// Candidate shard holders in index order: every live node of the
@@ -434,7 +344,7 @@ func (r *recoverer) rebuildStripe(ref StripeRef) (StripeRecovery, error) {
 		return sr, nil
 	}
 
-	if err := r.c.code.Reconstruct(shards); err != nil {
+	if err := r.code.Reconstruct(shards); err != nil {
 		return sr, fmt.Errorf("ecfs: reconstruct %d/%d: %w", ref.Ino, ref.Stripe, err)
 	}
 	lost := wire.BlockID{Ino: ref.Ino, Stripe: ref.Stripe, Idx: ref.Idx}
@@ -470,12 +380,8 @@ func (r *recoverer) rebuildStripe(ref StripeRef) (StripeRecovery, error) {
 // payload and are skipped. It returns the replayed byte count and the
 // synchronous cost of the replay RPCs.
 func (r *recoverer) replayReplica(ref StripeRef, lost wire.BlockID, data []byte) (int64, time.Duration, error) {
-	c := r.c
 	n := len(ref.Loc.Nodes)
-	reps := 1
-	if c.Opts.Strategy != nil && c.Opts.Strategy.DataLogReplicas > 0 {
-		reps = c.Opts.Strategy.DataLogReplicas
-	}
+	reps := r.replicas
 	var (
 		recs []update.ExtentRec
 		cost time.Duration
@@ -518,16 +424,16 @@ func (r *recoverer) replayReplica(ref StripeRef, lost wire.BlockID, data []byte)
 			continue // already recycled before the failure: idempotent
 		}
 		replayed += int64(len(rec.Data))
-		for j := 0; j < c.Opts.M; j++ {
-			pNode := ref.Loc.Nodes[c.Opts.K+j]
+		for j := 0; j < r.m; j++ {
+			pNode := ref.Loc.Nodes[r.k+j]
 			if pNode == r.failed || r.down[pNode] {
 				continue
 			}
-			pd := c.code.ParityDelta(j, int(ref.Idx), delta)
-			pb := wire.BlockID{Ino: ref.Ino, Stripe: ref.Stripe, Idx: uint8(c.Opts.K + j)}
+			pd := r.code.ParityDelta(j, int(ref.Idx), delta)
+			pb := wire.BlockID{Ino: ref.Ino, Stripe: ref.Stripe, Idx: uint8(r.k + j)}
 			resp, err := r.caller.Call(pNode, &wire.Msg{
 				Kind: wire.KParityLogAdd, Block: pb, Off: rec.Off, Data: pd,
-				K: uint8(c.Opts.K), M: uint8(c.Opts.M), Loc: ref.Loc,
+				K: uint8(r.k), M: uint8(r.m), Loc: ref.Loc,
 			})
 			if err != nil {
 				return replayed, cost, err

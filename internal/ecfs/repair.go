@@ -1,0 +1,711 @@
+// The repair subsystem: a prioritized queue of pending stripe
+// migrations shared by failure recovery (RepairNode) and planned
+// drain/decommission (MigrateNode).
+//
+// Both engines seed the queue with a node's stripes in deterministic
+// FIFO order and let a worker pool consume it. While a repair runs, the
+// queue is registered with the MDS: a client whose degraded read just
+// paid the K-fetch decode price sends a wire.KRepairHint, and the named
+// stripe jumps to the front of the queue (read-through repair — hot
+// stripes repair first). Every stripe is rebound at the MDS under a
+// bumped placement epoch *as soon as it completes*, so clients cut over
+// stripe by stripe: a repeated read of an already-repaired stripe is
+// rejected with wire.StatusStaleEpoch (or fails to reach the retired
+// holder), re-resolves, and becomes a normal read of the new holder —
+// no K-way decode, no end-of-recovery barrier.
+package ecfs
+
+import (
+	"bytes"
+	"container/heap"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/erasure"
+	"repro/internal/sim"
+	"repro/internal/transport"
+	"repro/internal/update"
+	"repro/internal/wire"
+)
+
+// repairItem is one pending stripe repair.
+type repairItem struct {
+	ref  StripeRef
+	seed int   // position in the deterministic seed order (= FIFO rank and result slot)
+	prio int64 // promotion stamp; 0 = never promoted, higher = promoted more recently
+	pos  int   // heap index
+}
+
+// repairQueue is the priority queue at the heart of the repair
+// subsystem. Items seed in FIFO order; promote moves a still-pending
+// stripe to the front (the most recent promotion wins ties). pop hands
+// out work in priority order and stamps each item with its execution
+// order, so results can prove how promotion reordered the rebuild.
+type repairQueue struct {
+	mu       sync.Mutex
+	items    repairHeap
+	byKey    map[stripeKey]*repairItem
+	promoSeq int64
+	popped   int
+	promoted int
+}
+
+type repairHeap []*repairItem
+
+func (h repairHeap) Len() int { return len(h) }
+func (h repairHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio > h[j].prio // promoted first, most recent promotion foremost
+	}
+	return h[i].seed < h[j].seed // FIFO otherwise
+}
+func (h repairHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].pos, h[j].pos = i, j
+}
+func (h *repairHeap) Push(x any) {
+	it := x.(*repairItem)
+	it.pos = len(*h)
+	*h = append(*h, it)
+}
+func (h *repairHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// newRepairQueue seeds a queue with refs in their given (deterministic)
+// order.
+func newRepairQueue(refs []StripeRef) *repairQueue {
+	q := &repairQueue{byKey: make(map[stripeKey]*repairItem, len(refs))}
+	q.items = make(repairHeap, 0, len(refs))
+	for i, ref := range refs {
+		it := &repairItem{ref: ref, seed: i, pos: i}
+		q.items = append(q.items, it)
+		q.byKey[stripeKey{ref.Ino, ref.Stripe}] = it
+	}
+	// Seed order already satisfies the heap property (prio 0, seed
+	// ascending), but initialize defensively.
+	heap.Init(&q.items)
+	return q
+}
+
+// pop removes the highest-priority pending stripe. order is the
+// execution rank (0-based pop sequence).
+func (q *repairQueue) pop() (ref StripeRef, seed, order int, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return StripeRef{}, 0, 0, false
+	}
+	it := heap.Pop(&q.items).(*repairItem)
+	delete(q.byKey, stripeKey{it.ref.Ino, it.ref.Stripe})
+	order = q.popped
+	q.popped++
+	return it.ref, it.seed, order, true
+}
+
+// promote moves a still-pending stripe to the front of the queue and
+// reports whether it was pending at all (a hint for a stripe already
+// repaired or in flight is a no-op).
+func (q *repairQueue) promote(ino uint64, stripe uint32) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	it, ok := q.byKey[stripeKey{ino, stripe}]
+	if !ok {
+		return false
+	}
+	q.promoSeq++
+	it.prio = q.promoSeq
+	heap.Fix(&q.items, it.pos)
+	q.promoted++
+	return true
+}
+
+func (q *repairQueue) pending() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+func (q *repairQueue) promotions() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.promoted
+}
+
+// RepairOptions parameterize the deployment-agnostic repair engines.
+// Cluster.Recover and Cluster.Drain fill them from the in-process
+// cluster; a real deployment (see the TCP harness tests) supplies its
+// own MDS handle, RPC caller, and drain hook.
+type RepairOptions struct {
+	K, M    int
+	Workers int // <= 0 selects DefaultRecoveryWorkers
+	// DataLogReplicas is the number of replica-log copies the update
+	// strategy keeps (replica replay fan-out); <= 0 selects 1.
+	DataLogReplicas int
+	// Down snapshots the failed node set; fetches skip these holders and
+	// epoch broadcasts omit them.
+	Down map[wire.NodeID]bool
+	// Resources, when non-nil, feed the virtual-time makespan model
+	// (DrainTime/VirtualTime/Bandwidth). A real deployment leaves it nil
+	// and gets wall-free aggregate accounting only.
+	Resources []*sim.Resource
+	// Flush drains strategy logs cluster-wide — the §2.3.2 consistency
+	// requirement — before stripes move and after replica replay. nil
+	// skips (the caller has already quiesced the logs).
+	Flush func() error
+	// NoPromote disables degraded-read promotion, turning the queue into
+	// a strict FIFO — the baseline the repair benchmark compares against.
+	NoPromote bool
+}
+
+func (o *RepairOptions) sanitize() {
+	if o.Workers <= 0 {
+		o.Workers = DefaultRecoveryWorkers
+	}
+	if o.DataLogReplicas <= 0 {
+		o.DataLogReplicas = 1
+	}
+}
+
+// runRepairWorkers drains the queue with o.Workers concurrent workers,
+// registering it for KRepairHint promotion unless o.NoPromote. work is
+// called once per popped stripe with its seed slot and execution order;
+// the first error aborts (remaining items are discarded, not executed).
+func runRepairWorkers(mds *MDS, o RepairOptions, q *repairQueue, work func(ref StripeRef, seed, order int) error) error {
+	if !o.NoPromote {
+		mds.installRepairQueue(q)
+		defer mds.dropRepairQueue(q)
+	}
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < o.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ref, seed, order, ok := q.pop()
+				if !ok {
+					return
+				}
+				errMu.Lock()
+				failed := firstErr != nil
+				errMu.Unlock()
+				if failed {
+					continue // drain the queue without doing work
+				}
+				if err := work(ref, seed, order); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// repairWindow models the pipelined repair-window makespan shared by
+// recovery and drain: workers stripes proceed in parallel, so the
+// duration is the summed per-stripe cost divided by the worker count —
+// but never less than the additional busy time of the bottleneck
+// resource, which parallelism cannot compress.
+func repairWindow(stripeTime time.Duration, workers int, resources []*sim.Resource, since []time.Duration) time.Duration {
+	w := stripeTime / time.Duration(workers)
+	if b := sim.MaxBusyDelta(resources, since); b > w {
+		w = b
+	}
+	return w
+}
+
+// RepairNode rebuilds a failed node's blocks onto the replacement OSD
+// using the MDS and RPC caller of any deployment — the engine
+// Cluster.Recover wraps for the in-process cluster and the TCP harness
+// drives over real sockets. The replacement must be reachable in
+// process (its store is written directly and it learns epochs first);
+// everything else — shard fetches, replica replay, epoch broadcasts —
+// travels through caller. See Cluster.Recover for the full semantics.
+func RepairNode(mds *MDS, caller transport.RPC, code *erasure.Code, o RepairOptions, failed wire.NodeID, repl *OSD) (*RecoveryResult, error) {
+	o.sanitize()
+	start := sim.SnapshotBusy(o.Resources)
+	if o.Flush != nil {
+		if err := o.Flush(); err != nil {
+			return nil, fmt.Errorf("ecfs: pre-recovery drain: %w", err)
+		}
+	}
+	drained := sim.SnapshotBusy(o.Resources)
+
+	rebind := repl.id != failed
+	if rebind {
+		// Permanent replacement under a fresh id: the victim must not
+		// receive new placements while its stripes are rebound.
+		mds.RemoveNode(failed)
+	}
+	refs := mds.StripesOnSorted(failed)
+	if o.Workers > len(refs) && len(refs) > 0 {
+		o.Workers = len(refs)
+	}
+	r := &recoverer{
+		mds:      mds,
+		caller:   caller,
+		code:     code,
+		k:        o.K,
+		m:        o.M,
+		replicas: o.DataLogReplicas,
+		failed:   failed,
+		repl:     repl,
+		down:     o.Down,
+		rebind:   rebind,
+	}
+	res := &RecoveryResult{
+		Workers:   o.Workers,
+		DrainTime: sim.MaxBusyDelta(o.Resources, start),
+		Stripes:   make([]StripeRecovery, len(refs)),
+	}
+
+	q := newRepairQueue(refs)
+	err := runRepairWorkers(mds, o, q, func(ref StripeRef, seed, order int) error {
+		sr, err := r.rebuildStripe(ref)
+		sr.Order = order
+		res.Stripes[seed] = sr
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Promoted = q.promotions()
+
+	var lossErr *DataLossError
+	for _, sr := range res.Stripes {
+		res.StripeTime += sr.Time()
+		res.FetchErrors += sr.Unreachable
+		if sr.Rebound {
+			res.Rebound++
+		}
+		if sr.Lost {
+			res.Lost++
+			if lossErr == nil {
+				lossErr = &DataLossError{
+					Ino: sr.Ino, Stripe: sr.Stripe,
+					Need:        o.K,
+					Have:        sr.Obtained,
+					Unreachable: sr.Unreachable,
+					NotFound:    sr.NotFound,
+				}
+			}
+			continue
+		}
+		if sr.Skipped {
+			res.Skipped++
+			continue
+		}
+		res.Blocks++
+		res.Bytes += int64(sr.Bytes)
+		res.ReplayedBytes += sr.Replayed
+	}
+	if lossErr != nil {
+		lossErr.Stripes = res.Lost
+	}
+
+	// Replica replay appends parity deltas to surviving parity logs;
+	// drain them so parity is fully consistent before service resumes.
+	if res.ReplayedBytes > 0 && o.Flush != nil {
+		if err := o.Flush(); err != nil {
+			return nil, fmt.Errorf("ecfs: post-replay drain: %w", err)
+		}
+	}
+
+	res.VirtualTime = res.DrainTime + repairWindow(res.StripeTime, o.Workers, o.Resources, drained)
+	if res.VirtualTime > 0 {
+		res.Bandwidth = float64(res.Bytes) / res.VirtualTime.Seconds()
+	}
+	if lossErr != nil {
+		return res, lossErr
+	}
+	return res, nil
+}
+
+// StripeMove records the migration of one block during a drain.
+type StripeMove struct {
+	Ino    uint64
+	Stripe uint32
+	Idx    uint8
+	To     wire.NodeID // destination chosen from the survivor pool
+	Bytes  int
+	// Skipped marks a placed-but-never-written slot: the placement is
+	// rebound but there is no data to copy.
+	Skipped bool
+	// Refreshed marks a stripe whose post-fence refetch observed content
+	// newer than the first copy — a client update raced the cutover and
+	// was carried over.
+	Refreshed bool
+	Cost      time.Duration // synchronous fetch/store/fence RPC cost
+}
+
+// DrainResult summarizes a planned migration off a live node.
+type DrainResult struct {
+	Node      wire.NodeID
+	Moved     int // blocks copied onto survivor-pool nodes
+	Skipped   int // placed-but-never-written slots rebound without data
+	Refreshed int // racing updates caught by the post-fence refetch
+	Rebound   int // placements rewritten under a bumped epoch (= Moved+Skipped)
+	Promoted  int // read-through hints that reordered the queue
+	Bytes     int64
+	Workers   int
+	DrainTime time.Duration // pre-migration log drain (virtual time)
+	// StripeTime sums per-stripe migration costs; VirtualTime is the
+	// modeled makespan (drain + pipelined migration window, bounded by
+	// the busiest resource) and Bandwidth the byte rate over it.
+	StripeTime  time.Duration
+	VirtualTime time.Duration
+	Bandwidth   float64
+	Moves       []StripeMove // deterministic (Ino, Stripe, Idx) order
+}
+
+// MigrateNode moves every stripe off a *live* node onto the survivor
+// pool under per-stripe epoch bumps — the engine behind Cluster.Drain
+// and Cluster.Decommission. Unlike RepairNode it never decodes: each
+// block is fetched from the draining node itself (read-through its
+// pending logs), stored on a destination chosen from the pool, and only
+// then cut over:
+//
+//  1. read-through fetch from the source (content including pending
+//     data-log updates);
+//  2. store on the destination — the new holder has the data before any
+//     client can be routed to it;
+//  3. rebind at the MDS under a bumped epoch;
+//  4. fence: the source synchronously learns the new epoch and starts
+//     rejecting stale client writes/updates/reads for the stripe
+//     (wire.StatusStaleEpoch), pushing clients to re-resolve;
+//  5. refetch from the source; if an update raced in between the first
+//     copy and the fence, the fresher content is stored again;
+//  6. broadcast the epoch to the remaining members and the destination
+//     so asynchronous delta routing follows the move.
+//
+// Client operations therefore keep succeeding throughout: reads either
+// reach the source pre-fence or re-resolve to the destination (falling
+// back to a degraded decode only in the copy window, which also
+// promotes the stripe); updates rejected by the fence re-resolve and
+// land on the destination, whose base block is already present.
+func MigrateNode(mds *MDS, caller transport.RPC, o RepairOptions, node wire.NodeID) (*DrainResult, error) {
+	o.sanitize()
+	if o.Down[node] {
+		return nil, fmt.Errorf("ecfs: drain: node %d is down (use Recover for failed nodes)", node)
+	}
+	live := 0
+	inPool := false
+	for _, id := range mds.Nodes() {
+		if id == node {
+			inPool = true
+			continue
+		}
+		if !o.Down[id] {
+			live++
+		}
+	}
+	if live < o.K+o.M {
+		return nil, fmt.Errorf("ecfs: drain node %d: %d live survivors < K+M = %d", node, live, o.K+o.M)
+	}
+
+	start := sim.SnapshotBusy(o.Resources)
+	if o.Flush != nil {
+		if err := o.Flush(); err != nil {
+			return nil, fmt.Errorf("ecfs: pre-drain flush: %w", err)
+		}
+	}
+	drainedAt := sim.SnapshotBusy(o.Resources)
+
+	// Evict the node from the placement pool for the duration of the
+	// drain — and put it back if the drain fails partway, because a
+	// failed drain leaves it alive, serving, and still hosting its
+	// unmigrated stripes.
+	removed := false
+	if inPool {
+		mds.RemoveNode(node)
+		removed = true
+	}
+	drained := false
+	defer func() {
+		if removed && !drained {
+			mds.AddNode(node)
+		}
+	}()
+	for _, id := range mds.Nodes() {
+		if id == node {
+			return nil, fmt.Errorf("ecfs: drain node %d: placement pool cannot shrink below K+M", node)
+		}
+	}
+
+	refs := mds.StripesOnSorted(node)
+	if o.Workers > len(refs) && len(refs) > 0 {
+		o.Workers = len(refs)
+	}
+	var deadIDs []wire.NodeID
+	for id := range o.Down {
+		deadIDs = append(deadIDs, id)
+	}
+	mg := &migrator{
+		mds: mds, caller: caller, node: node, k: o.K, m: o.M,
+		down: o.Down, deadList: encodeDeadList(deadIDs),
+	}
+	res := &DrainResult{
+		Node:      node,
+		Workers:   o.Workers,
+		DrainTime: sim.MaxBusyDelta(o.Resources, start),
+		Moves:     make([]StripeMove, len(refs)),
+	}
+
+	q := newRepairQueue(refs)
+	err := runRepairWorkers(mds, o, q, func(ref StripeRef, seed, _ int) error {
+		mv, err := mg.migrateStripe(ref)
+		res.Moves[seed] = mv
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	drained = true
+	res.Promoted = q.promotions()
+
+	if rest := mds.StripesOn(node); len(rest) != 0 {
+		return nil, fmt.Errorf("ecfs: drain node %d: %d stripes still placed after migration", node, len(rest))
+	}
+
+	for _, mv := range res.Moves {
+		res.StripeTime += mv.Cost
+		res.Rebound++
+		if mv.Skipped {
+			res.Skipped++
+			continue
+		}
+		res.Moved++
+		res.Bytes += int64(mv.Bytes)
+		if mv.Refreshed {
+			res.Refreshed++
+		}
+	}
+
+	res.VirtualTime = res.DrainTime + repairWindow(res.StripeTime, o.Workers, o.Resources, drainedAt)
+	if res.VirtualTime > 0 {
+		res.Bandwidth = float64(res.Bytes) / res.VirtualTime.Seconds()
+	}
+	return res, nil
+}
+
+// migrator is the per-drain engine state shared by the worker pool.
+type migrator struct {
+	mds      *MDS
+	caller   transport.RPC
+	node     wire.NodeID
+	k, m     int
+	down     map[wire.NodeID]bool
+	deadList []byte // encoded down set for per-stripe source log drains
+}
+
+func (mg *migrator) migrateStripe(ref StripeRef) (StripeMove, error) {
+	mv := StripeMove{Ino: ref.Ino, Stripe: ref.Stripe, Idx: ref.Idx}
+	b := wire.BlockID{Ino: ref.Ino, Stripe: ref.Stripe, Idx: ref.Idx}
+	fetch := func() (*wire.Resp, error) {
+		return mg.caller.Call(mg.node, &wire.Msg{Kind: wire.KBlockFetch, Block: b, Flag: wire.FetchReadThrough})
+	}
+	resp, err := fetch()
+	if err != nil {
+		return mv, fmt.Errorf("ecfs: drain fetch %v from %d: %w", b, mg.node, err)
+	}
+	var data []byte
+	switch {
+	case resp.OK():
+		data = resp.Data
+		mv.Cost += resp.Cost
+	case resp.IsNotFound():
+		mv.Skipped = true // placed but never written: rebind only
+	default:
+		return mv, fmt.Errorf("ecfs: drain fetch %v from %d: %w", b, mg.node, resp.Error())
+	}
+
+	dest, err := mg.mds.PickRebindTarget(ref.Ino, ref.Stripe, ref.Loc)
+	if err != nil {
+		return mv, err
+	}
+	mv.To = dest
+	if data != nil {
+		sresp, err := mg.caller.Call(dest, &wire.Msg{Kind: wire.KBlockStore, Block: b, Data: data})
+		if err != nil {
+			return mv, fmt.Errorf("ecfs: drain store %v on %d: %w", b, dest, err)
+		}
+		if e := sresp.Error(); e != nil {
+			return mv, e
+		}
+		mv.Cost += sresp.Cost
+		mv.Bytes = len(data)
+	}
+
+	nl, err := mg.mds.Rebind(ref.Ino, ref.Stripe, mg.node, dest)
+	if err != nil {
+		return mv, fmt.Errorf("ecfs: drain rebind %d/%d: %w", ref.Ino, ref.Stripe, err)
+	}
+
+	// Fence: unlike the recovery broadcast, the source notification must
+	// succeed — it is what stops stale clients from mutating the moved
+	// block on the old holder.
+	fr, err := mg.caller.Call(mg.node, &wire.Msg{
+		Kind: wire.KEpochUpdate, Block: b, Loc: nl, K: uint8(mg.k), M: uint8(mg.m),
+	})
+	if err != nil {
+		return mv, fmt.Errorf("ecfs: drain fence %v at %d: %w", b, mg.node, err)
+	}
+	if e := fr.Error(); e != nil {
+		return mv, e
+	}
+	mv.Cost += fr.Cost
+
+	// Broadcast to the remaining members and the new holder *before* the
+	// refetch, exactly like recovery's rebind but at this point in the
+	// sequence on purpose: the broadcast refreshes the members' strategy
+	// stripe tables, so asynchronous delta traffic (parity-log appends
+	// from data holders) re-routes to the destination before the final
+	// copy is taken. The MDS stays the placement authority; for members
+	// the epoch remains a best-effort hint.
+	for _, member := range nl.Nodes {
+		if member == mg.node || mg.down[member] {
+			continue
+		}
+		_, _ = mg.caller.Call(member, &wire.Msg{
+			Kind: wire.KEpochUpdate, Block: b, Loc: nl, K: uint8(mg.k), M: uint8(mg.m),
+		})
+	}
+
+	// A parity block's pending state lives in the source's parity log as
+	// XOR deltas, which a read-through fetch cannot merge (only data-log
+	// overlays are content). With the members now routing new deltas to
+	// the destination, force the source to recycle its logs so the base
+	// block below is current before the final copy.
+	if int(ref.Idx) >= mg.k {
+		if err := mg.drainSourceLogs(&mv); err != nil {
+			return mv, err
+		}
+	}
+
+	// Refetch behind the fence: any write acknowledged by the source
+	// after the first copy is now final there; carry it over. This runs
+	// even when the first fetch found nothing — a placed-but-unwritten
+	// stripe can receive its first full-block write inside the copy
+	// window — and a refetch failure is an error, not a shrug: skipping
+	// it would silently discard an acknowledged write. The re-store is
+	// guarded (StoreUnlessOverwritten): it must never clobber a full
+	// write a client has already landed on the destination under the
+	// new epoch.
+	r2, err := fetch()
+	if err != nil {
+		return mv, fmt.Errorf("ecfs: drain refetch %v from %d: %w", b, mg.node, err)
+	}
+	switch {
+	case r2.OK():
+		mv.Cost += r2.Cost
+		if data == nil || !bytes.Equal(r2.Data, data) {
+			sresp, serr := mg.caller.Call(dest, &wire.Msg{
+				Kind: wire.KBlockStore, Block: b, Data: r2.Data,
+				Flag: wire.StoreUnlessOverwritten, Loc: nl,
+			})
+			if serr != nil {
+				return mv, fmt.Errorf("ecfs: drain refresh %v on %d: %w", b, dest, serr)
+			}
+			if e := sresp.Error(); e != nil {
+				return mv, e
+			}
+			mv.Refreshed = true
+			mv.Skipped = false // content appeared inside the window
+			mv.Bytes = len(r2.Data)
+			mv.Cost += sresp.Cost
+		}
+	case r2.IsNotFound():
+		// Still never written: nothing to carry.
+	default:
+		return mv, fmt.Errorf("ecfs: drain refetch %v from %d: %w", b, mg.node, r2.Error())
+	}
+	return mv, nil
+}
+
+// drainSourceLogs forces the draining node to recycle its strategy logs
+// (all phases), so pending parity-log deltas are folded into its base
+// blocks before a parity block's final copy is taken.
+func (mg *migrator) drainSourceLogs(mv *StripeMove) error {
+	for phase := 1; phase <= update.DrainPhases; phase++ {
+		resp, err := mg.caller.Call(mg.node, &wire.Msg{Kind: wire.KDrainLogs, Flag: uint8(phase), Data: mg.deadList})
+		if err != nil {
+			return fmt.Errorf("ecfs: drain source logs at %d: %w", mg.node, err)
+		}
+		if e := resp.Error(); e != nil {
+			return e
+		}
+		mv.Cost += resp.Cost
+	}
+	return nil
+}
+
+// Drain migrates every stripe off a live node onto the survivor pool
+// under per-stripe epoch bumps, with zero downtime: the node keeps
+// serving throughout, clients re-resolve stripe by stripe, and no data
+// is decoded — blocks are copied straight from the draining node. The
+// node is evicted from the placement pool but stays registered; follow
+// with RemoveOSD (or use Decommission) to retire it.
+func (c *Cluster) Drain(node wire.NodeID) (*DrainResult, error) {
+	return c.DrainWith(node, c.Opts.RecoveryWorkers)
+}
+
+// DrainWith is Drain with an explicit migration worker count (<= 0
+// selects DefaultRecoveryWorkers).
+func (c *Cluster) DrainWith(node wire.NodeID, workers int) (*DrainResult, error) {
+	if c.OSD(node) == nil {
+		return nil, fmt.Errorf("ecfs: drain: unknown node %d", node)
+	}
+	o := c.repairOptions(workers, false)
+	o.Down = c.deadSnapshot()
+	return MigrateNode(c.MDS, c.Tr.Caller(wire.MDSNode), o, node)
+}
+
+// Decommission drains a live node and then retires it: after every
+// stripe has been migrated (Drain), the node is deregistered from the
+// transport, closed, removed from the OSD list, and forgotten by the
+// MDS — the zero-downtime path for taking hardware out of service.
+func (c *Cluster) Decommission(node wire.NodeID) (*DrainResult, error) {
+	res, err := c.Drain(node)
+	if err != nil {
+		return res, err
+	}
+	c.RemoveOSD(node)
+	return res, nil
+}
+
+// RemoveOSD retires a node that no longer hosts placements (post-Drain):
+// the transport handler is deregistered, the OSD closed and dropped from
+// the list, and its liveness and reverse-index state forgotten at the
+// MDS. Clients still caching the node's placements get transport errors
+// and re-resolve.
+func (c *Cluster) RemoveOSD(node wire.NodeID) {
+	c.Tr.Deregister(node)
+	out := c.OSDs[:0]
+	for _, o := range c.OSDs {
+		if o.id == node {
+			o.Close()
+			continue
+		}
+		out = append(out, o)
+	}
+	c.OSDs = out
+	c.MDS.Forget(node)
+	c.failMu.Lock()
+	delete(c.failed, node)
+	c.failMu.Unlock()
+}

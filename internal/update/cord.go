@@ -67,6 +67,9 @@ func newCoRD(cfg Config, env Env) (*cord, error) {
 
 func (c *cord) Name() string { return "cord" }
 
+// RefreshPlacement adopts a newer placement epoch (epoch broadcast).
+func (c *cord) RefreshPlacement(msg *wire.Msg) { c.stripes.remember(msg) }
+
 func (c *cord) Update(msg *wire.Msg) (time.Duration, error) {
 	store := c.env.Store()
 	b := msg.Block

@@ -42,6 +42,9 @@ func newFL(cfg Config, env Env) (*fl, error) {
 
 func (f *fl) Name() string { return "fl" }
 
+// RefreshPlacement adopts a newer placement epoch (epoch broadcast).
+func (f *fl) RefreshPlacement(msg *wire.Msg) { f.stripes.remember(msg) }
+
 func (f *fl) Update(msg *wire.Msg) (time.Duration, error) {
 	f.stripes.remember(msg)
 	cost := f.dataLog.Append(msg.Block, msg.Off, msg.Data, time.Duration(msg.V))

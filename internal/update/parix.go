@@ -52,6 +52,9 @@ func newPARIX(cfg Config, env Env) *parix {
 
 func (p *parix) Name() string { return "parix" }
 
+// RefreshPlacement adopts a newer placement epoch (epoch broadcast).
+func (p *parix) RefreshPlacement(msg *wire.Msg) { p.stripes.remember(msg) }
+
 func (p *parix) Update(msg *wire.Msg) (time.Duration, error) {
 	store := p.env.Store()
 	b := msg.Block

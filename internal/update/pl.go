@@ -44,6 +44,9 @@ func newPL(cfg Config, env Env) (*pl, error) {
 
 func (p *pl) Name() string { return "pl" }
 
+// RefreshPlacement adopts a newer placement epoch (epoch broadcast).
+func (p *pl) RefreshPlacement(msg *wire.Msg) { p.stripes.remember(msg) }
+
 func (p *pl) Update(msg *wire.Msg) (time.Duration, error) {
 	// In-place data-block read-modify-write (the expensive
 	// write-after-read the paper highlights).

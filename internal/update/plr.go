@@ -45,6 +45,9 @@ func newPLR(cfg Config, env Env) *plr {
 
 func (p *plr) Name() string { return "plr" }
 
+// RefreshPlacement adopts a newer placement epoch (epoch broadcast).
+func (p *plr) RefreshPlacement(msg *wire.Msg) { p.stripes.remember(msg) }
+
 func (p *plr) Update(msg *wire.Msg) (time.Duration, error) {
 	store := p.env.Store()
 	b := msg.Block

@@ -72,6 +72,15 @@ type Strategy interface {
 	Close()
 }
 
+// PlacementRefresher is implemented by strategies that cache stripe
+// placements for asynchronous delta routing. The OSD forwards placement
+// epoch broadcasts (wire.KEpochUpdate) through it, so recycle paths
+// route deltas to the member a repair or drain just installed instead
+// of the cached predecessor.
+type PlacementRefresher interface {
+	RefreshPlacement(msg *wire.Msg)
+}
+
 // Config carries the tunables shared by the strategies.
 type Config struct {
 	// BlockSize is the stripe block size in bytes.
@@ -184,16 +193,21 @@ func (t *stripeTable) remember(msg *wire.Msg) {
 	}
 	k := keyOf(msg.Block)
 	t.mu.Lock()
-	// Refresh on a newer placement epoch: after recovery rebinds a
-	// stripe onto a replacement node, asynchronous recycle paths must
-	// route deltas to the *new* member, not the cached victim.
+	// Refresh on a newer placement epoch: after a repair or drain
+	// rebinds a stripe onto another node, asynchronous recycle paths
+	// must route deltas to the *new* member, not the cached one.
 	if cur, ok := t.m[k]; !ok || msg.Loc.Epoch > cur.Loc.Epoch {
+		kk, mm := int(msg.K), int(msg.M)
+		if kk == 0 && ok {
+			// Geometry-free refresh (an epoch broadcast): keep the
+			// known K/M, adopt only the new placement.
+			kk, mm = cur.K, cur.M
+		}
 		loc := wire.StripeLoc{Nodes: append([]wire.NodeID(nil), msg.Loc.Nodes...), Epoch: msg.Loc.Epoch}
-		t.m[k] = stripeInfo{K: int(msg.K), M: int(msg.M), Loc: loc}
+		t.m[k] = stripeInfo{K: kk, M: mm, Loc: loc}
 	}
 	t.mu.Unlock()
 }
-
 func (t *stripeTable) get(b wire.BlockID) (stripeInfo, bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()

@@ -130,6 +130,9 @@ func newTSUE(cfg Config, env Env) (*tsue, error) {
 
 func (t *tsue) Name() string { return "tsue" }
 
+// RefreshPlacement adopts a newer placement epoch (epoch broadcast).
+func (t *tsue) RefreshPlacement(msg *wire.Msg) { t.stripes.remember(msg) }
+
 // Update is the synchronous front end: sequential DataLog append plus
 // replica forwarding — the whole client-perceived path (§3.1.1).
 func (t *tsue) Update(msg *wire.Msg) (time.Duration, error) {

@@ -87,8 +87,26 @@ const (
 	KDrainLogs      // force strategy logs to be recycled (pre-recovery)
 	KReplicaFetch   // fetch replicated log extents for a block (recovery)
 	KPing           // liveness / latency probe
-	KEpochUpdate    // recovery tells a stripe member about a new placement epoch
+	KEpochUpdate    // repair tells a stripe member about a new placement epoch
+
+	// Repair-subsystem RPCs (client/tool -> MDS).
+	KRepairHint   // degraded read promotes a stripe in the active repair queue
+	KRepairStatus // query the active repair/drain queue (Val = pending stripes)
 )
+
+// FetchReadThrough, set in Msg.Flag on a KBlockFetch, asks the holder to
+// serve the block through its update strategy (base content plus any
+// pending data-log overlays) instead of the raw store. The drain engine
+// uses it so a live migration source hands over read-your-writes content
+// without a full cluster log drain per stripe.
+const FetchReadThrough uint8 = 1
+
+// StoreUnlessOverwritten, set in Msg.Flag on a KBlockStore carrying a
+// placement (Msg.Loc), makes the store a no-op if a client full-block
+// write at Loc.Epoch (or newer) has already landed for the stripe: the
+// drain engine's post-fence re-store carries *old-epoch* content and
+// must never clobber a write acknowledged under the new placement.
+const StoreUnlessOverwritten uint8 = 2
 
 var kindNames = map[Kind]string{
 	KInvalid: "invalid", KWriteBlock: "write-block", KUpdate: "update",
@@ -99,7 +117,8 @@ var kindNames = map[Kind]string{
 	KParixLogAdd: "parix-log-add", KCordCollect: "cord-collect",
 	KBlockFetch: "block-fetch", KBlockStore: "block-store",
 	KDrainLogs: "drain-logs", KReplicaFetch: "replica-fetch", KPing: "ping",
-	KEpochUpdate: "epoch-update",
+	KEpochUpdate: "epoch-update", KRepairHint: "repair-hint",
+	KRepairStatus: "repair-status",
 }
 
 func (k Kind) String() string {
