@@ -11,6 +11,7 @@
 package tsue_test
 
 import (
+	"context"
 	"testing"
 
 	tsue "repro"
@@ -33,7 +34,7 @@ func runExperiment(b *testing.B, id string) {
 	b.Helper()
 	s := benchScale()
 	for i := 0; i < b.N; i++ {
-		rep, err := bench.Experiments[id](s)
+		rep, err := bench.Experiments[id](context.Background(), s)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -143,7 +144,7 @@ func ablationRun(b *testing.B, mutate func(*update.Config)) {
 	s := benchScale()
 	tr := tsue.TenCloudTrace(s.FileSize, s.Ops, s.Seed)
 	for i := 0; i < b.N; i++ {
-		iops, err := bench.AblationRun("tsue", 6, 4, tr, s, mutate)
+		iops, err := bench.AblationRun(context.Background(), "tsue", 6, 4, tr, s, mutate)
 		if err != nil {
 			b.Fatal(err)
 		}

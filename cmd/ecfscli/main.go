@@ -1,21 +1,26 @@
 // Command ecfscli is a minimal client for a TCP-deployed ECFS cluster
 // (see cmd/ecfsd).
 //
-// Subcommands:
+// The self-discovering mode needs only the MDS address — geometry,
+// block size and node addresses come from wire.KResolveAddr:
 //
-//	ecfscli -nodes ... -k 2 -m 1 put <name> <localfile>
-//	ecfscli -nodes ... -k 2 -m 1 get <name> <off> <len>
-//	ecfscli -nodes ... -k 2 -m 1 update <name> <off> <hexbytes>
+//	ecfscli -mds :7000 put <name> <localfile>
+//	ecfscli -mds :7000 get <name> <off> <len>
+//	ecfscli -mds :7000 update <name> <off> <hexbytes>
+//
+// The static mode predating address discovery still works:
+//
+//	ecfscli -nodes 0=:7000,1=:7001,... -k 2 -m 1 put <name> <localfile>
 package main
 
 import (
+	"context"
 	"encoding/hex"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
-
-	"flag"
 
 	"repro/internal/ecfs"
 	"repro/internal/erasure"
@@ -25,27 +30,49 @@ import (
 
 func main() {
 	var (
-		nodes = flag.String("nodes", "", "node address map: 0=host:port,1=host:port,...")
-		k     = flag.Int("k", 6, "data blocks per stripe")
-		m     = flag.Int("m", 4, "parity blocks per stripe")
-		block = flag.Int("block", 1<<20, "block size in bytes")
+		mdsAddr = flag.String("mds", "", "MDS address: self-discover nodes, geometry and block size (preferred)")
+		nodes   = flag.String("nodes", "", "static node address map: 0=host:port,1=host:port,...")
+		k       = flag.Int("k", 6, "data blocks per stripe (static mode)")
+		m       = flag.Int("m", 4, "parity blocks per stripe (static mode)")
+		block   = flag.Int("block", 1<<20, "block size in bytes (static mode)")
 	)
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 2 {
 		usage()
 	}
-	addrs, err := parseNodes(*nodes)
+	ctx := context.Background()
+
+	var cli *ecfs.Client
+	switch {
+	case *mdsAddr != "":
+		rc, err := ecfs.Dial(ctx, *mdsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer rc.Close()
+		cli = rc.Client
+	case *nodes != "":
+		addrs, err := parseNodes(*nodes)
+		if err != nil {
+			fatal(err)
+		}
+		rpc := transport.NewTCPClient(addrs)
+		defer rpc.Close()
+		code, err := erasure.New(*k, *m, erasure.Vandermonde)
+		if err != nil {
+			fatal(err)
+		}
+		cli = ecfs.NewClient(wire.ClientIDBase, rpc, code, *block)
+	default:
+		fatal(fmt.Errorf("-mds or -nodes required"))
+	}
+
+	f, err := cli.Open(ctx, args[1])
 	if err != nil {
 		fatal(err)
 	}
-	rpc := transport.NewTCPClient(addrs)
-	defer rpc.Close()
-	code, err := erasure.New(*k, *m, erasure.Vandermonde)
-	if err != nil {
-		fatal(err)
-	}
-	cli := ecfs.NewClient(wire.ClientIDBase, rpc, code, *block)
+	defer f.Close()
 
 	switch args[0] {
 	case "put":
@@ -56,25 +83,20 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		ino, err := cli.Create(args[1])
+		if _, err := f.WriteAt(data, 0); err != nil {
+			fatal(err)
+		}
+		stripes, err := f.Stripes(ctx)
 		if err != nil {
 			fatal(err)
 		}
-		stripes, err := cli.WriteFile(ino, data)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("ecfscli: wrote %q as ino %d (%d bytes, %d stripes)\n", args[1], ino, len(data), stripes)
+		fmt.Printf("ecfscli: wrote %q as ino %d (%d bytes, %d stripes)\n", args[1], f.Ino(), len(data), stripes)
 	case "get":
 		if len(args) != 4 {
 			usage()
 		}
-		ino, err := cli.Create(args[1])
-		if err != nil {
-			fatal(err)
-		}
 		off, size := parseI64(args[2]), parseI64(args[3])
-		data, _, err := cli.Read(ino, off, int(size))
+		data, _, err := f.ReadRange(ctx, off, int(size))
 		if err != nil {
 			fatal(err)
 		}
@@ -83,15 +105,11 @@ func main() {
 		if len(args) != 4 {
 			usage()
 		}
-		ino, err := cli.Create(args[1])
-		if err != nil {
-			fatal(err)
-		}
 		payload, err := hex.DecodeString(args[3])
 		if err != nil {
 			fatal(fmt.Errorf("bad hex payload: %w", err))
 		}
-		lat, err := cli.Update(ino, parseI64(args[2]), payload, 0)
+		lat, err := f.UpdateAt(ctx, parseI64(args[2]), payload, 0)
 		if err != nil {
 			fatal(err)
 		}
@@ -129,7 +147,7 @@ func parseI64(s string) int64 {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: ecfscli -nodes 0=addr,1=addr,... [-k K -m M -block N] put|get|update ...")
+	fmt.Fprintln(os.Stderr, "usage: ecfscli -mds host:port | -nodes 0=addr,... [-k K -m M -block N]  put|get|update ...")
 	os.Exit(2)
 }
 

@@ -2,16 +2,27 @@
 // over real TCP, so the same file system that the benchmark harness
 // drives in-process can be deployed as an actual distributed cluster.
 //
+// The deployment is self-discovering: OSDs report their listen address
+// in every heartbeat, the MDS serves the resulting address map (plus
+// the stripe geometry and block size) over wire.KResolveAddr, and both
+// OSD peers and clients (tsue.Dial / ecfscli -mds) resolve node
+// addresses through it. Only the MDS address needs to be configured
+// anywhere.
+//
 // A 3-OSD toy cluster on one machine:
 //
 //	ecfsd -role mds -listen :7000 -k 2 -m 1 -osds 3 &
-//	ecfsd -role osd -id 1 -listen :7001 -nodes 0=:7000,1=:7001,2=:7002,3=:7003 &
-//	ecfsd -role osd -id 2 -listen :7002 -nodes 0=:7000,1=:7001,2=:7002,3=:7003 &
-//	ecfsd -role osd -id 3 -listen :7003 -nodes 0=:7000,1=:7001,2=:7002,3=:7003 &
-//	ecfscli -nodes 0=:7000,1=:7001,2=:7002,3=:7003 -k 2 -m 1 put file.bin
+//	ecfsd -role osd -id 1 -listen :7001 -mds :7000 &
+//	ecfsd -role osd -id 2 -listen :7002 -mds :7000 &
+//	ecfsd -role osd -id 3 -listen :7003 -mds :7000 &
+//	ecfscli -mds :7000 put file.bin
+//
+// A static -nodes map is still accepted as a seed (and for clusters
+// predating address heartbeats).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -31,16 +42,18 @@ import (
 
 func main() {
 	var (
-		role   = flag.String("role", "osd", "node role: mds | osd")
-		id     = flag.Int("id", 1, "OSD node id (1..N); the MDS is node 0")
-		listen = flag.String("listen", ":7000", "listen address")
-		nodes  = flag.String("nodes", "", "node address map: 0=host:port,1=host:port,...")
-		method = flag.String("method", "tsue", "update method: "+strings.Join(update.AllMethods, ", "))
-		k      = flag.Int("k", 6, "data blocks per stripe")
-		m      = flag.Int("m", 4, "parity blocks per stripe")
-		osds   = flag.Int("osds", 16, "cluster OSD count (MDS role)")
-		block  = flag.Int("block", 1<<20, "block size in bytes")
-		hdd    = flag.Bool("hdd", false, "use the HDD device profile")
+		role      = flag.String("role", "osd", "node role: mds | osd")
+		id        = flag.Int("id", 1, "OSD node id (1..N); the MDS is node 0")
+		listen    = flag.String("listen", ":7000", "listen address")
+		advertise = flag.String("advertise", "", "address to report in heartbeats (defaults to the bound listen address)")
+		mdsAddr   = flag.String("mds", "", "MDS address (OSD role); peer addresses are then resolved through the MDS address map")
+		nodes     = flag.String("nodes", "", "static node address map seed: 0=host:port,1=host:port,...")
+		method    = flag.String("method", "tsue", "update method: "+strings.Join(update.AllMethods, ", "))
+		k         = flag.Int("k", 6, "data blocks per stripe")
+		m         = flag.Int("m", 4, "parity blocks per stripe")
+		osds      = flag.Int("osds", 16, "cluster OSD count (MDS role)")
+		block     = flag.Int("block", 1<<20, "block size in bytes")
+		hdd       = flag.Bool("hdd", false, "use the HDD device profile")
 	)
 	flag.Parse()
 
@@ -54,17 +67,31 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		// Served to dialing clients over wire.KResolveAddr, so the
+		// whole cluster configuration lives in one place.
+		mds.SetBlockSize(*block)
 		srv, err := transport.ServeTCP(wire.MDSNode, *listen, mds.Handler)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("ecfsd: mds serving RS(%d,%d) for %d OSDs on %s\n", *k, *m, *osds, srv.Addr())
+		self := *advertise
+		if self == "" {
+			self = srv.Addr()
+		}
+		mds.RecordAddr(wire.MDSNode, self)
+		fmt.Printf("ecfsd: mds serving RS(%d,%d) x %d B blocks for %d OSDs on %s\n", *k, *m, *block, *osds, srv.Addr())
 		waitSignal()
 		srv.Close()
 	case "osd":
 		addrs, err := parseNodes(*nodes)
 		if err != nil {
 			fatal(err)
+		}
+		if *mdsAddr != "" {
+			addrs[wire.MDSNode] = *mdsAddr
+		}
+		if _, ok := addrs[wire.MDSNode]; !ok {
+			fatal(fmt.Errorf("OSD role needs the MDS address: pass -mds host:port (or a -nodes map containing node 0)"))
 		}
 		prof := device.ChameleonSSD()
 		if *hdd {
@@ -74,6 +101,23 @@ func main() {
 		cfg.BlockSize = *block
 		rpc := transport.NewTCPClient(addrs)
 		defer rpc.Close()
+		// Peer addresses resolve through the MDS address map, so a
+		// static -nodes list is only ever a seed.
+		rpc.SetResolver(func(ctx context.Context) (map[wire.NodeID]string, error) {
+			r, err := rpc.Call(ctx, wire.MDSNode, &wire.Msg{Kind: wire.KResolveAddr})
+			if err != nil {
+				return nil, err
+			}
+			if err := r.Error(); err != nil {
+				return nil, err
+			}
+			out, err := wire.DecodeAddrMap(r.Data)
+			if err != nil {
+				return nil, err
+			}
+			delete(out, wire.MDSNode) // the configured MDS address stays
+			return out, nil
+		})
 		osd, err := ecfs.NewOSD(wire.NodeID(*id), prof, rpc, *method, cfg, erasure.Vandermonde)
 		if err != nil {
 			fatal(err)
@@ -83,9 +127,19 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		self := *advertise
+		if self == "" {
+			self = srv.Addr()
+		}
+		osd.SetListenAddr(self)
+		// Announce immediately so the address map knows this node before
+		// the first periodic heartbeat fires.
+		if err := osd.Heartbeat(context.Background()); err != nil {
+			fmt.Fprintf(os.Stderr, "ecfsd: initial heartbeat: %v (will keep retrying)\n", err)
+		}
 		stop := make(chan struct{})
 		osd.StartHeartbeats(2*time.Second, stop)
-		fmt.Printf("ecfsd: osd %d (%s, %s) serving on %s\n", *id, *method, prof.Kind, srv.Addr())
+		fmt.Printf("ecfsd: osd %d (%s, %s) serving on %s, advertising %s\n", *id, *method, prof.Kind, srv.Addr(), self)
 		waitSignal()
 		close(stop)
 		srv.Close()
@@ -95,10 +149,10 @@ func main() {
 }
 
 func parseNodes(s string) (map[wire.NodeID]string, error) {
-	if s == "" {
-		return nil, fmt.Errorf("ecfsd: -nodes required for OSD role")
-	}
 	out := make(map[wire.NodeID]string)
+	if s == "" {
+		return out, nil
+	}
 	for _, part := range strings.Split(s, ",") {
 		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
 		if len(kv) != 2 {

@@ -10,21 +10,31 @@
 //	tsuebench -exp repair             # read-through repair (FIFO vs prioritized) + drain/decommission
 //	tsuebench -exp fig8b -fig8b-workers 1,4,16
 //	tsuebench -exp mds-scale          # metadata sharding: lookup/create + StripesOn vs shard count
+//	tsuebench -exp fig5 -json         # also write machine-readable BENCH_fig5.json
+//
+// A SIGINT/SIGTERM cancels the run context: the in-flight experiment
+// aborts at its next operation instead of running to completion.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/bench"
 )
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment id (fig5, fig6a, fig6b, fig7, table1, table2, fig8a, fig8b), an extension (latency, compression, recovery, recovery-multi, repair, mds-scale), or 'all'")
+		exp       = flag.String("exp", "all", "experiment id ("+strings.Join(knownExperiments(), ", ")+"), or 'all'")
 		scale     = flag.String("scale", "quick", "experiment scale: quick | paper")
 		ops       = flag.Int("ops", 0, "override trace operation count")
 		osds      = flag.Int("osds", 0, "override OSD count")
@@ -32,6 +42,8 @@ func main() {
 		clients   = flag.String("clients", "", "override client sweep, e.g. 4,16,64")
 		rworkers  = flag.String("recovery-workers", "", "override the recovery experiment's worker sweep, e.g. 1,4,16")
 		f8workers = flag.String("fig8b-workers", "", "add a rebuild-worker axis to the fig8b HDD recovery sweep, e.g. 1,4,16")
+		jsonOut   = flag.Bool("json", false, "additionally write each report as machine-readable BENCH_<id>.json")
+		outDir    = flag.String("out", ".", "directory for -json output files")
 	)
 	flag.Parse()
 
@@ -64,7 +76,10 @@ func main() {
 		s.Fig8bWorkers = parseIntList("fig8b-workers", *f8workers)
 	}
 
-	lookup := func(id string) (func(bench.Scale) (*bench.Report, error), bool) {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	lookup := func(id string) (func(context.Context, bench.Scale) (*bench.Report, error), bool) {
 		if fn, ok := bench.Experiments[id]; ok {
 			return fn, true
 		}
@@ -74,20 +89,53 @@ func main() {
 	ids := bench.Order
 	if *exp != "all" {
 		if _, ok := lookup(*exp); !ok {
-			fmt.Fprintf(os.Stderr, "tsuebench: unknown experiment %q (want %s, latency, compression, recovery, recovery-multi, repair, mds-scale, or all)\n", *exp, strings.Join(bench.Order, ", "))
+			fmt.Fprintf(os.Stderr, "tsuebench: unknown experiment %q (want %s, or all)\n", *exp, strings.Join(knownExperiments(), ", "))
 			os.Exit(2)
 		}
 		ids = []string{*exp}
 	}
 	for _, id := range ids {
 		fn, _ := lookup(id)
-		rep, err := fn(s)
+		rep, err := fn(ctx, s)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tsuebench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
 		rep.Fprint(os.Stdout)
+		if *jsonOut {
+			if err := writeJSON(*outDir, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "tsuebench: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
 	}
+}
+
+// knownExperiments lists every accepted id — the paper's experiments in
+// order, then the extensions sorted — built from the live tables so the
+// usage text cannot drift from what the lookup accepts.
+func knownExperiments() []string {
+	ids := append([]string{}, bench.Order...)
+	ext := make([]string, 0, len(bench.Extensions))
+	for id := range bench.Extensions {
+		ext = append(ext, id)
+	}
+	sort.Strings(ext)
+	return append(ids, ext...)
+}
+
+// writeJSON writes one report as BENCH_<id>.json in dir.
+func writeJSON(dir string, rep *bench.Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+rep.ID+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tsuebench: wrote %s\n", path)
+	return nil
 }
 
 // parseIntList parses a comma-separated list of positive ints or exits.

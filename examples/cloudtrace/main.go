@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,6 +32,7 @@ func main() {
 }
 
 func replay(traceName, method string, fileSize int64, ops, clients int) (float64, string) {
+	ctx := context.Background()
 	opts := tsue.DefaultOptions()
 	opts.Method = method
 	opts.BlockSize = 128 << 10
@@ -49,11 +51,11 @@ func replay(traceName, method string, fileSize int64, ops, clients int) (float64
 		tr = tsue.TenCloudTrace(fileSize, ops, 7)
 	}
 	rep := tsue.NewReplayer(cluster, clients)
-	ino, err := rep.Prepare(traceName, fileSize)
+	ino, err := rep.Prepare(ctx, traceName, fileSize)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := rep.Run(tr, ino)
+	res, err := rep.Run(ctx, tr, ino)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +63,7 @@ func replay(traceName, method string, fileSize int64, ops, clients int) (float64
 		log.Fatalf("%d replay errors", res.Errors)
 	}
 	// Consistency is part of the demo: flush and verify every stripe.
-	if err := cluster.Flush(); err != nil {
+	if err := cluster.Flush(ctx); err != nil {
 		log.Fatal(err)
 	}
 	if err := cluster.VerifyStripes(ino, nil); err != nil {

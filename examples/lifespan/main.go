@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	const (
 		fileSize = 8 << 20
 		ops      = 4000
@@ -36,16 +38,16 @@ func main() {
 
 		tr := tsue.TenCloudTrace(fileSize, ops, 3)
 		rep := tsue.NewReplayer(cluster, 16)
-		ino, err := rep.Prepare("wear", fileSize)
+		ino, err := rep.Prepare(ctx, "wear", fileSize)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if _, err := rep.Run(tr, ino); err != nil {
+		if _, err := rep.Run(ctx, tr, ino); err != nil {
 			log.Fatal(err)
 		}
 		// Include the deferred recycle bill: all methods must leave the
 		// stripes fully consistent.
-		if err := cluster.Flush(); err != nil {
+		if err := cluster.Flush(ctx); err != nil {
 			log.Fatal(err)
 		}
 		if err := cluster.VerifyStripes(ino, nil); err != nil {

@@ -26,6 +26,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -37,6 +38,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	opts := tsue.DefaultOptions()
 	opts.BlockSize = 64 << 10
 	opts.RecoveryWorkers = 8
@@ -102,7 +104,7 @@ func main() {
 	cluster.FailOSD(victim)
 	fmt.Printf("OSD %d failed — its DataLog content is lost with it\n", victim)
 	repl := newOSD(victim)
-	res, err := cluster.Recover(victim, repl)
+	res, err := cluster.Recover(ctx, victim, repl)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -124,7 +126,7 @@ func main() {
 	freshID := wire.NodeID(opts.NumOSDs + 1)
 	repl2 := newOSD(freshID)
 	cluster.AddOSD(repl2) // joins the MDS placement pool under the fresh id
-	res2, err := cluster.Recover(victim2, repl2)
+	res2, err := cluster.Recover(ctx, victim2, repl2)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -158,7 +160,7 @@ func main() {
 	}
 	retiree := cur.Nodes[0]
 	fmt.Printf("decommissioning healthy OSD %d — no failure, no decode, no downtime\n", retiree)
-	res3, err := cluster.Decommission(retiree)
+	res3, err := cluster.Decommission(ctx, retiree)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -23,6 +23,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -201,18 +202,18 @@ func (rc runConfig) clusterOptions() ecfs.Options {
 }
 
 // run executes one configuration end to end.
-func run(rc runConfig) (*runResult, error) {
+func run(ctx context.Context, rc runConfig) (*runResult, error) {
 	c, err := ecfs.NewCluster(rc.clusterOptions())
 	if err != nil {
 		return nil, err
 	}
 	defer c.Close()
 	rep := trace.NewReplayer(c, rc.Scale.ReplayCli)
-	ino, err := rep.Prepare(rc.Trace.Name, rc.Trace.FileSize)
+	ino, err := rep.Prepare(ctx, rc.Trace.Name, rc.Trace.FileSize)
 	if err != nil {
 		return nil, err
 	}
-	res, err := rep.Run(rc.Trace, ino)
+	res, err := rep.Run(ctx, rc.Trace, ino)
 	if err != nil {
 		return nil, err
 	}
@@ -234,7 +235,7 @@ func run(rc runConfig) (*runResult, error) {
 		}
 	}
 	if !rc.NoFlush {
-		if err := c.Flush(); err != nil {
+		if err := c.Flush(ctx); err != nil {
 			return nil, err
 		}
 	}
@@ -360,8 +361,10 @@ func fmtGB(b int64) string { return fmt.Sprintf("%.2f", float64(b)/1e9) }
 // fmtMB renders bytes as mebibytes.
 func fmtMB(b int64) string { return fmt.Sprintf("%.0f", float64(b)/(1<<20)) }
 
-// Experiments maps experiment ids to their generators.
-var Experiments = map[string]func(Scale) (*Report, error){
+// Experiments maps experiment ids to their generators. Every generator
+// takes a context honored between (and, through the replayer, within)
+// its cluster runs, so a cancelled ctx aborts an in-flight experiment.
+var Experiments = map[string]func(context.Context, Scale) (*Report, error){
 	"fig5":   Fig5,
 	"fig6a":  Fig6a,
 	"fig6b":  Fig6b,
@@ -379,8 +382,8 @@ var Order = []string{"fig5", "fig6a", "fig6b", "fig7", "table1", "table2", "fig8
 // configuration and returns the modeled aggregate IOPS at the scale's
 // largest client count. Exported for the repository's ablation
 // benchmarks (bench_test.go).
-func AblationRun(method string, k, m int, tr *trace.Trace, s Scale, mutate func(*update.Config)) (float64, error) {
-	res, err := run(runConfig{Method: method, K: k, M: m, Trace: tr, Scale: s, NoFlush: true, Mutate: mutate})
+func AblationRun(ctx context.Context, method string, k, m int, tr *trace.Trace, s Scale, mutate func(*update.Config)) (float64, error) {
+	res, err := run(ctx, runConfig{Method: method, K: k, M: m, Trace: tr, Scale: s, NoFlush: true, Mutate: mutate})
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -35,7 +36,7 @@ func TestFig5ShapeTSUEWins(t *testing.T) {
 	old := fig5Geometries
 	fig5Geometries = [][2]int{{6, 4}}
 	defer func() { fig5Geometries = old }()
-	rep, err := Fig5(s)
+	rep, err := Fig5(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestFig5ClientScaling(t *testing.T) {
 	old := fig5Geometries
 	fig5Geometries = [][2]int{{6, 2}}
 	defer func() { fig5Geometries = old }()
-	rep, err := Fig5(s)
+	rep, err := Fig5(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestFig5ClientScaling(t *testing.T) {
 
 func TestFig7Shape(t *testing.T) {
 	s := tinyScale()
-	rep, err := Fig7(s)
+	rep, err := Fig7(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestFig7Shape(t *testing.T) {
 
 func TestTable1Shape(t *testing.T) {
 	s := tinyScale()
-	rep, err := Table1(s)
+	rep, err := Table1(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestTable1Shape(t *testing.T) {
 
 func TestTable2Produces(t *testing.T) {
 	s := tinyScale()
-	rep, err := Table2(s)
+	rep, err := Table2(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +142,7 @@ func TestTable2Produces(t *testing.T) {
 
 func TestFig6aFlat(t *testing.T) {
 	s := tinyScale()
-	rep, err := Fig6a(s)
+	rep, err := Fig6a(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestFig6aFlat(t *testing.T) {
 
 func TestFig6bMemoryGrows(t *testing.T) {
 	s := tinyScale()
-	rep, err := Fig6b(s)
+	rep, err := Fig6b(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestFig6bMemoryGrows(t *testing.T) {
 func TestFig8aShape(t *testing.T) {
 	s := tinyScale()
 	s.Ops = 600
-	rep, err := Fig8a(s)
+	rep, err := Fig8a(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestFig8aShape(t *testing.T) {
 func TestFig8bShape(t *testing.T) {
 	s := tinyScale()
 	s.Ops = 500
-	rep, err := Fig8b(s)
+	rep, err := Fig8b(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +237,7 @@ func TestFig8bWorkerAxis(t *testing.T) {
 	old := fig8Methods
 	fig8Methods = []string{"tsue"}
 	defer func() { fig8Methods = old }()
-	rep, err := Fig8b(s)
+	rep, err := Fig8b(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +258,7 @@ func TestRecoveryWorkersReduceTime(t *testing.T) {
 	s := tinyScale()
 	s.Ops = 600
 	s.RecoveryWorkers = []int{1, 8}
-	rep, err := Recovery(s)
+	rep, err := Recovery(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +284,7 @@ func TestRecoveryWorkersReduceTime(t *testing.T) {
 func TestRecoveryMultiScrubsClean(t *testing.T) {
 	s := tinyScale()
 	s.Ops = 600
-	rep, err := RecoveryMulti(s)
+	rep, err := RecoveryMulti(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}

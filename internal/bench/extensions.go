@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -13,7 +14,7 @@ import (
 // claims TSUE "consistently achieved the highest aggregation IOPS and
 // lowest latency" (§7) but only charts IOPS; this table reports the
 // update-latency distribution per method under the Ten-Cloud trace.
-func Latency(s Scale) (*Report, error) {
+func Latency(ctx context.Context, s Scale) (*Report, error) {
 	rep := &Report{
 		ID:     "latency",
 		Title:  "Extension: update latency distribution (Ten-Cloud, RS(6,4))",
@@ -30,12 +31,12 @@ func Latency(s Scale) (*Report, error) {
 			return nil, err
 		}
 		r := trace.NewReplayer(c, s.ReplayCli)
-		ino, err := r.Prepare(tr.Name, tr.FileSize)
+		ino, err := r.Prepare(ctx, tr.Name, tr.FileSize)
 		if err != nil {
 			c.Close()
 			return nil, err
 		}
-		if _, err := r.Run(tr, ino); err != nil {
+		if _, err := r.Run(ctx, tr, ino); err != nil {
 			c.Close()
 			return nil, err
 		}
@@ -57,7 +58,7 @@ func Latency(s Scale) (*Report, error) {
 // Compression is the paper's §7 future-work extension, measured: delta
 // compression between log layers trades buffered CPU time for network
 // traffic. Reported for a redundant and an incompressible payload mix.
-func Compression(s Scale) (*Report, error) {
+func Compression(ctx context.Context, s Scale) (*Report, error) {
 	rep := &Report{
 		ID:     "compression",
 		Title:  "Extension (paper §7): delta compression between log layers (TSUE, Ten-Cloud, RS(6,4))",
@@ -70,7 +71,7 @@ func Compression(s Scale) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := runCompression(tr, s, compress, redundant)
+			res, err := runCompression(ctx, tr, s, compress, redundant)
 			if err != nil {
 				return nil, err
 			}
@@ -91,7 +92,7 @@ func Compression(s Scale) (*Report, error) {
 	return rep, nil
 }
 
-func runCompression(tr *trace.Trace, s Scale, compress, redundant bool) (*runResult, error) {
+func runCompression(ctx context.Context, tr *trace.Trace, s Scale, compress, redundant bool) (*runResult, error) {
 	rc := runConfig{
 		Method: "tsue", K: 6, M: 4, Trace: tr, Scale: s,
 		Mutate: func(cfg *update.Config) { cfg.CompressDeltas = compress },
@@ -105,18 +106,18 @@ func runCompression(tr *trace.Trace, s Scale, compress, redundant bool) (*runRes
 	if !redundant {
 		rep.RandomPayload(s.Seed)
 	}
-	ino, err := rep.Prepare(tr.Name, tr.FileSize)
+	ino, err := rep.Prepare(ctx, tr.Name, tr.FileSize)
 	if err != nil {
 		return nil, err
 	}
-	res, err := rep.Run(tr, ino)
+	res, err := rep.Run(ctx, tr, ino)
 	if err != nil {
 		return nil, err
 	}
 	settleCluster(c)
 	out := &runResult{Replay: res}
 	out.MaxBusy = maxBusyOf(c)
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(ctx); err != nil {
 		return nil, err
 	}
 	out.Traffic = c.OSDTraffic()
@@ -129,7 +130,7 @@ func fmtUS(d time.Duration) string {
 
 // Extensions maps extension-experiment ids (beyond the paper's charts) to
 // their generators.
-var Extensions = map[string]func(Scale) (*Report, error){
+var Extensions = map[string]func(context.Context, Scale) (*Report, error){
 	"latency":        Latency,
 	"compression":    Compression,
 	"recovery":       Recovery,

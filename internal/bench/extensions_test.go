@@ -1,13 +1,14 @@
 package bench
 
 import (
+	"context"
 	"strconv"
 	"testing"
 )
 
 func TestLatencyExtension(t *testing.T) {
 	s := tinyScale()
-	rep, err := Latency(s)
+	rep, err := Latency(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -19,7 +20,7 @@ func TestLatencyExtension(t *testing.T) {
 
 func TestCompressionExtension(t *testing.T) {
 	s := tinyScale()
-	rep, err := Compression(s)
+	rep, err := Compression(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestCompressionExtension(t *testing.T) {
 
 func TestMDSScaleExtension(t *testing.T) {
 	s := tinyScale()
-	rep, err := MDSScale(s)
+	rep, err := MDSScale(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestMDSScaleExtension(t *testing.T) {
 func TestRepairExtension(t *testing.T) {
 	s := tinyScale()
 	s.Ops = 600
-	rep, err := Repair(s)
+	rep, err := Repair(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -17,7 +18,7 @@ var fig5Geometries = [][2]int{{6, 2}, {12, 2}, {6, 3}, {12, 3}, {6, 4}, {12, 4}}
 // geometries and a client sweep. One replay per (geometry, trace,
 // method); the client sweep derives from the bottleneck model, since
 // per-request costs are client-count independent.
-func Fig5(s Scale) (*Report, error) {
+func Fig5(ctx context.Context, s Scale) (*Report, error) {
 	rep := &Report{
 		ID:     "fig5",
 		Title:  "Update throughput with SSDs (aggregate IOPS x1000)",
@@ -30,7 +31,7 @@ func Fig5(s Scale) (*Report, error) {
 				return nil, err
 			}
 			for _, method := range []string{"fo", "pl", "plr", "parix", "cord", "tsue"} {
-				res, err := run(runConfig{Method: method, K: km[0], M: km[1], Trace: tr, Scale: s, NoFlush: true})
+				res, err := run(ctx, runConfig{Method: method, K: km[0], M: km[1], Trace: tr, Scale: s, NoFlush: true})
 				if err != nil {
 					return nil, fmt.Errorf("fig5 %s rs(%d,%d) %s: %w", method, km[0], km[1], tn, err)
 				}
@@ -59,7 +60,7 @@ func clientCols(clients []int) []string {
 // timeline, showing that background recycling does not dent foreground
 // throughput. The trace is replayed window by window; each window's IOPS
 // derives from the resources consumed within it.
-func Fig6a(s Scale) (*Report, error) {
+func Fig6a(ctx context.Context, s Scale) (*Report, error) {
 	tr, err := makeTrace("ten", s)
 	if err != nil {
 		return nil, err
@@ -72,7 +73,7 @@ func Fig6a(s Scale) (*Report, error) {
 	}
 	defer c.Close()
 	rep := trace.NewReplayer(c, s.ReplayCli)
-	ino, err := rep.Prepare(tr.Name, tr.FileSize)
+	ino, err := rep.Prepare(ctx, tr.Name, tr.FileSize)
 	if err != nil {
 		return nil, err
 	}
@@ -90,7 +91,7 @@ func Fig6a(s Scale) (*Report, error) {
 		}
 		sub := &trace.Trace{Name: tr.Name, FileSize: tr.FileSize, Ops: tr.Ops[lo:hi]}
 		before := snapshotBusy(c)
-		res, err := rep.Run(sub, ino)
+		res, err := rep.Run(ctx, sub, ino)
 		if err != nil {
 			return nil, err
 		}
@@ -118,7 +119,7 @@ func Fig6a(s Scale) (*Report, error) {
 // quota (maximum number of log units per pool) sweeps 2..20. A quota of
 // 2 starves the recycle pipeline (stall time surfaces in latency); >= 4
 // is flat; memory grows linearly.
-func Fig6b(s Scale) (*Report, error) {
+func Fig6b(ctx context.Context, s Scale) (*Report, error) {
 	// Fig. 6b probes the pool at saturation: the unit quota is the
 	// recycle pipeline depth, so it only matters when arrivals keep the
 	// pipeline full. Units are shrunk so they turn over many times, and
@@ -131,7 +132,7 @@ func Fig6b(s Scale) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	cal, err := run(runConfig{
+	cal, err := run(ctx, runConfig{
 		Method: "tsue", K: 6, M: 4, Trace: tr, Scale: s, NoFlush: true,
 		Mutate: func(cfg *update.Config) { cfg.MaxUnits = 64 },
 	})
@@ -149,7 +150,7 @@ func Fig6b(s Scale) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		probe, err := run(runConfig{
+		probe, err := run(ctx, runConfig{
 			Method: "tsue", K: 6, M: 4, Trace: tr, Scale: s, NoFlush: true,
 			Mutate: func(cfg *update.Config) { cfg.MaxUnits = 64 },
 		})
@@ -177,7 +178,7 @@ func Fig6b(s Scale) (*Report, error) {
 	}
 	for _, units := range []int{2, 4, 6, 8, 12, 16, 20} {
 		units := units
-		res, err := run(runConfig{
+		res, err := run(ctx, runConfig{
 			Method: "tsue", K: 6, M: 4, Trace: tr, Scale: s, NoFlush: true,
 			Mutate: func(cfg *update.Config) { cfg.MaxUnits = units },
 		})

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/update"
@@ -53,7 +54,7 @@ func fig7Variants() []fig7Variant {
 // O1 (data-log locality), O2 (parity-log locality), O3 (log pool
 // structure), O4 (4 pools per SSD), O5 (DeltaLog), for Ali-Cloud and
 // Ten-Cloud under RS(6,2), RS(6,3), RS(6,4).
-func Fig7(s Scale) (*Report, error) {
+func Fig7(ctx context.Context, s Scale) (*Report, error) {
 	variants := fig7Variants()
 	rep := &Report{
 		ID:     "fig7",
@@ -69,7 +70,7 @@ func Fig7(s Scale) (*Report, error) {
 			}
 			row := []string{fmt.Sprintf("%s_RS(6,%d)", tn, m)}
 			for _, v := range variants {
-				res, err := run(runConfig{
+				res, err := run(ctx, runConfig{
 					Method: "tsue", K: 6, M: m, Trace: tr, Scale: s,
 					NoFlush: true, Mutate: v.mutate,
 				})

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ecfs"
@@ -27,7 +28,7 @@ func hddTune(s Scale) func(cfg *update.Config) {
 // MSR Cambridge volumes under RS(6,4). The HDD deployment uses the
 // paper's §5.4 profile: 40 Gb/s interconnect, 3-copy DataLog, no
 // DeltaLog.
-func Fig8a(s Scale) (*Report, error) {
+func Fig8a(ctx context.Context, s Scale) (*Report, error) {
 	rep := &Report{
 		ID:     "fig8a",
 		Title:  "Update throughput with HDDs (MSR volumes, RS(6,4), IOPS x1000)",
@@ -41,7 +42,7 @@ func Fig8a(s Scale) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, err := run(runConfig{Method: method, K: 6, M: 4, Trace: tr, Scale: s, HDD: true, NoFlush: true, Mutate: hddTune(s)})
+			res, err := run(ctx, runConfig{Method: method, K: 6, M: 4, Trace: tr, Scale: s, HDD: true, NoFlush: true, Mutate: hddTune(s)})
 			if err != nil {
 				return nil, fmt.Errorf("fig8a %s %s: %w", method, vol, err)
 			}
@@ -62,7 +63,7 @@ func Fig8a(s Scale) (*Report, error) {
 // Fig8bWorkers adds a rebuild-parallelism axis (tsuebench
 // -fig8b-workers); the default single entry reproduces the paper's one
 // recovery configuration.
-func Fig8b(s Scale) (*Report, error) {
+func Fig8b(ctx context.Context, s Scale) (*Report, error) {
 	sweep := s.Fig8bWorkers
 	if len(sweep) == 0 {
 		sweep = []int{0} // 0 = the cluster default worker count
@@ -80,7 +81,7 @@ func Fig8b(s Scale) (*Report, error) {
 			}
 			row := []string{method, fmt.Sprintf("%d", label)}
 			for _, vol := range trace.MSRVolumes {
-				bw, err := recoveryRun(method, vol, s, w)
+				bw, err := recoveryRun(ctx, method, vol, s, w)
 				if err != nil {
 					return nil, fmt.Errorf("fig8b %s %s w=%d: %w", method, vol, w, err)
 				}
@@ -102,12 +103,12 @@ func Fig8b(s Scale) (*Report, error) {
 // recoveryRun replays a volume's updates, fails one OSD, and measures
 // the recovery bandwidth (bytes rebuilt / recovery makespan including
 // the forced log drain). workers <= 0 selects the cluster default.
-func recoveryRun(method, vol string, s Scale, workers int) (float64, error) {
+func recoveryRun(ctx context.Context, method, vol string, s Scale, workers int) (float64, error) {
 	tr, err := makeTrace(vol, s)
 	if err != nil {
 		return 0, err
 	}
-	lc, err := loadCluster(runConfig{Method: method, K: 6, M: 4, Trace: tr, Scale: s, HDD: true, Mutate: hddTune(s)})
+	lc, err := loadCluster(ctx, runConfig{Method: method, K: 6, M: 4, Trace: tr, Scale: s, HDD: true, Mutate: hddTune(s)})
 	if err != nil {
 		return 0, err
 	}
@@ -115,7 +116,7 @@ func recoveryRun(method, vol string, s Scale, workers int) (float64, error) {
 	if workers <= 0 {
 		workers = lc.c.Opts.RecoveryWorkers
 	}
-	res, err := failAndRecover(lc.c, lc.opts, method, 1, workers)
+	res, err := failAndRecover(ctx, lc.c, lc.opts, method, 1, workers)
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -42,7 +43,7 @@ func mdsScaleConfig(s Scale) (fileCounts []int, lookups int) {
 // count under concurrency, and StripesOn cost tracks the per-node block
 // count (files/OSDs), not the namespace size — the incremental reverse
 // index versus the seed's full scan.
-func MDSScale(s Scale) (*Report, error) {
+func MDSScale(ctx context.Context, s Scale) (*Report, error) {
 	const (
 		osds       = 64
 		k, m       = 4, 2
@@ -69,8 +70,11 @@ func MDSScale(s Scale) (*Report, error) {
 			}
 
 			// Build phase: populate the namespace from parallel loaders,
-			// the way a restore or ingest would.
+			// the way a restore or ingest would. The created inos are
+			// collected for the lookup phase: with per-shard inode
+			// ranges they are disjoint per name shard, not dense 1..N.
 			buildStart := time.Now()
+			inos := make([]uint64, files)
 			var wg sync.WaitGroup
 			for w := 0; w < loaders; w++ {
 				wg.Add(1)
@@ -78,6 +82,7 @@ func MDSScale(s Scale) (*Report, error) {
 					defer wg.Done()
 					for f := w; f < files; f += loaders {
 						ino := md.Create(fmt.Sprintf("vol%d/f%d", f%997, f))
+						inos[f] = ino
 						for st := 0; st < stripesPer; st++ {
 							md.Lookup(ino, uint32(st))
 						}
@@ -95,7 +100,7 @@ func MDSScale(s Scale) (*Report, error) {
 					defer wg.Done()
 					rng := rand.New(rand.NewSource(int64(w + 1)))
 					for i := 0; i < lookups/loaders; i++ {
-						ino := uint64(1 + rng.Intn(files))
+						ino := inos[rng.Intn(files)]
 						md.Lookup(ino, uint32(rng.Intn(stripesPer)))
 					}
 				}(w)

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -34,19 +35,19 @@ type loadedCluster struct {
 // remaining seconds-scale buffers. Threshold-driven logs (PL/PLR/PARIX)
 // stay pending, which is exactly what their recovery pays for. The
 // caller owns Close.
-func loadCluster(rc runConfig) (*loadedCluster, error) {
+func loadCluster(ctx context.Context, rc runConfig) (*loadedCluster, error) {
 	opts := rc.clusterOptions()
 	c, err := ecfs.NewCluster(opts)
 	if err != nil {
 		return nil, err
 	}
 	rep := trace.NewReplayer(c, rc.Scale.ReplayCli)
-	ino, err := rep.Prepare(rc.Trace.Name, rc.Trace.FileSize)
+	ino, err := rep.Prepare(ctx, rc.Trace.Name, rc.Trace.FileSize)
 	if err != nil {
 		c.Close()
 		return nil, err
 	}
-	if _, err := rep.Run(rc.Trace, ino); err != nil {
+	if _, err := rep.Run(ctx, rc.Trace, ino); err != nil {
 		c.Close()
 		return nil, err
 	}
@@ -54,7 +55,7 @@ func loadCluster(rc runConfig) (*loadedCluster, error) {
 	if _, ok := c.OSDs[0].Strategy().(interface{ RealTimeFlush() error }); ok {
 		for phase := 1; phase <= update.DrainPhases; phase++ {
 			for _, o := range c.Alive() {
-				if err := o.Strategy().Drain(phase, nil); err != nil {
+				if err := o.Strategy().Drain(ctx, phase, nil); err != nil {
 					c.Close()
 					return nil, err
 				}
@@ -67,7 +68,7 @@ func loadCluster(rc runConfig) (*loadedCluster, error) {
 // failAndRecover fails the OSD at position pos and rebuilds it with the
 // given worker count. The replacement is returned reinstated, so
 // multi-failure scenarios can keep going on the same cluster.
-func failAndRecover(c *ecfs.Cluster, opts ecfs.Options, method string, pos, workers int) (*ecfs.RecoveryResult, error) {
+func failAndRecover(ctx context.Context, c *ecfs.Cluster, opts ecfs.Options, method string, pos, workers int) (*ecfs.RecoveryResult, error) {
 	victim := c.OSDs[pos]
 	c.FailOSD(victim.ID())
 	cfg := *opts.Strategy
@@ -75,7 +76,7 @@ func failAndRecover(c *ecfs.Cluster, opts ecfs.Options, method string, pos, work
 	if err != nil {
 		return nil, err
 	}
-	res, err := c.RecoverWith(victim.ID(), repl, workers)
+	res, err := c.RecoverWith(ctx, victim.ID(), repl, workers)
 	if err != nil {
 		repl.Close()
 		return nil, err
@@ -90,7 +91,7 @@ func failAndRecover(c *ecfs.Cluster, opts ecfs.Options, method string, pos, work
 // engine converting per-stripe latency into parallelism until the
 // bottleneck resource dominates; the method axis shows pending logs
 // (PL/PARIX) depressing recovery exactly as in Fig. 8b.
-func Recovery(s Scale) (*Report, error) {
+func Recovery(ctx context.Context, s Scale) (*Report, error) {
 	sweep := s.RecoveryWorkers
 	if len(sweep) == 0 {
 		sweep = defaultRecoveryWorkerSweep
@@ -106,11 +107,11 @@ func Recovery(s Scale) (*Report, error) {
 	}
 	for _, method := range recoveryMethods {
 		for _, w := range sweep {
-			lc, err := loadCluster(runConfig{Method: method, K: 6, M: 4, Trace: tr, Scale: s})
+			lc, err := loadCluster(ctx, runConfig{Method: method, K: 6, M: 4, Trace: tr, Scale: s})
 			if err != nil {
 				return nil, fmt.Errorf("recovery %s w=%d: %w", method, w, err)
 			}
-			res, err := failAndRecover(lc.c, lc.opts, method, 1, w)
+			res, err := failAndRecover(ctx, lc.c, lc.opts, method, 1, w)
 			if err != nil {
 				lc.c.Close()
 				return nil, fmt.Errorf("recovery %s w=%d: %w", method, w, err)
@@ -136,7 +137,7 @@ func Recovery(s Scale) (*Report, error) {
 // recover it, update again, fail a different OSD, recover again. Each
 // round recovers with fresh pending-log state; the cluster must scrub
 // clean at the end.
-func RecoveryMulti(s Scale) (*Report, error) {
+func RecoveryMulti(ctx context.Context, s Scale) (*Report, error) {
 	rep := &Report{
 		ID:     "recovery-multi",
 		Title:  "Extension: sequential multi-failure recovery (TSUE, Ten-Cloud, RS(6,4))",
@@ -146,7 +147,7 @@ func RecoveryMulti(s Scale) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	lc, err := loadCluster(runConfig{Method: "tsue", K: 6, M: 4, Trace: tr, Scale: s})
+	lc, err := loadCluster(ctx, runConfig{Method: "tsue", K: 6, M: 4, Trace: tr, Scale: s})
 	if err != nil {
 		return nil, err
 	}
@@ -157,13 +158,13 @@ func RecoveryMulti(s Scale) (*Report, error) {
 		if round > 0 {
 			// Fresh updates between failures, so the second recovery
 			// also replays pending state.
-			if _, err := lc.rep.Run(tr, lc.ino); err != nil {
+			if _, err := lc.rep.Run(ctx, tr, lc.ino); err != nil {
 				return nil, err
 			}
 			settleCluster(c)
 		}
 		victim := c.OSDs[pos].ID()
-		res, err := failAndRecover(c, lc.opts, "tsue", pos, c.Opts.RecoveryWorkers)
+		res, err := failAndRecover(ctx, c, lc.opts, "tsue", pos, c.Opts.RecoveryWorkers)
 		if err != nil {
 			return nil, fmt.Errorf("recovery-multi round %d: %w", round+1, err)
 		}
@@ -177,7 +178,7 @@ func RecoveryMulti(s Scale) (*Report, error) {
 			fmtBW(res.Bandwidth),
 		})
 	}
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(ctx); err != nil {
 		return nil, err
 	}
 	checked, err := c.Scrub()

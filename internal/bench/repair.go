@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -19,7 +20,7 @@ import (
 // collapses. The last rows measure the same queue doing planned work:
 // Cluster.Drain and Cluster.Decommission migrating a live node's blocks
 // onto the survivor pool (sourced from the node itself — no decode).
-func Repair(s Scale) (*Report, error) {
+func Repair(ctx context.Context, s Scale) (*Report, error) {
 	rep := &Report{
 		ID:    "repair",
 		Title: "Extension: repair subsystem — read-through repair and planned drain (TSUE, Ten-Cloud, RS(6,4))",
@@ -28,14 +29,14 @@ func Repair(s Scale) (*Report, error) {
 		},
 	}
 	for _, fifo := range []bool{true, false} {
-		row, err := repairReadRow(s, fifo)
+		row, err := repairReadRow(ctx, s, fifo)
 		if err != nil {
 			return nil, err
 		}
 		rep.Rows = append(rep.Rows, row)
 	}
 	for _, decommission := range []bool{false, true} {
-		row, err := repairDrainRow(s, decommission)
+		row, err := repairDrainRow(ctx, s, decommission)
 		if err != nil {
 			return nil, err
 		}
@@ -50,7 +51,7 @@ func Repair(s Scale) (*Report, error) {
 
 // repairReadRow runs one recovery (FIFO or prioritized) with a client
 // reading hot stripes throughout, and reports the degraded-read tail.
-func repairReadRow(s Scale, fifo bool) ([]string, error) {
+func repairReadRow(ctx context.Context, s Scale, fifo bool) ([]string, error) {
 	scenario := "recover/prio"
 	if fifo {
 		scenario = "recover/fifo"
@@ -59,7 +60,7 @@ func repairReadRow(s Scale, fifo bool) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	lc, err := loadCluster(runConfig{Method: "tsue", K: 6, M: 4, Trace: tr, Scale: s})
+	lc, err := loadCluster(ctx, runConfig{Method: "tsue", K: 6, M: 4, Trace: tr, Scale: s})
 	if err != nil {
 		return nil, fmt.Errorf("repair %s: %w", scenario, err)
 	}
@@ -107,7 +108,7 @@ func repairReadRow(s Scale, fifo bool) ([]string, error) {
 			for _, ref := range hot {
 				off := int64(ref.Stripe)*span + int64(ref.Idx)*int64(c.Opts.BlockSize)
 				before := cli.Stats().DegradedReads
-				if _, _, err := cli.Read(lc.ino, off, 256); err != nil {
+				if _, _, err := cli.ReadContext(ctx, lc.ino, off, 256); err != nil {
 					readerDone <- err
 					return
 				}
@@ -124,7 +125,7 @@ func repairReadRow(s Scale, fifo bool) ([]string, error) {
 	if fifo {
 		rebuild = c.RecoverFIFO
 	}
-	res, err := rebuild(victim.ID(), repl, c.Opts.RecoveryWorkers)
+	res, err := rebuild(ctx, victim.ID(), repl, c.Opts.RecoveryWorkers)
 	stop.Store(true)
 	if rerr := <-readerDone; rerr != nil {
 		return nil, fmt.Errorf("repair %s: hot read: %w", scenario, rerr)
@@ -156,7 +157,7 @@ func repairReadRow(s Scale, fifo bool) ([]string, error) {
 // repairDrainRow measures the planned-migration path: every block moves
 // off a live node under per-stripe epoch bumps, sourced from the node
 // itself.
-func repairDrainRow(s Scale, decommission bool) ([]string, error) {
+func repairDrainRow(ctx context.Context, s Scale, decommission bool) ([]string, error) {
 	scenario := "drain"
 	if decommission {
 		scenario = "decommission"
@@ -165,7 +166,7 @@ func repairDrainRow(s Scale, decommission bool) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	lc, err := loadCluster(runConfig{Method: "tsue", K: 6, M: 4, Trace: tr, Scale: s})
+	lc, err := loadCluster(ctx, runConfig{Method: "tsue", K: 6, M: 4, Trace: tr, Scale: s})
 	if err != nil {
 		return nil, fmt.Errorf("repair %s: %w", scenario, err)
 	}
@@ -177,13 +178,13 @@ func repairDrainRow(s Scale, decommission bool) ([]string, error) {
 	if decommission {
 		migrate = c.Decommission
 	}
-	res, err := migrate(node)
+	res, err := migrate(ctx, node)
 	if err != nil {
 		return nil, fmt.Errorf("repair %s: %w", scenario, err)
 	}
 	// The cluster keeps serving: prove it with a post-migration read.
 	cli := c.NewClient()
-	if _, _, err := cli.Read(lc.ino, 0, 4096); err != nil {
+	if _, _, err := cli.ReadContext(ctx, lc.ino, 0, 4096); err != nil {
 		return nil, fmt.Errorf("repair %s: post-migration read: %w", scenario, err)
 	}
 	return []string{

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -11,7 +12,7 @@ import (
 // methods replaying the Ten-Cloud trace under RS(6,4). The final column
 // derives the SSD lifespan ratio from erase operations, normalized to
 // the worst method.
-func Table1(s Scale) (*Report, error) {
+func Table1(ctx context.Context, s Scale) (*Report, error) {
 	rep := &Report{
 		ID:    "table1",
 		Title: "Storage workload and network traffic (Ten-Cloud, RS(6,4))",
@@ -32,7 +33,7 @@ func Table1(s Scale) (*Report, error) {
 			return nil, err
 		}
 		// Flush included: deferred logs must pay their recycle bill.
-		res, err := run(runConfig{Method: method, K: 6, M: 4, Trace: tr, Scale: s})
+		res, err := run(ctx, runConfig{Method: method, K: 6, M: 4, Trace: tr, Scale: s})
 		if err != nil {
 			return nil, fmt.Errorf("table1 %s: %w", method, err)
 		}
@@ -68,7 +69,7 @@ func Table1(s Scale) (*Report, error) {
 // device cost of an append, the mean time a record stays buffered in
 // memory (virtual time from first append to unit seal), and the mean
 // recycle cost per record, under RS(12,4) for both cloud traces.
-func Table2(s Scale) (*Report, error) {
+func Table2(ctx context.Context, s Scale) (*Report, error) {
 	rep := &Report{
 		ID:     "table2",
 		Title:  "Time data resides in memory (TSUE, RS(12,4), microseconds)",
@@ -84,7 +85,7 @@ func Table2(s Scale) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := run(runConfig{Method: "tsue", K: 12, M: 4, Trace: tr, Scale: s2})
+		res, err := run(ctx, runConfig{Method: "tsue", K: 12, M: 4, Trace: tr, Scale: s2})
 		if err != nil {
 			return nil, fmt.Errorf("table2 %s: %w", tn, err)
 		}

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/blockstore"
@@ -25,7 +26,7 @@ func newSoloEnv() *soloEnv {
 func (e *soloEnv) ID() wire.NodeID          { return 1 }
 func (e *soloEnv) Store() *blockstore.Store { return e.store }
 func (e *soloEnv) Dev() *device.Device      { return e.dev }
-func (e *soloEnv) Call(to wire.NodeID, msg *wire.Msg) (*wire.Resp, error) {
+func (e *soloEnv) Call(_ context.Context, to wire.NodeID, msg *wire.Msg) (*wire.Resp, error) {
 	return &wire.Resp{}, nil
 }
 func (e *soloEnv) Code(k, m int) (*erasure.Code, error) {

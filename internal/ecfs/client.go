@@ -1,6 +1,7 @@
 package ecfs
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -21,6 +22,21 @@ const maxStaleRetries = 3
 // Client is the POSIX-facing access component (§4): it encodes normal
 // writes into stripes, distinguishes writes from updates, routes updates
 // to the data block's OSD, and reads with location caching.
+//
+// The v2 surface is context-first: Open returns a *File handle
+// (io.ReaderAt / io.WriterAt / io.Closer plus UpdateAt), and the
+// *Context methods take an explicit context.Context that is honored at
+// every priced step of the call chain. The context-free Create /
+// WriteStripe / WriteFile / Update / Read methods are deprecated
+// wrappers over their *Context equivalents, kept so existing bench and
+// trace code migrates incrementally.
+//
+// Cancellation semantics: updates and reads abort between priced steps
+// (an aborted multi-part update may be torn across blocks, like any
+// interrupted POSIX write). Normal writes are stripe-atomic — the
+// context is checked before each stripe is placed, and once a stripe's
+// shard fan-out begins it runs to completion — so a cancelled WriteFile
+// never leaves a stripe bound at the MDS without all its shards stored.
 //
 // Cached placements carry their epoch (wire.StripeLoc.Epoch). When an
 // OSD rejects a request with wire.StatusStaleEpoch — recovery rebound
@@ -73,9 +89,20 @@ func NewClient(id wire.NodeID, rpc transport.RPC, code *erasure.Code, blockSize 
 // StripeSpan returns the bytes of file data covered by one stripe.
 func (c *Client) StripeSpan() int { return c.code.K * c.blockSize }
 
-// Create opens-or-creates a file and returns its ino.
-func (c *Client) Create(name string) (uint64, error) {
-	resp, err := c.rpc.Call(wire.MDSNode, &wire.Msg{Kind: wire.KMDSCreate, Name: name})
+// Open opens-or-creates a file and returns a handle bound to ctx (the
+// handle's io.ReaderAt/io.WriterAt methods, which cannot accept a
+// context, use the one given here).
+func (c *Client) Open(ctx context.Context, name string) (*File, error) {
+	ino, err := c.CreateContext(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	return &File{cli: c, ino: ino, name: name, ctx: ctx}, nil
+}
+
+// CreateContext opens-or-creates a file and returns its ino.
+func (c *Client) CreateContext(ctx context.Context, name string) (uint64, error) {
+	resp, err := c.rpc.Call(ctx, wire.MDSNode, &wire.Msg{Kind: wire.KMDSCreate, Name: name})
 	if err != nil {
 		return 0, err
 	}
@@ -85,7 +112,14 @@ func (c *Client) Create(name string) (uint64, error) {
 	return resp.Ino, nil
 }
 
-func (c *Client) lookup(ino uint64, stripe uint32) (wire.StripeLoc, error) {
+// Create opens-or-creates a file and returns its ino.
+//
+// Deprecated: use CreateContext (or Open, which returns a *File handle).
+func (c *Client) Create(name string) (uint64, error) {
+	return c.CreateContext(context.Background(), name)
+}
+
+func (c *Client) lookup(ctx context.Context, ino uint64, stripe uint32) (wire.StripeLoc, error) {
 	key := stripeAddr{ino, stripe}
 	c.locMu.RLock()
 	loc, ok := c.locs[key]
@@ -93,7 +127,7 @@ func (c *Client) lookup(ino uint64, stripe uint32) (wire.StripeLoc, error) {
 	if ok {
 		return loc, nil
 	}
-	resp, err := c.rpc.Call(wire.MDSNode, &wire.Msg{Kind: wire.KMDSLookup, Block: wire.BlockID{Ino: ino, Stripe: stripe}})
+	resp, err := c.rpc.Call(ctx, wire.MDSNode, &wire.Msg{Kind: wire.KMDSLookup, Block: wire.BlockID{Ino: ino, Stripe: stripe}})
 	if err != nil {
 		return wire.StripeLoc{}, err
 	}
@@ -115,7 +149,7 @@ func (c *Client) lookup(ino uint64, stripe uint32) (wire.StripeLoc, error) {
 // a concurrent part of the same request refreshed it first — that copy
 // is returned without another MDS round trip, so a rebind costs one
 // lookup per client, not one per in-flight shard.
-func (c *Client) refreshLoc(ino uint64, stripe uint32, stale uint64) (wire.StripeLoc, error) {
+func (c *Client) refreshLoc(ctx context.Context, ino uint64, stripe uint32, stale uint64) (wire.StripeLoc, error) {
 	key := stripeAddr{ino, stripe}
 	c.locMu.Lock()
 	if cur, ok := c.locs[key]; ok && cur.Epoch > stale {
@@ -124,7 +158,7 @@ func (c *Client) refreshLoc(ino uint64, stripe uint32, stale uint64) (wire.Strip
 	}
 	delete(c.locs, key)
 	c.locMu.Unlock()
-	return c.lookup(ino, stripe)
+	return c.lookup(ctx, ino, stripe)
 }
 
 // InvalidateLocations clears the placement cache. With placement epochs
@@ -137,14 +171,25 @@ func (c *Client) InvalidateLocations() {
 	c.locMu.Unlock()
 }
 
-// WriteStripe encodes and distributes one full stripe of file data
-// (len(data) must be K*blockSize). Returns the modeled latency: blocks
-// are transferred concurrently, so the cost is the slowest member.
-func (c *Client) WriteStripe(ino uint64, stripe uint32, data []byte) (time.Duration, error) {
+// WriteStripeContext encodes and distributes one full stripe of file
+// data (len(data) must be K*blockSize). Returns the modeled latency:
+// blocks are transferred concurrently, so the cost is the slowest
+// member.
+//
+// Cancellation is checked once at entry; past that point the stripe is
+// written out in full regardless of ctx, so a stripe is never placed at
+// the MDS with only some of its shards stored.
+func (c *Client) WriteStripeContext(ctx context.Context, ino uint64, stripe uint32, data []byte) (time.Duration, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	// Detach: the placement below binds the stripe at the MDS, and a
+	// bound stripe must have all its shards stored (Scrub's invariant).
+	ctx = context.WithoutCancel(ctx)
 	if len(data) != c.StripeSpan() {
 		return 0, fmt.Errorf("ecfs: stripe write of %d bytes, want %d", len(data), c.StripeSpan())
 	}
-	loc, err := c.lookup(ino, stripe)
+	loc, err := c.lookup(ctx, ino, stripe)
 	if err != nil {
 		return 0, err
 	}
@@ -168,7 +213,7 @@ func (c *Client) WriteStripe(ino uint64, stripe uint32, data []byte) (time.Durat
 		go func(i int, shard []byte) {
 			defer wg.Done()
 			b := wire.BlockID{Ino: ino, Stripe: stripe, Idx: uint8(i)}
-			cost, err := c.writeShard(b, shard, loc)
+			cost, err := c.writeShard(ctx, b, shard, loc)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -184,11 +229,19 @@ func (c *Client) WriteStripe(ino uint64, stripe uint32, data []byte) (time.Durat
 	return max, rerr
 }
 
+// WriteStripe encodes and distributes one full stripe.
+//
+// Deprecated: use WriteStripeContext.
+func (c *Client) WriteStripe(ino uint64, stripe uint32, data []byte) (time.Duration, error) {
+	return c.WriteStripeContext(context.Background(), ino, stripe, data)
+}
+
 // sendWithReresolve delivers one block-addressed request, re-resolving
 // the placement and retrying when the target rejects a stale epoch or
 // is unreachable. send is invoked with the placement to use for the
 // attempt. A refresh that returns an unchanged placement stops the
-// loop: the MDS agrees with the cache, so the failure is real.
+// loop: the MDS agrees with the cache, so the failure is real. A
+// cancelled ctx stops the loop immediately.
 //
 // Retry safety: a stale-epoch *rejection* happens before any server
 // state changes, so it may always be retried — even to the same node,
@@ -197,14 +250,20 @@ func (c *Client) WriteStripe(ino uint64, stripe uint32, data []byte) (time.Durat
 // non-idempotent request (idempotent=false) is therefore retried after
 // a transport error only if the block's host changed — a node that may
 // already have applied it is never re-delivered to.
-func (c *Client) sendWithReresolve(b wire.BlockID, loc wire.StripeLoc, idempotent bool, send func(loc wire.StripeLoc) (*wire.Resp, error)) (time.Duration, error) {
+func (c *Client) sendWithReresolve(ctx context.Context, b wire.BlockID, loc wire.StripeLoc, idempotent bool, send func(loc wire.StripeLoc) (*wire.Resp, error)) (time.Duration, error) {
 	var (
 		lastErr   error
 		lastStale bool
 	)
 	for attempt := 0; attempt <= maxStaleRetries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return 0, lastErr
+			}
+			return 0, err
+		}
 		if attempt > 0 {
-			nl, err := c.refreshLoc(b.Ino, b.Stripe, loc.Epoch)
+			nl, err := c.refreshLoc(ctx, b.Ino, b.Stripe, loc.Epoch)
 			if err != nil {
 				return 0, err
 			}
@@ -236,33 +295,54 @@ func (c *Client) sendWithReresolve(b wire.BlockID, loc wire.StripeLoc, idempoten
 
 // writeShard delivers one stripe member with placement re-resolution
 // (idempotent: a full-block overwrite may be re-delivered freely).
-func (c *Client) writeShard(b wire.BlockID, shard []byte, loc wire.StripeLoc) (time.Duration, error) {
-	return c.sendWithReresolve(b, loc, true, func(loc wire.StripeLoc) (*wire.Resp, error) {
-		return c.rpc.Call(loc.Nodes[b.Idx], &wire.Msg{Kind: wire.KWriteBlock, Block: b, Data: shard, Loc: loc})
+func (c *Client) writeShard(ctx context.Context, b wire.BlockID, shard []byte, loc wire.StripeLoc) (time.Duration, error) {
+	return c.sendWithReresolve(ctx, b, loc, true, func(loc wire.StripeLoc) (*wire.Resp, error) {
+		return c.rpc.Call(ctx, loc.Nodes[b.Idx], &wire.Msg{Kind: wire.KWriteBlock, Block: b, Data: shard, Loc: loc})
 	})
 }
 
-// WriteFile stripes data from file offset 0, zero-padding the tail
-// stripe, and returns the number of stripes written.
-func (c *Client) WriteFile(ino uint64, data []byte) (int, error) {
+// WriteFileContext stripes data from file offset 0, zero-padding the
+// tail stripe, and returns the number of stripes written. The context
+// is checked before every stripe: a cancelled write stops at a stripe
+// boundary, with every already-written stripe complete and no partial
+// stripe bound at the MDS.
+func (c *Client) WriteFileContext(ctx context.Context, ino uint64, data []byte) (int, error) {
+	return c.writeStripes(ctx, ino, 0, data)
+}
+
+// writeStripes chunks data into full stripes starting at stripe `first`
+// (zero-padding the tail) and writes each through WriteStripeContext —
+// the shared striping loop behind WriteFileContext and File.WriteAt. It
+// returns the number of stripes completed.
+func (c *Client) writeStripes(ctx context.Context, ino uint64, first uint32, data []byte) (int, error) {
 	span := c.StripeSpan()
 	stripes := (len(data) + span - 1) / span
 	for s := 0; s < stripes; s++ {
 		chunk := make([]byte, span)
 		copy(chunk, data[s*span:min(len(data), (s+1)*span)])
-		if _, err := c.WriteStripe(ino, uint32(s), chunk); err != nil {
+		if _, err := c.WriteStripeContext(ctx, ino, first+uint32(s), chunk); err != nil {
 			return s, err
 		}
 	}
 	return stripes, nil
 }
 
-// Update applies a partial update at a file byte offset, splitting it
-// across data blocks as needed. v is the virtual workload time of the
-// request. Returns the synchronous update latency (max across split
-// parts, which proceed concurrently).
-func (c *Client) Update(ino uint64, off int64, data []byte, v time.Duration) (time.Duration, error) {
-	parts, err := c.split(ino, off, len(data))
+// WriteFile stripes data from file offset 0.
+//
+// Deprecated: use WriteFileContext (or File.WriteAt via Open).
+func (c *Client) WriteFile(ino uint64, data []byte) (int, error) {
+	return c.WriteFileContext(context.Background(), ino, data)
+}
+
+// UpdateContext applies a partial update at a file byte offset,
+// splitting it across data blocks as needed. v is the virtual workload
+// time of the request. Returns the synchronous update latency (max
+// across split parts, which proceed concurrently). A cancelled ctx
+// aborts unsent parts at the next priced step; like any interrupted
+// POSIX write, a multi-part update may be torn (parity stays consistent
+// per part — each part's two-stage update is atomic at its OSD).
+func (c *Client) UpdateContext(ctx context.Context, ino uint64, off int64, data []byte, v time.Duration) (time.Duration, error) {
+	parts, err := c.split(ctx, ino, off, len(data))
 	if err != nil {
 		return 0, err
 	}
@@ -276,7 +356,7 @@ func (c *Client) Update(ino uint64, off int64, data []byte, v time.Duration) (ti
 		wg.Add(1)
 		go func(p part) {
 			defer wg.Done()
-			cost, err := c.updatePart(p, data[p.src:p.src+p.n], v)
+			cost, err := c.updatePart(ctx, p, data[p.src:p.src+p.n], v)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -292,14 +372,21 @@ func (c *Client) Update(ino uint64, off int64, data []byte, v time.Duration) (ti
 	return max, rerr
 }
 
+// Update applies a partial update at a file byte offset.
+//
+// Deprecated: use UpdateContext (or File.UpdateAt via Open).
+func (c *Client) Update(ino uint64, off int64, data []byte, v time.Duration) (time.Duration, error) {
+	return c.UpdateContext(context.Background(), ino, off, data, v)
+}
+
 // updatePart routes one split of an update to its data block's OSD with
 // placement re-resolution. The update is not idempotent, so
 // sendWithReresolve only retries it to a *different* host after a
 // transport error (the prior target is dead or rebound away — its
 // state is discarded by recovery); stale-epoch rejections retry freely.
-func (c *Client) updatePart(p part, payload []byte, v time.Duration) (time.Duration, error) {
-	return c.sendWithReresolve(p.block, p.loc, false, func(loc wire.StripeLoc) (*wire.Resp, error) {
-		return c.rpc.Call(loc.Nodes[p.block.Idx], &wire.Msg{
+func (c *Client) updatePart(ctx context.Context, p part, payload []byte, v time.Duration) (time.Duration, error) {
+	return c.sendWithReresolve(ctx, p.block, p.loc, false, func(loc wire.StripeLoc) (*wire.Resp, error) {
+		return c.rpc.Call(ctx, loc.Nodes[p.block.Idx], &wire.Msg{
 			Kind:  wire.KUpdate,
 			Block: p.block,
 			Off:   p.off,
@@ -312,9 +399,9 @@ func (c *Client) updatePart(p part, payload []byte, v time.Duration) (time.Durat
 	})
 }
 
-// Read fetches [off, off+size) of a file.
-func (c *Client) Read(ino uint64, off int64, size int) ([]byte, time.Duration, error) {
-	parts, err := c.split(ino, off, size)
+// ReadContext fetches [off, off+size) of a file.
+func (c *Client) ReadContext(ctx context.Context, ino uint64, off int64, size int) ([]byte, time.Duration, error) {
+	parts, err := c.split(ctx, ino, off, size)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -329,7 +416,7 @@ func (c *Client) Read(ino uint64, off int64, size int) ([]byte, time.Duration, e
 		wg.Add(1)
 		go func(p part) {
 			defer wg.Done()
-			data, cost, err := c.readPart(p)
+			data, cost, err := c.readPart(ctx, p)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -349,6 +436,25 @@ func (c *Client) Read(ino uint64, off int64, size int) ([]byte, time.Duration, e
 	return out, max, nil
 }
 
+// Read fetches [off, off+size) of a file.
+//
+// Deprecated: use ReadContext (or File.ReadAt via Open).
+func (c *Client) Read(ino uint64, off int64, size int) ([]byte, time.Duration, error) {
+	return c.ReadContext(context.Background(), ino, off, size)
+}
+
+// Stripes returns the number of placed stripes of a file (KMDSStat).
+func (c *Client) Stripes(ctx context.Context, ino uint64) (int, error) {
+	resp, err := c.rpc.Call(ctx, wire.MDSNode, &wire.Msg{Kind: wire.KMDSStat, Block: wire.BlockID{Ino: ino}})
+	if err != nil {
+		return 0, err
+	}
+	if err := resp.Error(); err != nil {
+		return 0, err
+	}
+	return int(resp.Val), nil
+}
+
 // readPart serves one block-range read. The normal path ships the cached
 // placement so the holder can epoch-check it: a stale-epoch rejection or
 // an unreachable holder re-resolves at the MDS and retries — after a
@@ -357,10 +463,10 @@ func (c *Client) Read(ino uint64, off int64, size int) ([]byte, time.Duration, e
 // exhausted does the read degrade to reconstruction, and then it tells
 // the MDS (wire.KRepairHint) so an in-flight repair promotes the stripe
 // to the front of its queue.
-func (c *Client) readPart(p part) ([]byte, time.Duration, error) {
+func (c *Client) readPart(ctx context.Context, p part) ([]byte, time.Duration, error) {
 	var data []byte
-	cost, err := c.sendWithReresolve(p.block, p.loc, true, func(loc wire.StripeLoc) (*wire.Resp, error) {
-		resp, rerr := c.rpc.Call(loc.Nodes[p.block.Idx], &wire.Msg{
+	cost, err := c.sendWithReresolve(ctx, p.block, p.loc, true, func(loc wire.StripeLoc) (*wire.Resp, error) {
+		resp, rerr := c.rpc.Call(ctx, loc.Nodes[p.block.Idx], &wire.Msg{
 			Kind: wire.KRead, Block: p.block, Off: p.off, Size: uint32(p.n), Loc: loc,
 		})
 		if rerr == nil && resp.OK() {
@@ -371,19 +477,22 @@ func (c *Client) readPart(p part) ([]byte, time.Duration, error) {
 	if err == nil {
 		return data, cost, nil
 	}
+	if ctx.Err() != nil {
+		return nil, 0, err
+	}
 	// Degraded read: the block's holder cannot serve it (node down, or
 	// the block is mid-migration), so rebuild the requested range from K
 	// surviving blocks — under the freshest placement the retry loop
 	// left in the cache.
-	if nl, lerr := c.lookup(p.block.Ino, p.block.Stripe); lerr == nil {
+	if nl, lerr := c.lookup(ctx, p.block.Ino, p.block.Stripe); lerr == nil {
 		p.loc = nl
 	}
-	data, cost, derr := c.degradedRead(p)
+	data, cost, derr := c.degradedRead(ctx, p)
 	if derr != nil {
 		return nil, 0, fmt.Errorf("%w (degraded fallback: %v)", err, derr)
 	}
 	c.degraded.Add(1)
-	c.hintRepair(p.block)
+	c.hintRepair(ctx, p.block)
 	return data, cost, nil
 }
 
@@ -391,9 +500,9 @@ func (c *Client) readPart(p part) ([]byte, time.Duration, error) {
 // price for a stripe, so an active repair can promote it to the front
 // of its rebuild queue (read-through repair). Best effort: with no
 // repair running the MDS ignores the hint.
-func (c *Client) hintRepair(b wire.BlockID) {
+func (c *Client) hintRepair(ctx context.Context, b wire.BlockID) {
 	c.hints.Add(1)
-	_, _ = c.rpc.Call(wire.MDSNode, &wire.Msg{Kind: wire.KRepairHint, Block: b})
+	_, _ = c.rpc.Call(ctx, wire.MDSNode, &wire.Msg{Kind: wire.KRepairHint, Block: b})
 }
 
 // degradedRead reconstructs one part's data block from stripe survivors —
@@ -401,7 +510,7 @@ func (c *Client) hintRepair(b wire.BlockID) {
 // node is down and recovery has not yet completed. It reflects the last
 // *recycled* state: updates still buffered in the failed node's DataLog
 // are only restored by recovery's replica-log replay (Cluster.Recover).
-func (c *Client) degradedRead(p part) ([]byte, time.Duration, error) {
+func (c *Client) degradedRead(ctx context.Context, p part) ([]byte, time.Duration, error) {
 	n := c.code.K + c.code.M
 	shards := make([][]byte, n)
 	have := 0
@@ -411,7 +520,7 @@ func (c *Client) degradedRead(p part) ([]byte, time.Duration, error) {
 			continue
 		}
 		b := p.block.WithIdx(uint8(idx))
-		resp, err := c.rpc.Call(p.loc.Nodes[idx], &wire.Msg{Kind: wire.KBlockFetch, Block: b})
+		resp, err := c.rpc.Call(ctx, p.loc.Nodes[idx], &wire.Msg{Kind: wire.KBlockFetch, Block: b})
 		if err != nil || !resp.OK() {
 			continue
 		}
@@ -445,7 +554,7 @@ type part struct {
 	n     int
 }
 
-func (c *Client) split(ino uint64, off int64, size int) ([]part, error) {
+func (c *Client) split(ctx context.Context, ino uint64, off int64, size int) ([]part, error) {
 	if off < 0 || size < 0 {
 		return nil, fmt.Errorf("ecfs: negative range")
 	}
@@ -458,7 +567,7 @@ func (c *Client) split(ino uint64, off int64, size int) ([]part, error) {
 		blockIdx := int(inStripe) / c.blockSize
 		blockOff := uint32(int(inStripe) % c.blockSize)
 		n := min(size, c.blockSize-int(blockOff))
-		loc, err := c.lookup(ino, stripe)
+		loc, err := c.lookup(ctx, ino, stripe)
 		if err != nil {
 			return nil, err
 		}

@@ -1,8 +1,10 @@
 package ecfs
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/device"
@@ -59,7 +61,12 @@ type Cluster struct {
 	MDS     *MDS
 	OSDs    []*OSD
 	code    *erasure.Code
-	nextCli wire.NodeID
+	nextCli atomic.Int32 // next client node id offset from ClientIDBase
+
+	// handleCli is the shared client behind OpenFile/CreateFile handles
+	// (lazily provisioned; Client is safe for concurrent use).
+	handleMu  sync.Mutex
+	handleCli *Client
 
 	failMu sync.Mutex
 	failed map[wire.NodeID]bool
@@ -87,8 +94,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 	tr := transport.NewInproc(nw)
 	c := &Cluster{
 		Opts: opts, Net: nw, Tr: tr, code: code,
-		nextCli: wire.ClientIDBase,
-		failed:  make(map[wire.NodeID]bool),
+		failed: make(map[wire.NodeID]bool),
 	}
 
 	ids := make([]wire.NodeID, opts.NumOSDs)
@@ -104,6 +110,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 		return nil, err
 	}
 	c.MDS = mds
+	mds.SetBlockSize(opts.BlockSize)
 	tr.Register(wire.MDSNode, mds.Handler)
 
 	for _, id := range ids {
@@ -128,9 +135,33 @@ func MustNewCluster(opts Options) *Cluster {
 
 // NewClient provisions a client with a fresh node id.
 func (c *Cluster) NewClient() *Client {
-	id := c.nextCli
-	c.nextCli++
+	id := wire.ClientIDBase + wire.NodeID(c.nextCli.Add(1)) - 1
 	return NewClient(id, c.Tr.Caller(id), c.code, c.Opts.BlockSize)
+}
+
+// handleClient returns the shared client behind file handles.
+func (c *Cluster) handleClient() *Client {
+	c.handleMu.Lock()
+	defer c.handleMu.Unlock()
+	if c.handleCli == nil {
+		c.handleCli = c.NewClient()
+	}
+	return c.handleCli
+}
+
+// OpenFile opens-or-creates a file and returns a *File handle bound to
+// ctx — the v2 entry point of the in-process cluster. The handle
+// implements io.ReaderAt, io.WriterAt and io.Closer, plus UpdateAt for
+// two-stage TSUE updates.
+func (c *Cluster) OpenFile(ctx context.Context, name string) (*File, error) {
+	return c.handleClient().Open(ctx, name)
+}
+
+// CreateFile is OpenFile spelled for the creation path; the MDS has
+// open-or-create semantics, so both succeed whether or not the file
+// exists.
+func (c *Cluster) CreateFile(ctx context.Context, name string) (*File, error) {
+	return c.handleClient().Open(ctx, name)
 }
 
 // Code returns the cluster's RS code.
@@ -180,13 +211,14 @@ func (c *Cluster) deadSnapshot() map[wire.NodeID]bool {
 }
 
 // Flush drains every strategy's logs cluster-wide, phase by phase, so all
-// asynchronous update state reaches the data and parity blocks.
-func (c *Cluster) Flush() error {
+// asynchronous update state reaches the data and parity blocks. A
+// cancelled ctx aborts between per-node drain RPCs.
+func (c *Cluster) Flush(ctx context.Context) error {
 	dead := c.MDS.DeadNodes()
 	payload := encodeDeadList(dead)
 	for phase := 1; phase <= update.DrainPhases; phase++ {
 		for _, o := range c.Alive() {
-			resp, err := c.Tr.Caller(wire.MDSNode).Call(o.id, &wire.Msg{Kind: wire.KDrainLogs, Flag: uint8(phase), Data: payload})
+			resp, err := c.Tr.Caller(wire.MDSNode).Call(ctx, o.id, &wire.Msg{Kind: wire.KDrainLogs, Flag: uint8(phase), Data: payload})
 			if err != nil {
 				return err
 			}

@@ -2,6 +2,7 @@ package ecfs
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -109,7 +110,7 @@ func TestUpdateEquivalenceAllMethods(t *testing.T) {
 				}
 				copy(mirror[off:], data)
 			}
-			if err := c.Flush(); err != nil {
+			if err := c.Flush(context.Background()); err != nil {
 				t.Fatal(err)
 			}
 			if err := c.VerifyStripes(ino, mirror); err != nil {
@@ -180,7 +181,7 @@ func TestConcurrentClients(t *testing.T) {
 		}(ci, cli)
 	}
 	wg.Wait()
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.VerifyStripes(ino, mirror); err != nil {
@@ -252,7 +253,7 @@ func TestRecoveryAfterUpdates(t *testing.T) {
 			}
 			defer repl.Close()
 
-			res, err := c.Recover(victim.ID(), repl)
+			res, err := c.Recover(context.Background(), victim.ID(), repl)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -315,7 +316,7 @@ func TestTSUEDeltaCopyPromotion(t *testing.T) {
 	}
 	// Push DataLogs into DeltaLogs only (phase 1).
 	for _, o := range c.Alive() {
-		if err := o.Strategy().Drain(1, nil); err != nil {
+		if err := o.Strategy().Drain(context.Background(), 1, nil); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -332,7 +333,7 @@ func TestTSUEDeltaCopyPromotion(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer repl.Close()
-	if _, err := c.Recover(parity1, repl); err != nil {
+	if _, err := c.Recover(context.Background(), parity1, repl); err != nil {
 		t.Fatal(err)
 	}
 	c.Reinstate(repl)
@@ -420,7 +421,7 @@ func TestClientSplitSpansBlocks(t *testing.T) {
 		t.Fatal(err)
 	}
 	copy(mirror[off:], data)
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.VerifyStripes(ino, mirror); err != nil {
@@ -443,7 +444,7 @@ func TestClusterValidation(t *testing.T) {
 func TestHeartbeatRPC(t *testing.T) {
 	c := MustNewCluster(testOptions("tsue"))
 	defer c.Close()
-	if err := c.OSDs[0].Heartbeat(); err != nil {
+	if err := c.OSDs[0].Heartbeat(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := c.MDS.LastHeartbeat(c.OSDs[0].ID()); !ok {

@@ -2,6 +2,7 @@ package ecfs
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 	"time"
@@ -31,7 +32,7 @@ func TestCompressionEquivalence(t *testing.T) {
 		}
 		copy(mirror[off:], data)
 	}
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.VerifyStripes(ino, mirror); err != nil {
@@ -60,7 +61,7 @@ func TestCompressionReducesTraffic(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		if err := c.Flush(); err != nil {
+		if err := c.Flush(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 		if err := c.VerifyStripes(ino, nil); err != nil {
@@ -101,7 +102,7 @@ func TestDegradedRead(t *testing.T) {
 				copy(mirror[off:], data)
 			}
 			// Flush so survivors hold the full state, then kill a node.
-			if err := c.Flush(); err != nil {
+			if err := c.Flush(context.Background()); err != nil {
 				t.Fatal(err)
 			}
 			loc, _ := c.MDS.Lookup(ino, 0)
@@ -123,7 +124,7 @@ func TestDegradedReadTooManyFailures(t *testing.T) {
 	defer c.Close()
 	cli := c.NewClient()
 	ino, _ := writeTestFile(t, c, cli, 48<<10, 45)
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	loc, _ := c.MDS.Lookup(ino, 0)
@@ -148,7 +149,7 @@ func TestScrub(t *testing.T) {
 	if _, err := cli.WriteFile(ino2, data); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	n, err := c.Scrub()
@@ -201,7 +202,7 @@ func TestCrashRecoveryBattery(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := c.Recover(victim, repl); err != nil {
+		if _, err := c.Recover(context.Background(), victim, repl); err != nil {
 			t.Fatalf("round %d recover: %v", round, err)
 		}
 		c.Reinstate(repl)
@@ -212,7 +213,7 @@ func TestCrashRecoveryBattery(t *testing.T) {
 		if !bytes.Equal(got, mirror[:fileSize]) {
 			t.Fatalf("round %d: content diverged after recovery", round)
 		}
-		if err := c.Flush(); err != nil {
+		if err := c.Flush(context.Background()); err != nil {
 			t.Fatal(err)
 		}
 		if err := c.VerifyStripes(ino, mirror); err != nil {

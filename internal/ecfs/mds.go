@@ -36,12 +36,12 @@
 package ecfs
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"hash/maphash"
+	"hash/fnv"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/wire"
@@ -54,8 +54,11 @@ const DefaultMDSShards = 16
 // MDS is the metadata server: namespace, placement, liveness, and the
 // node→stripe reverse index that feeds recovery.
 type MDS struct {
-	k, m    int
-	nextIno atomic.Uint64
+	k, m int
+	// blockSize is the cluster's block size, served to dialing clients
+	// through wire.KResolveAddr (0 when never configured — in-process
+	// clusters set it from Options, cmd/ecfsd from its -block flag).
+	blockSize int
 
 	// topoMu guards the OSD placement pool, which grows when a
 	// replacement joins under a fresh node id (AddNode).
@@ -66,9 +69,14 @@ type MDS struct {
 	// (name → ino) and inodes hash to an inoShard (ino → placements).
 	// Lock order: nameShard.mu → inoShard.mu → revMu → nodeIndex.mu →
 	// topoMu; no path acquires them in the reverse direction.
+	//
+	// Name hashing is deliberately deterministic (FNV-1a, not a
+	// per-instance seeded hash): the shard choice decides which ino
+	// range a file allocates from, and inos feed stripe placement —
+	// identical clusters must place identically for the harness's
+	// determinism guarantees (and the recovery tests) to hold.
 	nameShards []*nameShard
 	inoShards  []*inoShard
-	nameSeed   maphash.Seed
 
 	// rev is the reverse index: for each node, the set of (ino, stripe)
 	// whose placement puts a block there, with the block index. It is
@@ -79,10 +87,13 @@ type MDS struct {
 	rev   map[wire.NodeID]*nodeIndex
 
 	// liveMu guards liveness state, which is touched by heartbeats on
-	// every node and must not contend with namespace traffic.
+	// every node and must not contend with namespace traffic. addrs is
+	// the node address map heartbeats populate (TCP deployments only):
+	// the wire.KResolveAddr answer that makes clients self-discovering.
 	liveMu sync.Mutex
 	beats  map[wire.NodeID]time.Time
 	dead   map[wire.NodeID]bool
+	addrs  map[wire.NodeID]string
 
 	// repair is the active repair/drain queue, registered for the
 	// duration of a RepairNode/MigrateNode run. wire.KRepairHint
@@ -95,6 +106,14 @@ type MDS struct {
 type nameShard struct {
 	mu    sync.Mutex
 	files map[string]uint64
+	// Inode allocation is per-shard: shard i of n hands out inos
+	// i+1, i+1+n, i+1+2n, ... under its own lock. The ranges are
+	// disjoint by construction, so Create performs no cross-shard
+	// write at all — the last shared write in the create path
+	// (formerly one global atomic counter) is gone.
+	idx  uint64 // this shard's position
+	step uint64 // total shard count
+	next uint64 // allocations performed by this shard
 }
 
 type inoShard struct {
@@ -149,13 +168,13 @@ func NewMDSWithShards(osds []wire.NodeID, k, m, shards int) (*MDS, error) {
 		osds:       append([]wire.NodeID(nil), osds...),
 		nameShards: make([]*nameShard, n),
 		inoShards:  make([]*inoShard, n),
-		nameSeed:   maphash.MakeSeed(),
 		rev:        make(map[wire.NodeID]*nodeIndex, len(osds)),
 		beats:      make(map[wire.NodeID]time.Time),
 		dead:       make(map[wire.NodeID]bool),
+		addrs:      make(map[wire.NodeID]string),
 	}
 	for i := 0; i < n; i++ {
-		md.nameShards[i] = &nameShard{files: make(map[string]uint64)}
+		md.nameShards[i] = &nameShard{files: make(map[string]uint64), idx: uint64(i), step: uint64(n)}
 		md.inoShards[i] = &inoShard{meta: make(map[uint64]*fileMeta)}
 	}
 	for _, id := range osds {
@@ -167,12 +186,44 @@ func NewMDSWithShards(osds []wire.NodeID, k, m, shards int) (*MDS, error) {
 // Geometry returns the cluster's (K, M).
 func (m *MDS) Geometry() (int, int) { return m.k, m.m }
 
+// SetBlockSize records the cluster's block size for address-map replies
+// (wire.KResolveAddr), so dialing clients self-discover the full cluster
+// configuration. Call before serving.
+func (m *MDS) SetBlockSize(n int) { m.blockSize = n }
+
+// BlockSize returns the configured block size (0 when unset).
+func (m *MDS) BlockSize() int { return m.blockSize }
+
+// RecordAddr stores a node's advertised listen address — normally
+// learned from the address heartbeats carry, and set directly for the
+// MDS's own listener by cmd/ecfsd.
+func (m *MDS) RecordAddr(id wire.NodeID, addr string) {
+	if addr == "" {
+		return
+	}
+	m.liveMu.Lock()
+	m.addrs[id] = addr
+	m.liveMu.Unlock()
+}
+
+// AddrMap snapshots the node address map heartbeats have populated.
+func (m *MDS) AddrMap() map[wire.NodeID]string {
+	m.liveMu.Lock()
+	defer m.liveMu.Unlock()
+	out := make(map[wire.NodeID]string, len(m.addrs))
+	for id, a := range m.addrs {
+		out[id] = a
+	}
+	return out
+}
+
 // Shards returns the namespace shard count.
 func (m *MDS) Shards() int { return len(m.inoShards) }
 
 func (m *MDS) nameShard(name string) *nameShard {
-	h := maphash.String(m.nameSeed, name)
-	return m.nameShards[h&uint64(len(m.nameShards)-1)]
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return m.nameShards[h.Sum64()&uint64(len(m.nameShards)-1)]
 }
 
 func (m *MDS) inoShard(ino uint64) *inoShard {
@@ -190,7 +241,9 @@ func (m *MDS) Create(name string) uint64 {
 	if ino, ok := ns.files[name]; ok {
 		return ino
 	}
-	ino := m.nextIno.Add(1)
+	// Allocate from this shard's disjoint ino range (no shared state).
+	ino := ns.next*ns.step + ns.idx + 1
+	ns.next++
 	is := m.inoShard(ino)
 	is.mu.Lock()
 	is.meta[ino] = &fileMeta{name: name, stripes: make(map[uint32]wire.StripeLoc)}
@@ -409,6 +462,7 @@ func (m *MDS) Forget(id wire.NodeID) {
 	m.liveMu.Lock()
 	delete(m.beats, id)
 	delete(m.dead, id)
+	delete(m.addrs, id)
 	m.liveMu.Unlock()
 	m.revMu.Lock()
 	if ni := m.rev[id]; ni != nil {
@@ -478,6 +532,18 @@ func (m *MDS) Heartbeat(id wire.NodeID, at time.Time) {
 	m.liveMu.Lock()
 	m.beats[id] = at
 	delete(m.dead, id)
+	m.liveMu.Unlock()
+}
+
+// HeartbeatAddr records a liveness report carrying the node's advertised
+// listen address.
+func (m *MDS) HeartbeatAddr(id wire.NodeID, at time.Time, addr string) {
+	m.liveMu.Lock()
+	m.beats[id] = at
+	delete(m.dead, id)
+	if addr != "" {
+		m.addrs[id] = addr
+	}
 	m.liveMu.Unlock()
 }
 
@@ -604,8 +670,9 @@ func (m *MDS) Stripes(ino uint64) int {
 	return 0
 }
 
-// Handler serves the MDS RPC surface.
-func (m *MDS) Handler(msg *wire.Msg) *wire.Resp {
+// Handler serves the MDS RPC surface. Metadata operations are pure
+// in-memory work; ctx is accepted for transport symmetry.
+func (m *MDS) Handler(ctx context.Context, msg *wire.Msg) *wire.Resp {
 	switch msg.Kind {
 	case wire.KMDSCreate:
 		return &wire.Resp{Ino: m.Create(msg.Name)}
@@ -616,8 +683,17 @@ func (m *MDS) Handler(msg *wire.Msg) *wire.Resp {
 		}
 		return &wire.Resp{Loc: loc}
 	case wire.KMDSHeartbeat:
-		m.Heartbeat(msg.From, time.Now())
+		m.HeartbeatAddr(msg.From, time.Now(), msg.Name)
 		return &wire.Resp{}
+	case wire.KResolveAddr:
+		// Self-discovery for dialing clients: the full node address map
+		// plus the stripe geometry and block size, so tsue.Dial needs
+		// nothing but the MDS address.
+		return &wire.Resp{
+			Data: wire.EncodeAddrMap(m.AddrMap()),
+			Val:  int64(m.k)<<32 | int64(m.m),
+			Ino:  uint64(m.blockSize),
+		}
 	case wire.KMDSStat:
 		return &wire.Resp{Val: int64(m.Stripes(msg.Block.Ino))}
 	case wire.KRepairHint:

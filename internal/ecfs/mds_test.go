@@ -218,19 +218,23 @@ func TestRemoveNodeStopsPlacement(t *testing.T) {
 	}
 }
 
-// benchNamespace builds an MDS with files×stripesPer placements.
-func benchNamespace(b *testing.B, osds, shards, files, stripesPer int) *MDS {
+// benchNamespace builds an MDS with files×stripesPer placements and
+// returns it with the created inos (per-shard allocation means they are
+// disjoint ranges, not dense 1..N).
+func benchNamespace(b *testing.B, osds, shards, files, stripesPer int) (*MDS, []uint64) {
 	b.Helper()
 	md := testMDS(b, osds, 4, 2, shards)
+	inos := make([]uint64, files)
 	for f := 0; f < files; f++ {
 		ino := md.Create(fmt.Sprintf("f%d", f))
+		inos[f] = ino
 		for s := 0; s < stripesPer; s++ {
 			if _, err := md.Lookup(ino, uint32(s)); err != nil {
 				b.Fatal(err)
 			}
 		}
 	}
-	return md
+	return md, inos
 }
 
 // BenchmarkMDSLookup measures concurrent placement resolution against
@@ -238,12 +242,12 @@ func benchNamespace(b *testing.B, osds, shards, files, stripesPer int) *MDS {
 func BenchmarkMDSLookup(b *testing.B) {
 	for _, shards := range []int{1, 4, 16, 64} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			md := benchNamespace(b, 16, shards, 10_000, 2)
+			md, inos := benchNamespace(b, 16, shards, 10_000, 2)
 			b.ResetTimer()
 			b.RunParallel(func(pb *testing.PB) {
 				rng := rand.New(rand.NewSource(1))
 				for pb.Next() {
-					ino := uint64(1 + rng.Intn(10_000))
+					ino := inos[rng.Intn(len(inos))]
 					if _, err := md.Lookup(ino, uint32(rng.Intn(2))); err != nil {
 						b.Fatal(err)
 					}
@@ -263,7 +267,7 @@ func BenchmarkStripesOnScaling(b *testing.B) {
 		{4_000, 16}, {16_000, 64}, {64_000, 256},
 	} {
 		b.Run(fmt.Sprintf("files=%d/osds=%d", sz.files, sz.osds), func(b *testing.B) {
-			md := benchNamespace(b, sz.osds, 16, sz.files, 1)
+			md, _ := benchNamespace(b, sz.osds, 16, sz.files, 1)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				refs := md.StripesOn(wire.NodeID(1 + i%sz.osds))

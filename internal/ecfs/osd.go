@@ -1,6 +1,7 @@
 package ecfs
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -55,6 +56,12 @@ type OSD struct {
 	// content being carried over is superseded and must not clobber it.
 	overwriteMu sync.Mutex
 	overwrites  map[stripeKey]uint64
+
+	// listenAddr is the advertised TCP listen address, reported on every
+	// heartbeat so the MDS address map can serve it (wire.KResolveAddr).
+	// Empty for in-process deployments.
+	addrMu     sync.Mutex
+	listenAddr string
 }
 
 // NewOSD builds an OSD and its strategy. The caller registers
@@ -93,8 +100,8 @@ func (o *OSD) Store() *blockstore.Store { return o.store }
 func (o *OSD) Dev() *device.Device { return o.dev }
 
 // Call performs a synchronous RPC to a peer node.
-func (o *OSD) Call(to wire.NodeID, msg *wire.Msg) (*wire.Resp, error) {
-	return o.rpc.Call(to, msg)
+func (o *OSD) Call(ctx context.Context, to wire.NodeID, msg *wire.Msg) (*wire.Resp, error) {
+	return o.rpc.Call(ctx, to, msg)
 }
 
 // Code returns the cached RS code for a geometry.
@@ -205,8 +212,10 @@ func (o *OSD) checkEpoch(msg *wire.Msg) *wire.Resp {
 	return nil
 }
 
-// Handler dispatches inbound messages.
-func (o *OSD) Handler(msg *wire.Msg) *wire.Resp {
+// Handler dispatches inbound messages. ctx is the caller's context on
+// the in-process transport (cancellation propagates into strategy
+// forwards) and a background context on TCP.
+func (o *OSD) Handler(ctx context.Context, msg *wire.Msg) *wire.Resp {
 	switch msg.Kind {
 	case wire.KWriteBlock:
 		// Normal write of a freshly encoded stripe member: a large
@@ -228,7 +237,7 @@ func (o *OSD) Handler(msg *wire.Msg) *wire.Resp {
 		if stale := o.checkEpoch(msg); stale != nil {
 			return stale
 		}
-		cost, err := o.strategy.Update(msg)
+		cost, err := o.strategy.Update(ctx, msg)
 		if err != nil {
 			return &wire.Resp{Err: err.Error()}
 		}
@@ -296,14 +305,14 @@ func (o *OSD) Handler(msg *wire.Msg) *wire.Resp {
 		return &wire.Resp{Cost: cost}
 	case wire.KDrainLogs:
 		dead := decodeDeadList(msg.Data)
-		if err := o.strategy.Drain(int(msg.Flag), dead); err != nil {
+		if err := o.strategy.Drain(ctx, int(msg.Flag), dead); err != nil {
 			return &wire.Resp{Err: err.Error()}
 		}
 		return &wire.Resp{}
 	case wire.KPing:
 		return &wire.Resp{Val: int64(o.id)}
 	default:
-		return o.strategy.Handle(msg)
+		return o.strategy.Handle(ctx, msg)
 	}
 }
 
@@ -313,7 +322,7 @@ func (o *OSD) Close() { o.strategy.Close() }
 // DrainAll runs all drain phases locally (single-node tests).
 func (o *OSD) DrainAll() error {
 	for phase := 1; phase <= update.DrainPhases; phase++ {
-		if err := o.strategy.Drain(phase, nil); err != nil {
+		if err := o.strategy.Drain(context.Background(), phase, nil); err != nil {
 			return err
 		}
 	}
@@ -338,11 +347,29 @@ func decodeDeadList(b []byte) []wire.NodeID {
 	return out
 }
 
-// Heartbeat sends one liveness report to the MDS. From is set explicitly
-// because the TCP transport, unlike the in-process one, does not stamp
-// the sender.
-func (o *OSD) Heartbeat() error {
-	resp, err := o.rpc.Call(wire.MDSNode, &wire.Msg{Kind: wire.KMDSHeartbeat, From: o.id})
+// SetListenAddr records the address this OSD's TCP server is reachable
+// at. Subsequent heartbeats carry it, which is how the MDS's address map
+// (wire.KResolveAddr) learns where every node lives — the self-discovery
+// that lets clients follow replacement nodes with no manual SetAddr.
+func (o *OSD) SetListenAddr(addr string) {
+	o.addrMu.Lock()
+	o.listenAddr = addr
+	o.addrMu.Unlock()
+}
+
+// ListenAddr returns the advertised listen address ("" when in-process).
+func (o *OSD) ListenAddr() string {
+	o.addrMu.Lock()
+	defer o.addrMu.Unlock()
+	return o.listenAddr
+}
+
+// Heartbeat sends one liveness report to the MDS, carrying the OSD's
+// advertised listen address (if any) so the MDS address map stays
+// current. From is set explicitly because the TCP transport, unlike the
+// in-process one, does not stamp the sender.
+func (o *OSD) Heartbeat(ctx context.Context) error {
+	resp, err := o.rpc.Call(ctx, wire.MDSNode, &wire.Msg{Kind: wire.KMDSHeartbeat, From: o.id, Name: o.ListenAddr()})
 	if err != nil {
 		return err
 	}
@@ -361,7 +388,7 @@ func (o *OSD) StartHeartbeats(interval time.Duration, stop <-chan struct{}) {
 			case <-stop:
 				return
 			case <-t.C:
-				_ = o.Heartbeat()
+				_ = o.Heartbeat(context.Background())
 			}
 		}
 	}()

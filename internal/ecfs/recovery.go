@@ -1,6 +1,7 @@
 package ecfs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -137,8 +138,8 @@ type RecoveryResult struct {
 // legitimate state of a never-fully-written stripe. The reconstructed
 // bytes are independent of the worker count: any K shards of an RS
 // stripe decode to the same content.
-func (c *Cluster) Recover(failed wire.NodeID, replacement *OSD) (*RecoveryResult, error) {
-	return c.RecoverWith(failed, replacement, c.Opts.RecoveryWorkers)
+func (c *Cluster) Recover(ctx context.Context, failed wire.NodeID, replacement *OSD) (*RecoveryResult, error) {
+	return c.RecoverWith(ctx, failed, replacement, c.Opts.RecoveryWorkers)
 }
 
 // RecoverWith is Recover with an explicit worker count (<= 0 selects
@@ -147,20 +148,20 @@ func (c *Cluster) Recover(failed wire.NodeID, replacement *OSD) (*RecoveryResult
 // MDS, transport and virtual-time resources; while the rebuild runs,
 // degraded client reads promote their stripe to the front of the repair
 // queue (send wire.KRepairHint) so hot stripes repair first.
-func (c *Cluster) RecoverWith(failed wire.NodeID, replacement *OSD, workers int) (*RecoveryResult, error) {
+func (c *Cluster) RecoverWith(ctx context.Context, failed wire.NodeID, replacement *OSD, workers int) (*RecoveryResult, error) {
 	o := c.repairOptions(workers, false)
 	o.Down = c.deadSet(failed)
-	return RepairNode(c.MDS, c.Tr.Caller(replacement.id), c.code, o, failed, replacement)
+	return RepairNode(ctx, c.MDS, c.Tr.Caller(replacement.id), c.code, o, failed, replacement)
 }
 
 // RecoverFIFO is RecoverWith with degraded-read promotion disabled: the
 // rebuild order is strictly the deterministic FIFO seed order. It is
 // the baseline the repair benchmark compares prioritized repair
 // against.
-func (c *Cluster) RecoverFIFO(failed wire.NodeID, replacement *OSD, workers int) (*RecoveryResult, error) {
+func (c *Cluster) RecoverFIFO(ctx context.Context, failed wire.NodeID, replacement *OSD, workers int) (*RecoveryResult, error) {
 	o := c.repairOptions(workers, true)
 	o.Down = c.deadSet(failed)
-	return RepairNode(c.MDS, c.Tr.Caller(replacement.id), c.code, o, failed, replacement)
+	return RepairNode(ctx, c.MDS, c.Tr.Caller(replacement.id), c.code, o, failed, replacement)
 }
 
 // repairOptions assembles the RepairOptions for this cluster's
@@ -188,6 +189,7 @@ func (c *Cluster) repairOptions(workers int, fifo bool) RepairOptions {
 // caller, so the same engine rebuilds over the in-process transport and
 // real TCP sockets.
 type recoverer struct {
+	ctx      context.Context // repair-run context; checked at every engine RPC
 	mds      *MDS
 	caller   transport.RPC
 	code     *erasure.Code
@@ -234,7 +236,7 @@ func (r *recoverer) rebindStripe(ref StripeRef) (wire.StripeLoc, bool, error) {
 		// MDS remains the placement authority. Geometry rides along so
 		// the member's strategy can refresh its stripe table and route
 		// future deltas to the replacement.
-		_, _ = r.caller.Call(node, &wire.Msg{
+		_, _ = r.caller.Call(r.ctx, node, &wire.Msg{
 			Kind: wire.KEpochUpdate, Block: b, Loc: nl, K: uint8(r.k), M: uint8(r.m),
 		})
 	}
@@ -278,7 +280,7 @@ func (r *recoverer) rebuildStripe(ref StripeRef) (StripeRecovery, error) {
 		for _, idx := range wave {
 			go func(idx int) {
 				b := wire.BlockID{Ino: ref.Ino, Stripe: ref.Stripe, Idx: uint8(idx)}
-				resp, err := r.caller.Call(ref.Loc.Nodes[idx], &wire.Msg{Kind: wire.KBlockFetch, Block: b})
+				resp, err := r.caller.Call(r.ctx, ref.Loc.Nodes[idx], &wire.Msg{Kind: wire.KBlockFetch, Block: b})
 				if err != nil || !resp.OK() {
 					// Unreachable node or error reply: fall back to
 					// another holder. A structured not-found is the
@@ -391,7 +393,7 @@ func (r *recoverer) replayReplica(ref StripeRef, lost wire.BlockID, data []byte)
 		if node == r.failed || r.down[node] {
 			continue
 		}
-		resp, err := r.caller.Call(node, &wire.Msg{Kind: wire.KReplicaFetch, Block: lost})
+		resp, err := r.caller.Call(r.ctx, node, &wire.Msg{Kind: wire.KReplicaFetch, Block: lost})
 		if err != nil || !resp.OK() || len(resp.Data) == 0 {
 			continue
 		}
@@ -431,7 +433,7 @@ func (r *recoverer) replayReplica(ref StripeRef, lost wire.BlockID, data []byte)
 			}
 			pd := r.code.ParityDelta(j, int(ref.Idx), delta)
 			pb := wire.BlockID{Ino: ref.Ino, Stripe: ref.Stripe, Idx: uint8(r.k + j)}
-			resp, err := r.caller.Call(pNode, &wire.Msg{
+			resp, err := r.caller.Call(r.ctx, pNode, &wire.Msg{
 				Kind: wire.KParityLogAdd, Block: pb, Off: rec.Off, Data: pd,
 				K: uint8(r.k), M: uint8(r.m), Loc: ref.Loc,
 			})

@@ -2,6 +2,7 @@ package ecfs
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math/rand"
 	"sync/atomic"
@@ -41,7 +42,7 @@ func failAndRecover(t *testing.T, c *Cluster, pos int, workers int) (*OSD, *Reco
 	victim := c.OSDs[pos]
 	c.FailOSD(victim.ID())
 	repl := newTestReplacement(t, c, victim.ID())
-	res, err := c.RecoverWith(victim.ID(), repl, workers)
+	res, err := c.RecoverWith(context.Background(), victim.ID(), repl, workers)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestRecoveryDeterministicAcrossWorkers(t *testing.T) {
 func TestRecoveryFetchErrorFallback(t *testing.T) {
 	c, cli, ino, mirror := buildRecoveryCluster(t, "tsue", 150)
 	defer c.Close()
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -135,17 +136,17 @@ func TestRecoveryFetchErrorFallback(t *testing.T) {
 	// A second, live node serves everything except block fetches.
 	flaky := c.OSDs[5]
 	var injected atomic.Int64
-	c.Tr.Register(flaky.ID(), func(msg *wire.Msg) *wire.Resp {
+	c.Tr.Register(flaky.ID(), func(hctx context.Context, msg *wire.Msg) *wire.Resp {
 		if msg.Kind == wire.KBlockFetch {
 			injected.Add(1)
 			return &wire.Resp{Err: "injected fetch failure"}
 		}
-		return flaky.Handler(msg)
+		return flaky.Handler(hctx, msg)
 	})
 
 	repl := newTestReplacement(t, c, victim.ID())
 	defer repl.Close()
-	res, err := c.Recover(victim.ID(), repl)
+	res, err := c.Recover(context.Background(), victim.ID(), repl)
 	if err != nil {
 		t.Fatalf("recovery must survive per-node fetch errors: %v", err)
 	}
@@ -194,7 +195,7 @@ func TestRecoveryFetchErrorFallback(t *testing.T) {
 func TestRecoveryNodeDiesMidRebuild(t *testing.T) {
 	c, _, _, _ := buildRecoveryCluster(t, "tsue", 100)
 	defer c.Close()
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -203,19 +204,19 @@ func TestRecoveryNodeDiesMidRebuild(t *testing.T) {
 
 	dying := c.OSDs[4]
 	var killed atomic.Bool
-	c.Tr.Register(dying.ID(), func(msg *wire.Msg) *wire.Resp {
+	c.Tr.Register(dying.ID(), func(hctx context.Context, msg *wire.Msg) *wire.Resp {
 		if msg.Kind == wire.KBlockFetch {
 			if killed.CompareAndSwap(false, true) {
 				c.FailOSD(dying.ID())
 			}
 			return &wire.Resp{Err: "node dying"}
 		}
-		return dying.Handler(msg)
+		return dying.Handler(hctx, msg)
 	})
 
 	repl := newTestReplacement(t, c, victim.ID())
 	defer repl.Close()
-	res, err := c.Recover(victim.ID(), repl)
+	res, err := c.Recover(context.Background(), victim.ID(), repl)
 	if err != nil {
 		t.Fatalf("recovery must survive a node dying mid-rebuild: %v", err)
 	}
@@ -255,7 +256,7 @@ func TestRecoveryDoubleFailure(t *testing.T) {
 
 	for _, victim := range []*OSD{first, second} {
 		repl := newTestReplacement(t, c, victim.ID())
-		res, err := c.Recover(victim.ID(), repl)
+		res, err := c.Recover(context.Background(), victim.ID(), repl)
 		if err != nil {
 			t.Fatalf("recover %d: %v", victim.ID(), err)
 		}
@@ -276,7 +277,7 @@ func TestRecoveryDoubleFailure(t *testing.T) {
 	if !bytes.Equal(got, mirror) {
 		t.Fatal("post-recovery read mismatch")
 	}
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.VerifyStripes(ino, mirror); err != nil {
@@ -302,7 +303,7 @@ func TestRecoveryNeverWrittenStripes(t *testing.T) {
 	c.FailOSD(victim.ID())
 	repl := newTestReplacement(t, c, victim.ID())
 	defer repl.Close()
-	res, err := c.Recover(victim.ID(), repl)
+	res, err := c.Recover(context.Background(), victim.ID(), repl)
 	if err != nil {
 		t.Fatalf("never-written stripes must not fail recovery: %v", err)
 	}
@@ -331,7 +332,7 @@ func TestRecoveryConcurrentWithReads(t *testing.T) {
 	c, cli, ino, mirror := buildRecoveryCluster(t, "tsue", 150)
 	defer c.Close()
 	// Drain first so degraded reads see fully recycled state.
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -358,7 +359,7 @@ func TestRecoveryConcurrentWithReads(t *testing.T) {
 		done <- nil
 	}()
 
-	if _, err := c.RecoverWith(victim.ID(), repl, 8); err != nil {
+	if _, err := c.RecoverWith(context.Background(), victim.ID(), repl, 8); err != nil {
 		t.Fatal(err)
 	}
 	if err := <-done; err != nil {
@@ -384,11 +385,11 @@ func TestRecoveryErrorReturnsPromptly(t *testing.T) {
 		// rejects, so every data-block stripe rebuild errors.
 		for _, o := range c.Alive() {
 			o := o
-			c.Tr.Register(o.ID(), func(msg *wire.Msg) *wire.Resp {
+			c.Tr.Register(o.ID(), func(hctx context.Context, msg *wire.Msg) *wire.Resp {
 				if msg.Kind == wire.KReplicaFetch {
 					return &wire.Resp{Data: []byte{0xFF, 0x01, 0x02}}
 				}
-				return o.Handler(msg)
+				return o.Handler(hctx, msg)
 			})
 		}
 		repl := newTestReplacement(t, c, victim.ID())
@@ -396,7 +397,7 @@ func TestRecoveryErrorReturnsPromptly(t *testing.T) {
 
 		errCh := make(chan error, 1)
 		go func() {
-			_, err := c.RecoverWith(victim.ID(), repl, workers)
+			_, err := c.RecoverWith(context.Background(), victim.ID(), repl, workers)
 			errCh <- err
 		}()
 		select {
@@ -437,7 +438,7 @@ func TestRecoveryOntoFreshNode(t *testing.T) {
 	}
 	c.AddOSD(repl)
 
-	res, err := c.Recover(victim.ID(), repl)
+	res, err := c.Recover(context.Background(), victim.ID(), repl)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -492,7 +493,7 @@ func TestRecoveryOntoFreshNode(t *testing.T) {
 	// A full-stripe write through the stale cache must also land on the
 	// rebound placement. (Drain first: rewriting a stripe that has
 	// pending update logs is out of contract.)
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	span := cli.StripeSpan()
@@ -500,7 +501,7 @@ func TestRecoveryOntoFreshNode(t *testing.T) {
 	if _, err := cli.WriteStripe(ino, 0, mirror[:span]); err != nil {
 		t.Fatalf("stale client write: %v", err)
 	}
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.VerifyStripes(ino, mirror); err != nil {
@@ -526,7 +527,7 @@ func TestRecoveryOntoFreshNode(t *testing.T) {
 func TestRecoveryDataLossError(t *testing.T) {
 	c, _, ino, _ := buildRecoveryCluster(t, "tsue", 100)
 	defer c.Close()
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -541,17 +542,17 @@ func TestRecoveryDataLossError(t *testing.T) {
 	c.FailOSD(victim.ID())
 	for _, node := range loc.Nodes[1 : 1+c.Opts.M] {
 		o := c.OSD(node)
-		c.Tr.Register(o.ID(), func(msg *wire.Msg) *wire.Resp {
+		c.Tr.Register(o.ID(), func(hctx context.Context, msg *wire.Msg) *wire.Resp {
 			if msg.Kind == wire.KBlockFetch {
 				return &wire.Resp{Err: "injected disk failure"}
 			}
-			return o.Handler(msg)
+			return o.Handler(hctx, msg)
 		})
 	}
 
 	repl := newTestReplacement(t, c, victim.ID())
 	defer repl.Close()
-	res, err := c.Recover(victim.ID(), repl)
+	res, err := c.Recover(context.Background(), victim.ID(), repl)
 	if err == nil {
 		t.Fatal("expected a data-loss error")
 	}
@@ -583,7 +584,7 @@ func TestRecoveryDataLossError(t *testing.T) {
 func TestBlockFetchNotFoundStructured(t *testing.T) {
 	c := MustNewCluster(testOptions("tsue"))
 	defer c.Close()
-	resp, err := c.Tr.Caller(wire.MDSNode).Call(c.OSDs[0].ID(), &wire.Msg{
+	resp, err := c.Tr.Caller(wire.MDSNode).Call(context.Background(), c.OSDs[0].ID(), &wire.Msg{
 		Kind: wire.KBlockFetch, Block: wire.BlockID{Ino: 9999, Stripe: 0, Idx: 0},
 	})
 	if err != nil {

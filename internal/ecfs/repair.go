@@ -18,6 +18,7 @@ package ecfs
 import (
 	"bytes"
 	"container/heap"
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -158,7 +159,7 @@ type RepairOptions struct {
 	// Flush drains strategy logs cluster-wide — the §2.3.2 consistency
 	// requirement — before stripes move and after replica replay. nil
 	// skips (the caller has already quiesced the logs).
-	Flush func() error
+	Flush func(ctx context.Context) error
 	// NoPromote disables degraded-read promotion, turning the queue into
 	// a strict FIFO — the baseline the repair benchmark compares against.
 	NoPromote bool
@@ -177,7 +178,7 @@ func (o *RepairOptions) sanitize() {
 // registering it for KRepairHint promotion unless o.NoPromote. work is
 // called once per popped stripe with its seed slot and execution order;
 // the first error aborts (remaining items are discarded, not executed).
-func runRepairWorkers(mds *MDS, o RepairOptions, q *repairQueue, work func(ref StripeRef, seed, order int) error) error {
+func runRepairWorkers(ctx context.Context, mds *MDS, o RepairOptions, q *repairQueue, work func(ref StripeRef, seed, order int) error) error {
 	if !o.NoPromote {
 		mds.installRepairQueue(q)
 		defer mds.dropRepairQueue(q)
@@ -201,6 +202,17 @@ func runRepairWorkers(mds *MDS, o RepairOptions, q *repairQueue, work func(ref S
 				errMu.Unlock()
 				if failed {
 					continue // drain the queue without doing work
+				}
+				// Honor cancellation between stripes: a cancelled repair
+				// stops cleanly at a stripe boundary (completed stripes
+				// stay rebound; pending ones keep their old placement).
+				if err := ctx.Err(); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					continue
 				}
 				if err := work(ref, seed, order); err != nil {
 					errMu.Lock()
@@ -236,11 +248,11 @@ func repairWindow(stripeTime time.Duration, workers int, resources []*sim.Resour
 // process (its store is written directly and it learns epochs first);
 // everything else — shard fetches, replica replay, epoch broadcasts —
 // travels through caller. See Cluster.Recover for the full semantics.
-func RepairNode(mds *MDS, caller transport.RPC, code *erasure.Code, o RepairOptions, failed wire.NodeID, repl *OSD) (*RecoveryResult, error) {
+func RepairNode(ctx context.Context, mds *MDS, caller transport.RPC, code *erasure.Code, o RepairOptions, failed wire.NodeID, repl *OSD) (*RecoveryResult, error) {
 	o.sanitize()
 	start := sim.SnapshotBusy(o.Resources)
 	if o.Flush != nil {
-		if err := o.Flush(); err != nil {
+		if err := o.Flush(ctx); err != nil {
 			return nil, fmt.Errorf("ecfs: pre-recovery drain: %w", err)
 		}
 	}
@@ -257,6 +269,7 @@ func RepairNode(mds *MDS, caller transport.RPC, code *erasure.Code, o RepairOpti
 		o.Workers = len(refs)
 	}
 	r := &recoverer{
+		ctx:      ctx,
 		mds:      mds,
 		caller:   caller,
 		code:     code,
@@ -275,7 +288,7 @@ func RepairNode(mds *MDS, caller transport.RPC, code *erasure.Code, o RepairOpti
 	}
 
 	q := newRepairQueue(refs)
-	err := runRepairWorkers(mds, o, q, func(ref StripeRef, seed, order int) error {
+	err := runRepairWorkers(ctx, mds, o, q, func(ref StripeRef, seed, order int) error {
 		sr, err := r.rebuildStripe(ref)
 		sr.Order = order
 		res.Stripes[seed] = sr
@@ -321,7 +334,7 @@ func RepairNode(mds *MDS, caller transport.RPC, code *erasure.Code, o RepairOpti
 	// Replica replay appends parity deltas to surviving parity logs;
 	// drain them so parity is fully consistent before service resumes.
 	if res.ReplayedBytes > 0 && o.Flush != nil {
-		if err := o.Flush(); err != nil {
+		if err := o.Flush(ctx); err != nil {
 			return nil, fmt.Errorf("ecfs: post-replay drain: %w", err)
 		}
 	}
@@ -398,7 +411,7 @@ type DrainResult struct {
 // back to a degraded decode only in the copy window, which also
 // promotes the stripe); updates rejected by the fence re-resolve and
 // land on the destination, whose base block is already present.
-func MigrateNode(mds *MDS, caller transport.RPC, o RepairOptions, node wire.NodeID) (*DrainResult, error) {
+func MigrateNode(ctx context.Context, mds *MDS, caller transport.RPC, o RepairOptions, node wire.NodeID) (*DrainResult, error) {
 	o.sanitize()
 	if o.Down[node] {
 		return nil, fmt.Errorf("ecfs: drain: node %d is down (use Recover for failed nodes)", node)
@@ -420,7 +433,7 @@ func MigrateNode(mds *MDS, caller transport.RPC, o RepairOptions, node wire.Node
 
 	start := sim.SnapshotBusy(o.Resources)
 	if o.Flush != nil {
-		if err := o.Flush(); err != nil {
+		if err := o.Flush(ctx); err != nil {
 			return nil, fmt.Errorf("ecfs: pre-drain flush: %w", err)
 		}
 	}
@@ -456,6 +469,7 @@ func MigrateNode(mds *MDS, caller transport.RPC, o RepairOptions, node wire.Node
 		deadIDs = append(deadIDs, id)
 	}
 	mg := &migrator{
+		ctx: ctx,
 		mds: mds, caller: caller, node: node, k: o.K, m: o.M,
 		down: o.Down, deadList: encodeDeadList(deadIDs),
 	}
@@ -467,7 +481,7 @@ func MigrateNode(mds *MDS, caller transport.RPC, o RepairOptions, node wire.Node
 	}
 
 	q := newRepairQueue(refs)
-	err := runRepairWorkers(mds, o, q, func(ref StripeRef, seed, _ int) error {
+	err := runRepairWorkers(ctx, mds, o, q, func(ref StripeRef, seed, _ int) error {
 		mv, err := mg.migrateStripe(ref)
 		res.Moves[seed] = mv
 		return err
@@ -505,6 +519,7 @@ func MigrateNode(mds *MDS, caller transport.RPC, o RepairOptions, node wire.Node
 
 // migrator is the per-drain engine state shared by the worker pool.
 type migrator struct {
+	ctx      context.Context // drain-run context; checked at every engine RPC
 	mds      *MDS
 	caller   transport.RPC
 	node     wire.NodeID
@@ -517,7 +532,7 @@ func (mg *migrator) migrateStripe(ref StripeRef) (StripeMove, error) {
 	mv := StripeMove{Ino: ref.Ino, Stripe: ref.Stripe, Idx: ref.Idx}
 	b := wire.BlockID{Ino: ref.Ino, Stripe: ref.Stripe, Idx: ref.Idx}
 	fetch := func() (*wire.Resp, error) {
-		return mg.caller.Call(mg.node, &wire.Msg{Kind: wire.KBlockFetch, Block: b, Flag: wire.FetchReadThrough})
+		return mg.caller.Call(mg.ctx, mg.node, &wire.Msg{Kind: wire.KBlockFetch, Block: b, Flag: wire.FetchReadThrough})
 	}
 	resp, err := fetch()
 	if err != nil {
@@ -540,7 +555,7 @@ func (mg *migrator) migrateStripe(ref StripeRef) (StripeMove, error) {
 	}
 	mv.To = dest
 	if data != nil {
-		sresp, err := mg.caller.Call(dest, &wire.Msg{Kind: wire.KBlockStore, Block: b, Data: data})
+		sresp, err := mg.caller.Call(mg.ctx, dest, &wire.Msg{Kind: wire.KBlockStore, Block: b, Data: data})
 		if err != nil {
 			return mv, fmt.Errorf("ecfs: drain store %v on %d: %w", b, dest, err)
 		}
@@ -559,7 +574,7 @@ func (mg *migrator) migrateStripe(ref StripeRef) (StripeMove, error) {
 	// Fence: unlike the recovery broadcast, the source notification must
 	// succeed — it is what stops stale clients from mutating the moved
 	// block on the old holder.
-	fr, err := mg.caller.Call(mg.node, &wire.Msg{
+	fr, err := mg.caller.Call(mg.ctx, mg.node, &wire.Msg{
 		Kind: wire.KEpochUpdate, Block: b, Loc: nl, K: uint8(mg.k), M: uint8(mg.m),
 	})
 	if err != nil {
@@ -581,7 +596,7 @@ func (mg *migrator) migrateStripe(ref StripeRef) (StripeMove, error) {
 		if member == mg.node || mg.down[member] {
 			continue
 		}
-		_, _ = mg.caller.Call(member, &wire.Msg{
+		_, _ = mg.caller.Call(mg.ctx, member, &wire.Msg{
 			Kind: wire.KEpochUpdate, Block: b, Loc: nl, K: uint8(mg.k), M: uint8(mg.m),
 		})
 	}
@@ -614,7 +629,7 @@ func (mg *migrator) migrateStripe(ref StripeRef) (StripeMove, error) {
 	case r2.OK():
 		mv.Cost += r2.Cost
 		if data == nil || !bytes.Equal(r2.Data, data) {
-			sresp, serr := mg.caller.Call(dest, &wire.Msg{
+			sresp, serr := mg.caller.Call(mg.ctx, dest, &wire.Msg{
 				Kind: wire.KBlockStore, Block: b, Data: r2.Data,
 				Flag: wire.StoreUnlessOverwritten, Loc: nl,
 			})
@@ -642,7 +657,7 @@ func (mg *migrator) migrateStripe(ref StripeRef) (StripeMove, error) {
 // blocks before a parity block's final copy is taken.
 func (mg *migrator) drainSourceLogs(mv *StripeMove) error {
 	for phase := 1; phase <= update.DrainPhases; phase++ {
-		resp, err := mg.caller.Call(mg.node, &wire.Msg{Kind: wire.KDrainLogs, Flag: uint8(phase), Data: mg.deadList})
+		resp, err := mg.caller.Call(mg.ctx, mg.node, &wire.Msg{Kind: wire.KDrainLogs, Flag: uint8(phase), Data: mg.deadList})
 		if err != nil {
 			return fmt.Errorf("ecfs: drain source logs at %d: %w", mg.node, err)
 		}
@@ -660,27 +675,27 @@ func (mg *migrator) drainSourceLogs(mv *StripeMove) error {
 // is decoded — blocks are copied straight from the draining node. The
 // node is evicted from the placement pool but stays registered; follow
 // with RemoveOSD (or use Decommission) to retire it.
-func (c *Cluster) Drain(node wire.NodeID) (*DrainResult, error) {
-	return c.DrainWith(node, c.Opts.RecoveryWorkers)
+func (c *Cluster) Drain(ctx context.Context, node wire.NodeID) (*DrainResult, error) {
+	return c.DrainWith(ctx, node, c.Opts.RecoveryWorkers)
 }
 
 // DrainWith is Drain with an explicit migration worker count (<= 0
 // selects DefaultRecoveryWorkers).
-func (c *Cluster) DrainWith(node wire.NodeID, workers int) (*DrainResult, error) {
+func (c *Cluster) DrainWith(ctx context.Context, node wire.NodeID, workers int) (*DrainResult, error) {
 	if c.OSD(node) == nil {
 		return nil, fmt.Errorf("ecfs: drain: unknown node %d", node)
 	}
 	o := c.repairOptions(workers, false)
 	o.Down = c.deadSnapshot()
-	return MigrateNode(c.MDS, c.Tr.Caller(wire.MDSNode), o, node)
+	return MigrateNode(ctx, c.MDS, c.Tr.Caller(wire.MDSNode), o, node)
 }
 
 // Decommission drains a live node and then retires it: after every
 // stripe has been migrated (Drain), the node is deregistered from the
 // transport, closed, removed from the OSD list, and forgotten by the
 // MDS — the zero-downtime path for taking hardware out of service.
-func (c *Cluster) Decommission(node wire.NodeID) (*DrainResult, error) {
-	res, err := c.Drain(node)
+func (c *Cluster) Decommission(ctx context.Context, node wire.NodeID) (*DrainResult, error) {
+	res, err := c.Drain(ctx, node)
 	if err != nil {
 		return res, err
 	}

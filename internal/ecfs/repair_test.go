@@ -2,6 +2,7 @@ package ecfs
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
@@ -65,7 +66,7 @@ func TestRepairQueueOrdering(t *testing.T) {
 func TestPrioritizedRepairReordersQueue(t *testing.T) {
 	c, cli, ino, mirror := buildRecoveryCluster(t, "tsue", 150)
 	defer c.Close()
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	// Warm the client's placement cache across the whole file.
@@ -73,7 +74,14 @@ func TestPrioritizedRepairReordersQueue(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Pick the OSD hosting the longest work list (placement depends on
+	// the ino, which per-shard allocation no longer pins to 1).
 	victim := c.OSDs[2]
+	for _, o := range c.OSDs {
+		if len(c.MDS.StripesOn(o.ID())) > len(c.MDS.StripesOn(victim.ID())) {
+			victim = o
+		}
+	}
 	c.FailOSD(victim.ID())
 	freshID := wire.NodeID(c.Opts.NumOSDs + 7)
 	repl := newFreshReplacement(t, c, freshID)
@@ -107,7 +115,7 @@ func TestPrioritizedRepairReordersQueue(t *testing.T) {
 	var gateMu sync.Mutex // protects gates map reads vs. test-side deletes
 	for _, o := range c.Alive() {
 		o := o
-		c.Tr.Register(o.ID(), func(msg *wire.Msg) *wire.Resp {
+		c.Tr.Register(o.ID(), func(hctx context.Context, msg *wire.Msg) *wire.Resp {
 			if msg.Kind == wire.KBlockFetch {
 				gateMu.Lock()
 				gate := gates[stripeKey{msg.Block.Ino, msg.Block.Stripe}]
@@ -116,7 +124,7 @@ func TestPrioritizedRepairReordersQueue(t *testing.T) {
 					<-gate
 				}
 			}
-			return o.Handler(msg)
+			return o.Handler(hctx, msg)
 		})
 	}
 
@@ -126,7 +134,7 @@ func TestPrioritizedRepairReordersQueue(t *testing.T) {
 	}
 	done := make(chan recDone, 1)
 	go func() {
-		res, err := c.RecoverWith(victim.ID(), repl, 1)
+		res, err := c.RecoverWith(context.Background(), victim.ID(), repl, 1)
 		done <- recDone{res, err}
 	}()
 
@@ -135,7 +143,7 @@ func TestPrioritizedRepairReordersQueue(t *testing.T) {
 		t.Helper()
 		deadline := time.Now().Add(10 * time.Second)
 		for {
-			resp, err := status.Call(wire.MDSNode, &wire.Msg{Kind: wire.KRepairStatus})
+			resp, err := status.Call(context.Background(), wire.MDSNode, &wire.Msg{Kind: wire.KRepairStatus})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -241,7 +249,7 @@ func TestRecoverFIFOKeepsSeedOrder(t *testing.T) {
 	c.FailOSD(victim.ID())
 	repl := newTestReplacement(t, c, victim.ID())
 	defer repl.Close()
-	res, err := c.RecoverFIFO(victim.ID(), repl, 1)
+	res, err := c.RecoverFIFO(context.Background(), victim.ID(), repl, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,7 +376,7 @@ func TestDrainMigratesLiveNode(t *testing.T) {
 		}(r, rcli)
 	}
 
-	res, err := c.Drain(node)
+	res, err := c.Drain(context.Background(), node)
 	close(stop)
 	wg.Wait()
 	if err != nil {
@@ -411,7 +419,7 @@ func TestDrainMigratesLiveNode(t *testing.T) {
 	if !bytes.Equal(got, snap) {
 		t.Fatal("post-drain read mismatch")
 	}
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.VerifyStripes(ino, snap); err != nil {
@@ -427,7 +435,7 @@ func TestDecommissionRetiresNode(t *testing.T) {
 	defer c.Close()
 
 	node := c.OSDs[1].ID()
-	res, err := c.Decommission(node)
+	res, err := c.Decommission(context.Background(), node)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -437,7 +445,7 @@ func TestDecommissionRetiresNode(t *testing.T) {
 	if c.OSD(node) != nil {
 		t.Fatal("decommissioned node still in the OSD list")
 	}
-	if _, err := c.Tr.Caller(wire.MDSNode).Call(node, &wire.Msg{Kind: wire.KPing}); err == nil {
+	if _, err := c.Tr.Caller(wire.MDSNode).Call(context.Background(), node, &wire.Msg{Kind: wire.KPing}); err == nil {
 		t.Fatal("decommissioned node still answers the transport")
 	}
 	if _, ok := c.MDS.LastHeartbeat(node); ok {
@@ -462,7 +470,7 @@ func TestDecommissionRetiresNode(t *testing.T) {
 	if !bytes.Equal(got, mirror) {
 		t.Fatal("post-decommission read mismatch")
 	}
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.VerifyStripes(ino, mirror); err != nil {
@@ -496,7 +504,7 @@ func TestDrainParityPendingLogsPL(t *testing.T) {
 	// Migrate a node while its parity logs still hold undrained deltas:
 	// no Flush hook, so only the per-stripe source drain can save them.
 	node := c.OSDs[2].ID()
-	res, err := MigrateNode(c.MDS, c.Tr.Caller(wire.MDSNode), RepairOptions{
+	res, err := MigrateNode(context.Background(), c.MDS, c.Tr.Caller(wire.MDSNode), RepairOptions{
 		K: c.Opts.K, M: c.Opts.M, Workers: 2,
 	}, node)
 	if err != nil {
@@ -508,7 +516,7 @@ func TestDrainParityPendingLogsPL(t *testing.T) {
 	if got := len(c.MDS.StripesOn(node)); got != 0 {
 		t.Fatalf("%d stripes still on the drained node", got)
 	}
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.VerifyStripes(ino, mirror); err != nil {
@@ -529,14 +537,14 @@ func TestDrainRollsBackPoolOnFailure(t *testing.T) {
 		if o.ID() == node {
 			continue
 		}
-		c.Tr.Register(o.ID(), func(msg *wire.Msg) *wire.Resp {
+		c.Tr.Register(o.ID(), func(hctx context.Context, msg *wire.Msg) *wire.Resp {
 			if msg.Kind == wire.KBlockStore {
 				return &wire.Resp{Err: "injected store failure"}
 			}
-			return o.Handler(msg)
+			return o.Handler(hctx, msg)
 		})
 	}
-	if _, err := c.Drain(node); err == nil {
+	if _, err := c.Drain(context.Background(), node); err == nil {
 		t.Fatal("drain must fail when destinations reject stores")
 	}
 	found := false
@@ -567,18 +575,18 @@ func TestDrainValidation(t *testing.T) {
 	defer c.Close()
 	cli := c.NewClient()
 	writeTestFile(t, c, cli, 32<<10, 3)
-	if _, err := c.Drain(c.OSDs[0].ID()); err == nil {
+	if _, err := c.Drain(context.Background(), c.OSDs[0].ID()); err == nil {
 		t.Fatal("draining a minimum-size pool must fail")
 	}
 
 	c2 := MustNewCluster(testOptions("tsue"))
 	defer c2.Close()
-	if _, err := c2.Drain(wire.NodeID(999)); err == nil {
+	if _, err := c2.Drain(context.Background(), wire.NodeID(999)); err == nil {
 		t.Fatal("draining an unknown node must fail")
 	}
 	// A failed node cannot be drained (it cannot source its blocks).
 	c2.FailOSD(c2.OSDs[3].ID())
-	if _, err := c2.Drain(c2.OSDs[3].ID()); err == nil {
+	if _, err := c2.Drain(context.Background(), c2.OSDs[3].ID()); err == nil {
 		t.Fatal("draining a failed node must fail")
 	}
 }

@@ -2,6 +2,7 @@ package ecfs
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 
@@ -108,7 +109,7 @@ func TestTCPClusterEndToEnd(t *testing.T) {
 	// Drain over TCP, phase by phase, then verify parity locally.
 	for phase := 1; phase <= update.DrainPhases; phase++ {
 		for _, id := range ids {
-			resp, err := cliRPC.Call(id, &wire.Msg{Kind: wire.KDrainLogs, Flag: uint8(phase)})
+			resp, err := cliRPC.Call(context.Background(), id, &wire.Msg{Kind: wire.KDrainLogs, Flag: uint8(phase)})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -152,7 +153,7 @@ func TestTCPClusterEndToEnd(t *testing.T) {
 	}
 
 	// Heartbeats flow over TCP too.
-	if err := osds[0].Heartbeat(); err != nil {
+	if err := osds[0].Heartbeat(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := mds.LastHeartbeat(ids[0]); !ok {

@@ -2,6 +2,7 @@ package ecfs
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 
@@ -44,6 +45,8 @@ func newTCPHarness(t *testing.T, k, m, nOSDs, blockSize int) *tcpHarness {
 		t.Fatal(err)
 	}
 	h.mds = mds
+	// Self-discovery configuration, exactly as cmd/ecfsd serves it.
+	mds.SetBlockSize(blockSize)
 	mdsSrv, err := transport.ServeTCP(wire.MDSNode, "127.0.0.1:0", mds.Handler)
 	if err != nil {
 		t.Fatal(err)
@@ -51,6 +54,7 @@ func newTCPHarness(t *testing.T, k, m, nOSDs, blockSize int) *tcpHarness {
 	t.Cleanup(func() { mdsSrv.Close() })
 	h.srvs[wire.MDSNode] = mdsSrv
 	h.addrs[wire.MDSNode] = mdsSrv.Addr()
+	mds.RecordAddr(wire.MDSNode, mdsSrv.Addr())
 
 	h.cfg = update.DefaultConfig()
 	h.cfg.BlockSize = blockSize
@@ -65,10 +69,14 @@ func newTCPHarness(t *testing.T, k, m, nOSDs, blockSize int) *tcpHarness {
 	return h
 }
 
-// addOSD builds an OSD with its own TCP client pool and serves it.
+// addOSD builds an OSD with its own TCP client pool and serves it. The
+// OSD's pool knows only the MDS and resolves peers through the address
+// map; the OSD announces its listen address with an immediate heartbeat
+// — the cmd/ecfsd wiring.
 func (h *tcpHarness) addOSD(id wire.NodeID) *OSD {
 	h.t.Helper()
-	rpc := transport.NewTCPClient(nil)
+	rpc := transport.NewTCPClient(map[wire.NodeID]string{wire.MDSNode: h.addrs[wire.MDSNode]})
+	rpc.SetResolver(resolveVia(rpc))
 	h.rpcs = append(h.rpcs, rpc)
 	osd, err := NewOSD(id, device.ChameleonSSD(), rpc, "tsue", h.cfg, erasure.Vandermonde)
 	if err != nil {
@@ -83,7 +91,31 @@ func (h *tcpHarness) addOSD(id wire.NodeID) *OSD {
 	h.osds[id] = osd
 	h.srvs[id] = srv
 	h.addrs[id] = srv.Addr()
+	osd.SetListenAddr(srv.Addr())
+	if err := osd.Heartbeat(context.Background()); err != nil {
+		h.t.Fatal(err)
+	}
 	return osd
+}
+
+// resolveVia builds the AddrResolver every node and client uses: ask the
+// MDS for the address map over wire.KResolveAddr.
+func resolveVia(rpc *transport.TCPClient) transport.AddrResolver {
+	return func(ctx context.Context) (map[wire.NodeID]string, error) {
+		r, err := rpc.Call(ctx, wire.MDSNode, &wire.Msg{Kind: wire.KResolveAddr})
+		if err != nil {
+			return nil, err
+		}
+		if err := r.Error(); err != nil {
+			return nil, err
+		}
+		out, err := wire.DecodeAddrMap(r.Data)
+		if err != nil {
+			return nil, err
+		}
+		delete(out, wire.MDSNode)
+		return out, nil
+	}
 }
 
 // newRPC returns a TCP client pool knowing every current address.
@@ -114,15 +146,15 @@ func (h *tcpHarness) fail(id wire.NodeID) {
 // flush drains the strategy logs of every live OSD over TCP, phase by
 // phase, with the dead list attached (the same KDrainLogs sweep
 // Cluster.Flush performs in process).
-func (h *tcpHarness) flushOver(rpc transport.RPC, down map[wire.NodeID]bool) func() error {
-	return func() error {
+func (h *tcpHarness) flushOver(rpc transport.RPC, down map[wire.NodeID]bool) func(context.Context) error {
+	return func(ctx context.Context) error {
 		payload := encodeDeadList(h.mds.DeadNodes())
 		for phase := 1; phase <= update.DrainPhases; phase++ {
 			for id := range h.osds {
 				if down[id] {
 					continue
 				}
-				resp, err := rpc.Call(id, &wire.Msg{Kind: wire.KDrainLogs, Flag: uint8(phase), Data: payload})
+				resp, err := rpc.Call(ctx, id, &wire.Msg{Kind: wire.KDrainLogs, Flag: uint8(phase), Data: payload})
 				if err != nil {
 					return err
 				}
@@ -190,7 +222,7 @@ func TestTCPRecoveryStaleEpochReresolve(t *testing.T) {
 	h.mds.AddNode(freshID)
 
 	caller := h.newRPC()
-	res, err := RepairNode(h.mds, caller, h.code, RepairOptions{
+	res, err := RepairNode(context.Background(), h.mds, caller, h.code, RepairOptions{
 		K: k, M: m, Workers: 2, DataLogReplicas: 1,
 		Down:  down,
 		Flush: h.flushOver(caller, down),
@@ -240,7 +272,7 @@ func TestTCPRecoveryStaleEpochReresolve(t *testing.T) {
 	}
 
 	// No repair is active anymore: the status RPC reports an idle queue.
-	resp, err := caller.Call(wire.MDSNode, &wire.Msg{Kind: wire.KRepairStatus})
+	resp, err := caller.Call(context.Background(), wire.MDSNode, &wire.Msg{Kind: wire.KRepairStatus})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +281,7 @@ func TestTCPRecoveryStaleEpochReresolve(t *testing.T) {
 	}
 
 	// Drain over TCP and verify parity on the rebound stripes locally.
-	if err := h.flushOver(caller, down)(); err != nil {
+	if err := h.flushOver(caller, down)(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	for s := 0; s < 2; s++ {

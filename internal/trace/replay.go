@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -51,10 +52,11 @@ func NewReplayer(c *ecfs.Cluster, clients int) *Replayer {
 
 // Prepare creates and prepopulates the backing file so every trace op
 // targets written stripes, and returns the ino. Content is a fixed
-// pattern (cheap, deterministic); trace payloads overwrite it.
-func (r *Replayer) Prepare(name string, fileSize int64) (uint64, error) {
+// pattern (cheap, deterministic); trace payloads overwrite it. A
+// cancelled ctx stops at a stripe boundary.
+func (r *Replayer) Prepare(ctx context.Context, name string, fileSize int64) (uint64, error) {
 	cli := r.Cluster.NewClient()
-	ino, err := cli.Create(name)
+	ino, err := cli.CreateContext(ctx, name)
 	if err != nil {
 		return 0, err
 	}
@@ -65,7 +67,7 @@ func (r *Replayer) Prepare(name string, fileSize int64) (uint64, error) {
 		chunk[i] = byte(i * 31)
 	}
 	for s := int64(0); s < stripes; s++ {
-		if _, err := cli.WriteStripe(ino, uint32(s), chunk); err != nil {
+		if _, err := cli.WriteStripeContext(ctx, ino, uint32(s), chunk); err != nil {
 			return 0, err
 		}
 	}
@@ -73,8 +75,11 @@ func (r *Replayer) Prepare(name string, fileSize int64) (uint64, error) {
 }
 
 // Run replays the trace: ops are dealt round-robin to Clients concurrent
-// clients, preserving per-client order. Returns aggregate results.
-func (r *Replayer) Run(t *Trace, ino uint64) (*ReplayResult, error) {
+// clients, preserving per-client order. Returns aggregate results. The
+// context is checked before every request, so a cancelled ctx aborts an
+// in-flight replay (and thereby an in-flight experiment) within one
+// operation.
+func (r *Replayer) Run(ctx context.Context, t *Trace, ino uint64) (*ReplayResult, error) {
 	if len(t.Ops) == 0 {
 		return &ReplayResult{}, nil
 	}
@@ -100,6 +105,9 @@ func (r *Replayer) Run(t *Trace, ino uint64) (*ReplayResult, error) {
 			var nOps, nUpd, nRead, nErr int64
 			var total, maxL time.Duration
 			for i := ci; i < len(t.Ops); i += r.Clients {
+				if ctx.Err() != nil {
+					break
+				}
 				op := t.Ops[i]
 				var (
 					lat time.Duration
@@ -107,9 +115,9 @@ func (r *Replayer) Run(t *Trace, ino uint64) (*ReplayResult, error) {
 				)
 				switch op.Kind {
 				case OpUpdate:
-					lat, err = cli.Update(ino, op.Off, payload[:op.Size], op.At)
+					lat, err = cli.UpdateContext(ctx, ino, op.Off, payload[:op.Size], op.At)
 				case OpRead:
-					_, lat, err = cli.Read(ino, op.Off, op.Size)
+					_, lat, err = cli.ReadContext(ctx, ino, op.Off, op.Size)
 				}
 				if err != nil {
 					nErr++
@@ -145,6 +153,9 @@ func (r *Replayer) Run(t *Trace, ino uint64) (*ReplayResult, error) {
 		}(ci, cli)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil && userErr == nil {
+		userErr = err
+	}
 	if res.Ops > 0 {
 		res.AvgLatency = res.TotalLatency / time.Duration(res.Ops)
 	}

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
@@ -172,7 +173,7 @@ func TestReplayAgainstCluster(t *testing.T) {
 	defer c.Close()
 	r := NewReplayer(c, 4)
 	fileSize := int64(512 << 10)
-	ino, err := r.Prepare("vol", fileSize)
+	ino, err := r.Prepare(context.Background(), "vol", fileSize)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestReplayAgainstCluster(t *testing.T) {
 			tr.Ops[i].Size = 8 << 10
 		}
 	}
-	res, err := r.Run(tr, ino)
+	res, err := r.Run(context.Background(), tr, ino)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestReplayAgainstCluster(t *testing.T) {
 	if iops <= 0 {
 		t.Fatal("no throughput derived")
 	}
-	if err := c.Flush(); err != nil {
+	if err := c.Flush(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.VerifyStripes(ino, nil); err != nil {
@@ -212,7 +213,7 @@ func TestReplayLatencySamples(t *testing.T) {
 	c := ecfs.MustNewCluster(testClusterOptions("fo"))
 	defer c.Close()
 	r := NewReplayer(c, 2)
-	ino, err := r.Prepare("vol", 256<<10)
+	ino, err := r.Prepare(context.Background(), "vol", 256<<10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +223,7 @@ func TestReplayLatencySamples(t *testing.T) {
 			tr.Ops[i].Size = 4 << 10
 		}
 	}
-	if _, err := r.Run(tr, ino); err != nil {
+	if _, err := r.Run(context.Background(), tr, ino); err != nil {
 		t.Fatal(err)
 	}
 	if r.Latency.Count() != 100 {

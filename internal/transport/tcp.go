@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"encoding/gob"
 	"errors"
@@ -9,6 +10,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/wire"
 )
@@ -169,7 +171,10 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		if f.Msg == nil {
 			return
 		}
-		resp := s.handler(f.Msg)
+		// Cancellation is a client-side concern on TCP (the caller's
+		// context does not cross the wire); handlers run to completion
+		// under a background context.
+		resp := s.handler(context.Background(), f.Msg)
 		if resp == nil {
 			resp = &wire.Resp{}
 		}
@@ -179,16 +184,38 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 	}
 }
 
+// AddrResolver fetches a fresh node address map — typically by asking
+// the MDS with wire.KResolveAddr. The TCP client calls it when a
+// destination has no known address or a call to a known address fails,
+// which is how a pool follows replacement nodes with no manual SetAddr.
+type AddrResolver func(ctx context.Context) (map[wire.NodeID]string, error)
+
 // TCPClient is an RPC over real sockets. It maintains a small pool of
 // connections per destination address.
+//
+// Reliability: the context's deadline (and cancellation) is mapped onto
+// the connection's I/O deadlines, so a cancelled Call unblocks within
+// one frame round-trip. A call that fails at the connection level is
+// retried on a fresh connection when the message kind is idempotent
+// (wire.Kind.Idempotent) — a pooled connection may have died with the
+// server's previous incarnation — and, when an AddrResolver is set, the
+// address map is re-resolved first, so a node restarted on a new port or
+// a replacement under a fresh id is found without SetAddr.
 type TCPClient struct {
-	mu    sync.Mutex
-	addrs map[wire.NodeID]string
-	pools map[wire.NodeID]*connPool
+	mu       sync.Mutex
+	addrs    map[wire.NodeID]string
+	pools    map[wire.NodeID]*connPool
+	resolver AddrResolver
+	closed   bool
 }
 
+// tcpAttempts bounds connection-level attempts per Call (initial try
+// plus reconnect/re-resolve retries).
+const tcpAttempts = 3
+
 // NewTCPClient creates a client with a static node -> address map.
-// Addresses can be added later with SetAddr.
+// Addresses can be added later with SetAddr or discovered through an
+// AddrResolver (SetResolver).
 func NewTCPClient(addrs map[wire.NodeID]string) *TCPClient {
 	c := &TCPClient{addrs: make(map[wire.NodeID]string), pools: make(map[wire.NodeID]*connPool)}
 	for id, a := range addrs {
@@ -201,35 +228,132 @@ func NewTCPClient(addrs map[wire.NodeID]string) *TCPClient {
 func (c *TCPClient) SetAddr(id wire.NodeID, addr string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.setAddrLocked(id, addr)
+}
+
+func (c *TCPClient) setAddrLocked(id wire.NodeID, addr string) {
+	if c.addrs[id] == addr {
+		return
+	}
 	c.addrs[id] = addr
-	delete(c.pools, id) // force reconnect to the new address
+	if p := c.pools[id]; p != nil {
+		p.closeAll() // force reconnect to the new address
+		delete(c.pools, id)
+	}
+}
+
+// SetResolver installs the address resolver consulted when a node has no
+// known address or a call to its known address fails.
+func (c *TCPClient) SetResolver(r AddrResolver) {
+	c.mu.Lock()
+	c.resolver = r
+	c.mu.Unlock()
+}
+
+// UpdateAddrs merges a resolved address map; nodes whose address changed
+// get their pooled connections dropped so the next call redials.
+func (c *TCPClient) UpdateAddrs(addrs map[wire.NodeID]string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, a := range addrs {
+		c.setAddrLocked(id, a)
+	}
+}
+
+// Addr returns the client's current address for a node ("" if unknown).
+func (c *TCPClient) Addr(id wire.NodeID) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addrs[id]
 }
 
 // Close closes all pooled connections.
 func (c *TCPClient) Close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.closed = true
 	for _, p := range c.pools {
 		p.closeAll()
 	}
 	c.pools = make(map[wire.NodeID]*connPool)
 }
 
-// Call implements RPC.
-func (c *TCPClient) Call(to wire.NodeID, msg *wire.Msg) (*wire.Resp, error) {
+// resolve refreshes the address map through the resolver, if any.
+// Reports whether a refresh happened.
+func (c *TCPClient) resolve(ctx context.Context) bool {
 	c.mu.Lock()
-	pool := c.pools[to]
-	if pool == nil {
-		addr, ok := c.addrs[to]
-		if !ok {
-			c.mu.Unlock()
-			return nil, fmt.Errorf("transport: no address for node %d", to)
-		}
-		pool = &connPool{addr: addr}
-		c.pools[to] = pool
-	}
+	r := c.resolver
 	c.mu.Unlock()
-	return pool.call(msg)
+	if r == nil {
+		return false
+	}
+	addrs, err := r(ctx)
+	if err != nil || len(addrs) == 0 {
+		return false
+	}
+	c.UpdateAddrs(addrs)
+	return true
+}
+
+// poolFor returns the connection pool for a node, resolving its address
+// first if unknown.
+func (c *TCPClient) poolFor(ctx context.Context, to wire.NodeID) (*connPool, error) {
+	for attempt := 0; ; attempt++ {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("transport: client closed: %w", ErrNodeUnreachable)
+		}
+		if pool := c.pools[to]; pool != nil {
+			c.mu.Unlock()
+			return pool, nil
+		}
+		if addr, ok := c.addrs[to]; ok {
+			pool := &connPool{addr: addr}
+			c.pools[to] = pool
+			c.mu.Unlock()
+			return pool, nil
+		}
+		c.mu.Unlock()
+		if attempt > 0 || !c.resolve(ctx) {
+			return nil, fmt.Errorf("transport: no address for node %d: %w", to, ErrNodeUnreachable)
+		}
+	}
+}
+
+// Call implements RPC.
+func (c *TCPClient) Call(ctx context.Context, to wire.NodeID, msg *wire.Msg) (*wire.Resp, error) {
+	var lastErr error
+	for attempt := 0; attempt < tcpAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("transport: call %v to node %d: %w", msg.Kind, to, err)
+		}
+		pool, err := c.poolFor(ctx, to)
+		if err != nil {
+			if lastErr != nil {
+				return nil, lastErr
+			}
+			return nil, err
+		}
+		resp, sent, err := pool.call(ctx, msg)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = fmt.Errorf("transport: call %v to node %d at %s: %v: %w", msg.Kind, to, pool.addr, err, ErrNodeUnreachable)
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("transport: call %v to node %d: %w", msg.Kind, to, ctx.Err())
+		}
+		// Reconnect/retry policy: a failed dial sent nothing, so any
+		// message may be retried; a connection that died mid-call may
+		// have delivered the frame, so only idempotent kinds are
+		// re-sent. Either way, re-resolve the address map first when a
+		// resolver is installed — the node may have moved.
+		if sent && !msg.Kind.Idempotent() {
+			return nil, lastErr
+		}
+		c.resolve(ctx)
+	}
+	return nil, lastErr
 }
 
 type pooledConn struct {
@@ -244,24 +368,27 @@ type connPool struct {
 	free []*pooledConn
 }
 
-func (p *connPool) get() (*pooledConn, error) {
+// get returns a pooled or freshly dialed connection; reused reports
+// whether it came from the pool (and may therefore be stale).
+func (p *connPool) get(ctx context.Context) (pc *pooledConn, reused bool, err error) {
 	p.mu.Lock()
 	if n := len(p.free); n > 0 {
 		pc := p.free[n-1]
 		p.free = p.free[:n-1]
 		p.mu.Unlock()
-		return pc, nil
+		return pc, true, nil
 	}
 	p.mu.Unlock()
-	conn, err := net.Dial("tcp", p.addr)
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", p.addr)
 	if err != nil {
-		return nil, fmt.Errorf("transport: dial %s: %w", p.addr, err)
+		return nil, false, fmt.Errorf("transport: dial %s: %w", p.addr, err)
 	}
 	return &pooledConn{
 		conn: conn,
 		r:    bufio.NewReaderSize(conn, 256<<10),
 		w:    bufio.NewWriterSize(conn, 256<<10),
-	}, nil
+	}, false, nil
 }
 
 func (p *connPool) put(pc *pooledConn) {
@@ -284,23 +411,71 @@ func (p *connPool) closeAll() {
 	p.free = nil
 }
 
-func (p *connPool) call(msg *wire.Msg) (*wire.Resp, error) {
-	pc, err := p.get()
+// call performs one round trip. sent reports whether the request frame
+// may have reached the server (false only when the failure happened
+// before any bytes could have been delivered — a dial error). A write
+// failure on a reused pooled connection means the server's previous
+// incarnation closed it while idle; the frame cannot have been processed
+// by the current server, so such calls transparently retry once on a
+// fresh dial regardless of idempotency.
+func (p *connPool) call(ctx context.Context, msg *wire.Msg) (resp *wire.Resp, sent bool, err error) {
+	pc, reused, err := p.get(ctx)
 	if err != nil {
-		return nil, err
+		return nil, false, err
+	}
+	resp, wrote, err := p.roundTrip(ctx, pc, msg)
+	if err != nil && reused {
+		// Every other pooled connection predates this failure and is
+		// suspect too (a server restart kills them all at once); drop
+		// them so any retry — ours below, or the caller's next attempt
+		// for an idempotent kind — dials fresh instead of burning
+		// attempts on more stale connections.
+		p.closeAll()
+	}
+	if err != nil && !wrote && reused && ctx.Err() == nil {
+		// The frame never left on the stale connection, so the current
+		// server incarnation cannot have processed it: retry once on a
+		// fresh dial regardless of idempotency.
+		pc, _, derr := p.get(ctx)
+		if derr != nil {
+			return nil, false, derr
+		}
+		resp, _, err = p.roundTrip(ctx, pc, msg)
+	}
+	return resp, true, err
+}
+
+// roundTrip runs one request/response exchange on pc, mapping the
+// context onto the connection so cancellation or deadline expiry forces
+// pending I/O to fail within one round-trip. wrote reports whether the
+// request frame was fully written.
+func (p *connPool) roundTrip(ctx context.Context, pc *pooledConn, msg *wire.Msg) (resp *wire.Resp, wrote bool, err error) {
+	stop := context.AfterFunc(ctx, func() {
+		pc.conn.SetDeadline(time.Unix(1, 0)) // in the past: unblock now
+	})
+	defer stop()
+	if d, ok := ctx.Deadline(); ok {
+		pc.conn.SetDeadline(d)
 	}
 	if err := writeFrame(pc.w, &frame{Msg: msg}); err != nil {
 		pc.conn.Close()
-		return nil, err
+		return nil, false, err
 	}
 	f, err := readFrame(pc.r)
 	if err != nil {
 		pc.conn.Close()
-		return nil, err
+		return nil, true, err
 	}
-	p.put(pc)
+	if !stop() {
+		// The context fired mid-call; the deadline is poisoned, so do
+		// not pool the connection even though the call squeaked through.
+		pc.conn.Close()
+	} else {
+		pc.conn.SetDeadline(time.Time{})
+		p.put(pc)
+	}
 	if f.Resp == nil {
-		return nil, errors.New("transport: response frame missing body")
+		return nil, true, errors.New("transport: response frame missing body")
 	}
-	return f.Resp, nil
+	return f.Resp, true, nil
 }

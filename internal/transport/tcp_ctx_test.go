@@ -1,0 +1,185 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// TestTCPCallCancelUnblocksWithinRoundTrip proves the acceptance bound:
+// a cancelled ctx aborts a TCP Call within one frame round-trip, even
+// while the server is sitting on the request.
+func TestTCPCallCancelUnblocksWithinRoundTrip(t *testing.T) {
+	release := make(chan struct{})
+	srv, err := ServeTCP(1, "127.0.0.1:0", func(_ context.Context, m *wire.Msg) *wire.Resp {
+		<-release // server stalls: only cancellation can unblock the caller
+		return &wire.Resp{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	defer close(release)
+
+	cli := NewTCPClient(map[wire.NodeID]string{1: srv.Addr()})
+	defer cli.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = cli.Call(ctx, 1, &wire.Msg{Kind: wire.KPing})
+	if err == nil {
+		t.Fatal("cancelled call must fail")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled in %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancel took %v to unblock the call", elapsed)
+	}
+}
+
+// TestTCPDeadlineMapsToConn: a ctx deadline expires the call without an
+// explicit cancel.
+func TestTCPDeadlineMapsToConn(t *testing.T) {
+	release := make(chan struct{})
+	srv, err := ServeTCP(1, "127.0.0.1:0", func(_ context.Context, m *wire.Msg) *wire.Resp {
+		<-release
+		return &wire.Resp{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	defer close(release)
+
+	cli := NewTCPClient(map[wire.NodeID]string{1: srv.Addr()})
+	defer cli.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	if _, err := cli.Call(ctx, 1, &wire.Msg{Kind: wire.KPing}); err == nil {
+		t.Fatal("deadline-expired call must fail")
+	}
+}
+
+// TestTCPStalePooledConnReconnects: a connection pooled before a server
+// restart is detected as stale on its next use and the call transparently
+// redials — the reconnect story for idle pools.
+func TestTCPStalePooledConnReconnects(t *testing.T) {
+	srv, err := ServeTCP(1, "127.0.0.1:0", echoHandler(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	cli := NewTCPClient(map[wire.NodeID]string{1: addr})
+	defer cli.Close()
+	if _, err := cli.Call(context.Background(), 1, &wire.Msg{Kind: wire.KPing}); err != nil {
+		t.Fatal(err)
+	}
+	// Restart the server on the same address; the pooled conn is dead.
+	srv.Close()
+	srv2, err := ServeTCP(1, addr, echoHandler(1))
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	resp, err := cli.Call(context.Background(), 1, &wire.Msg{Kind: wire.KPing, Data: []byte("again")})
+	if err != nil {
+		t.Fatalf("call after restart: %v", err)
+	}
+	if string(resp.Data) != "again" {
+		t.Fatalf("bad response after reconnect: %+v", resp)
+	}
+}
+
+// TestTCPResolverFollowsMovedNode: with an AddrResolver installed, an
+// idempotent call to a node that moved to a new port re-resolves and
+// succeeds with no SetAddr.
+func TestTCPResolverFollowsMovedNode(t *testing.T) {
+	srv, err := ServeTCP(1, "127.0.0.1:0", echoHandler(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewTCPClient(map[wire.NodeID]string{1: srv.Addr()})
+	defer cli.Close()
+	if _, err := cli.Call(context.Background(), 1, &wire.Msg{Kind: wire.KPing}); err != nil {
+		t.Fatal(err)
+	}
+
+	srv.Close()
+	srv2, err := ServeTCP(1, "127.0.0.1:0", echoHandler(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	var resolves int
+	cli.SetResolver(func(ctx context.Context) (map[wire.NodeID]string, error) {
+		resolves++
+		return map[wire.NodeID]string{1: srv2.Addr()}, nil
+	})
+	resp, err := cli.Call(context.Background(), 1, &wire.Msg{Kind: wire.KPing, Data: []byte("moved")})
+	if err != nil {
+		t.Fatalf("call after move: %v", err)
+	}
+	if string(resp.Data) != "moved" || resolves == 0 {
+		t.Fatalf("resolver not consulted (resolves=%d resp=%+v)", resolves, resp)
+	}
+	// A node with NO known address resolves too.
+	cli2 := NewTCPClient(nil)
+	defer cli2.Close()
+	cli2.SetResolver(func(ctx context.Context) (map[wire.NodeID]string, error) {
+		return map[wire.NodeID]string{1: srv2.Addr()}, nil
+	})
+	if _, err := cli2.Call(context.Background(), 1, &wire.Msg{Kind: wire.KPing}); err != nil {
+		t.Fatalf("resolver-only call: %v", err)
+	}
+	// Unreachable without resolver wraps the sentinel.
+	cli3 := NewTCPClient(nil)
+	defer cli3.Close()
+	if _, err := cli3.Call(context.Background(), 9, &wire.Msg{Kind: wire.KPing}); !errors.Is(err, ErrNodeUnreachable) {
+		t.Fatalf("want ErrNodeUnreachable, got %v", err)
+	}
+}
+
+// TestInprocCancelBetweenPricedSteps: the in-process transport refuses
+// dispatch once the context is cancelled.
+func TestInprocCancelBetweenPricedSteps(t *testing.T) {
+	tr := NewInproc(nil)
+	tr.Register(1, echoHandler(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tr.Caller(2).Call(ctx, 1, &wire.Msg{Kind: wire.KPing}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// ErrNodeDown wraps ErrNodeUnreachable.
+	tr.Deregister(1)
+	if _, err := tr.Caller(2).Call(context.Background(), 1, &wire.Msg{Kind: wire.KPing}); !errors.Is(err, ErrNodeUnreachable) {
+		t.Fatalf("want ErrNodeUnreachable, got %v", err)
+	}
+}
+
+// TestAddrMapCodec round-trips the wire address map.
+func TestAddrMapCodec(t *testing.T) {
+	in := map[wire.NodeID]string{0: "10.0.0.1:7000", 3: "127.0.0.1:9", 77: "[::1]:80"}
+	out, err := wire.DecodeAddrMap(wire.EncodeAddrMap(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d entries, want %d", len(out), len(in))
+	}
+	for id, a := range in {
+		if out[id] != a {
+			t.Fatalf("node %d: %q != %q", id, out[id], a)
+		}
+	}
+	if _, err := wire.DecodeAddrMap([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated map must fail to decode")
+	}
+}

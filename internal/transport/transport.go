@@ -8,12 +8,23 @@
 //   - TCP: real sockets with length-prefixed gob frames, used by
 //     cmd/ecfsd to run an actual distributed cluster.
 //
+// Every call carries a context.Context. The in-process transport checks
+// it before dispatch, so a cancelled context aborts a call chain at the
+// next priced step; the TCP transport maps the context's deadline (and
+// cancellation) onto connection deadlines, so a cancelled call unblocks
+// within one frame round-trip.
+//
 // A Handler processes one message and returns a response; the response's
 // Cost field carries the modeled synchronous latency of the remote work
-// so callers can extend their own latency path.
+// so callers can extend their own latency path. The handler receives the
+// caller's context on the in-process transport (cancellation propagates
+// through nested strategy calls) and a background context on TCP, where
+// cancellation is a client-side concern.
 package transport
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -24,20 +35,28 @@ import (
 
 // Handler processes one inbound message. Implementations must be safe
 // for concurrent use.
-type Handler func(msg *wire.Msg) *wire.Resp
+type Handler func(ctx context.Context, msg *wire.Msg) *wire.Resp
 
 // RPC sends messages to nodes.
 type RPC interface {
 	// Call delivers msg to node `to` and returns its response. The
 	// response Cost includes remote compute and (on simulated
-	// transports) the network transfer cost both ways.
-	Call(to wire.NodeID, msg *wire.Msg) (*wire.Resp, error)
+	// transports) the network transfer cost both ways. A cancelled or
+	// expired ctx aborts the call with ctx.Err() wrapped in the return.
+	Call(ctx context.Context, to wire.NodeID, msg *wire.Msg) (*wire.Resp, error)
 }
 
 // Registrar accepts handler registrations for nodes.
 type Registrar interface {
 	Register(id wire.NodeID, h Handler)
 }
+
+// ErrNodeUnreachable is the sentinel wrapped by every transport-level
+// delivery failure — a deregistered in-process node, a refused TCP dial,
+// a connection that died mid-call. errors.Is(err, ErrNodeUnreachable)
+// therefore distinguishes "could not reach the node" from a structured
+// remote rejection on both transports.
+var ErrNodeUnreachable = errors.New("node unreachable")
 
 // Inproc is the in-process transport. It is both an RPC (from any node)
 // and a Registrar. Message payloads are passed by reference; handlers
@@ -103,12 +122,21 @@ type inprocCaller struct {
 }
 
 // ErrNodeDown is returned when the destination has no handler (failed or
-// never registered).
+// never registered). It wraps ErrNodeUnreachable.
 type ErrNodeDown struct{ Node wire.NodeID }
 
 func (e ErrNodeDown) Error() string { return fmt.Sprintf("transport: node %d down", e.Node) }
 
-func (c *inprocCaller) Call(to wire.NodeID, msg *wire.Msg) (*wire.Resp, error) {
+// Unwrap makes errors.Is(err, ErrNodeUnreachable) hold.
+func (e ErrNodeDown) Unwrap() error { return ErrNodeUnreachable }
+
+func (c *inprocCaller) Call(ctx context.Context, to wire.NodeID, msg *wire.Msg) (*wire.Resp, error) {
+	// Honor cancellation between priced steps: each hop of a call chain
+	// (client op, strategy forward, recovery fetch) re-checks the
+	// context before dispatching.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("transport: call %v to node %d: %w", msg.Kind, to, err)
+	}
 	t := c.t
 	t.mu.RLock()
 	h := t.handlers[to]
@@ -123,7 +151,7 @@ func (c *inprocCaller) Call(to wire.NodeID, msg *wire.Msg) (*wire.Resp, error) {
 		src := t.ensureNIC(c.from)
 		cost = t.net.Transfer(src, dstNIC, msg.WireSize())
 	}
-	resp := h(msg)
+	resp := h(ctx, msg)
 	if resp == nil {
 		resp = &wire.Resp{}
 	}

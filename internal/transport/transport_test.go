@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -10,7 +11,7 @@ import (
 )
 
 func echoHandler(id wire.NodeID) Handler {
-	return func(msg *wire.Msg) *wire.Resp {
+	return func(_ context.Context, msg *wire.Msg) *wire.Resp {
 		return &wire.Resp{Data: msg.Data, Val: int64(id)}
 	}
 }
@@ -20,7 +21,7 @@ func TestInprocCall(t *testing.T) {
 	tr := NewInproc(nw)
 	tr.Register(1, echoHandler(1))
 	rpc := tr.Caller(wire.ClientIDBase)
-	resp, err := rpc.Call(1, &wire.Msg{Kind: wire.KPing, Data: []byte("hello")})
+	resp, err := rpc.Call(context.Background(), 1, &wire.Msg{Kind: wire.KPing, Data: []byte("hello")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestInprocCall(t *testing.T) {
 func TestInprocNilNetwork(t *testing.T) {
 	tr := NewInproc(nil)
 	tr.Register(2, echoHandler(2))
-	resp, err := tr.Caller(1).Call(2, &wire.Msg{Kind: wire.KPing})
+	resp, err := tr.Caller(1).Call(context.Background(), 2, &wire.Msg{Kind: wire.KPing})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestInprocNodeDown(t *testing.T) {
 	tr := NewInproc(nil)
 	tr.Register(1, echoHandler(1))
 	tr.Deregister(1)
-	_, err := tr.Caller(2).Call(1, &wire.Msg{Kind: wire.KPing})
+	_, err := tr.Caller(2).Call(context.Background(), 1, &wire.Msg{Kind: wire.KPing})
 	var down ErrNodeDown
 	if err == nil {
 		t.Fatal("expected error calling deregistered node")
@@ -73,11 +74,11 @@ func errorsAs(err error, target *ErrNodeDown) bool {
 func TestInprocFromFieldSet(t *testing.T) {
 	tr := NewInproc(nil)
 	var got wire.NodeID
-	tr.Register(3, func(m *wire.Msg) *wire.Resp {
+	tr.Register(3, func(_ context.Context, m *wire.Msg) *wire.Resp {
 		got = m.From
 		return nil
 	})
-	if _, err := tr.Caller(7).Call(3, &wire.Msg{Kind: wire.KPing}); err != nil {
+	if _, err := tr.Caller(7).Call(context.Background(), 3, &wire.Msg{Kind: wire.KPing}); err != nil {
 		t.Fatal(err)
 	}
 	if got != 7 {
@@ -99,7 +100,7 @@ func TestInprocConcurrent(t *testing.T) {
 			rpc := tr.Caller(wire.ClientIDBase + wire.NodeID(c))
 			for i := 0; i < 100; i++ {
 				to := wire.NodeID(1 + (c+i)%4)
-				resp, err := rpc.Call(to, &wire.Msg{Kind: wire.KPing, Data: []byte{byte(i)}})
+				resp, err := rpc.Call(context.Background(), to, &wire.Msg{Kind: wire.KPing, Data: []byte{byte(i)}})
 				if err != nil || resp.Val != int64(to) {
 					t.Errorf("call failed: %v %+v", err, resp)
 					return
@@ -111,7 +112,7 @@ func TestInprocConcurrent(t *testing.T) {
 }
 
 func TestTCPRoundTrip(t *testing.T) {
-	srv, err := ServeTCP(1, "127.0.0.1:0", func(m *wire.Msg) *wire.Resp {
+	srv, err := ServeTCP(1, "127.0.0.1:0", func(_ context.Context, m *wire.Msg) *wire.Resp {
 		return &wire.Resp{Data: append([]byte("ack:"), m.Data...), Val: int64(m.Block.Ino)}
 	})
 	if err != nil {
@@ -121,7 +122,7 @@ func TestTCPRoundTrip(t *testing.T) {
 
 	cli := NewTCPClient(map[wire.NodeID]string{1: srv.Addr()})
 	defer cli.Close()
-	resp, err := cli.Call(1, &wire.Msg{
+	resp, err := cli.Call(context.Background(), 1, &wire.Msg{
 		Kind:  wire.KUpdate,
 		Block: wire.BlockID{Ino: 42, Stripe: 3, Idx: 1},
 		Data:  []byte("payload"),
@@ -150,7 +151,7 @@ func TestTCPConcurrentClients(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 50; i++ {
 				payload := []byte(fmt.Sprintf("c%d-i%d", c, i))
-				resp, err := cli.Call(1, &wire.Msg{Kind: wire.KPing, Data: payload})
+				resp, err := cli.Call(context.Background(), 1, &wire.Msg{Kind: wire.KPing, Data: payload})
 				if err != nil {
 					t.Errorf("call: %v", err)
 					return
@@ -167,7 +168,7 @@ func TestTCPConcurrentClients(t *testing.T) {
 
 func TestTCPUnknownNode(t *testing.T) {
 	cli := NewTCPClient(nil)
-	if _, err := cli.Call(9, &wire.Msg{Kind: wire.KPing}); err == nil {
+	if _, err := cli.Call(context.Background(), 9, &wire.Msg{Kind: wire.KPing}); err == nil {
 		t.Fatal("expected error for unknown node")
 	}
 }
@@ -184,7 +185,7 @@ func TestTCPLargePayload(t *testing.T) {
 	for i := range big {
 		big[i] = byte(i)
 	}
-	resp, err := cli.Call(1, &wire.Msg{Kind: wire.KWriteBlock, Data: big})
+	resp, err := cli.Call(context.Background(), 1, &wire.Msg{Kind: wire.KWriteBlock, Data: big})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +206,7 @@ func TestTCPServerClose(t *testing.T) {
 	}
 	cli := NewTCPClient(map[wire.NodeID]string{1: srv.Addr()})
 	defer cli.Close()
-	if _, err := cli.Call(1, &wire.Msg{Kind: wire.KPing}); err != nil {
+	if _, err := cli.Call(context.Background(), 1, &wire.Msg{Kind: wire.KPing}); err != nil {
 		t.Fatal(err)
 	}
 	if err := srv.Close(); err != nil {
@@ -214,7 +215,7 @@ func TestTCPServerClose(t *testing.T) {
 	// Fresh connection must now fail.
 	cli2 := NewTCPClient(map[wire.NodeID]string{1: srv.Addr()})
 	defer cli2.Close()
-	if _, err := cli2.Call(1, &wire.Msg{Kind: wire.KPing}); err == nil {
+	if _, err := cli2.Call(context.Background(), 1, &wire.Msg{Kind: wire.KPing}); err == nil {
 		t.Fatal("expected error after server close")
 	}
 }

@@ -1,6 +1,7 @@
 package update
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -70,7 +71,7 @@ func (c *cord) Name() string { return "cord" }
 // RefreshPlacement adopts a newer placement epoch (epoch broadcast).
 func (c *cord) RefreshPlacement(msg *wire.Msg) { c.stripes.remember(msg) }
 
-func (c *cord) Update(msg *wire.Msg) (time.Duration, error) {
+func (c *cord) Update(ctx context.Context, msg *wire.Msg) (time.Duration, error) {
 	store := c.env.Store()
 	b := msg.Block
 	unlock := store.Lock(b, c.cfg.BlockSize)
@@ -89,7 +90,7 @@ func (c *cord) Update(msg *wire.Msg) (time.Duration, error) {
 	// One hop: the delta goes to the stripe collector only.
 	k := int(msg.K)
 	collectorNode := msg.Loc.Nodes[k] // first parity OSD
-	resp, err := c.env.Call(collectorNode, &wire.Msg{
+	resp, err := c.env.Call(ctx, collectorNode, &wire.Msg{
 		Kind: wire.KCordCollect, Block: b, Off: msg.Off, Data: delta,
 		Idx: b.Idx, K: msg.K, M: msg.M, Loc: msg.Loc, V: msg.V,
 	})
@@ -102,7 +103,7 @@ func (c *cord) Update(msg *wire.Msg) (time.Duration, error) {
 	return rc + wc + resp.Cost, nil
 }
 
-func (c *cord) Handle(msg *wire.Msg) *wire.Resp {
+func (c *cord) Handle(ctx context.Context, msg *wire.Msg) *wire.Resp {
 	switch msg.Kind {
 	case wire.KCordCollect:
 		c.stripes.remember(msg)
@@ -189,7 +190,7 @@ func (r *collectorRecycler) recycleUnit(u *logpool.Unit) (cost, wall time.Durati
 			target := sw.si.parityNode(j)
 			pb := parityBlock(sw.anyB, sw.si.K, j)
 			for _, e := range merged.Extents() {
-				resp, err := c.env.Call(target, &wire.Msg{
+				resp, err := c.env.Call(context.Background(), target, &wire.Msg{
 					Kind: wire.KParityLogAdd, Block: pb, Off: e.Off, Data: e.Data,
 					Idx: 0, K: uint8(sw.si.K), M: uint8(sw.si.M), Loc: sw.si.Loc, V: int64(e.V),
 				})
@@ -235,7 +236,7 @@ func (c *cord) Read(b wire.BlockID, off uint32, size int) ([]byte, time.Duration
 	return c.env.Store().ReadRange(b, off, size, true)
 }
 
-func (c *cord) Drain(phase int, dead []wire.NodeID) error {
+func (c *cord) Drain(ctx context.Context, phase int, dead []wire.NodeID) error {
 	switch phase {
 	case 2:
 		c.collector.Drain(0)

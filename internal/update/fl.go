@@ -1,6 +1,7 @@
 package update
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -45,7 +46,7 @@ func (f *fl) Name() string { return "fl" }
 // RefreshPlacement adopts a newer placement epoch (epoch broadcast).
 func (f *fl) RefreshPlacement(msg *wire.Msg) { f.stripes.remember(msg) }
 
-func (f *fl) Update(msg *wire.Msg) (time.Duration, error) {
+func (f *fl) Update(ctx context.Context, msg *wire.Msg) (time.Duration, error) {
 	f.stripes.remember(msg)
 	cost := f.dataLog.Append(msg.Block, msg.Off, msg.Data, time.Duration(msg.V))
 	return cost, nil
@@ -76,7 +77,7 @@ func (f *fl) recycleData(be logpool.BlockExtents, sealV time.Duration) time.Dura
 		cost += rc + wc
 		delta := xorBytes(old, e.Data)
 		targets := si.Loc.Nodes[si.K : si.K+si.M]
-		fanCost, err := fanout(f.env, targets, func(to wire.NodeID) *wire.Msg {
+		fanCost, err := fanout(context.Background(), f.env, targets, func(to wire.NodeID) *wire.Msg {
 			j := indexOfNode(si.Loc.Nodes[si.K:], to)
 			return &wire.Msg{
 				Kind:  wire.KParityDelta,
@@ -96,7 +97,7 @@ func (f *fl) recycleData(be logpool.BlockExtents, sealV time.Duration) time.Dura
 	return cost
 }
 
-func (f *fl) Handle(msg *wire.Msg) *wire.Resp {
+func (f *fl) Handle(ctx context.Context, msg *wire.Msg) *wire.Resp {
 	switch msg.Kind {
 	case wire.KParityDelta:
 		cost, err := applyParityDeltaInPlace(f.env, f.cfg, msg)
@@ -120,7 +121,7 @@ func (f *fl) Read(b wire.BlockID, off uint32, size int) ([]byte, time.Duration, 
 	return data, cost, nil
 }
 
-func (f *fl) Drain(phase int, dead []wire.NodeID) error {
+func (f *fl) Drain(ctx context.Context, phase int, dead []wire.NodeID) error {
 	if phase == 1 {
 		f.dataLog.Drain(0)
 	}

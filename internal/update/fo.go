@@ -1,6 +1,7 @@
 package update
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -21,7 +22,7 @@ func newFO(cfg Config, env Env) *fo { return &fo{cfg: cfg, env: env} }
 
 func (f *fo) Name() string { return "fo" }
 
-func (f *fo) Update(msg *wire.Msg) (time.Duration, error) {
+func (f *fo) Update(ctx context.Context, msg *wire.Msg) (time.Duration, error) {
 	store := f.env.Store()
 	b := msg.Block
 	unlock := store.Lock(b, f.cfg.BlockSize)
@@ -42,7 +43,7 @@ func (f *fo) Update(msg *wire.Msg) (time.Duration, error) {
 	k, m := int(msg.K), int(msg.M)
 	targets := msg.Loc.Nodes[k : k+m]
 	src := msg.Block.Idx
-	fanCost, err := fanout(f.env, targets, func(to wire.NodeID) *wire.Msg {
+	fanCost, err := fanout(ctx, f.env, targets, func(to wire.NodeID) *wire.Msg {
 		j := indexOfNode(msg.Loc.Nodes[k:], to)
 		return &wire.Msg{
 			Kind:  wire.KParityDelta,
@@ -72,7 +73,7 @@ func indexOfNode(nodes []wire.NodeID, to wire.NodeID) int {
 	return 0
 }
 
-func (f *fo) Handle(msg *wire.Msg) *wire.Resp {
+func (f *fo) Handle(ctx context.Context, msg *wire.Msg) *wire.Resp {
 	switch msg.Kind {
 	case wire.KParityDelta:
 		cost, err := applyParityDeltaInPlace(f.env, f.cfg, msg)
@@ -116,6 +117,6 @@ func (f *fo) Read(b wire.BlockID, off uint32, size int) ([]byte, time.Duration, 
 	return f.env.Store().ReadRange(b, off, size, true)
 }
 
-func (f *fo) Drain(phase int, dead []wire.NodeID) error { return nil }
+func (f *fo) Drain(ctx context.Context, phase int, dead []wire.NodeID) error { return nil }
 
 func (f *fo) Close() {}

@@ -1,6 +1,7 @@
 package update
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -55,7 +56,7 @@ func (p *parix) Name() string { return "parix" }
 // RefreshPlacement adopts a newer placement epoch (epoch broadcast).
 func (p *parix) RefreshPlacement(msg *wire.Msg) { p.stripes.remember(msg) }
 
-func (p *parix) Update(msg *wire.Msg) (time.Duration, error) {
+func (p *parix) Update(ctx context.Context, msg *wire.Msg) (time.Duration, error) {
 	store := p.env.Store()
 	b := msg.Block
 	end := msg.Off + uint32(len(msg.Data))
@@ -105,7 +106,7 @@ func (p *parix) Update(msg *wire.Msg) (time.Duration, error) {
 	// temporal locality. Originals must arrive first so a log recycle
 	// can never observe a new value without its baseline.
 	for _, o := range origins {
-		oCost, err := fanout(p.env, targets, func(to wire.NodeID) *wire.Msg {
+		oCost, err := fanout(ctx, p.env, targets, func(to wire.NodeID) *wire.Msg {
 			return &wire.Msg{
 				Kind: wire.KParixLogAdd, Block: b, Off: o.off, Data: o.data,
 				Idx: b.Idx, K: msg.K, M: msg.M, Loc: msg.Loc, Flag: 1, V: msg.V,
@@ -117,7 +118,7 @@ func (p *parix) Update(msg *wire.Msg) (time.Duration, error) {
 		lat += oCost
 	}
 	// Then the new data to every parity log.
-	fanCost, err := fanout(p.env, targets, func(to wire.NodeID) *wire.Msg {
+	fanCost, err := fanout(ctx, p.env, targets, func(to wire.NodeID) *wire.Msg {
 		return &wire.Msg{
 			Kind: wire.KParixLogAdd, Block: b, Off: msg.Off, Data: msg.Data,
 			Idx: b.Idx, K: msg.K, M: msg.M, Loc: msg.Loc, Flag: 0, V: msg.V,
@@ -129,7 +130,7 @@ func (p *parix) Update(msg *wire.Msg) (time.Duration, error) {
 	return lat + fanCost, nil
 }
 
-func (p *parix) Handle(msg *wire.Msg) *wire.Resp {
+func (p *parix) Handle(ctx context.Context, msg *wire.Msg) *wire.Resp {
 	switch msg.Kind {
 	case wire.KParixLogAdd:
 		p.stripes.remember(msg)
@@ -185,7 +186,7 @@ func (p *parix) Read(b wire.BlockID, off uint32, size int) ([]byte, time.Duratio
 // Drain recycles the parity logs: for every logged extent the delta is
 // formed from (new XOR original) and folded into the parity block with a
 // random read-modify-write, after a random re-read of the log records.
-func (p *parix) Drain(phase int, dead []wire.NodeID) error {
+func (p *parix) Drain(ctx context.Context, phase int, dead []wire.NodeID) error {
 	switch phase {
 	case 1:
 		// Reset speculation state: after recycle, first updates must

@@ -1,6 +1,7 @@
 package update
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -47,7 +48,7 @@ func (p *pl) Name() string { return "pl" }
 // RefreshPlacement adopts a newer placement epoch (epoch broadcast).
 func (p *pl) RefreshPlacement(msg *wire.Msg) { p.stripes.remember(msg) }
 
-func (p *pl) Update(msg *wire.Msg) (time.Duration, error) {
+func (p *pl) Update(ctx context.Context, msg *wire.Msg) (time.Duration, error) {
 	// In-place data-block read-modify-write (the expensive
 	// write-after-read the paper highlights).
 	store := p.env.Store()
@@ -68,7 +69,7 @@ func (p *pl) Update(msg *wire.Msg) (time.Duration, error) {
 	// Forward the data delta to every parity OSD's parity log.
 	k, m := int(msg.K), int(msg.M)
 	targets := msg.Loc.Nodes[k : k+m]
-	fanCost, err := fanout(p.env, targets, func(to wire.NodeID) *wire.Msg {
+	fanCost, err := fanout(ctx, p.env, targets, func(to wire.NodeID) *wire.Msg {
 		j := indexOfNode(msg.Loc.Nodes[k:], to)
 		return &wire.Msg{
 			Kind:  wire.KParityLogAdd,
@@ -88,7 +89,7 @@ func (p *pl) Update(msg *wire.Msg) (time.Duration, error) {
 	return rc + wc + fanCost, nil
 }
 
-func (p *pl) Handle(msg *wire.Msg) *wire.Resp {
+func (p *pl) Handle(ctx context.Context, msg *wire.Msg) *wire.Resp {
 	switch msg.Kind {
 	case wire.KParityLogAdd:
 		p.stripes.remember(msg)
@@ -157,7 +158,7 @@ func (p *pl) Read(b wire.BlockID, off uint32, size int) ([]byte, time.Duration, 
 	return p.env.Store().ReadRange(b, off, size, true)
 }
 
-func (p *pl) Drain(phase int, dead []wire.NodeID) error {
+func (p *pl) Drain(ctx context.Context, phase int, dead []wire.NodeID) error {
 	if phase == 3 {
 		p.parityLog.Drain(0)
 	}

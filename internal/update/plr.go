@@ -1,6 +1,7 @@
 package update
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -48,7 +49,7 @@ func (p *plr) Name() string { return "plr" }
 // RefreshPlacement adopts a newer placement epoch (epoch broadcast).
 func (p *plr) RefreshPlacement(msg *wire.Msg) { p.stripes.remember(msg) }
 
-func (p *plr) Update(msg *wire.Msg) (time.Duration, error) {
+func (p *plr) Update(ctx context.Context, msg *wire.Msg) (time.Duration, error) {
 	store := p.env.Store()
 	b := msg.Block
 	unlock := store.Lock(b, p.cfg.BlockSize)
@@ -66,7 +67,7 @@ func (p *plr) Update(msg *wire.Msg) (time.Duration, error) {
 
 	k, m := int(msg.K), int(msg.M)
 	targets := msg.Loc.Nodes[k : k+m]
-	fanCost, err := fanout(p.env, targets, func(to wire.NodeID) *wire.Msg {
+	fanCost, err := fanout(ctx, p.env, targets, func(to wire.NodeID) *wire.Msg {
 		j := indexOfNode(msg.Loc.Nodes[k:], to)
 		return &wire.Msg{
 			Kind:  wire.KParityLogAdd,
@@ -97,7 +98,7 @@ func (p *plr) logFor(b wire.BlockID) *plrLog {
 	return l
 }
 
-func (p *plr) Handle(msg *wire.Msg) *wire.Resp {
+func (p *plr) Handle(ctx context.Context, msg *wire.Msg) *wire.Resp {
 	switch msg.Kind {
 	case wire.KParityLogAdd:
 		p.stripes.remember(msg)
@@ -182,7 +183,7 @@ func (p *plr) Read(b wire.BlockID, off uint32, size int) ([]byte, time.Duration,
 	return p.env.Store().ReadRange(b, off, size, true)
 }
 
-func (p *plr) Drain(phase int, dead []wire.NodeID) error {
+func (p *plr) Drain(ctx context.Context, phase int, dead []wire.NodeID) error {
 	if phase != 3 {
 		return nil
 	}

@@ -23,6 +23,7 @@
 package update
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -42,8 +43,12 @@ type Env interface {
 	Store() *blockstore.Store
 	// Dev is the OSD's storage device model (for log persistence).
 	Dev() *device.Device
-	// Call performs a synchronous RPC to a peer node.
-	Call(to wire.NodeID, msg *wire.Msg) (*wire.Resp, error)
+	// Call performs a synchronous RPC to a peer node. Synchronous
+	// front-end paths pass the triggering request's context so
+	// cancellation propagates hop by hop; asynchronous recycle paths
+	// pass context.Background() — background work completes regardless
+	// of any client's lifetime.
+	Call(ctx context.Context, to wire.NodeID, msg *wire.Msg) (*wire.Resp, error)
 	// Code returns the (cached) RS code for the given geometry.
 	Code(k, m int) (*erasure.Code, error)
 }
@@ -58,16 +63,19 @@ type Strategy interface {
 	Name() string
 	// Update processes a client update to a data block hosted here and
 	// returns the synchronous-path latency (what the client perceives).
-	Update(msg *wire.Msg) (time.Duration, error)
+	// ctx is the triggering request's context; strategy-internal
+	// forwards on the synchronous path inherit it.
+	Update(ctx context.Context, msg *wire.Msg) (time.Duration, error)
 	// Handle processes a strategy-internal message from a peer OSD.
-	Handle(msg *wire.Msg) *wire.Resp
+	Handle(ctx context.Context, msg *wire.Msg) *wire.Resp
 	// Read returns block bytes honoring any pending logs, with the
-	// modeled read latency (zero on a log-cache hit).
+	// modeled read latency (zero on a log-cache hit). Reads are local
+	// (store + resident logs) and take no context.
 	Read(b wire.BlockID, off uint32, size int) ([]byte, time.Duration, error)
 	// Drain flushes asynchronous state. It is called cluster-wide for
 	// phases 1..DrainPhases in order; dead lists failed nodes so
 	// replica/copy logs can be promoted.
-	Drain(phase int, dead []wire.NodeID) error
+	Drain(ctx context.Context, phase int, dead []wire.NodeID) error
 	// Close stops background workers.
 	Close()
 }
@@ -225,12 +233,12 @@ func parityBlock(b wire.BlockID, k, j int) wire.BlockID { return b.WithIdx(uint8
 // fanout issues one call per target concurrently and returns the largest
 // response cost — the latency of parallel synchronous hops — plus the
 // first error encountered.
-func fanout(env Env, targets []wire.NodeID, mk func(to wire.NodeID) *wire.Msg) (time.Duration, error) {
+func fanout(ctx context.Context, env Env, targets []wire.NodeID, mk func(to wire.NodeID) *wire.Msg) (time.Duration, error) {
 	switch len(targets) {
 	case 0:
 		return 0, nil
 	case 1:
-		resp, err := env.Call(targets[0], mk(targets[0]))
+		resp, err := env.Call(ctx, targets[0], mk(targets[0]))
 		if err != nil {
 			return 0, err
 		}
@@ -246,7 +254,7 @@ func fanout(env Env, targets []wire.NodeID, mk func(to wire.NodeID) *wire.Msg) (
 	results := make(chan result, len(targets))
 	for _, to := range targets {
 		go func(to wire.NodeID) {
-			resp, err := env.Call(to, mk(to))
+			resp, err := env.Call(ctx, to, mk(to))
 			if err != nil {
 				results <- result{0, err}
 				return

@@ -1,6 +1,7 @@
 package update
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -135,7 +136,7 @@ func (t *tsue) RefreshPlacement(msg *wire.Msg) { t.stripes.remember(msg) }
 
 // Update is the synchronous front end: sequential DataLog append plus
 // replica forwarding — the whole client-perceived path (§3.1.1).
-func (t *tsue) Update(msg *wire.Msg) (time.Duration, error) {
+func (t *tsue) Update(ctx context.Context, msg *wire.Msg) (time.Duration, error) {
 	t.stripes.remember(msg)
 	v := time.Duration(msg.V)
 	lat := t.dataLogs.Append(msg.Block, msg.Off, msg.Data, v)
@@ -148,7 +149,7 @@ func (t *tsue) Update(msg *wire.Msg) (time.Duration, error) {
 		for r := 1; r <= t.cfg.DataLogReplicas && r < n; r++ {
 			targets = append(targets, msg.Loc.Nodes[(pos+r)%n])
 		}
-		repCost, err := fanout(t.env, targets, func(wire.NodeID) *wire.Msg {
+		repCost, err := fanout(ctx, t.env, targets, func(wire.NodeID) *wire.Msg {
 			return &wire.Msg{Kind: wire.KDataLogReplica, Block: msg.Block, Off: msg.Off, Data: msg.Data, V: msg.V}
 		})
 		if err != nil {
@@ -209,7 +210,7 @@ func (t *tsue) recycleData(be logpool.BlockExtents, sealV time.Duration) time.Du
 				}
 			}
 			for i, to := range targets {
-				resp, err := t.env.Call(to, &wire.Msg{
+				resp, err := t.env.Call(context.Background(), to, &wire.Msg{
 					Kind: wire.KDeltaLogAdd, Block: be.Block, Off: o.off, Data: payload,
 					Idx: be.Block.Idx, K: uint8(si.K), M: uint8(si.M), Loc: si.Loc,
 					Flag: uint8(i) | flag, // low bits: 0 = primary, 1 = copy
@@ -224,7 +225,7 @@ func (t *tsue) recycleData(be logpool.BlockExtents, sealV time.Duration) time.Du
 			// to the parity logs.
 			for j := 0; j < si.M; j++ {
 				pd := code.ParityDelta(j, int(be.Block.Idx), o.delta)
-				resp, err := t.env.Call(si.parityNode(j), &wire.Msg{
+				resp, err := t.env.Call(context.Background(), si.parityNode(j), &wire.Msg{
 					Kind: wire.KParityLogAdd, Block: parityBlock(be.Block, si.K, j),
 					Off: o.off, Data: pd, K: uint8(si.K), M: uint8(si.M), Loc: si.Loc,
 					V: int64(sealV),
@@ -309,7 +310,7 @@ func (t *tsue) recycleDeltaUnit(u *logpool.Unit) (cost, wall time.Duration, exte
 						payload, flag = c, deltaCompressFlag
 					}
 				}
-				resp, err := t.env.Call(sw.si.parityNode(j), &wire.Msg{
+				resp, err := t.env.Call(context.Background(), sw.si.parityNode(j), &wire.Msg{
 					Kind: wire.KParityLogAdd, Block: pb, Off: e.Off, Data: payload, Flag: flag,
 					K: uint8(sw.si.K), M: uint8(sw.si.M), Loc: sw.si.Loc, V: int64(e.V),
 				})
@@ -330,7 +331,7 @@ func (t *tsue) recycleDeltaUnit(u *logpool.Unit) (cost, wall time.Duration, exte
 			for src, exts := range sw.blocks {
 				b := sw.anyB.WithIdx(uint8(src))
 				for _, e := range exts {
-					resp, err := t.env.Call(sw.si.parityNode(1), &wire.Msg{
+					resp, err := t.env.Call(context.Background(), sw.si.parityNode(1), &wire.Msg{
 						Kind: wire.KDeltaLogAdd, Block: b, Off: e.Off,
 						Size: uint32(len(e.Data)), Flag: 2,
 					})
@@ -367,7 +368,7 @@ func (t *tsue) recycleParity(be logpool.BlockExtents, sealV time.Duration) time.
 	return cost
 }
 
-func (t *tsue) Handle(msg *wire.Msg) *wire.Resp {
+func (t *tsue) Handle(ctx context.Context, msg *wire.Msg) *wire.Resp {
 	switch msg.Kind {
 	case wire.KDataLogReplica:
 		// Replica is persisted to SSD (§4.1) and retained so the
@@ -475,7 +476,7 @@ func (t *tsue) Read(b wire.BlockID, off uint32, size int) ([]byte, time.Duration
 // Drain flushes layer by layer; the cluster calls phase 1 on every node,
 // then 2, then 3, so deltas produced by one layer land before the next
 // layer drains (§3.1.2 real-time recycle, forced to completion).
-func (t *tsue) Drain(phase int, dead []wire.NodeID) error {
+func (t *tsue) Drain(ctx context.Context, phase int, dead []wire.NodeID) error {
 	switch phase {
 	case 1:
 		t.dataLogs.Drain(0)
@@ -485,7 +486,7 @@ func (t *tsue) Drain(phase int, dead []wire.NodeID) error {
 		}
 		// Promote delta copies whose primary DeltaLog died with its OSD.
 		if len(dead) > 0 {
-			if err := t.promoteCopies(dead); err != nil {
+			if err := t.promoteCopies(ctx, dead); err != nil {
 				return err
 			}
 		}
@@ -501,7 +502,7 @@ func (t *tsue) Drain(phase int, dead []wire.NodeID) error {
 // promoteCopies recycles delta copies for stripes whose first parity OSD
 // (the primary DeltaLog host) is dead, sending merged parity deltas to
 // the surviving parity logs (§4.2 log reliability).
-func (t *tsue) promoteCopies(dead []wire.NodeID) error {
+func (t *tsue) promoteCopies(ctx context.Context, dead []wire.NodeID) error {
 	isDead := func(n wire.NodeID) bool {
 		for _, d := range dead {
 			if d == n {
@@ -531,7 +532,7 @@ func (t *tsue) promoteCopies(dead []wire.NodeID) error {
 			for _, e := range ci.Extents() {
 				pd := make([]byte, len(e.Data))
 				gf256.MulSlice(code.Coeff(j, int(b.Idx)), pd, e.Data)
-				resp, err := t.env.Call(target, &wire.Msg{
+				resp, err := t.env.Call(ctx, target, &wire.Msg{
 					Kind: wire.KParityLogAdd, Block: pb, Off: e.Off, Data: pd,
 					K: uint8(si.K), M: uint8(si.M), Loc: si.Loc, V: int64(e.V),
 				})
@@ -571,7 +572,7 @@ func (t *tsue) Close() {
 // TSUE enters recovery with empty logs.
 func (t *tsue) RealTimeFlush() error {
 	for phase := 1; phase <= DrainPhases; phase++ {
-		if err := t.Drain(phase, nil); err != nil {
+		if err := t.Drain(context.Background(), phase, nil); err != nil {
 			return err
 		}
 	}

@@ -2,6 +2,7 @@ package update
 
 import (
 	"bytes"
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -222,7 +223,7 @@ type fakeEnv struct {
 func (f *fakeEnv) ID() wire.NodeID          { return 1 }
 func (f *fakeEnv) Store() *blockstore.Store { return nil }
 func (f *fakeEnv) Dev() *device.Device      { return nil }
-func (f *fakeEnv) Call(to wire.NodeID, msg *wire.Msg) (*wire.Resp, error) {
+func (f *fakeEnv) Call(_ context.Context, to wire.NodeID, msg *wire.Msg) (*wire.Resp, error) {
 	return f.call(to, msg)
 }
 func (f *fakeEnv) Code(k, m int) (*erasure.Code, error) {
@@ -230,7 +231,7 @@ func (f *fakeEnv) Code(k, m int) (*erasure.Code, error) {
 }
 
 func TestFanoutEmpty(t *testing.T) {
-	cost, err := fanout(&fakeEnv{}, nil, nil)
+	cost, err := fanout(context.Background(), &fakeEnv{}, nil, nil)
 	if err != nil || cost != 0 {
 		t.Fatalf("empty fanout: %v %v", cost, err)
 	}
@@ -240,7 +241,7 @@ func TestFanoutMaxCost(t *testing.T) {
 	env := &fakeEnv{call: func(to wire.NodeID, msg *wire.Msg) (*wire.Resp, error) {
 		return &wire.Resp{Cost: time.Duration(to) * time.Microsecond}, nil
 	}}
-	cost, err := fanout(env, []wire.NodeID{2, 9, 5}, func(to wire.NodeID) *wire.Msg {
+	cost, err := fanout(context.Background(), env, []wire.NodeID{2, 9, 5}, func(to wire.NodeID) *wire.Msg {
 		return &wire.Msg{Kind: wire.KPing}
 	})
 	if err != nil {
@@ -258,13 +259,13 @@ func TestFanoutPropagatesErrors(t *testing.T) {
 		}
 		return &wire.Resp{}, nil
 	}}
-	if _, err := fanout(env, []wire.NodeID{2, 3, 4}, func(to wire.NodeID) *wire.Msg {
+	if _, err := fanout(context.Background(), env, []wire.NodeID{2, 3, 4}, func(to wire.NodeID) *wire.Msg {
 		return &wire.Msg{Kind: wire.KPing}
 	}); err == nil {
 		t.Fatal("remote error must propagate")
 	}
 	// Single-target path too.
-	if _, err := fanout(env, []wire.NodeID{3}, func(to wire.NodeID) *wire.Msg {
+	if _, err := fanout(context.Background(), env, []wire.NodeID{3}, func(to wire.NodeID) *wire.Msg {
 		return &wire.Msg{Kind: wire.KPing}
 	}); err == nil {
 		t.Fatal("single-target remote error must propagate")

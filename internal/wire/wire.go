@@ -9,6 +9,7 @@ package wire
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -92,6 +93,14 @@ const (
 	// Repair-subsystem RPCs (client/tool -> MDS).
 	KRepairHint   // degraded read promotes a stripe in the active repair queue
 	KRepairStatus // query the active repair/drain queue (Val = pending stripes)
+
+	// KResolveAddr asks the MDS for the cluster's node address map (the
+	// listen addresses OSDs report in their heartbeats) plus the stripe
+	// geometry and block size. It is how tsue.Dial self-discovers a TCP
+	// deployment and how a client pool re-resolves a replacement node's
+	// address with no manual SetAddr. Reply: Data = EncodeAddrMap,
+	// Val = int64(K)<<32 | int64(M), Ino = uint64(blockSize).
+	KResolveAddr
 )
 
 // FetchReadThrough, set in Msg.Flag on a KBlockFetch, asks the holder to
@@ -118,7 +127,23 @@ var kindNames = map[Kind]string{
 	KBlockFetch: "block-fetch", KBlockStore: "block-store",
 	KDrainLogs: "drain-logs", KReplicaFetch: "replica-fetch", KPing: "ping",
 	KEpochUpdate: "epoch-update", KRepairHint: "repair-hint",
-	KRepairStatus: "repair-status",
+	KRepairStatus: "repair-status", KResolveAddr: "resolve-addr",
+}
+
+// Idempotent reports whether a request of this kind may be safely
+// re-delivered when the transport cannot tell if the first attempt was
+// applied (a connection died after the frame was written). Full-block
+// writes and stores are overwrites, epoch updates are monotonic, and
+// metadata requests are read-only or open-or-create; log appends and
+// partial updates are not re-deliverable.
+func (k Kind) Idempotent() bool {
+	switch k {
+	case KWriteBlock, KRead, KMDSCreate, KMDSLookup, KMDSHeartbeat, KMDSStat,
+		KBlockFetch, KBlockStore, KReplicaFetch, KDrainLogs, KPing,
+		KEpochUpdate, KRepairHint, KRepairStatus, KResolveAddr:
+		return true
+	}
+	return false
 }
 
 func (k Kind) String() string {
@@ -165,6 +190,47 @@ func locWireSize(l StripeLoc) int64 {
 // at a fixed 64 bytes, close to the gob framing overhead.
 func (m *Msg) WireSize() int64 {
 	return 64 + int64(len(m.Data)) + int64(len(m.Data2)) + locWireSize(m.Loc) + int64(len(m.Name))
+}
+
+// EncodeAddrMap packs a node address map into a byte payload for the
+// KResolveAddr reply: entries in ascending node-id order, each 4-byte
+// big-endian id, 2-byte big-endian length, then the address bytes.
+func EncodeAddrMap(addrs map[NodeID]string) []byte {
+	ids := make([]NodeID, 0, len(addrs))
+	for id := range addrs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var out []byte
+	for _, id := range ids {
+		a := addrs[id]
+		if len(a) > 0xFFFF {
+			continue
+		}
+		out = append(out, byte(uint32(id)>>24), byte(uint32(id)>>16), byte(uint32(id)>>8), byte(uint32(id)))
+		out = append(out, byte(len(a)>>8), byte(len(a)))
+		out = append(out, a...)
+	}
+	return out
+}
+
+// DecodeAddrMap unpacks an EncodeAddrMap payload.
+func DecodeAddrMap(b []byte) (map[NodeID]string, error) {
+	out := make(map[NodeID]string)
+	for i := 0; i < len(b); {
+		if i+6 > len(b) {
+			return nil, errors.New("wire: truncated address map entry")
+		}
+		id := NodeID(uint32(b[i])<<24 | uint32(b[i+1])<<16 | uint32(b[i+2])<<8 | uint32(b[i+3]))
+		n := int(b[i+4])<<8 | int(b[i+5])
+		i += 6
+		if i+n > len(b) {
+			return nil, errors.New("wire: truncated address map address")
+		}
+		out[id] = string(b[i : i+n])
+		i += n
+	}
+	return out, nil
 }
 
 // Status classifies a reply beyond the free-text Err field, so callers

@@ -5,39 +5,90 @@
 // cloud/MSR trace workloads, and the benchmark harness that regenerates
 // every table and figure of the paper's evaluation.
 //
-// Quick start:
+// The v2 surface is context-aware and handle-based:
 //
+//	ctx := context.Background()
 //	cluster := tsue.MustNewCluster(tsue.DefaultOptions())
 //	defer cluster.Close()
-//	client := cluster.NewClient()
-//	ino, _ := client.Create("volume0")
-//	client.WriteFile(ino, data)             // striped + encoded
-//	client.Update(ino, off, newBytes, 0)    // two-stage TSUE update
-//	got, _, _ := client.Read(ino, off, n)   // read-your-writes
+//	f, _ := cluster.CreateFile(ctx, "volume0")
+//	f.WriteAt(data, 0)                      // io.WriterAt: striped + encoded
+//	f.UpdateAt(ctx, off, newBytes, 0)       // two-stage TSUE update
+//	buf := make([]byte, n)
+//	f.ReadAt(buf, off)                      // io.ReaderAt: read-your-writes
+//	f.Close()
 //
-// Everything is deterministic and in-process: devices and the network
-// are priced by models (see internal/device, internal/netsim) while
-// block contents, logs and parity are real and verified. A real TCP
-// deployment of the same nodes is available via cmd/ecfsd.
+// A real TCP deployment of the same nodes (cmd/ecfsd) is reached with
+// nothing but the metadata server's address — node addresses, stripe
+// geometry and block size are self-discovered, and the connection pool
+// re-resolves addresses when nodes move:
+//
+//	rc, _ := tsue.Dial(ctx, "10.0.0.1:7000")
+//	defer rc.Close()
+//	f, _ := rc.OpenFile(ctx, "volume0")
+//
+// Everything in-process is deterministic: devices and the network are
+// priced by models (see internal/device, internal/netsim) while block
+// contents, logs and parity are real and verified.
+//
+// Failure handling surfaces as an errors.Is-able taxonomy: ErrStaleEpoch
+// (placement moved; retried internally), ErrNotFound (block never
+// written), ErrNodeUnreachable (transport-level delivery failure), and
+// *DataLossError (recovery could not reassemble a stripe).
 package tsue
 
 import (
+	"context"
 	"io"
+	"sort"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/ecfs"
 	"repro/internal/trace"
+	"repro/internal/transport"
 	"repro/internal/update"
+	"repro/internal/wire"
 )
 
-// Cluster is an assembled in-process ECFS deployment.
+// Cluster is an assembled in-process ECFS deployment. Files are opened
+// through Cluster.OpenFile/CreateFile, which return *File handles.
 type Cluster = ecfs.Cluster
 
 // Options configures a cluster.
 type Options = ecfs.Options
 
-// Client is the POSIX-facing access component.
+// Client is the POSIX-facing access component. Its context-free
+// Read/WriteFile/Update methods are deprecated wrappers; new code uses
+// *File handles or the *Context methods.
 type Client = ecfs.Client
+
+// File is a handle on one ECFS file: io.ReaderAt, io.WriterAt,
+// io.Closer, plus UpdateAt for two-stage TSUE updates.
+type File = ecfs.File
+
+// RemoteClient is a self-discovering client of a TCP-deployed cluster,
+// obtained from Dial.
+type RemoteClient = ecfs.RemoteClient
+
+// DataLossError reports that recovery could not obtain K shards of a
+// stripe from reachable holders. Returned (alongside the partial
+// result) by Cluster.Recover; match with errors.As.
+type DataLossError = ecfs.DataLossError
+
+// Error taxonomy, usable with errors.Is across both transports.
+var (
+	// ErrStaleEpoch is a structured rejection of a request carrying an
+	// outdated placement epoch. Clients re-resolve and retry these
+	// internally; it surfaces only from raw wire access.
+	ErrStaleEpoch = wire.ErrStaleEpoch
+	// ErrNotFound reports a block that has never been written on the
+	// serving node.
+	ErrNotFound = wire.ErrNotFound
+	// ErrNodeUnreachable wraps every transport-level delivery failure —
+	// a failed node in-process, a refused dial or dead connection on
+	// TCP.
+	ErrNodeUnreachable = transport.ErrNodeUnreachable
+)
 
 // StrategyConfig carries update-method tunables.
 type StrategyConfig = update.Config
@@ -73,6 +124,16 @@ func NewCluster(opts Options) (*Cluster, error) { return ecfs.NewCluster(opts) }
 
 // MustNewCluster panics on configuration errors.
 func MustNewCluster(opts Options) *Cluster { return ecfs.MustNewCluster(opts) }
+
+// Dial connects to a TCP-deployed ECFS cluster (cmd/ecfsd) knowing only
+// the MDS address. Node addresses, stripe geometry and block size are
+// discovered over wire.KResolveAddr (OSDs report their listen addresses
+// in heartbeats), and the returned client's pool re-resolves addresses
+// whenever a node is unreachable — fresh-id recovery and restarts on
+// new ports need no manual address pushes.
+func Dial(ctx context.Context, mdsAddr string) (*RemoteClient, error) {
+	return ecfs.Dial(ctx, mdsAddr)
+}
 
 // NewReplayer builds a trace replayer with the given concurrent client
 // population.
@@ -110,22 +171,35 @@ func PaperScale() Scale { return bench.Paper() }
 // order: fig5, fig6a, fig6b, fig7, table1, table2, fig8a, fig8b.
 var Experiments = bench.Order
 
+// ExtensionExperiments lists the extension-experiment ids (beyond the
+// paper's charts) in sorted order.
+func ExtensionExperiments() []string {
+	out := make([]string, 0, len(bench.Extensions))
+	for id := range bench.Extensions {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // RunExperiment regenerates one of the paper's tables/figures, or one of
-// the extension experiments ("latency", "compression").
-func RunExperiment(id string, s Scale) (*Report, error) {
+// the extension experiments (see ExtensionExperiments). A cancelled ctx
+// aborts the run between — and, through the replayer, within — its
+// cluster executions.
+func RunExperiment(ctx context.Context, id string, s Scale) (*Report, error) {
 	if fn, ok := bench.Experiments[id]; ok {
-		return fn(s)
+		return fn(ctx, s)
 	}
 	if fn, ok := bench.Extensions[id]; ok {
-		return fn(s)
+		return fn(ctx, s)
 	}
 	return nil, errUnknownExperiment(id)
 }
 
 // RunAll regenerates every table and figure, writing each report to w.
-func RunAll(s Scale, w io.Writer) error {
+func RunAll(ctx context.Context, s Scale, w io.Writer) error {
 	for _, id := range bench.Order {
-		rep, err := RunExperiment(id, s)
+		rep, err := RunExperiment(ctx, id, s)
 		if err != nil {
 			return err
 		}
@@ -136,6 +210,10 @@ func RunAll(s Scale, w io.Writer) error {
 
 type errUnknownExperiment string
 
+// Error lists every accepted id, built from the live experiment tables
+// (bench.Order plus the Extensions keys) so the message cannot drift
+// from what RunExperiment actually accepts.
 func (e errUnknownExperiment) Error() string {
-	return "tsue: unknown experiment " + string(e) + " (want one of fig5, fig6a, fig6b, fig7, table1, table2, fig8a, fig8b)"
+	ids := append(append([]string{}, bench.Order...), ExtensionExperiments()...)
+	return "tsue: unknown experiment " + string(e) + " (want one of " + strings.Join(ids, ", ") + ")"
 }
