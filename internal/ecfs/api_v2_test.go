@@ -97,6 +97,11 @@ func TestFileHandleRoundTrip(t *testing.T) {
 	if _, err := f.WriteAt(mirror, 0); !errors.Is(err, os.ErrClosed) {
 		t.Fatalf("write after close = %v, want os.ErrClosed", err)
 	}
+	// WithContext carries the closed state — it must not resurrect a
+	// closed handle.
+	if _, err := f.WithContext(ctx).ReadAt(got, 0); !errors.Is(err, os.ErrClosed) {
+		t.Fatalf("read via WithContext after close = %v, want os.ErrClosed", err)
+	}
 	if _, err := f2.ReadAt(got, 0); err != nil {
 		t.Fatalf("sibling handle must survive: %v", err)
 	}

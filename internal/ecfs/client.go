@@ -19,6 +19,11 @@ import (
 // itself keeps handing out a placement the OSDs reject.
 const maxStaleRetries = 3
 
+// stripeWriteBudget is the liveness backstop on a detached stripe
+// fan-out: far above any healthy shard round-trip, tight enough that a
+// half-open connection to a hung OSD cannot wedge a write forever.
+const stripeWriteBudget = 2 * time.Minute
+
 // Client is the POSIX-facing access component (§4): it encodes normal
 // writes into stripes, distinguishes writes from updates, routes updates
 // to the data block's OSD, and reads with location caching.
@@ -35,8 +40,9 @@ const maxStaleRetries = 3
 // (an aborted multi-part update may be torn across blocks, like any
 // interrupted POSIX write). Normal writes are stripe-atomic — the
 // context is checked before each stripe is placed, and once a stripe's
-// shard fan-out begins it runs to completion — so a cancelled WriteFile
-// never leaves a stripe bound at the MDS without all its shards stored.
+// shard fan-out begins it runs to completion (bounded only by the
+// stripeWriteBudget liveness backstop) — so a cancelled WriteFile never
+// leaves a stripe bound at the MDS without all its shards stored.
 //
 // Cached placements carry their epoch (wire.StripeLoc.Epoch). When an
 // OSD rejects a request with wire.StatusStaleEpoch — recovery rebound
@@ -176,16 +182,24 @@ func (c *Client) InvalidateLocations() {
 // blocks are transferred concurrently, so the cost is the slowest
 // member.
 //
-// Cancellation is checked once at entry; past that point the stripe is
-// written out in full regardless of ctx, so a stripe is never placed at
-// the MDS with only some of its shards stored.
+// Cancellation is checked once at entry; past that point the write
+// ignores the caller's ctx (cancel and deadline alike), so a stripe is
+// never placed at the MDS with only some of its shards stored. The
+// detached fan-out still runs under the stripeWriteBudget liveness
+// backstop — should that fire (a hung OSD), the write errors out and
+// the stripe may be left short of shards for Scrub to flag.
 func (c *Client) WriteStripeContext(ctx context.Context, ino uint64, stripe uint32, data []byte) (time.Duration, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
 	// Detach: the placement below binds the stripe at the MDS, and a
 	// bound stripe must have all its shards stored (Scrub's invariant).
-	ctx = context.WithoutCancel(ctx)
+	// Detaching must not mean unbounded, though — over TCP an OSD that
+	// accepts the connection and never replies would otherwise hang the
+	// write forever — so the fan-out runs under the liveness backstop
+	// documented above.
+	ctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), stripeWriteBudget)
+	defer cancel()
 	if len(data) != c.StripeSpan() {
 		return 0, fmt.Errorf("ecfs: stripe write of %d bytes, want %d", len(data), c.StripeSpan())
 	}

@@ -36,9 +36,14 @@ func (f *File) Ino() uint64 { return f.ino }
 func (f *File) Name() string { return f.name }
 
 // WithContext returns a handle on the same file whose io.ReaderAt /
-// io.WriterAt methods use ctx.
+// io.WriterAt methods use ctx. The closed state carries over: deriving
+// from a closed handle yields a closed handle (Close does not re-open).
 func (f *File) WithContext(ctx context.Context) *File {
-	return &File{cli: f.cli, ino: f.ino, name: f.name, ctx: ctx}
+	nf := &File{cli: f.cli, ino: f.ino, name: f.name, ctx: ctx}
+	if f.closed.Load() {
+		nf.closed.Store(true)
+	}
+	return nf
 }
 
 func (f *File) guard() error {

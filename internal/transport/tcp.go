@@ -188,7 +188,25 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 // the MDS with wire.KResolveAddr. The TCP client calls it when a
 // destination has no known address or a call to a known address fails,
 // which is how a pool follows replacement nodes with no manual SetAddr.
+//
+// A resolver that issues Calls on the same client (the usual shape)
+// MUST thread the provided ctx into them: it carries the re-entrancy
+// guard that keeps a failing KResolveAddr call from recursively
+// triggering another resolve while the MDS is unreachable.
 type AddrResolver func(ctx context.Context) (map[wire.NodeID]string, error)
+
+// resolverCtxKey marks contexts handed to an AddrResolver (the value is
+// the *TCPClient whose resolver is running), so Calls the resolver
+// issues on the same client never start a nested resolve — while a
+// different client reached through the same ctx still resolves freely.
+type resolverCtxKey struct{}
+
+// resolveFlight is one in-flight resolver invocation; concurrent
+// callers wait on done and share ok instead of dogpiling the MDS.
+type resolveFlight struct {
+	done chan struct{}
+	ok   bool
+}
 
 // TCPClient is an RPC over real sockets. It maintains a small pool of
 // connections per destination address.
@@ -206,6 +224,7 @@ type TCPClient struct {
 	addrs    map[wire.NodeID]string
 	pools    map[wire.NodeID]*connPool
 	resolver AddrResolver
+	flight   *resolveFlight // in-flight resolve shared by concurrent callers
 	closed   bool
 }
 
@@ -280,18 +299,68 @@ func (c *TCPClient) Close() {
 
 // resolve refreshes the address map through the resolver, if any.
 // Reports whether a refresh happened.
+//
+// Two re-entry shapes are handled. (1) Recursion: resolvers issue
+// KResolveAddr through this same client, and that inner Call must not
+// trigger another resolve when the MDS itself is unreachable — the
+// mutual recursion would never bottom out, so the resolver runs under a
+// ctx marked with this client that makes nested resolves return false
+// immediately and an MDS outage surfaces as ErrNodeUnreachable instead
+// of a stack overflow. (2) Concurrency: a shard fan-out can miss many
+// addresses at once, so callers that find a resolve already in flight
+// wait for it and share a success rather than failing fast or dogpiling
+// the MDS. A shared *failure* is not adopted: the flight may have died
+// on its owner's expiring context, so a waiter whose own ctx is still
+// live loops and resolves for itself.
 func (c *TCPClient) resolve(ctx context.Context) bool {
-	c.mu.Lock()
-	r := c.resolver
-	c.mu.Unlock()
-	if r == nil {
-		return false
+	if ctx.Value(resolverCtxKey{}) == c {
+		return false // issued by this client's own resolver: never recurse
 	}
-	addrs, err := r(ctx)
+	for {
+		c.mu.Lock()
+		r := c.resolver
+		if r == nil || c.closed {
+			c.mu.Unlock()
+			return false
+		}
+		f := c.flight
+		owner := f == nil
+		if owner {
+			f = &resolveFlight{done: make(chan struct{})}
+			c.flight = f
+		}
+		c.mu.Unlock()
+		if owner {
+			return c.runResolveFlight(ctx, r, f)
+		}
+		select {
+		case <-f.done:
+			if f.ok || ctx.Err() != nil {
+				return f.ok
+			}
+			// The flight failed, possibly on its owner's context rather
+			// than the MDS; try again under our own.
+		case <-ctx.Done():
+			return false
+		}
+	}
+}
+
+// runResolveFlight invokes the resolver once as the owner of f, records
+// the outcome for waiters, and clears the flight.
+func (c *TCPClient) runResolveFlight(ctx context.Context, r AddrResolver, f *resolveFlight) bool {
+	defer func() {
+		c.mu.Lock()
+		c.flight = nil
+		c.mu.Unlock()
+		close(f.done)
+	}()
+	addrs, err := r(context.WithValue(ctx, resolverCtxKey{}, c))
 	if err != nil || len(addrs) == 0 {
 		return false
 	}
 	c.UpdateAddrs(addrs)
+	f.ok = true
 	return true
 }
 
@@ -343,8 +412,9 @@ func (c *TCPClient) Call(ctx context.Context, to wire.NodeID, msg *wire.Msg) (*w
 		if ctx.Err() != nil {
 			return nil, fmt.Errorf("transport: call %v to node %d: %w", msg.Kind, to, ctx.Err())
 		}
-		// Reconnect/retry policy: a failed dial sent nothing, so any
-		// message may be retried; a connection that died mid-call may
+		// Reconnect/retry policy: a call that provably sent nothing (a
+		// failed dial, or a frame that never finished writing) may be
+		// retried with any message; a connection that died mid-call may
 		// have delivered the frame, so only idempotent kinds are
 		// re-sent. Either way, re-resolve the address map first when a
 		// resolver is installed — the node may have moved.
@@ -412,12 +482,13 @@ func (p *connPool) closeAll() {
 }
 
 // call performs one round trip. sent reports whether the request frame
-// may have reached the server (false only when the failure happened
-// before any bytes could have been delivered — a dial error). A write
-// failure on a reused pooled connection means the server's previous
-// incarnation closed it while idle; the frame cannot have been processed
-// by the current server, so such calls transparently retry once on a
-// fresh dial regardless of idempotency.
+// may have reached the server (false when the failure happened before
+// the frame could have been delivered — a dial error, or a write
+// failure that never flushed the frame). A write failure on a reused
+// pooled connection means the server's previous incarnation closed it
+// while idle; the frame cannot have been processed by the current
+// server, so such calls transparently retry once on a fresh dial
+// regardless of idempotency.
 func (p *connPool) call(ctx context.Context, msg *wire.Msg) (resp *wire.Resp, sent bool, err error) {
 	pc, reused, err := p.get(ctx)
 	if err != nil {
@@ -440,9 +511,9 @@ func (p *connPool) call(ctx context.Context, msg *wire.Msg) (resp *wire.Resp, se
 		if derr != nil {
 			return nil, false, derr
 		}
-		resp, _, err = p.roundTrip(ctx, pc, msg)
+		resp, wrote, err = p.roundTrip(ctx, pc, msg)
 	}
-	return resp, true, err
+	return resp, wrote, err
 }
 
 // roundTrip runs one request/response exchange on pc, mapping the

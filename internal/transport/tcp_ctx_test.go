@@ -3,6 +3,9 @@ package transport
 import (
 	"context"
 	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -144,6 +147,134 @@ func TestTCPResolverFollowsMovedNode(t *testing.T) {
 	defer cli3.Close()
 	if _, err := cli3.Call(context.Background(), 9, &wire.Msg{Kind: wire.KPing}); !errors.Is(err, ErrNodeUnreachable) {
 		t.Fatalf("want ErrNodeUnreachable, got %v", err)
+	}
+}
+
+// TestTCPResolverNoRecursionDuringMDSOutage: resolvers issue
+// KResolveAddr through the same client (ecfs.Dial and ecfsd install
+// exactly that shape), so a Call failure during an MDS outage must not
+// re-enter resolve from inside the resolver — that mutual recursion has
+// no base case and overflows the stack. The nested-resolve guard turns
+// the outage into a prompt ErrNodeUnreachable.
+func TestTCPResolverNoRecursionDuringMDSOutage(t *testing.T) {
+	// Bind-then-close yields an address that refuses dials: an MDS that
+	// is down but whose address is still known to the client.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+
+	cli := NewTCPClient(map[wire.NodeID]string{wire.MDSNode: dead})
+	defer cli.Close()
+	var resolves atomic.Int64
+	cli.SetResolver(func(ctx context.Context) (map[wire.NodeID]string, error) {
+		resolves.Add(1)
+		r, err := cli.Call(ctx, wire.MDSNode, &wire.Msg{Kind: wire.KResolveAddr})
+		if err != nil {
+			return nil, err
+		}
+		return wire.DecodeAddrMap(r.Data)
+	})
+
+	// Node 5 has no address, so Call consults the resolver; its inner
+	// KResolveAddr call to the dead MDS fails and must not resolve again.
+	if _, err := cli.Call(context.Background(), 5, &wire.Msg{Kind: wire.KPing}); !errors.Is(err, ErrNodeUnreachable) {
+		t.Fatalf("want ErrNodeUnreachable, got %v", err)
+	}
+	// Calling the dead MDS directly recurses through the retry loop
+	// instead of poolFor; it must bottom out the same way.
+	if _, err := cli.Call(context.Background(), wire.MDSNode, &wire.Msg{Kind: wire.KResolveAddr}); !errors.Is(err, ErrNodeUnreachable) {
+		t.Fatalf("want ErrNodeUnreachable, got %v", err)
+	}
+	if n := resolves.Load(); n == 0 || n > 2*tcpAttempts {
+		t.Fatalf("resolver consulted %d times, want between 1 and %d", n, 2*tcpAttempts)
+	}
+}
+
+// TestTCPResolverSharedFlight: a shard-style fan-out that misses many
+// addresses at once must share one in-flight resolve — concurrent Calls
+// wait for its outcome and succeed, instead of failing fast (or
+// dogpiling the MDS) while it runs.
+func TestTCPResolverSharedFlight(t *testing.T) {
+	srv, err := ServeTCP(1, "127.0.0.1:0", echoHandler(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli := NewTCPClient(nil) // node 1's address is only discoverable
+	defer cli.Close()
+	var resolves atomic.Int64
+	cli.SetResolver(func(ctx context.Context) (map[wire.NodeID]string, error) {
+		resolves.Add(1)
+		time.Sleep(100 * time.Millisecond) // a slow MDS round trip
+		return map[wire.NodeID]string{1: srv.Addr()}, nil
+	})
+
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = cli.Call(context.Background(), 1, &wire.Msg{Kind: wire.KPing})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent call %d during resolve: %v", i, err)
+		}
+	}
+	if n := resolves.Load(); n == 0 || n > 3 {
+		t.Fatalf("resolver invoked %d times, want one shared flight (1..3)", n)
+	}
+}
+
+// TestTCPResolverFlightFailureNotAdopted: a resolve flight that dies on
+// its owner's expiring context must not doom waiters with live contexts
+// — they retry the resolve for themselves and succeed.
+func TestTCPResolverFlightFailureNotAdopted(t *testing.T) {
+	srv, err := ServeTCP(1, "127.0.0.1:0", echoHandler(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli := NewTCPClient(nil)
+	defer cli.Close()
+	var calls atomic.Int64
+	entered := make(chan struct{})
+	cli.SetResolver(func(ctx context.Context) (map[wire.NodeID]string, error) {
+		if calls.Add(1) == 1 {
+			close(entered)
+			<-ctx.Done() // first flight stalls until its owner's ctx dies
+			return nil, ctx.Err()
+		}
+		return map[wire.NodeID]string{1: srv.Addr()}, nil
+	})
+
+	ownerCtx, cancelOwner := context.WithCancel(context.Background())
+	ownerErr := make(chan error, 1)
+	go func() {
+		_, err := cli.Call(ownerCtx, 1, &wire.Msg{Kind: wire.KPing})
+		ownerErr <- err
+	}()
+	<-entered // the owner's resolve flight is in progress
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err := cli.Call(context.Background(), 1, &wire.Msg{Kind: wire.KPing})
+		waiterErr <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the waiter join the flight
+	cancelOwner()
+	if err := <-waiterErr; err != nil {
+		t.Fatalf("waiter must resolve for itself after the owner's flight dies: %v", err)
+	}
+	if err := <-ownerErr; err == nil {
+		t.Fatal("owner's cancelled call must fail")
 	}
 }
 
