@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: verify verify-race build vet test race bench example-recovery
+.PHONY: verify verify-race build vet test race bench example-recovery docs-check
 
-verify: build vet test
+verify: build vet test docs-check
 
 # verify-race runs the full suite under the race detector — the gate for
 # changes touching MDS sharding, repair/drain, or client retry
@@ -24,6 +24,12 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run xxx ./...
+
+# docs-check lints the documentation: every relative Markdown link must
+# resolve, and every exported repair/scheduler symbol must carry godoc
+# (see cmd/docscheck). Part of make verify and the CI verify job.
+docs-check:
+	$(GO) run ./cmd/docscheck
 
 example-recovery:
 	$(GO) run ./examples/recovery

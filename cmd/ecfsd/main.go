@@ -54,6 +54,7 @@ func main() {
 		osds      = flag.Int("osds", 16, "cluster OSD count (MDS role)")
 		block     = flag.Int("block", 1<<20, "block size in bytes")
 		hdd       = flag.Bool("hdd", false, "use the HDD device profile")
+		addrTTL   = flag.Duration("addr-ttl", 10*time.Second, "MDS role: drop address-map entries for nodes that have not heartbeaten this long (the liveness timeout; 0 disables aging)")
 	)
 	flag.Parse()
 
@@ -70,6 +71,10 @@ func main() {
 		// Served to dialing clients over wire.KResolveAddr, so the
 		// whole cluster configuration lives in one place.
 		mds.SetBlockSize(*block)
+		// Age the address map with liveness: clients re-resolving a
+		// node that stopped heartbeating get "unknown" instead of the
+		// last address of a dead process (heartbeats fire every 2s).
+		mds.SetAddrTTL(*addrTTL)
 		srv, err := transport.ServeTCP(wire.MDSNode, *listen, mds.Handler)
 		if err != nil {
 			fatal(err)

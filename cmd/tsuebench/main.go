@@ -7,7 +7,8 @@
 //	tsuebench -exp table1 -ops 20000 -osds 16
 //	tsuebench -exp recovery -recovery-workers 1,4,16
 //	tsuebench -exp recovery-multi     # fail, recover, fail another, recover
-//	tsuebench -exp repair             # read-through repair (FIFO vs prioritized) + drain/decommission
+//	tsuebench -exp repair             # read-through repair (FIFO vs prioritized), drain/decommission, capped-drain sweep
+//	tsuebench -exp repair -max-rebuild-mbps 50   # explicit scheduler cap for the capped drain row
 //	tsuebench -exp fig8b -fig8b-workers 1,4,16
 //	tsuebench -exp mds-scale          # metadata sharding: lookup/create + StripesOn vs shard count
 //	tsuebench -exp fig5 -json         # also write machine-readable BENCH_fig5.json
@@ -34,16 +35,17 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment id ("+strings.Join(knownExperiments(), ", ")+"), or 'all'")
-		scale     = flag.String("scale", "quick", "experiment scale: quick | paper")
-		ops       = flag.Int("ops", 0, "override trace operation count")
-		osds      = flag.Int("osds", 0, "override OSD count")
-		seed      = flag.Int64("seed", 0, "override workload seed")
-		clients   = flag.String("clients", "", "override client sweep, e.g. 4,16,64")
-		rworkers  = flag.String("recovery-workers", "", "override the recovery experiment's worker sweep, e.g. 1,4,16")
-		f8workers = flag.String("fig8b-workers", "", "add a rebuild-worker axis to the fig8b HDD recovery sweep, e.g. 1,4,16")
-		jsonOut   = flag.Bool("json", false, "additionally write each report as machine-readable BENCH_<id>.json")
-		outDir    = flag.String("out", ".", "directory for -json output files")
+		exp        = flag.String("exp", "all", "experiment id ("+strings.Join(knownExperiments(), ", ")+"), or 'all'")
+		scale      = flag.String("scale", "quick", "experiment scale: quick | paper")
+		ops        = flag.Int("ops", 0, "override trace operation count")
+		osds       = flag.Int("osds", 0, "override OSD count")
+		seed       = flag.Int64("seed", 0, "override workload seed")
+		clients    = flag.String("clients", "", "override client sweep, e.g. 4,16,64")
+		rworkers   = flag.String("recovery-workers", "", "override the recovery experiment's worker sweep, e.g. 1,4,16")
+		f8workers  = flag.String("fig8b-workers", "", "add a rebuild-worker axis to the fig8b HDD recovery sweep, e.g. 1,4,16")
+		rebuildCap = flag.Float64("max-rebuild-mbps", 0, "rebuild-bandwidth cap (decimal MB/s) for the repair experiment's capped drain row; 0 derives it from the uncapped baseline")
+		jsonOut    = flag.Bool("json", false, "additionally write each report as machine-readable BENCH_<id>.json")
+		outDir     = flag.String("out", ".", "directory for -json output files")
 	)
 	flag.Parse()
 
@@ -74,6 +76,9 @@ func main() {
 	}
 	if *f8workers != "" {
 		s.Fig8bWorkers = parseIntList("fig8b-workers", *f8workers)
+	}
+	if *rebuildCap > 0 {
+		s.MaxRebuildMBps = *rebuildCap
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

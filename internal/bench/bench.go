@@ -63,6 +63,11 @@ type Scale struct {
 	// (ecfs.DefaultRecoveryWorkers), reproducing the paper's single
 	// recovery configuration.
 	Fig8bWorkers []int
+	// MaxRebuildMBps is the rebuild-bandwidth cap (decimal MB/s) the
+	// repair experiment's capped drain row runs under; <= 0 derives the
+	// cap from the measured uncapped baseline (a quarter of it).
+	// tsuebench threads -max-rebuild-mbps through here.
+	MaxRebuildMBps float64
 }
 
 // Quick returns a scale small enough for tests and CI.

@@ -85,18 +85,24 @@ func TestMDSScaleExtension(t *testing.T) {
 func TestRepairExtension(t *testing.T) {
 	s := tinyScale()
 	s.Ops = 600
+	s.MaxRebuildMBps = 2.0
 	rep, err := Repair(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Log("\n" + rep.String())
-	if len(rep.Rows) != 4 {
-		t.Fatalf("rows = %d, want 4", len(rep.Rows))
+	if len(rep.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rep.Rows))
 	}
 	for _, scenario := range []string{"recover/fifo", "recover/prio"} {
 		blocks, ok := getCell(rep, func(r []string) bool { return r[0] == scenario }, 4)
 		if !ok || blocks <= 0 {
 			t.Fatalf("%s recovered no blocks", scenario)
+		}
+		// The tagged columns separate rebuild from reader traffic.
+		repairBW, ok := getCell(rep, func(r []string) bool { return r[0] == scenario }, 7)
+		if !ok || repairBW <= 0 {
+			t.Fatalf("%s reports no repair_MBps", scenario)
 		}
 	}
 	for _, scenario := range []string{"drain", "decommission"} {
@@ -104,6 +110,32 @@ func TestRepairExtension(t *testing.T) {
 		if !ok || moved <= 0 {
 			t.Fatalf("%s moved no blocks", scenario)
 		}
+	}
+	// The scheduler-cap sweep: the capped drain row must report a
+	// rebuild bandwidth at or under the cap it ran with (deterministic:
+	// the scheduler floors the makespan at budget-bytes/cap).
+	capScenario := "drain/fg/cap=2.0"
+	capBW, ok := getCell(rep, func(r []string) bool { return r[0] == capScenario }, 7)
+	if !ok {
+		t.Fatalf("missing capped drain row %q", capScenario)
+	}
+	if capBW > s.MaxRebuildMBps*1.01 {
+		t.Fatalf("capped drain repair_MBps = %.2f, exceeds the %.1f cap", capBW, s.MaxRebuildMBps)
+	}
+	if uncBW, ok := getCell(rep, func(r []string) bool { return r[0] == "drain/fg/uncapped" }, 7); !ok || uncBW <= 0 {
+		t.Fatal("uncapped drain row missing repair_MBps")
+	}
+	// Foreground throughput under the cap is at least the uncapped
+	// row's: the capped drain spreads its interference burst beyond the
+	// readers' window, so the window's bottleneck busy time can only
+	// shrink (operational law; the totals are workload-conserving).
+	capFG, ok1 := getCell(rep, func(r []string) bool { return r[0] == capScenario }, 8)
+	uncFG, ok2 := getCell(rep, func(r []string) bool { return r[0] == "drain/fg/uncapped" }, 8)
+	if !ok1 || !ok2 || capFG <= 0 || uncFG <= 0 {
+		t.Fatalf("foreground_MBps missing: capped=%v uncapped=%v", capFG, uncFG)
+	}
+	if capFG < uncFG*0.98 {
+		t.Fatalf("capped foreground_MBps %.1f below uncapped %.1f", capFG, uncFG)
 	}
 }
 

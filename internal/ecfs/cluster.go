@@ -31,6 +31,11 @@ type Options struct {
 	// MDSShards is the metadata namespace shard count (rounded up to a
 	// power of two); <= 0 selects DefaultMDSShards.
 	MDSShards int
+	// MaxRebuildMBps is the cluster-level rebuild-bandwidth cap (decimal
+	// MB per virtual second) the repair scheduler enforces across every
+	// concurrent repair and drain; 0 leaves rebuild traffic uncapped.
+	// Adjustable at runtime via Cluster.SetRebuildCap.
+	MaxRebuildMBps float64
 	// Update strategy tunables; zero value uses update.DefaultConfig()
 	// with BlockSize applied.
 	Strategy *update.Config
@@ -121,7 +126,23 @@ func NewCluster(opts Options) (*Cluster, error) {
 		c.OSDs = append(c.OSDs, osd)
 		tr.Register(id, osd.Handler)
 	}
+	// The repair scheduler's foreground clock reads the cluster's
+	// resources, and its budget ledger the network's tagged rebuild and
+	// drain byte counters (priced bytes — fetches, stores and fences all
+	// count against the cap); configure both once everything that
+	// charges them exists.
+	sched := mds.Scheduler()
+	sched.Configure(c.resources(), opts.MaxRebuildMBps)
+	sched.SetTrafficSource(c.RebuildTraffic)
 	return c, nil
+}
+
+// RebuildTraffic returns the cluster's tagged repair-machinery priced
+// bytes (rebuild + drain classes) — the single definition of the
+// ledger the repair scheduler's budget meters and the benchmark's
+// repair_MBps column reports.
+func (c *Cluster) RebuildTraffic() int64 {
+	return c.Net.TrafficByClass(sim.ClassRebuild) + c.Net.TrafficByClass(sim.ClassDrain)
 }
 
 // MustNewCluster panics on configuration errors.
@@ -166,6 +187,19 @@ func (c *Cluster) CreateFile(ctx context.Context, name string) (*File, error) {
 
 // Code returns the cluster's RS code.
 func (c *Cluster) Code() *erasure.Code { return c.code }
+
+// Scheduler returns the cluster-level repair scheduler (owned by the
+// MDS) that admits every repair/drain stripe job against the rebuild
+// budget and routes read-through-repair hints across concurrent
+// victims.
+func (c *Cluster) Scheduler() *RepairScheduler { return c.MDS.Scheduler() }
+
+// SetRebuildCap changes the cluster rebuild-bandwidth cap (decimal
+// MB/s; 0 removes it) for all subsequent repair/drain admissions.
+func (c *Cluster) SetRebuildCap(maxMBps float64) {
+	c.Opts.MaxRebuildMBps = maxMBps
+	c.MDS.Scheduler().SetRebuildCap(maxMBps)
+}
 
 // OSD returns the OSD with the given node id, or nil.
 func (c *Cluster) OSD(id wire.NodeID) *OSD {

@@ -90,17 +90,30 @@ type MDS struct {
 	// every node and must not contend with namespace traffic. addrs is
 	// the node address map heartbeats populate (TCP deployments only):
 	// the wire.KResolveAddr answer that makes clients self-discovering.
-	liveMu sync.Mutex
-	beats  map[wire.NodeID]time.Time
-	dead   map[wire.NodeID]bool
-	addrs  map[wire.NodeID]string
+	// addrAt stamps each entry's freshness and addrTTL ages entries out
+	// of the served map once a node stops heartbeating (see SetAddrTTL).
+	liveMu  sync.Mutex
+	beats   map[wire.NodeID]time.Time
+	dead    map[wire.NodeID]bool
+	addrs   map[wire.NodeID]string
+	addrAt  map[wire.NodeID]time.Time
+	addrTTL time.Duration
 
-	// repair is the active repair/drain queue, registered for the
-	// duration of a RepairNode/MigrateNode run. wire.KRepairHint
-	// messages promote stripes in it; wire.KRepairStatus reports its
-	// pending depth. nil when no repair is running.
-	repairMu sync.RWMutex
-	repair   *repairQueue
+	// sched is the cluster-level repair scheduler every RepairNode /
+	// MigrateNode run registers its queue with. wire.KRepairHint
+	// messages promote stripes across all active queues through it;
+	// wire.KRepairStatus reports their combined pending depth. Created
+	// lazily so a bare MDS (TCP deployment) gets an uncapped scheduler
+	// with no virtual-time resources.
+	schedMu sync.Mutex
+	sched   *RepairScheduler
+
+	// draining marks nodes with a drain in progress — including a drain
+	// interrupted by cancellation, which stays marked so a second
+	// DrainWith resumes without the node transiting back through the
+	// placement pool.
+	drainMu  sync.Mutex
+	draining map[wire.NodeID]bool
 }
 
 type nameShard struct {
@@ -172,6 +185,8 @@ func NewMDSWithShards(osds []wire.NodeID, k, m, shards int) (*MDS, error) {
 		beats:      make(map[wire.NodeID]time.Time),
 		dead:       make(map[wire.NodeID]bool),
 		addrs:      make(map[wire.NodeID]string),
+		addrAt:     make(map[wire.NodeID]time.Time),
+		draining:   make(map[wire.NodeID]bool),
 	}
 	for i := 0; i < n; i++ {
 		md.nameShards[i] = &nameShard{files: make(map[string]uint64), idx: uint64(i), step: uint64(n)}
@@ -203,15 +218,44 @@ func (m *MDS) RecordAddr(id wire.NodeID, addr string) {
 	}
 	m.liveMu.Lock()
 	m.addrs[id] = addr
+	m.addrAt[id] = time.Now()
 	m.liveMu.Unlock()
 }
 
-// AddrMap snapshots the node address map heartbeats have populated.
+// SetAddrTTL ages the served address map: an entry whose owner has
+// neither heartbeaten nor re-announced within d is dropped from AddrMap
+// (and pruned), so clients re-resolving a node stop being handed the
+// last known address of a long-dead process and fall straight through
+// to "unknown node" handling instead of redialing it. Tie d to the
+// deployment's liveness timeout (a few heartbeat intervals; cmd/ecfsd
+// wires -addr-ttl). 0 — the default — disables aging.
+func (m *MDS) SetAddrTTL(d time.Duration) {
+	m.liveMu.Lock()
+	m.addrTTL = d
+	m.liveMu.Unlock()
+}
+
+// AddrMap snapshots the node address map heartbeats have populated,
+// dropping entries older than the configured address TTL.
 func (m *MDS) AddrMap() map[wire.NodeID]string {
 	m.liveMu.Lock()
 	defer m.liveMu.Unlock()
+	now := time.Now()
 	out := make(map[wire.NodeID]string, len(m.addrs))
 	for id, a := range m.addrs {
+		if m.addrTTL > 0 {
+			fresh := m.addrAt[id]
+			if beat, ok := m.beats[id]; ok && beat.After(fresh) {
+				fresh = beat
+			}
+			if now.Sub(fresh) > m.addrTTL {
+				// Aged out: prune so the map cannot grow with the
+				// addresses of nodes that will never return.
+				delete(m.addrs, id)
+				delete(m.addrAt, id)
+				continue
+			}
+		}
 		out[id] = a
 	}
 	return out
@@ -463,7 +507,11 @@ func (m *MDS) Forget(id wire.NodeID) {
 	delete(m.beats, id)
 	delete(m.dead, id)
 	delete(m.addrs, id)
+	delete(m.addrAt, id)
 	m.liveMu.Unlock()
+	m.drainMu.Lock()
+	delete(m.draining, id)
+	m.drainMu.Unlock()
 	m.revMu.Lock()
 	if ni := m.rev[id]; ni != nil {
 		ni.mu.Lock()
@@ -476,48 +524,76 @@ func (m *MDS) Forget(id wire.NodeID) {
 	m.revMu.Unlock()
 }
 
-// installRepairQueue registers the active repair/drain queue so client
-// repair hints can promote its stripes.
-func (m *MDS) installRepairQueue(q *repairQueue) {
-	m.repairMu.Lock()
-	m.repair = q
-	m.repairMu.Unlock()
-}
-
-// dropRepairQueue clears the registration if q is still the active
-// queue (a newer repair may have replaced it).
-func (m *MDS) dropRepairQueue(q *repairQueue) {
-	m.repairMu.Lock()
-	if m.repair == q {
-		m.repair = nil
+// Scheduler returns the cluster-level repair scheduler, creating an
+// uncapped one on first use. Every RepairNode/MigrateNode run registers
+// its queue here; Cluster construction configures it with the cluster's
+// resources and rebuild cap.
+func (m *MDS) Scheduler() *RepairScheduler {
+	m.schedMu.Lock()
+	defer m.schedMu.Unlock()
+	if m.sched == nil {
+		m.sched = NewRepairScheduler(nil, 0)
 	}
-	m.repairMu.Unlock()
+	return m.sched
 }
 
-// promoteRepair moves a pending stripe to the front of the active
-// repair queue; false when no repair is running or the stripe is no
-// longer pending.
+// promoteRepair moves a pending stripe to the front of whichever active
+// repair/drain queue holds it; false when no repair is running or the
+// stripe is no longer pending.
 func (m *MDS) promoteRepair(ino uint64, stripe uint32) bool {
-	m.repairMu.RLock()
-	q := m.repair
-	m.repairMu.RUnlock()
-	if q == nil {
-		return false
-	}
-	return q.promote(ino, stripe)
+	return m.Scheduler().Promote(ino, stripe)
 }
 
-// RepairPending reports the number of stripes still queued in the
-// active repair/drain, 0 when none is running — the wire.KRepairStatus
-// answer.
+// RepairPending reports the number of stripes still queued across all
+// active repairs/drains, 0 when none is running — the
+// wire.KRepairStatus answer.
 func (m *MDS) RepairPending() int {
-	m.repairMu.RLock()
-	q := m.repair
-	m.repairMu.RUnlock()
-	if q == nil {
-		return 0
+	return m.Scheduler().Pending()
+}
+
+// BeginDrain marks a node as draining and evicts it from the placement
+// pool, reporting whether an earlier (cancelled) drain already did —
+// the resume case, in which pool membership is left exactly as the
+// first run put it, so a node never transits back through the pool
+// between a Ctrl-C and the DrainWith that picks the work back up.
+func (m *MDS) BeginDrain(id wire.NodeID) (resumed bool) {
+	m.drainMu.Lock()
+	resumed = m.draining[id]
+	m.draining[id] = true
+	m.drainMu.Unlock()
+	if !resumed {
+		m.RemoveNode(id)
 	}
-	return q.pending()
+	return resumed
+}
+
+// FinishDrain clears a node's draining mark after every stripe has
+// migrated. The node stays out of the placement pool — it hosts
+// nothing; RemoveOSD retires it, AddNode re-admits it.
+func (m *MDS) FinishDrain(id wire.NodeID) {
+	m.drainMu.Lock()
+	delete(m.draining, id)
+	m.drainMu.Unlock()
+}
+
+// AbortDrain abandons a drain: the mark is cleared and the node —
+// still live and still hosting its unmigrated stripes — is re-admitted
+// to the placement pool. MigrateNode calls it on hard failure;
+// operators call Cluster.AbortDrain to un-cancel a drain they no
+// longer want to resume.
+func (m *MDS) AbortDrain(id wire.NodeID) {
+	m.drainMu.Lock()
+	delete(m.draining, id)
+	m.drainMu.Unlock()
+	m.AddNode(id)
+}
+
+// Draining reports whether the node has a drain in progress (including
+// a cancelled one awaiting resume).
+func (m *MDS) Draining(id wire.NodeID) bool {
+	m.drainMu.Lock()
+	defer m.drainMu.Unlock()
+	return m.draining[id]
 }
 
 // Nodes returns the current placement pool.

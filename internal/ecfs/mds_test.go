@@ -278,3 +278,54 @@ func BenchmarkStripesOnScaling(b *testing.B) {
 		})
 	}
 }
+
+// TestAddrMapTTL pins the address-map aging contract: with a TTL set,
+// entries whose owner has not heartbeaten (or re-announced) within the
+// TTL are dropped — and pruned — from AddrMap, so clients re-resolving
+// a long-dead node fall through to unknown-node handling instead of
+// redialing its last address; a fresh heartbeat re-admits the node.
+func TestAddrMapTTL(t *testing.T) {
+	mds, err := NewMDS([]wire.NodeID{1, 2, 3, 4, 5, 6}, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now()
+	mds.HeartbeatAddr(1, now, "h1:1")
+	mds.HeartbeatAddr(2, now.Add(-5*time.Second), "h2:1")
+	mds.RecordAddr(wire.MDSNode, "mds:1") // RecordAddr stamps its own freshness
+
+	// No TTL: everything is served, however stale.
+	m := mds.AddrMap()
+	if len(m) != 3 {
+		t.Fatalf("AddrMap without TTL = %v", m)
+	}
+
+	mds.SetAddrTTL(2 * time.Second)
+	m = mds.AddrMap()
+	if _, ok := m[2]; ok {
+		t.Fatal("entry past the TTL still served")
+	}
+	if m[1] != "h1:1" || m[wire.MDSNode] != "mds:1" {
+		t.Fatalf("fresh entries dropped: %v", m)
+	}
+
+	// The aged entry was pruned, not just filtered: a later heartbeat
+	// without an address cannot resurrect the stale string...
+	mds.Heartbeat(2, time.Now())
+	if _, ok := mds.AddrMap()[2]; ok {
+		t.Fatal("pruned address resurrected by an address-less heartbeat")
+	}
+	// ...but a heartbeat that carries the address re-admits the node.
+	mds.HeartbeatAddr(2, time.Now(), "h2:2")
+	if got := mds.AddrMap()[2]; got != "h2:2" {
+		t.Fatalf("re-announced node served %q", got)
+	}
+
+	// A node whose heartbeats keep arriving stays served forever even
+	// though its *address* was recorded long ago.
+	mds.HeartbeatAddr(3, now.Add(-5*time.Second), "h3:1")
+	mds.Heartbeat(3, time.Now())
+	if got := mds.AddrMap()[3]; got != "h3:1" {
+		t.Fatalf("heartbeating node aged out: %q", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/erasure"
+	"repro/internal/sim"
 	"repro/internal/transport"
 	"repro/internal/update"
 	"repro/internal/wire"
@@ -55,6 +56,8 @@ type DataLossError struct {
 	Stripes     int // total stripes in this state for the recovery
 }
 
+// Error renders the loss: which stripe, the shard arithmetic, and how
+// many stripes the recovery left in this state.
 func (e *DataLossError) Error() string {
 	return fmt.Sprintf(
 		"ecfs: data loss: stripe %d/%d has %d of %d needed shards (%d holders unreachable, %d never written); %d stripe(s) affected",
@@ -237,7 +240,7 @@ func (r *recoverer) rebindStripe(ref StripeRef) (wire.StripeLoc, bool, error) {
 		// the member's strategy can refresh its stripe table and route
 		// future deltas to the replacement.
 		_, _ = r.caller.Call(r.ctx, node, &wire.Msg{
-			Kind: wire.KEpochUpdate, Block: b, Loc: nl, K: uint8(r.k), M: uint8(r.m),
+			Kind: wire.KEpochUpdate, Block: b, Loc: nl, K: uint8(r.k), M: uint8(r.m), Class: sim.ClassRebuild,
 		})
 	}
 	return nl, true, nil
@@ -280,7 +283,7 @@ func (r *recoverer) rebuildStripe(ref StripeRef) (StripeRecovery, error) {
 		for _, idx := range wave {
 			go func(idx int) {
 				b := wire.BlockID{Ino: ref.Ino, Stripe: ref.Stripe, Idx: uint8(idx)}
-				resp, err := r.caller.Call(r.ctx, ref.Loc.Nodes[idx], &wire.Msg{Kind: wire.KBlockFetch, Block: b})
+				resp, err := r.caller.Call(r.ctx, ref.Loc.Nodes[idx], &wire.Msg{Kind: wire.KBlockFetch, Block: b, Class: sim.ClassRebuild})
 				if err != nil || !resp.OK() {
 					// Unreachable node or error reply: fall back to
 					// another holder. A structured not-found is the
@@ -393,7 +396,7 @@ func (r *recoverer) replayReplica(ref StripeRef, lost wire.BlockID, data []byte)
 		if node == r.failed || r.down[node] {
 			continue
 		}
-		resp, err := r.caller.Call(r.ctx, node, &wire.Msg{Kind: wire.KReplicaFetch, Block: lost})
+		resp, err := r.caller.Call(r.ctx, node, &wire.Msg{Kind: wire.KReplicaFetch, Block: lost, Class: sim.ClassRebuild})
 		if err != nil || !resp.OK() || len(resp.Data) == 0 {
 			continue
 		}
@@ -435,7 +438,7 @@ func (r *recoverer) replayReplica(ref StripeRef, lost wire.BlockID, data []byte)
 			pb := wire.BlockID{Ino: ref.Ino, Stripe: ref.Stripe, Idx: uint8(r.k + j)}
 			resp, err := r.caller.Call(r.ctx, pNode, &wire.Msg{
 				Kind: wire.KParityLogAdd, Block: pb, Off: rec.Off, Data: pd,
-				K: uint8(r.k), M: uint8(r.m), Loc: ref.Loc,
+				K: uint8(r.k), M: uint8(r.m), Loc: ref.Loc, Class: sim.ClassRebuild,
 			})
 			if err != nil {
 				return replayed, cost, err

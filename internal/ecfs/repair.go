@@ -19,6 +19,7 @@ import (
 	"bytes"
 	"container/heap"
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -43,7 +44,14 @@ type repairItem struct {
 // stripe to the front (the most recent promotion wins ties). pop hands
 // out work in priority order and stamps each item with its execution
 // order, so results can prove how promotion reordered the rebuild.
+// While its run is active the queue is registered with the cluster's
+// RepairScheduler, which routes hint promotions to it and admits its
+// workers against the rebuild-bandwidth budget.
 type repairQueue struct {
+	// noPromote freezes the queue in FIFO order: the scheduler skips it
+	// when routing wire.KRepairHint promotions (the benchmark baseline).
+	noPromote bool
+
 	mu       sync.Mutex
 	items    repairHeap
 	byKey    map[stripeKey]*repairItem
@@ -163,6 +171,11 @@ type RepairOptions struct {
 	// NoPromote disables degraded-read promotion, turning the queue into
 	// a strict FIFO — the baseline the repair benchmark compares against.
 	NoPromote bool
+	// MaxRebuildMBps caps this run's rebuild traffic (decimal MB per
+	// virtual second of foreground time; see RepairScheduler). 0 defers
+	// to the cluster-level cap configured on the scheduler
+	// (Options.MaxRebuildMBps), which may itself be 0 — uncapped.
+	MaxRebuildMBps float64
 }
 
 func (o *RepairOptions) sanitize() {
@@ -175,51 +188,68 @@ func (o *RepairOptions) sanitize() {
 }
 
 // runRepairWorkers drains the queue with o.Workers concurrent workers,
-// registering it for KRepairHint promotion unless o.NoPromote. work is
-// called once per popped stripe with its seed slot and execution order;
-// the first error aborts (remaining items are discarded, not executed).
-func runRepairWorkers(ctx context.Context, mds *MDS, o RepairOptions, q *repairQueue, work func(ref StripeRef, seed, order int) error) error {
-	if !o.NoPromote {
-		mds.installRepairQueue(q)
-		defer mds.dropRepairQueue(q)
-	}
+// registering it with the cluster's RepairScheduler for hint promotion
+// (unless o.NoPromote) and bandwidth admission. work is called once per
+// popped stripe with its seed slot and execution order and returns the
+// priced bytes the stripe moved, which are charged against the rebuild
+// budget; the first error aborts (remaining items are discarded, not
+// executed). Cancellation is honored between stripes — the scheduler's
+// admission gate returns ctx.Err() — so a cancelled repair or drain
+// stops cleanly at a stripe boundary (completed stripes stay rebound;
+// pending ones keep their old placement).
+func runRepairWorkers(ctx context.Context, mds *MDS, o RepairOptions, q *repairQueue, work func(ref StripeRef, seed, order int) (int64, error)) error {
+	q.noPromote = o.NoPromote
+	sched := mds.Scheduler()
+	sched.register(q)
+	defer sched.unregister(q)
 	var (
 		wg       sync.WaitGroup
 		errMu    sync.Mutex
 		firstErr error
 	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
 	for w := 0; w < o.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				ref, seed, order, ok := q.pop()
-				if !ok {
-					return
-				}
 				errMu.Lock()
 				failed := firstErr != nil
 				errMu.Unlock()
 				if failed {
-					continue // drain the queue without doing work
-				}
-				// Honor cancellation between stripes: a cancelled repair
-				// stops cleanly at a stripe boundary (completed stripes
-				// stay rebound; pending ones keep their old placement).
-				if err := ctx.Err(); err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = err
+					// Drain the queue without doing (or admitting) work.
+					if _, _, _, ok := q.pop(); !ok {
+						return
 					}
-					errMu.Unlock()
 					continue
 				}
-				if err := work(ref, seed, order); err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					errMu.Unlock()
+				// Fast path: once the queue is empty it stays empty
+				// (promotions only reorder), so don't run a possibly
+				// throttled admission for a stripe that cannot exist.
+				if q.pending() == 0 {
+					return
+				}
+				// Admission precedes the pop so a promotion arriving
+				// while this worker is throttled can still reorder the
+				// stripe it is about to take.
+				if err := sched.admit(ctx, q, o.MaxRebuildMBps); err != nil {
+					fail(err)
+					continue
+				}
+				ref, seed, order, ok := q.pop()
+				if !ok {
+					return
+				}
+				bytes, err := work(ref, seed, order)
+				sched.charge(bytes)
+				if err != nil {
+					fail(err)
 				}
 			}
 		}()
@@ -228,14 +258,24 @@ func runRepairWorkers(ctx context.Context, mds *MDS, o RepairOptions, q *repairQ
 	return firstErr
 }
 
+// maintenanceClasses are the traffic classes whose busy time bounds a
+// repair/drain makespan: the engines' own tagged traffic plus untagged
+// work (device charges, log drains, control). Foreground classes are
+// deliberately excluded — concurrent reader/writer traffic on shared
+// resources must not inflate the modeled rebuild window, which is what
+// lets the repair benchmark report a clean repair bandwidth under load.
+var maintenanceClasses = []sim.Class{sim.ClassRebuild, sim.ClassDrain, sim.ClassScrub, sim.ClassOther}
+
 // repairWindow models the pipelined repair-window makespan shared by
 // recovery and drain: workers stripes proceed in parallel, so the
-// duration is the summed per-stripe cost divided by the worker count —
-// but never less than the additional busy time of the bottleneck
-// resource, which parallelism cannot compress.
-func repairWindow(stripeTime time.Duration, workers int, resources []*sim.Resource, since []time.Duration) time.Duration {
-	w := stripeTime / time.Duration(workers)
-	if b := sim.MaxBusyDelta(resources, since); b > w {
+// duration is the summed per-stripe cost divided by the worker count,
+// plus whatever virtual idle the bandwidth cap injected (throttle) —
+// but never less than the additional maintenance-class busy time of the
+// bottleneck resource, which parallelism cannot compress. since must be
+// a sim.SnapshotBusyClasses(resources, maintenanceClasses...) snapshot.
+func repairWindow(stripeTime time.Duration, workers int, resources []*sim.Resource, since []time.Duration, throttle time.Duration) time.Duration {
+	w := stripeTime/time.Duration(workers) + throttle
+	if b := sim.MaxBusyDeltaClasses(resources, since, maintenanceClasses...); b > w {
 		w = b
 	}
 	return w
@@ -250,13 +290,21 @@ func repairWindow(stripeTime time.Duration, workers int, resources []*sim.Resour
 // travels through caller. See Cluster.Recover for the full semantics.
 func RepairNode(ctx context.Context, mds *MDS, caller transport.RPC, code *erasure.Code, o RepairOptions, failed wire.NodeID, repl *OSD) (*RecoveryResult, error) {
 	o.sanitize()
-	start := sim.SnapshotBusy(o.Resources)
+	sched := mds.Scheduler()
+	if o.MaxRebuildMBps > 0 {
+		// A per-run cap starts metering now, not from the scheduler's
+		// historical budget base.
+		sched.RebaseBudget()
+	}
+	throttleBase := sched.Throttled()
+	spentBase := sched.SpentBytes()
+	start := sim.SnapshotBusyClasses(o.Resources, maintenanceClasses...)
 	if o.Flush != nil {
 		if err := o.Flush(ctx); err != nil {
 			return nil, fmt.Errorf("ecfs: pre-recovery drain: %w", err)
 		}
 	}
-	drained := sim.SnapshotBusy(o.Resources)
+	drained := sim.SnapshotBusyClasses(o.Resources, maintenanceClasses...)
 
 	rebind := repl.id != failed
 	if rebind {
@@ -283,16 +331,16 @@ func RepairNode(ctx context.Context, mds *MDS, caller transport.RPC, code *erasu
 	}
 	res := &RecoveryResult{
 		Workers:   o.Workers,
-		DrainTime: sim.MaxBusyDelta(o.Resources, start),
+		DrainTime: sim.MaxBusyDeltaClasses(o.Resources, start, maintenanceClasses...),
 		Stripes:   make([]StripeRecovery, len(refs)),
 	}
 
 	q := newRepairQueue(refs)
-	err := runRepairWorkers(ctx, mds, o, q, func(ref StripeRef, seed, order int) error {
+	err := runRepairWorkers(ctx, mds, o, q, func(ref StripeRef, seed, order int) (int64, error) {
 		sr, err := r.rebuildStripe(ref)
 		sr.Order = order
 		res.Stripes[seed] = sr
-		return err
+		return int64(sr.Bytes), err
 	})
 	if err != nil {
 		return nil, err
@@ -339,7 +387,13 @@ func RepairNode(ctx context.Context, mds *MDS, caller transport.RPC, code *erasu
 		}
 	}
 
-	res.VirtualTime = res.DrainTime + repairWindow(res.StripeTime, o.Workers, o.Resources, drained)
+	res.VirtualTime = res.DrainTime + repairWindow(res.StripeTime, o.Workers, o.Resources, drained, sched.Throttled()-throttleBase)
+	// A capped run can never report bandwidth above its cap: the budget
+	// bytes this run consumed floor the modeled makespan regardless of
+	// worker interleaving.
+	if floor := res.DrainTime + sched.capFloor(o.MaxRebuildMBps, sched.SpentBytes()-spentBase); res.VirtualTime < floor {
+		res.VirtualTime = floor
+	}
 	if res.VirtualTime > 0 {
 		res.Bandwidth = float64(res.Bytes) / res.VirtualTime.Seconds()
 	}
@@ -363,12 +417,21 @@ type StripeMove struct {
 	// newer than the first copy — a client update raced the cutover and
 	// was carried over.
 	Refreshed bool
-	Cost      time.Duration // synchronous fetch/store/fence RPC cost
+	// Done marks a fully completed migration (copied, cut over, fenced,
+	// refetched). A cancelled drain's result contains only Done moves;
+	// a stripe interrupted mid-migration is re-seeded by the resuming
+	// drain.
+	Done bool
+	Cost time.Duration // synchronous fetch/store/fence RPC cost
 }
 
 // DrainResult summarizes a planned migration off a live node.
 type DrainResult struct {
-	Node      wire.NodeID
+	Node wire.NodeID
+	// Resumed marks a run that picked up a previously cancelled drain:
+	// its queue was re-seeded from the stripes still on the node, and
+	// pool membership was left exactly as the first run set it.
+	Resumed   bool
 	Moved     int // blocks copied onto survivor-pool nodes
 	Skipped   int // placed-but-never-written slots rebound without data
 	Refreshed int // racing updates caught by the post-fence refetch
@@ -411,16 +474,27 @@ type DrainResult struct {
 // back to a degraded decode only in the copy window, which also
 // promotes the stripe); updates rejected by the fence re-resolve and
 // land on the destination, whose base block is already present.
+//
+// Drains are resumable. A run that ends on a cancelled context returns
+// the partial DrainResult (completed moves only) *alongside* ctx's
+// error, keeps the node marked draining at the MDS, and leaves it out
+// of the placement pool — no evicted-then-restored flap. A second
+// MigrateNode (or Cluster.DrainWith) on the same node re-seeds its
+// queue from the stripes still placed there, so nothing already cut
+// over migrates twice; a stripe interrupted mid-migration before its
+// rebind is simply migrated again (the copy is idempotent). Only a
+// non-cancellation failure aborts the drain outright, restoring pool
+// membership (the node is still live, serving, and hosting its
+// unmigrated stripes); an operator who cancels and then changes course
+// calls Cluster.AbortDrain for the same effect.
 func MigrateNode(ctx context.Context, mds *MDS, caller transport.RPC, o RepairOptions, node wire.NodeID) (*DrainResult, error) {
 	o.sanitize()
 	if o.Down[node] {
 		return nil, fmt.Errorf("ecfs: drain: node %d is down (use Recover for failed nodes)", node)
 	}
 	live := 0
-	inPool := false
 	for _, id := range mds.Nodes() {
 		if id == node {
-			inPool = true
 			continue
 		}
 		if !o.Down[id] {
@@ -431,32 +505,54 @@ func MigrateNode(ctx context.Context, mds *MDS, caller transport.RPC, o RepairOp
 		return nil, fmt.Errorf("ecfs: drain node %d: %d live survivors < K+M = %d", node, live, o.K+o.M)
 	}
 
-	start := sim.SnapshotBusy(o.Resources)
+	sched := mds.Scheduler()
+	if o.MaxRebuildMBps > 0 {
+		// A per-run cap starts metering now, not from the scheduler's
+		// historical budget base.
+		sched.RebaseBudget()
+	}
+	throttleBase := sched.Throttled()
+	spentBase := sched.SpentBytes()
+	start := sim.SnapshotBusyClasses(o.Resources, maintenanceClasses...)
 	if o.Flush != nil {
 		if err := o.Flush(ctx); err != nil {
 			return nil, fmt.Errorf("ecfs: pre-drain flush: %w", err)
 		}
 	}
-	drainedAt := sim.SnapshotBusy(o.Resources)
+	drainedAt := sim.SnapshotBusyClasses(o.Resources, maintenanceClasses...)
 
-	// Evict the node from the placement pool for the duration of the
-	// drain — and put it back if the drain fails partway, because a
-	// failed drain leaves it alive, serving, and still hosting its
-	// unmigrated stripes.
-	removed := false
-	if inPool {
-		mds.RemoveNode(node)
-		removed = true
+	// Mark the node draining and evict it from the placement pool — or,
+	// when resuming a cancelled drain, observe that both already hold.
+	// The mark's lifetime encodes the drain's outcome: cleared in place
+	// on completion, cleared with a pool restore on a hard failure, and
+	// deliberately *kept* on cancellation so the resume finds the node
+	// exactly where the cancelled run left it.
+	inPool := false
+	for _, id := range mds.Nodes() {
+		if id == node {
+			inPool = true
+		}
 	}
-	drained := false
+	resumed := mds.BeginDrain(node)
+	completed := false
+	var runErr error
 	defer func() {
-		if removed && !drained {
-			mds.AddNode(node)
+		switch {
+		case completed:
+			mds.FinishDrain(node)
+		case drainResumable(runErr):
+			// Cancelled: stay draining, stay out of the pool.
+		case inPool || resumed:
+			mds.AbortDrain(node)
+		default:
+			// Never pool-evicted by a drain: just clear the mark.
+			mds.FinishDrain(node)
 		}
 	}()
 	for _, id := range mds.Nodes() {
 		if id == node {
-			return nil, fmt.Errorf("ecfs: drain node %d: placement pool cannot shrink below K+M", node)
+			runErr = fmt.Errorf("ecfs: drain node %d: placement pool cannot shrink below K+M", node)
+			return nil, runErr
 		}
 	}
 
@@ -475,28 +571,51 @@ func MigrateNode(ctx context.Context, mds *MDS, caller transport.RPC, o RepairOp
 	}
 	res := &DrainResult{
 		Node:      node,
+		Resumed:   resumed,
 		Workers:   o.Workers,
-		DrainTime: sim.MaxBusyDelta(o.Resources, start),
+		DrainTime: sim.MaxBusyDeltaClasses(o.Resources, start, maintenanceClasses...),
 		Moves:     make([]StripeMove, len(refs)),
 	}
 
 	q := newRepairQueue(refs)
-	err := runRepairWorkers(ctx, mds, o, q, func(ref StripeRef, seed, _ int) error {
+	err := runRepairWorkers(ctx, mds, o, q, func(ref StripeRef, seed, _ int) (int64, error) {
 		mv, err := mg.migrateStripe(ref)
 		res.Moves[seed] = mv
-		return err
+		return int64(mv.Bytes), err
 	})
-	if err != nil {
-		return nil, err
-	}
-	drained = true
 	res.Promoted = q.promotions()
+	if err != nil {
+		runErr = err
+		if !drainResumable(err) {
+			return nil, err
+		}
+		// Cancelled at a stripe boundary: report what did complete (the
+		// moves below stay cut over) alongside the cancellation, so the
+		// operator sees progress and the resume picks up the rest.
+		finishDrainResult(res, o, drainedAt, sched, throttleBase, spentBase)
+		return res, err
+	}
 
 	if rest := mds.StripesOn(node); len(rest) != 0 {
-		return nil, fmt.Errorf("ecfs: drain node %d: %d stripes still placed after migration", node, len(rest))
+		runErr = fmt.Errorf("ecfs: drain node %d: %d stripes still placed after migration", node, len(rest))
+		return nil, runErr
 	}
+	completed = true
+	finishDrainResult(res, o, drainedAt, sched, throttleBase, spentBase)
+	return res, nil
+}
 
+// finishDrainResult compacts a drain's move list to the completed
+// migrations and derives the aggregate counters and the modeled
+// makespan from them — shared by the completion and the
+// cancelled-partial return paths of MigrateNode.
+func finishDrainResult(res *DrainResult, o RepairOptions, drainedAt []time.Duration, sched *RepairScheduler, throttleBase time.Duration, spentBase int64) {
+	done := res.Moves[:0]
 	for _, mv := range res.Moves {
+		if !mv.Done {
+			continue
+		}
+		done = append(done, mv)
 		res.StripeTime += mv.Cost
 		res.Rebound++
 		if mv.Skipped {
@@ -509,12 +628,25 @@ func MigrateNode(ctx context.Context, mds *MDS, caller transport.RPC, o RepairOp
 			res.Refreshed++
 		}
 	}
+	res.Moves = done
 
-	res.VirtualTime = res.DrainTime + repairWindow(res.StripeTime, o.Workers, o.Resources, drainedAt)
+	res.VirtualTime = res.DrainTime + repairWindow(res.StripeTime, o.Workers, o.Resources, drainedAt, sched.Throttled()-throttleBase)
+	// As in RepairNode: a capped run never reports bandwidth above its
+	// cap — the budget bytes it consumed floor the modeled makespan.
+	if floor := res.DrainTime + sched.capFloor(o.MaxRebuildMBps, sched.SpentBytes()-spentBase); res.VirtualTime < floor {
+		res.VirtualTime = floor
+	}
 	if res.VirtualTime > 0 {
 		res.Bandwidth = float64(res.Bytes) / res.VirtualTime.Seconds()
 	}
-	return res, nil
+}
+
+// drainResumable reports whether a drain that failed with err should
+// keep its draining state for a later resume (the operator's Ctrl-C —
+// context cancellation or deadline) rather than abort and restore pool
+// membership.
+func drainResumable(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // migrator is the per-drain engine state shared by the worker pool.
@@ -532,7 +664,7 @@ func (mg *migrator) migrateStripe(ref StripeRef) (StripeMove, error) {
 	mv := StripeMove{Ino: ref.Ino, Stripe: ref.Stripe, Idx: ref.Idx}
 	b := wire.BlockID{Ino: ref.Ino, Stripe: ref.Stripe, Idx: ref.Idx}
 	fetch := func() (*wire.Resp, error) {
-		return mg.caller.Call(mg.ctx, mg.node, &wire.Msg{Kind: wire.KBlockFetch, Block: b, Flag: wire.FetchReadThrough})
+		return mg.caller.Call(mg.ctx, mg.node, &wire.Msg{Kind: wire.KBlockFetch, Block: b, Flag: wire.FetchReadThrough, Class: sim.ClassDrain})
 	}
 	resp, err := fetch()
 	if err != nil {
@@ -555,7 +687,7 @@ func (mg *migrator) migrateStripe(ref StripeRef) (StripeMove, error) {
 	}
 	mv.To = dest
 	if data != nil {
-		sresp, err := mg.caller.Call(mg.ctx, dest, &wire.Msg{Kind: wire.KBlockStore, Block: b, Data: data})
+		sresp, err := mg.caller.Call(mg.ctx, dest, &wire.Msg{Kind: wire.KBlockStore, Block: b, Data: data, Class: sim.ClassDrain})
 		if err != nil {
 			return mv, fmt.Errorf("ecfs: drain store %v on %d: %w", b, dest, err)
 		}
@@ -575,7 +707,7 @@ func (mg *migrator) migrateStripe(ref StripeRef) (StripeMove, error) {
 	// succeed — it is what stops stale clients from mutating the moved
 	// block on the old holder.
 	fr, err := mg.caller.Call(mg.ctx, mg.node, &wire.Msg{
-		Kind: wire.KEpochUpdate, Block: b, Loc: nl, K: uint8(mg.k), M: uint8(mg.m),
+		Kind: wire.KEpochUpdate, Block: b, Loc: nl, K: uint8(mg.k), M: uint8(mg.m), Class: sim.ClassDrain,
 	})
 	if err != nil {
 		return mv, fmt.Errorf("ecfs: drain fence %v at %d: %w", b, mg.node, err)
@@ -597,7 +729,7 @@ func (mg *migrator) migrateStripe(ref StripeRef) (StripeMove, error) {
 			continue
 		}
 		_, _ = mg.caller.Call(mg.ctx, member, &wire.Msg{
-			Kind: wire.KEpochUpdate, Block: b, Loc: nl, K: uint8(mg.k), M: uint8(mg.m),
+			Kind: wire.KEpochUpdate, Block: b, Loc: nl, K: uint8(mg.k), M: uint8(mg.m), Class: sim.ClassDrain,
 		})
 	}
 
@@ -631,7 +763,7 @@ func (mg *migrator) migrateStripe(ref StripeRef) (StripeMove, error) {
 		if data == nil || !bytes.Equal(r2.Data, data) {
 			sresp, serr := mg.caller.Call(mg.ctx, dest, &wire.Msg{
 				Kind: wire.KBlockStore, Block: b, Data: r2.Data,
-				Flag: wire.StoreUnlessOverwritten, Loc: nl,
+				Flag: wire.StoreUnlessOverwritten, Loc: nl, Class: sim.ClassDrain,
 			})
 			if serr != nil {
 				return mv, fmt.Errorf("ecfs: drain refresh %v on %d: %w", b, dest, serr)
@@ -649,6 +781,7 @@ func (mg *migrator) migrateStripe(ref StripeRef) (StripeMove, error) {
 	default:
 		return mv, fmt.Errorf("ecfs: drain refetch %v from %d: %w", b, mg.node, r2.Error())
 	}
+	mv.Done = true
 	return mv, nil
 }
 
@@ -657,7 +790,7 @@ func (mg *migrator) migrateStripe(ref StripeRef) (StripeMove, error) {
 // blocks before a parity block's final copy is taken.
 func (mg *migrator) drainSourceLogs(mv *StripeMove) error {
 	for phase := 1; phase <= update.DrainPhases; phase++ {
-		resp, err := mg.caller.Call(mg.ctx, mg.node, &wire.Msg{Kind: wire.KDrainLogs, Flag: uint8(phase), Data: mg.deadList})
+		resp, err := mg.caller.Call(mg.ctx, mg.node, &wire.Msg{Kind: wire.KDrainLogs, Flag: uint8(phase), Data: mg.deadList, Class: sim.ClassDrain})
 		if err != nil {
 			return fmt.Errorf("ecfs: drain source logs at %d: %w", mg.node, err)
 		}
@@ -675,6 +808,11 @@ func (mg *migrator) drainSourceLogs(mv *StripeMove) error {
 // is decoded — blocks are copied straight from the draining node. The
 // node is evicted from the placement pool but stays registered; follow
 // with RemoveOSD (or use Decommission) to retire it.
+//
+// A drain cancelled via ctx is resumable: call Drain (or DrainWith)
+// again on the same node and it completes from the stripes still
+// placed there, with no stripe migrated twice and no pool-membership
+// flap in between (see MigrateNode). AbortDrain abandons it instead.
 func (c *Cluster) Drain(ctx context.Context, node wire.NodeID) (*DrainResult, error) {
 	return c.DrainWith(ctx, node, c.Opts.RecoveryWorkers)
 }
@@ -688,6 +826,14 @@ func (c *Cluster) DrainWith(ctx context.Context, node wire.NodeID, workers int) 
 	o := c.repairOptions(workers, false)
 	o.Down = c.deadSnapshot()
 	return MigrateNode(ctx, c.MDS, c.Tr.Caller(wire.MDSNode), o, node)
+}
+
+// AbortDrain abandons a cancelled drain instead of resuming it: the
+// node's draining mark is cleared and it is re-admitted to the
+// placement pool, still hosting the stripes the cancelled run did not
+// migrate. Stripes already cut over stay on their destinations.
+func (c *Cluster) AbortDrain(node wire.NodeID) {
+	c.MDS.AbortDrain(node)
 }
 
 // Decommission drains a live node and then retires it: after every

@@ -1,0 +1,404 @@
+package ecfs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// buildResumeCluster is buildDrainCluster with a bigger file, so a
+// drained node hosts enough stripes that cancelling partway leaves
+// meaningful work for the resume.
+func buildResumeCluster(t *testing.T, updates int) (*Cluster, *Client, uint64, []byte) {
+	t.Helper()
+	opts := testOptions("tsue")
+	cfg := *opts.Strategy
+	cfg.UnitSize = 16 << 20 // no mid-test recycling; the drain quiesces logs up front
+	opts.Strategy = &cfg
+	c := MustNewCluster(opts)
+	cli := c.NewClient()
+	fileSize := 256 << 10
+	ino, mirror := writeTestFile(t, c, cli, fileSize, 101)
+	rng := rand.New(rand.NewSource(103))
+	for i := 0; i < updates; i++ {
+		off := int64(rng.Intn(fileSize - 256))
+		data := make([]byte, 1+rng.Intn(256))
+		rng.Read(data)
+		if _, err := cli.Update(ino, off, data, 0); err != nil {
+			t.Fatal(err)
+		}
+		copy(mirror[off:], data)
+	}
+	return c, cli, ino, mirror
+}
+
+// poolSnapshot returns the placement pool as a set.
+func poolSnapshot(c *Cluster) map[wire.NodeID]bool {
+	out := make(map[wire.NodeID]bool)
+	for _, id := range c.MDS.Nodes() {
+		out[id] = true
+	}
+	return out
+}
+
+// TestDrainCancelResume is the resumable-drain acceptance proof: a
+// drain cancelled mid-way (a) returns the completed moves alongside the
+// cancellation, (b) keeps the node marked draining and OUT of the
+// placement pool — no evicted-then-restored flap — and (c) a second
+// DrainWith on the same node completes from the remaining stripes with
+// no stripe migrated twice.
+func TestDrainCancelResume(t *testing.T) {
+	c, cli, ino, mirror := buildResumeCluster(t, 150)
+	defer c.Close()
+
+	node := c.OSDs[2].ID()
+	before := len(c.MDS.StripesOnSorted(node))
+	if before < 6 {
+		t.Fatalf("drain target hosts only %d stripes; test needs more", before)
+	}
+	poolBefore := poolSnapshot(c)
+
+	// Cancel the drain from inside the source's fence handler: the Nth
+	// per-stripe cutover fence (KEpochUpdate at the source) pulls the
+	// plug, so the cancellation point is deterministic with one worker.
+	const cancelAfter = 2
+	ctx1, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	src := c.OSD(node)
+	var fences atomic.Int32
+	c.Tr.Register(node, func(hctx context.Context, msg *wire.Msg) *wire.Resp {
+		if msg.Kind == wire.KEpochUpdate && fences.Add(1) == cancelAfter {
+			cancel()
+		}
+		return src.Handler(hctx, msg)
+	})
+
+	res1, err := c.DrainWith(ctx1, node, 1)
+	c.Tr.Register(node, src.Handler)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled drain returned %v, want context.Canceled", err)
+	}
+	if res1 == nil {
+		t.Fatal("cancelled drain returned no partial result")
+	}
+	if res1.Resumed {
+		t.Fatal("first drain reported Resumed")
+	}
+	if len(res1.Moves) == 0 || len(res1.Moves) >= before {
+		t.Fatalf("cancelled drain completed %d of %d moves; test needs a partial run", len(res1.Moves), before)
+	}
+	for _, mv := range res1.Moves {
+		if !mv.Done {
+			t.Fatalf("partial result contains an incomplete move: %+v", mv)
+		}
+	}
+
+	// Between cancel and resume: the node must stay marked draining and
+	// stay out of the pool, and no other node's membership may change.
+	if !c.MDS.Draining(node) {
+		t.Fatal("cancelled drain cleared the draining mark")
+	}
+	poolAfter := poolSnapshot(c)
+	if poolAfter[node] {
+		t.Fatal("cancelled drain restored the node to the placement pool")
+	}
+	for id := range poolBefore {
+		if id != node && !poolAfter[id] {
+			t.Fatalf("node %d vanished from the pool during the cancelled drain", id)
+		}
+	}
+	if len(poolAfter) != len(poolBefore)-1 {
+		t.Fatalf("pool size %d after cancel, want %d", len(poolAfter), len(poolBefore)-1)
+	}
+
+	remaining := len(c.MDS.StripesOn(node))
+	if remaining == 0 || remaining >= before {
+		t.Fatalf("%d of %d stripes remaining after cancel; test needs a partial run", remaining, before)
+	}
+
+	// Resume. The second run must complete, re-seeded from the
+	// remaining stripes only.
+	res2, err := c.DrainWith(context.Background(), node, 1)
+	if err != nil {
+		t.Fatalf("resumed drain: %v", err)
+	}
+	if !res2.Resumed {
+		t.Fatal("second drain did not report Resumed")
+	}
+	if len(res2.Moves) != remaining {
+		t.Fatalf("resumed drain migrated %d stripes, want the %d remaining", len(res2.Moves), remaining)
+	}
+	// No stripe migrated twice: the two runs' move sets are disjoint.
+	seen := make(map[stripeKey]bool, len(res1.Moves))
+	for _, mv := range res1.Moves {
+		seen[stripeKey{mv.Ino, mv.Stripe}] = true
+	}
+	for _, mv := range res2.Moves {
+		if seen[stripeKey{mv.Ino, mv.Stripe}] {
+			t.Fatalf("stripe %d/%d migrated by both runs", mv.Ino, mv.Stripe)
+		}
+	}
+
+	// Drained for real: nothing left, mark cleared, node still out of
+	// the pool (exactly like an uninterrupted drain), content intact.
+	if got := len(c.MDS.StripesOn(node)); got != 0 {
+		t.Fatalf("%d stripes still on the node after resume", got)
+	}
+	if c.MDS.Draining(node) {
+		t.Fatal("completed resume left the draining mark set")
+	}
+	if poolSnapshot(c)[node] {
+		t.Fatal("completed resume re-admitted the drained node")
+	}
+	got, _, err := cli.Read(ino, 0, len(mirror))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, mirror) {
+		t.Fatal("post-resume read mismatch")
+	}
+	if err := c.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyStripes(ino, mirror); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAbortDrainRestoresPool: an operator who cancels a drain and then
+// abandons it gets the node back in the placement pool with the
+// draining mark cleared.
+func TestAbortDrainRestoresPool(t *testing.T) {
+	c, _, _, _ := buildResumeCluster(t, 50)
+	defer c.Close()
+	node := c.OSDs[2].ID()
+
+	ctx1, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	src := c.OSD(node)
+	var fences atomic.Int32
+	c.Tr.Register(node, func(hctx context.Context, msg *wire.Msg) *wire.Resp {
+		if msg.Kind == wire.KEpochUpdate && fences.Add(1) == 1 {
+			cancel()
+		}
+		return src.Handler(hctx, msg)
+	})
+	if _, err := c.DrainWith(ctx1, node, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled drain returned %v", err)
+	}
+	c.Tr.Register(node, src.Handler)
+
+	c.AbortDrain(node)
+	if c.MDS.Draining(node) {
+		t.Fatal("AbortDrain left the draining mark")
+	}
+	if !poolSnapshot(c)[node] {
+		t.Fatal("AbortDrain did not re-admit the node to the pool")
+	}
+}
+
+// TestDrainHonorsRebuildCap drives the scheduler's acceptance
+// criterion under the race detector: with a cluster rebuild cap set
+// and foreground readers hammering the cluster throughout, the drain
+// completes, no client operation fails, and the measured rebuild
+// bandwidth lands at or under the cap.
+func TestDrainHonorsRebuildCap(t *testing.T) {
+	c, _, ino, mirror := buildResumeCluster(t, 100)
+	defer c.Close()
+	const capMBps = 0.05 // far below the uncapped copy rate, so the cap must bite
+	c.SetRebuildCap(capMBps)
+
+	node := c.OSDs[2].ID()
+	var (
+		wg     sync.WaitGroup
+		stop   = make(chan struct{})
+		opErrs = make(chan error, 4)
+	)
+	region := len(mirror) / 4
+	quiet := mirror[3*region:]
+	for r := 0; r < 2; r++ {
+		rcli := c.NewClient()
+		wg.Add(1)
+		go func(r int, rcli *Client) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(400 + r)))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				off := rng.Intn(region - 128)
+				n := 1 + rng.Intn(128)
+				got, _, err := rcli.Read(ino, int64(3*region+off), n)
+				if err != nil {
+					opErrs <- err
+					return
+				}
+				if !bytes.Equal(got, quiet[off:off+n]) {
+					opErrs <- errReadMismatch{off: int64(off), n: n}
+					return
+				}
+			}
+		}(r, rcli)
+	}
+
+	trafficBefore := c.Net.TrafficByClass(sim.ClassDrain)
+	res, err := c.Drain(context.Background(), node)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case cerr := <-opErrs:
+		t.Fatalf("client operation failed during capped drain: %v", cerr)
+	default:
+	}
+
+	if res.Bytes == 0 {
+		t.Fatal("capped drain moved no bytes; the cap check is vacuous")
+	}
+	if capBps := capMBps * 1e6; res.Bandwidth > capBps*1.001 {
+		t.Fatalf("measured rebuild bandwidth %.0f B/s exceeds the %.0f B/s cap", res.Bandwidth, capBps)
+	}
+	// The cap bounds *priced* bytes: everything the drain put on the
+	// wire (fetches, stores, fences — tagged sim.ClassDrain), not just
+	// the payload, stays under cap x makespan.
+	priced := c.Net.TrafficByClass(sim.ClassDrain) - trafficBefore
+	if pricedBW := float64(priced) / res.VirtualTime.Seconds(); pricedBW > capMBps*1e6*1.001 {
+		t.Fatalf("priced drain traffic %.0f B/s exceeds the cap", pricedBW)
+	}
+	if spent := c.Scheduler().SpentBytes(); spent < res.Bytes {
+		t.Fatalf("scheduler charged %d bytes for a drain that moved %d", spent, res.Bytes)
+	}
+	if got := len(c.MDS.StripesOn(node)); got != 0 {
+		t.Fatalf("%d stripes still on the drained node", got)
+	}
+}
+
+// TestMigrateNodePerRunCap: RepairOptions.MaxRebuildMBps caps a single
+// run on an otherwise uncapped cluster.
+func TestMigrateNodePerRunCap(t *testing.T) {
+	c, _, ino, mirror := buildResumeCluster(t, 50)
+	defer c.Close()
+	node := c.OSDs[1].ID()
+	const capMBps = 0.1
+	res, err := MigrateNode(context.Background(), c.MDS, c.Tr.Caller(wire.MDSNode), RepairOptions{
+		K: c.Opts.K, M: c.Opts.M, Workers: 2,
+		Resources:      c.Resources(),
+		Flush:          c.Flush,
+		MaxRebuildMBps: capMBps,
+	}, node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes == 0 {
+		t.Fatal("nothing migrated")
+	}
+	if capBps := capMBps * 1e6; res.Bandwidth > capBps*1.001 {
+		t.Fatalf("per-run capped bandwidth %.0f B/s exceeds the %.0f B/s cap", res.Bandwidth, capBps)
+	}
+	if err := c.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyStripes(ino, mirror); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSchedulerRoutesHintsAcrossQueues pins the concurrent-victims fix:
+// with two queues registered (two simultaneous repairs), a promotion
+// finds its stripe in whichever queue holds it, and FIFO-baseline
+// queues are skipped.
+func TestSchedulerRoutesHintsAcrossQueues(t *testing.T) {
+	s := NewRepairScheduler(nil, 0)
+	q1 := newRepairQueue([]StripeRef{{Ino: 1, Stripe: 0}, {Ino: 1, Stripe: 1}})
+	q2 := newRepairQueue([]StripeRef{{Ino: 2, Stripe: 0}, {Ino: 2, Stripe: 1}})
+	s.register(q1)
+	s.register(q2)
+	defer s.unregister(q1)
+	defer s.unregister(q2)
+
+	if s.Pending() != 4 {
+		t.Fatalf("Pending = %d, want 4 across both queues", s.Pending())
+	}
+	if !s.Promote(2, 1) {
+		t.Fatal("promotion did not reach the second queue")
+	}
+	if q2.promotions() != 1 || q1.promotions() != 0 {
+		t.Fatalf("promotions landed on the wrong queue: q1=%d q2=%d", q1.promotions(), q2.promotions())
+	}
+	if s.Promote(3, 0) {
+		t.Fatal("promoting an unknown stripe must fail")
+	}
+
+	// A FIFO-baseline queue is invisible to hints.
+	q2.noPromote = true
+	if s.Promote(2, 0) {
+		t.Fatal("promotion reached a NoPromote queue")
+	}
+}
+
+// TestSchedulerThrottleAccounting pins the token bucket's virtual
+// clock: on an idle cluster (no foreground traffic) a capped scheduler
+// self-advances, accruing throttle time of about spent/rate, and a
+// cancelled context aborts a throttled admission.
+func TestSchedulerThrottleAccounting(t *testing.T) {
+	const mbps = 1.0
+	s := NewRepairScheduler(nil, mbps)
+	q := newRepairQueue([]StripeRef{{Ino: 1, Stripe: 0}})
+	s.register(q)
+	defer s.unregister(q)
+
+	ctx := context.Background()
+	if err := s.admit(ctx, q, 0); err != nil {
+		t.Fatal(err) // first admission rides the zero debt
+	}
+	s.charge(500_000) // half a virtual second of budget at 1 MB/s
+	if err := s.admit(ctx, q, 0); err != nil {
+		t.Fatal(err)
+	}
+	th := s.Throttled()
+	if want := 500 * time.Millisecond; th < want || th > want+50*time.Millisecond {
+		t.Fatalf("throttled %v after spending 0.5s of budget, want ~%v", th, want)
+	}
+	if s.SpentBytes() != 500_000 {
+		t.Fatalf("SpentBytes = %d", s.SpentBytes())
+	}
+
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.admit(cctx, q, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("admit under a cancelled ctx returned %v", err)
+	}
+
+	// capFloor converts a run's bytes into the cap-imposed makespan.
+	if f := s.capFloor(0, 2_000_000); f != 2*time.Second {
+		t.Fatalf("capFloor = %v, want 2s", f)
+	}
+	if f := s.capFloor(2.0, 2_000_000); f != time.Second {
+		t.Fatalf("per-run capFloor = %v, want 1s", f)
+	}
+}
+
+// TestSchedulerQueueWeight pins the fairness ranking input: queue depth
+// plus a boost per promotion.
+func TestSchedulerQueueWeight(t *testing.T) {
+	q := newRepairQueue([]StripeRef{{Ino: 1, Stripe: 0}, {Ino: 1, Stripe: 1}, {Ino: 1, Stripe: 2}})
+	if w := weight(q); w != 3 {
+		t.Fatalf("weight = %d, want 3", w)
+	}
+	q.promote(1, 2)
+	if w := weight(q); w != 3+promotionWeight {
+		t.Fatalf("weight after promotion = %d, want %d", w, 3+promotionWeight)
+	}
+}

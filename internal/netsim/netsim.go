@@ -11,6 +11,7 @@ package netsim
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -36,11 +37,12 @@ func Infiniband40G() Profile {
 
 // NIC is one node's network interface.
 type NIC struct {
-	name string
-	prof Profile
-	res  *sim.Resource
-	sent atomic.Int64
-	rcvd atomic.Int64
+	name      string
+	prof      Profile
+	res       *sim.Resource
+	sent      atomic.Int64
+	rcvd      atomic.Int64
+	sentClass [sim.NumClasses]atomic.Int64
 }
 
 // Resource exposes the NIC's busy-time accounting.
@@ -55,11 +57,25 @@ func (n *NIC) SentBytes() int64 { return n.sent.Load() }
 // ReceivedBytes returns the bytes received by this NIC.
 func (n *NIC) ReceivedBytes() int64 { return n.rcvd.Load() }
 
-// Network groups the NICs of a cluster and tracks total traffic.
+// SentBytesClass returns the bytes sent from this NIC under one traffic
+// class.
+func (n *NIC) SentBytesClass(c sim.Class) int64 {
+	if c >= sim.NumClasses {
+		return 0
+	}
+	return n.sentClass[c].Load()
+}
+
+// Network groups the NICs of a cluster and tracks total traffic, both
+// in aggregate and split per traffic class. NIC registration is safe
+// against concurrent readers: clients are provisioned lazily on their
+// first call, which can race a repair engine snapshotting Resources.
 type Network struct {
-	prof    Profile
-	nics    []*NIC
-	traffic atomic.Int64
+	prof         Profile
+	mu           sync.RWMutex
+	nics         []*NIC
+	traffic      atomic.Int64
+	trafficClass [sim.NumClasses]atomic.Int64
 }
 
 // New creates a network with the given profile.
@@ -73,23 +89,44 @@ func New(p Profile) *Network {
 // AddNIC registers and returns a NIC for a node.
 func (nw *Network) AddNIC(name string) *NIC {
 	n := &NIC{name: name, prof: nw.prof, res: sim.NewResource(fmt.Sprintf("nic/%s", name))}
+	nw.mu.Lock()
 	nw.nics = append(nw.nics, n)
+	nw.mu.Unlock()
 	return n
 }
 
-// NICs returns all registered NICs.
-func (nw *Network) NICs() []*NIC { return nw.nics }
+// NICs returns a snapshot of the registered NICs.
+func (nw *Network) NICs() []*NIC {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
+	return append([]*NIC(nil), nw.nics...)
+}
 
 // TotalTraffic returns the bytes transferred across the network.
 func (nw *Network) TotalTraffic() int64 { return nw.traffic.Load() }
 
-// Reset clears traffic and all NIC accounting.
+// TrafficByClass returns the bytes transferred across the network under
+// one traffic class. The per-class counters always sum to TotalTraffic.
+func (nw *Network) TrafficByClass(c sim.Class) int64 {
+	if c >= sim.NumClasses {
+		return 0
+	}
+	return nw.trafficClass[c].Load()
+}
+
+// Reset clears traffic (all classes) and all NIC accounting.
 func (nw *Network) Reset() {
 	nw.traffic.Store(0)
-	for _, n := range nw.nics {
+	for i := range nw.trafficClass {
+		nw.trafficClass[i].Store(0)
+	}
+	for _, n := range nw.NICs() {
 		n.res.Reset()
 		n.sent.Store(0)
 		n.rcvd.Store(0)
+		for i := range n.sentClass {
+			n.sentClass[i].Store(0)
+		}
 	}
 }
 
@@ -97,31 +134,49 @@ func (nw *Network) Reset() {
 // transfer itself (interrupt + protocol processing).
 const perMessageCPU = 2 * time.Microsecond
 
-// Transfer prices a message of size bytes from src to dst and returns its
-// one-way latency. The propagation/base latency contributes to latency
-// only; NIC *occupancy* is the serialization time plus a small
-// per-message processing cost, so pipelined messages overlap like they
-// do on a real link. Loopback (src == dst) is free and uncounted,
-// matching how the paper accounts only inter-node traffic.
+// Transfer prices a message of size bytes from src to dst under
+// sim.ClassOther and returns its one-way latency. See TransferClass.
 func (nw *Network) Transfer(src, dst *NIC, size int64) time.Duration {
+	return nw.TransferClass(src, dst, size, sim.ClassOther)
+}
+
+// TransferClass prices a message of size bytes from src to dst under a
+// traffic class and returns its one-way latency. The propagation/base
+// latency contributes to latency only; NIC *occupancy* is the
+// serialization time plus a small per-message processing cost, so
+// pipelined messages overlap like they do on a real link. Loopback
+// (src == dst) is free and uncounted, matching how the paper accounts
+// only inter-node traffic. The class splits both the NIC busy time and
+// the sender/cluster byte counters, which is what lets the repair bench
+// report rebuild and foreground bandwidth separately over one shared
+// network.
+func (nw *Network) TransferClass(src, dst *NIC, size int64, class sim.Class) time.Duration {
 	if size < 0 {
 		panic("netsim: negative transfer size")
+	}
+	if class >= sim.NumClasses {
+		class = sim.ClassOther
 	}
 	if src == dst {
 		return 0
 	}
 	wire := time.Duration(float64(size) / nw.prof.Bandwidth * float64(time.Second))
 	busy := wire + perMessageCPU
-	src.res.Charge(busy)
-	dst.res.Charge(busy)
+	src.res.ChargeClass(class, busy)
+	dst.res.ChargeClass(class, busy)
 	src.sent.Add(size)
+	src.sentClass[class].Add(size)
 	dst.rcvd.Add(size)
 	nw.traffic.Add(size)
+	nw.trafficClass[class].Add(size)
 	return nw.prof.BaseLatency + wire
 }
 
-// Resources returns the sim.Resources of every NIC, for bottleneck search.
+// Resources returns the sim.Resources of every NIC at this instant, for
+// bottleneck search.
 func (nw *Network) Resources() []*sim.Resource {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
 	out := make([]*sim.Resource, len(nw.nics))
 	for i, n := range nw.nics {
 		out[i] = n.res

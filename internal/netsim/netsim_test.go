@@ -3,6 +3,8 @@ package netsim
 import (
 	"testing"
 	"time"
+
+	"repro/internal/sim"
 )
 
 func TestTransferCost(t *testing.T) {
@@ -98,4 +100,42 @@ func TestNegativeSizePanics(t *testing.T) {
 		}
 	}()
 	nw.Transfer(a, b, -5)
+}
+
+func TestTransferClassSplitsAccounting(t *testing.T) {
+	nw := New(Ethernet25G())
+	a, b := nw.AddNIC("a"), nw.AddNIC("b")
+	nw.TransferClass(a, b, 1000, sim.ClassRebuild)
+	nw.TransferClass(a, b, 500, sim.ClassForegroundRead)
+	nw.Transfer(a, b, 250) // untagged → ClassOther
+	if got := nw.TotalTraffic(); got != 1750 {
+		t.Fatalf("total traffic = %d", got)
+	}
+	if got := nw.TrafficByClass(sim.ClassRebuild); got != 1000 {
+		t.Fatalf("rebuild traffic = %d", got)
+	}
+	if got := nw.TrafficByClass(sim.ClassForegroundRead); got != 500 {
+		t.Fatalf("fg-read traffic = %d", got)
+	}
+	if got := nw.TrafficByClass(sim.ClassOther); got != 250 {
+		t.Fatalf("other traffic = %d", got)
+	}
+	if got := a.SentBytesClass(sim.ClassRebuild); got != 1000 {
+		t.Fatalf("NIC rebuild bytes = %d", got)
+	}
+	// Busy splits per class on both endpoints; classes sum to the total.
+	if a.Resource().BusyClass(sim.ClassRebuild) == 0 || b.Resource().BusyClass(sim.ClassRebuild) == 0 {
+		t.Fatal("rebuild busy not charged to both NICs")
+	}
+	var sum int64
+	for c := sim.Class(0); c < sim.NumClasses; c++ {
+		sum += nw.TrafficByClass(c)
+	}
+	if sum != nw.TotalTraffic() {
+		t.Fatalf("class traffic sum %d != total %d", sum, nw.TotalTraffic())
+	}
+	nw.Reset()
+	if nw.TrafficByClass(sim.ClassRebuild) != 0 || a.SentBytesClass(sim.ClassRebuild) != 0 {
+		t.Fatal("Reset left per-class counters")
+	}
 }

@@ -18,13 +18,56 @@ import (
 	"time"
 )
 
+// Class tags the traffic a priced operation belongs to, so per-resource
+// busy time can be split between the foreground workload and the
+// maintenance machinery competing with it. The zero value, ClassOther,
+// covers control traffic and anything untagged (device charges, which
+// the pricing layer does not classify today).
+//
+// The repair scheduler uses the foreground classes as its virtual
+// clock: rebuild-bandwidth tokens accrue as foreground busy time
+// accumulates, which is what "cap rebuild traffic against foreground
+// load" means in a virtual-time harness.
+type Class uint8
+
+// Traffic classes. Scrub is reserved for background integrity reads (no
+// priced scrub traffic exists yet; Cluster.Scrub inspects stores
+// in-process).
+const (
+	ClassOther Class = iota
+	ClassForegroundRead
+	ClassForegroundWrite
+	ClassRebuild
+	ClassDrain
+	ClassScrub
+	// NumClasses bounds the class space for per-class accounting arrays.
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	"other", "fg-read", "fg-write", "rebuild", "drain", "scrub",
+}
+
+// String returns the class's short name.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "invalid"
+}
+
+// ForegroundClasses are the classes that make up the foreground
+// workload — the traffic a repair-bandwidth cap protects.
+var ForegroundClasses = []Class{ClassForegroundRead, ClassForegroundWrite}
+
 // Resource is a serially-used resource (one device, one NIC). Charging a
 // duration models the resource being busy for that long. Resources are
 // safe for concurrent use.
 type Resource struct {
-	name string
-	busy atomic.Int64 // nanoseconds
-	ops  atomic.Int64
+	name    string
+	busy    atomic.Int64 // nanoseconds, all classes
+	ops     atomic.Int64
+	byClass [NumClasses]atomic.Int64 // nanoseconds per traffic class
 }
 
 // NewResource creates a named resource with zero accumulated busy time.
@@ -35,27 +78,49 @@ func NewResource(name string) *Resource {
 // Name returns the resource's name.
 func (r *Resource) Name() string { return r.name }
 
-// Charge accounts d of busy time and returns d unchanged, so call sites
-// can simultaneously account the resource and extend a latency path.
+// Charge accounts d of busy time under ClassOther and returns d
+// unchanged, so call sites can simultaneously account the resource and
+// extend a latency path.
 func (r *Resource) Charge(d time.Duration) time.Duration {
+	return r.ChargeClass(ClassOther, d)
+}
+
+// ChargeClass accounts d of busy time under the given traffic class and
+// returns d unchanged. The total Busy always includes every class.
+func (r *Resource) ChargeClass(c Class, d time.Duration) time.Duration {
 	if d < 0 {
 		panic("sim: negative charge")
 	}
+	if c >= NumClasses {
+		c = ClassOther
+	}
 	r.busy.Add(int64(d))
+	r.byClass[c].Add(int64(d))
 	r.ops.Add(1)
 	return d
 }
 
-// Busy returns the accumulated busy time.
+// Busy returns the accumulated busy time across all classes.
 func (r *Resource) Busy() time.Duration { return time.Duration(r.busy.Load()) }
+
+// BusyClass returns the busy time accumulated under one traffic class.
+func (r *Resource) BusyClass(c Class) time.Duration {
+	if c >= NumClasses {
+		return 0
+	}
+	return time.Duration(r.byClass[c].Load())
+}
 
 // Ops returns the number of operations charged.
 func (r *Resource) Ops() int64 { return r.ops.Load() }
 
-// Reset zeroes the accumulated busy time and op count.
+// Reset zeroes the accumulated busy time (all classes) and op count.
 func (r *Resource) Reset() {
 	r.busy.Store(0)
 	r.ops.Store(0)
+	for i := range r.byClass {
+		r.byClass[i].Store(0)
+	}
 }
 
 // SnapshotBusy records every resource's current busy time, positionally
@@ -81,6 +146,43 @@ func MaxBusyDelta(resources []*Resource, before []time.Duration) time.Duration {
 			base = before[i]
 		}
 		if d := r.Busy() - base; d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// SnapshotBusyClasses records every resource's busy time summed over
+// the given classes, positionally aligned with resources — the
+// class-filtered sibling of SnapshotBusy. With no classes it snapshots
+// nothing but zeros.
+func SnapshotBusyClasses(resources []*Resource, classes ...Class) []time.Duration {
+	out := make([]time.Duration, len(resources))
+	for i, r := range resources {
+		for _, c := range classes {
+			out[i] += r.BusyClass(c)
+		}
+	}
+	return out
+}
+
+// MaxBusyDeltaClasses returns the largest per-resource increase of the
+// summed busy time of the given classes since the snapshot — how much
+// the busiest resource worked *for those classes* inside the bracketed
+// window. The repair scheduler uses it with ForegroundClasses as its
+// token-accrual clock.
+func MaxBusyDeltaClasses(resources []*Resource, before []time.Duration, classes ...Class) time.Duration {
+	var m time.Duration
+	for i, r := range resources {
+		var base time.Duration
+		if i < len(before) {
+			base = before[i]
+		}
+		var busy time.Duration
+		for _, c := range classes {
+			busy += r.BusyClass(c)
+		}
+		if d := busy - base; d > m {
 			m = d
 		}
 	}

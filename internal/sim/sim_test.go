@@ -162,3 +162,56 @@ func TestSnapshotAndMaxBusyDelta(t *testing.T) {
 		t.Fatalf("delta from nil = %v", d)
 	}
 }
+
+func TestClassAccounting(t *testing.T) {
+	r := NewResource("nic")
+	r.ChargeClass(ClassForegroundRead, 2*time.Millisecond)
+	r.ChargeClass(ClassRebuild, 3*time.Millisecond)
+	r.Charge(time.Millisecond) // untagged lands in ClassOther
+	if got := r.Busy(); got != 6*time.Millisecond {
+		t.Fatalf("total busy = %v", got)
+	}
+	if got := r.BusyClass(ClassForegroundRead); got != 2*time.Millisecond {
+		t.Fatalf("fg-read busy = %v", got)
+	}
+	if got := r.BusyClass(ClassRebuild); got != 3*time.Millisecond {
+		t.Fatalf("rebuild busy = %v", got)
+	}
+	if got := r.BusyClass(ClassOther); got != time.Millisecond {
+		t.Fatalf("other busy = %v", got)
+	}
+	// Per-class busy always sums to the total.
+	var sum time.Duration
+	for c := Class(0); c < NumClasses; c++ {
+		sum += r.BusyClass(c)
+	}
+	if sum != r.Busy() {
+		t.Fatalf("class sum %v != total %v", sum, r.Busy())
+	}
+	r.Reset()
+	if r.Busy() != 0 || r.BusyClass(ClassRebuild) != 0 {
+		t.Fatal("Reset left class busy time")
+	}
+}
+
+func TestClassSnapshotDelta(t *testing.T) {
+	a, b := NewResource("a"), NewResource("b")
+	rs := []*Resource{a, b}
+	a.ChargeClass(ClassForegroundWrite, 4*time.Millisecond)
+	a.ChargeClass(ClassDrain, 100*time.Millisecond) // must not count below
+	before := SnapshotBusyClasses(rs, ForegroundClasses...)
+	if before[0] != 4*time.Millisecond || before[1] != 0 {
+		t.Fatalf("snapshot = %v", before)
+	}
+	b.ChargeClass(ClassForegroundRead, 7*time.Millisecond)
+	a.ChargeClass(ClassRebuild, time.Second) // rebuild does not advance the fg clock
+	if d := MaxBusyDeltaClasses(rs, before, ForegroundClasses...); d != 7*time.Millisecond {
+		t.Fatalf("fg delta = %v", d)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if ClassRebuild.String() != "rebuild" || ClassOther.String() != "other" {
+		t.Fatal("class names wrong")
+	}
+}

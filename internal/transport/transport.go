@@ -146,10 +146,14 @@ func (c *inprocCaller) Call(ctx context.Context, to wire.NodeID, msg *wire.Msg) 
 		return nil, ErrNodeDown{Node: to}
 	}
 	msg.From = c.from
+	// Both directions of the exchange are priced under the message's
+	// traffic class (explicit tag, or the kind's default), so shared
+	// NICs account foreground and rebuild/drain busy time separately.
+	cls := msg.TrafficClass()
 	var cost time.Duration
 	if t.net != nil {
 		src := t.ensureNIC(c.from)
-		cost = t.net.Transfer(src, dstNIC, msg.WireSize())
+		cost = t.net.TransferClass(src, dstNIC, msg.WireSize(), cls)
 	}
 	resp := h(ctx, msg)
 	if resp == nil {
@@ -157,7 +161,7 @@ func (c *inprocCaller) Call(ctx context.Context, to wire.NodeID, msg *wire.Msg) 
 	}
 	if t.net != nil {
 		dst := t.ensureNIC(c.from)
-		cost += t.net.Transfer(dstNIC, dst, resp.WireSize())
+		cost += t.net.TransferClass(dstNIC, dst, resp.WireSize(), cls)
 	}
 	resp.Cost += cost
 	return resp, nil

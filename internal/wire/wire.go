@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"repro/internal/sim"
 )
 
 // NodeID identifies a node in the cluster. The MDS is node 0; OSDs are
@@ -153,6 +155,24 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
 
+// DefaultClass maps a kind to the traffic class it is priced under when
+// the sender did not tag the message explicitly. Client-facing reads
+// (including the block fetches of a degraded read) are foreground-read;
+// writes, updates and the strategy-internal forwards they trigger are
+// foreground-write; everything only the repair/drain engines send —
+// which always tag explicitly — plus control traffic (heartbeats,
+// pings, hints, resolution) stays ClassOther.
+func (k Kind) DefaultClass() sim.Class {
+	switch k {
+	case KRead, KMDSLookup, KMDSStat, KBlockFetch, KReplicaFetch:
+		return sim.ClassForegroundRead
+	case KWriteBlock, KUpdate, KMDSCreate, KParityDelta, KParityLogAdd,
+		KDeltaLogAdd, KDataLogReplica, KParixLogAdd, KCordCollect:
+		return sim.ClassForegroundWrite
+	}
+	return sim.ClassOther
+}
+
 // Msg is the single envelope for every request. Fields are a union; each
 // Kind documents which fields it uses. A flat struct keeps gob encoding
 // simple and the in-process fast path allocation-light.
@@ -170,10 +190,25 @@ type Msg struct {
 	Seq   uint64 // per-source sequence number for ordered appends
 	Name  string // file name for MDS ops
 	Flag  uint8  // kind-specific flag (e.g. PARIX first-update)
+	// Class tags the traffic class this message (and its reply) is
+	// priced under. The zero value defers to the kind's DefaultClass;
+	// the repair/drain engines tag their messages ClassRebuild /
+	// ClassDrain explicitly so shared resources can account rebuild
+	// traffic separately from the foreground workload.
+	Class sim.Class
 	// V is the virtual workload time (nanoseconds since replay start) at
 	// which this request was issued. The timing model uses it for log
 	// residence statistics and stall accounting.
 	V int64
+}
+
+// TrafficClass resolves the class this message is priced under: the
+// explicit Class tag when set, the kind's default otherwise.
+func (m *Msg) TrafficClass() sim.Class {
+	if m.Class != sim.ClassOther {
+		return m.Class
+	}
+	return m.Kind.DefaultClass()
 }
 
 // locWireSize prices a placement on the wire: 4 bytes per node id plus
