@@ -43,9 +43,9 @@ func main() {
 	fmt.Println("docscheck: ok")
 }
 
-// mdLink matches [text](target) links; images ([!...]) match too via
-// the closing-bracket-paren pair.
-var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+// mdLink matches [text](target) and [text](target "title") links;
+// images ([!...]) match too via the closing-bracket-paren pair.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
 
 // checkLinks walks root for Markdown files and verifies every relative
 // link target exists on disk. External schemes and pure anchors are

@@ -195,9 +195,12 @@ func (c *Cluster) Code() *erasure.Code { return c.code }
 func (c *Cluster) Scheduler() *RepairScheduler { return c.MDS.Scheduler() }
 
 // SetRebuildCap changes the cluster rebuild-bandwidth cap (decimal
-// MB/s; 0 removes it) for all subsequent repair/drain admissions.
+// MB/s; 0 removes it) for all subsequent repair/drain admissions. The
+// live cap is owned by the scheduler — read it back with
+// Scheduler().RebuildCap(); c.Opts keeps its construction-time value
+// (Opts fields are read concurrently by running repairs and must stay
+// immutable after NewCluster).
 func (c *Cluster) SetRebuildCap(maxMBps float64) {
-	c.Opts.MaxRebuildMBps = maxMBps
 	c.MDS.Scheduler().SetRebuildCap(maxMBps)
 }
 

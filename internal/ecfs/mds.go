@@ -108,13 +108,27 @@ type MDS struct {
 	schedMu sync.Mutex
 	sched   *RepairScheduler
 
-	// draining marks nodes with a drain in progress — including a drain
-	// interrupted by cancellation, which stays marked so a second
-	// DrainWith resumes without the node transiting back through the
-	// placement pool.
+	// draining tracks nodes with a drain in progress. The state
+	// distinguishes a drain actively executing (drainActive) from one
+	// interrupted by cancellation (drainInterrupted): an interrupted
+	// node stays marked so a second DrainWith resumes without the node
+	// transiting back through the placement pool, while a running one
+	// rejects a concurrent BeginDrain outright.
 	drainMu  sync.Mutex
-	draining map[wire.NodeID]bool
+	draining map[wire.NodeID]drainState
 }
+
+// drainState is a node's position in the drain lifecycle: absent from
+// the draining map (zero value) means no drain, drainActive a
+// MigrateNode run currently executing, drainInterrupted a cancelled
+// run awaiting resume or AbortDrain.
+type drainState uint8
+
+const (
+	drainNone drainState = iota
+	drainActive
+	drainInterrupted
+)
 
 type nameShard struct {
 	mu    sync.Mutex
@@ -186,7 +200,7 @@ func NewMDSWithShards(osds []wire.NodeID, k, m, shards int) (*MDS, error) {
 		dead:       make(map[wire.NodeID]bool),
 		addrs:      make(map[wire.NodeID]string),
 		addrAt:     make(map[wire.NodeID]time.Time),
-		draining:   make(map[wire.NodeID]bool),
+		draining:   make(map[wire.NodeID]drainState),
 	}
 	for i := 0; i < n; i++ {
 		md.nameShards[i] = &nameShard{files: make(map[string]uint64), idx: uint64(i), step: uint64(n)}
@@ -551,20 +565,41 @@ func (m *MDS) RepairPending() int {
 	return m.Scheduler().Pending()
 }
 
-// BeginDrain marks a node as draining and evicts it from the placement
-// pool, reporting whether an earlier (cancelled) drain already did —
-// the resume case, in which pool membership is left exactly as the
-// first run put it, so a node never transits back through the pool
-// between a Ctrl-C and the DrainWith that picks the work back up.
-func (m *MDS) BeginDrain(id wire.NodeID) (resumed bool) {
+// BeginDrain marks a node as actively draining and evicts it from the
+// placement pool. resumed reports the pick-up of an earlier
+// *interrupted* drain — pool membership is then left exactly as the
+// cancelled run put it, so a node never transits back through the pool
+// between a Ctrl-C and the DrainWith that resumes the work. A node
+// whose drain is still running is rejected with an error: two engines
+// migrating the same stripes would race their rebind/fence/refetch
+// sequences, so only an interrupted drain is resumable.
+func (m *MDS) BeginDrain(id wire.NodeID) (resumed bool, err error) {
 	m.drainMu.Lock()
-	resumed = m.draining[id]
-	m.draining[id] = true
-	m.drainMu.Unlock()
-	if !resumed {
-		m.RemoveNode(id)
+	switch m.draining[id] {
+	case drainActive:
+		m.drainMu.Unlock()
+		return false, fmt.Errorf("ecfs: drain node %d: a drain is already running", id)
+	case drainInterrupted:
+		m.draining[id] = drainActive
+		m.drainMu.Unlock()
+		return true, nil
 	}
-	return resumed
+	m.draining[id] = drainActive
+	m.drainMu.Unlock()
+	m.RemoveNode(id)
+	return false, nil
+}
+
+// InterruptDrain downgrades a node's running drain to
+// interrupted-awaiting-resume — MigrateNode's bookkeeping when a run
+// ends on a cancelled context. The node stays out of the placement
+// pool; a later BeginDrain resumes it, AbortDrain abandons it.
+func (m *MDS) InterruptDrain(id wire.NodeID) {
+	m.drainMu.Lock()
+	if m.draining[id] == drainActive {
+		m.draining[id] = drainInterrupted
+	}
+	m.drainMu.Unlock()
 }
 
 // FinishDrain clears a node's draining mark after every stripe has
@@ -576,24 +611,57 @@ func (m *MDS) FinishDrain(id wire.NodeID) {
 	m.drainMu.Unlock()
 }
 
-// AbortDrain abandons a drain: the mark is cleared and the node —
-// still live and still hosting its unmigrated stripes — is re-admitted
-// to the placement pool. MigrateNode calls it on hard failure;
-// operators call Cluster.AbortDrain to un-cancel a drain they no
-// longer want to resume.
-func (m *MDS) AbortDrain(id wire.NodeID) {
+// AbortDrain abandons an *interrupted* drain: the mark is cleared and
+// the node — still hosting its unmigrated stripes — is re-admitted to
+// the placement pool, unless it has since been marked dead. A drain
+// that is still actively running is left untouched and false is
+// returned: re-admitting the node mid-migration would hand the
+// engine's own rebind target picker the node it is draining — cancel
+// the drain's context first, then abort. Operators reach this through
+// Cluster.AbortDrain.
+func (m *MDS) AbortDrain(id wire.NodeID) bool {
+	m.drainMu.Lock()
+	if m.draining[id] != drainInterrupted {
+		m.drainMu.Unlock()
+		return false
+	}
+	delete(m.draining, id)
+	m.drainMu.Unlock()
+	m.readmitAfterDrain(id)
+	return true
+}
+
+// failDrain clears a *running* drain's mark and restores the node's
+// pool membership — MigrateNode's cleanup when a run it owns ends on a
+// hard (non-resumable) failure. Unlike AbortDrain it acts on the
+// active state, which only the engine itself may tear down.
+func (m *MDS) failDrain(id wire.NodeID) {
 	m.drainMu.Lock()
 	delete(m.draining, id)
 	m.drainMu.Unlock()
-	m.AddNode(id)
+	m.readmitAfterDrain(id)
 }
 
-// Draining reports whether the node has a drain in progress (including
-// a cancelled one awaiting resume).
+// readmitAfterDrain restores an abandoned drain's pool membership —
+// unless the node has been marked dead in the meantime (it failed
+// mid-drain): placement must never select a dead node, so a dead one
+// stays evicted and re-enters via recovery or an explicit AddNode once
+// it is actually back.
+func (m *MDS) readmitAfterDrain(id wire.NodeID) {
+	m.liveMu.Lock()
+	dead := m.dead[id]
+	m.liveMu.Unlock()
+	if !dead {
+		m.AddNode(id)
+	}
+}
+
+// Draining reports whether the node has a drain in progress (running
+// or interrupted awaiting resume).
 func (m *MDS) Draining(id wire.NodeID) bool {
 	m.drainMu.Lock()
 	defer m.drainMu.Unlock()
-	return m.draining[id]
+	return m.draining[id] != drainNone
 }
 
 // Nodes returns the current placement pool.

@@ -209,7 +209,13 @@ func runRepairWorkers(ctx context.Context, mds *MDS, o RepairOptions, q *repairQ
 	)
 	fail := func(err error) {
 		errMu.Lock()
-		if firstErr == nil {
+		// First error wins, except that a stranded cutover must not be
+		// shadowed by a concurrent worker's cancellation: the caller
+		// classifies the run's fate (resumable vs hard abort) from the
+		// reported error, and a stranded stripe makes it a hard abort
+		// no matter who failed first.
+		if firstErr == nil ||
+			(errors.Is(err, ErrStrandedCutover) && !errors.Is(firstErr, ErrStrandedCutover)) {
 			firstErr = err
 		}
 		errMu.Unlock()
@@ -297,7 +303,7 @@ func RepairNode(ctx context.Context, mds *MDS, caller transport.RPC, code *erasu
 		sched.RebaseBudget()
 	}
 	throttleBase := sched.Throttled()
-	spentBase := sched.SpentBytes()
+	spentBase := sched.TotalSpentBytes()
 	start := sim.SnapshotBusyClasses(o.Resources, maintenanceClasses...)
 	if o.Flush != nil {
 		if err := o.Flush(ctx); err != nil {
@@ -391,7 +397,7 @@ func RepairNode(ctx context.Context, mds *MDS, caller transport.RPC, code *erasu
 	// A capped run can never report bandwidth above its cap: the budget
 	// bytes this run consumed floor the modeled makespan regardless of
 	// worker interleaving.
-	if floor := res.DrainTime + sched.capFloor(o.MaxRebuildMBps, sched.SpentBytes()-spentBase); res.VirtualTime < floor {
+	if floor := res.DrainTime + sched.capFloor(o.MaxRebuildMBps, sched.TotalSpentBytes()-spentBase); res.VirtualTime < floor {
 		res.VirtualTime = floor
 	}
 	if res.VirtualTime > 0 {
@@ -482,7 +488,17 @@ type DrainResult struct {
 // MigrateNode (or Cluster.DrainWith) on the same node re-seeds its
 // queue from the stripes still placed there, so nothing already cut
 // over migrates twice; a stripe interrupted mid-migration before its
-// rebind is simply migrated again (the copy is idempotent). Only a
+// rebind is simply migrated again (the copy is idempotent), while one
+// past its rebind finishes its fence and refetch under a detached
+// context before the cancellation is honored — cancellation never
+// leaves a stripe rebound but unfenced, where the resume could not
+// find it. If those detached steps themselves fail (a node fault, or
+// the drainStripeBudget backstop expiring against a hung source), the
+// drain hard-aborts with ErrStrandedCutover naming the affected block,
+// returned alongside the partial result — never as a resumable cancel,
+// since no resume can revisit a stripe already off the node. A second
+// MigrateNode on a node whose drain is still *running* is rejected
+// (see MDS.BeginDrain); only an interrupted drain resumes. Only a
 // non-cancellation failure aborts the drain outright, restoring pool
 // membership (the node is still live, serving, and hosting its
 // unmigrated stripes); an operator who cancels and then changes course
@@ -506,44 +522,39 @@ func MigrateNode(ctx context.Context, mds *MDS, caller transport.RPC, o RepairOp
 	}
 
 	sched := mds.Scheduler()
-	if o.MaxRebuildMBps > 0 {
-		// A per-run cap starts metering now, not from the scheduler's
-		// historical budget base.
-		sched.RebaseBudget()
-	}
-	throttleBase := sched.Throttled()
-	spentBase := sched.SpentBytes()
-	start := sim.SnapshotBusyClasses(o.Resources, maintenanceClasses...)
-	if o.Flush != nil {
-		if err := o.Flush(ctx); err != nil {
-			return nil, fmt.Errorf("ecfs: pre-drain flush: %w", err)
-		}
-	}
-	drainedAt := sim.SnapshotBusyClasses(o.Resources, maintenanceClasses...)
 
 	// Mark the node draining and evict it from the placement pool — or,
-	// when resuming a cancelled drain, observe that both already hold.
-	// The mark's lifetime encodes the drain's outcome: cleared in place
-	// on completion, cleared with a pool restore on a hard failure, and
-	// deliberately *kept* on cancellation so the resume finds the node
-	// exactly where the cancelled run left it.
+	// when resuming an interrupted drain, observe that both already
+	// hold. This runs before any shared state moves (budget rebase,
+	// cluster flush): a concurrent drain rejected here must leave the
+	// running run's accounting and logs untouched. The mark's lifetime
+	// encodes the drain's outcome: cleared in place on completion,
+	// cleared with a pool restore on a hard failure, and downgraded to
+	// interrupted on cancellation so the resume finds the node exactly
+	// where the cancelled run left it.
 	inPool := false
 	for _, id := range mds.Nodes() {
 		if id == node {
 			inPool = true
 		}
 	}
-	resumed := mds.BeginDrain(node)
+	resumed, err := mds.BeginDrain(node)
+	if err != nil {
+		return nil, err
+	}
 	completed := false
 	var runErr error
 	defer func() {
 		switch {
 		case completed:
 			mds.FinishDrain(node)
-		case drainResumable(runErr):
-			// Cancelled: stay draining, stay out of the pool.
+		case drainResumable(ctx, runErr):
+			// Cancelled: stay out of the pool, downgrade the running
+			// mark to interrupted so a later DrainWith resumes it while
+			// a concurrent one is still rejected.
+			mds.InterruptDrain(node)
 		case inPool || resumed:
-			mds.AbortDrain(node)
+			mds.failDrain(node)
 		default:
 			// Never pool-evicted by a drain: just clear the mark.
 			mds.FinishDrain(node)
@@ -555,6 +566,22 @@ func MigrateNode(ctx context.Context, mds *MDS, caller transport.RPC, o RepairOp
 			return nil, runErr
 		}
 	}
+
+	if o.MaxRebuildMBps > 0 {
+		// A per-run cap starts metering now, not from the scheduler's
+		// historical budget base.
+		sched.RebaseBudget()
+	}
+	throttleBase := sched.Throttled()
+	spentBase := sched.TotalSpentBytes()
+	start := sim.SnapshotBusyClasses(o.Resources, maintenanceClasses...)
+	if o.Flush != nil {
+		if err := o.Flush(ctx); err != nil {
+			runErr = fmt.Errorf("ecfs: pre-drain flush: %w", err)
+			return nil, runErr
+		}
+	}
+	drainedAt := sim.SnapshotBusyClasses(o.Resources, maintenanceClasses...)
 
 	refs := mds.StripesOnSorted(node)
 	if o.Workers > len(refs) && len(refs) > 0 {
@@ -578,7 +605,7 @@ func MigrateNode(ctx context.Context, mds *MDS, caller transport.RPC, o RepairOp
 	}
 
 	q := newRepairQueue(refs)
-	err := runRepairWorkers(ctx, mds, o, q, func(ref StripeRef, seed, _ int) (int64, error) {
+	err = runRepairWorkers(ctx, mds, o, q, func(ref StripeRef, seed, _ int) (int64, error) {
 		mv, err := mg.migrateStripe(ref)
 		res.Moves[seed] = mv
 		return int64(mv.Bytes), err
@@ -586,7 +613,14 @@ func MigrateNode(ctx context.Context, mds *MDS, caller transport.RPC, o RepairOp
 	res.Promoted = q.promotions()
 	if err != nil {
 		runErr = err
-		if !drainResumable(err) {
+		if !drainResumable(ctx, err) {
+			if errors.Is(err, ErrStrandedCutover) {
+				// Hard abort, but not a silent one: the completed moves
+				// stay cut over, and the operator needs to see them
+				// next to the stranded stripe named in the error.
+				finishDrainResult(res, o, drainedAt, sched, throttleBase, spentBase)
+				return res, err
+			}
 			return nil, err
 		}
 		// Cancelled at a stripe boundary: report what did complete (the
@@ -633,7 +667,7 @@ func finishDrainResult(res *DrainResult, o RepairOptions, drainedAt []time.Durat
 	res.VirtualTime = res.DrainTime + repairWindow(res.StripeTime, o.Workers, o.Resources, drainedAt, sched.Throttled()-throttleBase)
 	// As in RepairNode: a capped run never reports bandwidth above its
 	// cap — the budget bytes it consumed floor the modeled makespan.
-	if floor := res.DrainTime + sched.capFloor(o.MaxRebuildMBps, sched.SpentBytes()-spentBase); res.VirtualTime < floor {
+	if floor := res.DrainTime + sched.capFloor(o.MaxRebuildMBps, sched.TotalSpentBytes()-spentBase); res.VirtualTime < floor {
 		res.VirtualTime = floor
 	}
 	if res.VirtualTime > 0 {
@@ -643,11 +677,47 @@ func finishDrainResult(res *DrainResult, o RepairOptions, drainedAt []time.Durat
 
 // drainResumable reports whether a drain that failed with err should
 // keep its draining state for a later resume (the operator's Ctrl-C —
-// context cancellation or deadline) rather than abort and restore pool
-// membership.
-func drainResumable(err error) bool {
+// the run context's cancellation or deadline) rather than abort and
+// restore pool membership. A stranded cutover is never resumable even
+// when the operator cancelled at the same time — the stripe is off the
+// node, so a resume could not revisit it — and the run ctx must itself
+// have ended: a context error surfacing from anywhere else (e.g. the
+// detached region's backstop expiring against a hung node) is a hard
+// failure, not an operator cancel.
+func drainResumable(ctx context.Context, err error) bool {
+	if errors.Is(err, ErrStrandedCutover) {
+		return false
+	}
+	if ctx.Err() == nil {
+		return false
+	}
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
+
+// ErrStrandedCutover marks a drain failure inside a stripe's detached
+// post-rebind window: the stripe is already rebound at the MDS — off
+// the source's StripesOn set, so no resume will ever revisit it — but
+// its fence/refetch did not complete. It is always a hard failure
+// (drainResumable rejects it regardless of the run context's state,
+// and runRepairWorkers reports it in preference to a concurrent
+// cancellation), because resuming cannot repair it. The wrapped error
+// names the affected block; the partial DrainResult is returned
+// alongside so the operator sees the moves that did complete. Until
+// stale clients holding the old placement re-resolve, writes they land
+// on the source are not carried to the destination — verify with
+// Cluster.Flush + Scrub before trusting the stripe.
+var ErrStrandedCutover = errors.New("ecfs: drain: stripe cutover incomplete (rebound but not fenced/refetched)")
+
+// drainStripeBudget is the liveness backstop on a stripe's detached
+// post-rebind window: the fence/broadcast/log-drain/refetch run under
+// context.WithoutCancel (a cancel must not strand the stripe
+// rebound-but-unfenced), so without a deadline of their own a hung
+// node would wedge the drain worker forever — uncancellable, and with
+// BeginDrain rejecting every later attempt. Generous on purpose, like
+// the write path's stripeWriteBudget: it bounds a pathology, it does
+// not pace healthy moves. An expiry is a hard failure, not a
+// resumable cancel (see drainResumable).
+const drainStripeBudget = 2 * time.Minute
 
 // migrator is the per-drain engine state shared by the worker pool.
 type migrator struct {
@@ -663,10 +733,7 @@ type migrator struct {
 func (mg *migrator) migrateStripe(ref StripeRef) (StripeMove, error) {
 	mv := StripeMove{Ino: ref.Ino, Stripe: ref.Stripe, Idx: ref.Idx}
 	b := wire.BlockID{Ino: ref.Ino, Stripe: ref.Stripe, Idx: ref.Idx}
-	fetch := func() (*wire.Resp, error) {
-		return mg.caller.Call(mg.ctx, mg.node, &wire.Msg{Kind: wire.KBlockFetch, Block: b, Flag: wire.FetchReadThrough, Class: sim.ClassDrain})
-	}
-	resp, err := fetch()
+	resp, err := mg.caller.Call(mg.ctx, mg.node, &wire.Msg{Kind: wire.KBlockFetch, Block: b, Flag: wire.FetchReadThrough, Class: sim.ClassDrain})
 	if err != nil {
 		return mv, fmt.Errorf("ecfs: drain fetch %v from %d: %w", b, mg.node, err)
 	}
@@ -703,17 +770,47 @@ func (mg *migrator) migrateStripe(ref StripeRef) (StripeMove, error) {
 		return mv, fmt.Errorf("ecfs: drain rebind %d/%d: %w", ref.Ino, ref.Stripe, err)
 	}
 
+	// The rebind is the stripe's point of no return: the MDS now routes
+	// clients to the destination and the resume path re-seeds from
+	// StripesOn, which no longer lists this stripe. A cancellation
+	// landing between here and Done would therefore strand it rebound
+	// but unfenced — the mandatory fence/refetch would never run and an
+	// acknowledged in-window write could be silently discarded. Detach
+	// from the drain context so the remaining steps run to completion,
+	// re-bounded by the drainStripeBudget backstop (a hung node must
+	// not wedge the worker forever); cancellation is honored at the
+	// next stripe boundary instead (the scheduler's admission gate in
+	// runRepairWorkers). A failure in here — backstop expiry included —
+	// is marked ErrStrandedCutover: it can never masquerade as a
+	// resumable cancel, because no resume can revisit a stripe that is
+	// already off the node.
+	detached, cancel := context.WithTimeout(context.WithoutCancel(mg.ctx), drainStripeBudget)
+	defer cancel()
+	if err := mg.finishCutover(detached, &mv, ref, b, nl, dest, data); err != nil {
+		return mv, fmt.Errorf("%w: %w", ErrStrandedCutover, err)
+	}
+	mv.Done = true
+	return mv, nil
+}
+
+// finishCutover runs the post-rebind half of a stripe migration: the
+// fence at the source, the epoch broadcast to the members, the
+// parity-log drain, and the final guarded refetch/re-store. It runs
+// under the detached per-stripe context (see migrateStripe); any error
+// it returns means the stripe is rebound at the MDS but its cutover
+// did not complete, which migrateStripe wraps as ErrStrandedCutover.
+func (mg *migrator) finishCutover(ctx context.Context, mv *StripeMove, ref StripeRef, b wire.BlockID, nl wire.StripeLoc, dest wire.NodeID, data []byte) error {
 	// Fence: unlike the recovery broadcast, the source notification must
 	// succeed — it is what stops stale clients from mutating the moved
 	// block on the old holder.
-	fr, err := mg.caller.Call(mg.ctx, mg.node, &wire.Msg{
+	fr, err := mg.caller.Call(ctx, mg.node, &wire.Msg{
 		Kind: wire.KEpochUpdate, Block: b, Loc: nl, K: uint8(mg.k), M: uint8(mg.m), Class: sim.ClassDrain,
 	})
 	if err != nil {
-		return mv, fmt.Errorf("ecfs: drain fence %v at %d: %w", b, mg.node, err)
+		return fmt.Errorf("ecfs: drain fence %v at %d: %w", b, mg.node, err)
 	}
 	if e := fr.Error(); e != nil {
-		return mv, e
+		return e
 	}
 	mv.Cost += fr.Cost
 
@@ -728,7 +825,7 @@ func (mg *migrator) migrateStripe(ref StripeRef) (StripeMove, error) {
 		if member == mg.node || mg.down[member] {
 			continue
 		}
-		_, _ = mg.caller.Call(mg.ctx, member, &wire.Msg{
+		_, _ = mg.caller.Call(ctx, member, &wire.Msg{
 			Kind: wire.KEpochUpdate, Block: b, Loc: nl, K: uint8(mg.k), M: uint8(mg.m), Class: sim.ClassDrain,
 		})
 	}
@@ -739,8 +836,8 @@ func (mg *migrator) migrateStripe(ref StripeRef) (StripeMove, error) {
 	// the destination, force the source to recycle its logs so the base
 	// block below is current before the final copy.
 	if int(ref.Idx) >= mg.k {
-		if err := mg.drainSourceLogs(&mv); err != nil {
-			return mv, err
+		if err := mg.drainSourceLogs(ctx, mv); err != nil {
+			return err
 		}
 	}
 
@@ -753,23 +850,23 @@ func (mg *migrator) migrateStripe(ref StripeRef) (StripeMove, error) {
 	// guarded (StoreUnlessOverwritten): it must never clobber a full
 	// write a client has already landed on the destination under the
 	// new epoch.
-	r2, err := fetch()
+	r2, err := mg.caller.Call(ctx, mg.node, &wire.Msg{Kind: wire.KBlockFetch, Block: b, Flag: wire.FetchReadThrough, Class: sim.ClassDrain})
 	if err != nil {
-		return mv, fmt.Errorf("ecfs: drain refetch %v from %d: %w", b, mg.node, err)
+		return fmt.Errorf("ecfs: drain refetch %v from %d: %w", b, mg.node, err)
 	}
 	switch {
 	case r2.OK():
 		mv.Cost += r2.Cost
 		if data == nil || !bytes.Equal(r2.Data, data) {
-			sresp, serr := mg.caller.Call(mg.ctx, dest, &wire.Msg{
+			sresp, serr := mg.caller.Call(ctx, dest, &wire.Msg{
 				Kind: wire.KBlockStore, Block: b, Data: r2.Data,
 				Flag: wire.StoreUnlessOverwritten, Loc: nl, Class: sim.ClassDrain,
 			})
 			if serr != nil {
-				return mv, fmt.Errorf("ecfs: drain refresh %v on %d: %w", b, dest, serr)
+				return fmt.Errorf("ecfs: drain refresh %v on %d: %w", b, dest, serr)
 			}
 			if e := sresp.Error(); e != nil {
-				return mv, e
+				return e
 			}
 			mv.Refreshed = true
 			mv.Skipped = false // content appeared inside the window
@@ -779,18 +876,18 @@ func (mg *migrator) migrateStripe(ref StripeRef) (StripeMove, error) {
 	case r2.IsNotFound():
 		// Still never written: nothing to carry.
 	default:
-		return mv, fmt.Errorf("ecfs: drain refetch %v from %d: %w", b, mg.node, r2.Error())
+		return fmt.Errorf("ecfs: drain refetch %v from %d: %w", b, mg.node, r2.Error())
 	}
-	mv.Done = true
-	return mv, nil
+	return nil
 }
 
 // drainSourceLogs forces the draining node to recycle its strategy logs
 // (all phases), so pending parity-log deltas are folded into its base
-// blocks before a parity block's final copy is taken.
-func (mg *migrator) drainSourceLogs(mv *StripeMove) error {
+// blocks before a parity block's final copy is taken. It runs post-
+// rebind, so callers pass the detached (uncancellable) stripe context.
+func (mg *migrator) drainSourceLogs(ctx context.Context, mv *StripeMove) error {
 	for phase := 1; phase <= update.DrainPhases; phase++ {
-		resp, err := mg.caller.Call(mg.ctx, mg.node, &wire.Msg{Kind: wire.KDrainLogs, Flag: uint8(phase), Data: mg.deadList, Class: sim.ClassDrain})
+		resp, err := mg.caller.Call(ctx, mg.node, &wire.Msg{Kind: wire.KDrainLogs, Flag: uint8(phase), Data: mg.deadList, Class: sim.ClassDrain})
 		if err != nil {
 			return fmt.Errorf("ecfs: drain source logs at %d: %w", mg.node, err)
 		}
@@ -828,12 +925,15 @@ func (c *Cluster) DrainWith(ctx context.Context, node wire.NodeID, workers int) 
 	return MigrateNode(ctx, c.MDS, c.Tr.Caller(wire.MDSNode), o, node)
 }
 
-// AbortDrain abandons a cancelled drain instead of resuming it: the
-// node's draining mark is cleared and it is re-admitted to the
-// placement pool, still hosting the stripes the cancelled run did not
-// migrate. Stripes already cut over stay on their destinations.
-func (c *Cluster) AbortDrain(node wire.NodeID) {
-	c.MDS.AbortDrain(node)
+// AbortDrain abandons a cancelled (interrupted) drain instead of
+// resuming it: the node's draining mark is cleared and it is
+// re-admitted to the placement pool, still hosting the stripes the
+// cancelled run did not migrate. Stripes already cut over stay on
+// their destinations. It reports whether an interrupted drain was
+// aborted; a drain still actively running is left untouched (false) —
+// cancel its context first, then abort.
+func (c *Cluster) AbortDrain(node wire.NodeID) bool {
+	return c.MDS.AbortDrain(node)
 }
 
 // Decommission drains a live node and then retires it: after every

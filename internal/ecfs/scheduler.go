@@ -83,6 +83,11 @@ type RepairScheduler struct {
 	traffic     func() int64
 	trafficBase int64
 	charged     int64
+	// chargedTotal is the monotonic lifetime sum of charge() bytes. It
+	// is never rebased: engines snapshot per-run deltas of the lifetime
+	// ledger (TotalSpentBytes), which must stay correct even when a
+	// concurrent per-run cap rebases the budget-relative ledger above.
+	chargedTotal int64
 	// throttled is the monotonic published counter of injected virtual
 	// idle (engines snapshot deltas of it); balThrottle is the same
 	// quantity as a budget term, which rebases to zero whenever the
@@ -182,12 +187,30 @@ func (s *RepairScheduler) spentLocked() int64 {
 }
 
 // SpentBytes returns the rebuild/drain bytes consumed from the budget
-// since the scheduler was configured: priced wire bytes with a traffic
-// source installed, per-stripe payload charges otherwise.
+// since the scheduler was configured (or the budget last rebased):
+// priced wire bytes with a traffic source installed, per-stripe
+// payload charges otherwise. The reading is budget-relative — it
+// restarts at zero on Configure/SetRebuildCap/RebaseBudget; use
+// TotalSpentBytes for per-run deltas.
 func (s *RepairScheduler) SpentBytes() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.spentLocked()
+}
+
+// TotalSpentBytes returns the monotonic lifetime rebuild/drain byte
+// ledger: the raw traffic-source reading when one is installed, the
+// cumulative charge() sum otherwise. Unlike SpentBytes it is never
+// rebased, so engines can snapshot it around a run and trust the delta
+// to be non-negative even when a concurrent run's per-run cap rebases
+// the budget's zero point mid-flight.
+func (s *RepairScheduler) TotalSpentBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.traffic != nil {
+		return s.traffic()
+	}
+	return s.chargedTotal
 }
 
 // Throttled returns the cumulative virtual idle time the scheduler has
@@ -338,6 +361,10 @@ func (s *RepairScheduler) admit(ctx context.Context, q *repairQueue, runMBps flo
 				s.mu.Unlock()
 				return nil
 			}
+			// Lost the best-waiter race: the winner's charge will open a
+			// fresh shortfall, which deserves the full wall back-off
+			// before this waiter self-advances the virtual clock again.
+			polls = 0
 		} else if polls >= admitMaxPolls {
 			// The foreground is idle (or too slow to matter): advance
 			// the virtual clock by the shortfall ourselves — the
@@ -356,6 +383,11 @@ func (s *RepairScheduler) admit(ctx context.Context, q *repairQueue, runMBps flo
 				time.Sleep(short)
 				return nil
 			}
+			// The injection covered the shortfall on the winner's
+			// behalf; start the wall back-off over so this waiter does
+			// not re-inject on every subsequent poll, inflating
+			// Throttled() under sustained multi-queue contention.
+			polls = 0
 		}
 		s.mu.Unlock()
 		time.Sleep(admitPoll)
@@ -372,6 +404,7 @@ func (s *RepairScheduler) charge(bytes int64) {
 	}
 	s.mu.Lock()
 	s.charged += bytes
+	s.chargedTotal += bytes
 	s.mu.Unlock()
 }
 

@@ -123,6 +123,15 @@ func TestDrainCancelResume(t *testing.T) {
 	if remaining == 0 || remaining >= before {
 		t.Fatalf("%d of %d stripes remaining after cancel; test needs a partial run", remaining, before)
 	}
+	// Every stripe the MDS no longer places on the node must appear as a
+	// completed move: a cancellation arriving after a stripe's rebind
+	// must not strand it rebound-but-unfenced — the resume re-seeds from
+	// StripesOn, which would never revisit it, so the mandatory
+	// fence/refetch would be lost. migrateStripe detaches from the drain
+	// context at the rebind to guarantee this.
+	if got, want := len(res1.Moves), before-remaining; got != want {
+		t.Fatalf("cancelled drain completed %d moves but %d stripes left the node — a stripe was stranded mid-cutover", got, want)
+	}
 
 	// Resume. The second run must complete, re-seeded from the
 	// remaining stripes only.
@@ -196,12 +205,236 @@ func TestAbortDrainRestoresPool(t *testing.T) {
 	}
 	c.Tr.Register(node, src.Handler)
 
-	c.AbortDrain(node)
+	if !c.AbortDrain(node) {
+		t.Fatal("AbortDrain refused an interrupted drain")
+	}
 	if c.MDS.Draining(node) {
 		t.Fatal("AbortDrain left the draining mark")
 	}
 	if !poolSnapshot(c)[node] {
 		t.Fatal("AbortDrain did not re-admit the node to the pool")
+	}
+}
+
+// TestBeginDrainRejectsRunning pins the drain state machine: a node
+// whose drain is actively running rejects a second BeginDrain (two
+// engines migrating the same stripes would race their
+// rebind/fence/refetch sequences); only an *interrupted* drain is
+// resumable, and resuming puts it back in the running state.
+func TestBeginDrainRejectsRunning(t *testing.T) {
+	m, err := NewMDS([]wire.NodeID{1, 2, 3, 4, 5, 6, 7}, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := m.BeginDrain(7)
+	if err != nil || resumed {
+		t.Fatalf("fresh BeginDrain = (resumed=%v, err=%v), want (false, nil)", resumed, err)
+	}
+	for _, id := range m.Nodes() {
+		if id == 7 {
+			t.Fatal("BeginDrain left the node in the placement pool")
+		}
+	}
+	if _, err := m.BeginDrain(7); err == nil {
+		t.Fatal("BeginDrain on a running drain must be rejected")
+	}
+	if m.AbortDrain(7) {
+		t.Fatal("AbortDrain on a running drain must be refused")
+	}
+	if !m.Draining(7) {
+		t.Fatal("refused AbortDrain cleared the running drain's mark")
+	}
+
+	m.InterruptDrain(7)
+	if !m.Draining(7) {
+		t.Fatal("interrupted drain lost its draining mark")
+	}
+	resumed, err = m.BeginDrain(7)
+	if err != nil || !resumed {
+		t.Fatalf("resuming BeginDrain = (resumed=%v, err=%v), want (true, nil)", resumed, err)
+	}
+	for _, id := range m.Nodes() {
+		if id == 7 {
+			t.Fatal("resume re-admitted the node to the placement pool")
+		}
+	}
+	if _, err := m.BeginDrain(7); err == nil {
+		t.Fatal("a resumed (running again) drain must reject a concurrent BeginDrain")
+	}
+
+	m.FinishDrain(7)
+	if m.Draining(7) {
+		t.Fatal("FinishDrain left the draining mark")
+	}
+	// InterruptDrain on a node with no drain must not invent one.
+	m.InterruptDrain(7)
+	if m.Draining(7) {
+		t.Fatal("InterruptDrain marked a node with no drain")
+	}
+}
+
+// TestAbandonedDrainSkipsDeadNode: a node that dies mid-drain must not
+// re-enter the placement pool when its drain is abandoned — placement
+// never selects dead nodes, and the drain's eviction must not become
+// the loophole.
+func TestAbandonedDrainSkipsDeadNode(t *testing.T) {
+	m, err := NewMDS([]wire.NodeID{1, 2, 3, 4, 5, 6, 7}, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.BeginDrain(7); err != nil {
+		t.Fatal(err)
+	}
+	m.InterruptDrain(7)
+	m.MarkDead(7) // the node fails between the Ctrl-C and the abort
+	if !m.AbortDrain(7) {
+		t.Fatal("AbortDrain refused an interrupted drain")
+	}
+	if m.Draining(7) {
+		t.Fatal("AbortDrain left the draining mark")
+	}
+	for _, id := range m.Nodes() {
+		if id == 7 {
+			t.Fatal("AbortDrain re-admitted a dead node to the placement pool")
+		}
+	}
+	// Once the node is actually back, explicit re-admission works.
+	m.Heartbeat(7, time.Now())
+	m.AddNode(7)
+	found := false
+	for _, id := range m.Nodes() {
+		if id == 7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("recovered node could not rejoin the pool")
+	}
+}
+
+// TestConcurrentDrainRejected drives the same guarantee end to end: a
+// second DrainWith on a node whose drain is still executing fails
+// instead of racing the first engine over the same stripes.
+func TestConcurrentDrainRejected(t *testing.T) {
+	c, _, _, _ := buildResumeCluster(t, 20)
+	defer c.Close()
+	node := c.OSDs[2].ID()
+	src := c.OSD(node)
+
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	c.Tr.Register(node, func(hctx context.Context, msg *wire.Msg) *wire.Resp {
+		if msg.Kind == wire.KBlockFetch {
+			once.Do(func() { close(entered) })
+			<-gate
+		}
+		return src.Handler(hctx, msg)
+	})
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.DrainWith(context.Background(), node, 1)
+		done <- err
+	}()
+	<-entered // the first drain is past BeginDrain, copying its first stripe
+
+	if _, err := c.DrainWith(context.Background(), node, 1); err == nil {
+		t.Fatal("second DrainWith on a running drain must be rejected")
+	}
+	if c.AbortDrain(node) {
+		t.Fatal("AbortDrain on a running drain must be refused")
+	}
+	if poolSnapshot(c)[node] {
+		t.Fatal("refused AbortDrain re-admitted the draining node to the pool")
+	}
+
+	close(gate)
+	err := <-done
+	c.Tr.Register(node, src.Handler)
+	if err != nil {
+		t.Fatalf("first drain failed after the rejected concurrent attempt: %v", err)
+	}
+	if got := len(c.MDS.StripesOn(node)); got != 0 {
+		t.Fatalf("%d stripes still on the drained node", got)
+	}
+	if c.MDS.Draining(node) {
+		t.Fatal("completed drain left the draining mark")
+	}
+}
+
+// TestDrainStrandedCutoverHardAborts pins the post-rebind failure
+// contract: a fence that fails after the stripe's rebind strands the
+// cutover, which must surface as ErrStrandedCutover alongside the
+// partial result and hard-abort the drain (pool restored, mark
+// cleared) — never classify as a resumable cancel, even when the
+// operator cancels at the same moment, because the resume's StripesOn
+// re-seed could not revisit the stranded stripe.
+func TestDrainStrandedCutoverHardAborts(t *testing.T) {
+	c, _, _, _ := buildResumeCluster(t, 20)
+	defer c.Close()
+	node := c.OSDs[2].ID()
+	before := len(c.MDS.StripesOnSorted(node))
+	src := c.OSD(node)
+
+	// The second fence fails; the operator's ctx is cancelled at the
+	// same instant — the racing-cancel variant of the hazard.
+	ctx1, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var fences atomic.Int32
+	c.Tr.Register(node, func(hctx context.Context, msg *wire.Msg) *wire.Resp {
+		if msg.Kind == wire.KEpochUpdate && fences.Add(1) == 2 {
+			cancel()
+			return &wire.Resp{Err: "injected fence failure"}
+		}
+		return src.Handler(hctx, msg)
+	})
+
+	res, err := c.DrainWith(ctx1, node, 1)
+	c.Tr.Register(node, src.Handler)
+	if !errors.Is(err, ErrStrandedCutover) {
+		t.Fatalf("post-rebind fence failure returned %v, want ErrStrandedCutover", err)
+	}
+	if res == nil {
+		t.Fatal("stranded cutover returned no partial result")
+	}
+	for _, mv := range res.Moves {
+		if !mv.Done {
+			t.Fatalf("partial result contains an incomplete move: %+v", mv)
+		}
+	}
+	// Hard abort, not an interrupted resume: mark cleared, node back in
+	// the pool with its unmigrated stripes.
+	if c.MDS.Draining(node) {
+		t.Fatal("stranded cutover left the drain resumable")
+	}
+	if !poolSnapshot(c)[node] {
+		t.Fatal("stranded cutover did not restore pool membership")
+	}
+	if rest := len(c.MDS.StripesOn(node)); rest == 0 || rest >= before {
+		t.Fatalf("%d of %d stripes on the node after the stranded abort; expected a partial drain", rest, before)
+	}
+}
+
+// TestSchedulerLedgerSurvivesRebase pins the monotonic lifetime
+// ledger: a per-run cap's RebaseBudget zeroes the budget-relative
+// ledger, but another in-flight run's spent-byte deltas come from
+// TotalSpentBytes, which never rebases — so its capFloor clamp cannot
+// collapse to zero and report bandwidth above the cap.
+func TestSchedulerLedgerSurvivesRebase(t *testing.T) {
+	s := NewRepairScheduler(nil, 1.0)
+	base := s.TotalSpentBytes() // run A snapshots its base
+	s.charge(100_000)
+	s.RebaseBudget() // run B starts with a per-run cap mid-flight
+	s.charge(50_000)
+	if d := s.TotalSpentBytes() - base; d != 150_000 {
+		t.Fatalf("lifetime delta = %d across a rebase, want 150000", d)
+	}
+	if got := s.SpentBytes(); got != 50_000 {
+		t.Fatalf("budget-relative SpentBytes = %d after rebase, want 50000", got)
+	}
+	if f := s.capFloor(1.0, s.TotalSpentBytes()-base); f != 150*time.Millisecond {
+		t.Fatalf("capFloor over the lifetime delta = %v, want 150ms", f)
 	}
 }
 

@@ -88,6 +88,11 @@ var (
 	// a failed node in-process, a refused dial or dead connection on
 	// TCP.
 	ErrNodeUnreachable = transport.ErrNodeUnreachable
+	// ErrStrandedCutover reports a drain stripe rebound at the MDS whose
+	// post-rebind fence/refetch failed; the drain hard-aborts (never
+	// resumable) with the partial result alongside. See
+	// docs/OPERATIONS.md's failure-mode table.
+	ErrStrandedCutover = ecfs.ErrStrandedCutover
 )
 
 // StrategyConfig carries update-method tunables.
