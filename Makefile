@@ -1,8 +1,14 @@
 GO ?= go
 
-.PHONY: verify verify-race build vet test race bench example-recovery docs-check
+# BENCH_ID names the combined trajectory file bench-json writes
+# (BENCH_$(BENCH_ID).json); bump it per PR so trajectories accumulate.
+BENCH_ID ?= pr6
 
-verify: build vet test docs-check
+.PHONY: verify verify-race build vet test race bench bench-json example-recovery docs-check
+
+# bench is part of verify as a smoke run (-benchtime 1x): benchmark code
+# must keep compiling and running between trajectory snapshots.
+verify: build vet test bench docs-check
 
 # verify-race runs the full suite under the race detector — the gate for
 # changes touching MDS sharding, repair/drain, or client retry
@@ -24,6 +30,12 @@ race:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run xxx ./...
+
+# bench-json regenerates the benchmark trajectory snapshot checked in at
+# the repo root: the repair and fig8b experiments plus the wire-codec /
+# transport microbenchmarks, all in one combined JSON file.
+bench-json:
+	$(GO) run ./cmd/tsuebench -exp repair,fig8b,codec -combined BENCH_$(BENCH_ID).json
 
 # docs-check lints the documentation: every relative Markdown link must
 # resolve, and every exported repair/scheduler symbol must carry godoc

@@ -11,7 +11,10 @@
 //	tsuebench -exp repair -max-rebuild-mbps 50   # explicit scheduler cap for the capped drain row
 //	tsuebench -exp fig8b -fig8b-workers 1,4,16
 //	tsuebench -exp mds-scale          # metadata sharding: lookup/create + StripesOn vs shard count
+//	tsuebench -exp codec              # wire codec + transport microbenchmarks (gob vs binary)
 //	tsuebench -exp fig5 -json         # also write machine-readable BENCH_fig5.json
+//	tsuebench -exp repair,fig8b,codec -combined BENCH_pr6.json
+//	                                  # several experiments, one combined JSON trajectory file
 //
 // A SIGINT/SIGTERM cancels the run context: the in-flight experiment
 // aborts at its next operation instead of running to completion.
@@ -35,7 +38,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment id ("+strings.Join(knownExperiments(), ", ")+"), or 'all'")
+		exp        = flag.String("exp", "all", "experiment id ("+strings.Join(knownExperiments(), ", ")+"), a comma-separated list, or 'all'")
 		scale      = flag.String("scale", "quick", "experiment scale: quick | paper")
 		ops        = flag.Int("ops", 0, "override trace operation count")
 		osds       = flag.Int("osds", 0, "override OSD count")
@@ -46,6 +49,7 @@ func main() {
 		rebuildCap = flag.Float64("max-rebuild-mbps", 0, "rebuild-bandwidth cap (decimal MB/s) for the repair experiment's capped drain row; 0 derives it from the uncapped baseline")
 		jsonOut    = flag.Bool("json", false, "additionally write each report as machine-readable BENCH_<id>.json")
 		outDir     = flag.String("out", ".", "directory for -json output files")
+		combined   = flag.String("combined", "", "additionally write every selected report into one combined JSON file (a bench trajectory snapshot)")
 	)
 	flag.Parse()
 
@@ -93,12 +97,17 @@ func main() {
 	}
 	ids := bench.Order
 	if *exp != "all" {
-		if _, ok := lookup(*exp); !ok {
-			fmt.Fprintf(os.Stderr, "tsuebench: unknown experiment %q (want %s, or all)\n", *exp, strings.Join(knownExperiments(), ", "))
-			os.Exit(2)
+		ids = nil
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := lookup(id); !ok {
+				fmt.Fprintf(os.Stderr, "tsuebench: unknown experiment %q (want %s, or all)\n", id, strings.Join(knownExperiments(), ", "))
+				os.Exit(2)
+			}
+			ids = append(ids, id)
 		}
-		ids = []string{*exp}
 	}
+	var reports []*bench.Report
 	for _, id := range ids {
 		fn, _ := lookup(id)
 		rep, err := fn(ctx, s)
@@ -107,11 +116,18 @@ func main() {
 			os.Exit(1)
 		}
 		rep.Fprint(os.Stdout)
+		reports = append(reports, rep)
 		if *jsonOut {
 			if err := writeJSON(*outDir, rep); err != nil {
 				fmt.Fprintf(os.Stderr, "tsuebench: %s: %v\n", id, err)
 				os.Exit(1)
 			}
+		}
+	}
+	if *combined != "" {
+		if err := writeCombined(*combined, reports); err != nil {
+			fmt.Fprintf(os.Stderr, "tsuebench: %v\n", err)
+			os.Exit(1)
 		}
 	}
 }
@@ -136,6 +152,20 @@ func writeJSON(dir string, rep *bench.Report) error {
 		return err
 	}
 	path := filepath.Join(dir, "BENCH_"+rep.ID+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tsuebench: wrote %s\n", path)
+	return nil
+}
+
+// writeCombined writes every selected report into one JSON file — the
+// shape future PRs append to for a benchmark trajectory across PRs.
+func writeCombined(path string, reports []*bench.Report) error {
+	data, err := json.MarshalIndent(map[string]any{"reports": reports}, "", "  ")
+	if err != nil {
+		return err
+	}
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return err
 	}

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"fmt"
+	"testing"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// codecBenchMsg is the frame every row of the codec report measures: a
+// 64 KiB KWriteBlock with a realistic RS(4,2) placement — the stripe
+// write's hot-path frame.
+func codecBenchMsg() *wire.Msg {
+	return &wire.Msg{
+		Kind:  wire.KWriteBlock,
+		From:  wire.ClientIDBase,
+		Block: wire.BlockID{Ino: 42, Stripe: 7, Idx: 2},
+		Data:  make([]byte, 64<<10),
+		K:     4,
+		M:     2,
+		Loc:   wire.StripeLoc{Nodes: []wire.NodeID{1, 2, 3, 4, 5, 6}, Epoch: 3},
+	}
+}
+
+// Codec is the PR-6 extension: the wire-format trajectory. It compares
+// the retired gob encoding against the hand-rolled binary codec on the
+// 64 KiB KWriteBlock frame (encode and decode ns/op and allocs/op), and
+// measures real loopback round-trips/s on the multiplexed TCP transport,
+// sequential and pipelined.
+func Codec(ctx context.Context, _ Scale) (*Report, error) {
+	rep := &Report{
+		ID:     "codec",
+		Title:  "Extension: wire codec and transport microbenchmarks (64 KiB KWriteBlock frame)",
+		Header: []string{"benchmark", "ns/op", "MB/s", "B/op", "allocs/op"},
+	}
+	msg := codecBenchMsg()
+	size := float64(msg.WireSize())
+
+	type row struct {
+		name string
+		fn   func(b *testing.B)
+	}
+	var gobSeed bytes.Buffer
+	if err := gob.NewEncoder(&gobSeed).Encode(msg); err != nil {
+		return nil, err
+	}
+	binSeed := msg.AppendTo(nil)
+	rows := []row{
+		{"encode/binary", func(b *testing.B) {
+			buf := msg.AppendTo(nil)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf = msg.AppendTo(buf[:0])
+			}
+		}},
+		{"encode/gob", func(b *testing.B) {
+			var buf bytes.Buffer
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				// A fresh encoder per frame, as the retired transport
+				// required: gob stream state cannot span frames.
+				if err := gob.NewEncoder(&buf).Encode(msg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"decode/binary", func(b *testing.B) {
+			var m wire.Msg
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := m.Decode(binSeed); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"decode/gob", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var m wire.Msg
+				if err := gob.NewDecoder(bytes.NewReader(gobSeed.Bytes())).Decode(&m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+	results := make(map[string]testing.BenchmarkResult, len(rows))
+	for _, r := range rows {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res := testing.Benchmark(r.fn)
+		results[r.name] = res
+		nsOp := float64(res.NsPerOp())
+		rep.Rows = append(rep.Rows, []string{
+			r.name,
+			fmt.Sprintf("%.0f", nsOp),
+			fmt.Sprintf("%.0f", size/nsOp*1e3), // bytes/ns -> MB/s (1e-3 GB/s)
+			fmt.Sprintf("%d", res.AllocedBytesPerOp()),
+			fmt.Sprintf("%d", res.AllocsPerOp()),
+		})
+	}
+
+	// Loopback round trips on the real transport: one multiplexed
+	// connection, a 4 KiB ping payload.
+	for _, pipelined := range []bool{false, true} {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := benchLoopback(pipelined)
+		if err != nil {
+			return nil, err
+		}
+		name := "tcp-roundtrip/sequential"
+		if pipelined {
+			name = "tcp-roundtrip/pipelined"
+		}
+		nsOp := float64(res.NsPerOp())
+		rep.Rows = append(rep.Rows, []string{
+			name,
+			fmt.Sprintf("%.0f", nsOp),
+			fmt.Sprintf("%.0f rt/s", 1e9/nsOp),
+			fmt.Sprintf("%d", res.AllocedBytesPerOp()),
+			fmt.Sprintf("%d", res.AllocsPerOp()),
+		})
+	}
+
+	encBin, encGob := results["encode/binary"], results["encode/gob"]
+	decBin, decGob := results["decode/binary"], results["decode/gob"]
+	sumBin := encBin.NsPerOp() + decBin.NsPerOp()
+	sumGob := encGob.NsPerOp() + decGob.NsPerOp()
+	allocBin := encBin.AllocsPerOp() + decBin.AllocsPerOp()
+	allocGob := encGob.AllocsPerOp() + decGob.AllocsPerOp()
+	speedup := float64(sumGob) / float64(sumBin)
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("binary vs gob, encode+decode of the 64 KiB KWriteBlock frame: %.1fx faster (%d vs %d ns/op), %dx fewer allocs (%d vs %d allocs/op)",
+			speedup, sumBin, sumGob, safeRatio(allocGob, allocBin), allocBin, allocGob),
+		"acceptance gate (ISSUE 6): >=5x fewer allocs/op and >=2x faster encode+decode than gob",
+	)
+	if speedup < 2 || (allocBin > 0 && allocGob/allocBin < 5) {
+		return nil, fmt.Errorf("bench: codec regression: %.1fx speedup, %d vs %d allocs/op (gate: >=2x, >=5x fewer allocs)",
+			speedup, allocBin, allocGob)
+	}
+	return rep, nil
+}
+
+// safeRatio returns a/b, treating b==0 as "infinitely fewer" (capped to
+// a so the note stays printable).
+func safeRatio(a, b int64) int64 {
+	if b == 0 {
+		return a
+	}
+	return a / b
+}
+
+// benchLoopback measures one Call round trip on a real loopback TCP
+// connection, sequentially or with GOMAXPROCS concurrent callers
+// pipelined onto the shared connection.
+func benchLoopback(pipelined bool) (testing.BenchmarkResult, error) {
+	srv, err := transport.ServeTCP(1, "127.0.0.1:0", func(_ context.Context, m *wire.Msg) *wire.Resp {
+		return &wire.Resp{Data: m.Data}
+	})
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	defer srv.Close()
+	cli := transport.NewTCPClient(map[wire.NodeID]string{1: srv.Addr()})
+	defer cli.Close()
+	ctx := context.Background()
+	var failed error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		if pipelined {
+			b.RunParallel(func(pb *testing.PB) {
+				msg := &wire.Msg{Kind: wire.KPing, Data: make([]byte, 4<<10)}
+				for pb.Next() {
+					if _, err := cli.Call(ctx, 1, msg); err != nil {
+						failed = err
+						b.Fatal(err)
+					}
+				}
+			})
+			return
+		}
+		msg := &wire.Msg{Kind: wire.KPing, Data: make([]byte, 4<<10)}
+		for i := 0; i < b.N; i++ {
+			if _, err := cli.Call(ctx, 1, msg); err != nil {
+				failed = err
+				b.Fatal(err)
+			}
+		}
+	})
+	return res, failed
+}

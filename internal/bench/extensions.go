@@ -137,4 +137,5 @@ var Extensions = map[string]func(context.Context, Scale) (*Report, error){
 	"recovery-multi": RecoveryMulti,
 	"repair":         Repair,
 	"mds-scale":      MDSScale,
+	"codec":          Codec,
 }

@@ -216,13 +216,49 @@ func (c *Client) WriteStripeContext(ctx context.Context, ino uint64, stripe uint
 		return 0, err
 	}
 	all := append(append([][]byte{}, shards...), parity...)
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		max  time.Duration
-		rerr error
-	)
+	// Fast path: the whole fan-out is issued as one batch, so on a
+	// batch-capable transport (the TCP client) every same-destination
+	// frame of the stripe enters its connection's write queue together
+	// and leaves in a single coalesced flush. KWriteBlock is a
+	// full-block overwrite — idempotent — so any shard that fails here
+	// (node unreachable, stale placement) safely drops to the per-shard
+	// re-resolve loop below.
+	calls := make([]*transport.BatchCall, len(all))
 	for i, shard := range all {
+		calls[i] = &transport.BatchCall{To: loc.Nodes[i], Msg: &wire.Msg{
+			Kind:  wire.KWriteBlock,
+			Block: wire.BlockID{Ino: ino, Stripe: stripe, Idx: uint8(i)},
+			Data:  shard,
+			Loc:   loc,
+		}}
+	}
+	transport.Fanout(ctx, c.rpc, calls)
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		max     time.Duration
+		rerr    error
+		setCost = func(cost time.Duration) {
+			mu.Lock()
+			if cost > max {
+				max = cost
+			}
+			mu.Unlock()
+		}
+	)
+	for i, bc := range calls {
+		if bc.Err == nil && bc.Resp.OK() {
+			setCost(bc.Resp.Cost)
+			continue
+		}
+		if bc.Err == nil && !bc.Resp.IsStale() {
+			// A structured, non-stale rejection (bad geometry, storage
+			// failure): re-resolving the placement cannot change it.
+			if rerr == nil {
+				rerr = bc.Resp.Error()
+			}
+			continue
+		}
 		wg.Add(1)
 		go func(i int, shard []byte) {
 			defer wg.Done()
@@ -237,7 +273,7 @@ func (c *Client) WriteStripeContext(ctx context.Context, ino uint64, stripe uint
 			if cost > max {
 				max = cost
 			}
-		}(i, shard)
+		}(i, all[i])
 	}
 	wg.Wait()
 	return max, rerr

@@ -832,9 +832,15 @@ func (m *MDS) Handler(ctx context.Context, msg *wire.Msg) *wire.Resp {
 	case wire.KResolveAddr:
 		// Self-discovery for dialing clients: the full node address map
 		// plus the stripe geometry and block size, so tsue.Dial needs
-		// nothing but the MDS address.
+		// nothing but the MDS address. An unencodable address (beyond
+		// the wire format's bound) fails the whole reply loudly rather
+		// than silently dropping the node from the map.
+		data, err := wire.EncodeAddrMap(m.AddrMap())
+		if err != nil {
+			return &wire.Resp{Err: err.Error()}
+		}
 		return &wire.Resp{
-			Data: wire.EncodeAddrMap(m.AddrMap()),
+			Data: data,
 			Val:  int64(m.k)<<32 | int64(m.m),
 			Ino:  uint64(m.blockSize),
 		}

@@ -104,6 +104,15 @@ func (o *OSD) Call(ctx context.Context, to wire.NodeID, msg *wire.Msg) (*wire.Re
 	return o.rpc.Call(ctx, to, msg)
 }
 
+// CallBatch delivers a set of peer calls together. On a batch-capable
+// transport (the TCP client) same-destination frames enter their
+// connection's write queue in one flush; otherwise the calls simply run
+// concurrently. Strategy fan-outs pick this up through the optional
+// batchCaller extension of update.Env.
+func (o *OSD) CallBatch(ctx context.Context, calls []*transport.BatchCall) {
+	transport.Fanout(ctx, o.rpc, calls)
+}
+
 // Code returns the cached RS code for a geometry.
 func (o *OSD) Code(k, m int) (*erasure.Code, error) {
 	key := [2]int{k, m}

@@ -15,7 +15,7 @@ import (
 
 // TestTCPClusterEndToEnd deploys a real ECFS cluster over TCP loopback —
 // the same wiring cmd/ecfsd uses — and runs writes, updates, flush and
-// reads through actual sockets with gob-encoded frames.
+// reads through actual sockets with binary-codec frames.
 func TestTCPClusterEndToEnd(t *testing.T) {
 	const (
 		k, m      = 2, 1

@@ -172,7 +172,7 @@ func (h *tcpHarness) flushOver(rpc transport.RPC, down map[wire.NodeID]bool) fun
 // replacement under a *fresh* node id with every fetch, replica replay
 // and epoch broadcast travelling over TCP, and a client that cached the
 // pre-failure placements re-resolves via structured stale-epoch
-// rejections — the gob-framed wire path, not the in-process transport.
+// rejections — the real framed wire path, not the in-process transport.
 func TestTCPRecoveryStaleEpochReresolve(t *testing.T) {
 	const (
 		k, m      = 2, 1

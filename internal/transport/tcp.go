@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"context"
 	"encoding/binary"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"io"
@@ -15,73 +14,121 @@ import (
 	"repro/internal/wire"
 )
 
-// Frame format: 4-byte big-endian length, then a gob-encoded frame body.
-// Each connection carries a strictly alternating request/response stream;
-// the client pool opens one connection per in-flight call slot.
+// TCP framing (format v1).
+//
+// Every frame is a 13-byte header — 4-byte big-endian body length,
+// 1-byte frame type (frameMsg or frameResp), 8-byte big-endian request
+// id — followed by the body: one wire.Msg or wire.Resp in the binary
+// codec of internal/wire (whose own leading byte is wire.FormatVersion).
+//
+// Connections are multiplexed: many calls are in flight on one
+// connection at once, each tagged with a connection-scoped request id.
+// On the client a writer goroutine drains the connection's queue and
+// writes every queued frame in one writev-style flush (net.Buffers), and
+// a reader goroutine demuxes responses to the waiting callers by id; the
+// server mirrors the same structure with a handler goroutine per
+// request. Encode buffers are sync.Pool-reused on both sides, so the
+// steady-state data plane allocates only the response bodies that
+// escape to callers.
+//
+// A peer still speaking the retired gob framing fails the frame-type or
+// codec-version check and the connection is torn down with an error
+// wrapping wire.ErrBadFormat — mixed gob/binary deployments are
+// unsupported (docs/OPERATIONS.md).
 
-const maxFrameSize = 64 << 20 // refuse absurd frames rather than OOM
+const (
+	maxFrameSize    = 64 << 20 // refuse absurd frames rather than OOM
+	frameHeaderSize = 13
+	frameMsg        = 0x01
+	frameResp       = 0x02
+)
 
-type frame struct {
-	Msg  *wire.Msg
-	Resp *wire.Resp
+// writeStallBudget bounds how long one flush may block on a peer that
+// stopped draining its socket. A multiplexed connection cannot borrow
+// any single call's deadline (other calls share the pipe), so this
+// conn-level backstop is what keeps a hung peer from wedging the writer
+// goroutine — and with it every future call on the connection — forever.
+const writeStallBudget = 2 * time.Minute
+
+// maxInflightPerConn caps concurrently executing handlers per server
+// connection. The reader stops pulling frames once the cap is reached,
+// so a flooding client is throttled by TCP backpressure instead of
+// unbounded handler goroutines.
+const maxInflightPerConn = 256
+
+// pooledBufCap is the largest buffer capacity returned to the frame
+// buffer pool; one-off giant frames are left for the collector instead
+// of pinning their capacity forever.
+const pooledBufCap = 4 << 20
+
+var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 4<<10); return &b }}
+
+func getFrameBuf() *[]byte { return framePool.Get().(*[]byte) }
+
+func putFrameBuf(b *[]byte) {
+	if b == nil || cap(*b) > pooledBufCap {
+		return
+	}
+	*b = (*b)[:0]
+	framePool.Put(b)
 }
 
-func writeFrame(w *bufio.Writer, f *frame) error {
-	var buf encodeBuffer
-	enc := gob.NewEncoder(&buf)
-	if err := enc.Encode(f); err != nil {
-		return fmt.Errorf("transport: encode: %w", err)
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(buf.b)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	if _, err := w.Write(buf.b); err != nil {
-		return err
-	}
-	return w.Flush()
-}
-
-func readFrame(r *bufio.Reader) (*frame, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:])
+// appendMsgFrame appends a framed request to buf: header, then the
+// message's binary encoding.
+func appendMsgFrame(buf []byte, id uint64, m *wire.Msg) ([]byte, error) {
+	n := m.WireSize()
 	if n > maxFrameSize {
-		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+		return buf, fmt.Errorf("transport: %v frame of %d bytes exceeds the %d-byte limit", m.Kind, n, maxFrameSize)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, err
-	}
-	var f frame
-	if err := gob.NewDecoder(&sliceReader{b: body}).Decode(&f); err != nil {
-		return nil, fmt.Errorf("transport: decode: %w", err)
-	}
-	return &f, nil
+	buf = appendFrameHeader(buf, uint32(n), frameMsg, id)
+	return m.AppendTo(buf), nil
 }
 
-type encodeBuffer struct{ b []byte }
-
-func (e *encodeBuffer) Write(p []byte) (int, error) {
-	e.b = append(e.b, p...)
-	return len(p), nil
-}
-
-type sliceReader struct {
-	b []byte
-	i int
-}
-
-func (s *sliceReader) Read(p []byte) (int, error) {
-	if s.i >= len(s.b) {
-		return 0, io.EOF
+// appendRespFrame appends a framed response to buf.
+func appendRespFrame(buf []byte, id uint64, r *wire.Resp) ([]byte, error) {
+	n := r.WireSize()
+	if n > maxFrameSize {
+		return buf, fmt.Errorf("transport: response frame of %d bytes exceeds the %d-byte limit", n, maxFrameSize)
 	}
-	n := copy(p, s.b[s.i:])
-	s.i += n
-	return n, nil
+	buf = appendFrameHeader(buf, uint32(n), frameResp, id)
+	return r.AppendTo(buf), nil
+}
+
+func appendFrameHeader(buf []byte, n uint32, typ byte, id uint64) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[0:4], n)
+	hdr[4] = typ
+	binary.BigEndian.PutUint64(hdr[5:13], id)
+	return append(buf, hdr[:]...)
+}
+
+type frameHeader struct {
+	n   uint32
+	typ byte
+	id  uint64
+}
+
+// readFrameHeader reads and validates one frame header. A peer speaking
+// the retired gob framing shows up here as an unrecognized frame type —
+// rejected with an error wrapping wire.ErrBadFormat rather than fed to
+// the codec.
+func readFrameHeader(r *bufio.Reader) (frameHeader, error) {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frameHeader{}, err
+	}
+	h := frameHeader{
+		n:   binary.BigEndian.Uint32(hdr[0:4]),
+		typ: hdr[4],
+		id:  binary.BigEndian.Uint64(hdr[5:13]),
+	}
+	if h.n > maxFrameSize {
+		return frameHeader{}, fmt.Errorf("transport: frame of %d bytes exceeds limit", h.n)
+	}
+	if h.typ != frameMsg && h.typ != frameResp {
+		return frameHeader{}, fmt.Errorf("transport: unrecognized frame type 0x%02x: %w", h.typ, wire.ErrBadFormat)
+	}
+	return h, nil
 }
 
 // TCPServer serves a node's handler on a listener.
@@ -98,6 +145,9 @@ type TCPServer struct {
 
 // ServeTCP starts serving handler for node id on addr ("host:port",
 // ":0" for an ephemeral port). It returns once the listener is bound.
+// Requests on one connection are dispatched concurrently (bounded by
+// maxInflightPerConn); Handler implementations are required to be safe
+// for concurrent use on every transport.
 func ServeTCP(id wire.NodeID, addr string, h Handler) (*TCPServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -153,35 +203,159 @@ func (s *TCPServer) acceptLoop() {
 	}
 }
 
+// serveConn demuxes one client connection: the read loop decodes
+// requests into pooled buffers and dispatches a goroutine per request;
+// responses funnel through a shared frameWriter that coalesces
+// concurrently finishing replies into single flushes. The request
+// buffer is recycled as soon as the response has been encoded — the
+// Handler contract (no retaining request payloads beyond the call)
+// is what makes the pooling safe.
 func (s *TCPServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	var reqWG sync.WaitGroup
+	w := newFrameWriter(conn)
 	defer func() {
+		reqWG.Wait() // every in-flight handler has queued its response
+		w.close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		conn.Close()
 	}()
 	r := bufio.NewReaderSize(conn, 256<<10)
-	w := bufio.NewWriterSize(conn, 256<<10)
+	sem := make(chan struct{}, maxInflightPerConn)
 	for {
-		f, err := readFrame(r)
-		if err != nil {
+		hdr, err := readFrameHeader(r)
+		if err != nil || hdr.typ != frameMsg {
 			return
 		}
-		if f.Msg == nil {
+		body := getFrameBuf()
+		if cap(*body) < int(hdr.n) {
+			*body = make([]byte, hdr.n)
+		}
+		*body = (*body)[:hdr.n]
+		if _, err := io.ReadFull(r, *body); err != nil {
+			putFrameBuf(body)
 			return
 		}
-		// Cancellation is a client-side concern on TCP (the caller's
-		// context does not cross the wire); handlers run to completion
-		// under a background context.
-		resp := s.handler(context.Background(), f.Msg)
-		if resp == nil {
-			resp = &wire.Resp{}
-		}
-		if err := writeFrame(w, &frame{Resp: resp}); err != nil {
+		msg := new(wire.Msg)
+		if err := msg.Decode(*body); err != nil {
+			putFrameBuf(body)
 			return
+		}
+		sem <- struct{}{}
+		reqWG.Add(1)
+		go func(id uint64, msg *wire.Msg, body *[]byte) {
+			defer func() { <-sem; reqWG.Done() }()
+			// Cancellation is a client-side concern on TCP (the caller's
+			// context does not cross the wire); handlers run to
+			// completion under a background context.
+			resp := s.handler(context.Background(), msg)
+			if resp == nil {
+				resp = &wire.Resp{}
+			}
+			out := getFrameBuf()
+			framed, err := appendRespFrame((*out)[:0], id, resp)
+			putFrameBuf(body) // the response encoding copied any aliased payload
+			if err != nil {
+				// Unencodable response (absurd payload): surface a
+				// structured error instead of silently dropping the call.
+				framed, _ = appendRespFrame((*out)[:0], id, &wire.Resp{Err: err.Error()})
+			}
+			*out = framed
+			w.send(out)
+		}(hdr.id, msg, body)
+	}
+}
+
+// frameWriter coalesces frames queued by concurrent goroutines into
+// single writev-style flushes on one connection. Buffers handed to
+// send are owned by the writer and recycled after the flush.
+type frameWriter struct {
+	conn net.Conn
+
+	mu     sync.Mutex
+	queue  []*[]byte
+	err    error
+	closed bool
+	wake   chan struct{}
+	done   chan struct{}
+}
+
+func newFrameWriter(conn net.Conn) *frameWriter {
+	w := &frameWriter{conn: conn, wake: make(chan struct{}, 1), done: make(chan struct{})}
+	go w.loop()
+	return w
+}
+
+// send queues one encoded frame for the next flush.
+func (w *frameWriter) send(buf *[]byte) {
+	w.mu.Lock()
+	if w.err != nil || w.closed {
+		w.mu.Unlock()
+		putFrameBuf(buf)
+		return
+	}
+	w.queue = append(w.queue, buf)
+	w.mu.Unlock()
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// close stops the writer after the current flush and waits for it.
+func (w *frameWriter) close() {
+	w.mu.Lock()
+	w.closed = true
+	w.mu.Unlock()
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+	<-w.done
+}
+
+func (w *frameWriter) loop() {
+	defer close(w.done)
+	for {
+		<-w.wake
+		for {
+			w.mu.Lock()
+			batch := w.queue
+			w.queue = nil
+			closed, err := w.closed, w.err
+			w.mu.Unlock()
+			if len(batch) == 0 {
+				if closed {
+					return
+				}
+				break // wait for the next wake
+			}
+			if err == nil {
+				err = flushFrames(w.conn, batch)
+				if err != nil {
+					w.mu.Lock()
+					w.err = err
+					w.mu.Unlock()
+				}
+			}
+			for _, b := range batch {
+				putFrameBuf(b)
+			}
 		}
 	}
+}
+
+// flushFrames writes a batch of frames with one writev-style call.
+func flushFrames(conn net.Conn, batch []*[]byte) error {
+	bufs := make(net.Buffers, len(batch))
+	for i, b := range batch {
+		bufs[i] = *b
+	}
+	conn.SetWriteDeadline(time.Now().Add(writeStallBudget))
+	_, err := bufs.WriteTo(conn)
+	return err
 }
 
 // AddrResolver fetches a fresh node address map — typically by asking
@@ -208,21 +382,26 @@ type resolveFlight struct {
 	ok   bool
 }
 
-// TCPClient is an RPC over real sockets. It maintains a small pool of
-// connections per destination address.
+// TCPClient is an RPC over real sockets. It maintains one multiplexed
+// connection per destination: concurrent calls are pipelined on it with
+// per-call request ids, their frames coalesced into shared flushes by
+// the connection's writer goroutine, and responses demuxed to waiting
+// callers by the reader.
 //
-// Reliability: the context's deadline (and cancellation) is mapped onto
-// the connection's I/O deadlines, so a cancelled Call unblocks within
-// one frame round-trip. A call that fails at the connection level is
-// retried on a fresh connection when the message kind is idempotent
-// (wire.Kind.Idempotent) — a pooled connection may have died with the
-// server's previous incarnation — and, when an AddrResolver is set, the
-// address map is re-resolved first, so a node restarted on a new port or
-// a replacement under a fresh id is found without SetAddr.
+// Reliability: a cancelled or deadline-expired ctx abandons the call
+// immediately (the response, if one ever arrives, is discarded by the
+// demux), so a Call unblocks without waiting out the round-trip. A call
+// that fails at the connection level is retried on a fresh connection
+// when the message kind is idempotent (wire.Kind.Idempotent) — a
+// connection may have died with the server's previous incarnation — or
+// when the frame provably never left the client (it had not been
+// flushed when the connection failed), and, when an AddrResolver is
+// set, the address map is re-resolved first, so a node restarted on a
+// new port or a replacement under a fresh id is found without SetAddr.
 type TCPClient struct {
 	mu       sync.Mutex
 	addrs    map[wire.NodeID]string
-	pools    map[wire.NodeID]*connPool
+	conns    map[wire.NodeID]*connSlot
 	resolver AddrResolver
 	flight   *resolveFlight // in-flight resolve shared by concurrent callers
 	closed   bool
@@ -232,11 +411,16 @@ type TCPClient struct {
 // plus reconnect/re-resolve retries).
 const tcpAttempts = 3
 
+// errNoAddr marks the terminal "no address and none resolvable" state;
+// unlike a dial or connection failure it is not worth burning retry
+// attempts on.
+var errNoAddr = errors.New("no address")
+
 // NewTCPClient creates a client with a static node -> address map.
 // Addresses can be added later with SetAddr or discovered through an
 // AddrResolver (SetResolver).
 func NewTCPClient(addrs map[wire.NodeID]string) *TCPClient {
-	c := &TCPClient{addrs: make(map[wire.NodeID]string), pools: make(map[wire.NodeID]*connPool)}
+	c := &TCPClient{addrs: make(map[wire.NodeID]string), conns: make(map[wire.NodeID]*connSlot)}
 	for id, a := range addrs {
 		c.addrs[id] = a
 	}
@@ -255,9 +439,9 @@ func (c *TCPClient) setAddrLocked(id wire.NodeID, addr string) {
 		return
 	}
 	c.addrs[id] = addr
-	if p := c.pools[id]; p != nil {
-		p.closeAll() // force reconnect to the new address
-		delete(c.pools, id)
+	if slot := c.conns[id]; slot != nil {
+		slot.shutdown() // force reconnect to the new address
+		delete(c.conns, id)
 	}
 }
 
@@ -270,7 +454,7 @@ func (c *TCPClient) SetResolver(r AddrResolver) {
 }
 
 // UpdateAddrs merges a resolved address map; nodes whose address changed
-// get their pooled connections dropped so the next call redials.
+// get their connection dropped so the next call redials.
 func (c *TCPClient) UpdateAddrs(addrs map[wire.NodeID]string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -286,15 +470,15 @@ func (c *TCPClient) Addr(id wire.NodeID) string {
 	return c.addrs[id]
 }
 
-// Close closes all pooled connections.
+// Close closes all connections.
 func (c *TCPClient) Close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.closed = true
-	for _, p := range c.pools {
-		p.closeAll()
+	for _, slot := range c.conns {
+		slot.shutdown()
 	}
-	c.pools = make(map[wire.NodeID]*connPool)
+	c.conns = make(map[wire.NodeID]*connSlot)
 }
 
 // resolve refreshes the address map through the resolver, if any.
@@ -364,189 +548,509 @@ func (c *TCPClient) runResolveFlight(ctx context.Context, r AddrResolver, f *res
 	return true
 }
 
-// poolFor returns the connection pool for a node, resolving its address
-// first if unknown.
-func (c *TCPClient) poolFor(ctx context.Context, to wire.NodeID) (*connPool, error) {
+// connFor returns a live multiplexed connection to a node, resolving
+// its address first if unknown and dialing (single-flight per node) if
+// none is up. A returned error wrapping errNoAddr is terminal for the
+// call; any other error is a dial failure worth a retry.
+func (c *TCPClient) connFor(ctx context.Context, to wire.NodeID) (*muxConn, string, error) {
 	for attempt := 0; ; attempt++ {
 		c.mu.Lock()
 		if c.closed {
 			c.mu.Unlock()
-			return nil, fmt.Errorf("transport: client closed: %w", ErrNodeUnreachable)
+			return nil, "", fmt.Errorf("transport: client closed: %w: %w", errNoAddr, ErrNodeUnreachable)
 		}
-		if pool := c.pools[to]; pool != nil {
+		if slot := c.conns[to]; slot != nil {
 			c.mu.Unlock()
-			return pool, nil
+			mc, err := slot.get(ctx)
+			return mc, slot.addr, err
 		}
 		if addr, ok := c.addrs[to]; ok {
-			pool := &connPool{addr: addr}
-			c.pools[to] = pool
+			slot := &connSlot{addr: addr}
+			c.conns[to] = slot
 			c.mu.Unlock()
-			return pool, nil
+			mc, err := slot.get(ctx)
+			return mc, slot.addr, err
 		}
 		c.mu.Unlock()
 		if attempt > 0 || !c.resolve(ctx) {
-			return nil, fmt.Errorf("transport: no address for node %d: %w", to, ErrNodeUnreachable)
+			return nil, "", fmt.Errorf("transport: no address for node %d: %w: %w", to, errNoAddr, ErrNodeUnreachable)
 		}
+	}
+}
+
+// connSlot is the per-destination connection holder: one live muxConn,
+// re-dialed on demand with a single-flight guard so a shard fan-out
+// that finds the connection dead does not dogpile the destination with
+// parallel dials.
+type connSlot struct {
+	addr string
+
+	mu      sync.Mutex
+	conn    *muxConn
+	dialing chan struct{} // non-nil while a dial is in flight
+}
+
+func (s *connSlot) get(ctx context.Context) (*muxConn, error) {
+	for {
+		s.mu.Lock()
+		if s.conn != nil && !s.conn.broken() {
+			mc := s.conn
+			s.mu.Unlock()
+			return mc, nil
+		}
+		s.conn = nil
+		if s.dialing == nil {
+			ch := make(chan struct{})
+			s.dialing = ch
+			s.mu.Unlock()
+			mc, err := dialMux(ctx, s.addr)
+			s.mu.Lock()
+			s.dialing = nil
+			if err == nil {
+				s.conn = mc
+			}
+			s.mu.Unlock()
+			close(ch)
+			return mc, err
+		}
+		ch := s.dialing
+		s.mu.Unlock()
+		select {
+		case <-ch:
+			// Re-check: adopt the dialer's fresh connection, or — if its
+			// dial failed, possibly on its own shorter ctx — dial for
+			// ourselves on the next pass.
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func (s *connSlot) shutdown() {
+	s.mu.Lock()
+	mc := s.conn
+	s.conn = nil
+	s.mu.Unlock()
+	if mc != nil {
+		mc.shutdown()
 	}
 }
 
 // Call implements RPC.
 func (c *TCPClient) Call(ctx context.Context, to wire.NodeID, msg *wire.Msg) (*wire.Resp, error) {
-	var lastErr error
-	for attempt := 0; attempt < tcpAttempts; attempt++ {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("transport: call %v to node %d: %w", msg.Kind, to, err)
+	bc := BatchCall{To: to, Msg: msg}
+	c.callGroup(ctx, to, []*BatchCall{&bc})
+	return bc.Resp, bc.Err
+}
+
+// CallBatch implements BatchRPC: calls are grouped per destination and
+// every group enters its connection's write queue together, so one
+// stripe's same-destination frames leave in a single coalesced flush.
+// Per-call results land in each BatchCall; retry and re-resolve rules
+// are identical to Call's.
+func (c *TCPClient) CallBatch(ctx context.Context, calls []*BatchCall) {
+	groups := make(map[wire.NodeID][]*BatchCall, len(calls))
+	order := make([]wire.NodeID, 0, len(calls))
+	for _, bc := range calls {
+		if _, ok := groups[bc.To]; !ok {
+			order = append(order, bc.To)
 		}
-		pool, err := c.poolFor(ctx, to)
+		groups[bc.To] = append(groups[bc.To], bc)
+	}
+	if len(order) == 1 {
+		c.callGroup(ctx, order[0], calls)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, to := range order {
+		wg.Add(1)
+		go func(to wire.NodeID, group []*BatchCall) {
+			defer wg.Done()
+			c.callGroup(ctx, to, group)
+		}(to, groups[to])
+	}
+	wg.Wait()
+}
+
+// callGroup delivers a set of calls to one destination, enqueueing
+// their frames together (one flush) and applying Call's retry policy
+// per call: a frame that provably never left the client retries freely,
+// a frame that may have been delivered retries only for idempotent
+// kinds, and the address map is re-resolved between attempts.
+func (c *TCPClient) callGroup(ctx context.Context, to wire.NodeID, calls []*BatchCall) {
+	pending := make([]*BatchCall, len(calls))
+	copy(pending, calls)
+	lastErr := make(map[*BatchCall]error, len(calls))
+	fail := func(bc *BatchCall, err error) { bc.Resp, bc.Err = nil, err }
+	for attempt := 0; attempt < tcpAttempts && len(pending) > 0; attempt++ {
+		if err := ctx.Err(); err != nil {
+			for _, bc := range pending {
+				fail(bc, fmt.Errorf("transport: call %v to node %d: %w", bc.Msg.Kind, to, err))
+			}
+			return
+		}
+		mc, addr, err := c.connFor(ctx, to)
 		if err != nil {
-			if lastErr != nil {
-				return nil, lastErr
+			if errors.Is(err, errNoAddr) {
+				// Terminal: nothing to dial and nothing resolved. Prefer
+				// the more specific earlier failure when there was one.
+				for _, bc := range pending {
+					if le := lastErr[bc]; le != nil {
+						fail(bc, le)
+					} else {
+						fail(bc, err)
+					}
+				}
+				return
+			}
+			werr := fmt.Errorf("transport: call to node %d at %s: %v: %w", to, addr, err, ErrNodeUnreachable)
+			if ctx.Err() != nil {
+				for _, bc := range pending {
+					fail(bc, fmt.Errorf("transport: call %v to node %d: %w", bc.Msg.Kind, to, ctx.Err()))
+				}
+				return
+			}
+			for _, bc := range pending {
+				lastErr[bc] = werr
+			}
+			c.resolve(ctx)
+			continue
+		}
+		msgs := make([]*wire.Msg, len(pending))
+		for i, bc := range pending {
+			msgs[i] = bc.Msg
+		}
+		results := mc.do(ctx, msgs)
+		var next []*BatchCall
+		for i, r := range results {
+			bc := pending[i]
+			if r.err == nil {
+				bc.Resp, bc.Err = r.resp, nil
+				continue
+			}
+			if r.ctxDone {
+				fail(bc, fmt.Errorf("transport: call %v to node %d: %w", bc.Msg.Kind, to, r.err))
+				continue
+			}
+			le := fmt.Errorf("transport: call %v to node %d at %s: %v: %w", bc.Msg.Kind, to, addr, r.err, ErrNodeUnreachable)
+			lastErr[bc] = le
+			if r.sent && !bc.Msg.Kind.Idempotent() {
+				// The frame may have been delivered and applied; a
+				// non-idempotent request is never re-sent on doubt.
+				fail(bc, le)
+				continue
+			}
+			next = append(next, bc)
+		}
+		if ctx.Err() != nil {
+			for _, bc := range next {
+				fail(bc, fmt.Errorf("transport: call %v to node %d: %w", bc.Msg.Kind, to, ctx.Err()))
+			}
+			return
+		}
+		pending = next
+		if len(pending) > 0 {
+			// The node may have moved; refresh the map before redialing.
+			c.resolve(ctx)
+		}
+	}
+	for _, bc := range pending {
+		fail(bc, lastErr[bc])
+	}
+}
+
+// muxResult is the connection-level outcome of one call attempt.
+type muxResult struct {
+	resp    *wire.Resp
+	err     error
+	sent    bool // the frame may have reached the server
+	ctxDone bool // err is the caller's ctx error, not a connection failure
+}
+
+// muxCall is one in-flight request on a muxConn.
+type muxCall struct {
+	id   uint64
+	buf  *[]byte // encoded frame; owned by the writer once queued
+	done chan struct{}
+	resp *wire.Resp
+	err  error
+	sent bool // guarded by muxConn.mu until done is closed
+}
+
+// muxConn is one multiplexed client connection. Callers enqueue encoded
+// frames and wait per call; the writer goroutine drains the queue in
+// coalesced writev flushes and the reader demuxes responses by id.
+type muxConn struct {
+	conn net.Conn
+
+	mu      sync.Mutex
+	nextID  uint64
+	queue   []*muxCall
+	pending map[uint64]*muxCall
+	err     error // sticky; the connection is dead once set
+	wake    chan struct{}
+}
+
+// errConnClosed marks frames failed by a deliberate local shutdown
+// (Close or an address change), as opposed to a peer/network failure.
+var errConnClosed = errors.New("connection closed")
+
+func dialMux(ctx context.Context, addr string) (*muxConn, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	mc := &muxConn{
+		conn:    conn,
+		pending: make(map[uint64]*muxCall),
+		wake:    make(chan struct{}, 1),
+	}
+	go mc.writeLoop()
+	go mc.readLoop()
+	return mc, nil
+}
+
+func (mc *muxConn) broken() bool {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	return mc.err != nil
+}
+
+func (mc *muxConn) shutdown() { mc.fail(errConnClosed) }
+
+// fail marks the connection dead and completes every queued and pending
+// call with err. Calls still sitting in the write queue provably never
+// left (sent stays false); calls already handed to the writer keep
+// whatever sent state the writer established. Idempotent by design —
+// the first failure wins.
+func (mc *muxConn) fail(err error) {
+	mc.mu.Lock()
+	if mc.err != nil {
+		mc.mu.Unlock()
+		return
+	}
+	mc.err = err
+	queued := mc.queue
+	mc.queue = nil
+	for _, call := range queued {
+		putFrameBuf(call.buf)
+		call.buf = nil
+		delete(mc.pending, call.id)
+		call.err = err
+		close(call.done)
+	}
+	pending := mc.pending
+	mc.pending = make(map[uint64]*muxCall)
+	for _, call := range pending {
+		call.err = err
+		close(call.done)
+	}
+	mc.mu.Unlock()
+	select {
+	case mc.wake <- struct{}{}: // unstick an idle writer so it exits
+	default:
+	}
+	mc.conn.Close()
+}
+
+// enqueue encodes msgs and adds their frames to the write queue in one
+// critical section — a batch enters the queue contiguously and is
+// flushed together — then wakes the writer once.
+func (mc *muxConn) enqueue(msgs []*wire.Msg) ([]*muxCall, error) {
+	calls := make([]*muxCall, len(msgs))
+	encoded := make([]*[]byte, len(msgs))
+	for i, m := range msgs {
+		buf := getFrameBuf()
+		mc.mu.Lock()
+		mc.nextID++
+		id := mc.nextID
+		mc.mu.Unlock()
+		framed, err := appendMsgFrame((*buf)[:0], id, m)
+		if err != nil {
+			putFrameBuf(buf)
+			for _, b := range encoded[:i] {
+				putFrameBuf(b)
 			}
 			return nil, err
 		}
-		resp, sent, err := pool.call(ctx, msg)
-		if err == nil {
-			return resp, nil
-		}
-		lastErr = fmt.Errorf("transport: call %v to node %d at %s: %v: %w", msg.Kind, to, pool.addr, err, ErrNodeUnreachable)
-		if ctx.Err() != nil {
-			return nil, fmt.Errorf("transport: call %v to node %d: %w", msg.Kind, to, ctx.Err())
-		}
-		// Reconnect/retry policy: a call that provably sent nothing (a
-		// failed dial, or a frame that never finished writing) may be
-		// retried with any message; a connection that died mid-call may
-		// have delivered the frame, so only idempotent kinds are
-		// re-sent. Either way, re-resolve the address map first when a
-		// resolver is installed — the node may have moved.
-		if sent && !msg.Kind.Idempotent() {
-			return nil, lastErr
-		}
-		c.resolve(ctx)
+		*buf = framed
+		encoded[i] = buf
+		calls[i] = &muxCall{id: id, buf: buf, done: make(chan struct{})}
 	}
-	return nil, lastErr
-}
-
-type pooledConn struct {
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
-}
-
-type connPool struct {
-	addr string
-	mu   sync.Mutex
-	free []*pooledConn
-}
-
-// get returns a pooled or freshly dialed connection; reused reports
-// whether it came from the pool (and may therefore be stale).
-func (p *connPool) get(ctx context.Context) (pc *pooledConn, reused bool, err error) {
-	p.mu.Lock()
-	if n := len(p.free); n > 0 {
-		pc := p.free[n-1]
-		p.free = p.free[:n-1]
-		p.mu.Unlock()
-		return pc, true, nil
+	mc.mu.Lock()
+	if err := mc.err; err != nil {
+		mc.mu.Unlock()
+		for _, b := range encoded {
+			putFrameBuf(b)
+		}
+		return nil, err
 	}
-	p.mu.Unlock()
-	var d net.Dialer
-	conn, err := d.DialContext(ctx, "tcp", p.addr)
+	for _, call := range calls {
+		mc.queue = append(mc.queue, call)
+		mc.pending[call.id] = call
+	}
+	mc.mu.Unlock()
+	select {
+	case mc.wake <- struct{}{}:
+	default:
+	}
+	return calls, nil
+}
+
+// do runs a batch of calls on the connection and reports each one's
+// outcome. A done ctx abandons the remaining calls instantly: their
+// frames are withdrawn from the write queue when still unsent, and any
+// late responses are dropped by the demux.
+func (mc *muxConn) do(ctx context.Context, msgs []*wire.Msg) []muxResult {
+	results := make([]muxResult, len(msgs))
+	calls, err := mc.enqueue(msgs)
 	if err != nil {
-		return nil, false, fmt.Errorf("transport: dial %s: %w", p.addr, err)
-	}
-	return &pooledConn{
-		conn: conn,
-		r:    bufio.NewReaderSize(conn, 256<<10),
-		w:    bufio.NewWriterSize(conn, 256<<10),
-	}, false, nil
-}
-
-func (p *connPool) put(pc *pooledConn) {
-	p.mu.Lock()
-	if len(p.free) < 16 {
-		p.free = append(p.free, pc)
-		p.mu.Unlock()
-		return
-	}
-	p.mu.Unlock()
-	pc.conn.Close()
-}
-
-func (p *connPool) closeAll() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for _, pc := range p.free {
-		pc.conn.Close()
-	}
-	p.free = nil
-}
-
-// call performs one round trip. sent reports whether the request frame
-// may have reached the server (false when the failure happened before
-// the frame could have been delivered — a dial error, or a write
-// failure that never flushed the frame). A write failure on a reused
-// pooled connection means the server's previous incarnation closed it
-// while idle; the frame cannot have been processed by the current
-// server, so such calls transparently retry once on a fresh dial
-// regardless of idempotency.
-func (p *connPool) call(ctx context.Context, msg *wire.Msg) (resp *wire.Resp, sent bool, err error) {
-	pc, reused, err := p.get(ctx)
-	if err != nil {
-		return nil, false, err
-	}
-	resp, wrote, err := p.roundTrip(ctx, pc, msg)
-	if err != nil && reused {
-		// Every other pooled connection predates this failure and is
-		// suspect too (a server restart kills them all at once); drop
-		// them so any retry — ours below, or the caller's next attempt
-		// for an idempotent kind — dials fresh instead of burning
-		// attempts on more stale connections.
-		p.closeAll()
-	}
-	if err != nil && !wrote && reused && ctx.Err() == nil {
-		// The frame never left on the stale connection, so the current
-		// server incarnation cannot have processed it: retry once on a
-		// fresh dial regardless of idempotency.
-		pc, _, derr := p.get(ctx)
-		if derr != nil {
-			return nil, false, derr
+		for i := range results {
+			results[i] = muxResult{err: err}
 		}
-		resp, wrote, err = p.roundTrip(ctx, pc, msg)
+		return results
 	}
-	return resp, wrote, err
+	for i, call := range calls {
+		select {
+		case <-call.done:
+			results[i] = muxResult{resp: call.resp, err: call.err, sent: call.sent}
+		case <-ctx.Done():
+			results[i] = muxResult{err: ctx.Err(), sent: mc.abandon(call), ctxDone: true}
+		}
+	}
+	return results
 }
 
-// roundTrip runs one request/response exchange on pc, mapping the
-// context onto the connection so cancellation or deadline expiry forces
-// pending I/O to fail within one round-trip. wrote reports whether the
-// request frame was fully written.
-func (p *connPool) roundTrip(ctx context.Context, pc *pooledConn, msg *wire.Msg) (resp *wire.Resp, wrote bool, err error) {
-	stop := context.AfterFunc(ctx, func() {
-		pc.conn.SetDeadline(time.Unix(1, 0)) // in the past: unblock now
-	})
-	defer stop()
-	if d, ok := ctx.Deadline(); ok {
-		pc.conn.SetDeadline(d)
+// abandon withdraws a call after its caller's ctx fired: the frame is
+// pulled from the write queue when still unsent, and the pending entry
+// is removed so a late response is discarded. Reports whether the frame
+// may have reached the server.
+func (mc *muxConn) abandon(call *muxCall) (sent bool) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	select {
+	case <-call.done:
+		// Completed while we were abandoning; report its real state.
+		return call.sent
+	default:
 	}
-	if err := writeFrame(pc.w, &frame{Msg: msg}); err != nil {
-		pc.conn.Close()
-		return nil, false, err
+	for i, qc := range mc.queue {
+		if qc == call {
+			mc.queue = append(mc.queue[:i], mc.queue[i+1:]...)
+			putFrameBuf(call.buf)
+			call.buf = nil
+			break
+		}
 	}
-	f, err := readFrame(pc.r)
-	if err != nil {
-		pc.conn.Close()
-		return nil, true, err
+	delete(mc.pending, call.id)
+	return call.sent
+}
+
+// writeLoop drains the queue, coalescing everything queued since the
+// last flush into one writev-style write. Frames are marked sent before
+// the flush begins; after a write error the unwritten tail is
+// downgraded back to unsent (those frames provably never left), the
+// boundary frame staying sent — a truncated frame cannot be decoded by
+// the server, but conservatively counting it keeps a non-idempotent
+// request from ever being re-sent on doubt.
+func (mc *muxConn) writeLoop() {
+	for range mc.wake {
+		for {
+			mc.mu.Lock()
+			if mc.err != nil {
+				mc.mu.Unlock()
+				return
+			}
+			batch := mc.queue
+			mc.queue = nil
+			bufs := make(net.Buffers, len(batch))
+			for i, call := range batch {
+				call.sent = true
+				bufs[i] = *call.buf
+			}
+			mc.mu.Unlock()
+			if len(batch) == 0 {
+				break // back to waiting on wake
+			}
+			sizes := make([]int64, len(batch))
+			for i, call := range batch {
+				sizes[i] = int64(len(*call.buf))
+			}
+			mc.conn.SetWriteDeadline(time.Now().Add(writeStallBudget))
+			written, err := bufs.WriteTo(mc.conn)
+			if err != nil {
+				// Frames starting at or beyond the written-byte mark
+				// provably never left; the boundary frame (partially
+				// written) stays sent even though a truncated frame can
+				// never be decoded — conservative, so a non-idempotent
+				// request is never re-sent on doubt.
+				mc.mu.Lock()
+				var prefix int64
+				for i, call := range batch {
+					if prefix >= written {
+						select {
+						case <-call.done:
+							// Already completed (a concurrent fail);
+							// its sent state is final — never mutate
+							// after the waiter may read it.
+						default:
+							call.sent = false
+						}
+					}
+					prefix += sizes[i]
+				}
+				mc.mu.Unlock()
+				for _, call := range batch {
+					putFrameBuf(call.buf)
+					call.buf = nil
+				}
+				mc.fail(err)
+				return
+			}
+			for _, call := range batch {
+				putFrameBuf(call.buf)
+				call.buf = nil
+			}
+		}
 	}
-	if !stop() {
-		// The context fired mid-call; the deadline is poisoned, so do
-		// not pool the connection even though the call squeaked through.
-		pc.conn.Close()
-	} else {
-		pc.conn.SetDeadline(time.Time{})
-		p.put(pc)
+}
+
+// readLoop demuxes response frames to their waiting calls. Any read or
+// decode failure — including a peer speaking the retired gob framing,
+// surfaced as wire.ErrBadFormat — kills the connection and fails every
+// in-flight call.
+func (mc *muxConn) readLoop() {
+	r := bufio.NewReaderSize(mc.conn, 256<<10)
+	for {
+		hdr, err := readFrameHeader(r)
+		if err != nil {
+			mc.fail(err)
+			return
+		}
+		if hdr.typ != frameResp {
+			mc.fail(fmt.Errorf("transport: request frame on the client side: %w", wire.ErrBadFormat))
+			return
+		}
+		// The body escapes to the caller (Resp.Data aliases it), so it
+		// is allocated per response rather than pooled.
+		body := make([]byte, hdr.n)
+		if _, err := io.ReadFull(r, body); err != nil {
+			mc.fail(err)
+			return
+		}
+		resp := new(wire.Resp)
+		if err := resp.Decode(body); err != nil {
+			mc.fail(fmt.Errorf("transport: decode response: %w", err))
+			return
+		}
+		mc.mu.Lock()
+		call := mc.pending[hdr.id]
+		delete(mc.pending, hdr.id)
+		if call != nil {
+			call.resp = resp
+			close(call.done)
+		}
+		mc.mu.Unlock()
 	}
-	if f.Resp == nil {
-		return nil, true, errors.New("transport: response frame missing body")
-	}
-	return f.Resp, true, nil
 }

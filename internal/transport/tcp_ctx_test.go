@@ -298,7 +298,11 @@ func TestInprocCancelBetweenPricedSteps(t *testing.T) {
 // TestAddrMapCodec round-trips the wire address map.
 func TestAddrMapCodec(t *testing.T) {
 	in := map[wire.NodeID]string{0: "10.0.0.1:7000", 3: "127.0.0.1:9", 77: "[::1]:80"}
-	out, err := wire.DecodeAddrMap(wire.EncodeAddrMap(in))
+	enc, err := wire.EncodeAddrMap(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := wire.DecodeAddrMap(enc)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,14 +5,20 @@
 //   - Inproc: all nodes live in one process; calls are direct function
 //     dispatch priced by a netsim.Network. This is what the benchmark
 //     harness uses — deterministic, fast, and fully accounted.
-//   - TCP: real sockets with length-prefixed gob frames, used by
-//     cmd/ecfsd to run an actual distributed cluster.
+//   - TCP: real sockets carrying the fixed-layout binary codec of
+//     internal/wire on a multiplexed, pipelined connection per peer
+//     (see tcp.go), used by cmd/ecfsd to run an actual distributed
+//     cluster.
+//
+// Both transports price and frame with wire.Msg.WireSize /
+// wire.Resp.WireSize, which are exact for the binary codec — the
+// simulated byte counts and the bytes TCP ships are the same number.
 //
 // Every call carries a context.Context. The in-process transport checks
 // it before dispatch, so a cancelled context aborts a call chain at the
-// next priced step; the TCP transport maps the context's deadline (and
-// cancellation) onto connection deadlines, so a cancelled call unblocks
-// within one frame round-trip.
+// next priced step; the TCP transport abandons the call the moment the
+// context fires (late responses are discarded by the demux), so a
+// cancelled call unblocks immediately.
 //
 // A Handler processes one message and returns a response; the response's
 // Cost field carries the modeled synchronous latency of the remote work
@@ -49,6 +55,44 @@ type RPC interface {
 // Registrar accepts handler registrations for nodes.
 type Registrar interface {
 	Register(id wire.NodeID, h Handler)
+}
+
+// BatchCall is one call of a batch: destination and message in, response
+// or error out. Exactly one of Resp/Err is set once the batch returns.
+type BatchCall struct {
+	To   wire.NodeID
+	Msg  *wire.Msg
+	Resp *wire.Resp
+	Err  error
+}
+
+// BatchRPC is implemented by transports that can deliver a set of calls
+// more efficiently than issuing them one by one — the TCP client groups
+// same-destination calls so their frames enter the connection's write
+// queue together and leave in one coalesced flush. Semantics per call
+// are identical to RPC.Call.
+type BatchRPC interface {
+	RPC
+	CallBatch(ctx context.Context, calls []*BatchCall)
+}
+
+// Fanout delivers a set of calls through rpc, using CallBatch when the
+// transport supports it and falling back to concurrent Calls otherwise.
+// It returns when every call has its Resp or Err populated.
+func Fanout(ctx context.Context, rpc RPC, calls []*BatchCall) {
+	if b, ok := rpc.(BatchRPC); ok {
+		b.CallBatch(ctx, calls)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, bc := range calls {
+		wg.Add(1)
+		go func(bc *BatchCall) {
+			defer wg.Done()
+			bc.Resp, bc.Err = rpc.Call(ctx, bc.To, bc.Msg)
+		}(bc)
+	}
+	wg.Wait()
 }
 
 // ErrNodeUnreachable is the sentinel wrapped by every transport-level

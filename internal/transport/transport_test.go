@@ -230,17 +230,25 @@ func TestWireKindString(t *testing.T) {
 }
 
 func TestWireSizes(t *testing.T) {
-	// A placement is priced at 4 bytes per node plus its 8-byte epoch.
+	// WireSize is exact for the binary codec: the 68-byte fixed Msg
+	// header (which always carries the placement epoch) plus 4 bytes per
+	// placement node plus the variable sections.
 	m := &wire.Msg{Data: make([]byte, 100), Data2: make([]byte, 50), Loc: wire.StripeLoc{Nodes: make([]wire.NodeID, 10)}}
-	if m.WireSize() != 64+100+50+40+8 {
-		t.Fatalf("msg wire size = %d", m.WireSize())
+	if want := int64(68 + 40 + 100 + 50); m.WireSize() != want {
+		t.Fatalf("msg wire size = %d, want %d", m.WireSize(), want)
+	}
+	if got := int64(len(m.AppendTo(nil))); got != m.WireSize() {
+		t.Fatalf("encoded %d bytes but WireSize says %d", got, m.WireSize())
 	}
 	r := &wire.Resp{Data: make([]byte, 30), Err: "xx"}
-	if r.WireSize() != 48+30+2 {
-		t.Fatalf("resp wire size = %d", r.WireSize())
+	if want := int64(44 + 30 + 2); r.WireSize() != want {
+		t.Fatalf("resp wire size = %d, want %d", r.WireSize(), want)
 	}
-	if (&wire.Msg{}).WireSize() != 64 {
-		t.Fatalf("empty msg must not pay the epoch: %d", (&wire.Msg{}).WireSize())
+	if got := int64(len(r.AppendTo(nil))); got != r.WireSize() {
+		t.Fatalf("encoded %d bytes but WireSize says %d", got, r.WireSize())
+	}
+	if (&wire.Msg{}).WireSize() != 68 {
+		t.Fatalf("empty msg = %d, want the fixed header", (&wire.Msg{}).WireSize())
 	}
 }
 

@@ -32,6 +32,7 @@ import (
 	"repro/internal/blockstore"
 	"repro/internal/device"
 	"repro/internal/erasure"
+	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
@@ -230,8 +231,17 @@ func (si stripeInfo) parityNode(j int) wire.NodeID { return si.Loc.Nodes[si.K+j]
 // parityBlock returns the BlockID of parity j for a block in the stripe.
 func parityBlock(b wire.BlockID, k, j int) wire.BlockID { return b.WithIdx(uint8(k + j)) }
 
-// fanout issues one call per target concurrently and returns the largest
-// response cost — the latency of parallel synchronous hops — plus the
+// batchCaller is the optional Env extension for batch-capable
+// environments (an OSD whose transport implements transport.BatchRPC):
+// a fan-out's same-destination frames are flushed together instead of
+// one write per call.
+type batchCaller interface {
+	CallBatch(ctx context.Context, calls []*transport.BatchCall)
+}
+
+// fanout issues one call per target concurrently — batched through the
+// environment's transport when it supports it — and returns the largest
+// response cost (the latency of parallel synchronous hops) plus the
 // first error encountered.
 func fanout(ctx context.Context, env Env, targets []wire.NodeID, mk func(to wire.NodeID) *wire.Msg) (time.Duration, error) {
 	switch len(targets) {
@@ -246,6 +256,32 @@ func fanout(ctx context.Context, env Env, targets []wire.NodeID, mk func(to wire
 			return 0, err
 		}
 		return resp.Cost, nil
+	}
+	if bc, ok := env.(batchCaller); ok {
+		calls := make([]*transport.BatchCall, len(targets))
+		for i, to := range targets {
+			calls[i] = &transport.BatchCall{To: to, Msg: mk(to)}
+		}
+		bc.CallBatch(ctx, calls)
+		var (
+			maxCost time.Duration
+			firstE  error
+		)
+		for _, call := range calls {
+			if call.Err != nil {
+				if firstE == nil {
+					firstE = call.Err
+				}
+				continue
+			}
+			if err := call.Resp.Error(); err != nil && firstE == nil {
+				firstE = err
+			}
+			if call.Resp.Cost > maxCost {
+				maxCost = call.Resp.Cost
+			}
+		}
+		return maxCost, firstE
 	}
 	type result struct {
 		cost time.Duration

@@ -2,8 +2,10 @@
 // clients send to the metadata server and OSDs, and the inter-OSD
 // messages the update strategies exchange (delta forwards, log replicas,
 // parity-log appends). The same messages travel over both transports —
-// in-process (with simulated network pricing) and real TCP (gob-encoded,
-// length-prefixed).
+// in-process (with simulated network pricing) and real TCP
+// (length-prefixed frames holding the hand-rolled binary encoding of
+// codec.go, format v1). WireSize is exact on both: the bytes the
+// simulator prices are the bytes TCP ships.
 package wire
 
 import (
@@ -174,8 +176,8 @@ func (k Kind) DefaultClass() sim.Class {
 }
 
 // Msg is the single envelope for every request. Fields are a union; each
-// Kind documents which fields it uses. A flat struct keeps gob encoding
-// simple and the in-process fast path allocation-light.
+// Kind documents which fields it uses. A flat struct keeps the binary
+// codec a fixed layout and the in-process fast path allocation-light.
 type Msg struct {
 	Kind  Kind
 	From  NodeID
@@ -211,26 +213,24 @@ func (m *Msg) TrafficClass() sim.Class {
 	return m.Kind.DefaultClass()
 }
 
-// locWireSize prices a placement on the wire: 4 bytes per node id plus
-// the 8-byte epoch, shipped only when a placement is present at all.
-func locWireSize(l StripeLoc) int64 {
-	if len(l.Nodes) == 0 {
-		return 0
-	}
-	return 8 + 4*int64(len(l.Nodes))
-}
-
-// WireSize approximates the bytes this message occupies on the network,
-// used by the simulated transport for pricing. Header fields are counted
-// at a fixed 64 bytes, close to the gob framing overhead.
+// WireSize returns the exact number of bytes this message occupies on
+// the wire — precisely len(m.AppendTo(nil)) — used by the simulated
+// transport for pricing and by the TCP transport to size encode
+// buffers. The fixed header (msgFixedSize bytes, including the 8-byte
+// placement epoch) is always paid; the placement nodes, name and
+// payloads add their own bytes.
 func (m *Msg) WireSize() int64 {
-	return 64 + int64(len(m.Data)) + int64(len(m.Data2)) + locWireSize(m.Loc) + int64(len(m.Name))
+	return msgFixedSize + 4*int64(len(m.Loc.Nodes)) + int64(len(m.Name)) + int64(len(m.Data)) + int64(len(m.Data2))
 }
 
 // EncodeAddrMap packs a node address map into a byte payload for the
 // KResolveAddr reply: entries in ascending node-id order, each 4-byte
-// big-endian id, 2-byte big-endian length, then the address bytes.
-func EncodeAddrMap(addrs map[NodeID]string) []byte {
+// big-endian id, 2-byte big-endian length, then the address bytes. An
+// address longer than the 2-byte length field can carry (64 KiB — far
+// beyond any real host:port) is an error, never a silent skip: a
+// pathological address must not simply vanish from KResolveAddr
+// replies, leaving the node permanently unreachable with no diagnosis.
+func EncodeAddrMap(addrs map[NodeID]string) ([]byte, error) {
 	ids := make([]NodeID, 0, len(addrs))
 	for id := range addrs {
 		ids = append(ids, id)
@@ -240,13 +240,13 @@ func EncodeAddrMap(addrs map[NodeID]string) []byte {
 	for _, id := range ids {
 		a := addrs[id]
 		if len(a) > 0xFFFF {
-			continue
+			return nil, fmt.Errorf("wire: address of node %d is %d bytes, exceeds the 64 KiB wire bound", id, len(a))
 		}
 		out = append(out, byte(uint32(id)>>24), byte(uint32(id)>>16), byte(uint32(id)>>8), byte(uint32(id)))
 		out = append(out, byte(len(a)>>8), byte(len(a)))
 		out = append(out, a...)
 	}
-	return out
+	return out, nil
 }
 
 // DecodeAddrMap unpacks an EncodeAddrMap payload.
@@ -337,9 +337,10 @@ func (r *Resp) IsStale() bool { return r.Code == StatusStaleEpoch }
 // IsNotFound reports whether the reply is a structured block-not-found.
 func (r *Resp) IsNotFound() bool { return r.Code == StatusNotFound }
 
-// WireSize approximates the reply's size on the network.
+// WireSize returns the exact number of bytes this reply occupies on the
+// wire — precisely len(r.AppendTo(nil)); see Msg.WireSize.
 func (r *Resp) WireSize() int64 {
-	return 48 + int64(len(r.Data)) + int64(len(r.Err)) + locWireSize(r.Loc)
+	return respFixedSize + 4*int64(len(r.Loc.Nodes)) + int64(len(r.Err)) + int64(len(r.Data))
 }
 
 // OK reports whether the response carries no error.
