@@ -4,11 +4,11 @@ GO ?= go
 # (BENCH_$(BENCH_ID).json); bump it per PR so trajectories accumulate.
 BENCH_ID ?= pr6
 
-.PHONY: verify verify-race build vet test race bench bench-json example-recovery docs-check
+.PHONY: verify verify-race build vet test race bench bench-json example-recovery docs-check scenario-smoke
 
 # bench is part of verify as a smoke run (-benchtime 1x): benchmark code
 # must keep compiling and running between trajectory snapshots.
-verify: build vet test bench docs-check
+verify: build vet test bench docs-check scenario-smoke
 
 # verify-race runs the full suite under the race detector — the gate for
 # changes touching MDS sharding, repair/drain, or client retry
@@ -42,6 +42,13 @@ bench-json:
 # (see cmd/docscheck). Part of make verify and the CI verify job.
 docs-check:
 	$(GO) run ./cmd/docscheck
+
+# scenario-smoke runs a seeded two-tenant soak (OSD kill +
+# drain-cancel-resume under the race detector, every phase checkpoint
+# verifying parity, epochs, acknowledged writes, and the repair ledger).
+# See docs/SCENARIOS.md. Part of make verify and the CI verify job.
+scenario-smoke:
+	$(GO) test -race -run 'TestScenarioSmoke' -count=1 ./internal/scenario/
 
 example-recovery:
 	$(GO) run ./examples/recovery

@@ -12,6 +12,8 @@
 //	tsuebench -exp fig8b -fig8b-workers 1,4,16
 //	tsuebench -exp mds-scale          # metadata sharding: lookup/create + StripesOn vs shard count
 //	tsuebench -exp codec              # wire codec + transport microbenchmarks (gob vs binary)
+//	tsuebench -exp scenario           # multi-tenant soak with scheduled fault injection + invariant checks
+//	tsuebench -exp scenario -scenario churn -tenants 4 -fault-seed 7 -soak-duration 30s
 //	tsuebench -exp fig5 -json         # also write machine-readable BENCH_fig5.json
 //	tsuebench -exp repair,fig8b,codec -combined BENCH_pr6.json
 //	                                  # several experiments, one combined JSON trajectory file
@@ -34,6 +36,7 @@ import (
 	"syscall"
 
 	"repro/internal/bench"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -47,6 +50,10 @@ func main() {
 		rworkers   = flag.String("recovery-workers", "", "override the recovery experiment's worker sweep, e.g. 1,4,16")
 		f8workers  = flag.String("fig8b-workers", "", "add a rebuild-worker axis to the fig8b HDD recovery sweep, e.g. 1,4,16")
 		rebuildCap = flag.Float64("max-rebuild-mbps", 0, "rebuild-bandwidth cap (decimal MB/s) for the repair experiment's capped drain row; 0 derives it from the uncapped baseline")
+		scen       = flag.String("scenario", "", "fault-mix preset for the scenario experiment ("+strings.Join(scenario.Presets(), " | ")+"); empty selects mixed")
+		tenants    = flag.Int("tenants", 0, "tenant count for the scenario experiment; 0 selects the scenario default")
+		faultSeed  = flag.Int64("fault-seed", 0, "fault-timeline seed for the scenario experiment; 0 falls back to -seed")
+		soak       = flag.Duration("soak-duration", 0, "wall-clock soak budget for the scenario experiment (e.g. 30s); 0 runs exactly one pass")
 		jsonOut    = flag.Bool("json", false, "additionally write each report as machine-readable BENCH_<id>.json")
 		outDir     = flag.String("out", ".", "directory for -json output files")
 		combined   = flag.String("combined", "", "additionally write every selected report into one combined JSON file (a bench trajectory snapshot)")
@@ -83,6 +90,14 @@ func main() {
 	}
 	if *rebuildCap > 0 {
 		s.MaxRebuildMBps = *rebuildCap
+	}
+	s.Scenario = *scen
+	if *tenants > 0 {
+		s.Tenants = *tenants
+	}
+	s.FaultSeed = *faultSeed
+	if *soak > 0 {
+		s.SoakDuration = *soak
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -68,6 +68,15 @@ type Scale struct {
 	// cap from the measured uncapped baseline (a quarter of it).
 	// tsuebench threads -max-rebuild-mbps through here.
 	MaxRebuildMBps float64
+	// Scenario, Tenants, FaultSeed, and SoakDuration parameterize the
+	// scenario extension (the multi-tenant fault-injection soak,
+	// internal/scenario). Zero values select the scenario defaults;
+	// FaultSeed 0 falls back to Seed. tsuebench threads -scenario,
+	// -tenants, -fault-seed, and -soak-duration through here.
+	Scenario     string
+	Tenants      int
+	FaultSeed    int64
+	SoakDuration time.Duration
 }
 
 // Quick returns a scale small enough for tests and CI.

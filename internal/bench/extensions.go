@@ -18,7 +18,7 @@ func Latency(ctx context.Context, s Scale) (*Report, error) {
 	rep := &Report{
 		ID:     "latency",
 		Title:  "Extension: update latency distribution (Ten-Cloud, RS(6,4))",
-		Header: []string{"method", "mean", "p50", "p99", "max"},
+		Header: []string{"method", "mean", "p50", "p99", "p999", "max"},
 	}
 	for _, method := range []string{"fo", "pl", "plr", "parix", "cord", "tsue"} {
 		tr, err := makeTrace("ten", s)
@@ -41,11 +41,13 @@ func Latency(ctx context.Context, s Scale) (*Report, error) {
 			return nil, err
 		}
 		settleCluster(c)
+		qs := r.Latency.Percentiles(50, 99, 99.9)
 		rep.Rows = append(rep.Rows, []string{
 			method,
 			fmtUS(r.Latency.Mean()),
-			fmtUS(r.Latency.Percentile(50)),
-			fmtUS(r.Latency.Percentile(99)),
+			fmtUS(qs[0]),
+			fmtUS(qs[1]),
+			fmtUS(qs[2]),
 			fmtUS(r.Latency.Max()),
 		})
 		c.Close()
@@ -138,4 +140,5 @@ var Extensions = map[string]func(context.Context, Scale) (*Report, error){
 	"repair":         Repair,
 	"mds-scale":      MDSScale,
 	"codec":          Codec,
+	"scenario":       ScenarioSoak,
 }

@@ -145,12 +145,12 @@ func TestExtensionRegistry(t *testing.T) {
 			t.Fatalf("extension %s nil", id)
 		}
 	}
-	for _, id := range []string{"latency", "compression", "recovery", "recovery-multi", "repair", "mds-scale", "codec"} {
+	for _, id := range []string{"latency", "compression", "recovery", "recovery-multi", "repair", "mds-scale", "codec", "scenario"} {
 		if Extensions[id] == nil {
 			t.Fatalf("extension %s missing", id)
 		}
 	}
-	if len(Extensions) != 7 {
+	if len(Extensions) != 8 {
 		t.Fatalf("extensions = %d", len(Extensions))
 	}
 	_ = strconv.Itoa

@@ -16,7 +16,9 @@ package device
 
 import (
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/sim"
@@ -129,6 +131,10 @@ type Device struct {
 	profile Profile
 	res     *sim.Resource
 
+	// slow holds the fault-injection latency multiplier as float64 bits;
+	// 0 means no multiplier has been set (factor 1).
+	slow atomic.Uint64
+
 	mu    sync.Mutex
 	stats Stats
 }
@@ -148,6 +154,36 @@ func New(name string, p Profile) *Device {
 // Profile returns the device's cost profile.
 func (d *Device) Profile() Profile { return d.profile }
 
+// SetSlowdown sets a latency multiplier applied to every subsequent
+// read and write — the scenario harness's slow-device fault: a value of
+// 4 makes the device price each operation at 4x its profile cost.
+// Factors below 1 (including 0) restore full speed. Safe to flip while
+// operations are in flight; in-flight charges use whichever factor they
+// observed.
+func (d *Device) SetSlowdown(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	d.slow.Store(math.Float64bits(factor))
+}
+
+// Slowdown returns the current latency multiplier (1 when healthy).
+func (d *Device) Slowdown() float64 {
+	bits := d.slow.Load()
+	if bits == 0 {
+		return 1
+	}
+	return math.Float64frombits(bits)
+}
+
+// throttle applies the current slowdown factor to a priced latency.
+func (d *Device) throttle(lat time.Duration) time.Duration {
+	if f := d.Slowdown(); f > 1 {
+		return time.Duration(float64(lat) * f)
+	}
+	return lat
+}
+
 // Resource exposes the busy-time accounting resource.
 func (d *Device) Resource() *sim.Resource { return d.res }
 
@@ -163,6 +199,7 @@ func (d *Device) Read(size int64, random bool) time.Duration {
 	} else {
 		lat = d.profile.SeqOpLat + transfer(size, d.profile.SeqReadBW)
 	}
+	lat = d.throttle(lat)
 	d.mu.Lock()
 	d.stats.Reads++
 	d.stats.ReadBytes += size
@@ -186,6 +223,7 @@ func (d *Device) Write(size int64, random, overwrite bool) time.Duration {
 	} else {
 		lat = d.profile.SeqOpLat + transfer(size, d.profile.SeqWriteBW)
 	}
+	lat = d.throttle(lat)
 	d.mu.Lock()
 	d.stats.Writes++
 	d.stats.WriteBytes += size

@@ -66,7 +66,8 @@ type Cluster struct {
 	MDS     *MDS
 	OSDs    []*OSD
 	code    *erasure.Code
-	nextCli atomic.Int32 // next client node id offset from ClientIDBase
+	cfg     update.Config // resolved strategy config every OSD was built with
+	nextCli atomic.Int32  // next client node id offset from ClientIDBase
 
 	// handleCli is the shared client behind OpenFile/CreateFile handles
 	// (lazily provisioned; Client is safe for concurrent use).
@@ -98,7 +99,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 	nw := netsim.New(opts.Net)
 	tr := transport.NewInproc(nw)
 	c := &Cluster{
-		Opts: opts, Net: nw, Tr: tr, code: code,
+		Opts: opts, Net: nw, Tr: tr, code: code, cfg: cfg,
 		failed: make(map[wire.NodeID]bool),
 	}
 
@@ -290,6 +291,28 @@ func (c *Cluster) FailOSD(id wire.NodeID) {
 // id than the victim joins before Recover rebinds stripes onto it. It
 // is Reinstate under a name that reads as admission.
 func (c *Cluster) AddOSD(osd *OSD) { c.Reinstate(osd) }
+
+// SpawnOSD builds a fresh OSD under the given node id with exactly the
+// cluster's construction-time configuration (device profile, update
+// strategy, erasure kind) — the replacement-node factory the scenario
+// harness and operator tooling use before AddOSD/Recover. The OSD is
+// not registered anywhere; pass it to AddOSD (fresh id) or Reinstate
+// (same id) to admit it.
+func (c *Cluster) SpawnOSD(id wire.NodeID) (*OSD, error) {
+	return NewOSD(id, c.Opts.Device, c.Tr.Caller(id), c.Opts.Method, c.cfg, c.Opts.Kind)
+}
+
+// MaxNodeID returns the largest OSD node id currently registered —
+// fresh replacement ids are allocated above it.
+func (c *Cluster) MaxNodeID() wire.NodeID {
+	var m wire.NodeID
+	for _, o := range c.OSDs {
+		if o.id > m {
+			m = o.id
+		}
+	}
+	return m
+}
 
 // Reinstate returns a replacement OSD to service under its node id: the
 // transport handler is (re-)registered, the OSD list entry swapped (the

@@ -823,7 +823,7 @@ func (m *MDS) Handler(ctx context.Context, msg *wire.Msg) *wire.Resp {
 	case wire.KMDSLookup:
 		loc, err := m.Lookup(msg.Block.Ino, msg.Block.Stripe)
 		if err != nil {
-			return &wire.Resp{Err: err.Error()}
+			return wire.ErrorResp(err)
 		}
 		return &wire.Resp{Loc: loc}
 	case wire.KMDSHeartbeat:
@@ -837,7 +837,7 @@ func (m *MDS) Handler(ctx context.Context, msg *wire.Msg) *wire.Resp {
 		// than silently dropping the node from the map.
 		data, err := wire.EncodeAddrMap(m.AddrMap())
 		if err != nil {
-			return &wire.Resp{Err: err.Error()}
+			return wire.ErrorResp(err)
 		}
 		return &wire.Resp{
 			Data: data,

@@ -248,7 +248,7 @@ func (o *OSD) Handler(ctx context.Context, msg *wire.Msg) *wire.Resp {
 		}
 		cost, err := o.strategy.Update(ctx, msg)
 		if err != nil {
-			return &wire.Resp{Err: err.Error()}
+			return wire.ErrorResp(err)
 		}
 		return &wire.Resp{Cost: cost}
 	case wire.KRead:
@@ -261,7 +261,7 @@ func (o *OSD) Handler(ctx context.Context, msg *wire.Msg) *wire.Resp {
 		}
 		data, cost, err := o.strategy.Read(msg.Block, msg.Off, int(msg.Size))
 		if err != nil {
-			return &wire.Resp{Err: err.Error()}
+			return wire.ErrorResp(err)
 		}
 		return &wire.Resp{Data: data, Cost: cost}
 	case wire.KEpochUpdate:
@@ -289,13 +289,13 @@ func (o *OSD) Handler(ctx context.Context, msg *wire.Msg) *wire.Resp {
 			// migrated copy carries updates still buffered here.
 			data, cost, err := o.strategy.Read(msg.Block, 0, size)
 			if err != nil {
-				return &wire.Resp{Err: err.Error()}
+				return wire.ErrorResp(err)
 			}
 			return &wire.Resp{Data: data, Cost: cost}
 		}
 		data, cost, err := o.store.ReadRange(msg.Block, 0, size, false)
 		if err != nil {
-			return &wire.Resp{Err: err.Error()}
+			return wire.ErrorResp(err)
 		}
 		return &wire.Resp{Data: data, Cost: cost}
 	case wire.KBlockStore:
@@ -315,7 +315,7 @@ func (o *OSD) Handler(ctx context.Context, msg *wire.Msg) *wire.Resp {
 	case wire.KDrainLogs:
 		dead := decodeDeadList(msg.Data)
 		if err := o.strategy.Drain(ctx, int(msg.Flag), dead); err != nil {
-			return &wire.Resp{Err: err.Error()}
+			return wire.ErrorResp(err)
 		}
 		return &wire.Resp{}
 	case wire.KPing:

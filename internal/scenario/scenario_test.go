@@ -1,0 +1,168 @@
+package scenario
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestScenarioSmoke is the CI soak (make scenario-smoke): two tenants,
+// four scheduled faults — the mandatory OSD kill and drain-cancel-
+// resume among them — with the full invariant suite at every phase
+// checkpoint, run under -race.
+func TestScenarioSmoke(t *testing.T) {
+	eng, err := New(Spec{Name: "mixed", Seed: 7, Tenants: 2, Clients: 3, Phases: 2, Events: 4, Ops: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[EventKind]int{}
+	for _, ev := range eng.Timeline() {
+		kinds[ev.Kind]++
+	}
+	if kinds[EventKillOSD] == 0 || kinds[EventDrainCancelResume] == 0 {
+		t.Fatalf("timeline missing mandatory kinds:\n%s", FormatTimeline(eng.Timeline()))
+	}
+	res, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatalf("soak failed:\n%s\nerror: %v", FormatTimeline(eng.Timeline()), err)
+	}
+	if res.Passes != 1 || res.Checkpoints != 2 {
+		t.Fatalf("got %d passes / %d checkpoints, want 1 / 2", res.Passes, res.Checkpoints)
+	}
+	if res.EventsFired < 3 {
+		t.Fatalf("only %d events fired, want >= 3", res.EventsFired)
+	}
+	if res.StripesScrubbed == 0 {
+		t.Fatal("scrub checked no stripes")
+	}
+	if len(res.Tenants) != 2 {
+		t.Fatalf("got %d tenant results, want 2", len(res.Tenants))
+	}
+	for _, tr := range res.Tenants {
+		if tr.Ops == 0 {
+			t.Fatalf("tenant %s completed no ops (errors: %v)", tr.Tenant, tr.ErrorsBy)
+		}
+		if tr.Write.N > 0 && tr.Write.P999 < tr.Write.P50 {
+			t.Fatalf("tenant %s write quantiles not ordered: %+v", tr.Tenant, tr.Write)
+		}
+	}
+}
+
+// TestScenarioTimelineDeterministic is the reproducibility contract:
+// the same spec (same -fault-seed) yields an identical fault timeline.
+func TestScenarioTimelineDeterministic(t *testing.T) {
+	spec := Spec{Name: "churn", Seed: 42, Tenants: 2, Events: 6, Phases: 3}
+	a, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta, tb := FormatTimeline(a.Timeline()), FormatTimeline(b.Timeline()); ta != tb {
+		t.Fatalf("same seed produced different timelines:\n%s\n--- vs ---\n%s", ta, tb)
+	}
+}
+
+// TestScheduleMandatoryKindsAndBounds checks every preset and a seed
+// sweep: the generated timeline always contains at least one OSD kill
+// and one drain-cancel-resume, every event lands in a valid phase, and
+// triggers stay inside the workload window.
+func TestScheduleMandatoryKindsAndBounds(t *testing.T) {
+	for _, preset := range Presets() {
+		for seed := int64(0); seed < 20; seed++ {
+			spec := Spec{Name: preset, Seed: seed}
+			spec.applyDefaults()
+			evs := schedule(spec, 0)
+			if len(evs) != spec.Events {
+				t.Fatalf("%s/%d: %d events, want %d", preset, seed, len(evs), spec.Events)
+			}
+			kinds := map[EventKind]int{}
+			for _, ev := range evs {
+				kinds[ev.Kind]++
+				if ev.Phase < 0 || ev.Phase >= spec.Phases {
+					t.Fatalf("%s/%d: event phase %d out of range", preset, seed, ev.Phase)
+				}
+				if ev.Frac <= 0 || ev.Frac >= 1 {
+					t.Fatalf("%s/%d: event frac %v out of (0,1)", preset, seed, ev.Frac)
+				}
+			}
+			if kinds[EventKillOSD] == 0 || kinds[EventDrainCancelResume] == 0 {
+				t.Fatalf("%s/%d: mandatory kinds missing:\n%s", preset, seed, FormatTimeline(evs))
+			}
+		}
+	}
+}
+
+// TestScenarioAllEventKinds soaks a schedule that includes every fault
+// kind — slow-device windows and cap rebases alongside the mandatory
+// kill and drain — and requires a clean invariant suite.
+func TestScenarioAllEventKinds(t *testing.T) {
+	// Deterministically find a seed whose "degrade" timeline covers all
+	// four kinds (the first two are forced; slow/cap are weight-favored).
+	var eng *Engine
+	for seed := int64(0); seed < 64; seed++ {
+		cand, err := New(Spec{Name: "degrade", Seed: seed, Tenants: 3, Clients: 2, Phases: 2, Events: 6, Ops: 300})
+		if err != nil {
+			t.Fatal(err)
+		}
+		kinds := map[EventKind]bool{}
+		for _, ev := range cand.Timeline() {
+			kinds[ev.Kind] = true
+		}
+		if len(kinds) == int(numEventKinds) {
+			eng = cand
+			break
+		}
+	}
+	if eng == nil {
+		t.Fatal("no seed in sweep covers all event kinds")
+	}
+	res, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatalf("soak failed:\n%s\nerror: %v", FormatTimeline(eng.Timeline()), err)
+	}
+	if res.EventsFired != 6 {
+		t.Fatalf("got %d events fired, want 6", res.EventsFired)
+	}
+	if res.Checkpoints != 2 {
+		t.Fatalf("got %d checkpoints, want 2", res.Checkpoints)
+	}
+}
+
+// TestScenarioSoakDuration runs the multi-pass path: a tiny wall-clock
+// budget must still complete at least one full pass and keep the
+// invariant suite green across cluster rebuilds.
+func TestScenarioSoakDuration(t *testing.T) {
+	eng, err := New(Spec{Seed: 11, Tenants: 2, Clients: 2, Phases: 2, Events: 3, Ops: 120,
+		SoakDuration: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passes < 1 {
+		t.Fatalf("got %d passes, want >= 1", res.Passes)
+	}
+	if res.Checkpoints != 2*res.Passes {
+		t.Fatalf("got %d checkpoints over %d passes, want %d", res.Checkpoints, res.Passes, 2*res.Passes)
+	}
+}
+
+// TestScenarioSpecValidation rejects unknown presets and clusters with
+// no slack above the K+M pool floor.
+func TestScenarioSpecValidation(t *testing.T) {
+	if _, err := New(Spec{Name: "nope"}); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	spec := Spec{}
+	spec.applyDefaults()
+	opts := *spec.Cluster
+	opts.NumOSDs = opts.K + opts.M
+	if _, err := New(Spec{Cluster: &opts}); err == nil {
+		t.Fatal("cluster at pool floor accepted")
+	}
+}

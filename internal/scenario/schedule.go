@@ -1,0 +1,183 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// EventKind names one injectable fault.
+type EventKind uint8
+
+// Fault-event kinds. Each kind is one entry of the fault-event catalog
+// in docs/SCENARIOS.md.
+const (
+	// EventKillOSD fails a live OSD (its store and logs are lost),
+	// admits a fresh-id replacement, and runs a prioritized repair onto
+	// it while traffic continues.
+	EventKillOSD EventKind = iota
+	// EventDrainCancelResume starts draining a live node, cancels the
+	// drain mid-flight after Hold progress, resumes it to completion,
+	// and finally rejoins the emptied node to the placement pool.
+	EventDrainCancelResume
+	// EventSlowDevice multiplies one OSD's device latency by Param for a
+	// Hold window, then restores full speed (sim-layer throttling).
+	EventSlowDevice
+	// EventCapRebase rebases the cluster rebuild-bandwidth cap to Param
+	// decimal MB/s (0 uncaps) for every subsequent repair admission.
+	EventCapRebase
+
+	numEventKinds
+)
+
+var eventNames = [numEventKinds]string{
+	"kill-osd", "drain-cancel-resume", "slow-device", "cap-rebase",
+}
+
+// String returns the kind's catalog name.
+func (k EventKind) String() string {
+	if int(k) < len(eventNames) {
+		return eventNames[k]
+	}
+	return "invalid"
+}
+
+// Event is one scheduled fault of a scenario timeline. Events are
+// generated deterministically from the scenario seed before any
+// workload runs; execution fires them when the pass's operation counter
+// crosses Frac of the owning phase's operations, in (Phase, Frac)
+// order, one at a time.
+type Event struct {
+	// Seq is the event's position in the sorted timeline.
+	Seq int
+	// Phase is the workload phase the event fires in.
+	Phase int
+	// Frac is the fraction of the phase's operations that must have been
+	// attempted before the event fires.
+	Frac float64
+	// Kind selects the fault.
+	Kind EventKind
+	// Pick is a deterministic target draw; execution reduces it modulo
+	// the candidate set alive at fire time, so the timeline stays
+	// reproducible even as membership churns.
+	Pick uint64
+	// Param is the kind-specific magnitude: the slowdown factor for
+	// EventSlowDevice, the new cap in decimal MB/s for EventCapRebase
+	// (0 = uncap); unused otherwise.
+	Param float64
+	// Hold is the kind-specific window, as a fraction of the phase's
+	// operations: how long a slow device stays slow, or how far into the
+	// drain the cancellation lands.
+	Hold float64
+}
+
+// String renders one timeline line; the full timeline is the scenario's
+// reproducibility contract — identical for identical seeds.
+func (e Event) String() string {
+	s := fmt.Sprintf("#%d phase=%d @%.0f%% %s pick=%d", e.Seq, e.Phase, 100*e.Frac, e.Kind, e.Pick%1000)
+	switch e.Kind {
+	case EventSlowDevice:
+		s += fmt.Sprintf(" x%.1f hold=%.0f%%", e.Param, 100*e.Hold)
+	case EventCapRebase:
+		s += fmt.Sprintf(" cap=%.0fMBps", e.Param)
+	case EventDrainCancelResume:
+		s += fmt.Sprintf(" cancel@%.0f%%", 100*e.Hold)
+	}
+	return s
+}
+
+// FormatTimeline renders a schedule one event per line.
+func FormatTimeline(evs []Event) string {
+	lines := make([]string, len(evs))
+	for i, e := range evs {
+		lines[i] = e.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// presetWeights maps a scenario preset name to per-kind draw weights
+// for the events beyond the two mandatory ones.
+var presetWeights = map[string][numEventKinds]int{
+	// mixed exercises every kind evenly.
+	"mixed": {1, 1, 1, 1},
+	// churn is membership-heavy: kills and drains dominate.
+	"churn": {3, 2, 1, 1},
+	// degrade is performance-fault-heavy: slow devices and cap churn.
+	"degrade": {1, 1, 3, 2},
+}
+
+// Presets lists the scenario preset names accepted by Spec.Name.
+func Presets() []string {
+	out := make([]string, 0, len(presetWeights))
+	for name := range presetWeights {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// schedule generates the deterministic fault timeline for one pass of a
+// scenario. The first two events are always an OSD kill and a
+// drain-cancel-resume (every soak exercises unplanned and planned
+// churn); the rest are drawn by the preset's kind weights. Identical
+// (spec, pass) inputs yield identical timelines.
+func schedule(spec Spec, pass int) []Event {
+	rng := rand.New(rand.NewSource(spec.Seed ^ int64(pass)*0x9e3779b9))
+	weights, ok := presetWeights[spec.Name]
+	if !ok {
+		weights = presetWeights["mixed"]
+	}
+	n := spec.Events
+	evs := make([]Event, 0, n)
+	for i := 0; i < n; i++ {
+		var kind EventKind
+		switch i {
+		case 0:
+			kind = EventKillOSD
+		case 1:
+			kind = EventDrainCancelResume
+		default:
+			kind = drawKind(rng, weights)
+		}
+		ev := Event{
+			Kind:  kind,
+			Phase: rng.Intn(spec.Phases),
+			Frac:  0.15 + 0.55*rng.Float64(),
+			Pick:  rng.Uint64(),
+			Hold:  0.05 + 0.15*rng.Float64(),
+		}
+		switch kind {
+		case EventSlowDevice:
+			ev.Param = 2 + 6*rng.Float64()
+		case EventCapRebase:
+			ev.Param = []float64{0, 8, 24, 96}[rng.Intn(4)]
+		}
+		evs = append(evs, ev)
+	}
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Phase != evs[j].Phase {
+			return evs[i].Phase < evs[j].Phase
+		}
+		return evs[i].Frac < evs[j].Frac
+	})
+	for i := range evs {
+		evs[i].Seq = i
+	}
+	return evs
+}
+
+func drawKind(rng *rand.Rand, weights [numEventKinds]int) EventKind {
+	total := 0
+	for _, w := range weights {
+		total += w
+	}
+	d := rng.Intn(total)
+	for k, w := range weights {
+		if d < w {
+			return EventKind(k)
+		}
+		d -= w
+	}
+	return EventKillOSD
+}

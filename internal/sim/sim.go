@@ -220,21 +220,33 @@ func (l *LatencyRecorder) Observe(d time.Duration) {
 // Percentile returns the p-th percentile (0 < p <= 100) of the retained
 // samples, or 0 with no samples.
 func (l *LatencyRecorder) Percentile(p float64) time.Duration {
+	return l.Percentiles(p)[0]
+}
+
+// Percentiles returns the requested percentiles (each 0 < p <= 100,
+// e.g. 50, 99, 99.9) of the retained samples, positionally aligned with
+// ps, from a single sort of the sample set — the tail-latency query the
+// benchmark tables are built from. With no samples every entry is 0.
+func (l *LatencyRecorder) Percentiles(ps ...float64) []time.Duration {
+	out := make([]time.Duration, len(ps))
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if len(l.samples) == 0 {
-		return 0
+		return out
 	}
 	sorted := append([]time.Duration(nil), l.samples...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	idx := int(p/100*float64(len(sorted))) - 1
-	if idx < 0 {
-		idx = 0
+	for i, p := range ps {
+		idx := int(p/100*float64(len(sorted))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		out[i] = sorted[idx]
 	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
+	return out
 }
 
 // Count returns the number of samples.

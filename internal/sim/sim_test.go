@@ -138,6 +138,32 @@ func TestLatencyPercentiles(t *testing.T) {
 	}
 }
 
+func TestLatencyPercentilesBatch(t *testing.T) {
+	var l LatencyRecorder
+	if got := l.Percentiles(50, 99, 99.9); len(got) != 3 || got[0] != 0 || got[1] != 0 || got[2] != 0 {
+		t.Fatalf("empty recorder batch = %v, want three zeros", got)
+	}
+	for i := 1; i <= 1000; i++ {
+		l.Observe(time.Duration(i) * time.Microsecond)
+	}
+	got := l.Percentiles(50, 99, 99.9)
+	want := []time.Duration{500 * time.Microsecond, 990 * time.Microsecond, 999 * time.Microsecond}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("batch percentiles = %v, want %v", got, want)
+		}
+	}
+	// Order of the query list must not matter beyond positional alignment.
+	rev := l.Percentiles(99.9, 50)
+	if rev[0] != want[2] || rev[1] != want[0] {
+		t.Fatalf("reversed query = %v", rev)
+	}
+	// Single-quantile path must agree with the batch path.
+	if l.Percentile(99) != got[1] {
+		t.Fatalf("Percentile(99) = %v, batch gave %v", l.Percentile(99), got[1])
+	}
+}
+
 func TestSnapshotAndMaxBusyDelta(t *testing.T) {
 	a, b := NewResource("a"), NewResource("b")
 	a.Charge(5 * time.Millisecond)

@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/ecfs"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// ErrClass buckets a replay error by the root-level sentinel it wraps,
+// so soak assertions can tolerate transient classes (a node mid-rebind,
+// an unreachable OSD between failure and repair) while failing hard on
+// data loss.
+type ErrClass string
+
+// Error classes, from most to least severe. ErrClassLoss is the only
+// class a soak must never observe: recovery could not reassemble K
+// shards of an acknowledged stripe.
+const (
+	ErrClassLoss        ErrClass = "data-loss"
+	ErrClassStale       ErrClass = "stale-epoch"
+	ErrClassUnreachable ErrClass = "unreachable"
+	ErrClassCanceled    ErrClass = "canceled"
+	ErrClassOther       ErrClass = "other"
+)
+
+// TransientClasses are the classes a soak under fault injection may
+// legitimately observe while a fault is in flight — the client's
+// internal retries are bounded, so a long enough outage surfaces them.
+var TransientClasses = []ErrClass{ErrClassStale, ErrClassUnreachable}
+
+// ClassifyError maps an error to its ErrClass by unwrapping to the
+// root-level sentinels (wire.ErrStaleEpoch, wire.ErrNotFound,
+// transport.ErrNodeUnreachable, *ecfs.DataLossError, context
+// cancellation). A nil error has no class; callers should not ask.
+func ClassifyError(err error) ErrClass {
+	var loss *ecfs.DataLossError
+	switch {
+	case errors.As(err, &loss):
+		return ErrClassLoss
+	case errors.Is(err, wire.ErrStaleEpoch):
+		return ErrClassStale
+	case errors.Is(err, transport.ErrNodeUnreachable), errors.Is(err, wire.ErrUnreachable):
+		// Direct transport failures and remote ones re-classified across a
+		// hop by wire.ErrorResp (a fanout peer down mid-update) both land
+		// here.
+		return ErrClassUnreachable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return ErrClassCanceled
+	default:
+		return ErrClassOther
+	}
+}

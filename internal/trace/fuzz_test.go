@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParseCSV feeds arbitrary bytes to the trace parser. Two
+// properties must hold: ReadCSV never panics (malformed input returns
+// an error), and any input it accepts survives a WriteCSV/ReadCSV
+// round trip with identical ops and file size. The trace name is
+// excluded from the round-trip check: the header is whitespace-
+// tokenized, so a fuzzed name containing spaces legally truncates.
+func FuzzParseCSV(f *testing.F) {
+	f.Add([]byte("# name=vol file_size=1048576\nU,0,4096,1000\nR,4096,512,2000\n"))
+	f.Add([]byte("U,-1,4096,1000\n"))
+	f.Add([]byte("# file_size=18446744073709551616\n"))
+	f.Add([]byte("U,0,0,0\nX,,,\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV of accepted trace: %v", err)
+		}
+		rt, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("reparse of written trace: %v", err)
+		}
+		if rt.FileSize != tr.FileSize {
+			t.Fatalf("file size changed across round trip: %d != %d", rt.FileSize, tr.FileSize)
+		}
+		if len(rt.Ops) != len(tr.Ops) {
+			t.Fatalf("op count changed across round trip: %d != %d", len(rt.Ops), len(tr.Ops))
+		}
+		for i := range tr.Ops {
+			if rt.Ops[i] != tr.Ops[i] {
+				t.Fatalf("op %d changed across round trip: %+v != %+v", i, rt.Ops[i], tr.Ops[i])
+			}
+		}
+	})
+}

@@ -21,6 +21,24 @@ type ReplayResult struct {
 	MaxLatency time.Duration
 	// TotalLatency is the summed synchronous latency across requests.
 	TotalLatency time.Duration
+	// ErrorsBy splits Errors by sentinel class (see ClassifyError), so a
+	// soak can tolerate transient classes while failing hard on
+	// ErrClassLoss. Nil when no op errored.
+	ErrorsBy map[ErrClass]int64
+}
+
+// OpResult carries one executed operation's outcome through the
+// replayer's hooks.
+type OpResult struct {
+	// Index is the op's position in the trace.
+	Index int
+	Op    Op
+	Lat   time.Duration
+	Err   error
+	// Data is the payload a successful OpRead returned. It is only valid
+	// for the duration of the hook callbacks; the replayer may reuse the
+	// backing array afterwards.
+	Data []byte
 }
 
 // Replayer drives a trace against a cluster with a client population,
@@ -31,7 +49,18 @@ type Replayer struct {
 	// Latency collects per-request sync latencies.
 	Latency sim.LatencyRecorder
 
+	// Around, if set, wraps every operation's execution: it receives the
+	// op and an execution thunk, must invoke the thunk exactly once, and
+	// returns its result (usually unchanged). The scenario harness uses
+	// it to bracket ops with shadow-state range locks. Called
+	// concurrently from the replay clients.
+	Around func(op Op, do func() OpResult) OpResult
+	// OnResult, if set, observes every operation's outcome (after
+	// Around). Called concurrently from the replay clients.
+	OnResult func(res OpResult)
+
 	randomPayload bool
+	perOpPayload  bool
 	payloadSeed   int64
 }
 
@@ -39,7 +68,38 @@ type Replayer struct {
 // pattern to incompressible random bytes (compression experiments).
 func (r *Replayer) RandomPayload(seed int64) {
 	r.randomPayload = true
+	r.perOpPayload = false
 	r.payloadSeed = seed
+}
+
+// PerOpPayload makes every update's payload a deterministic function of
+// (seed, offset, size) instead of one shared pattern — see Payload. A
+// content verifier that knows the seed can then reconstruct exactly
+// what any acknowledged update wrote, which is what makes the scenario
+// harness's no-lost-acknowledged-write check byte-exact.
+func (r *Replayer) PerOpPayload(seed int64) {
+	r.perOpPayload = true
+	r.randomPayload = false
+	r.payloadSeed = seed
+}
+
+// Payload fills dst with the deterministic per-op update payload for op
+// under seed — the bytes a PerOpPayload replayer writes for that op.
+// Two ops with different offsets or sizes get different contents, so a
+// stale or lost update cannot masquerade as the current one.
+func Payload(seed int64, op Op, dst []byte) {
+	// splitmix64 over a per-op state: cheap, stateless, well mixed.
+	x := uint64(seed)*0x9e3779b97f4a7c15 ^ uint64(op.Off)<<1 ^ uint64(op.Size)<<40 ^ 0xbf58476d1ce4e5b9
+	for i := 0; i < len(dst); i += 8 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		for j := 0; j < 8 && i+j < len(dst); j++ {
+			dst[i+j] = byte(z >> (8 * j))
+		}
+	}
 }
 
 // NewReplayer builds a replayer with the given concurrent client count.
@@ -62,10 +122,7 @@ func (r *Replayer) Prepare(ctx context.Context, name string, fileSize int64) (ui
 	}
 	span := int64(cli.StripeSpan())
 	stripes := (fileSize + span - 1) / span
-	chunk := make([]byte, span)
-	for i := range chunk {
-		chunk[i] = byte(i * 31)
-	}
+	chunk := PrepareChunk(int(span))
 	for s := int64(0); s < stripes; s++ {
 		if _, err := cli.WriteStripeContext(ctx, ino, uint32(s), chunk); err != nil {
 			return 0, err
@@ -74,11 +131,24 @@ func (r *Replayer) Prepare(ctx context.Context, name string, fileSize int64) (ui
 	return ino, nil
 }
 
+// PrepareChunk returns the fixed per-stripe pattern Prepare writes, so
+// content verifiers can reconstruct the initial file image.
+func PrepareChunk(span int) []byte {
+	chunk := make([]byte, span)
+	for i := range chunk {
+		chunk[i] = byte(i * 31)
+	}
+	return chunk
+}
+
 // Run replays the trace: ops are dealt round-robin to Clients concurrent
 // clients, preserving per-client order. Returns aggregate results. The
 // context is checked before every request, so a cancelled ctx aborts an
 // in-flight replay (and thereby an in-flight experiment) within one
-// operation.
+// operation. An op error does not stop the replay — it is counted
+// (ReplayResult.Errors, split by class in ErrorsBy) and the first one
+// is returned alongside the aggregate result, so callers tolerant of
+// transient fault-window errors can inspect ErrorsBy instead.
 func (r *Replayer) Run(ctx context.Context, t *Trace, ino uint64) (*ReplayResult, error) {
 	if len(t.Ops) == 0 {
 		return &ReplayResult{}, nil
@@ -104,26 +174,49 @@ func (r *Replayer) Run(ctx context.Context, t *Trace, ino uint64) (*ReplayResult
 			defer wg.Done()
 			var nOps, nUpd, nRead, nErr int64
 			var total, maxL time.Duration
+			var errsBy map[ErrClass]int64
+			var scratch []byte
+			if r.perOpPayload {
+				scratch = make([]byte, maxOpSize(t))
+			}
 			for i := ci; i < len(t.Ops); i += r.Clients {
 				if ctx.Err() != nil {
 					break
 				}
 				op := t.Ops[i]
-				var (
-					lat time.Duration
-					err error
-				)
-				switch op.Kind {
-				case OpUpdate:
-					lat, err = cli.UpdateContext(ctx, ino, op.Off, payload[:op.Size], op.At)
-				case OpRead:
-					_, lat, err = cli.ReadContext(ctx, ino, op.Off, op.Size)
+				exec := func() OpResult {
+					out := OpResult{Index: i, Op: op}
+					switch op.Kind {
+					case OpUpdate:
+						data := payload[:op.Size]
+						if r.perOpPayload {
+							data = scratch[:op.Size]
+							Payload(r.payloadSeed, op, data)
+						}
+						out.Lat, out.Err = cli.UpdateContext(ctx, ino, op.Off, data, op.At)
+					case OpRead:
+						out.Data, out.Lat, out.Err = cli.ReadContext(ctx, ino, op.Off, op.Size)
+					}
+					return out
 				}
-				if err != nil {
+				var out OpResult
+				if r.Around != nil {
+					out = r.Around(op, exec)
+				} else {
+					out = exec()
+				}
+				if r.OnResult != nil {
+					r.OnResult(out)
+				}
+				if out.Err != nil {
 					nErr++
+					if errsBy == nil {
+						errsBy = make(map[ErrClass]int64)
+					}
+					errsBy[ClassifyError(out.Err)]++
 					mu.Lock()
 					if userErr == nil {
-						userErr = fmt.Errorf("trace: op %d (%v off=%d size=%d): %w", i, op.Kind, op.Off, op.Size, err)
+						userErr = fmt.Errorf("trace: op %d (%v off=%d size=%d): %w", i, op.Kind, op.Off, op.Size, out.Err)
 					}
 					mu.Unlock()
 					continue
@@ -134,11 +227,11 @@ func (r *Replayer) Run(ctx context.Context, t *Trace, ino uint64) (*ReplayResult
 				} else {
 					nRead++
 				}
-				total += lat
-				if lat > maxL {
-					maxL = lat
+				total += out.Lat
+				if out.Lat > maxL {
+					maxL = out.Lat
 				}
-				r.Latency.Observe(lat)
+				r.Latency.Observe(out.Lat)
 			}
 			mu.Lock()
 			res.Ops += nOps
@@ -148,6 +241,12 @@ func (r *Replayer) Run(ctx context.Context, t *Trace, ino uint64) (*ReplayResult
 			res.TotalLatency += total
 			if maxL > res.MaxLatency {
 				res.MaxLatency = maxL
+			}
+			for cls, n := range errsBy {
+				if res.ErrorsBy == nil {
+					res.ErrorsBy = make(map[ErrClass]int64)
+				}
+				res.ErrorsBy[cls] += n
 			}
 			mu.Unlock()
 		}(ci, cli)

@@ -243,7 +243,7 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 				}
 				if v, ok := strings.CutPrefix(field, "file_size="); ok {
 					n, err := strconv.ParseInt(v, 10, 64)
-					if err != nil {
+					if err != nil || n < 0 {
 						return nil, fmt.Errorf("trace: bad file_size %q", v)
 					}
 					t.FileSize = n
@@ -266,15 +266,18 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 		}
 		off, err := strconv.ParseInt(parts[1], 10, 64)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("trace: bad offset %q: %w", parts[1], err)
 		}
 		size, err := strconv.Atoi(parts[2])
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("trace: bad size %q: %w", parts[2], err)
 		}
 		ns, err := strconv.ParseInt(parts[3], 10, 64)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("trace: bad timestamp %q: %w", parts[3], err)
+		}
+		if off < 0 || size <= 0 || ns < 0 {
+			return nil, fmt.Errorf("trace: bad line %q: negative offset/timestamp or non-positive size", line)
 		}
 		op.Off, op.Size, op.At = off, size, time.Duration(ns)
 		t.Ops = append(t.Ops, op)

@@ -13,34 +13,84 @@ import (
 	"repro/internal/update"
 )
 
-func TestAliCloudStatistics(t *testing.T) {
-	tr := AliCloud(1<<30, 20000, 1)
-	s := tr.Stats()
-	if s.Ops != 20000 {
-		t.Fatalf("ops = %d", s.Ops)
+// Generator-statistics test parameters. Every workload generator
+// targets the §2.1 fractions exactly (they are its UpdateFrac/SizeDist
+// inputs), so for a fixed seed the observed fractions are one
+// deterministic draw of statOps Bernoulli trials around the target.
+// The binomial standard deviation at p=0.5, n=20000 is ~0.35%, so
+// statTol = ±4% is more than ten sigma: the checks hold for any seed
+// with overwhelming margin and only fail if a generator change moves
+// the target itself. The seeds below are pinned anyway so a failure is
+// always reproducible bit-for-bit.
+const (
+	statOps  = 20000
+	statSeed = 1
+	statTol  = 0.04
+)
+
+func TestGeneratorStatistics(t *testing.T) {
+	type target struct {
+		name string
+		gen  func() *Trace
+		// §2.1 targets; a frac4K of -1 means the paper pins no
+		// exactly-4-KiB fraction for this workload.
+		updateFrac, frac4K, fracLE16K float64
 	}
-	if s.UpdateFrac < 0.73 || s.UpdateFrac > 0.77 {
-		t.Fatalf("ali update fraction = %.3f, want ~0.75", s.UpdateFrac)
+	cases := []target{
+		{"ali-cloud", func() *Trace { return AliCloud(1<<30, statOps, statSeed) }, 0.75, 0.46, 0.60},
+		{"ten-cloud", func() *Trace { return TenCloud(1<<30, statOps, statSeed) }, 0.69, 0.69, 0.88},
 	}
-	if s.Frac4K < 0.42 || s.Frac4K > 0.50 {
-		t.Fatalf("ali 4K fraction = %.3f, want ~0.46", s.Frac4K)
+	for _, vol := range MSRVolumes {
+		p := msrTable[vol]
+		cases = append(cases, target{
+			"msr-" + vol,
+			func() *Trace { tr, _ := MSR(vol, 1<<28, statOps, statSeed); return tr },
+			// MSR per-volume update fraction from the volume table; the
+			// size CDF puts 90% of updates at <= 16 KiB (§2.1).
+			p.updateFrac, -1, 0.90,
+		})
 	}
-	if s.FracLE16K < 0.56 || s.FracLE16K > 0.64 {
-		t.Fatalf("ali <=16K fraction = %.3f, want ~0.60", s.FracLE16K)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tc.gen().Stats()
+			if s.Ops != statOps {
+				t.Fatalf("ops = %d, want %d", s.Ops, statOps)
+			}
+			check := func(label string, got, want float64) {
+				if want < 0 {
+					return
+				}
+				if got < want-statTol || got > want+statTol {
+					t.Errorf("%s = %.3f, want %.2f ± %.2f", label, got, want, statTol)
+				}
+			}
+			check("update fraction", s.UpdateFrac, tc.updateFrac)
+			check("4K fraction", s.Frac4K, tc.frac4K)
+			check("<=16K fraction", s.FracLE16K, tc.fracLE16K)
+		})
 	}
 }
 
-func TestTenCloudStatistics(t *testing.T) {
-	tr := TenCloud(1<<30, 20000, 2)
-	s := tr.Stats()
-	if s.UpdateFrac < 0.67 || s.UpdateFrac > 0.71 {
-		t.Fatalf("ten update fraction = %.3f, want ~0.69", s.UpdateFrac)
-	}
-	if s.Frac4K < 0.65 || s.Frac4K > 0.73 {
-		t.Fatalf("ten 4K fraction = %.3f, want ~0.69", s.Frac4K)
-	}
-	if s.FracLE16K < 0.84 || s.FracLE16K > 0.92 {
-		t.Fatalf("ten <=16K fraction = %.3f, want ~0.88", s.FracLE16K)
+// TestMSRSizeDistribution pins the remaining §2.1 MSR size claim: 60%
+// of updates are *under* 4 KiB (the sub-4K tail the Stats summary does
+// not report), within the same documented tolerance.
+func TestMSRSizeDistribution(t *testing.T) {
+	for _, vol := range MSRVolumes {
+		tr, _ := MSR(vol, 1<<28, statOps, statSeed)
+		var updates, sub4k int
+		for _, op := range tr.Ops {
+			if op.Kind != OpUpdate {
+				continue
+			}
+			updates++
+			if op.Size < 4<<10 {
+				sub4k++
+			}
+		}
+		frac := float64(sub4k) / float64(updates)
+		if frac < 0.60-statTol || frac > 0.60+statTol {
+			t.Errorf("%s: sub-4K update fraction = %.3f, want 0.60 ± %.2f", vol, frac, statTol)
+		}
 	}
 }
 
@@ -66,16 +116,8 @@ func TestTenCloudStrongerLocality(t *testing.T) {
 
 func TestMSRVolumes(t *testing.T) {
 	for _, vol := range MSRVolumes {
-		tr, ok := MSR(vol, 1<<28, 2000, 4)
-		if !ok {
+		if _, ok := MSR(vol, 1<<28, 100, 4); !ok {
 			t.Fatalf("unknown volume %s", vol)
-		}
-		s := tr.Stats()
-		if s.UpdateFrac < 0.7 {
-			t.Fatalf("%s: update fraction %.2f too low", vol, s.UpdateFrac)
-		}
-		if s.Ops != 2000 {
-			t.Fatalf("%s: ops = %d", vol, s.Ops)
 		}
 	}
 	if _, ok := MSR("nosuch", 1<<20, 10, 1); ok {
@@ -143,15 +185,30 @@ func TestCSVRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCSVErrors enumerates malformed-line shapes: each must return an
+// error (never panic, never be silently dropped).
 func TestCSVErrors(t *testing.T) {
-	if _, err := ReadCSV(bytes.NewBufferString("U,1,2\n")); err == nil {
-		t.Fatal("short line must fail")
+	cases := []struct{ name, input string }{
+		{"short line", "U,1,2\n"},
+		{"long line", "U,1,2,3,4\n"},
+		{"bad kind", "X,1,2,3\n"},
+		{"bad offset", "U,a,2,3\n"},
+		{"bad size", "U,1,b,3\n"},
+		{"bad timestamp", "U,1,2,c\n"},
+		{"negative offset", "U,-1,2,3\n"},
+		{"zero size", "U,1,0,3\n"},
+		{"negative size", "U,1,-2,3\n"},
+		{"negative timestamp", "U,1,2,-3\n"},
+		{"offset overflow", "U,99999999999999999999,2,3\n"},
+		{"negative file size", "# file_size=-1\n"},
+		{"bad file size", "# file_size=huge\n"},
 	}
-	if _, err := ReadCSV(bytes.NewBufferString("X,1,2,3\n")); err == nil {
-		t.Fatal("bad kind must fail")
-	}
-	if _, err := ReadCSV(bytes.NewBufferString("U,a,2,3\n")); err == nil {
-		t.Fatal("bad offset must fail")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadCSV(bytes.NewBufferString(tc.input)); err == nil {
+				t.Fatalf("input %q accepted, want error", tc.input)
+			}
+		})
 	}
 }
 

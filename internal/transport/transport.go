@@ -30,7 +30,6 @@ package transport
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -99,8 +98,11 @@ func Fanout(ctx context.Context, rpc RPC, calls []*BatchCall) {
 // delivery failure — a deregistered in-process node, a refused TCP dial,
 // a connection that died mid-call. errors.Is(err, ErrNodeUnreachable)
 // therefore distinguishes "could not reach the node" from a structured
-// remote rejection on both transports.
-var ErrNodeUnreachable = errors.New("node unreachable")
+// remote rejection on both transports. It wraps wire.ErrUnreachable so
+// the classification survives a further wire crossing: a handler that
+// fails because *its* peer call failed converts the error with
+// wire.ErrorResp, and the end caller still sees the unreachable class.
+var ErrNodeUnreachable = fmt.Errorf("node unreachable: %w", wire.ErrUnreachable)
 
 // Inproc is the in-process transport. It is both an RPC (from any node)
 // and a Registrar. Message payloads are passed by reference; handlers

@@ -326,8 +326,9 @@ func xorBytes(a, b []byte) []byte {
 	return out
 }
 
-// errResp wraps an error into a response.
-func errResp(err error) *wire.Resp { return &wire.Resp{Err: err.Error()} }
+// errResp wraps an error into a response, keeping any structured
+// sentinel class (stale epoch, not found, peer unreachable) it carries.
+func errResp(err error) *wire.Resp { return wire.ErrorResp(err) }
 
 // okResp builds a success response with a cost.
 func okResp(cost time.Duration) *wire.Resp { return &wire.Resp{Cost: cost} }

@@ -289,14 +289,24 @@ const (
 	// stripes, and distinct from a transport failure. Recovery uses the
 	// distinction to tell "never fully written" from data loss.
 	StatusNotFound
+	// StatusUnreachable reports that serving the request required a peer
+	// that could not be reached — a replica fanout target or a forwarded
+	// delta's destination down mid-call. The failure happened one hop
+	// beyond the responder, so the classification must ride the reply
+	// (via ErrorResp) rather than the transport error the end caller
+	// never saw directly.
+	StatusUnreachable
 )
 
-// ErrStaleEpoch and ErrNotFound are sentinel errors wrapped by
-// Resp.Error for the corresponding statuses, so callers can use
-// errors.Is across transport boundaries.
+// ErrStaleEpoch, ErrNotFound, and ErrUnreachable are sentinel errors
+// wrapped by Resp.Error for the corresponding statuses, so callers can
+// use errors.Is across transport boundaries. Transport implementations
+// wrap ErrUnreachable into their own node-down errors, which is what
+// lets ErrorResp re-classify a one-hop-away outage.
 var (
-	ErrStaleEpoch = errors.New("stale placement epoch")
-	ErrNotFound   = errors.New("block not found")
+	ErrStaleEpoch  = errors.New("stale placement epoch")
+	ErrNotFound    = errors.New("block not found")
+	ErrUnreachable = errors.New("peer unreachable")
 )
 
 // Resp is the reply to a Msg.
@@ -358,6 +368,27 @@ func (r *Resp) Error() error {
 		return fmt.Errorf("remote: %s: %w", r.Err, ErrStaleEpoch)
 	case StatusNotFound:
 		return fmt.Errorf("remote: %s: %w", r.Err, ErrNotFound)
+	case StatusUnreachable:
+		return fmt.Errorf("remote: %s: %w", r.Err, ErrUnreachable)
 	}
 	return fmt.Errorf("remote: %s", r.Err)
+}
+
+// ErrorResp converts an error into a reply, preserving the structured
+// classification of any sentinel the error wraps. Without it, a node
+// that fails because one of *its* calls failed (a fanout peer down, a
+// stale placement seen while forwarding) would flatten the cause into
+// free text and the end caller could no longer tell a transient
+// fault-window error from a real one.
+func ErrorResp(err error) *Resp {
+	r := &Resp{Err: err.Error(), Code: StatusError}
+	switch {
+	case errors.Is(err, ErrStaleEpoch):
+		r.Code = StatusStaleEpoch
+	case errors.Is(err, ErrNotFound):
+		r.Code = StatusNotFound
+	case errors.Is(err, ErrUnreachable):
+		r.Code = StatusUnreachable
+	}
+	return r
 }
