@@ -2,9 +2,11 @@ GO ?= go
 
 # BENCH_ID names the combined trajectory file bench-json writes
 # (BENCH_$(BENCH_ID).json); bump it per PR so trajectories accumulate.
-BENCH_ID ?= pr6
+# BENCH_BASE is the previous snapshot bench-diff gates against.
+BENCH_ID ?= pr8
+BENCH_BASE ?= pr6
 
-.PHONY: verify verify-race build vet test race bench bench-json example-recovery docs-check scenario-smoke
+.PHONY: verify verify-race build vet test race bench bench-json bench-diff bench-diff-ci example-recovery docs-check scenario-smoke
 
 # bench is part of verify as a smoke run (-benchtime 1x): benchmark code
 # must keep compiling and running between trajectory snapshots.
@@ -36,6 +38,22 @@ bench:
 # transport microbenchmarks, all in one combined JSON file.
 bench-json:
 	$(GO) run ./cmd/tsuebench -exp repair,fig8b,codec -combined BENCH_$(BENCH_ID).json
+
+# bench-diff gates the committed trajectory: the current snapshot
+# (BENCH_$(BENCH_ID).json, from make bench-json) must not regress beyond
+# tight same-machine tolerance against the previous one. See
+# cmd/benchdiff and docs/OPERATIONS.md for how to read the output.
+bench-diff:
+	$(GO) run ./cmd/benchdiff -base BENCH_$(BENCH_BASE).json -new BENCH_$(BENCH_ID).json
+
+# bench-diff-ci is the CI flavor: regenerate the trajectory on whatever
+# hardware the runner provides, then diff against the committed snapshot
+# with wide smoke tolerances (time/rate bands absorb hardware deltas;
+# B/op and allocs/op stay gated because they are machine-independent).
+bench-diff-ci:
+	$(GO) run ./cmd/tsuebench -exp repair,fig8b,codec -combined BENCH_ci.json
+	$(GO) run ./cmd/benchdiff -mode smoke -base BENCH_$(BENCH_ID).json -new BENCH_ci.json
+	rm -f BENCH_ci.json
 
 # docs-check lints the documentation: every relative Markdown link must
 # resolve, and every exported repair/scheduler symbol must carry godoc

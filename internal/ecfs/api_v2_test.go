@@ -109,17 +109,19 @@ func TestFileHandleRoundTrip(t *testing.T) {
 
 // TestCancelMidWriteFileInproc is the cancellation-safety satellite on
 // the in-process transport: a context cancelled mid-WriteFile stops the
-// write at a stripe boundary — every placed stripe has all its shards
-// stored (Scrub verifies it), and no partial stripe is bound at the MDS.
+// write at a coalescing-window boundary — every placed stripe has all
+// its shards stored (Scrub verifies it), and no partial stripe is bound
+// at the MDS. The file spans two windows so the cancel (fired inside
+// the first window's detached fan-out) is observed before the second
+// window binds anything.
 func TestCancelMidWriteFileInproc(t *testing.T) {
 	c := MustNewCluster(testOptions("tsue"))
 	defer c.Close()
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	// Cancel deep inside the shard fan-out of a middle stripe: after the
-	// create, the first stripe's lookup and its K+M shard writes, plus a
-	// couple of calls into the second stripe.
+	// Cancel deep inside the first window's fan-out: after the create,
+	// a few of the window's lookups and shard writes.
 	rpc := &cancelAfterRPC{
 		inner:  c.Tr.Caller(wire.ClientIDBase + 500),
 		after:  int64(2 + c.Opts.K + c.Opts.M + 2),
@@ -132,13 +134,14 @@ func TestCancelMidWriteFileInproc(t *testing.T) {
 		t.Fatal(err)
 	}
 	span := cli.StripeSpan()
-	data := make([]byte, 4*span)
+	stripes := 2 * writeCoalesceStripes
+	data := make([]byte, stripes*span)
 	rand.New(rand.NewSource(41)).Read(data)
 	n, err := cli.WriteFileContext(ctx, ino, data)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("WriteFileContext = %d, %v; want context.Canceled", n, err)
 	}
-	if n == 0 || n >= 4 {
+	if n == 0 || n >= stripes {
 		t.Fatalf("cancel landed outside the file: %d stripes written", n)
 	}
 
@@ -171,8 +174,8 @@ func TestCancelMidWriteFileInproc(t *testing.T) {
 }
 
 // TestCancelMidWriteFileTCP is the same invariant over real sockets:
-// the cancelled write stops at a stripe boundary and every bound stripe
-// is complete on its (remote) OSDs.
+// the cancelled write stops at a coalescing-window boundary and every
+// bound stripe is complete on its (remote) OSDs.
 func TestCancelMidWriteFileTCP(t *testing.T) {
 	const (
 		k, m      = 2, 1
@@ -194,13 +197,14 @@ func TestCancelMidWriteFileTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	span := cli.StripeSpan()
-	data := make([]byte, 4*span)
+	stripes := 2 * writeCoalesceStripes
+	data := make([]byte, stripes*span)
 	rand.New(rand.NewSource(43)).Read(data)
 	n, err := cli.WriteFileContext(ctx, ino, data)
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("WriteFileContext over TCP = %d, %v; want context.Canceled", n, err)
 	}
-	if n == 0 || n >= 4 {
+	if n == 0 || n >= stripes {
 		t.Fatalf("cancel landed outside the file: %d stripes written", n)
 	}
 	if placed := h.mds.Stripes(ino); placed != n {

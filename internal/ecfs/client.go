@@ -24,6 +24,16 @@ const maxStaleRetries = 3
 // half-open connection to a hung OSD cannot wedge a write forever.
 const stripeWriteBudget = 2 * time.Minute
 
+// writeCoalesceStripes is the coalescing window of the striped write
+// path: WriteFileContext / File.WriteAt encode up to this many stripes
+// at once and fan out *all* of their shard frames in a single batch, so
+// a batch-capable transport flushes every same-destination frame of the
+// window in one writev. The window bounds the memory pinned per write
+// (window × K+M × blockSize of encoded shards) and sets the
+// cancellation granularity — the caller's ctx is observed between
+// windows, never inside one.
+const writeCoalesceStripes = 8
+
 // Client is the POSIX-facing access component (§4): it encodes normal
 // writes into stripes, distinguishes writes from updates, routes updates
 // to the data block's OSD, and reads with location caching.
@@ -38,11 +48,12 @@ const stripeWriteBudget = 2 * time.Minute
 //
 // Cancellation semantics: updates and reads abort between priced steps
 // (an aborted multi-part update may be torn across blocks, like any
-// interrupted POSIX write). Normal writes are stripe-atomic — the
-// context is checked before each stripe is placed, and once a stripe's
-// shard fan-out begins it runs to completion (bounded only by the
-// stripeWriteBudget liveness backstop) — so a cancelled WriteFile never
-// leaves a stripe bound at the MDS without all its shards stored.
+// interrupted POSIX write). Normal writes are stripe-atomic at
+// coalescing-window granularity — the context is checked before each
+// window of up to writeCoalesceStripes stripes is placed, and once a
+// window's shard fan-out begins it runs to completion (bounded only by
+// the stripeWriteBudget liveness backstop) — so a cancelled WriteFile
+// never leaves a stripe bound at the MDS without all its shards stored.
 //
 // Cached placements carry their epoch (wire.StripeLoc.Epoch). When an
 // OSD rejects a request with wire.StatusStaleEpoch — recovery rebound
@@ -112,6 +123,7 @@ func (c *Client) CreateContext(ctx context.Context, name string) (uint64, error)
 	if err != nil {
 		return 0, err
 	}
+	defer resp.Release()
 	if err := resp.Error(); err != nil {
 		return 0, err
 	}
@@ -137,17 +149,25 @@ func (c *Client) lookup(ctx context.Context, ino uint64, stripe uint32) (wire.St
 	if err != nil {
 		return wire.StripeLoc{}, err
 	}
+	// Loc.Nodes is decoded into its own allocation (never aliasing the
+	// response buffer), so the placement may be cached past the release.
+	defer resp.Release()
 	if err := resp.Error(); err != nil {
 		return wire.StripeLoc{}, err
 	}
+	c.cacheLoc(key, resp.Loc)
+	return resp.Loc, nil
+}
+
+// cacheLoc installs a freshly resolved placement, never clobbering a
+// newer one a concurrent refresh installed while the lookup was in
+// flight.
+func (c *Client) cacheLoc(key stripeAddr, loc wire.StripeLoc) {
 	c.locMu.Lock()
-	// Never clobber a newer placement a concurrent refresh installed
-	// while this lookup was in flight.
-	if cur, ok := c.locs[key]; !ok || resp.Loc.Epoch >= cur.Epoch {
-		c.locs[key] = resp.Loc
+	if cur, ok := c.locs[key]; !ok || loc.Epoch >= cur.Epoch {
+		c.locs[key] = loc
 	}
 	c.locMu.Unlock()
-	return resp.Loc, nil
 }
 
 // refreshLoc re-resolves one stripe's placement after an attempt with
@@ -192,91 +212,189 @@ func (c *Client) WriteStripeContext(ctx context.Context, ino uint64, stripe uint
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	// Detach: the placement below binds the stripe at the MDS, and a
-	// bound stripe must have all its shards stored (Scrub's invariant).
-	// Detaching must not mean unbounded, though — over TCP an OSD that
-	// accepts the connection and never replies would otherwise hang the
-	// write forever — so the fan-out runs under the liveness backstop
-	// documented above.
-	ctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), stripeWriteBudget)
-	defer cancel()
 	if len(data) != c.StripeSpan() {
 		return 0, fmt.Errorf("ecfs: stripe write of %d bytes, want %d", len(data), c.StripeSpan())
 	}
-	loc, err := c.lookup(ctx, ino, stripe)
-	if err != nil {
-		return 0, err
+	costs, errs := c.writeWindow(ctx, ino, stripe, data, 1)
+	return costs[0], errs[0]
+}
+
+// lookupWindow resolves placements for n consecutive stripes, serving
+// cache hits locally and batching every miss into one KMDSLookup
+// fan-out — a cold multi-stripe write pays one coalesced MDS flush, not
+// one round trip per stripe. Failures are per stripe: errs[s] != nil
+// means stripe s has no usable placement (locs[s] is zero).
+func (c *Client) lookupWindow(ctx context.Context, ino uint64, first uint32, n int) ([]wire.StripeLoc, []error) {
+	locs := make([]wire.StripeLoc, n)
+	errs := make([]error, n)
+	var miss []int
+	c.locMu.RLock()
+	for s := 0; s < n; s++ {
+		if loc, ok := c.locs[stripeAddr{ino, first + uint32(s)}]; ok {
+			locs[s] = loc
+		} else {
+			miss = append(miss, s)
+		}
 	}
-	shards := make([][]byte, c.code.K)
-	for i := range shards {
-		shards[i] = data[i*c.blockSize : (i+1)*c.blockSize]
+	c.locMu.RUnlock()
+	if len(miss) == 0 {
+		return locs, errs
 	}
-	parity, err := c.code.Encode(shards)
-	if err != nil {
-		return 0, err
-	}
-	all := append(append([][]byte{}, shards...), parity...)
-	// Fast path: the whole fan-out is issued as one batch, so on a
-	// batch-capable transport (the TCP client) every same-destination
-	// frame of the stripe enters its connection's write queue together
-	// and leaves in a single coalesced flush. KWriteBlock is a
-	// full-block overwrite — idempotent — so any shard that fails here
-	// (node unreachable, stale placement) safely drops to the per-shard
-	// re-resolve loop below.
-	calls := make([]*transport.BatchCall, len(all))
-	for i, shard := range all {
-		calls[i] = &transport.BatchCall{To: loc.Nodes[i], Msg: &wire.Msg{
-			Kind:  wire.KWriteBlock,
-			Block: wire.BlockID{Ino: ino, Stripe: stripe, Idx: uint8(i)},
-			Data:  shard,
-			Loc:   loc,
+	calls := make([]*transport.BatchCall, len(miss))
+	for i, s := range miss {
+		calls[i] = &transport.BatchCall{To: wire.MDSNode, Msg: &wire.Msg{
+			Kind: wire.KMDSLookup, Block: wire.BlockID{Ino: ino, Stripe: first + uint32(s)},
 		}}
 	}
 	transport.Fanout(ctx, c.rpc, calls)
-	var (
-		wg      sync.WaitGroup
-		mu      sync.Mutex
-		max     time.Duration
-		rerr    error
-		setCost = func(cost time.Duration) {
-			mu.Lock()
-			if cost > max {
-				max = cost
-			}
-			mu.Unlock()
+	for i, s := range miss {
+		bc := calls[i]
+		if bc.Err != nil {
+			errs[s] = bc.Err
+			continue
 		}
+		if err := bc.Resp.Error(); err != nil {
+			errs[s] = err
+		} else {
+			c.cacheLoc(stripeAddr{ino, first + uint32(s)}, bc.Resp.Loc)
+			locs[s] = bc.Resp.Loc
+		}
+		bc.Resp.Release()
+	}
+	return locs, errs
+}
+
+// writeWindow encodes and distributes a window of n consecutive stripes
+// starting at `first`. data holds the window's file bytes in stripe
+// order; every stripe but the last must be full, and a short tail is
+// zero-padded. Returns per-stripe costs and errors — a failed shard
+// degrades only its own stripe.
+//
+// This is the cross-stripe coalescing core: placements for the whole
+// window are resolved up front (lookupWindow), every stripe is encoded,
+// and all n×(K+M) shard frames are issued as a single batch — so on a
+// batch-capable transport every same-destination frame of the *window*
+// enters its connection's write queue together and leaves in one
+// coalesced flush per destination. KWriteBlock is a full-block
+// overwrite — idempotent — so any shard that fails the fast path (node
+// unreachable, stale placement) safely drops to the per-shard
+// re-resolve loop, which retries only that shard.
+//
+// Cancellation is checked once at entry; past that point the window
+// ignores the caller's ctx (cancel and deadline alike), so a stripe is
+// never left bound at the MDS with only some of its shards stored
+// (Scrub's invariant). Detached must not mean unbounded, though — over
+// TCP an OSD that accepts the connection and never replies would
+// otherwise hang the write forever — so the fan-out runs under the
+// stripeWriteBudget liveness backstop; should that fire, the write
+// errors out and the stripe may be left short of shards for Scrub to
+// flag.
+func (c *Client) writeWindow(ctx context.Context, ino uint64, first uint32, data []byte, n int) ([]time.Duration, []error) {
+	costs := make([]time.Duration, n)
+	errs := make([]error, n)
+	if err := ctx.Err(); err != nil {
+		for s := range errs {
+			errs[s] = err
+		}
+		return costs, errs
+	}
+	ctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), stripeWriteBudget)
+	defer cancel()
+	span := c.StripeSpan()
+	locs, errs := c.lookupWindow(ctx, ino, first, n)
+	type shardRef struct {
+		stripe int
+		idx    int
+		shard  []byte
+	}
+	var (
+		calls []*transport.BatchCall
+		refs  []shardRef
 	)
-	for i, bc := range calls {
+	for s := 0; s < n; s++ {
+		if errs[s] != nil {
+			continue
+		}
+		chunk := data[s*span : min(len(data), (s+1)*span)]
+		if len(chunk) < span {
+			padded := make([]byte, span)
+			copy(padded, chunk)
+			chunk = padded
+		}
+		shards := make([][]byte, c.code.K)
+		for i := range shards {
+			// Interior shards alias the caller's buffer directly — the
+			// OSD's blockstore copies on ingest, so no stripe-local copy
+			// is needed.
+			shards[i] = chunk[i*c.blockSize : (i+1)*c.blockSize]
+		}
+		parity, err := c.code.Encode(shards)
+		if err != nil {
+			errs[s] = err
+			continue
+		}
+		all := append(shards, parity...)
+		for i, shard := range all {
+			calls = append(calls, &transport.BatchCall{To: locs[s].Nodes[i], Msg: &wire.Msg{
+				Kind:  wire.KWriteBlock,
+				Block: wire.BlockID{Ino: ino, Stripe: first + uint32(s), Idx: uint8(i)},
+				Data:  shard,
+				Loc:   locs[s],
+			}})
+			refs = append(refs, shardRef{s, i, shard})
+		}
+	}
+	transport.Fanout(ctx, c.rpc, calls)
+	var (
+		wg sync.WaitGroup
+		mu sync.Mutex
+	)
+	setCost := func(s int, cost time.Duration) {
+		if cost > costs[s] {
+			costs[s] = cost
+		}
+	}
+	for ci, bc := range calls {
+		ref := refs[ci]
 		if bc.Err == nil && bc.Resp.OK() {
-			setCost(bc.Resp.Cost)
+			mu.Lock()
+			setCost(ref.stripe, bc.Resp.Cost)
+			mu.Unlock()
+			bc.Resp.Release()
 			continue
 		}
 		if bc.Err == nil && !bc.Resp.IsStale() {
 			// A structured, non-stale rejection (bad geometry, storage
 			// failure): re-resolving the placement cannot change it.
-			if rerr == nil {
-				rerr = bc.Resp.Error()
+			mu.Lock()
+			if errs[ref.stripe] == nil {
+				errs[ref.stripe] = bc.Resp.Error()
 			}
+			mu.Unlock()
+			bc.Resp.Release()
 			continue
 		}
+		if bc.Err == nil {
+			bc.Resp.Release()
+		}
 		wg.Add(1)
-		go func(i int, shard []byte) {
+		go func(ref shardRef, loc wire.StripeLoc) {
 			defer wg.Done()
-			b := wire.BlockID{Ino: ino, Stripe: stripe, Idx: uint8(i)}
-			cost, err := c.writeShard(ctx, b, shard, loc)
+			b := wire.BlockID{Ino: ino, Stripe: first + uint32(ref.stripe), Idx: uint8(ref.idx)}
+			cost, err := c.writeShard(ctx, b, ref.shard, loc)
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
-				rerr = err
+				if errs[ref.stripe] == nil {
+					errs[ref.stripe] = err
+				}
 				return
 			}
-			if cost > max {
-				max = cost
-			}
-		}(i, all[i])
+			setCost(ref.stripe, cost)
+		}(ref, locs[ref.stripe])
 	}
 	wg.Wait()
-	return max, rerr
+	return costs, errs
 }
 
 // WriteStripe encodes and distributes one full stripe.
@@ -300,7 +418,11 @@ func (c *Client) WriteStripe(ino uint64, stripe uint32, data []byte) (time.Durat
 // non-idempotent request (idempotent=false) is therefore retried after
 // a transport error only if the block's host changed — a node that may
 // already have applied it is never re-delivered to.
-func (c *Client) sendWithReresolve(ctx context.Context, b wire.BlockID, loc wire.StripeLoc, idempotent bool, send func(loc wire.StripeLoc) (*wire.Resp, error)) (time.Duration, error) {
+//
+// Buffer ownership: every failed attempt's response is released here;
+// the successful response is returned and becomes the caller's to
+// Release once it is done with Resp.Data.
+func (c *Client) sendWithReresolve(ctx context.Context, b wire.BlockID, loc wire.StripeLoc, idempotent bool, send func(loc wire.StripeLoc) (*wire.Resp, error)) (*wire.Resp, error) {
 	var (
 		lastErr   error
 		lastStale bool
@@ -308,21 +430,21 @@ func (c *Client) sendWithReresolve(ctx context.Context, b wire.BlockID, loc wire
 	for attempt := 0; attempt <= maxStaleRetries; attempt++ {
 		if err := ctx.Err(); err != nil {
 			if lastErr != nil {
-				return 0, lastErr
+				return nil, lastErr
 			}
-			return 0, err
+			return nil, err
 		}
 		if attempt > 0 {
 			nl, err := c.refreshLoc(ctx, b.Ino, b.Stripe, loc.Epoch)
 			if err != nil {
-				return 0, err
+				return nil, err
 			}
 			sameHost := nl.Nodes[b.Idx] == loc.Nodes[b.Idx]
 			if nl.Epoch == loc.Epoch && sameHost {
-				return 0, lastErr
+				return nil, lastErr
 			}
 			if sameHost && !lastStale && !idempotent {
-				return 0, lastErr
+				return nil, lastErr
 			}
 			loc = nl
 		}
@@ -333,48 +455,70 @@ func (c *Client) sendWithReresolve(ctx context.Context, b wire.BlockID, loc wire
 		}
 		if resp.IsStale() {
 			lastErr, lastStale = resp.Error(), true
+			resp.Release()
 			continue
 		}
 		if e := resp.Error(); e != nil {
-			return 0, e
+			resp.Release()
+			return nil, e
 		}
-		return resp.Cost, nil
+		return resp, nil
 	}
-	return 0, lastErr
+	return nil, lastErr
 }
 
 // writeShard delivers one stripe member with placement re-resolution
 // (idempotent: a full-block overwrite may be re-delivered freely).
 func (c *Client) writeShard(ctx context.Context, b wire.BlockID, shard []byte, loc wire.StripeLoc) (time.Duration, error) {
-	return c.sendWithReresolve(ctx, b, loc, true, func(loc wire.StripeLoc) (*wire.Resp, error) {
+	resp, err := c.sendWithReresolve(ctx, b, loc, true, func(loc wire.StripeLoc) (*wire.Resp, error) {
 		return c.rpc.Call(ctx, loc.Nodes[b.Idx], &wire.Msg{Kind: wire.KWriteBlock, Block: b, Data: shard, Loc: loc})
 	})
+	if err != nil {
+		return 0, err
+	}
+	cost := resp.Cost
+	resp.Release()
+	return cost, nil
 }
 
 // WriteFileContext stripes data from file offset 0, zero-padding the
-// tail stripe, and returns the number of stripes written. The context
-// is checked before every stripe: a cancelled write stops at a stripe
+// tail stripe, and returns the number of stripes written. Stripes are
+// written in coalescing windows (writeCoalesceStripes at a time, all
+// shard frames of a window batched per destination); the context is
+// checked before every window: a cancelled write stops at a window
 // boundary, with every already-written stripe complete and no partial
 // stripe bound at the MDS.
 func (c *Client) WriteFileContext(ctx context.Context, ino uint64, data []byte) (int, error) {
 	return c.writeStripes(ctx, ino, 0, data)
 }
 
-// writeStripes chunks data into full stripes starting at stripe `first`
-// (zero-padding the tail) and writes each through WriteStripeContext —
-// the shared striping loop behind WriteFileContext and File.WriteAt. It
-// returns the number of stripes completed.
+// writeStripes chunks data into stripes starting at stripe `first`
+// (zero-padding the tail) and writes them in coalescing windows of
+// writeCoalesceStripes through writeWindow — the shared striping loop
+// behind WriteFileContext and File.WriteAt. It returns the number of
+// contiguous stripes completed from the start: on error, every stripe
+// before the reported count is fully stored (later stripes of the same
+// window may also have landed, but the count never skips a failure).
 func (c *Client) writeStripes(ctx context.Context, ino uint64, first uint32, data []byte) (int, error) {
 	span := c.StripeSpan()
 	stripes := (len(data) + span - 1) / span
-	for s := 0; s < stripes; s++ {
-		chunk := make([]byte, span)
-		copy(chunk, data[s*span:min(len(data), (s+1)*span)])
-		if _, err := c.WriteStripeContext(ctx, ino, first+uint32(s), chunk); err != nil {
-			return s, err
+	done := 0
+	for done < stripes {
+		if err := ctx.Err(); err != nil {
+			return done, err
 		}
+		n := min(writeCoalesceStripes, stripes-done)
+		lo := done * span
+		hi := min(len(data), (done+n)*span)
+		_, errs := c.writeWindow(ctx, ino, first+uint32(done), data[lo:hi], n)
+		for s := 0; s < n; s++ {
+			if errs[s] != nil {
+				return done + s, errs[s]
+			}
+		}
+		done += n
 	}
-	return stripes, nil
+	return done, nil
 }
 
 // WriteFile stripes data from file offset 0.
@@ -435,7 +579,7 @@ func (c *Client) Update(ino uint64, off int64, data []byte, v time.Duration) (ti
 // transport error (the prior target is dead or rebound away — its
 // state is discarded by recovery); stale-epoch rejections retry freely.
 func (c *Client) updatePart(ctx context.Context, p part, payload []byte, v time.Duration) (time.Duration, error) {
-	return c.sendWithReresolve(ctx, p.block, p.loc, false, func(loc wire.StripeLoc) (*wire.Resp, error) {
+	resp, err := c.sendWithReresolve(ctx, p.block, p.loc, false, func(loc wire.StripeLoc) (*wire.Resp, error) {
 		return c.rpc.Call(ctx, loc.Nodes[p.block.Idx], &wire.Msg{
 			Kind:  wire.KUpdate,
 			Block: p.block,
@@ -447,6 +591,12 @@ func (c *Client) updatePart(ctx context.Context, p part, payload []byte, v time.
 			V:     int64(v),
 		})
 	})
+	if err != nil {
+		return 0, err
+	}
+	cost := resp.Cost
+	resp.Release()
+	return cost, nil
 }
 
 // ReadContext fetches [off, off+size) of a file.
@@ -466,14 +616,13 @@ func (c *Client) ReadContext(ctx context.Context, ino uint64, off int64, size in
 		wg.Add(1)
 		go func(p part) {
 			defer wg.Done()
-			data, cost, err := c.readPart(ctx, p)
+			cost, err := c.readPart(ctx, p, out[p.src:p.src+p.n])
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
 				rerr = err
 				return
 			}
-			copy(out[p.src:p.src+p.n], data)
 			if cost > max {
 				max = cost
 			}
@@ -499,36 +648,39 @@ func (c *Client) Stripes(ctx context.Context, ino uint64) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	defer resp.Release()
 	if err := resp.Error(); err != nil {
 		return 0, err
 	}
 	return int(resp.Val), nil
 }
 
-// readPart serves one block-range read. The normal path ships the cached
-// placement so the holder can epoch-check it: a stale-epoch rejection or
-// an unreachable holder re-resolves at the MDS and retries — after a
-// repair or drain rebinds the stripe, this is how the read cuts over to
-// the new holder with no K-way decode. Only when the normal path is
-// exhausted does the read degrade to reconstruction, and then it tells
-// the MDS (wire.KRepairHint) so an in-flight repair promotes the stripe
-// to the front of its queue.
-func (c *Client) readPart(ctx context.Context, p part) ([]byte, time.Duration, error) {
-	var data []byte
-	cost, err := c.sendWithReresolve(ctx, p.block, p.loc, true, func(loc wire.StripeLoc) (*wire.Resp, error) {
-		resp, rerr := c.rpc.Call(ctx, loc.Nodes[p.block.Idx], &wire.Msg{
+// readPart serves one block-range read into dst (len(dst) == p.n). The
+// normal path ships the cached placement so the holder can epoch-check
+// it: a stale-epoch rejection or an unreachable holder re-resolves at
+// the MDS and retries — after a repair or drain rebinds the stripe,
+// this is how the read cuts over to the new holder with no K-way
+// decode. Only when the normal path is exhausted does the read degrade
+// to reconstruction, and then it tells the MDS (wire.KRepairHint) so an
+// in-flight repair promotes the stripe to the front of its queue.
+//
+// Copying into dst here (rather than returning Resp.Data) is what lets
+// the response buffer go back to the transport pool before the part
+// fan-out joins.
+func (c *Client) readPart(ctx context.Context, p part, dst []byte) (time.Duration, error) {
+	resp, err := c.sendWithReresolve(ctx, p.block, p.loc, true, func(loc wire.StripeLoc) (*wire.Resp, error) {
+		return c.rpc.Call(ctx, loc.Nodes[p.block.Idx], &wire.Msg{
 			Kind: wire.KRead, Block: p.block, Off: p.off, Size: uint32(p.n), Loc: loc,
 		})
-		if rerr == nil && resp.OK() {
-			data = resp.Data
-		}
-		return resp, rerr
 	})
 	if err == nil {
-		return data, cost, nil
+		cost := resp.Cost
+		copy(dst, resp.Data)
+		resp.Release()
+		return cost, nil
 	}
 	if ctx.Err() != nil {
-		return nil, 0, err
+		return 0, err
 	}
 	// Degraded read: the block's holder cannot serve it (node down, or
 	// the block is mid-migration), so rebuild the requested range from K
@@ -537,13 +689,13 @@ func (c *Client) readPart(ctx context.Context, p part) ([]byte, time.Duration, e
 	if nl, lerr := c.lookup(ctx, p.block.Ino, p.block.Stripe); lerr == nil {
 		p.loc = nl
 	}
-	data, cost, derr := c.degradedRead(ctx, p)
+	cost, derr := c.degradedRead(ctx, p, dst)
 	if derr != nil {
-		return nil, 0, fmt.Errorf("%w (degraded fallback: %v)", err, derr)
+		return 0, fmt.Errorf("%w (degraded fallback: %v)", err, derr)
 	}
 	c.degraded.Add(1)
 	c.hintRepair(ctx, p.block)
-	return data, cost, nil
+	return cost, nil
 }
 
 // hintRepair tells the MDS a degraded read just paid the K-fetch decode
@@ -552,17 +704,28 @@ func (c *Client) readPart(ctx context.Context, p part) ([]byte, time.Duration, e
 // repair running the MDS ignores the hint.
 func (c *Client) hintRepair(ctx context.Context, b wire.BlockID) {
 	c.hints.Add(1)
-	_, _ = c.rpc.Call(ctx, wire.MDSNode, &wire.Msg{Kind: wire.KRepairHint, Block: b})
+	if resp, err := c.rpc.Call(ctx, wire.MDSNode, &wire.Msg{Kind: wire.KRepairHint, Block: b}); err == nil {
+		resp.Release()
+	}
 }
 
-// degradedRead reconstructs one part's data block from stripe survivors —
-// the degraded-read path an erasure-coded file system must serve while a
-// node is down and recovery has not yet completed. It reflects the last
-// *recycled* state: updates still buffered in the failed node's DataLog
-// are only restored by recovery's replica-log replay (Cluster.Recover).
-func (c *Client) degradedRead(ctx context.Context, p part) ([]byte, time.Duration, error) {
+// degradedRead reconstructs one part's data block from stripe survivors
+// into dst — the degraded-read path an erasure-coded file system must
+// serve while a node is down and recovery has not yet completed. It
+// reflects the last *recycled* state: updates still buffered in the
+// failed node's DataLog are only restored by recovery's replica-log
+// replay (Cluster.Recover). Survivor shards alias their pooled response
+// buffers, so those are held until the decode has copied out and only
+// then released.
+func (c *Client) degradedRead(ctx context.Context, p part, dst []byte) (time.Duration, error) {
 	n := c.code.K + c.code.M
 	shards := make([][]byte, n)
+	resps := make([]*wire.Resp, 0, c.code.K)
+	defer func() {
+		for _, r := range resps {
+			r.Release()
+		}
+	}()
 	have := 0
 	var cost time.Duration
 	for idx := 0; idx < n && have < c.code.K; idx++ {
@@ -571,9 +734,14 @@ func (c *Client) degradedRead(ctx context.Context, p part) ([]byte, time.Duratio
 		}
 		b := p.block.WithIdx(uint8(idx))
 		resp, err := c.rpc.Call(ctx, p.loc.Nodes[idx], &wire.Msg{Kind: wire.KBlockFetch, Block: b})
-		if err != nil || !resp.OK() {
+		if err != nil {
 			continue
 		}
+		if !resp.OK() {
+			resp.Release()
+			continue
+		}
+		resps = append(resps, resp)
 		shards[idx] = resp.Data
 		have++
 		if resp.Cost > cost {
@@ -581,16 +749,17 @@ func (c *Client) degradedRead(ctx context.Context, p part) ([]byte, time.Duratio
 		}
 	}
 	if have < c.code.K {
-		return nil, 0, fmt.Errorf("ecfs: degraded read of %v: only %d of %d shards reachable", p.block, have, c.code.K)
+		return 0, fmt.Errorf("ecfs: degraded read of %v: only %d of %d shards reachable", p.block, have, c.code.K)
 	}
 	if err := c.code.Reconstruct(shards); err != nil {
-		return nil, 0, fmt.Errorf("ecfs: degraded read of %v: %w", p.block, err)
+		return 0, fmt.Errorf("ecfs: degraded read of %v: %w", p.block, err)
 	}
 	rebuilt := shards[p.block.Idx]
 	if int(p.off)+p.n > len(rebuilt) {
-		return nil, 0, fmt.Errorf("ecfs: degraded read of %v: range beyond block", p.block)
+		return 0, fmt.Errorf("ecfs: degraded read of %v: range beyond block", p.block)
 	}
-	return rebuilt[p.off : int(p.off)+p.n], cost, nil
+	copy(dst, rebuilt[p.off:int(p.off)+p.n])
+	return cost, nil
 }
 
 // part maps a byte range of a file request onto one data block. The

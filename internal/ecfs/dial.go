@@ -46,6 +46,9 @@ func Dial(ctx context.Context, mdsAddr string) (*RemoteClient, error) {
 		rpc.Close()
 		return nil, fmt.Errorf("ecfs: dial %s: %w", mdsAddr, err)
 	}
+	// DecodeAddrMap copies every entry out of the payload, so the
+	// response buffer can go back to the pool when Dial returns.
+	defer resp.Release()
 	if err := resp.Error(); err != nil {
 		rpc.Close()
 		return nil, fmt.Errorf("ecfs: dial %s: %w", mdsAddr, err)
@@ -69,6 +72,7 @@ func Dial(ctx context.Context, mdsAddr string) (*RemoteClient, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer r.Release()
 		if err := r.Error(); err != nil {
 			return nil, err
 		}

@@ -1,0 +1,163 @@
+package ecfs
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// TestCoalescedWriteFlushesOncePerDestinationPerWindow is the
+// acceptance gate for cross-stripe write coalescing: a multi-stripe
+// WriteFileContext must reach each destination OSD in at most one
+// writer flush per coalescing window, where the pre-coalescing client
+// paid one flush per destination per *stripe*. Measured over real TCP
+// loopback with the transport's per-destination flush counters.
+func TestCoalescedWriteFlushesOncePerDestinationPerWindow(t *testing.T) {
+	const (
+		k, m      = 2, 1
+		nOSDs     = 3 // k+m: every OSD holds a shard of every stripe
+		blockSize = 4 << 10
+	)
+	h := newTCPHarness(t, k, m, nOSDs, blockSize)
+	rpc := h.newRPC()
+	cli := NewClient(wire.ClientIDBase, rpc, h.code, blockSize)
+	ctx := context.Background()
+
+	ino, err := cli.CreateContext(ctx, "coalesce-flush-count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := k * blockSize
+	stripes := 2 * writeCoalesceStripes // two full coalescing windows
+	data := make([]byte, stripes*span)
+	rand.New(rand.NewSource(8)).Read(data)
+
+	// Warm-up pass: dials every connection and fills the placement
+	// cache, so the measured pass counts data-plane flushes only.
+	if _, err := cli.WriteFileContext(ctx, ino, data); err != nil {
+		t.Fatal(err)
+	}
+
+	flushes := func() map[wire.NodeID]int64 {
+		out := make(map[wire.NodeID]int64)
+		for id := range h.osds {
+			out[id] = rpc.DestFlushes(id)
+		}
+		return out
+	}
+
+	before := flushes()
+	if n, err := cli.WriteFileContext(ctx, ino, data); err != nil || n != stripes {
+		t.Fatalf("coalesced write: n=%d stripes err=%v, want %d", n, err, stripes)
+	}
+	windows := (stripes + writeCoalesceStripes - 1) / writeCoalesceStripes
+	for id, b := range before {
+		delta := rpc.DestFlushes(id) - b
+		if delta == 0 {
+			t.Errorf("OSD %d saw no flushes; every OSD holds a shard of every stripe", id)
+		}
+		if delta > int64(windows) {
+			t.Errorf("OSD %d: %d flushes for %d coalescing windows, want <= 1 per window", id, delta, windows)
+		}
+	}
+
+	// Contrast: the per-stripe path pays at least one flush per stripe
+	// per destination — what coalescing buys is stripes/window fewer.
+	before = flushes()
+	for s := 0; s < stripes; s++ {
+		if _, err := cli.WriteStripeContext(ctx, ino, uint32(s), data[s*span:(s+1)*span]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id, b := range before {
+		if delta := rpc.DestFlushes(id) - b; delta < int64(stripes) {
+			t.Errorf("OSD %d: per-stripe path took %d flushes for %d stripes, expected >= one per stripe", id, delta, stripes)
+		}
+	}
+
+	out, _, err := cli.ReadContext(ctx, ino, 0, len(data))
+	if err != nil || !bytes.Equal(out, data) {
+		t.Fatalf("read-back mismatch after flush-count passes: err=%v", err)
+	}
+}
+
+// TestPooledRespBalanceAcrossErrorPaths arms the transport's pooled
+// buffer misuse detector and drives the client through every hot-path
+// shape — coalesced writes, partial-block updates, healthy reads, a
+// node failure with degraded writes and reconstructing reads — then
+// requires every pooled response buffer to be back in the pool.
+// A leak here is invisible in production (just a pool miss); this test
+// plus the -race run is where the ownership contract is enforced.
+func TestPooledRespBalanceAcrossErrorPaths(t *testing.T) {
+	const (
+		k, m      = 2, 1
+		nOSDs     = 4
+		blockSize = 4 << 10
+	)
+	h := newTCPHarness(t, k, m, nOSDs, blockSize)
+	rpc := h.newRPC()
+	cli := NewClient(wire.ClientIDBase, rpc, h.code, blockSize)
+	ctx := context.Background()
+
+	transport.SetPoolDebug(true)
+	defer transport.SetPoolDebug(false)
+	base := transport.PoolDebugOutstanding()
+
+	ino, err := cli.CreateContext(ctx, "pool-balance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	span := k * blockSize
+	stripes := writeCoalesceStripes + 3 // full window plus a partial one
+	data := make([]byte, stripes*span)
+	rand.New(rand.NewSource(9)).Read(data)
+
+	// Healthy paths: coalesced write, overwrite (delta updates through
+	// the OSD-side update fan-out), partial-block update, full read.
+	if _, err := cli.WriteFileContext(ctx, ino, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.WriteFileContext(ctx, ino, data); err != nil {
+		t.Fatal(err)
+	}
+	f, err := cli.Open(ctx, "pool-balance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	patch := []byte("pooled-buffer ownership patch")
+	copy(data[137:], patch)
+	if _, err := f.UpdateAt(ctx, 137, patch, 0); err != nil {
+		t.Fatal(err)
+	}
+	if out, _, err := cli.ReadContext(ctx, ino, 0, len(data)); err != nil || !bytes.Equal(out, data) {
+		t.Fatalf("healthy read-back: err=%v", err)
+	}
+
+	// Failure paths: kill an OSD mid-placement. Writes that land on it
+	// exhaust the re-resolve/retry loop (release-on-error in writeShard
+	// and the coalesced fan-out harvest); reads reconstruct via the
+	// degraded path, which collects k responses and releases them all.
+	h.fail(1)
+	if n, err := cli.WriteFileContext(ctx, ino, data); err == nil {
+		t.Logf("write after OSD failure unexpectedly clean (n=%d); error paths not exercised", n)
+	}
+	if out, _, err := cli.ReadContext(ctx, ino, 0, len(data)); err != nil || !bytes.Equal(out, data) {
+		t.Fatalf("degraded read-back: err=%v", err)
+	}
+
+	// Every buffer attached while armed must be released once handlers
+	// and fallback goroutines settle.
+	deadline := time.Now().Add(10 * time.Second)
+	for transport.PoolDebugOutstanding() != base {
+		if time.Now().After(deadline) {
+			t.Fatalf("pooled response buffers leaked: outstanding=%d want %d",
+				transport.PoolDebugOutstanding(), base)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,62 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func writeBlockMsg(payload []byte) *wire.Msg {
+	return &wire.Msg{
+		Kind:  wire.KWriteBlock,
+		From:  wire.ClientIDBase,
+		Block: wire.BlockID{Ino: 7, Stripe: 3, Idx: 1},
+		Size:  uint32(len(payload)),
+		Loc:   wire.StripeLoc{Epoch: 9, Nodes: []wire.NodeID{1, 2, 3}},
+		Data:  payload,
+	}
+}
+
+// Encoding a KWriteBlock frame into a warm buffer must not allocate:
+// this is the client hot path (every shard of every stripe goes through
+// appendMsgFrame inside the writer flush), and the whole point of the
+// append-style codec is that steady-state writes reuse the flush
+// buffer. A regression here silently taxes every write in the system.
+func TestEncodeWriteBlockFrameZeroAllocs(t *testing.T) {
+	msg := writeBlockMsg(make([]byte, 64<<10))
+	var buf []byte
+	var err error
+	// Warm once so buffer growth is paid before measuring.
+	if buf, err = appendMsgFrame(buf[:0], 1, msg); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		buf, err = appendMsgFrame(buf[:0], 1, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("appendMsgFrame(KWriteBlock) = %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// The server-side decode of a payload frame is allowed exactly one
+// allocation: the wire.Msg itself. Data must alias the pooled frame
+// buffer (zero-copy), so any extra allocation means the codec started
+// copying payloads again.
+func TestServerDecodeWriteBlockFrameOneAlloc(t *testing.T) {
+	body := writeBlockMsg(make([]byte, 64<<10)).AppendTo(nil)
+	allocs := testing.AllocsPerRun(100, func() {
+		msg := new(wire.Msg)
+		if err := msg.Decode(body); err != nil {
+			t.Fatal(err)
+		}
+		if &msg.Data[0] != &body[len(body)-len(msg.Data)] {
+			t.Fatal("decode copied the payload instead of aliasing the frame buffer")
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("server decode of a KWriteBlock frame = %.1f allocs/op, want <= 1 (the Msg itself)", allocs)
+	}
+}

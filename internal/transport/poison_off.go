@@ -1,0 +1,10 @@
+//go:build !poolpoison
+
+package transport
+
+// poolPoisonBuild arms the pooled response-buffer misuse detector
+// (poison-on-release, panic on double release, attach/release
+// accounting) for the whole build. This is the default half: detection
+// off, releases are pure pool puts. Build with -tags poolpoison to arm
+// it everywhere, or call SetPoolDebug(true) to arm it at runtime.
+const poolPoisonBuild = false

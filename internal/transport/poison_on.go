@@ -1,0 +1,10 @@
+//go:build poolpoison
+
+package transport
+
+// poolPoisonBuild arms the pooled response-buffer misuse detector
+// (poison-on-release, panic on double release, attach/release
+// accounting) for the whole build: `go test -tags poolpoison ./...`
+// turns every double release into a panic and every use-after-release
+// into a loud 0xDB read across the entire suite.
+const poolPoisonBuild = true

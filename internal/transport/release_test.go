@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// A redundant Release is absorbed in production builds: double-release
+// is a bug, but turning it into a crash on every deployment would trade
+// a pool inefficiency for an outage.
+func TestDoubleReleaseIsNoOpByDefault(t *testing.T) {
+	SetPoolDebug(false) // a poolpoison build arms the detector at init
+	defer SetPoolDebug(poolPoisonBuild)
+	body := getFrameBuf()
+	*body = append(*body, 1, 2, 3)
+	resp := &wire.Resp{Data: *body}
+	resp.AttachRelease(newBufRelease(body))
+	resp.Release()
+	resp.Release() // must not panic, must not double-free
+}
+
+// Under the misuse detector the same bug panics: releasing twice would
+// hand one buffer to two owners, which corrupts payloads far from the
+// offending call site. Tests arm SetPoolDebug to catch it at the
+// source.
+func TestDoubleReleasePanicsUnderPoolDebug(t *testing.T) {
+	SetPoolDebug(true)
+	defer SetPoolDebug(false)
+	body := getFrameBuf()
+	*body = append(*body, 1, 2, 3)
+	resp := &wire.Resp{Data: *body}
+	resp.AttachRelease(newBufRelease(body))
+	resp.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Release did not panic under SetPoolDebug(true)")
+		}
+	}()
+	resp.Release()
+}
+
+// Armed releases poison the buffer with 0xDB so a use-after-release
+// reads loud garbage instead of silently observing whatever frame got
+// the recycled memory next.
+func TestReleasePoisonsBufferUnderPoolDebug(t *testing.T) {
+	SetPoolDebug(true)
+	defer SetPoolDebug(false)
+	body := getFrameBuf()
+	*body = append(*body, []byte("payload bytes")...)
+	data := *body
+	resp := &wire.Resp{Data: data}
+	resp.AttachRelease(newBufRelease(body))
+	resp.Release()
+	for i, b := range data {
+		if b != poisonByte {
+			t.Fatalf("byte %d after Release = %#02x, want poison %#02x", i, b, poisonByte)
+		}
+	}
+}
+
+// The outstanding counter pairs every armed attach with its release.
+func TestPoolDebugOutstandingBalances(t *testing.T) {
+	SetPoolDebug(true)
+	defer SetPoolDebug(false)
+	start := PoolDebugOutstanding()
+	var resps []*wire.Resp
+	for i := 0; i < 4; i++ {
+		body := getFrameBuf()
+		resp := &wire.Resp{}
+		resp.AttachRelease(newBufRelease(body))
+		resps = append(resps, resp)
+	}
+	if got := PoolDebugOutstanding(); got != start+4 {
+		t.Fatalf("outstanding after 4 attaches = %d, want %d", got, start+4)
+	}
+	for _, r := range resps {
+		r.Release()
+	}
+	if got := PoolDebugOutstanding(); got != start {
+		t.Fatalf("outstanding after releases = %d, want %d", got, start)
+	}
+}
+
+// Release on a Resp that never had a buffer attached (in-process
+// transports, structured-error replies built by handlers) is a no-op.
+func TestReleaseWithoutAttachedBuffer(t *testing.T) {
+	(&wire.Resp{}).Release()
+}

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/wire"
@@ -61,6 +62,19 @@ const maxInflightPerConn = 256
 // of pinning their capacity forever.
 const pooledBufCap = 4 << 20
 
+// connReadBufSize is the buffered-reader size both read loops use. Only
+// frame headers and sub-splice bodies are ever copied through it; see
+// readBody.
+const connReadBufSize = 256 << 10
+
+// spliceThreshold is the body size at which readBody bypasses the
+// buffered reader: the already-buffered prefix is drained, then the
+// remainder is read straight off the socket into the destination
+// buffer. Payload-class frames (KWriteBlock shards, KBlockFetch
+// replies) are copied exactly once; control-sized frames stay on the
+// buffered path so they keep amortizing syscalls.
+const spliceThreshold = 32 << 10
+
 var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 4<<10); return &b }}
 
 func getFrameBuf() *[]byte { return framePool.Get().(*[]byte) }
@@ -71,6 +85,123 @@ func putFrameBuf(b *[]byte) {
 	}
 	*b = (*b)[:0]
 	framePool.Put(b)
+}
+
+// readerPool recycles the connection read buffers across connections
+// and redials. A drain or outage churns every connection to a node;
+// without the pool each redial allocated a fresh 256 KiB buffer.
+var readerPool = sync.Pool{New: func() any { return bufio.NewReaderSize(nil, connReadBufSize) }}
+
+func getReader(conn io.Reader) *bufio.Reader {
+	r := readerPool.Get().(*bufio.Reader)
+	r.Reset(conn)
+	return r
+}
+
+func putReader(r *bufio.Reader) {
+	r.Reset(nil) // a pooled reader pins no socket
+	readerPool.Put(r)
+}
+
+// writeScratch is the reusable per-flush state of a writer goroutine:
+// the writev vector and (client side) the per-frame sizes used to roll
+// sent marks back after a failed flush. Held for the connection's
+// lifetime and pooled across connections and redials.
+type writeScratch struct {
+	bufs  net.Buffers
+	sizes []int64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(writeScratch) }}
+
+func getScratch() *writeScratch { return scratchPool.Get().(*writeScratch) }
+
+func putScratch(s *writeScratch) {
+	for i := range s.bufs {
+		s.bufs[i] = nil // do not pin frame buffers from the pool
+	}
+	s.bufs = s.bufs[:0]
+	s.sizes = s.sizes[:0]
+	scratchPool.Put(s)
+}
+
+// readBody fills body with one frame's payload. Bodies below
+// spliceThreshold come out of the buffered reader as before; larger
+// bodies are spliced past it — buffered prefix drained, remainder read
+// with io.ReadFull directly from the connection — so a payload-sized
+// frame lands in its destination buffer in one copy instead of
+// bouncing through the 256 KiB bufio window first.
+func readBody(r *bufio.Reader, conn io.Reader, body []byte) error {
+	if len(body) >= spliceThreshold {
+		if n := min(r.Buffered(), len(body)); n > 0 {
+			if _, err := io.ReadFull(r, body[:n]); err != nil {
+				return err
+			}
+			body = body[n:]
+		}
+		if len(body) == 0 {
+			return nil
+		}
+		_, err := io.ReadFull(conn, body)
+		return err
+	}
+	_, err := io.ReadFull(r, body)
+	return err
+}
+
+// poolDebug arms the response-buffer misuse detector: releases poison
+// the buffer (so use-after-release reads garbage loudly instead of
+// silently observing recycled memory), a double Release panics, and
+// attach/release pairs are counted so tests can assert that a code
+// path returns every pooled buffer it took. Off by default — the
+// poolpoison build tag arms it for whole debug builds, SetPoolDebug
+// arms it at runtime for tests.
+var poolDebug atomic.Bool
+
+// poolOutstanding tracks pooled response buffers attached but not yet
+// released while poolDebug is armed. Toggle debug only around balanced
+// regions: buffers attached before arming are not counted.
+var poolOutstanding atomic.Int64
+
+func init() { poolDebug.Store(poolPoisonBuild) }
+
+// SetPoolDebug toggles the pooled-buffer misuse detector at runtime
+// (tests). See poolDebug.
+func SetPoolDebug(on bool) { poolDebug.Store(on) }
+
+// PoolDebugOutstanding reports attached-but-unreleased pooled response
+// buffers counted while the detector was armed.
+func PoolDebugOutstanding() int64 { return poolOutstanding.Load() }
+
+// poisonByte overwrites released buffers in debug mode; 0xDB reads as
+// garbage in any payload and is recognizable in a hex dump.
+const poisonByte = 0xDB
+
+// newBufRelease builds the wire.Resp release hook for one pooled
+// response buffer: the first call returns the buffer to the pool, a
+// redundant second call is absorbed (and panics under poolDebug —
+// releasing a buffer twice would hand the same memory to two owners).
+func newBufRelease(body *[]byte) func() {
+	if poolDebug.Load() {
+		poolOutstanding.Add(1)
+	}
+	var released atomic.Bool
+	return func() {
+		if !released.CompareAndSwap(false, true) {
+			if poolDebug.Load() {
+				panic("transport: pooled response buffer released twice")
+			}
+			return
+		}
+		if poolDebug.Load() {
+			poolOutstanding.Add(-1)
+			b := *body
+			for i := range b {
+				b[i] = poisonByte
+			}
+		}
+		putFrameBuf(body)
+	}
 }
 
 // appendMsgFrame appends a framed request to buf: header, then the
@@ -222,7 +353,8 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	r := bufio.NewReaderSize(conn, 256<<10)
+	r := getReader(conn)
+	defer putReader(r)
 	sem := make(chan struct{}, maxInflightPerConn)
 	for {
 		hdr, err := readFrameHeader(r)
@@ -234,7 +366,7 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 			*body = make([]byte, hdr.n)
 		}
 		*body = (*body)[:hdr.n]
-		if _, err := io.ReadFull(r, *body); err != nil {
+		if err := readBody(r, conn, *body); err != nil {
 			putFrameBuf(body)
 			return
 		}
@@ -318,6 +450,8 @@ func (w *frameWriter) close() {
 
 func (w *frameWriter) loop() {
 	defer close(w.done)
+	scratch := getScratch()
+	defer putScratch(scratch)
 	for {
 		<-w.wake
 		for {
@@ -333,7 +467,7 @@ func (w *frameWriter) loop() {
 				break // wait for the next wake
 			}
 			if err == nil {
-				err = flushFrames(w.conn, batch)
+				err = flushFrames(w.conn, batch, scratch)
 				if err != nil {
 					w.mu.Lock()
 					w.err = err
@@ -347,12 +481,14 @@ func (w *frameWriter) loop() {
 	}
 }
 
-// flushFrames writes a batch of frames with one writev-style call.
-func flushFrames(conn net.Conn, batch []*[]byte) error {
-	bufs := make(net.Buffers, len(batch))
-	for i, b := range batch {
-		bufs[i] = *b
+// flushFrames writes a batch of frames with one writev-style call,
+// assembling the vector in the writer's pooled scratch.
+func flushFrames(conn net.Conn, batch []*[]byte, scratch *writeScratch) error {
+	bufs := scratch.bufs[:0]
+	for _, b := range batch {
+		bufs = append(bufs, *b)
 	}
+	scratch.bufs = bufs
 	conn.SetWriteDeadline(time.Now().Add(writeStallBudget))
 	_, err := bufs.WriteTo(conn)
 	return err
@@ -402,6 +538,7 @@ type TCPClient struct {
 	mu       sync.Mutex
 	addrs    map[wire.NodeID]string
 	conns    map[wire.NodeID]*connSlot
+	flushes  map[wire.NodeID]*atomic.Int64 // writev flushes per destination, across redials
 	resolver AddrResolver
 	flight   *resolveFlight // in-flight resolve shared by concurrent callers
 	closed   bool
@@ -420,11 +557,41 @@ var errNoAddr = errors.New("no address")
 // Addresses can be added later with SetAddr or discovered through an
 // AddrResolver (SetResolver).
 func NewTCPClient(addrs map[wire.NodeID]string) *TCPClient {
-	c := &TCPClient{addrs: make(map[wire.NodeID]string), conns: make(map[wire.NodeID]*connSlot)}
+	c := &TCPClient{
+		addrs:   make(map[wire.NodeID]string),
+		conns:   make(map[wire.NodeID]*connSlot),
+		flushes: make(map[wire.NodeID]*atomic.Int64),
+	}
 	for id, a := range addrs {
 		c.addrs[id] = a
 	}
 	return c
+}
+
+// DestFlushes reports how many writev flushes this client has issued to
+// a destination, summed across every connection ever dialed to it. One
+// batched fan-out enters the write queue contiguously and leaves in one
+// flush, so this is the observable the write-coalescing tests assert
+// on: N stripes coalesced to one destination cost one flush, not N.
+func (c *TCPClient) DestFlushes(to wire.NodeID) int64 {
+	c.mu.Lock()
+	ctr := c.flushes[to]
+	c.mu.Unlock()
+	if ctr == nil {
+		return 0
+	}
+	return ctr.Load()
+}
+
+// flushCounterLocked returns the destination's flush counter, creating
+// it on first use. Caller holds c.mu.
+func (c *TCPClient) flushCounterLocked(to wire.NodeID) *atomic.Int64 {
+	ctr := c.flushes[to]
+	if ctr == nil {
+		ctr = new(atomic.Int64)
+		c.flushes[to] = ctr
+	}
+	return ctr
 }
 
 // SetAddr registers or updates a node's address.
@@ -565,7 +732,7 @@ func (c *TCPClient) connFor(ctx context.Context, to wire.NodeID) (*muxConn, stri
 			return mc, slot.addr, err
 		}
 		if addr, ok := c.addrs[to]; ok {
-			slot := &connSlot{addr: addr}
+			slot := &connSlot{addr: addr, flushes: c.flushCounterLocked(to)}
 			c.conns[to] = slot
 			c.mu.Unlock()
 			mc, err := slot.get(ctx)
@@ -583,7 +750,8 @@ func (c *TCPClient) connFor(ctx context.Context, to wire.NodeID) (*muxConn, stri
 // that finds the connection dead does not dogpile the destination with
 // parallel dials.
 type connSlot struct {
-	addr string
+	addr    string
+	flushes *atomic.Int64 // owning client's per-destination flush counter
 
 	mu      sync.Mutex
 	conn    *muxConn
@@ -603,7 +771,7 @@ func (s *connSlot) get(ctx context.Context) (*muxConn, error) {
 			ch := make(chan struct{})
 			s.dialing = ch
 			s.mu.Unlock()
-			mc, err := dialMux(ctx, s.addr)
+			mc, err := dialMux(ctx, s.addr, s.flushes)
 			s.mu.Lock()
 			s.dialing = nil
 			if err == nil {
@@ -781,7 +949,8 @@ type muxCall struct {
 // frames and wait per call; the writer goroutine drains the queue in
 // coalesced writev flushes and the reader demuxes responses by id.
 type muxConn struct {
-	conn net.Conn
+	conn    net.Conn
+	flushes *atomic.Int64 // per-destination flush counter (may be nil)
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -795,7 +964,7 @@ type muxConn struct {
 // (Close or an address change), as opposed to a peer/network failure.
 var errConnClosed = errors.New("connection closed")
 
-func dialMux(ctx context.Context, addr string) (*muxConn, error) {
+func dialMux(ctx context.Context, addr string, flushes *atomic.Int64) (*muxConn, error) {
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
@@ -803,6 +972,7 @@ func dialMux(ctx context.Context, addr string) (*muxConn, error) {
 	}
 	mc := &muxConn{
 		conn:    conn,
+		flushes: flushes,
 		pending: make(map[uint64]*muxCall),
 		wake:    make(chan struct{}, 1),
 	}
@@ -955,6 +1125,8 @@ func (mc *muxConn) abandon(call *muxCall) (sent bool) {
 // the server, but conservatively counting it keeps a non-idempotent
 // request from ever being re-sent on doubt.
 func (mc *muxConn) writeLoop() {
+	scratch := getScratch()
+	defer putScratch(scratch)
 	for range mc.wake {
 		for {
 			mc.mu.Lock()
@@ -964,18 +1136,20 @@ func (mc *muxConn) writeLoop() {
 			}
 			batch := mc.queue
 			mc.queue = nil
-			bufs := make(net.Buffers, len(batch))
-			for i, call := range batch {
+			bufs := scratch.bufs[:0]
+			sizes := scratch.sizes[:0]
+			for _, call := range batch {
 				call.sent = true
-				bufs[i] = *call.buf
+				bufs = append(bufs, *call.buf)
+				sizes = append(sizes, int64(len(*call.buf)))
 			}
+			scratch.bufs, scratch.sizes = bufs, sizes
 			mc.mu.Unlock()
 			if len(batch) == 0 {
 				break // back to waiting on wake
 			}
-			sizes := make([]int64, len(batch))
-			for i, call := range batch {
-				sizes[i] = int64(len(*call.buf))
+			if mc.flushes != nil {
+				mc.flushes.Add(1)
 			}
 			mc.conn.SetWriteDeadline(time.Now().Add(writeStallBudget))
 			written, err := bufs.WriteTo(mc.conn)
@@ -1020,8 +1194,15 @@ func (mc *muxConn) writeLoop() {
 // decode failure — including a peer speaking the retired gob framing,
 // surfaced as wire.ErrBadFormat — kills the connection and fails every
 // in-flight call.
+//
+// Response bodies are decoded into pooled buffers (payload-sized frames
+// spliced past the bufio layer, see readBody) and handed to the caller
+// with a wire.Resp release hook: the caller that is done with Resp.Data
+// calls Release() to return the buffer, and a caller that forgets
+// merely costs the pool a miss — the collector still owns the memory.
 func (mc *muxConn) readLoop() {
-	r := bufio.NewReaderSize(mc.conn, 256<<10)
+	r := getReader(mc.conn)
+	defer putReader(r)
 	for {
 		hdr, err := readFrameHeader(r)
 		if err != nil {
@@ -1032,18 +1213,23 @@ func (mc *muxConn) readLoop() {
 			mc.fail(fmt.Errorf("transport: request frame on the client side: %w", wire.ErrBadFormat))
 			return
 		}
-		// The body escapes to the caller (Resp.Data aliases it), so it
-		// is allocated per response rather than pooled.
-		body := make([]byte, hdr.n)
-		if _, err := io.ReadFull(r, body); err != nil {
+		body := getFrameBuf()
+		if cap(*body) < int(hdr.n) {
+			*body = make([]byte, hdr.n)
+		}
+		*body = (*body)[:hdr.n]
+		if err := readBody(r, mc.conn, *body); err != nil {
+			putFrameBuf(body)
 			mc.fail(err)
 			return
 		}
 		resp := new(wire.Resp)
-		if err := resp.Decode(body); err != nil {
+		if err := resp.Decode(*body); err != nil {
+			putFrameBuf(body)
 			mc.fail(fmt.Errorf("transport: decode response: %w", err))
 			return
 		}
+		resp.AttachRelease(newBufRelease(body))
 		mc.mu.Lock()
 		call := mc.pending[hdr.id]
 		delete(mc.pending, hdr.id)
@@ -1052,5 +1238,9 @@ func (mc *muxConn) readLoop() {
 			close(call.done)
 		}
 		mc.mu.Unlock()
+		if call == nil {
+			// Abandoned or unknown id: nobody will ever release it.
+			resp.Release()
+		}
 	}
 }

@@ -242,7 +242,9 @@ type batchCaller interface {
 // fanout issues one call per target concurrently — batched through the
 // environment's transport when it supports it — and returns the largest
 // response cost (the latency of parallel synchronous hops) plus the
-// first error encountered.
+// first error encountered. Fan-out callers only consume Cost and the
+// status, never Data, so every response buffer is released back to the
+// transport pool here.
 func fanout(ctx context.Context, env Env, targets []wire.NodeID, mk func(to wire.NodeID) *wire.Msg) (time.Duration, error) {
 	switch len(targets) {
 	case 0:
@@ -252,6 +254,7 @@ func fanout(ctx context.Context, env Env, targets []wire.NodeID, mk func(to wire
 		if err != nil {
 			return 0, err
 		}
+		defer resp.Release()
 		if err := resp.Error(); err != nil {
 			return 0, err
 		}
@@ -280,6 +283,7 @@ func fanout(ctx context.Context, env Env, targets []wire.NodeID, mk func(to wire
 			if call.Resp.Cost > maxCost {
 				maxCost = call.Resp.Cost
 			}
+			call.Resp.Release()
 		}
 		return maxCost, firstE
 	}
@@ -295,7 +299,9 @@ func fanout(ctx context.Context, env Env, targets []wire.NodeID, mk func(to wire
 				results <- result{0, err}
 				return
 			}
-			results <- result{resp.Cost, resp.Error()}
+			cost, rerr := resp.Cost, resp.Error()
+			resp.Release()
+			results <- result{cost, rerr}
 		}(to)
 	}
 	var (

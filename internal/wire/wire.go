@@ -320,6 +320,31 @@ type Resp struct {
 	// Cost is the modeled synchronous latency the remote side (plus the
 	// network, on the simulated transport) contributed to this call.
 	Cost time.Duration
+
+	// release returns the pooled buffer Data aliases (if any) to its
+	// transport's pool. Installed by AttachRelease, invoked by Release.
+	// Never encoded: ownership is a local concern, not a wire one.
+	release func()
+}
+
+// AttachRelease installs the recycler for the pooled buffer Data
+// aliases. Transports that decode responses into pooled memory call it
+// right after Decode; everyone else leaves it nil and Release is free.
+func (r *Resp) AttachRelease(f func()) { r.release = f }
+
+// Release returns the response's payload buffer to its transport's
+// pool. After Release, Data (and anything aliasing it) must not be
+// touched — copy what you need first. Calling Release on a response
+// with no pooled buffer (the in-process transport, error replies) is a
+// no-op; a redundant second call is absorbed by the transport's
+// release guard, and the transport's debug poison mode turns both
+// misuses (double release, use-after-release) into loud failures.
+// Releasing is an optimization, never an obligation: a dropped
+// response is collected normally, it just costs the pool a miss.
+func (r *Resp) Release() {
+	if r.release != nil {
+		r.release()
+	}
 }
 
 // StaleEpochResp builds the structured rejection of a request whose
