@@ -3,8 +3,8 @@ GO ?= go
 # BENCH_ID names the combined trajectory file bench-json writes
 # (BENCH_$(BENCH_ID).json); bump it per PR so trajectories accumulate.
 # BENCH_BASE is the previous snapshot bench-diff gates against.
-BENCH_ID ?= pr8
-BENCH_BASE ?= pr6
+BENCH_ID ?= pr9
+BENCH_BASE ?= pr8
 
 .PHONY: verify verify-race build vet test race bench bench-json bench-diff bench-diff-ci example-recovery docs-check scenario-smoke
 
@@ -37,7 +37,7 @@ bench:
 # the repo root: the repair and fig8b experiments plus the wire-codec /
 # transport microbenchmarks, all in one combined JSON file.
 bench-json:
-	$(GO) run ./cmd/tsuebench -exp repair,fig8b,codec -combined BENCH_$(BENCH_ID).json
+	$(GO) run ./cmd/tsuebench -exp repair,fig8b,codec,storage -combined BENCH_$(BENCH_ID).json
 
 # bench-diff gates the committed trajectory: the current snapshot
 # (BENCH_$(BENCH_ID).json, from make bench-json) must not regress beyond
@@ -51,7 +51,7 @@ bench-diff:
 # with wide smoke tolerances (time/rate bands absorb hardware deltas;
 # B/op and allocs/op stay gated because they are machine-independent).
 bench-diff-ci:
-	$(GO) run ./cmd/tsuebench -exp repair,fig8b,codec -combined BENCH_ci.json
+	$(GO) run ./cmd/tsuebench -exp repair,fig8b,codec,storage -combined BENCH_ci.json
 	$(GO) run ./cmd/benchdiff -mode smoke -base BENCH_$(BENCH_ID).json -new BENCH_ci.json
 	rm -f BENCH_ci.json
 

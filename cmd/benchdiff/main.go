@@ -197,6 +197,12 @@ func (f finding) String() string {
 // Gated classes produce fatal findings beyond their band; informational
 // columns are surfaced (not failed) when they moved by more than 2x,
 // just so a wildly different run shape is visible in the log.
+// diskBoundReports name experiments whose gated metrics are real disk
+// I/O rather than modeled time: their rates swing with the machine's
+// storage stack (page cache state, fs, media), so they get twice the
+// tolerance ratio of the modeled metrics in either mode.
+var diskBoundReports = map[string]bool{"storage": true}
+
 func compare(base, new map[cellKey]cell, tol tolerances) (findings []finding, onlyBase, onlyNew []cellKey) {
 	for k, b := range base {
 		n, ok := new[k]
@@ -205,7 +211,11 @@ func compare(base, new map[cellKey]cell, tol tolerances) (findings []finding, on
 			continue
 		}
 		f := finding{key: k, base: b.value, new: n.value, class: b.class}
-		switch band, gated := tol[b.class]; {
+		band, gated := tol[b.class]
+		if diskBoundReports[k.report] {
+			band.ratio *= 2
+		}
+		switch {
 		case gated && lowerBetter(b.class) && n.value > b.value*band.ratio+band.abs:
 			f.regression = true
 		case gated && !lowerBetter(b.class) && n.value < b.value/band.ratio-band.abs:

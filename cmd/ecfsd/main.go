@@ -54,6 +54,7 @@ func main() {
 		osds      = flag.Int("osds", 16, "cluster OSD count (MDS role)")
 		block     = flag.Int("block", 1<<20, "block size in bytes")
 		hdd       = flag.Bool("hdd", false, "use the HDD device profile")
+		dataDir   = flag.String("data-dir", "", "OSD role: durable data directory (WAL-backed block store + on-disk log segments); empty keeps the OSD in memory. Reopening an existing directory recovers its contents (see docs/OPERATIONS.md)")
 		addrTTL   = flag.Duration("addr-ttl", 10*time.Second, "MDS role: drop address-map entries for nodes that have not heartbeaten this long (the liveness timeout; 0 disables aging)")
 	)
 	flag.Parse()
@@ -123,7 +124,7 @@ func main() {
 			delete(out, wire.MDSNode) // the configured MDS address stays
 			return out, nil
 		})
-		osd, err := ecfs.NewOSD(wire.NodeID(*id), prof, rpc, *method, cfg, erasure.Vandermonde)
+		osd, err := ecfs.NewOSDAt(wire.NodeID(*id), prof, rpc, *method, cfg, erasure.Vandermonde, *dataDir)
 		if err != nil {
 			fatal(err)
 		}
@@ -144,10 +145,22 @@ func main() {
 		}
 		stop := make(chan struct{})
 		osd.StartHeartbeats(2*time.Second, stop)
-		fmt.Printf("ecfsd: osd %d (%s, %s) serving on %s, advertising %s\n", *id, *method, prof.Kind, srv.Addr(), self)
+		durable := ""
+		if *dataDir != "" {
+			durable = ", data in " + *dataDir
+		}
+		fmt.Printf("ecfsd: osd %d (%s, %s) serving on %s, advertising %s%s\n", *id, *method, prof.Kind, srv.Addr(), self, durable)
 		waitSignal()
 		close(stop)
 		srv.Close()
+		// Clean shutdown: stop the strategy workers and, for a durable
+		// OSD, checkpoint the storage engine (flush dirty pages, sync,
+		// truncate the WAL) so the next start recovers instantly instead
+		// of replaying. Close is idempotent; the deferred call is a no-op.
+		osd.Close()
+		if *dataDir != "" {
+			fmt.Printf("ecfsd: osd %d checkpointed %s\n", *id, *dataDir)
+		}
 	default:
 		fatal(fmt.Errorf("unknown role %q", *role))
 	}

@@ -13,6 +13,7 @@
 //	tsuebench -exp mds-scale          # metadata sharding: lookup/create + StripesOn vs shard count
 //	tsuebench -exp codec              # wire codec + transport microbenchmarks (gob vs binary)
 //	tsuebench -exp scenario           # multi-tenant soak with scheduled fault injection + invariant checks
+//	tsuebench -exp storage            # durable OSD storage engine: WAL sync policies, warm/cold reads, crash-reopen redo
 //	tsuebench -exp scenario -scenario churn -tenants 4 -fault-seed 7 -soak-duration 30s
 //	tsuebench -exp fig5 -json         # also write machine-readable BENCH_fig5.json
 //	tsuebench -exp repair,fig8b,codec -combined BENCH_pr6.json

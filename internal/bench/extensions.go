@@ -141,4 +141,5 @@ var Extensions = map[string]func(context.Context, Scale) (*Report, error){
 	"mds-scale":      MDSScale,
 	"codec":          Codec,
 	"scenario":       ScenarioSoak,
+	"storage":        Storage,
 }

@@ -145,12 +145,12 @@ func TestExtensionRegistry(t *testing.T) {
 			t.Fatalf("extension %s nil", id)
 		}
 	}
-	for _, id := range []string{"latency", "compression", "recovery", "recovery-multi", "repair", "mds-scale", "codec", "scenario"} {
+	for _, id := range []string{"latency", "compression", "recovery", "recovery-multi", "repair", "mds-scale", "codec", "scenario", "storage"} {
 		if Extensions[id] == nil {
 			t.Fatalf("extension %s missing", id)
 		}
 	}
-	if len(Extensions) != 8 {
+	if len(Extensions) != 9 {
 		t.Fatalf("extensions = %d", len(Extensions))
 	}
 	_ = strconv.Itoa

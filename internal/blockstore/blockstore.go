@@ -1,9 +1,13 @@
 // Package blockstore keeps the real contents of the blocks an OSD hosts.
 //
-// Contents live in memory (the substitute for the testbed's SSD/HDD data
-// partitions); every access is priced through the OSD's device model, so
-// read/write/overwrite workload counters in the paper's Table 1 fall out
-// of actually executing the update algorithms.
+// Contents live in memory by default (the substitute for the testbed's
+// SSD/HDD data partitions) or, when the OSD is opened with a data
+// directory, in the durable page/WAL engine of internal/store — the
+// same API either way, so strategies never know which backend runs.
+// Every access is priced through the OSD's device model, so
+// read/write/overwrite workload counters in the paper's Table 1 fall
+// out of actually executing the update algorithms; with the durable
+// backend the priced charges correspond to real file I/O.
 package blockstore
 
 import (
@@ -12,6 +16,8 @@ import (
 	"time"
 
 	"repro/internal/device"
+	"repro/internal/sim"
+	"repro/internal/store"
 	"repro/internal/wire"
 )
 
@@ -20,23 +26,35 @@ import (
 // sequences atomic.
 type Store struct {
 	dev *device.Device
+	eng *store.Engine // nil: in-memory backend
 
 	mu     sync.RWMutex
 	blocks map[wire.BlockID]*block
 }
 
+// block holds in-memory contents, or (durable backend) only the
+// per-block mutex — the bytes then live in the engine.
 type block struct {
 	mu   sync.Mutex
 	data []byte
 }
 
-// New creates a store charging the given device.
+// New creates an in-memory store charging the given device.
 func New(dev *device.Device) *Store {
 	return &Store{dev: dev, blocks: make(map[wire.BlockID]*block)}
 }
 
+// NewDurable creates a store backed by the persistent engine: contents
+// survive process crashes, device charges stay identical.
+func NewDurable(dev *device.Device, eng *store.Engine) *Store {
+	return &Store{dev: dev, eng: eng, blocks: make(map[wire.BlockID]*block)}
+}
+
 // Device returns the backing device model.
 func (s *Store) Device() *device.Device { return s.dev }
+
+// Engine returns the durable engine, or nil for the in-memory backend.
+func (s *Store) Engine() *store.Engine { return s.eng }
 
 func (s *Store) get(id wire.BlockID) *block {
 	s.mu.RLock()
@@ -50,7 +68,25 @@ func (s *Store) getOrCreate(id wire.BlockID, size int) *block {
 	defer s.mu.Unlock()
 	b := s.blocks[id]
 	if b == nil {
-		b = &block{data: make([]byte, size)}
+		b = &block{}
+		if s.eng != nil {
+			s.eng.Ensure(id, uint32(size))
+		} else {
+			b.data = make([]byte, size)
+		}
+		s.blocks[id] = b
+	}
+	return b
+}
+
+// lockTable returns the mutex holder for an engine-backed block that
+// already exists durably (e.g. recovered from a previous run).
+func (s *Store) lockTable(id wire.BlockID) *block {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.blocks[id]
+	if b == nil {
+		b = &block{}
 		s.blocks[id] = b
 	}
 	return b
@@ -68,6 +104,19 @@ func (s *Store) Lock(id wire.BlockID, size int) func() {
 // WriteFull stores a whole block. seq selects sequential pricing (the
 // initial stripe write); a rewrite of an existing block is an overwrite.
 func (s *Store) WriteFull(id wire.BlockID, data []byte, seq bool) time.Duration {
+	return s.WriteFullClass(sim.ClassOther, id, data, seq)
+}
+
+// WriteFullClass is WriteFull with the device charge traffic-classified.
+func (s *Store) WriteFullClass(class sim.Class, id wire.BlockID, data []byte, seq bool) time.Duration {
+	if s.eng != nil {
+		existed := s.eng.Has(id)
+		b := s.lockTable(id)
+		b.mu.Lock()
+		s.eng.WriteFull(id, data)
+		b.mu.Unlock()
+		return s.dev.WriteClass(class, int64(len(data)), !seq, existed)
+	}
 	s.mu.Lock()
 	b := s.blocks[id]
 	existed := b != nil
@@ -79,13 +128,25 @@ func (s *Store) WriteFull(id wire.BlockID, data []byte, seq bool) time.Duration 
 	b.mu.Lock()
 	b.data = append(b.data[:0], data...)
 	b.mu.Unlock()
-	return s.dev.Write(int64(len(data)), !seq, existed)
+	return s.dev.WriteClass(class, int64(len(data)), !seq, existed)
 }
 
 // ReadRange reads [off, off+size) of a block. random selects the random
 // access cost. Reading an absent block returns an error; reading beyond
 // the block's size returns an error.
 func (s *Store) ReadRange(id wire.BlockID, off uint32, size int, random bool) ([]byte, time.Duration, error) {
+	return s.ReadRangeClass(sim.ClassOther, id, off, size, random)
+}
+
+// ReadRangeClass is ReadRange with the device charge traffic-classified.
+func (s *Store) ReadRangeClass(class sim.Class, id wire.BlockID, off uint32, size int, random bool) ([]byte, time.Duration, error) {
+	if s.eng != nil {
+		out, err := s.eng.ReadRange(id, off, size)
+		if err != nil {
+			return nil, 0, err
+		}
+		return out, s.dev.ReadClass(class, int64(size), random), nil
+	}
 	b := s.get(id)
 	if b == nil {
 		return nil, 0, fmt.Errorf("blockstore: %v not found", id)
@@ -96,12 +157,25 @@ func (s *Store) ReadRange(id wire.BlockID, off uint32, size int, random bool) ([
 		return nil, 0, fmt.Errorf("blockstore: read [%d,%d) beyond %v of %d bytes", off, int(off)+size, id, len(b.data))
 	}
 	out := append([]byte(nil), b.data[off:int(off)+size]...)
-	cost := s.dev.Read(int64(size), random)
+	cost := s.dev.ReadClass(class, int64(size), random)
 	return out, cost, nil
 }
 
 // ReadRangeNoLock is ReadRange for callers already holding Lock(id).
 func (s *Store) ReadRangeNoLock(id wire.BlockID, off uint32, size int, random bool) ([]byte, time.Duration, error) {
+	return s.ReadRangeNoLockClass(sim.ClassOther, id, off, size, random)
+}
+
+// ReadRangeNoLockClass is ReadRangeNoLock with the device charge
+// traffic-classified.
+func (s *Store) ReadRangeNoLockClass(class sim.Class, id wire.BlockID, off uint32, size int, random bool) ([]byte, time.Duration, error) {
+	if s.eng != nil {
+		out, err := s.eng.ReadRange(id, off, size)
+		if err != nil {
+			return nil, 0, err
+		}
+		return out, s.dev.ReadClass(class, int64(size), random), nil
+	}
 	b := s.get(id)
 	if b == nil {
 		return nil, 0, fmt.Errorf("blockstore: %v not found", id)
@@ -110,7 +184,7 @@ func (s *Store) ReadRangeNoLock(id wire.BlockID, off uint32, size int, random bo
 		return nil, 0, fmt.Errorf("blockstore: read [%d,%d) beyond %v of %d bytes", off, int(off)+size, id, len(b.data))
 	}
 	out := append([]byte(nil), b.data[off:int(off)+size]...)
-	cost := s.dev.Read(int64(size), random)
+	cost := s.dev.ReadClass(class, int64(size), random)
 	return out, cost, nil
 }
 
@@ -118,6 +192,11 @@ func (s *Store) ReadRangeNoLock(id wire.BlockID, off uint32, size int, random bo
 // overwrite for wear accounting. The block is created zero-filled at
 // blockSize if absent (an update may precede the full write in replays).
 func (s *Store) WriteRange(id wire.BlockID, off uint32, data []byte, random bool, blockSize int) (time.Duration, error) {
+	return s.WriteRangeClass(sim.ClassOther, id, off, data, random, blockSize)
+}
+
+// WriteRangeClass is WriteRange with the device charge traffic-classified.
+func (s *Store) WriteRangeClass(class sim.Class, id wire.BlockID, off uint32, data []byte, random bool, blockSize int) (time.Duration, error) {
 	need := int(off) + len(data)
 	if blockSize < need {
 		blockSize = need
@@ -125,17 +204,38 @@ func (s *Store) WriteRange(id wire.BlockID, off uint32, data []byte, random bool
 	b := s.getOrCreate(id, blockSize)
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if s.eng != nil {
+		if err := s.eng.WriteRange(id, off, data); err != nil {
+			return 0, err
+		}
+		return s.dev.WriteClass(class, int64(len(data)), random, true), nil
+	}
 	if need > len(b.data) {
 		grown := make([]byte, need)
 		copy(grown, b.data)
 		b.data = grown
 	}
 	copy(b.data[off:], data)
-	return s.dev.Write(int64(len(data)), random, true), nil
+	return s.dev.WriteClass(class, int64(len(data)), random, true), nil
 }
 
 // WriteRangeNoLock is WriteRange for callers already holding Lock(id).
 func (s *Store) WriteRangeNoLock(id wire.BlockID, off uint32, data []byte, random bool) (time.Duration, error) {
+	return s.WriteRangeNoLockClass(sim.ClassOther, id, off, data, random)
+}
+
+// WriteRangeNoLockClass is WriteRangeNoLock with the device charge
+// traffic-classified.
+func (s *Store) WriteRangeNoLockClass(class sim.Class, id wire.BlockID, off uint32, data []byte, random bool) (time.Duration, error) {
+	if s.eng != nil {
+		if !s.eng.Has(id) {
+			return 0, fmt.Errorf("blockstore: %v not found", id)
+		}
+		if err := s.eng.WriteRange(id, off, data); err != nil {
+			return 0, err
+		}
+		return s.dev.WriteClass(class, int64(len(data)), random, true), nil
+	}
 	b := s.get(id)
 	if b == nil {
 		return 0, fmt.Errorf("blockstore: %v not found", id)
@@ -147,12 +247,15 @@ func (s *Store) WriteRangeNoLock(id wire.BlockID, off uint32, data []byte, rando
 		b.data = grown
 	}
 	copy(b.data[off:], data)
-	return s.dev.Write(int64(len(data)), random, true), nil
+	return s.dev.WriteClass(class, int64(len(data)), random, true), nil
 }
 
 // Snapshot returns a copy of the block's content without device charge
 // (verification/introspection only).
 func (s *Store) Snapshot(id wire.BlockID) ([]byte, bool) {
+	if s.eng != nil {
+		return s.eng.Snapshot(id)
+	}
 	b := s.get(id)
 	if b == nil {
 		return nil, false
@@ -163,10 +266,18 @@ func (s *Store) Snapshot(id wire.BlockID) ([]byte, bool) {
 }
 
 // Has reports whether the block exists.
-func (s *Store) Has(id wire.BlockID) bool { return s.get(id) != nil }
+func (s *Store) Has(id wire.BlockID) bool {
+	if s.eng != nil {
+		return s.eng.Has(id)
+	}
+	return s.get(id) != nil
+}
 
 // Delete removes a block (node failure simulation / cleanup).
 func (s *Store) Delete(id wire.BlockID) {
+	if s.eng != nil {
+		s.eng.Delete(id)
+	}
 	s.mu.Lock()
 	delete(s.blocks, id)
 	s.mu.Unlock()
@@ -174,6 +285,9 @@ func (s *Store) Delete(id wire.BlockID) {
 
 // Blocks returns the IDs of all stored blocks (recovery enumeration).
 func (s *Store) Blocks() []wire.BlockID {
+	if s.eng != nil {
+		return s.eng.Blocks()
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	out := make([]wire.BlockID, 0, len(s.blocks))
@@ -185,6 +299,9 @@ func (s *Store) Blocks() []wire.BlockID {
 
 // Size returns the byte length of a block, or -1 if absent.
 func (s *Store) Size(id wire.BlockID) int {
+	if s.eng != nil {
+		return s.eng.Size(id)
+	}
 	b := s.get(id)
 	if b == nil {
 		return -1

@@ -3,6 +3,8 @@ package ecfs
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,6 +41,11 @@ type Options struct {
 	// Update strategy tunables; zero value uses update.DefaultConfig()
 	// with BlockSize applied.
 	Strategy *update.Config
+	// DataDir selects the durable per-OSD storage engine: each OSD keeps
+	// its blocks, log segments and placement metadata under
+	// DataDir/osd<id> and recovers them on reopen (see RestartOSD).
+	// Empty (the default) keeps every OSD in memory.
+	DataDir string
 }
 
 // DefaultOptions mirrors the paper's SSD testbed: 16 OSD nodes, 25 Gb/s
@@ -120,7 +127,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 	tr.Register(wire.MDSNode, mds.Handler)
 
 	for _, id := range ids {
-		osd, err := NewOSD(id, opts.Device, tr.Caller(id), opts.Method, cfg, opts.Kind)
+		osd, err := NewOSDAt(id, opts.Device, tr.Caller(id), opts.Method, cfg, opts.Kind, c.osdDataDir(id))
 		if err != nil {
 			return nil, err
 		}
@@ -135,7 +142,33 @@ func NewCluster(opts Options) (*Cluster, error) {
 	sched := mds.Scheduler()
 	sched.Configure(c.resources(), opts.MaxRebuildMBps)
 	sched.SetTrafficSource(c.RebuildTraffic)
+	// Segment compaction is admitted through the scheduler so it
+	// shares the rebuild budget instead of competing unaccounted.
+	for _, o := range c.OSDs {
+		c.startCompactor(o)
+	}
 	return c, nil
+}
+
+// osdDataDir maps a node id to its on-disk home, or "" for in-memory
+// clusters.
+func (c *Cluster) osdDataDir(id wire.NodeID) string {
+	if c.Opts.DataDir == "" {
+		return ""
+	}
+	return filepath.Join(c.Opts.DataDir, fmt.Sprintf("osd%d", id))
+}
+
+// startCompactor attaches the cluster's repair scheduler to a durable
+// OSD's background segment compactor. In-memory OSDs are a no-op.
+func (c *Cluster) startCompactor(o *OSD) {
+	if o.eng == nil {
+		return
+	}
+	sched := c.MDS.Scheduler()
+	o.eng.StartCompactor(func(ctx context.Context, bytes int64) error {
+		return sched.AdmitMaintenance(ctx, bytes)
+	}, 0)
 }
 
 // RebuildTraffic returns the cluster's tagged repair-machinery priced
@@ -282,6 +315,134 @@ func (c *Cluster) FailOSD(id wire.NodeID) {
 	c.Tr.Deregister(id)
 	c.MDS.MarkDead(id)
 	c.MDS.RemoveNode(id)
+	if o := c.OSD(id); o != nil && o.eng != nil {
+		// A failed durable node's disk is gone with it: release the
+		// engine and wipe the directory so a same-id replacement starts
+		// empty, as the rebuild path assumes.
+		o.Crash()
+		os.RemoveAll(c.osdDataDir(id))
+	}
+}
+
+// CrashOSD simulates a process kill of a durable OSD: it stops
+// answering and the MDS marks it dead, but — unlike FailOSD — its disk
+// state survives and the node is NOT evicted from the placement pool,
+// so no placement epochs are bumped and stripes untouched during the
+// outage need no rebuild when the node returns via RestartOSD.
+func (c *Cluster) CrashOSD(id wire.NodeID) {
+	c.failMu.Lock()
+	c.failed[id] = true
+	c.failMu.Unlock()
+	c.Tr.Deregister(id)
+	c.MDS.MarkDead(id)
+	if o := c.OSD(id); o != nil {
+		o.Crash()
+	}
+}
+
+// ResilverResult reports what a restarted OSD did with its local state.
+type ResilverResult struct {
+	Kept    int // stripes whose local copy was still current
+	Rebuilt int // stripes rebuilt from surviving members
+	Dropped int // local blocks no longer placed on this node
+}
+
+// Resilver reconciles a restarted durable OSD's recovered local state
+// against the MDS: stripes whose persisted placement epoch is at least
+// the MDS's are kept as-is (the fast path that makes kill-restart cheap
+// — zero traffic for anything untouched during the outage); stripes the
+// cluster moved on from (a repair or drain bumped their epoch while the
+// node was down) are rebuilt in place through the repair scheduler; and
+// local blocks the MDS no longer places here at all are dropped.
+func (c *Cluster) Resilver(ctx context.Context, id wire.NodeID) (*ResilverResult, error) {
+	o := c.OSD(id)
+	res := &ResilverResult{}
+	if o == nil || o.eng == nil {
+		return res, nil
+	}
+	refs := c.MDS.StripesOnSorted(id)
+	var stale []StripeRef
+	for _, ref := range refs {
+		ep, ok := o.eng.EpochOf(ref.Ino, ref.Stripe)
+		if (ok && ep >= ref.Loc.Epoch) || (!ok && ref.Loc.Epoch == 0) {
+			res.Kept++
+			continue
+		}
+		stale = append(stale, ref)
+	}
+	if len(stale) > 0 {
+		opts := c.repairOptions(c.Opts.RecoveryWorkers, false)
+		opts.Down = c.deadSnapshot()
+		if opts.Workers > len(stale) {
+			opts.Workers = len(stale)
+		}
+		r := &recoverer{
+			ctx:      ctx,
+			mds:      c.MDS,
+			caller:   c.Tr.Caller(wire.MDSNode),
+			code:     c.code,
+			k:        opts.K,
+			m:        opts.M,
+			replicas: opts.DataLogReplicas,
+			failed:   id, // the stale local copy must not source itself
+			repl:     o,
+			down:     opts.Down,
+			rebind:   false,
+		}
+		srs := make([]StripeRecovery, len(stale))
+		q := newRepairQueue(stale)
+		err := runRepairWorkers(ctx, c.MDS, opts, q, func(ref StripeRef, seed, order int) (int64, error) {
+			sr, err := r.rebuildStripe(ref)
+			srs[seed] = sr
+			return int64(sr.Bytes), err
+		})
+		if err != nil {
+			return res, err
+		}
+		for _, sr := range srs {
+			if sr.Lost {
+				return res, &DataLossError{
+					Ino: sr.Ino, Stripe: sr.Stripe,
+					Need: opts.K, Have: sr.Obtained,
+					Unreachable: sr.Unreachable, NotFound: sr.NotFound,
+					Stripes: 1,
+				}
+			}
+			if !sr.Skipped {
+				res.Rebuilt++
+			}
+		}
+	}
+	// Drop blocks the MDS no longer places on this node (the stripe was
+	// rebound elsewhere while the node was down).
+	for _, b := range o.store.Blocks() {
+		loc, err := c.MDS.Lookup(b.Ino, b.Stripe)
+		if err != nil || int(b.Idx) >= len(loc.Nodes) || loc.Nodes[b.Idx] != id {
+			o.store.Delete(b)
+			res.Dropped++
+		}
+	}
+	return res, nil
+}
+
+// RestartOSD brings a crashed durable OSD back under the same id: a
+// fresh OSD reopens the node's data directory (WAL redo + segment
+// replay happen in NewOSDAt), rejoins the cluster in the victim's
+// place, and resilvers against the MDS. The returned result reports how
+// much local state survived; for an outage during which nothing wrote
+// to the node's stripes, Rebuilt is zero.
+func (c *Cluster) RestartOSD(ctx context.Context, id wire.NodeID) (*OSD, *ResilverResult, error) {
+	repl, err := c.SpawnOSD(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.Reinstate(repl)
+	c.startCompactor(repl)
+	res, err := c.Resilver(ctx, id)
+	if err != nil {
+		return repl, res, err
+	}
+	return repl, res, nil
 }
 
 // AddOSD admits an OSD to the cluster under a fresh node id: the
@@ -299,7 +460,7 @@ func (c *Cluster) AddOSD(osd *OSD) { c.Reinstate(osd) }
 // not registered anywhere; pass it to AddOSD (fresh id) or Reinstate
 // (same id) to admit it.
 func (c *Cluster) SpawnOSD(id wire.NodeID) (*OSD, error) {
-	return NewOSD(id, c.Opts.Device, c.Tr.Caller(id), c.Opts.Method, c.cfg, c.Opts.Kind)
+	return NewOSDAt(id, c.Opts.Device, c.Tr.Caller(id), c.Opts.Method, c.cfg, c.Opts.Kind, c.osdDataDir(id))
 }
 
 // MaxNodeID returns the largest OSD node id currently registered —

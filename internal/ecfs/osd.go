@@ -9,6 +9,8 @@ import (
 	"repro/internal/blockstore"
 	"repro/internal/device"
 	"repro/internal/erasure"
+	"repro/internal/logpool"
+	"repro/internal/store"
 	"repro/internal/transport"
 	"repro/internal/update"
 	"repro/internal/wire"
@@ -21,9 +23,12 @@ type OSD struct {
 	id       wire.NodeID
 	dev      *device.Device
 	store    *blockstore.Store
+	eng      *store.Engine // durable backing; nil for in-memory OSDs
 	rpc      transport.RPC
 	strategy update.Strategy
 	codeKind erasure.MatrixKind
+
+	closeOnce sync.Once
 
 	codeMu sync.RWMutex
 	codes  map[[2]int]*erasure.Code
@@ -64,14 +69,31 @@ type OSD struct {
 	listenAddr string
 }
 
-// NewOSD builds an OSD and its strategy. The caller registers
+// NewOSD builds an in-memory OSD and its strategy. The caller registers
 // osd.Handler on the transport.
 func NewOSD(id wire.NodeID, prof device.Profile, rpc transport.RPC, method string, cfg update.Config, kind erasure.MatrixKind) (*OSD, error) {
+	return NewOSDAt(id, prof, rpc, method, cfg, kind, "")
+}
+
+// enginePersist adapts the storage engine to the log pools'
+// PersistProvider: each pool's records land in its own named on-disk
+// segment layer.
+type enginePersist struct{ eng *store.Engine }
+
+func (p enginePersist) Layer(name string) logpool.Persist { return p.eng.Layer(name) }
+
+// NewOSDAt is NewOSD with a data directory. A non-empty dataDir selects
+// the durable storage engine: block contents go through the WAL-backed
+// page store, TSUE log records are persisted to on-disk segments, and
+// reopening an existing directory recovers all of it — redo committed
+// WAL records, re-seed placements and epochs, and replay surviving
+// (unfolded) log records back into the strategy's pools — so a
+// kill-restarted OSD rejoins with its local data intact.
+func NewOSDAt(id wire.NodeID, prof device.Profile, rpc transport.RPC, method string, cfg update.Config, kind erasure.MatrixKind, dataDir string) (*OSD, error) {
 	dev := device.New(fmt.Sprintf("osd%d/%s", id, prof.Kind), prof)
 	o := &OSD{
 		id:         id,
 		dev:        dev,
-		store:      blockstore.New(dev),
 		rpc:        rpc,
 		codeKind:   kind,
 		codes:      make(map[[2]int]*erasure.Code),
@@ -80,13 +102,62 @@ func NewOSD(id wire.NodeID, prof device.Profile, rpc transport.RPC, method strin
 		overwrites: make(map[stripeKey]uint64),
 	}
 	o.inflightCond = sync.NewCond(&o.inflightMu)
+	if dataDir != "" {
+		eng, err := store.Open(dataDir, store.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("ecfs: osd %d open %s: %w", id, dataDir, err)
+		}
+		o.eng = eng
+		o.store = blockstore.NewDurable(dev, eng)
+		cfg.Persist = enginePersist{eng}
+	} else {
+		o.store = blockstore.New(dev)
+	}
 	s, err := update.New(method, cfg, o)
 	if err != nil {
+		if o.eng != nil {
+			o.eng.Close()
+		}
 		return nil, err
 	}
 	o.strategy = s
+	if o.eng != nil {
+		o.recoverLocal()
+	}
 	return o, nil
 }
+
+// recoverLocal finishes a durable OSD's open: seed the in-memory epoch
+// table and the strategy's stripe placements from the engine's
+// persisted state, then replay surviving log-segment records through
+// the strategy's normal append path. Placements MUST be seeded first —
+// a recycle triggered by a replayed append routes deltas through the
+// stripe table, and an unknown stripe recycles to nothing.
+func (o *OSD) recoverLocal() {
+	o.eng.ForEachEpoch(func(ino uint64, stripe uint32, ep uint64) {
+		o.epochs[stripeKey{ino, stripe}] = ep
+	})
+	if r, ok := o.strategy.(update.PlacementRefresher); ok {
+		o.eng.ForEachPlacement(func(ino uint64, stripe uint32, p store.Placement) {
+			r.RefreshPlacement(&wire.Msg{
+				Block: wire.BlockID{Ino: ino, Stripe: stripe},
+				K:     uint8(p.K), M: uint8(p.M),
+				Loc: wire.StripeLoc{Nodes: p.Nodes, Epoch: p.Epoch},
+			})
+		})
+	}
+	if rp, ok := o.strategy.(update.Replayer); ok {
+		o.eng.Replay(func(e store.SegEntry) {
+			rp.ReplayPersisted(e.Layer, e.Block, e.Off, e.V, e.Data)
+		})
+	}
+	// Replayed records were re-persisted under the new segment era by
+	// the appends above; the previous era's files are now dead weight.
+	o.eng.FinishReplay()
+}
+
+// Engine returns the durable storage engine, or nil for in-memory OSDs.
+func (o *OSD) Engine() *store.Engine { return o.eng }
 
 // --- update.Env implementation ---
 
@@ -154,8 +225,38 @@ func (o *OSD) noteEpoch(ino uint64, stripe uint32, epoch uint64) {
 	o.epochMu.Lock()
 	if epoch > o.epochs[key] {
 		o.epochs[key] = epoch
+		if o.eng != nil {
+			// Durable OSDs journal the epoch too: after a kill-restart
+			// the resilver pass compares these against the MDS to decide
+			// which local stripes are still current.
+			o.eng.NoteEpoch(ino, stripe, epoch)
+		}
 	}
 	o.epochMu.Unlock()
+}
+
+// persistPlacement records a stripe placement in the storage engine so
+// a reopened OSD can re-seed its strategy's stripe table before log
+// replay. In-memory OSDs and messages without placements are no-ops.
+func (o *OSD) persistPlacement(msg *wire.Msg) {
+	if o.eng == nil || len(msg.Loc.Nodes) == 0 {
+		return
+	}
+	k, m := int(msg.K), int(msg.M)
+	if k == 0 {
+		// Epoch fences ship a placement without geometry; keep the
+		// recorded K/M if we have one, otherwise there is nothing useful
+		// to remember yet.
+		p, ok := o.eng.PlacementOf(msg.Block.Ino, msg.Block.Stripe)
+		if !ok {
+			return
+		}
+		k, m = p.K, p.M
+	}
+	o.eng.RememberPlacement(msg.Block.Ino, msg.Block.Stripe, store.Placement{
+		K: k, M: m, Epoch: msg.Loc.Epoch,
+		Nodes: append([]wire.NodeID(nil), msg.Loc.Nodes...),
+	})
 }
 
 // beginMutation registers an in-flight client-boundary mutation for the
@@ -218,6 +319,7 @@ func (o *OSD) checkEpoch(msg *wire.Msg) *wire.Resp {
 		return wire.StaleEpochResp(msg.Block, msg.Loc.Epoch, cur)
 	}
 	o.noteEpoch(msg.Block.Ino, msg.Block.Stripe, msg.Loc.Epoch)
+	o.persistPlacement(msg)
 	return nil
 }
 
@@ -237,7 +339,7 @@ func (o *OSD) Handler(ctx context.Context, msg *wire.Msg) *wire.Resp {
 			return stale
 		}
 		o.noteOverwrite(key, msg.Loc.Epoch)
-		cost := o.store.WriteFull(msg.Block, msg.Data, true)
+		cost := o.store.WriteFullClass(msg.TrafficClass(), msg.Block, msg.Data, true)
 		return &wire.Resp{Cost: cost}
 	case wire.KUpdate:
 		key := stripeKey{msg.Block.Ino, msg.Block.Stripe}
@@ -266,6 +368,7 @@ func (o *OSD) Handler(ctx context.Context, msg *wire.Msg) *wire.Resp {
 		return &wire.Resp{Data: data, Cost: cost}
 	case wire.KEpochUpdate:
 		o.noteEpoch(msg.Block.Ino, msg.Block.Stripe, msg.Loc.Epoch)
+		o.persistPlacement(msg)
 		// Fence semantics: once the epoch is bumped, wait for any
 		// mutation that passed the old epoch check to finish. When this
 		// reply goes out, the stripe's client-visible state on this OSD
@@ -293,7 +396,7 @@ func (o *OSD) Handler(ctx context.Context, msg *wire.Msg) *wire.Resp {
 			}
 			return &wire.Resp{Data: data, Cost: cost}
 		}
-		data, cost, err := o.store.ReadRange(msg.Block, 0, size, false)
+		data, cost, err := o.store.ReadRangeClass(msg.TrafficClass(), msg.Block, 0, size, false)
 		if err != nil {
 			return wire.ErrorResp(err)
 		}
@@ -310,7 +413,7 @@ func (o *OSD) Handler(ctx context.Context, msg *wire.Msg) *wire.Resp {
 				return &wire.Resp{Val: 1} // acknowledged, intentionally not applied
 			}
 		}
-		cost := o.store.WriteFull(msg.Block, msg.Data, true)
+		cost := o.store.WriteFullClass(msg.TrafficClass(), msg.Block, msg.Data, true)
 		return &wire.Resp{Cost: cost}
 	case wire.KDrainLogs:
 		dead := decodeDeadList(msg.Data)
@@ -325,8 +428,28 @@ func (o *OSD) Handler(ctx context.Context, msg *wire.Msg) *wire.Resp {
 	}
 }
 
-// Close stops the strategy's background workers.
-func (o *OSD) Close() { o.strategy.Close() }
+// Close stops the strategy's background workers and, for durable OSDs,
+// checkpoints and closes the storage engine. Idempotent: a crashed OSD
+// being replaced by Reinstate may be closed again harmlessly.
+func (o *OSD) Close() {
+	o.closeOnce.Do(func() {
+		o.strategy.Close()
+		if o.eng != nil {
+			o.eng.Close()
+		}
+	})
+}
+
+// Crash simulates a kill -9: the storage engine stops persisting
+// anything beyond what already hit the disk, then the OSD shuts down.
+// Whatever the WAL and segment files contain at this instant is exactly
+// what a subsequent NewOSDAt on the same directory recovers.
+func (o *OSD) Crash() {
+	if o.eng != nil {
+		o.eng.Crash()
+	}
+	o.Close()
+}
 
 // DrainAll runs all drain phases locally (single-node tests).
 func (o *OSD) DrainAll() error {

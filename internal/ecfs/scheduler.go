@@ -395,6 +395,40 @@ func (s *RepairScheduler) admit(ctx context.Context, q *repairQueue, runMBps flo
 	}
 }
 
+// AdmitMaintenance paces a background maintenance pass (segment
+// compaction, scrub-side housekeeping) through the same byte budget
+// that gates repair traffic, without competing as a repair queue: it
+// never injects throttle time into the shared ledger — concurrent
+// repair runs must not inherit virtual idle from the compactor — and
+// after a bounded wall back-off it proceeds regardless, charging its
+// bytes so sustained maintenance still eats into the budget the next
+// admission sees. With no cap configured it admits immediately.
+func (s *RepairScheduler) AdmitMaintenance(ctx context.Context, bytes int64) error {
+	rate := s.effectiveRate(0)
+	if rate <= 0 {
+		s.charge(bytes)
+		return ctx.Err()
+	}
+	for polls := 0; ; polls++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		budget := time.Duration(0)
+		if clock := s.fgClockLocked() + s.balThrottle; clock > 0 {
+			budget = clock
+		}
+		have := int64(rate * budget.Seconds())
+		spent := s.spentLocked()
+		s.mu.Unlock()
+		if spent <= have || polls >= admitMaxPolls {
+			s.charge(bytes)
+			return nil
+		}
+		time.Sleep(admitPoll)
+	}
+}
+
 // charge records a completed stripe job's payload bytes in the
 // fallback ledger — the budget's spend when no traffic source is
 // installed (a deployment without a pricing model).

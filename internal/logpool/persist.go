@@ -1,0 +1,32 @@
+package logpool
+
+import "repro/internal/wire"
+
+// Persist is the durable backing for one pool's log records. The
+// internal/store engine's Layer handle satisfies it structurally; the
+// pool stays import-free of the engine. Appends are persisted before
+// the pool acknowledges them (log-before-ack); folds mark recycled
+// records dead so a restart replays only work whose parity effect
+// never happened.
+type Persist interface {
+	// AppendEntry durably logs one record under the unit generation it
+	// was buffered in. v is the append's virtual timestamp.
+	AppendEntry(gen uint64, block wire.BlockID, off uint32, v int64, data []byte)
+	// FoldBlock marks every record for block in gen as recycled.
+	FoldBlock(gen uint64, block wire.BlockID)
+	// FoldUnit marks the whole generation recycled (covers units whose
+	// recycle produced no per-block work).
+	FoldUnit(gen uint64)
+}
+
+// PersistProvider hands out per-layer Persist handles keyed by pool
+// name. A pool set resolves one handle per member pool.
+type PersistProvider interface {
+	Layer(name string) Persist
+}
+
+// PersistFunc adapts a function to PersistProvider for tests.
+type PersistFunc func(name string) Persist
+
+// Layer implements PersistProvider.
+func (f PersistFunc) Layer(name string) Persist { return f(name) }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/device"
+	"repro/internal/sim"
 	"repro/internal/wire"
 )
 
@@ -48,6 +49,11 @@ const entryHeader = 32
 type Unit struct {
 	id    int
 	state State
+	// gen is the unit's incarnation for durable persistence: unit
+	// objects are reused after recycling (rotateLocked), so each reuse
+	// gets a fresh generation and the persisted records of different
+	// fillings never alias.
+	gen uint64
 
 	mu      sync.RWMutex
 	blocks  map[wire.BlockID]*blockIndex
@@ -135,6 +141,12 @@ type Config struct {
 	// Device receives the sequential persistence writes of appends. May
 	// be nil (pure in-memory log, used in unit tests).
 	Device *device.Device
+	// Class is the traffic class append device charges account to
+	// (foreground-write for front-end logs, other for internal layers).
+	Class sim.Class
+	// Persist optionally backs the pool with durable per-layer log
+	// segments (the internal/store engine); resolved by pool name.
+	Persist PersistProvider
 }
 
 func (c *Config) sanitize() error {
@@ -155,13 +167,15 @@ func (c *Config) sanitize() error {
 
 // Pool is a FIFO queue of log units backing one log pool of one layer.
 type Pool struct {
-	cfg Config
+	cfg     Config
+	persist Persist // resolved per-layer handle, nil without Config.Persist
 
 	mu      sync.Mutex
 	cond    *sync.Cond
 	queue   []*Unit // FIFO: oldest first; active unit is the last
 	active  *Unit
 	nextID  int
+	nextGen uint64
 	stats   Stats
 	closed  bool
 	pending int // units in Recyclable/Recycling state
@@ -193,6 +207,9 @@ func NewPool(cfg Config) (*Pool, error) {
 		return nil, err
 	}
 	p := &Pool{cfg: cfg, completions: make(map[int]completionRec)}
+	if cfg.Persist != nil {
+		p.persist = cfg.Persist.Layer(cfg.Name)
+	}
 	lanes := cfg.MaxUnits - 1
 	if lanes < 1 {
 		lanes = 1
@@ -217,8 +234,9 @@ func MustNewPool(cfg Config) *Pool {
 func (p *Pool) Config() Config { return p.cfg }
 
 func (p *Pool) newUnitLocked() *Unit {
-	u := &Unit{id: p.nextID, state: Empty, blocks: make(map[wire.BlockID]*blockIndex)}
+	u := &Unit{id: p.nextID, gen: p.nextGen, state: Empty, blocks: make(map[wire.BlockID]*blockIndex)}
 	p.nextID++
+	p.nextGen++
 	if n := p.allocatedLocked() + 1; n > p.stats.UnitsAllocated {
 		p.stats.UnitsAllocated = n
 	}
@@ -288,11 +306,16 @@ func (p *Pool) Append(block wire.BlockID, off uint32, data []byte, v time.Durati
 		u.blocks[block] = bi
 	}
 	bi.insert(off, data, v)
+	if p.persist != nil {
+		// Log-before-ack, still under the unit lock so no fold for this
+		// generation can be recorded before the entry itself lands.
+		p.persist.AppendEntry(u.gen, block, off, int64(v), data)
+	}
 	u.mu.Unlock()
 
 	var cost time.Duration
 	if p.cfg.Device != nil {
-		cost = p.cfg.Device.Write(int64(len(data))+entryHeader, false, false)
+		cost = p.cfg.Device.WriteClass(p.cfg.Class, int64(len(data))+entryHeader, false, false)
 	}
 	p.mu.Lock()
 	p.stats.AppendCost += cost
@@ -322,6 +345,8 @@ func (p *Pool) rotateLocked() {
 			u.entries = 0
 			u.hasFirst = false
 			u.state = Empty
+			u.gen = p.nextGen // fresh incarnation for the reused object
+			p.nextGen++
 			u.mu.Unlock()
 			p.active = u
 			p.moveToTailLocked(u)
@@ -402,6 +427,12 @@ func (p *Pool) FinishRecycle(u *Unit, recycleCost, wall time.Duration, entries, 
 	}
 	u.mu.Lock()
 	u.state = Recycled
+	if p.persist != nil {
+		// Every record of this incarnation has been recycled: mark the
+		// generation dead so a restart does not replay it (and the
+		// compactor can reclaim the segment file).
+		p.persist.FoldUnit(u.gen)
+	}
 	if u.hasFirst {
 		p.stats.BufferTime += (u.sealV - u.firstV)
 	}

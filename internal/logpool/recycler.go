@@ -161,6 +161,12 @@ func (r *Recycler) workerLoop(w *recycleWorker) {
 		w.queue = w.queue[1:]
 		w.mu.Unlock()
 		cost := r.fn(item.be, item.sealV)
+		if per := r.pool.persist; per != nil {
+			// The block's records are merged into downstream state; mark
+			// them dead so a crash between here and the unit-level fold
+			// replays as little as possible.
+			per.FoldBlock(item.tracker.u.gen, item.be.Block)
+		}
 		item.tracker.add(item.worker, cost)
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -129,6 +130,14 @@ type Result struct {
 	Healed          int // failed updates re-executed at checkpoints
 	StripesScrubbed int
 	RepairBytes     int64 // scheduler lifetime spent bytes, summed over passes
+	// Restarts counts kill-restart cycles; the Resilver* fields sum what
+	// the restarted nodes did with their recovered local state. A large
+	// Kept against a small Rebuilt is the durable engine's payoff: a
+	// crash-restart is not a full rebuild.
+	Restarts        int
+	ResilverKept    int
+	ResilverRebuilt int
+	ResilverDropped int
 	// Timeline is the pass-0 fault schedule — the reproducibility
 	// contract for the seed.
 	Timeline []Event
@@ -162,6 +171,8 @@ type Engine struct {
 	timeline []Event
 
 	clock atomic.Int64 // op attempts in the current phase
+	// kill-restart tallies, folded into the Result after each pass.
+	restarts, resKept, resRebuilt, resDropped atomic.Int64
 	// memClock counts membership-event edges: +1 when a kill or drain
 	// starts executing, +1 when it finishes. Even and unchanged across a
 	// read means no membership window overlapped it, so the inline
@@ -273,7 +284,13 @@ func (e *Engine) Run(ctx context.Context) (*Result, error) {
 
 // runPass soaks one fresh cluster through all phases of one pass.
 func (e *Engine) runPass(ctx context.Context, pass int, states []*tenantState, res *Result) error {
-	c, err := ecfs.NewCluster(*e.spec.Cluster)
+	opts := *e.spec.Cluster
+	if opts.DataDir != "" {
+		// Every pass is a fresh cluster; give it a fresh disk too, so a
+		// soak's later passes don't replay the previous pass's state.
+		opts.DataDir = filepath.Join(opts.DataDir, fmt.Sprintf("pass%d", pass))
+	}
+	c, err := ecfs.NewCluster(opts)
 	if err != nil {
 		return err
 	}
@@ -308,6 +325,10 @@ func (e *Engine) runPass(ctx context.Context, pass int, states []*tenantState, r
 		}
 	}
 	res.RepairBytes += c.Scheduler().TotalSpentBytes()
+	res.Restarts += int(e.restarts.Swap(0))
+	res.ResilverKept += int(e.resKept.Swap(0))
+	res.ResilverRebuilt += int(e.resRebuilt.Swap(0))
+	res.ResilverDropped += int(e.resDropped.Swap(0))
 	return nil
 }
 
@@ -495,7 +516,7 @@ func pickAlive(c *ecfs.Cluster, pick uint64) *ecfs.OSD {
 // fire executes one fault event against the live cluster.
 func (e *Engine) fire(ctx context.Context, c *ecfs.Cluster, ev Event, phaseOps int64, done <-chan struct{}) error {
 	switch ev.Kind {
-	case EventKillOSD, EventDrainCancelResume:
+	case EventKillOSD, EventDrainCancelResume, EventKillRestart:
 		e.memClock.Add(1)
 		defer e.memClock.Add(1)
 	}
@@ -557,6 +578,26 @@ func (e *Engine) fire(ctx context.Context, c *ecfs.Cluster, ev Event, phaseOps i
 
 	case EventCapRebase:
 		c.SetRebuildCap(ev.Param)
+
+	case EventKillRestart:
+		victim := pickAlive(c, ev.Pick)
+		if victim == nil {
+			return errors.New("no alive OSD to kill-restart")
+		}
+		id := victim.ID()
+		c.CrashOSD(id)
+		// Outage window: traffic keeps running against the degraded
+		// cluster (ops that need the dead node fail transiently and heal
+		// at the next checkpoint).
+		e.waitClock(ctx, done, e.clock.Load()+int64(ev.Hold*float64(phaseOps)), 25*time.Millisecond)
+		_, rres, err := c.RestartOSD(ctx, id)
+		if err != nil {
+			return fmt.Errorf("invariant no-lost-acknowledged-write: restart of %d: %w", id, err)
+		}
+		e.restarts.Add(1)
+		e.resKept.Add(int64(rres.Kept))
+		e.resRebuilt.Add(int64(rres.Rebuilt))
+		e.resDropped.Add(int64(rres.Dropped))
 
 	default:
 		return fmt.Errorf("unknown event kind %d", ev.Kind)

@@ -4,6 +4,8 @@ import (
 	"context"
 	"testing"
 	"time"
+
+	"repro/internal/ecfs"
 )
 
 // TestScenarioSmoke is the CI soak (make scenario-smoke): two tenants,
@@ -95,15 +97,30 @@ func TestScheduleMandatoryKindsAndBounds(t *testing.T) {
 	}
 }
 
+// durableCluster returns the scenario-default cluster geometry backed
+// by an on-disk data directory, making every fault kind — kill-restart
+// included — schedulable.
+func durableCluster(t *testing.T) *ecfs.Options {
+	t.Helper()
+	o := ecfs.DefaultOptions()
+	o.NumOSDs, o.K, o.M = 9, 4, 2
+	o.BlockSize = 16 << 10
+	o.DataDir = t.TempDir()
+	return &o
+}
+
 // TestScenarioAllEventKinds soaks a schedule that includes every fault
-// kind — slow-device windows and cap rebases alongside the mandatory
-// kill and drain — and requires a clean invariant suite.
+// kind — slow-device windows, cap rebases and kill-restart cycles
+// alongside the mandatory kill and drain — and requires a clean
+// invariant suite. The cluster is durable, so kill-restart is in play.
 func TestScenarioAllEventKinds(t *testing.T) {
-	// Deterministically find a seed whose "degrade" timeline covers all
-	// four kinds (the first two are forced; slow/cap are weight-favored).
+	cluster := durableCluster(t)
+	// Deterministically find a seed whose "mixed" timeline covers all
+	// five kinds (the first two are forced; the rest draw evenly).
 	var eng *Engine
-	for seed := int64(0); seed < 64; seed++ {
-		cand, err := New(Spec{Name: "degrade", Seed: seed, Tenants: 3, Clients: 2, Phases: 2, Events: 6, Ops: 300})
+	for seed := int64(0); seed < 256; seed++ {
+		cand, err := New(Spec{Name: "mixed", Seed: seed, Tenants: 3, Clients: 2, Phases: 2, Events: 8, Ops: 300,
+			Cluster: cluster})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -123,11 +140,50 @@ func TestScenarioAllEventKinds(t *testing.T) {
 	if err != nil {
 		t.Fatalf("soak failed:\n%s\nerror: %v", FormatTimeline(eng.Timeline()), err)
 	}
-	if res.EventsFired != 6 {
-		t.Fatalf("got %d events fired, want 6", res.EventsFired)
+	if res.EventsFired != 8 {
+		t.Fatalf("got %d events fired, want 8", res.EventsFired)
 	}
 	if res.Checkpoints != 2 {
 		t.Fatalf("got %d checkpoints, want 2", res.Checkpoints)
+	}
+	if res.Restarts == 0 {
+		t.Fatal("timeline included kill-restart but none executed")
+	}
+}
+
+// TestScenarioKillRestart is the crash-recovery soak: a durable cluster
+// under the restart-heavy preset, where OSDs are killed mid-workload
+// and brought back from their surviving data directories. The invariant
+// suite (parity scrub, byte-exact shadow compare, epoch monotonicity)
+// must stay green across every crash-restart cycle, and the resilver
+// tallies must show the durable engine doing its job: restarted nodes
+// keep local stripes rather than rebuilding the world.
+func TestScenarioKillRestart(t *testing.T) {
+	eng, err := New(Spec{Name: "restart", Seed: 5, Tenants: 2, Clients: 3, Phases: 2, Events: 5, Ops: 400,
+		Cluster: durableCluster(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[EventKind]int{}
+	for _, ev := range eng.Timeline() {
+		kinds[ev.Kind]++
+	}
+	if kinds[EventKillRestart] == 0 {
+		t.Fatalf("restart preset scheduled no kill-restart:\n%s", FormatTimeline(eng.Timeline()))
+	}
+	res, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatalf("soak failed:\n%s\nerror: %v", FormatTimeline(eng.Timeline()), err)
+	}
+	if res.Restarts != kinds[EventKillRestart] {
+		t.Fatalf("executed %d restarts, timeline scheduled %d", res.Restarts, kinds[EventKillRestart])
+	}
+	if res.ResilverKept == 0 {
+		t.Fatal("restarted nodes kept no local stripes; recovery rebuilt everything")
+	}
+	if res.ResilverRebuilt > res.ResilverKept {
+		t.Fatalf("resilver rebuilt %d stripes vs %d kept; crash-restart degenerated to full rebuild",
+			res.ResilverRebuilt, res.ResilverKept)
 	}
 }
 

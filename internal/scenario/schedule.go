@@ -27,12 +27,20 @@ const (
 	// EventCapRebase rebases the cluster rebuild-bandwidth cap to Param
 	// decimal MB/s (0 uncaps) for every subsequent repair admission.
 	EventCapRebase
+	// EventKillRestart crashes a durable OSD (its process dies but its
+	// data directory survives), lets traffic run degraded for a Hold
+	// window, then restarts it from the same directory under the same id
+	// — WAL redo, segment replay, and an epoch-checked resilver instead
+	// of a full rebuild. Only scheduled when the cluster has a DataDir;
+	// in-memory clusters draw it with weight zero, keeping their
+	// timelines identical to earlier releases.
+	EventKillRestart
 
 	numEventKinds
 )
 
 var eventNames = [numEventKinds]string{
-	"kill-osd", "drain-cancel-resume", "slow-device", "cap-rebase",
+	"kill-osd", "drain-cancel-resume", "slow-device", "cap-rebase", "kill-restart",
 }
 
 // String returns the kind's catalog name.
@@ -83,6 +91,8 @@ func (e Event) String() string {
 		s += fmt.Sprintf(" cap=%.0fMBps", e.Param)
 	case EventDrainCancelResume:
 		s += fmt.Sprintf(" cancel@%.0f%%", 100*e.Hold)
+	case EventKillRestart:
+		s += fmt.Sprintf(" outage=%.0f%%", 100*e.Hold)
 	}
 	return s
 }
@@ -100,11 +110,15 @@ func FormatTimeline(evs []Event) string {
 // for the events beyond the two mandatory ones.
 var presetWeights = map[string][numEventKinds]int{
 	// mixed exercises every kind evenly.
-	"mixed": {1, 1, 1, 1},
+	"mixed": {1, 1, 1, 1, 1},
 	// churn is membership-heavy: kills and drains dominate.
-	"churn": {3, 2, 1, 1},
+	"churn": {3, 2, 1, 1, 2},
 	// degrade is performance-fault-heavy: slow devices and cap churn.
-	"degrade": {1, 1, 3, 2},
+	"degrade": {1, 1, 3, 2, 0},
+	// restart is crash-recovery-heavy: kill-restart cycles dominate
+	// (durable clusters only; without a DataDir it degenerates to mixed
+	// weights minus the restarts).
+	"restart": {1, 1, 1, 1, 4},
 }
 
 // Presets lists the scenario preset names accepted by Spec.Name.
@@ -128,6 +142,13 @@ func schedule(spec Spec, pass int) []Event {
 	if !ok {
 		weights = presetWeights["mixed"]
 	}
+	durable := spec.Cluster != nil && spec.Cluster.DataDir != ""
+	if !durable {
+		// Kill-restart needs a disk to come back from. Zeroing the
+		// weight (rather than renormalizing) keeps in-memory timelines
+		// byte-identical to releases that predate the kind.
+		weights[EventKillRestart] = 0
+	}
 	n := spec.Events
 	evs := make([]Event, 0, n)
 	for i := 0; i < n; i++ {
@@ -135,6 +156,11 @@ func schedule(spec Spec, pass int) []Event {
 		switch i {
 		case 0:
 			kind = EventKillOSD
+			if durable && spec.Name == "restart" {
+				// The restart preset's mandatory opening fault is the
+				// crash-recovery cycle itself.
+				kind = EventKillRestart
+			}
 		case 1:
 			kind = EventDrainCancelResume
 		default:

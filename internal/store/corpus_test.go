@@ -1,0 +1,44 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// TestWriteSeedCorpus regenerates the committed fuzz seed corpus under
+// testdata/fuzz/FuzzWALReplay (run with STORE_WRITE_CORPUS=1 after
+// changing the record formats). The corpus keeps CI's non-fuzzing
+// `go test -run Fuzz` step exercising real torn-log shapes.
+func TestWriteSeedCorpus(t *testing.T) {
+	if os.Getenv("STORE_WRITE_CORPUS") == "" {
+		t.Skip("set STORE_WRITE_CORPUS=1 to regenerate the seed corpus")
+	}
+	b := bid(3, 2, 1)
+	valid := frameRecord(opWrite, encodeWrite(b, 64, 0, []byte("payload")))
+	valid = append(valid, frameRecord(opEpoch, encodeEpoch(3, 2, 9))...)
+	flipped := append([]byte(nil), valid...)
+	flipped[walHeader+2] ^= 0x40
+	seg := frameRecord(segHeader, encodeSegHeader("tsue-data/osd1/0", 7))
+	seg = append(seg, frameRecord(segEntry, encodeSegEntry(12, b, 8, 99, []byte("delta")))...)
+	seg = append(seg, frameRecord(segFoldBlock, encodeDelete(b))...)
+	seeds := map[string][]byte{
+		"wal-valid":     valid,
+		"wal-torn":      valid[:len(valid)-5],
+		"wal-bitflip":   flipped,
+		"seg-valid":     seg,
+		"seg-torn-head": seg[:walHeader+3],
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzWALReplay")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

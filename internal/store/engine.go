@@ -1,0 +1,624 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// ErrCrashed is returned by every mutator after Crash froze the engine.
+var ErrCrashed = errors.New("store: engine crashed")
+
+// pageNil marks a block page that was never written: its logical
+// content is zeros and it has no backing page in the file.
+const pageNil = ^uint32(0)
+
+// Options tunes the engine. Zero values select the defaults.
+type Options struct {
+	// PageSize is the block-file page size in bytes (default 16 KiB).
+	PageSize int
+	// Frames is the buffer-pool capacity in pages (default 2048).
+	Frames int
+	// Sync is the WAL fsync policy (default SyncBatched).
+	Sync SyncPolicy
+}
+
+func (o Options) withDefaults() Options {
+	if o.PageSize <= 0 {
+		o.PageSize = 16 << 10
+	}
+	if o.Frames <= 0 {
+		o.Frames = 2048
+	}
+	return o
+}
+
+// Stats counts the engine's real I/O.
+type Stats struct {
+	PageHits    int64 // buffer-pool hits
+	PageMisses  int64 // page faults (real reads)
+	Writebacks  int64 // dirty pages written back
+	WALRecords  int64
+	WALBytes    int64
+	WALSyncs    int64
+	SegAppends  int64
+	SegBytes    int64
+	Checkpoints int64
+	// Recovery counters from the last Open.
+	RedoneRecords  int64 // intact WAL records redone
+	ReplayEntries  int64 // unfolded segment entries recovered
+	CompactedFiles int64
+	CompactedBytes int64
+}
+
+// Engine is the per-OSD durable storage engine: the paged block file
+// with its WAL (block contents), the epoch/placement tables (rejoin
+// state), and the log segment files (pool contents). One engine owns
+// one data directory; Open recovers whatever a previous incarnation
+// left there.
+type Engine struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	crashed bool
+	wal     *wal
+	pf      *pageFile
+	blocks  map[wire.BlockID]*blockMeta
+	epochs  map[stripeKey]uint64
+	places  map[stripeKey]Placement
+	era     uint32
+	seq     uint64
+	segs    map[segKey]*segFile
+	stats   Stats
+
+	replayEntries []SegEntry
+	replayFiles   []string
+
+	compactStop chan struct{}
+	compactDone chan struct{}
+}
+
+// Open opens (or creates) the engine at dir and runs crash recovery:
+// load the last checkpoint, redo the committed WAL tail through the
+// normal write path, truncate anything torn, and scan the segment
+// files for unfolded log entries (exposed via Replay for the owner to
+// feed back into its pools).
+func Open(dir string, opts Options) (*Engine, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(filepath.Join(dir, "seg"), 0o755); err != nil {
+		return nil, err
+	}
+	m, err := readMeta(dir)
+	if err != nil {
+		return nil, err
+	}
+	pf, err := openPageFile(filepath.Join(dir, "blocks.dat"), opts.PageSize, opts.Frames)
+	if err != nil {
+		return nil, err
+	}
+	pf.npages = m.npages
+	pf.free = m.free
+	e := &Engine{
+		dir:    dir,
+		opts:   opts,
+		pf:     pf,
+		blocks: m.blocks,
+		epochs: m.epochs,
+		places: m.places,
+		era:    m.era + 1,
+		seq:    m.seq,
+		segs:   make(map[segKey]*segFile),
+	}
+	// Persist the era bump before anything else writes: segment files
+	// created by this incarnation must never collide with a previous
+	// era's names, even if we crash before the first checkpoint.
+	m.era = e.era
+	if err := writeMeta(dir, m); err != nil {
+		pf.close()
+		return nil, err
+	}
+	w, err := openWAL(filepath.Join(dir, "wal.bin"), opts.Sync)
+	if err != nil {
+		pf.close()
+		return nil, err
+	}
+	e.wal = w
+	recs, tail, err := replayWAL(w.f)
+	if err != nil {
+		e.closeFiles()
+		return nil, err
+	}
+	for _, r := range recs {
+		e.redo(r)
+	}
+	e.stats.RedoneRecords = int64(len(recs))
+	if err := w.f.Truncate(tail); err != nil {
+		e.closeFiles()
+		return nil, err
+	}
+	w.off = tail
+	ents, files, err := scanSegments(dir)
+	if err != nil {
+		e.closeFiles()
+		return nil, err
+	}
+	e.replayEntries, e.replayFiles = ents, files
+	e.stats.ReplayEntries = int64(len(ents))
+	for _, se := range ents {
+		if se.Seq >= e.seq {
+			e.seq = se.Seq + 1
+		}
+	}
+	return e, nil
+}
+
+// redo applies one committed WAL record through the unlogged write
+// path. Redo is idempotent: records are absolute (no deltas), so pages
+// already written back before the crash are rewritten with identical
+// bytes.
+func (e *Engine) redo(r walRecord) {
+	switch r.kind {
+	case opWrite:
+		if id, blockLen, off, data, err := decodeWrite(r.payload); err == nil {
+			e.applyWrite(id, blockLen, off, data)
+		}
+	case opDelete:
+		if len(r.payload) >= blockIDLen {
+			e.applyDelete(getBlockID(r.payload))
+		}
+	case opEnsure:
+		if id, size, err := decodeEnsure(r.payload); err == nil {
+			e.applyEnsure(id, size)
+		}
+	case opEpoch:
+		if ino, stripe, epoch, err := decodeEpoch(r.payload); err == nil {
+			e.applyEpoch(ino, stripe, epoch)
+		}
+	case opPlacement:
+		if ino, stripe, p, err := decodePlacement(r.payload); err == nil {
+			e.applyPlacement(ino, stripe, p)
+		}
+	}
+}
+
+// ---- block mutators (WAL-before-data) ----
+
+// Ensure creates a zero-filled block of the given size if absent.
+func (e *Engine) Ensure(id wire.BlockID, size uint32) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.crashed {
+		return ErrCrashed
+	}
+	if _, ok := e.blocks[id]; ok {
+		return nil
+	}
+	if err := e.logAppend(opEnsure, encodeEnsure(id, size)); err != nil {
+		return err
+	}
+	e.applyEnsure(id, size)
+	return nil
+}
+
+// WriteRange writes data at off, extending the block as needed.
+func (e *Engine) WriteRange(id wire.BlockID, off uint32, data []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.crashed {
+		return ErrCrashed
+	}
+	blockLen := off + uint32(len(data))
+	if bm, ok := e.blocks[id]; ok && bm.length > blockLen {
+		blockLen = bm.length
+	}
+	if err := e.logAppend(opWrite, encodeWrite(id, blockLen, off, data)); err != nil {
+		return err
+	}
+	return e.applyWrite(id, blockLen, off, data)
+}
+
+// WriteFull replaces the whole block.
+func (e *Engine) WriteFull(id wire.BlockID, data []byte) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.crashed {
+		return ErrCrashed
+	}
+	if err := e.logAppend(opWrite, encodeWrite(id, uint32(len(data)), 0, data)); err != nil {
+		return err
+	}
+	return e.applyWrite(id, uint32(len(data)), 0, data)
+}
+
+// Delete removes a block and frees its pages.
+func (e *Engine) Delete(id wire.BlockID) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.crashed {
+		return ErrCrashed
+	}
+	if _, ok := e.blocks[id]; !ok {
+		return nil
+	}
+	if err := e.logAppend(opDelete, encodeDelete(id)); err != nil {
+		return err
+	}
+	e.applyDelete(id)
+	return nil
+}
+
+func (e *Engine) logAppend(kind byte, payload []byte) error {
+	_, err := e.wal.append(kind, payload)
+	e.stats.WALRecords = e.wal.records
+	e.stats.WALBytes = e.wal.bytes
+	e.stats.WALSyncs = e.wal.syncs
+	return err
+}
+
+func (e *Engine) applyEnsure(id wire.BlockID, size uint32) {
+	if _, ok := e.blocks[id]; ok {
+		return
+	}
+	bm := &blockMeta{length: size}
+	for i := 0; i < pagesFor(size, e.opts.PageSize); i++ {
+		bm.pages = append(bm.pages, pageNil)
+	}
+	e.blocks[id] = bm
+}
+
+func (e *Engine) applyWrite(id wire.BlockID, blockLen, off uint32, data []byte) error {
+	bm := e.blocks[id]
+	if bm == nil {
+		bm = &blockMeta{}
+		e.blocks[id] = bm
+	}
+	want := pagesFor(blockLen, e.opts.PageSize)
+	for len(bm.pages) < want {
+		bm.pages = append(bm.pages, pageNil)
+	}
+	for len(bm.pages) > want {
+		last := bm.pages[len(bm.pages)-1]
+		if last != pageNil {
+			e.pf.release(last)
+		}
+		bm.pages = bm.pages[:len(bm.pages)-1]
+	}
+	bm.length = blockLen
+	ps := uint32(e.opts.PageSize)
+	for n := uint32(0); n < uint32(len(data)); {
+		pi := (off + n) / ps
+		po := (off + n) % ps
+		chunk := ps - po
+		if rem := uint32(len(data)) - n; chunk > rem {
+			chunk = rem
+		}
+		fresh := bm.pages[pi] == pageNil
+		if fresh {
+			bm.pages[pi] = e.pf.alloc()
+		}
+		fr, err := e.pf.pin(bm.pages[pi], fresh || (po == 0 && chunk == ps))
+		if err != nil {
+			return err
+		}
+		copy(fr.data[po:po+chunk], data[n:n+chunk])
+		fr.dirty = true
+		e.pf.unpin(fr)
+		n += chunk
+	}
+	e.stats.PageHits = e.pf.hits
+	e.stats.PageMisses = e.pf.misses
+	e.stats.Writebacks = e.pf.writebacks
+	return nil
+}
+
+func (e *Engine) applyDelete(id wire.BlockID) {
+	bm := e.blocks[id]
+	if bm == nil {
+		return
+	}
+	for _, pg := range bm.pages {
+		if pg != pageNil {
+			e.pf.release(pg)
+		}
+	}
+	delete(e.blocks, id)
+}
+
+// ---- block readers ----
+
+// ReadRange copies size bytes at off out of the block.
+func (e *Engine) ReadRange(id wire.BlockID, off uint32, size int) ([]byte, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	bm := e.blocks[id]
+	if bm == nil {
+		return nil, fmt.Errorf("store: block %v not found", id)
+	}
+	if off+uint32(size) > bm.length {
+		return nil, fmt.Errorf("store: read [%d,%d) past block length %d", off, off+uint32(size), bm.length)
+	}
+	out := make([]byte, size)
+	if err := e.readInto(bm, off, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Snapshot returns a copy of the whole block.
+func (e *Engine) Snapshot(id wire.BlockID) ([]byte, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	bm := e.blocks[id]
+	if bm == nil {
+		return nil, false
+	}
+	out := make([]byte, bm.length)
+	if err := e.readInto(bm, 0, out); err != nil {
+		return nil, false
+	}
+	return out, true
+}
+
+func (e *Engine) readInto(bm *blockMeta, off uint32, dst []byte) error {
+	ps := uint32(e.opts.PageSize)
+	for n := uint32(0); n < uint32(len(dst)); {
+		pi := (off + n) / ps
+		po := (off + n) % ps
+		chunk := ps - po
+		if rem := uint32(len(dst)) - n; chunk > rem {
+			chunk = rem
+		}
+		if bm.pages[pi] == pageNil {
+			for i := n; i < n+chunk; i++ {
+				dst[i] = 0
+			}
+		} else {
+			fr, err := e.pf.pin(bm.pages[pi], false)
+			if err != nil {
+				return err
+			}
+			copy(dst[n:n+chunk], fr.data[po:po+chunk])
+			e.pf.unpin(fr)
+		}
+		n += chunk
+	}
+	e.stats.PageHits = e.pf.hits
+	e.stats.PageMisses = e.pf.misses
+	return nil
+}
+
+// Has reports whether the block exists.
+func (e *Engine) Has(id wire.BlockID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, ok := e.blocks[id]
+	return ok
+}
+
+// Size returns the block length, or -1 if absent.
+func (e *Engine) Size(id wire.BlockID) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if bm, ok := e.blocks[id]; ok {
+		return int(bm.length)
+	}
+	return -1
+}
+
+// Blocks lists every stored block id.
+func (e *Engine) Blocks() []wire.BlockID {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]wire.BlockID, 0, len(e.blocks))
+	for id := range e.blocks {
+		out = append(out, id)
+	}
+	return out
+}
+
+// ---- rejoin state: epochs and placements ----
+
+// NoteEpoch durably records a newer placement epoch for a stripe.
+func (e *Engine) NoteEpoch(ino uint64, stripe uint32, epoch uint64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.crashed {
+		return ErrCrashed
+	}
+	if cur, ok := e.epochs[stripeKey{ino, stripe}]; ok && cur >= epoch {
+		return nil
+	}
+	if err := e.logAppend(opEpoch, encodeEpoch(ino, stripe, epoch)); err != nil {
+		return err
+	}
+	e.applyEpoch(ino, stripe, epoch)
+	return nil
+}
+
+func (e *Engine) applyEpoch(ino uint64, stripe uint32, epoch uint64) {
+	k := stripeKey{ino, stripe}
+	if cur, ok := e.epochs[k]; !ok || epoch > cur {
+		e.epochs[k] = epoch
+	}
+}
+
+// EpochOf returns the last durably recorded epoch for a stripe.
+func (e *Engine) EpochOf(ino uint64, stripe uint32) (uint64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ep, ok := e.epochs[stripeKey{ino, stripe}]
+	return ep, ok
+}
+
+// PlacementOf returns the last durably recorded placement for a stripe.
+func (e *Engine) PlacementOf(ino uint64, stripe uint32) (Placement, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p, ok := e.places[stripeKey{ino, stripe}]
+	return p, ok
+}
+
+// ForEachEpoch visits every persisted stripe epoch.
+func (e *Engine) ForEachEpoch(fn func(ino uint64, stripe uint32, epoch uint64)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for k, ep := range e.epochs {
+		fn(k.Ino, k.Stripe, ep)
+	}
+}
+
+// RememberPlacement durably records a stripe placement if it is newer
+// than the one already held.
+func (e *Engine) RememberPlacement(ino uint64, stripe uint32, p Placement) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.crashed {
+		return ErrCrashed
+	}
+	k := stripeKey{ino, stripe}
+	if cur, ok := e.places[k]; ok && cur.Epoch >= p.Epoch {
+		return nil
+	}
+	if err := e.logAppend(opPlacement, encodePlacement(ino, stripe, p)); err != nil {
+		return err
+	}
+	e.applyPlacement(ino, stripe, p)
+	return nil
+}
+
+func (e *Engine) applyPlacement(ino uint64, stripe uint32, p Placement) {
+	k := stripeKey{ino, stripe}
+	if cur, ok := e.places[k]; !ok || p.Epoch > cur.Epoch {
+		e.places[k] = p
+	}
+}
+
+// ForEachPlacement visits every persisted placement.
+func (e *Engine) ForEachPlacement(fn func(ino uint64, stripe uint32, p Placement)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for k, p := range e.places {
+		fn(k.Ino, k.Stripe, p)
+	}
+}
+
+// ---- lifecycle ----
+
+// Checkpoint makes the WAL redundant: write back every dirty page,
+// fsync the block file, atomically persist the metadata, then truncate
+// the WAL. Data-before-meta-before-WAL-reset ordering means a crash at
+// any point recovers to a consistent state.
+func (e *Engine) Checkpoint() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.checkpointLocked()
+}
+
+func (e *Engine) checkpointLocked() error {
+	if e.crashed {
+		return ErrCrashed
+	}
+	if err := e.pf.flush(); err != nil {
+		return err
+	}
+	if err := e.pf.sync(); err != nil {
+		return err
+	}
+	m := &meta{
+		era:    e.era,
+		seq:    e.seq,
+		npages: e.pf.npages,
+		free:   e.pf.free,
+		blocks: e.blocks,
+		epochs: e.epochs,
+		places: e.places,
+	}
+	if err := writeMeta(e.dir, m); err != nil {
+		return err
+	}
+	if err := e.wal.reset(); err != nil {
+		return err
+	}
+	e.stats.Checkpoints++
+	e.stats.Writebacks = e.pf.writebacks
+	return nil
+}
+
+// Crash freezes the engine, simulating kill -9: every subsequent
+// mutation fails with ErrCrashed and Close skips the checkpoint, so
+// whatever reached the files via write(2) is exactly what the next
+// Open recovers.
+func (e *Engine) Crash() {
+	e.mu.Lock()
+	e.crashed = true
+	e.mu.Unlock()
+	e.stopCompactor()
+}
+
+// Crashed reports whether Crash froze the engine.
+func (e *Engine) Crashed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.crashed
+}
+
+// Close checkpoints (unless crashed) and releases the files.
+func (e *Engine) Close() error {
+	e.stopCompactor()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var err error
+	if !e.crashed {
+		err = e.checkpointLocked()
+	}
+	e.closeFiles()
+	return err
+}
+
+func (e *Engine) closeFiles() {
+	if e.wal != nil {
+		e.wal.close()
+	}
+	if e.pf != nil {
+		e.pf.close()
+	}
+	for _, sf := range e.segs {
+		sf.f.Close()
+	}
+}
+
+// DropCaches flushes dirty pages and empties the buffer pool — the
+// cold-cache benchmark hook.
+func (e *Engine) DropCaches() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.crashed {
+		return ErrCrashed
+	}
+	if err := e.pf.flush(); err != nil {
+		return err
+	}
+	e.pf.dropClean()
+	return nil
+}
+
+// Stats returns a snapshot of the engine's I/O counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := e.stats
+	s.PageHits, s.PageMisses, s.Writebacks = e.pf.hits, e.pf.misses, e.pf.writebacks
+	return s
+}
+
+// Dir returns the engine's data directory.
+func (e *Engine) Dir() string { return e.dir }
+
+func pagesFor(length uint32, pageSize int) int {
+	return int((int64(length) + int64(pageSize) - 1) / int64(pageSize))
+}

@@ -1,0 +1,116 @@
+package store
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// frameRecord builds one well-formed framed record (shared WAL/segment
+// framing) for seeding the fuzzer.
+func frameRecord(kind byte, payload []byte) []byte {
+	rec := make([]byte, walHeader+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
+	rec[8] = kind
+	copy(rec[walHeader:], payload)
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.Checksum(rec[8:], castagnoli))
+	return rec
+}
+
+// FuzzWALReplay feeds arbitrary byte streams — including truncated and
+// bit-flipped tails of valid logs — through both recovery scanners:
+// replayWAL (the WAL path) and scanSegmentFile (the segment path).
+// Neither may panic, over-read, or return records past the first
+// corruption.
+func FuzzWALReplay(f *testing.F) {
+	b := bid(3, 2, 1)
+	valid := frameRecord(opWrite, encodeWrite(b, 64, 0, []byte("payload")))
+	valid = append(valid, frameRecord(opEpoch, encodeEpoch(3, 2, 9))...)
+	valid = append(valid, frameRecord(opEnsure, encodeEnsure(b, 4096))...)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5]) // torn tail
+	flipped := append([]byte(nil), valid...)
+	flipped[walHeader+2] ^= 0x40 // bit flip inside the first payload
+	f.Add(flipped)
+
+	seg := frameRecord(segHeader, encodeSegHeader("tsue-data/osd1/0", 7))
+	seg = append(seg, frameRecord(segEntry, encodeSegEntry(12, b, 8, 99, []byte("delta")))...)
+	seg = append(seg, frameRecord(segFoldBlock, encodeDelete(b))...)
+	seg = append(seg, frameRecord(segFoldUnit, nil)...)
+	f.Add(seg)
+	f.Add(seg[:walHeader+3]) // torn header
+	f.Add([]byte{})
+	// Implausible length prefix: must not drive a giant allocation.
+	huge := make([]byte, walHeader)
+	binary.LittleEndian.PutUint32(huge, 1<<31)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "log.bin")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		fh, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, tail, err := replayWAL(fh)
+		fh.Close()
+		if err != nil {
+			t.Fatalf("replayWAL errored on arbitrary input: %v", err)
+		}
+		if tail < 0 || tail > int64(len(data)) {
+			t.Fatalf("tail %d out of range [0,%d]", tail, len(data))
+		}
+		// Every returned record must round-trip from the bytes before
+		// the tail; re-walking the committed prefix must agree.
+		var off int64
+		for i, r := range recs {
+			n := int64(binary.LittleEndian.Uint32(data[off : off+4]))
+			if data[off+8] != r.kind || int64(len(r.payload)) != n {
+				t.Fatalf("record %d does not match committed prefix", i)
+			}
+			off += walHeader + n
+		}
+		if off != tail {
+			t.Fatalf("records cover %d bytes, tail %d", off, tail)
+		}
+		// Decoders on arbitrary payloads must fail cleanly, not panic.
+		// WAL and segment kinds share values (separate files in real
+		// use), so exercise both families on every record.
+		for _, r := range recs {
+			switch r.kind {
+			case opWrite:
+				decodeWrite(r.payload)
+			case opEpoch:
+				decodeEpoch(r.payload)
+			case opEnsure:
+				decodeEnsure(r.payload)
+			case opPlacement:
+				decodePlacement(r.payload)
+			}
+			switch r.kind {
+			case segEntry:
+				decodeSegEntry(r.payload)
+			case segHeader:
+				decodeSegHeader(r.payload)
+			}
+		}
+		// The segment scanner shares the framing but nets folds; it
+		// must also survive anything.
+		ents, err := scanSegmentFile(path)
+		if err != nil {
+			t.Fatalf("scanSegmentFile errored: %v", err)
+		}
+		for _, se := range ents {
+			if se.Block == (wire.BlockID{}) && se.Layer == "" {
+				t.Fatal("segment entry with empty identity")
+			}
+		}
+	})
+}

@@ -1,0 +1,233 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/wire"
+)
+
+// metaVersion guards the checkpoint file layout.
+const metaVersion = 1
+
+// meta is the engine's checkpointed state: everything the WAL carries
+// between checkpoints, in its folded form. Writing it atomically
+// (tmp + rename, CRC over the whole body) and then truncating the WAL
+// is the checkpoint.
+type meta struct {
+	era    uint32
+	seq    uint64
+	npages uint32
+	free   []uint32
+	blocks map[wire.BlockID]*blockMeta
+	epochs map[stripeKey]uint64
+	places map[stripeKey]Placement
+}
+
+// blockMeta is the block table entry: logical length plus the page run
+// holding the bytes.
+type blockMeta struct {
+	length uint32
+	pages  []uint32
+}
+
+// stripeKey identifies a stripe across blocks.
+type stripeKey struct {
+	Ino    uint64
+	Stripe uint32
+}
+
+// Placement is a persisted stripe placement: enough for a reopened OSD
+// to seed its strategy's stripe table before replaying log segments.
+type Placement struct {
+	K, M  int
+	Epoch uint64
+	Nodes []wire.NodeID
+}
+
+func encodeMeta(m *meta) []byte {
+	var b []byte
+	u32 := func(v uint32) { b = binary.LittleEndian.AppendUint32(b, v) }
+	u64 := func(v uint64) { b = binary.LittleEndian.AppendUint64(b, v) }
+	u32(metaVersion)
+	u32(m.era)
+	u64(m.seq)
+	u32(m.npages)
+	u32(uint32(len(m.free)))
+	for _, pg := range m.free {
+		u32(pg)
+	}
+	u32(uint32(len(m.blocks)))
+	for id, bm := range m.blocks {
+		var idb [blockIDLen]byte
+		putBlockID(idb[:], id)
+		b = append(b, idb[:]...)
+		u32(bm.length)
+		u32(uint32(len(bm.pages)))
+		for _, pg := range bm.pages {
+			u32(pg)
+		}
+	}
+	u32(uint32(len(m.epochs)))
+	for k, e := range m.epochs {
+		u64(k.Ino)
+		u32(k.Stripe)
+		u64(e)
+	}
+	u32(uint32(len(m.places)))
+	for k, p := range m.places {
+		u64(k.Ino)
+		u32(k.Stripe)
+		u64(p.Epoch)
+		b = append(b, byte(p.K), byte(p.M))
+		u32(uint32(len(p.Nodes)))
+		for _, n := range p.Nodes {
+			u32(uint32(n))
+		}
+	}
+	// CRC trailer over everything above.
+	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, castagnoli))
+	return b
+}
+
+func decodeMeta(b []byte) (*meta, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("store: meta too short (%d bytes)", len(b))
+	}
+	body, tail := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if crc32.Checksum(body, castagnoli) != tail {
+		return nil, fmt.Errorf("store: meta checksum mismatch")
+	}
+	var off int
+	need := func(n int) error {
+		if len(body)-off < n {
+			return fmt.Errorf("store: truncated meta at offset %d", off)
+		}
+		return nil
+	}
+	u32 := func() uint32 { v := binary.LittleEndian.Uint32(body[off:]); off += 4; return v }
+	u64 := func() uint64 { v := binary.LittleEndian.Uint64(body[off:]); off += 8; return v }
+	if err := need(20); err != nil {
+		return nil, err
+	}
+	if v := u32(); v != metaVersion {
+		return nil, fmt.Errorf("store: meta version %d, want %d", v, metaVersion)
+	}
+	m := &meta{
+		blocks: make(map[wire.BlockID]*blockMeta),
+		epochs: make(map[stripeKey]uint64),
+		places: make(map[stripeKey]Placement),
+	}
+	m.era = u32()
+	m.seq = u64()
+	m.npages = u32()
+	if err := need(4); err != nil {
+		return nil, err
+	}
+	for n := u32(); n > 0; n-- {
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		m.free = append(m.free, u32())
+	}
+	if err := need(4); err != nil {
+		return nil, err
+	}
+	for n := u32(); n > 0; n-- {
+		if err := need(blockIDLen + 8); err != nil {
+			return nil, err
+		}
+		id := getBlockID(body[off:])
+		off += blockIDLen
+		bm := &blockMeta{length: u32()}
+		np := u32()
+		if err := need(int(np) * 4); err != nil {
+			return nil, err
+		}
+		for ; np > 0; np-- {
+			bm.pages = append(bm.pages, u32())
+		}
+		m.blocks[id] = bm
+	}
+	if err := need(4); err != nil {
+		return nil, err
+	}
+	for n := u32(); n > 0; n-- {
+		if err := need(20); err != nil {
+			return nil, err
+		}
+		k := stripeKey{Ino: u64(), Stripe: u32()}
+		m.epochs[k] = u64()
+	}
+	if err := need(4); err != nil {
+		return nil, err
+	}
+	for n := u32(); n > 0; n-- {
+		if err := need(26); err != nil {
+			return nil, err
+		}
+		k := stripeKey{Ino: u64(), Stripe: u32()}
+		p := Placement{Epoch: u64(), K: int(body[off]), M: int(body[off+1])}
+		off += 2
+		nn := u32()
+		if err := need(int(nn) * 4); err != nil {
+			return nil, err
+		}
+		for ; nn > 0; nn-- {
+			p.Nodes = append(p.Nodes, wire.NodeID(int32(u32())))
+		}
+		m.places[k] = p
+	}
+	return m, nil
+}
+
+// writeMeta persists m atomically: write to a temp file, fsync, rename
+// over the live name, fsync the directory. A crash leaves either the
+// old meta or the new one, never a torn mix.
+func writeMeta(dir string, m *meta) error {
+	path := filepath.Join(dir, "meta.bin")
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(encodeMeta(m)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// readMeta loads the checkpoint; a missing file is a fresh data dir.
+func readMeta(dir string) (*meta, error) {
+	b, err := os.ReadFile(filepath.Join(dir, "meta.bin"))
+	if os.IsNotExist(err) {
+		return &meta{
+			era:    0,
+			blocks: make(map[wire.BlockID]*blockMeta),
+			epochs: make(map[stripeKey]uint64),
+			places: make(map[stripeKey]Placement),
+		}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return decodeMeta(b)
+}

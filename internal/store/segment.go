@@ -1,0 +1,186 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/wire"
+)
+
+// Log pools persist as append-only segment files under <dir>/seg, one
+// file per (layer, generation): a layer is one pool's stable name
+// ("tsue-data/osd3/0"), a generation one incarnation of a log unit.
+// Records reuse the WAL framing (length, CRC-32C, kind), so the same
+// torn-tail scan recovers both. A header record names the layer and
+// generation (filenames are only for humans); entry records carry a
+// global sequence number so replay across every file preserves append
+// order; fold records mark a block's (or a whole unit's) entries as
+// recycled — folded into parity — and therefore dead. A file whose
+// entries are all folded is garbage and is deleted by the compactor.
+const (
+	segHeader    = 1 // layer name, generation
+	segEntry     = 2 // seq, block, offset, buffer timestamp, payload
+	segFoldBlock = 3 // block whose entries in this generation folded
+	segFoldUnit  = 4 // whole generation folded (covers empty units)
+)
+
+// segKey identifies one segment file.
+type segKey struct {
+	layer string
+	gen   uint64
+}
+
+// segFile is one active (current-era) segment file. unit is set once a
+// unit-level fold record lands: every entry is dead and the compactor
+// may delete the file.
+type segFile struct {
+	f    *os.File
+	off  int64
+	path string
+	unit bool
+}
+
+// SegEntry is one unfolded log entry recovered from a previous run,
+// ready to be replayed into a fresh pool.
+type SegEntry struct {
+	Layer string
+	Seq   uint64
+	Block wire.BlockID
+	Off   uint32
+	V     int64 // buffer timestamp (time.Duration) at original append
+	Data  []byte
+}
+
+func encodeSegHeader(layer string, gen uint64) []byte {
+	p := make([]byte, 8+len(layer))
+	binary.LittleEndian.PutUint64(p, gen)
+	copy(p[8:], layer)
+	return p
+}
+
+func decodeSegHeader(p []byte) (layer string, gen uint64, err error) {
+	if len(p) < 8 {
+		return "", 0, fmt.Errorf("store: short segment header (%d bytes)", len(p))
+	}
+	return string(p[8:]), binary.LittleEndian.Uint64(p), nil
+}
+
+func encodeSegEntry(seq uint64, block wire.BlockID, off uint32, v int64, data []byte) []byte {
+	p := make([]byte, 8+blockIDLen+12+len(data))
+	binary.LittleEndian.PutUint64(p, seq)
+	putBlockID(p[8:], block)
+	binary.LittleEndian.PutUint32(p[8+blockIDLen:], off)
+	binary.LittleEndian.PutUint64(p[12+blockIDLen:], uint64(v))
+	copy(p[20+blockIDLen:], data)
+	return p
+}
+
+func decodeSegEntry(p []byte) (seq uint64, block wire.BlockID, off uint32, v int64, data []byte, err error) {
+	if len(p) < 20+blockIDLen {
+		return 0, block, 0, 0, nil, fmt.Errorf("store: short segment entry (%d bytes)", len(p))
+	}
+	seq = binary.LittleEndian.Uint64(p)
+	block = getBlockID(p[8:])
+	off = binary.LittleEndian.Uint32(p[8+blockIDLen:])
+	v = int64(binary.LittleEndian.Uint64(p[12+blockIDLen:]))
+	return seq, block, off, v, p[20+blockIDLen:], nil
+}
+
+// segPath builds a debuggable filename; the header record is the
+// authoritative identity.
+func segPath(dir string, era uint32, layer string, gen uint64) string {
+	san := strings.NewReplacer("/", "_", string(filepath.Separator), "_").Replace(layer)
+	return filepath.Join(dir, "seg", fmt.Sprintf("e%04d-%s-g%06d.seg", era, san, gen))
+}
+
+// appendRecord writes one framed record (identical framing to the WAL)
+// at off and returns the next offset.
+func appendRecord(f *os.File, off int64, kind byte, payload []byte) (int64, error) {
+	rec := make([]byte, walHeader+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
+	rec[8] = kind
+	copy(rec[walHeader:], payload)
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.Checksum(rec[8:], castagnoli))
+	if _, err := f.WriteAt(rec, off); err != nil {
+		return off, err
+	}
+	return off + int64(len(rec)), nil
+}
+
+// scanSegments reads every segment file under <dir>/seg, nets folds
+// against entries, and returns the surviving entries in global append
+// order plus the scanned file paths (all garbage once replayed).
+func scanSegments(dir string) (entries []SegEntry, files []string, err error) {
+	names, err := os.ReadDir(filepath.Join(dir, "seg"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, nil
+		}
+		return nil, nil, err
+	}
+	for _, de := range names {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".seg") {
+			continue
+		}
+		path := filepath.Join(dir, "seg", de.Name())
+		files = append(files, path)
+		ents, err := scanSegmentFile(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		entries = append(entries, ents...)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Seq < entries[j].Seq })
+	return entries, files, nil
+}
+
+// scanSegmentFile recovers one file's unfolded entries. Torn tails are
+// truncated by the shared framing scan; a file without an intact
+// header is treated as fully torn (it held nothing committed).
+func scanSegmentFile(path string) ([]SegEntry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	recs, _, err := replayWAL(f)
+	if err != nil || len(recs) == 0 || recs[0].kind != segHeader {
+		return nil, err
+	}
+	layer, _, err := decodeSegHeader(recs[0].payload)
+	if err != nil {
+		return nil, nil
+	}
+	var (
+		ents   []SegEntry
+		folded = make(map[wire.BlockID]bool)
+	)
+	for _, r := range recs[1:] {
+		switch r.kind {
+		case segEntry:
+			seq, block, off, v, data, err := decodeSegEntry(r.payload)
+			if err != nil {
+				continue
+			}
+			ents = append(ents, SegEntry{Layer: layer, Seq: seq, Block: block, Off: off, V: v, Data: append([]byte(nil), data...)})
+		case segFoldBlock:
+			if len(r.payload) >= blockIDLen {
+				folded[getBlockID(r.payload)] = true
+			}
+		case segFoldUnit:
+			return nil, nil // everything in this generation is dead
+		}
+	}
+	live := ents[:0]
+	for _, e := range ents {
+		if !folded[e.Block] {
+			live = append(live, e)
+		}
+	}
+	return live, nil
+}

@@ -1,0 +1,267 @@
+// Package store is the persistent per-OSD storage engine: a
+// page/extent-based block file behind a fixed-size buffer pool with a
+// write-ahead log (WAL-before-data, checksummed length-prefixed
+// records), plus append-only on-disk segment files that back the
+// parity/data log pools (one active segment per stripe, generation
+// indexed, folded and compacted in place). The engine is selected by
+// ecfs.Options.DataDir; with no data dir the OSD keeps today's
+// in-memory stores and nothing in this package runs.
+//
+// Crash model: the engine appends WAL and segment records with plain
+// write(2) before acknowledging, so a process-level crash (Engine.Crash
+// freezes all I/O mid-flight, simulating kill -9) loses at most the
+// tail the kernel never saw — which recovery detects by checksum and
+// truncates. fsync placement is a policy knob (SyncPolicy): batched
+// group-commit by default, per-record for the durability bench rows.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"repro/internal/wire"
+)
+
+// WAL record kinds. The WAL carries logical redo records: recovery
+// re-applies them through the normal (unlogged) write path, which makes
+// redo idempotent — pages written back before the crash are simply
+// rewritten with identical bytes.
+const (
+	opWrite     = 1 // block range write: id, post-write length, offset, payload
+	opDelete    = 2 // block removal: id
+	opEpoch     = 3 // per-stripe placement epoch: ino, stripe, epoch
+	opEnsure    = 4 // zero-filled block creation: id, size
+	opPlacement = 5 // stripe placement: ino, stripe, epoch, k, m, nodes
+)
+
+// walHeader is the framing overhead per record: payload length (u32),
+// CRC-32C over kind+payload (u32), kind (u8).
+const walHeader = 9
+
+// maxWALRecord bounds a single record so a corrupt length prefix in a
+// torn tail cannot drive a giant allocation during replay.
+const maxWALRecord = 1 << 26 // 64 MiB
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SyncPolicy says when the WAL fsyncs.
+type SyncPolicy int
+
+const (
+	// SyncBatched fsyncs on checkpoint/flush only (group commit). The
+	// default: appends are still write(2)-visible immediately, which is
+	// what the in-process crash model preserves.
+	SyncBatched SyncPolicy = iota
+	// SyncEveryRecord fsyncs after every append — the per-record
+	// durability row in the storage bench.
+	SyncEveryRecord
+)
+
+// wal is the write-ahead log: an append-only file of checksummed,
+// length-prefixed records. The engine's mutex serializes all access.
+type wal struct {
+	f      *os.File
+	off    int64 // append offset == LSN of the next record
+	policy SyncPolicy
+
+	records int64
+	bytes   int64
+	syncs   int64
+}
+
+func openWAL(path string, policy SyncPolicy) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &wal{f: f, policy: policy}, nil
+}
+
+// append frames and writes one record, returning the LSN past it. The
+// write is a single write(2): a crash can tear the record (detected by
+// length/CRC at replay) but never interleave two records.
+func (w *wal) append(kind byte, payload []byte) (int64, error) {
+	rec := make([]byte, walHeader+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
+	rec[8] = kind
+	copy(rec[walHeader:], payload)
+	crc := crc32.Checksum(rec[8:], castagnoli)
+	binary.LittleEndian.PutUint32(rec[4:8], crc)
+	if _, err := w.f.WriteAt(rec, w.off); err != nil {
+		return w.off, err
+	}
+	w.off += int64(len(rec))
+	w.records++
+	w.bytes += int64(len(rec))
+	if w.policy == SyncEveryRecord {
+		if err := w.sync(); err != nil {
+			return w.off, err
+		}
+	}
+	return w.off, nil
+}
+
+func (w *wal) sync() error {
+	w.syncs++
+	return w.f.Sync()
+}
+
+// reset truncates the log after a checkpoint has made its records
+// redundant.
+func (w *wal) reset() error {
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	w.off = 0
+	return nil
+}
+
+func (w *wal) close() error { return w.f.Close() }
+
+// walRecord is one decoded replay record.
+type walRecord struct {
+	kind    byte
+	payload []byte
+}
+
+// replayWAL scans the log from the start, returning every intact record
+// and the offset of the first torn or corrupt one — the point the
+// caller truncates to. A short header, an implausible length, a short
+// payload, or a CRC mismatch all end the scan: everything before it is
+// committed, everything at and after it never finished.
+func replayWAL(f *os.File) (recs []walRecord, tail int64, err error) {
+	info, err := f.Stat()
+	if err != nil {
+		return nil, 0, err
+	}
+	size := info.Size()
+	var off int64
+	hdr := make([]byte, walHeader)
+	for {
+		if size-off < walHeader {
+			return recs, off, nil
+		}
+		if _, err := f.ReadAt(hdr, off); err != nil {
+			return recs, off, nil
+		}
+		n := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+		if n > maxWALRecord || size-off-walHeader < n {
+			return recs, off, nil
+		}
+		body := make([]byte, 1+n)
+		body[0] = hdr[8]
+		if _, err := f.ReadAt(body[1:], off+walHeader); err != nil && err != io.EOF {
+			return recs, off, nil
+		}
+		if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(hdr[4:8]) {
+			return recs, off, nil
+		}
+		recs = append(recs, walRecord{kind: body[0], payload: body[1:]})
+		off += walHeader + n
+	}
+}
+
+// Block id and record payload codecs. Thirteen bytes identify a block
+// (ino u64, stripe u32, idx u8); the remaining fields are fixed-width
+// little-endian.
+
+const blockIDLen = 13
+
+func putBlockID(dst []byte, id wire.BlockID) {
+	binary.LittleEndian.PutUint64(dst[0:8], id.Ino)
+	binary.LittleEndian.PutUint32(dst[8:12], id.Stripe)
+	dst[12] = id.Idx
+}
+
+func getBlockID(src []byte) wire.BlockID {
+	return wire.BlockID{
+		Ino:    binary.LittleEndian.Uint64(src[0:8]),
+		Stripe: binary.LittleEndian.Uint32(src[8:12]),
+		Idx:    src[12],
+	}
+}
+
+func encodeWrite(id wire.BlockID, blockLen, off uint32, data []byte) []byte {
+	p := make([]byte, blockIDLen+8+len(data))
+	putBlockID(p, id)
+	binary.LittleEndian.PutUint32(p[13:17], blockLen)
+	binary.LittleEndian.PutUint32(p[17:21], off)
+	copy(p[21:], data)
+	return p
+}
+
+func decodeWrite(p []byte) (id wire.BlockID, blockLen, off uint32, data []byte, err error) {
+	if len(p) < blockIDLen+8 {
+		return id, 0, 0, nil, fmt.Errorf("store: short opWrite payload (%d bytes)", len(p))
+	}
+	id = getBlockID(p)
+	blockLen = binary.LittleEndian.Uint32(p[13:17])
+	off = binary.LittleEndian.Uint32(p[17:21])
+	return id, blockLen, off, p[21:], nil
+}
+
+func encodeDelete(id wire.BlockID) []byte {
+	p := make([]byte, blockIDLen)
+	putBlockID(p, id)
+	return p
+}
+
+func encodeEnsure(id wire.BlockID, size uint32) []byte {
+	p := make([]byte, blockIDLen+4)
+	putBlockID(p, id)
+	binary.LittleEndian.PutUint32(p[13:17], size)
+	return p
+}
+
+func decodeEnsure(p []byte) (id wire.BlockID, size uint32, err error) {
+	if len(p) < blockIDLen+4 {
+		return id, 0, fmt.Errorf("store: short opEnsure payload (%d bytes)", len(p))
+	}
+	return getBlockID(p), binary.LittleEndian.Uint32(p[13:17]), nil
+}
+
+func encodePlacement(ino uint64, stripe uint32, pl Placement) []byte {
+	p := make([]byte, 22+4*len(pl.Nodes))
+	binary.LittleEndian.PutUint64(p[0:8], ino)
+	binary.LittleEndian.PutUint32(p[8:12], stripe)
+	binary.LittleEndian.PutUint64(p[12:20], pl.Epoch)
+	p[20], p[21] = byte(pl.K), byte(pl.M)
+	for i, n := range pl.Nodes {
+		binary.LittleEndian.PutUint32(p[22+4*i:], uint32(n))
+	}
+	return p
+}
+
+func decodePlacement(p []byte) (ino uint64, stripe uint32, pl Placement, err error) {
+	if len(p) < 22 {
+		return 0, 0, pl, fmt.Errorf("store: short opPlacement payload (%d bytes)", len(p))
+	}
+	ino = binary.LittleEndian.Uint64(p[0:8])
+	stripe = binary.LittleEndian.Uint32(p[8:12])
+	pl.Epoch = binary.LittleEndian.Uint64(p[12:20])
+	pl.K, pl.M = int(p[20]), int(p[21])
+	for off := 22; off+4 <= len(p); off += 4 {
+		pl.Nodes = append(pl.Nodes, wire.NodeID(int32(binary.LittleEndian.Uint32(p[off:]))))
+	}
+	return ino, stripe, pl, nil
+}
+
+func encodeEpoch(ino uint64, stripe uint32, epoch uint64) []byte {
+	p := make([]byte, 20)
+	binary.LittleEndian.PutUint64(p[0:8], ino)
+	binary.LittleEndian.PutUint32(p[8:12], stripe)
+	binary.LittleEndian.PutUint64(p[12:20], epoch)
+	return p
+}
+
+func decodeEpoch(p []byte) (ino uint64, stripe uint32, epoch uint64, err error) {
+	if len(p) < 20 {
+		return 0, 0, 0, fmt.Errorf("store: short opEpoch payload (%d bytes)", len(p))
+	}
+	return binary.LittleEndian.Uint64(p[0:8]),
+		binary.LittleEndian.Uint32(p[8:12]),
+		binary.LittleEndian.Uint64(p[12:20]), nil
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/erasure"
 	"repro/internal/gf256"
 	"repro/internal/logpool"
+	"repro/internal/sim"
 	"repro/internal/wire"
 )
 
@@ -75,12 +76,12 @@ func (c *cord) Update(ctx context.Context, msg *wire.Msg) (time.Duration, error)
 	store := c.env.Store()
 	b := msg.Block
 	unlock := store.Lock(b, c.cfg.BlockSize)
-	old, rc, err := store.ReadRangeNoLock(b, msg.Off, len(msg.Data), true)
+	old, rc, err := store.ReadRangeNoLockClass(sim.ClassForegroundWrite, b, msg.Off, len(msg.Data), true)
 	if err != nil {
 		unlock()
 		return 0, err
 	}
-	wc, err := store.WriteRangeNoLock(b, msg.Off, msg.Data, true)
+	wc, err := store.WriteRangeNoLockClass(sim.ClassForegroundWrite, b, msg.Off, msg.Data, true)
 	unlock()
 	if err != nil {
 		return 0, err
@@ -233,7 +234,7 @@ func (c *cord) recycleParity(be logpool.BlockExtents, sealV time.Duration) time.
 }
 
 func (c *cord) Read(b wire.BlockID, off uint32, size int) ([]byte, time.Duration, error) {
-	return c.env.Store().ReadRange(b, off, size, true)
+	return c.env.Store().ReadRangeClass(sim.ClassForegroundRead, b, off, size, true)
 }
 
 func (c *cord) Drain(ctx context.Context, phase int, dead []wire.NodeID) error {

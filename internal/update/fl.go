@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/logpool"
+	"repro/internal/sim"
 	"repro/internal/wire"
 )
 
@@ -113,7 +114,7 @@ func (f *fl) Handle(ctx context.Context, msg *wire.Msg) *wire.Resp {
 func (f *fl) Read(b wire.BlockID, off uint32, size int) ([]byte, time.Duration, error) {
 	// The log must merge with the old data on reads (FL's read penalty):
 	// base read plus overlay of all pending records.
-	data, cost, err := f.env.Store().ReadRange(b, off, size, true)
+	data, cost, err := f.env.Store().ReadRangeClass(sim.ClassForegroundRead, b, off, size, true)
 	if err != nil {
 		return nil, 0, err
 	}

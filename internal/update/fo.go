@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/erasure"
+	"repro/internal/sim"
 	"repro/internal/wire"
 )
 
@@ -26,12 +27,12 @@ func (f *fo) Update(ctx context.Context, msg *wire.Msg) (time.Duration, error) {
 	store := f.env.Store()
 	b := msg.Block
 	unlock := store.Lock(b, f.cfg.BlockSize)
-	old, rc, err := store.ReadRangeNoLock(b, msg.Off, len(msg.Data), true)
+	old, rc, err := store.ReadRangeNoLockClass(sim.ClassForegroundWrite, b, msg.Off, len(msg.Data), true)
 	if err != nil {
 		unlock()
 		return 0, err
 	}
-	wc, err := store.WriteRangeNoLock(b, msg.Off, msg.Data, true)
+	wc, err := store.WriteRangeNoLockClass(sim.ClassForegroundWrite, b, msg.Off, msg.Data, true)
 	unlock()
 	if err != nil {
 		return 0, err
@@ -101,12 +102,12 @@ func applyParityDeltaInPlace(env Env, cfg Config, msg *wire.Msg) (time.Duration,
 	store := env.Store()
 	unlock := store.Lock(msg.Block, cfg.BlockSize)
 	defer unlock()
-	old, rc, err := store.ReadRangeNoLock(msg.Block, msg.Off, len(pd), true)
+	old, rc, err := store.ReadRangeNoLockClass(sim.ClassForegroundWrite, msg.Block, msg.Off, len(pd), true)
 	if err != nil {
 		return 0, err
 	}
 	erasure.ApplyParityDelta(old, pd)
-	wc, err := store.WriteRangeNoLock(msg.Block, msg.Off, old, true)
+	wc, err := store.WriteRangeNoLockClass(sim.ClassForegroundWrite, msg.Block, msg.Off, old, true)
 	if err != nil {
 		return 0, err
 	}
@@ -114,7 +115,7 @@ func applyParityDeltaInPlace(env Env, cfg Config, msg *wire.Msg) (time.Duration,
 }
 
 func (f *fo) Read(b wire.BlockID, off uint32, size int) ([]byte, time.Duration, error) {
-	return f.env.Store().ReadRange(b, off, size, true)
+	return f.env.Store().ReadRangeClass(sim.ClassForegroundRead, b, off, size, true)
 }
 
 func (f *fo) Drain(ctx context.Context, phase int, dead []wire.NodeID) error { return nil }

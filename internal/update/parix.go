@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/erasure"
 	"repro/internal/logpool"
+	"repro/internal/sim"
 	"repro/internal/wire"
 )
 
@@ -84,7 +85,7 @@ func (p *parix) Update(ctx context.Context, msg *wire.Msg) (time.Duration, error
 	}
 	var origins []origin
 	for _, g := range gaps {
-		old, rc, err := store.ReadRangeNoLock(b, g.lo, int(g.hi-g.lo), true)
+		old, rc, err := store.ReadRangeNoLockClass(sim.ClassForegroundWrite, b, g.lo, int(g.hi-g.lo), true)
 		if err != nil {
 			return 0, err
 		}
@@ -93,7 +94,7 @@ func (p *parix) Update(ctx context.Context, msg *wire.Msg) (time.Duration, error
 	}
 	// In-place overwrite with NO read for already-speculated ranges —
 	// PARIX's saving over PL/FO.
-	wc, err := store.WriteRangeNoLock(b, msg.Off, msg.Data, true)
+	wc, err := store.WriteRangeNoLockClass(sim.ClassForegroundWrite, b, msg.Off, msg.Data, true)
 	if err != nil {
 		return 0, err
 	}
@@ -180,7 +181,7 @@ func (p *parix) Handle(ctx context.Context, msg *wire.Msg) *wire.Resp {
 }
 
 func (p *parix) Read(b wire.BlockID, off uint32, size int) ([]byte, time.Duration, error) {
-	return p.env.Store().ReadRange(b, off, size, true)
+	return p.env.Store().ReadRangeClass(sim.ClassForegroundRead, b, off, size, true)
 }
 
 // Drain recycles the parity logs: for every logged extent the delta is

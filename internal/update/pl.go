@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/erasure"
 	"repro/internal/logpool"
+	"repro/internal/sim"
 	"repro/internal/wire"
 )
 
@@ -54,12 +55,12 @@ func (p *pl) Update(ctx context.Context, msg *wire.Msg) (time.Duration, error) {
 	store := p.env.Store()
 	b := msg.Block
 	unlock := store.Lock(b, p.cfg.BlockSize)
-	old, rc, err := store.ReadRangeNoLock(b, msg.Off, len(msg.Data), true)
+	old, rc, err := store.ReadRangeNoLockClass(sim.ClassForegroundWrite, b, msg.Off, len(msg.Data), true)
 	if err != nil {
 		unlock()
 		return 0, err
 	}
-	wc, err := store.WriteRangeNoLock(b, msg.Off, msg.Data, true)
+	wc, err := store.WriteRangeNoLockClass(sim.ClassForegroundWrite, b, msg.Off, msg.Data, true)
 	unlock()
 	if err != nil {
 		return 0, err
@@ -155,7 +156,7 @@ func (p *pl) recycleParity(be logpool.BlockExtents, sealV time.Duration) time.Du
 
 func (p *pl) Read(b wire.BlockID, off uint32, size int) ([]byte, time.Duration, error) {
 	// Data blocks are updated in place; no log on the read path.
-	return p.env.Store().ReadRange(b, off, size, true)
+	return p.env.Store().ReadRangeClass(sim.ClassForegroundRead, b, off, size, true)
 }
 
 func (p *pl) Drain(ctx context.Context, phase int, dead []wire.NodeID) error {

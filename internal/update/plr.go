@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/gf256"
+	"repro/internal/sim"
 	"repro/internal/wire"
 )
 
@@ -53,12 +54,12 @@ func (p *plr) Update(ctx context.Context, msg *wire.Msg) (time.Duration, error) 
 	store := p.env.Store()
 	b := msg.Block
 	unlock := store.Lock(b, p.cfg.BlockSize)
-	old, rc, err := store.ReadRangeNoLock(b, msg.Off, len(msg.Data), true)
+	old, rc, err := store.ReadRangeNoLockClass(sim.ClassForegroundWrite, b, msg.Off, len(msg.Data), true)
 	if err != nil {
 		unlock()
 		return 0, err
 	}
-	wc, err := store.WriteRangeNoLock(b, msg.Off, msg.Data, true)
+	wc, err := store.WriteRangeNoLockClass(sim.ClassForegroundWrite, b, msg.Off, msg.Data, true)
 	unlock()
 	if err != nil {
 		return 0, err
@@ -180,7 +181,7 @@ func (p *plr) recycleLocked(b wire.BlockID, l *plrLog) time.Duration {
 }
 
 func (p *plr) Read(b wire.BlockID, off uint32, size int) ([]byte, time.Duration, error) {
-	return p.env.Store().ReadRange(b, off, size, true)
+	return p.env.Store().ReadRangeClass(sim.ClassForegroundRead, b, off, size, true)
 }
 
 func (p *plr) Drain(ctx context.Context, phase int, dead []wire.NodeID) error {

@@ -32,6 +32,7 @@ import (
 	"repro/internal/blockstore"
 	"repro/internal/device"
 	"repro/internal/erasure"
+	"repro/internal/logpool"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -90,6 +91,15 @@ type PlacementRefresher interface {
 	RefreshPlacement(msg *wire.Msg)
 }
 
+// Replayer is implemented by strategies that can re-ingest durably
+// persisted log records after a restart. The OSD calls ReplayPersisted
+// once per surviving (unfolded) record, in original append order, after
+// placements have been seeded; the strategy routes the record back into
+// the layer named by the persistence key it was logged under.
+type Replayer interface {
+	ReplayPersisted(layer string, block wire.BlockID, off uint32, v int64, data []byte)
+}
+
 // Config carries the tunables shared by the strategies.
 type Config struct {
 	// BlockSize is the stripe block size in bytes.
@@ -119,6 +129,12 @@ type Config struct {
 	RecycleThreshold  int64 // PL/FL/PARIX deferred-recycle threshold
 	ReservedSpace     int64 // PLR per-block reserved log space
 	CollectorUnitSize int64 // CoRD single buffer log size
+
+	// Persist, when non-nil, durably backs TSUE's log layers: every
+	// accepted log record is written to a per-layer on-disk segment
+	// before the append returns, and recycled records are folded dead.
+	// Nil (the default) keeps logs memory-only.
+	Persist logpool.PersistProvider
 }
 
 // DefaultConfig returns the paper's SSD-cluster configuration.

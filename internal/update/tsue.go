@@ -3,11 +3,13 @@ package update
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/gf256"
 	"repro/internal/logpool"
+	"repro/internal/sim"
 	"repro/internal/wire"
 )
 
@@ -62,6 +64,11 @@ type tsue struct {
 	// block is zero).
 	repMu    sync.Mutex
 	replicas map[wire.BlockID]*logpool.Index
+
+	// repPersist durably backs the replica index (nil without a data
+	// dir). Replica records never fold: they live until the data dir is
+	// recreated, and replaying them is idempotent.
+	repPersist logpool.Persist
 }
 
 func newTSUE(cfg Config, env Env) (*tsue, error) {
@@ -92,9 +99,13 @@ func newTSUE(cfg Config, env Env) (*tsue, error) {
 	}
 
 	var err error
+	// DataLog appends sit on the client ack path, so their device
+	// charges are foreground writes; delta/parity log appends arrive on
+	// asynchronous recycle forwards and stay background-classified.
 	t.dataLogs, err = logpool.NewPoolSet(pools, logpool.Config{
 		Name: fmt.Sprintf("tsue-data/osd%d/", env.ID()), Mode: dataMode,
 		UnitSize: unitSize, MaxUnits: maxUnits, Device: env.Dev(),
+		Class: sim.ClassForegroundWrite, Persist: cfg.Persist,
 	})
 	if err != nil {
 		return nil, err
@@ -102,9 +113,16 @@ func newTSUE(cfg Config, env Env) (*tsue, error) {
 	t.parityLogs, err = logpool.NewPoolSet(pools, logpool.Config{
 		Name: fmt.Sprintf("tsue-parity/osd%d/", env.ID()), Mode: parityMode,
 		UnitSize: unitSize, MaxUnits: maxUnits, Device: env.Dev(),
+		Persist: cfg.Persist,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Persist != nil {
+		// Replica records are durably logged under one never-folded
+		// generation: they are the recovery source for a failed primary's
+		// pending updates and are absolute-data (idempotent to replay).
+		t.repPersist = cfg.Persist.Layer(fmt.Sprintf("tsue-replica/osd%d", env.ID()))
 	}
 	for _, p := range t.dataLogs.Pools() {
 		t.dataRecs = append(t.dataRecs, logpool.StartRecycler(p, cfg.Workers, t.recycleData))
@@ -116,6 +134,7 @@ func newTSUE(cfg Config, env Env) (*tsue, error) {
 		t.deltaLogs, err = logpool.NewPoolSet(pools, logpool.Config{
 			Name: fmt.Sprintf("tsue-delta/osd%d/", env.ID()), Mode: logpool.XorFold,
 			UnitSize: unitSize, MaxUnits: maxUnits, Device: env.Dev(),
+			Persist: cfg.Persist,
 		})
 		if err != nil {
 			return nil, err
@@ -381,7 +400,10 @@ func (t *tsue) Handle(ctx context.Context, msg *wire.Msg) *wire.Resp {
 		}
 		ri.Insert(msg.Off, msg.Data, time.Duration(msg.V))
 		t.repMu.Unlock()
-		cost := t.env.Dev().Write(int64(len(msg.Data))+32, false, false)
+		if t.repPersist != nil {
+			t.repPersist.AppendEntry(0, msg.Block, msg.Off, msg.V, msg.Data)
+		}
+		cost := t.env.Dev().WriteClass(sim.ClassForegroundWrite, int64(len(msg.Data))+32, false, false)
 		return okResp(cost)
 	case wire.KReplicaFetch:
 		// Recovery replay: return the replicated log extents for the
@@ -465,12 +487,41 @@ func (t *tsue) Read(b wire.BlockID, off uint32, size int) ([]byte, time.Duration
 	if data, ok := t.dataLogs.Lookup(b, off, uint32(size)); ok {
 		return append([]byte(nil), data...), 0, nil
 	}
-	data, cost, err := t.env.Store().ReadRange(b, off, size, true)
+	data, cost, err := t.env.Store().ReadRangeClass(sim.ClassForegroundRead, b, off, size, true)
 	if err != nil {
 		return nil, 0, err
 	}
 	t.dataLogs.Overlay(b, off, data)
 	return data, cost, nil
+}
+
+// ReplayPersisted routes a record recovered from the durable segment
+// store back into its log layer. Placements are seeded before replay,
+// so subsequent recycles can route deltas; re-appending through the
+// normal path re-persists the record under the new segment era.
+func (t *tsue) ReplayPersisted(layer string, block wire.BlockID, off uint32, v int64, data []byte) {
+	switch {
+	case strings.HasPrefix(layer, "tsue-data/"):
+		t.dataLogs.Append(block, off, data, time.Duration(v))
+	case strings.HasPrefix(layer, "tsue-delta/"):
+		if t.deltaLogs != nil {
+			t.deltaLogs.Append(block, off, data, time.Duration(v))
+		}
+	case strings.HasPrefix(layer, "tsue-parity/"):
+		t.parityLogs.Append(block, off, data, time.Duration(v))
+	case strings.HasPrefix(layer, "tsue-replica/"):
+		t.repMu.Lock()
+		ri := t.replicas[block]
+		if ri == nil {
+			ri = logpool.NewIndex(logpool.Overwrite)
+			t.replicas[block] = ri
+		}
+		ri.Insert(off, data, time.Duration(v))
+		t.repMu.Unlock()
+		if t.repPersist != nil {
+			t.repPersist.AppendEntry(0, block, off, v, data)
+		}
+	}
 }
 
 // Drain flushes layer by layer; the cluster calls phase 1 on every node,
