@@ -3,8 +3,8 @@ GO ?= go
 # BENCH_ID names the combined trajectory file bench-json writes
 # (BENCH_$(BENCH_ID).json); bump it per PR so trajectories accumulate.
 # BENCH_BASE is the previous snapshot bench-diff gates against.
-BENCH_ID ?= pr9
-BENCH_BASE ?= pr8
+BENCH_ID ?= pr10
+BENCH_BASE ?= pr9
 
 .PHONY: verify verify-race build vet test race bench bench-json bench-diff bench-diff-ci example-recovery docs-check scenario-smoke
 
@@ -34,10 +34,11 @@ bench:
 	$(GO) test -bench . -benchtime 1x -run xxx ./...
 
 # bench-json regenerates the benchmark trajectory snapshot checked in at
-# the repo root: the repair and fig8b experiments plus the wire-codec /
-# transport microbenchmarks, all in one combined JSON file.
+# the repo root: the repair and fig8b experiments, the wire-codec /
+# transport microbenchmarks, the storage engine, and the MDS scale table
+# (with its durable op-log rows), all in one combined JSON file.
 bench-json:
-	$(GO) run ./cmd/tsuebench -exp repair,fig8b,codec,storage -combined BENCH_$(BENCH_ID).json
+	$(GO) run ./cmd/tsuebench -exp repair,fig8b,codec,storage,mds-scale -combined BENCH_$(BENCH_ID).json
 
 # bench-diff gates the committed trajectory: the current snapshot
 # (BENCH_$(BENCH_ID).json, from make bench-json) must not regress beyond
@@ -51,7 +52,7 @@ bench-diff:
 # with wide smoke tolerances (time/rate bands absorb hardware deltas;
 # B/op and allocs/op stay gated because they are machine-independent).
 bench-diff-ci:
-	$(GO) run ./cmd/tsuebench -exp repair,fig8b,codec,storage -combined BENCH_ci.json
+	$(GO) run ./cmd/tsuebench -exp repair,fig8b,codec,storage,mds-scale -combined BENCH_ci.json
 	$(GO) run ./cmd/benchdiff -mode smoke -base BENCH_$(BENCH_ID).json -new BENCH_ci.json
 	rm -f BENCH_ci.json
 

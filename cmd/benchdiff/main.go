@@ -10,8 +10,9 @@
 // "writefile/coalesced". Every column name maps to a metric class that
 // decides the comparison direction and the tolerance band:
 //
-//   - time  (ns/op, time_ms)                    — lower is better
-//   - rate  (MB/s, repair_MBps, foreground_MBps) — higher is better
+//   - time  (ns/op, time_ms, snapshot_ms, reopen_ms) — lower is better
+//   - rate  (MB/s, repair_MBps, foreground_MBps,
+//     lookups_per_s, creates_per_s)                  — higher is better
 //   - bytes (B/op)                               — lower is better
 //   - allocs (allocs/op)                         — lower is better, with
 //     absolute slack so a 0-alloc baseline does not make any nonzero
@@ -73,9 +74,9 @@ const (
 
 func classify(column string) metricClass {
 	switch column {
-	case "ns/op", "time_ms":
+	case "ns/op", "time_ms", "snapshot_ms", "reopen_ms":
 		return classTime
-	case "MB/s", "repair_MBps", "foreground_MBps":
+	case "MB/s", "repair_MBps", "foreground_MBps", "lookups_per_s", "creates_per_s":
 		return classRate
 	case "B/op":
 		return classBytes
@@ -201,7 +202,10 @@ func (f finding) String() string {
 // I/O rather than modeled time: their rates swing with the machine's
 // storage stack (page cache state, fs, media), so they get twice the
 // tolerance ratio of the modeled metrics in either mode.
-var diskBoundReports = map[string]bool{"storage": true}
+// mds-scale qualifies through its durable rows: snapshot_ms and
+// reopen_ms are real fsync-and-replay disk work, and the durable
+// lookup/create rates sit behind the same storage stack.
+var diskBoundReports = map[string]bool{"storage": true, "mds-scale": true}
 
 func compare(base, new map[cellKey]cell, tol tolerances) (findings []finding, onlyBase, onlyNew []cellKey) {
 	for k, b := range base {

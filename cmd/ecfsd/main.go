@@ -35,6 +35,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/ecfs"
 	"repro/internal/erasure"
+	"repro/internal/mdslog"
 	"repro/internal/transport"
 	"repro/internal/update"
 	"repro/internal/wire"
@@ -55,6 +56,7 @@ func main() {
 		block     = flag.Int("block", 1<<20, "block size in bytes")
 		hdd       = flag.Bool("hdd", false, "use the HDD device profile")
 		dataDir   = flag.String("data-dir", "", "OSD role: durable data directory (WAL-backed block store + on-disk log segments); empty keeps the OSD in memory. Reopening an existing directory recovers its contents (see docs/OPERATIONS.md)")
+		mdsDir    = flag.String("mds-data-dir", "", "MDS role: durable metadata directory (namespace op log + snapshot); empty keeps the namespace in memory. Reopening an existing directory replays it to the pre-crash namespace (see docs/OPERATIONS.md)")
 		addrTTL   = flag.Duration("addr-ttl", 10*time.Second, "MDS role: drop address-map entries for nodes that have not heartbeaten this long (the liveness timeout; 0 disables aging)")
 	)
 	flag.Parse()
@@ -65,7 +67,16 @@ func main() {
 		for i := range ids {
 			ids[i] = wire.NodeID(i + 1)
 		}
-		mds, err := ecfs.NewMDS(ids, *k, *m)
+		var mds *ecfs.MDS
+		var err error
+		if *mdsDir != "" {
+			// Durable namespace: every mutation is logged before it is
+			// acknowledged, so a crash of this process loses nothing a
+			// client was told succeeded.
+			mds, err = ecfs.OpenDurableMDS(*mdsDir, ids, *k, *m, ecfs.DefaultMDSShards, mdslog.Options{})
+		} else {
+			mds, err = ecfs.NewMDS(ids, *k, *m)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -85,9 +96,22 @@ func main() {
 			self = srv.Addr()
 		}
 		mds.RecordAddr(wire.MDSNode, self)
-		fmt.Printf("ecfsd: mds serving RS(%d,%d) x %d B blocks for %d OSDs on %s\n", *k, *m, *block, *osds, srv.Addr())
+		durable := ""
+		if *mdsDir != "" {
+			durable = ", namespace in " + *mdsDir
+		}
+		fmt.Printf("ecfsd: mds serving RS(%d,%d) x %d B blocks for %d OSDs on %s%s\n", *k, *m, *block, *osds, srv.Addr(), durable)
 		waitSignal()
 		srv.Close()
+		// Clean shutdown: for a durable MDS, checkpoint the op log
+		// (snapshot the namespace, sync, truncate) so the next start
+		// loads the snapshot instead of replaying — the MDS mirror of
+		// the OSD -data-dir shutdown below.
+		if err := mds.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "ecfsd: mds close: %v\n", err)
+		} else if *mdsDir != "" {
+			fmt.Printf("ecfsd: mds checkpointed %s\n", *mdsDir)
+		}
 	case "osd":
 		addrs, err := parseNodes(*nodes)
 		if err != nil {

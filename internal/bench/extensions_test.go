@@ -3,6 +3,7 @@ package bench
 import (
 	"context"
 	"strconv"
+	"strings"
 	"testing"
 )
 
@@ -48,8 +49,18 @@ func TestMDSScaleExtension(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Log("\n" + rep.String())
-	if len(rep.Rows) != 8 { // 4 shard counts x 2 file counts
+	if len(rep.Rows) != 10 { // 4 shard counts x 2 file counts + 2 durable rows
 		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	// The durable rows must report real checkpoint and cold-reopen
+	// costs; the in-memory rows must not (those cells are "-").
+	for _, row := range rep.Rows {
+		durable := strings.HasPrefix(row[0], "durable/")
+		for _, col := range []int{7, 8} {
+			if _, err := strconv.ParseFloat(row[col], 64); durable != (err == nil) {
+				t.Fatalf("row %v: snapshot/reopen cell %q does not match durability", row, row[col])
+			}
+		}
 	}
 	// StripesOn must be paid per node's block count, not per namespace:
 	// within a shard config the small and large namespaces differ ~5x in

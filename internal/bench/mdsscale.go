@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
 	"sync"
 	"time"
 
 	"repro/internal/ecfs"
+	"repro/internal/mdslog"
 	"repro/internal/wire"
 )
 
@@ -56,6 +58,7 @@ func MDSScale(ctx context.Context, s Scale) (*Report, error) {
 		Title: fmt.Sprintf("Extension: MDS namespace sharding (RS(%d,%d), %d OSDs, wall-clock)", k, m, osds),
 		Header: []string{
 			"shards", "files", "build_ms", "lookups_per_s", "creates_per_s", "stripeson_us", "refs_per_node",
+			"snapshot_ms", "reopen_ms",
 		},
 	}
 	ids := make([]wire.NodeID, osds)
@@ -81,7 +84,7 @@ func MDSScale(ctx context.Context, s Scale) (*Report, error) {
 				go func(w int) {
 					defer wg.Done()
 					for f := w; f < files; f += loaders {
-						ino := md.Create(fmt.Sprintf("vol%d/f%d", f%997, f))
+						ino, _ := md.Create(fmt.Sprintf("vol%d/f%d", f%997, f))
 						inos[f] = ino
 						for st := 0; st < stripesPer; st++ {
 							md.Lookup(ino, uint32(st))
@@ -123,7 +126,7 @@ func MDSScale(ctx context.Context, s Scale) (*Report, error) {
 				go func(w int) {
 					defer wg.Done()
 					for f := w; f < burst; f += loaders {
-						md.Create(fmt.Sprintf("burst%d/f%d", f%997, f))
+						md.Create(fmt.Sprintf("burst%d/f%d", f%997, f)) //nolint:errcheck
 					}
 				}(w)
 			}
@@ -149,11 +152,141 @@ func MDSScale(ctx context.Context, s Scale) (*Report, error) {
 				fmt.Sprintf("%.0f", cps),
 				fmt.Sprintf("%.1f", soUS),
 				fmt.Sprintf("%d", refs/osds),
+				"-", "-",
 			})
 		}
 	}
+
+	// Durable rows: the same workload with the namespace op log
+	// underneath (log-before-ack on every create and bind), at the
+	// default shard count. build_ms and creates_per_s price the log
+	// appends; snapshot_ms is one full-namespace checkpoint; reopen_ms
+	// is a cold open that replays the entire build+burst log (compaction
+	// is deferred so the replay cost is the worst case, not a snapshot
+	// load).
+	for _, files := range fileCounts {
+		row, err := mdsScaleDurable(ids, k, m, files, lookups, stripesPer, loaders)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
 	rep.Notes = append(rep.Notes,
 		"expected shape: lookups_per_s and creates_per_s grow with shards under concurrent load; stripeson_us tracks refs_per_node (files/OSDs), not the namespace size",
-		"wall-clock measurement: MDS operations are pure in-memory metadata work, outside the simulated device/network clock")
+		"wall-clock measurement: MDS operations are pure in-memory metadata work, outside the simulated device/network clock",
+		"durable/* rows append every mutation to an op log before acking (batched sync); reopen_ms replays the full uncompacted log, the cold worst case")
 	return rep, nil
+}
+
+// mdsScaleDurable runs one durable mds-scale row: build and burst
+// against a logged namespace, crash it, time the cold reopen (full log
+// replay), time a checkpoint, then run the read phases on the reopened
+// MDS — the lookups must see exactly the pre-crash placements, enforced
+// by the same reverse-index refs check as the in-memory rows.
+func mdsScaleDurable(ids []wire.NodeID, k, m, files, lookups, stripesPer, loaders int) ([]string, error) {
+	const shards = ecfs.DefaultMDSShards
+	osds := len(ids)
+	dir, err := os.MkdirTemp("", "mdsscale")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	// Defer compaction past any realistic log size so reopen measures
+	// replay, not snapshot load.
+	opts := mdslog.Options{SnapshotBytes: 1 << 40}
+	md, err := ecfs.OpenDurableMDS(dir, ids, k, m, shards, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	buildStart := time.Now()
+	inos := make([]uint64, files)
+	var wg sync.WaitGroup
+	for w := 0; w < loaders; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for f := w; f < files; f += loaders {
+				ino, _ := md.Create(fmt.Sprintf("vol%d/f%d", f%997, f))
+				inos[f] = ino
+				for st := 0; st < stripesPer; st++ {
+					md.Lookup(ino, uint32(st))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	buildMS := float64(time.Since(buildStart)) / float64(time.Millisecond)
+
+	burst := lookups / 4
+	if burst < loaders {
+		burst = loaders
+	}
+	createStart := time.Now()
+	for w := 0; w < loaders; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for f := w; f < burst; f += loaders {
+				md.Create(fmt.Sprintf("burst%d/f%d", f%997, f)) //nolint:errcheck
+			}
+		}(w)
+	}
+	wg.Wait()
+	cps := float64(burst) / time.Since(createStart).Seconds()
+
+	// kill -9: freeze the log mid-flight and reopen from disk.
+	md.Crash()
+	if err := md.Log().Close(); err != nil {
+		return nil, err
+	}
+	reopenStart := time.Now()
+	md, err = ecfs.OpenDurableMDS(dir, ids, k, m, shards, opts)
+	if err != nil {
+		return nil, err
+	}
+	reopenMS := float64(time.Since(reopenStart)) / float64(time.Millisecond)
+	defer md.Close()
+
+	snapStart := time.Now()
+	if err := md.Checkpoint(); err != nil {
+		return nil, err
+	}
+	snapMS := float64(time.Since(snapStart)) / float64(time.Millisecond)
+
+	lookupStart := time.Now()
+	for w := 0; w < loaders; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w + 1)))
+			for i := 0; i < lookups/loaders; i++ {
+				ino := inos[rng.Intn(files)]
+				md.Lookup(ino, uint32(rng.Intn(stripesPer)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	lps := float64(lookups) / time.Since(lookupStart).Seconds()
+
+	refs := 0
+	soStart := time.Now()
+	for _, id := range ids {
+		refs += len(md.StripesOn(id))
+	}
+	soUS := float64(time.Since(soStart)) / float64(time.Microsecond) / float64(osds)
+	if refs != files*stripesPer*(k+m) {
+		return nil, fmt.Errorf("mds-scale: durable reverse index holds %d refs after reopen, want %d", refs, files*stripesPer*(k+m))
+	}
+	return []string{
+		fmt.Sprintf("durable/%d", shards),
+		fmt.Sprintf("%d", files),
+		fmt.Sprintf("%.1f", buildMS),
+		fmt.Sprintf("%.0f", lps),
+		fmt.Sprintf("%.0f", cps),
+		fmt.Sprintf("%.1f", soUS),
+		fmt.Sprintf("%d", refs/osds),
+		fmt.Sprintf("%.1f", snapMS),
+		fmt.Sprintf("%.1f", reopenMS),
+	}, nil
 }

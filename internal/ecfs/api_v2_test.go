@@ -285,7 +285,7 @@ func TestPerShardInoRanges(t *testing.T) {
 		go func(w int) {
 			defer func() { done <- struct{}{} }()
 			for i := w; i < files; i += 8 {
-				inos[i] = md.Create(nameForInoTest(i))
+				inos[i], _ = md.Create(nameForInoTest(i))
 			}
 		}(w)
 	}
@@ -303,7 +303,7 @@ func TestPerShardInoRanges(t *testing.T) {
 		seen[ino] = true
 	}
 	// Open-or-create still returns the existing ino.
-	if again := md.Create(nameForInoTest(17)); again != inos[17] {
+	if again, _ := md.Create(nameForInoTest(17)); again != inos[17] {
 		t.Fatalf("re-create returned %d, want %d", again, inos[17])
 	}
 	// Determinism: two MDS instances fed the same create sequence
@@ -318,7 +318,8 @@ func TestPerShardInoRanges(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 200; i++ {
-		a, b := md2.Create(nameForInoTest(i)), md3.Create(nameForInoTest(i))
+		a, _ := md2.Create(nameForInoTest(i))
+		b, _ := md3.Create(nameForInoTest(i))
 		if a != b {
 			t.Fatalf("ino allocation not deterministic: file %d got %d and %d", i, a, b)
 		}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/erasure"
+	"repro/internal/mdslog"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/transport"
@@ -46,6 +47,13 @@ type Options struct {
 	// DataDir/osd<id> and recovers them on reopen (see RestartOSD).
 	// Empty (the default) keeps every OSD in memory.
 	DataDir string
+	// MDSDataDir selects the durable MDS: the namespace op log and
+	// snapshot live under this directory, every namespace mutation is
+	// logged before it is acknowledged, and a kill -9'd MDS reopens its
+	// directory serving the same namespace (see CrashMDS/RestartMDS).
+	// Empty (the default) keeps the MDS in memory. Independent of
+	// DataDir — either plane can be durable on its own.
+	MDSDataDir string
 }
 
 // DefaultOptions mirrors the paper's SSD testbed: 16 OSD nodes, 25 Gb/s
@@ -118,7 +126,7 @@ func NewCluster(opts Options) (*Cluster, error) {
 	if shards <= 0 {
 		shards = DefaultMDSShards
 	}
-	mds, err := NewMDSWithShards(ids, opts.K, opts.M, shards)
+	mds, err := c.openMDS(ids, shards)
 	if err != nil {
 		return nil, err
 	}
@@ -148,6 +156,66 @@ func NewCluster(opts Options) (*Cluster, error) {
 		c.startCompactor(o)
 	}
 	return c, nil
+}
+
+// openMDS builds the cluster's metadata server: in-memory by default,
+// or reopened from Options.MDSDataDir — a directory that already holds
+// a namespace serves it as-is (same geometry required), so a restarted
+// cluster keeps its files.
+func (c *Cluster) openMDS(ids []wire.NodeID, shards int) (*MDS, error) {
+	if c.Opts.MDSDataDir == "" {
+		return NewMDSWithShards(ids, c.Opts.K, c.Opts.M, shards)
+	}
+	return OpenDurableMDS(c.Opts.MDSDataDir, ids, c.Opts.K, c.Opts.M, shards, mdslog.Options{})
+}
+
+// CrashMDS simulates a process kill of the durable MDS: the op log
+// freezes exactly at what write(2) saw (no shutdown checkpoint), the
+// transport stops routing to it, and every in-flight or later metadata
+// call fails as unreachable until RestartMDS. Clients ride their
+// resolver single-flight through the outage. Refused for an in-memory
+// MDS — crashing it would lose the namespace.
+func (c *Cluster) CrashMDS() error {
+	if !c.MDS.Durable() {
+		return fmt.Errorf("ecfs: CrashMDS needs Options.MDSDataDir: an in-memory namespace cannot be recovered")
+	}
+	c.Tr.Deregister(wire.MDSNode)
+	c.MDS.Crash()
+	c.MDS.Log().Close()
+	return nil
+}
+
+// RestartMDS reopens the MDS from its data directory — snapshot load,
+// op-log replay, torn tail discarded — and returns it to service under
+// the same transport node. The repair scheduler survives as an object
+// (its rebuild ledger and registered queues are process state, not
+// namespace state), so budget accounting continues across the restart.
+func (c *Cluster) RestartMDS() (*MDS, error) {
+	if c.Opts.MDSDataDir == "" {
+		return nil, fmt.Errorf("ecfs: RestartMDS needs Options.MDSDataDir")
+	}
+	old := c.MDS
+	old.Crash()
+	if l := old.Log(); l != nil {
+		l.Close()
+	}
+	ids := make([]wire.NodeID, c.Opts.NumOSDs)
+	for i := range ids {
+		ids[i] = wire.NodeID(i + 1)
+	}
+	shards := c.Opts.MDSShards
+	if shards <= 0 {
+		shards = DefaultMDSShards
+	}
+	md, err := OpenDurableMDS(c.Opts.MDSDataDir, ids, c.Opts.K, c.Opts.M, shards, mdslog.Options{})
+	if err != nil {
+		return nil, err
+	}
+	md.SetBlockSize(c.Opts.BlockSize)
+	md.AdoptScheduler(old.Scheduler())
+	c.MDS = md
+	c.Tr.Register(wire.MDSNode, md.Handler)
+	return md, nil
 }
 
 // osdDataDir maps a node id to its on-disk home, or "" for in-memory
@@ -549,11 +617,13 @@ func isOSDNIC(name string, osds int) bool {
 	return id >= 1 && id <= osds
 }
 
-// Close shuts down every OSD's background workers.
+// Close shuts down every OSD's background workers and checkpoints a
+// durable MDS (clean shutdown — the next open replays nothing).
 func (c *Cluster) Close() {
 	for _, o := range c.OSDs {
 		o.Close()
 	}
+	c.MDS.Close()
 }
 
 // Scrub verifies parity consistency of every placed stripe of every file

@@ -348,8 +348,8 @@ func TestMDSPlacement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ino := m.Create("f")
-	if ino != m.Create("f") {
+	ino, _ := m.Create("f")
+	if again, _ := m.Create("f"); ino != again {
 		t.Fatal("create must be idempotent")
 	}
 	loc, err := m.Lookup(ino, 0)

@@ -44,6 +44,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/mdslog"
 	"repro/internal/wire"
 )
 
@@ -116,6 +117,14 @@ type MDS struct {
 	// rejects a concurrent BeginDrain outright.
 	drainMu  sync.Mutex
 	draining map[wire.NodeID]drainState
+
+	// log is the mutation op log of a durable MDS (nil in-memory — the
+	// default, and the unchanged hot path). Mutators hold gate in shared
+	// mode across append+apply; Checkpoint holds it exclusively so the
+	// snapshot it serializes matches the log exactly. Set once before
+	// the MDS is shared. See mds_durable.go.
+	gate sync.RWMutex
+	log  *mdslog.Log
 }
 
 // drainState is a node's position in the drain lifecycle: absent from
@@ -230,10 +239,19 @@ func (m *MDS) RecordAddr(id wire.NodeID, addr string) {
 	if addr == "" {
 		return
 	}
+	m.mutateLock()
+	defer m.mutateUnlock()
 	m.liveMu.Lock()
+	defer m.liveMu.Unlock()
+	// Logged on change only — freshness stamps are soft state a
+	// restarted MDS re-learns from heartbeats.
+	if m.addrs[id] != addr {
+		if err := m.logAppend(mdslog.Record{Kind: mdslog.KindAddr, Node: id, Name: addr}); err != nil {
+			return
+		}
+	}
 	m.addrs[id] = addr
 	m.addrAt[id] = time.Now()
-	m.liveMu.Unlock()
 }
 
 // SetAddrTTL ages the served address map: an entry whose owner has
@@ -292,22 +310,35 @@ func (m *MDS) inoShard(ino uint64) *inoShard {
 
 // Create registers a file and returns its inode number; creating an
 // existing name returns the existing ino (open-or-create semantics).
-func (m *MDS) Create(name string) uint64 {
+// On a durable MDS the binding is logged before it is applied or
+// acknowledged; the error is the op log failing (fail-stop).
+func (m *MDS) Create(name string) (uint64, error) {
+	m.mutateLock()
+	defer m.mutateUnlock()
 	ns := m.nameShard(name)
 	ns.mu.Lock()
 	defer ns.mu.Unlock()
 	if ino, ok := ns.files[name]; ok {
-		return ino
+		return ino, nil
 	}
 	// Allocate from this shard's disjoint ino range (no shared state).
 	ino := ns.next*ns.step + ns.idx + 1
+	if err := m.logAppend(mdslog.Record{Kind: mdslog.KindCreate, Ino: ino, Name: name}); err != nil {
+		return 0, err
+	}
 	ns.next++
+	m.installFile(ns, name, ino)
+	return ino, nil
+}
+
+// installFile publishes a name → ino binding; the caller holds the name
+// shard's lock and has allocated (or replayed) the ino.
+func (m *MDS) installFile(ns *nameShard, name string, ino uint64) {
 	is := m.inoShard(ino)
 	is.mu.Lock()
 	is.meta[ino] = &fileMeta{name: name, stripes: make(map[uint32]wire.StripeLoc)}
 	is.mu.Unlock()
 	ns.files[name] = ino
-	return ino
 }
 
 // Lookup resolves (ino, stripe) to its placement, creating the placement
@@ -328,6 +359,10 @@ func (m *MDS) Lookup(ino uint64, stripe uint32) (wire.StripeLoc, error) {
 		return wire.StripeLoc{}, fmt.Errorf("ecfs: unknown ino %d", ino)
 	}
 
+	// First-touch bind: a mutation, so it takes the durability gate and
+	// logs before publishing (the fast path above stays log-free).
+	m.mutateLock()
+	defer m.mutateUnlock()
 	is.mu.Lock()
 	defer is.mu.Unlock()
 	fm = is.meta[ino]
@@ -338,6 +373,9 @@ func (m *MDS) Lookup(ino uint64, stripe uint32) (wire.StripeLoc, error) {
 		return loc, nil
 	}
 	loc := m.place(ino, stripe)
+	if err := m.logAppend(mdslog.Record{Kind: mdslog.KindBind, Ino: ino, Stripe: stripe, Epoch: loc.Epoch, Nodes: loc.Nodes}); err != nil {
+		return wire.StripeLoc{}, err
+	}
 	fm.stripes[stripe] = loc
 	for idx, node := range loc.Nodes {
 		m.indexBlock(node, ino, stripe, uint8(idx))
@@ -405,6 +443,8 @@ var ErrAlreadyPlaced = errors.New("node already in placement")
 // for holders of cached copies, which will be rejected by epoch-aware
 // OSDs and re-resolve.
 func (m *MDS) Rebind(ino uint64, stripe uint32, from, to wire.NodeID) (wire.StripeLoc, error) {
+	m.mutateLock()
+	defer m.mutateUnlock()
 	is := m.inoShard(ino)
 	is.mu.Lock()
 	defer is.mu.Unlock()
@@ -434,6 +474,9 @@ func (m *MDS) Rebind(ino uint64, stripe uint32, from, to wire.NodeID) (wire.Stri
 	nodes := append([]wire.NodeID(nil), loc.Nodes...)
 	nodes[idx] = to
 	nl := wire.StripeLoc{Nodes: nodes, Epoch: loc.Epoch + 1}
+	if err := m.logAppend(mdslog.Record{Kind: mdslog.KindRebind, Ino: ino, Stripe: stripe, Epoch: nl.Epoch, Idx: uint8(idx), Node: from, To: to}); err != nil {
+		return wire.StripeLoc{}, err
+	}
 	fm.stripes[stripe] = nl
 	m.unindexBlock(from, ino, stripe)
 	m.indexBlock(to, ino, stripe, uint8(idx))
@@ -442,19 +485,18 @@ func (m *MDS) Rebind(ino uint64, stripe uint32, from, to wire.NodeID) (wire.Stri
 
 // AddNode admits a node to the placement pool (no-op if present) and
 // provisions its reverse-index bucket — how a replacement OSD with a
-// fresh id becomes a rebind and placement target.
+// fresh id becomes a rebind and placement target. The admission is
+// logged only when the node was actually absent.
 func (m *MDS) AddNode(id wire.NodeID) {
+	m.mutateLock()
+	defer m.mutateUnlock()
 	m.topoMu.Lock()
-	present := false
-	for _, n := range m.osds {
-		if n == id {
-			present = true
-			break
+	if !poolContains(m.osds, id) {
+		if err := m.logAppend(mdslog.Record{Kind: mdslog.KindAddNode, Node: id}); err != nil {
+			m.topoMu.Unlock()
+			return // fail-stop: not applied, not acknowledged
 		}
-	}
-	if !present {
-		// Copy-on-write: place reads the slice under RLock only.
-		m.osds = append(append([]wire.NodeID(nil), m.osds...), id)
+		m.poolInsertLocked(id)
 	}
 	m.topoMu.Unlock()
 	m.nodeIndexFor(id)
@@ -466,13 +508,53 @@ func (m *MDS) AddNode(id wire.NodeID) {
 // untouched; recovery rebinds them stripe by stripe. A pool already at
 // its K+M minimum is left intact (a stripe must remain placeable), so
 // on a minimum-size cluster a dead node stays placeable until a
-// replacement joins.
+// replacement joins. The eviction is logged only when the floor check
+// allowed it, so replay removes unconditionally.
 func (m *MDS) RemoveNode(id wire.NodeID) {
+	m.mutateLock()
+	defer m.mutateUnlock()
 	m.topoMu.Lock()
 	defer m.topoMu.Unlock()
+	m.removeNodeTopoLocked(id)
+}
+
+// removeNodeTopoLocked is RemoveNode's logged body; the caller holds
+// topoMu (and the mutation gate).
+func (m *MDS) removeNodeTopoLocked(id wire.NodeID) {
 	if len(m.osds) <= m.k+m.m {
 		return // keep enough nodes to place a stripe
 	}
+	if !poolContains(m.osds, id) {
+		return
+	}
+	if err := m.logAppend(mdslog.Record{Kind: mdslog.KindRemoveNode, Node: id}); err != nil {
+		return
+	}
+	m.poolFilterLocked(id)
+}
+
+func poolContains(pool []wire.NodeID, id wire.NodeID) bool {
+	for _, n := range pool {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}
+
+// poolInsertLocked appends a node to the placement pool (caller holds
+// topoMu and has checked absence, or tolerates a duplicate check here).
+func (m *MDS) poolInsertLocked(id wire.NodeID) {
+	if poolContains(m.osds, id) {
+		return
+	}
+	// Copy-on-write: place reads the slice under RLock only.
+	m.osds = append(append([]wire.NodeID(nil), m.osds...), id)
+}
+
+// poolFilterLocked removes a node from the placement pool (caller holds
+// topoMu).
+func (m *MDS) poolFilterLocked(id wire.NodeID) {
 	out := make([]wire.NodeID, 0, len(m.osds))
 	for _, n := range m.osds {
 		if n != id {
@@ -516,16 +598,37 @@ func (m *MDS) PickRebindTarget(ino uint64, stripe uint32, loc wire.StripeLoc) (w
 // state, and its (empty) reverse-index bucket — the final step of a
 // decommission. The node must no longer host placements.
 func (m *MDS) Forget(id wire.NodeID) {
-	m.RemoveNode(id)
+	m.mutateLock()
+	defer m.mutateUnlock()
+	m.drainMu.Lock()
+	m.topoMu.Lock()
+	// One record carries the whole retirement; the pool eviction
+	// decision (K+M floor) is captured so replay never re-decides.
+	removed := len(m.osds) > m.k+m.m && poolContains(m.osds, id)
+	if err := m.logAppend(mdslog.Record{Kind: mdslog.KindForget, Node: id, Removed: removed}); err != nil {
+		m.topoMu.Unlock()
+		m.drainMu.Unlock()
+		return
+	}
+	if removed {
+		m.poolFilterLocked(id)
+	}
+	m.topoMu.Unlock()
+	delete(m.draining, id)
+	m.drainMu.Unlock()
+	m.forgetSoftState(id)
+}
+
+// forgetSoftState clears a retired node's liveness entries and its
+// (empty) reverse-index bucket — unlogged state derived afresh on a
+// restart, shared by Forget and its replay.
+func (m *MDS) forgetSoftState(id wire.NodeID) {
 	m.liveMu.Lock()
 	delete(m.beats, id)
 	delete(m.dead, id)
 	delete(m.addrs, id)
 	delete(m.addrAt, id)
 	m.liveMu.Unlock()
-	m.drainMu.Lock()
-	delete(m.draining, id)
-	m.drainMu.Unlock()
 	m.revMu.Lock()
 	if ni := m.rev[id]; ni != nil {
 		ni.mu.Lock()
@@ -574,19 +677,33 @@ func (m *MDS) RepairPending() int {
 // migrating the same stripes would race their rebind/fence/refetch
 // sequences, so only an interrupted drain is resumable.
 func (m *MDS) BeginDrain(id wire.NodeID) (resumed bool, err error) {
+	m.mutateLock()
+	defer m.mutateUnlock()
 	m.drainMu.Lock()
+	defer m.drainMu.Unlock()
 	switch m.draining[id] {
 	case drainActive:
-		m.drainMu.Unlock()
 		return false, fmt.Errorf("ecfs: drain node %d: a drain is already running", id)
 	case drainInterrupted:
+		if err := m.logAppend(mdslog.Record{Kind: mdslog.KindDrainBegin, Node: id}); err != nil {
+			return false, err
+		}
 		m.draining[id] = drainActive
-		m.drainMu.Unlock()
 		return true, nil
 	}
+	// Fresh drain. The pool eviction decision (K+M floor) is made here,
+	// under topoMu, and captured in the single DrainBegin record so
+	// replay redoes the whole op without re-deciding.
+	m.topoMu.Lock()
+	defer m.topoMu.Unlock()
+	removed := len(m.osds) > m.k+m.m && poolContains(m.osds, id)
+	if err := m.logAppend(mdslog.Record{Kind: mdslog.KindDrainBegin, Node: id, Fresh: true, Removed: removed}); err != nil {
+		return false, err
+	}
 	m.draining[id] = drainActive
-	m.drainMu.Unlock()
-	m.RemoveNode(id)
+	if removed {
+		m.poolFilterLocked(id)
+	}
 	return false, nil
 }
 
@@ -595,20 +712,34 @@ func (m *MDS) BeginDrain(id wire.NodeID) (resumed bool, err error) {
 // ends on a cancelled context. The node stays out of the placement
 // pool; a later BeginDrain resumes it, AbortDrain abandons it.
 func (m *MDS) InterruptDrain(id wire.NodeID) {
+	m.mutateLock()
+	defer m.mutateUnlock()
 	m.drainMu.Lock()
-	if m.draining[id] == drainActive {
-		m.draining[id] = drainInterrupted
+	defer m.drainMu.Unlock()
+	if m.draining[id] != drainActive {
+		return
 	}
-	m.drainMu.Unlock()
+	if err := m.logAppend(mdslog.Record{Kind: mdslog.KindDrainInterrupt, Node: id}); err != nil {
+		return
+	}
+	m.draining[id] = drainInterrupted
 }
 
 // FinishDrain clears a node's draining mark after every stripe has
 // migrated. The node stays out of the placement pool — it hosts
 // nothing; RemoveOSD retires it, AddNode re-admits it.
 func (m *MDS) FinishDrain(id wire.NodeID) {
+	m.mutateLock()
+	defer m.mutateUnlock()
 	m.drainMu.Lock()
+	defer m.drainMu.Unlock()
+	if m.draining[id] == drainNone {
+		return
+	}
+	if err := m.logAppend(mdslog.Record{Kind: mdslog.KindDrainEnd, Node: id}); err != nil {
+		return
+	}
 	delete(m.draining, id)
-	m.drainMu.Unlock()
 }
 
 // AbortDrain abandons an *interrupted* drain: the mark is cleared and
@@ -620,15 +751,14 @@ func (m *MDS) FinishDrain(id wire.NodeID) {
 // the drain's context first, then abort. Operators reach this through
 // Cluster.AbortDrain.
 func (m *MDS) AbortDrain(id wire.NodeID) bool {
+	m.mutateLock()
+	defer m.mutateUnlock()
 	m.drainMu.Lock()
+	defer m.drainMu.Unlock()
 	if m.draining[id] != drainInterrupted {
-		m.drainMu.Unlock()
 		return false
 	}
-	delete(m.draining, id)
-	m.drainMu.Unlock()
-	m.readmitAfterDrain(id)
-	return true
+	return m.endDrainLocked(id)
 }
 
 // failDrain clears a *running* drain's mark and restores the node's
@@ -636,24 +766,38 @@ func (m *MDS) AbortDrain(id wire.NodeID) bool {
 // hard (non-resumable) failure. Unlike AbortDrain it acts on the
 // active state, which only the engine itself may tear down.
 func (m *MDS) failDrain(id wire.NodeID) {
+	m.mutateLock()
+	defer m.mutateUnlock()
 	m.drainMu.Lock()
-	delete(m.draining, id)
-	m.drainMu.Unlock()
-	m.readmitAfterDrain(id)
+	defer m.drainMu.Unlock()
+	m.endDrainLocked(id)
 }
 
-// readmitAfterDrain restores an abandoned drain's pool membership —
-// unless the node has been marked dead in the meantime (it failed
-// mid-drain): placement must never select a dead node, so a dead one
-// stays evicted and re-enters via recovery or an explicit AddNode once
-// it is actually back.
-func (m *MDS) readmitAfterDrain(id wire.NodeID) {
+// endDrainLocked abandons a drain and restores the node's pool
+// membership — unless the node has been marked dead in the meantime (it
+// failed mid-drain): placement must never select a dead node, so a dead
+// one stays evicted and re-enters via recovery or an explicit AddNode
+// once it is actually back. The readmission decision is captured in the
+// single DrainEnd record (the dead set is soft state replay cannot
+// consult). Caller holds drainMu and the mutation gate.
+func (m *MDS) endDrainLocked(id wire.NodeID) bool {
 	m.liveMu.Lock()
 	dead := m.dead[id]
 	m.liveMu.Unlock()
-	if !dead {
-		m.AddNode(id)
+	m.topoMu.Lock()
+	if err := m.logAppend(mdslog.Record{Kind: mdslog.KindDrainEnd, Node: id, Readmitted: !dead}); err != nil {
+		m.topoMu.Unlock()
+		return false
 	}
+	delete(m.draining, id)
+	if !dead {
+		m.poolInsertLocked(id)
+	}
+	m.topoMu.Unlock()
+	if !dead {
+		m.nodeIndexFor(id)
+	}
+	return true
 }
 
 // Draining reports whether the node has a drain in progress (running
@@ -682,13 +826,23 @@ func (m *MDS) Heartbeat(id wire.NodeID, at time.Time) {
 // HeartbeatAddr records a liveness report carrying the node's advertised
 // listen address.
 func (m *MDS) HeartbeatAddr(id wire.NodeID, at time.Time, addr string) {
+	m.mutateLock()
+	defer m.mutateUnlock()
 	m.liveMu.Lock()
+	defer m.liveMu.Unlock()
 	m.beats[id] = at
 	delete(m.dead, id)
-	if addr != "" {
-		m.addrs[id] = addr
+	if addr == "" {
+		return
 	}
-	m.liveMu.Unlock()
+	// The address itself is durable (clients resolve through it after a
+	// restart); logged on change only, never per heartbeat.
+	if m.addrs[id] != addr {
+		if err := m.logAppend(mdslog.Record{Kind: mdslog.KindAddr, Node: id, Name: addr}); err != nil {
+			return
+		}
+	}
+	m.addrs[id] = addr
 }
 
 // LastHeartbeat returns the most recent heartbeat time for a node.
@@ -819,7 +973,11 @@ func (m *MDS) Stripes(ino uint64) int {
 func (m *MDS) Handler(ctx context.Context, msg *wire.Msg) *wire.Resp {
 	switch msg.Kind {
 	case wire.KMDSCreate:
-		return &wire.Resp{Ino: m.Create(msg.Name)}
+		ino, err := m.Create(msg.Name)
+		if err != nil {
+			return wire.ErrorResp(err)
+		}
+		return &wire.Resp{Ino: ino}
 	case wire.KMDSLookup:
 		loc, err := m.Lookup(msg.Block.Ino, msg.Block.Stripe)
 		if err != nil {

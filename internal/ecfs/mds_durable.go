@@ -1,0 +1,390 @@
+package ecfs
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/mdslog"
+	"repro/internal/wire"
+)
+
+// This file is the MDS's durability layer: the glue between the mutating
+// entry points in mds.go and the internal/mdslog op log.
+//
+// The contract is log-before-ack. Every durable mutator takes the
+// mutation gate in shared mode, appends its record while holding the
+// lock that owns the mutated state, and only then applies and
+// acknowledges — so log order and apply order agree per lock, and a
+// crash can lose only mutations no caller was ever told about. Replay
+// redoes committed records through the unlogged apply* functions below,
+// which are idempotent so a stale log prefix (crash between snapshot
+// rename and log truncate) converges to the same state.
+//
+// Soft state — heartbeat times, the dead set, address freshness stamps,
+// the repair scheduler — is never logged and is re-learned after a
+// restart; see the snapshot State doc in internal/mdslog.
+
+// OpenDurableMDS opens (or creates) a durable MDS backed by the given
+// data directory: load the snapshot if one exists, replay the committed
+// op-log tail, and checkpoint the result so the log starts empty. The
+// osds/k/m/shards arguments seed a fresh directory; a directory with a
+// snapshot must agree on the geometry (the namespace shard choice and
+// stripe placement both derive from it) and supplies its own placement
+// pool.
+func OpenDurableMDS(dir string, osds []wire.NodeID, k, m, shards int, opts mdslog.Options) (*MDS, error) {
+	l, st, recs, err := mdslog.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	pool := osds
+	if st != nil {
+		n := 1
+		for n < shards {
+			n <<= 1
+		}
+		if shards < 1 {
+			n = 1
+		}
+		if st.K != k || st.M != m || st.Shards != n {
+			l.Close()
+			return nil, fmt.Errorf("ecfs: mds data dir %s holds RS(%d,%d)/%d shards, asked for RS(%d,%d)/%d", dir, st.K, st.M, st.Shards, k, m, n)
+		}
+		pool = st.Pool
+	}
+	md, err := NewMDSWithShards(pool, k, m, shards)
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	if st != nil {
+		md.loadState(st)
+	}
+	for _, r := range recs {
+		md.applyRecord(r)
+	}
+	// A drain that was running when the process died lost its engine:
+	// demote to interrupted-awaiting-resume, the same state an operator
+	// cancellation leaves.
+	md.drainMu.Lock()
+	for id, s := range md.draining {
+		if s == drainActive {
+			md.draining[id] = drainInterrupted
+		}
+	}
+	md.drainMu.Unlock()
+	md.log = l
+	// Fold the replayed tail into a fresh snapshot so the next open
+	// replays nothing (and a stale prefix from a torn checkpoint is
+	// retired).
+	if err := md.Checkpoint(); err != nil {
+		l.Close()
+		return nil, err
+	}
+	return md, nil
+}
+
+// Durable reports whether the MDS is backed by an op log.
+func (m *MDS) Durable() bool { return m.log != nil }
+
+// mutateLock/mutateUnlock bracket every durable mutation in the gate's
+// shared mode; Checkpoint's exclusive mode stops the world so the
+// snapshot matches the log exactly. In-memory MDSes skip the gate
+// entirely — the hot path is unchanged.
+func (m *MDS) mutateLock() {
+	if m.log != nil {
+		m.gate.RLock()
+	}
+}
+
+func (m *MDS) mutateUnlock() {
+	if m.log == nil {
+		return
+	}
+	m.gate.RUnlock()
+	if m.log.NeedsCompact() {
+		m.gate.Lock()
+		if m.log.NeedsCompact() {
+			m.log.Compact(m.snapshotState()) // failure freezes the log; mutators surface it
+		}
+		m.gate.Unlock()
+	}
+}
+
+// logAppend appends one record, returning nil on an in-memory MDS. The
+// caller holds the lock owning the mutated state, so log order and
+// apply order agree. On error the caller must not apply: the op log
+// froze (fail-stop) and memory must not run ahead of disk.
+func (m *MDS) logAppend(r mdslog.Record) error {
+	if m.log == nil {
+		return nil
+	}
+	return m.log.Append(r)
+}
+
+// Checkpoint serializes the namespace and compacts the op log (snapshot
+// write + log truncate), holding the mutation gate exclusively. A no-op
+// for in-memory MDSes.
+func (m *MDS) Checkpoint() error {
+	if m.log == nil {
+		return nil
+	}
+	m.gate.Lock()
+	defer m.gate.Unlock()
+	return m.log.Compact(m.snapshotState())
+}
+
+// Crash freezes the op log, simulating kill -9: every later mutation
+// fails, Close skips the shutdown checkpoint, and the data directory
+// keeps exactly what write(2) saw.
+func (m *MDS) Crash() {
+	if m.log != nil {
+		m.log.Crash()
+	}
+}
+
+// Close shuts the durable MDS down cleanly: checkpoint (unless crashed)
+// and release the log. In-memory MDSes no-op.
+func (m *MDS) Close() error {
+	if m.log == nil {
+		return nil
+	}
+	var err error
+	if !m.log.Crashed() {
+		err = m.Checkpoint()
+	}
+	if cerr := m.log.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Log exposes the underlying op log (nil for in-memory MDSes) — test
+// and bench access to stats and crash hooks.
+func (m *MDS) Log() *mdslog.Log { return m.log }
+
+// AdoptScheduler installs an existing repair scheduler — how an MDS
+// restart keeps the cluster-lifetime rebuild ledger and the queues the
+// running engines registered: the scheduler is soft state owned by the
+// process, not the namespace, so a reopened MDS inherits the live one
+// rather than persisting it.
+func (m *MDS) AdoptScheduler(s *RepairScheduler) {
+	if s == nil {
+		return
+	}
+	m.schedMu.Lock()
+	m.sched = s
+	m.schedMu.Unlock()
+}
+
+// PlacementOf returns a stripe's current placement without binding it
+// on a miss — the read-only peek equivalence checks use so comparing
+// two MDSes cannot mutate either.
+func (m *MDS) PlacementOf(ino uint64, stripe uint32) (wire.StripeLoc, bool) {
+	is := m.inoShard(ino)
+	is.mu.RLock()
+	defer is.mu.RUnlock()
+	fm := is.meta[ino]
+	if fm == nil {
+		return wire.StripeLoc{}, false
+	}
+	loc, ok := fm.stripes[stripe]
+	return loc, ok
+}
+
+// snapshotState serializes the durable state, deterministically ordered
+// (files by ino, stripes by index, addrs and drains by node). Called
+// under the exclusive gate, so no mutation is mid-flight; the per-field
+// locks are still taken for the race detector's benefit.
+func (m *MDS) snapshotState() *mdslog.State {
+	st := &mdslog.State{K: m.k, M: m.m, Shards: len(m.inoShards)}
+	m.topoMu.RLock()
+	st.Pool = append([]wire.NodeID(nil), m.osds...)
+	m.topoMu.RUnlock()
+
+	files := m.Files()
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return files[names[i]] < files[names[j]] })
+	for _, name := range names {
+		ino := files[name]
+		fs := mdslog.FileState{Name: name, Ino: ino}
+		is := m.inoShard(ino)
+		is.mu.RLock()
+		if fm := is.meta[ino]; fm != nil {
+			for stripe, loc := range fm.stripes {
+				fs.Stripes = append(fs.Stripes, mdslog.StripeState{
+					Stripe: stripe, Epoch: loc.Epoch,
+					Nodes: append([]wire.NodeID(nil), loc.Nodes...),
+				})
+			}
+		}
+		is.mu.RUnlock()
+		sort.Slice(fs.Stripes, func(i, j int) bool { return fs.Stripes[i].Stripe < fs.Stripes[j].Stripe })
+		st.Files = append(st.Files, fs)
+	}
+
+	m.liveMu.Lock()
+	for id, addr := range m.addrs {
+		st.Addrs = append(st.Addrs, mdslog.AddrState{Node: id, Addr: addr})
+	}
+	m.liveMu.Unlock()
+	sort.Slice(st.Addrs, func(i, j int) bool { return st.Addrs[i].Node < st.Addrs[j].Node })
+
+	m.drainMu.Lock()
+	for id := range m.draining {
+		st.Draining = append(st.Draining, id)
+	}
+	m.drainMu.Unlock()
+	sort.Slice(st.Draining, func(i, j int) bool { return st.Draining[i] < st.Draining[j] })
+	return st
+}
+
+// loadState installs a decoded snapshot into a freshly built MDS (whose
+// pool already came from the snapshot).
+func (m *MDS) loadState(st *mdslog.State) {
+	now := time.Now()
+	for _, f := range st.Files {
+		m.applyCreate(f.Name, f.Ino)
+		for _, s := range f.Stripes {
+			m.applyBind(f.Ino, s.Stripe, wire.StripeLoc{Nodes: s.Nodes, Epoch: s.Epoch})
+		}
+	}
+	m.liveMu.Lock()
+	for _, a := range st.Addrs {
+		m.addrs[a.Node] = a.Addr
+		// Freshness is soft state: stamp load time so a TTL grace
+		// window covers the gap until the owner heartbeats again.
+		m.addrAt[a.Node] = now
+	}
+	m.liveMu.Unlock()
+	m.drainMu.Lock()
+	for _, id := range st.Draining {
+		m.draining[id] = drainInterrupted
+	}
+	m.drainMu.Unlock()
+}
+
+// applyRecord redoes one committed op-log record through the unlogged
+// apply path. Every case is idempotent: replaying records a snapshot
+// already folded in (the stale-prefix crash window) must converge.
+func (m *MDS) applyRecord(r mdslog.Record) {
+	switch r.Kind {
+	case mdslog.KindCreate:
+		m.applyCreate(r.Name, r.Ino)
+	case mdslog.KindBind:
+		m.applyBind(r.Ino, r.Stripe, wire.StripeLoc{Nodes: r.Nodes, Epoch: r.Epoch})
+	case mdslog.KindRebind:
+		m.applyRebind(r)
+	case mdslog.KindAddNode:
+		m.topoMu.Lock()
+		m.poolInsertLocked(r.Node)
+		m.topoMu.Unlock()
+		m.nodeIndexFor(r.Node)
+	case mdslog.KindRemoveNode:
+		// The K+M floor check gated logging, so replay removes
+		// unconditionally (a no-op when the snapshot already folded it).
+		m.topoMu.Lock()
+		m.poolFilterLocked(r.Node)
+		m.topoMu.Unlock()
+	case mdslog.KindAddr:
+		m.liveMu.Lock()
+		m.addrs[r.Node] = r.Name
+		m.addrAt[r.Node] = time.Now()
+		m.liveMu.Unlock()
+	case mdslog.KindDrainBegin:
+		m.drainMu.Lock()
+		m.draining[r.Node] = drainActive // demoted to interrupted after replay
+		m.drainMu.Unlock()
+		if r.Removed {
+			m.topoMu.Lock()
+			m.poolFilterLocked(r.Node)
+			m.topoMu.Unlock()
+		}
+	case mdslog.KindDrainInterrupt:
+		m.drainMu.Lock()
+		if m.draining[r.Node] == drainActive {
+			m.draining[r.Node] = drainInterrupted
+		}
+		m.drainMu.Unlock()
+	case mdslog.KindDrainEnd:
+		m.drainMu.Lock()
+		delete(m.draining, r.Node)
+		m.drainMu.Unlock()
+		if r.Readmitted {
+			m.topoMu.Lock()
+			m.poolInsertLocked(r.Node)
+			m.topoMu.Unlock()
+			m.nodeIndexFor(r.Node)
+		}
+	case mdslog.KindForget:
+		if r.Removed {
+			m.topoMu.Lock()
+			m.poolFilterLocked(r.Node)
+			m.topoMu.Unlock()
+		}
+		m.drainMu.Lock()
+		delete(m.draining, r.Node)
+		m.drainMu.Unlock()
+		m.forgetSoftState(r.Node)
+	}
+}
+
+// applyCreate installs a name → ino binding, re-deriving the owning
+// shard's allocation counter from the ino so later creates cannot
+// collide with replayed ones.
+func (m *MDS) applyCreate(name string, ino uint64) {
+	ns := m.nameShard(name)
+	ns.mu.Lock()
+	defer ns.mu.Unlock()
+	if _, ok := ns.files[name]; ok {
+		return // stale-prefix redo: already folded into the snapshot
+	}
+	if n := (ino - 1 - ns.idx) / ns.step; n >= ns.next {
+		ns.next = n + 1
+	}
+	m.installFile(ns, name, ino)
+}
+
+// applyBind installs a stripe placement exactly as recorded, skipping
+// stripes already placed (stale-prefix redo).
+func (m *MDS) applyBind(ino uint64, stripe uint32, loc wire.StripeLoc) {
+	is := m.inoShard(ino)
+	is.mu.Lock()
+	defer is.mu.Unlock()
+	fm := is.meta[ino]
+	if fm == nil {
+		return
+	}
+	if _, ok := fm.stripes[stripe]; ok {
+		return
+	}
+	fm.stripes[stripe] = loc
+	for idx, node := range loc.Nodes {
+		m.indexBlock(node, ino, stripe, uint8(idx))
+	}
+}
+
+// applyRebind redoes a recorded rebind. The record's epoch makes redo
+// idempotent: a placement already at (or past) it was bound by the
+// snapshot or an earlier record.
+func (m *MDS) applyRebind(r mdslog.Record) {
+	is := m.inoShard(r.Ino)
+	is.mu.Lock()
+	defer is.mu.Unlock()
+	fm := is.meta[r.Ino]
+	if fm == nil {
+		return
+	}
+	loc, ok := fm.stripes[r.Stripe]
+	if !ok || loc.Epoch >= r.Epoch || int(r.Idx) >= len(loc.Nodes) {
+		return
+	}
+	nodes := append([]wire.NodeID(nil), loc.Nodes...)
+	nodes[r.Idx] = r.To
+	fm.stripes[r.Stripe] = wire.StripeLoc{Nodes: nodes, Epoch: r.Epoch}
+	m.unindexBlock(r.Node, r.Ino, r.Stripe)
+	m.indexBlock(r.To, r.Ino, r.Stripe, r.Idx)
+}

@@ -49,7 +49,7 @@ func TestStripesOnMatchesScan(t *testing.T) {
 	md := testMDS(t, 12, 4, 2, 8)
 	rng := rand.New(rand.NewSource(7))
 	for f := 0; f < 200; f++ {
-		ino := md.Create(fmt.Sprintf("f%d", f))
+		ino, _ := md.Create(fmt.Sprintf("f%d", f))
 		for s := 0; s < 1+rng.Intn(5); s++ {
 			if _, err := md.Lookup(ino, uint32(s)); err != nil {
 				t.Fatal(err)
@@ -104,7 +104,7 @@ func TestMDSConcurrent(t *testing.T) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(w)))
 			for i := 0; i < 400; i++ {
-				ino := md.Create(fmt.Sprintf("f%d", rng.Intn(files)))
+				ino, _ := md.Create(fmt.Sprintf("f%d", rng.Intn(files)))
 				stripe := uint32(rng.Intn(4))
 				loc, err := md.Lookup(ino, stripe)
 				if err != nil {
@@ -145,7 +145,7 @@ func TestMDSConcurrent(t *testing.T) {
 // reverse-index entry, and leaves previously returned copies untouched.
 func TestRebindBumpsEpoch(t *testing.T) {
 	md := testMDS(t, 8, 4, 2, 4)
-	ino := md.Create("f")
+	ino, _ := md.Create("f")
 	old, err := md.Lookup(ino, 0)
 	if err != nil {
 		t.Fatal(err)
@@ -199,7 +199,7 @@ func TestRebindBumpsEpoch(t *testing.T) {
 func TestRemoveNodeStopsPlacement(t *testing.T) {
 	md := testMDS(t, 8, 4, 2, 4)
 	md.RemoveNode(3)
-	ino := md.Create("f")
+	ino, _ := md.Create("f")
 	for s := 0; s < 64; s++ {
 		loc, err := md.Lookup(ino, uint32(s))
 		if err != nil {
@@ -226,7 +226,7 @@ func benchNamespace(b *testing.B, osds, shards, files, stripesPer int) (*MDS, []
 	md := testMDS(b, osds, 4, 2, shards)
 	inos := make([]uint64, files)
 	for f := 0; f < files; f++ {
-		ino := md.Create(fmt.Sprintf("f%d", f))
+		ino, _ := md.Create(fmt.Sprintf("f%d", f))
 		inos[f] = ino
 		for s := 0; s < stripesPer; s++ {
 			if _, err := md.Lookup(ino, uint32(s)); err != nil {

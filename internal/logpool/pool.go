@@ -500,8 +500,12 @@ func (p *Pool) Close() {
 }
 
 // Lookup serves a read from the log working as a cache: it scans units
-// newest-to-oldest for a full covering of [off, off+size). The returned
-// slice aliases internal storage and must not be modified.
+// newest-to-oldest for a full covering of [off, off+size). A covering
+// unit is not necessarily current for every byte — a newer unit may
+// hold a partial update inside the range — so the newer units' extents
+// are overlaid, oldest to newest, before the content is returned. The
+// returned slice aliases internal storage only when no overlay was
+// needed and must not be modified.
 func (p *Pool) Lookup(block wire.BlockID, off, size uint32) ([]byte, bool) {
 	p.mu.Lock()
 	units := make([]*Unit, len(p.queue))
@@ -510,16 +514,33 @@ func (p *Pool) Lookup(block wire.BlockID, off, size uint32) ([]byte, bool) {
 	for i := len(units) - 1; i >= 0; i-- {
 		u := units[i]
 		u.mu.RLock()
-		if bi := u.blocks[block]; bi != nil {
-			if data, ok := bi.lookup(off, size); ok {
-				u.mu.RUnlock()
-				p.mu.Lock()
-				p.stats.CacheHits++
-				p.mu.Unlock()
-				return data, true
-			}
+		bi := u.blocks[block]
+		var data []byte
+		ok := false
+		if bi != nil {
+			data, ok = bi.lookup(off, size)
 		}
 		u.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		copied := false
+		for j := i + 1; j < len(units); j++ {
+			nu := units[j]
+			nu.mu.RLock()
+			if nbi := nu.blocks[block]; nbi != nil {
+				if !copied {
+					data = append([]byte(nil), data...)
+					copied = true
+				}
+				nbi.overlay(off, data)
+			}
+			nu.mu.RUnlock()
+		}
+		p.mu.Lock()
+		p.stats.CacheHits++
+		p.mu.Unlock()
+		return data, true
 	}
 	p.mu.Lock()
 	p.stats.CacheMisses++

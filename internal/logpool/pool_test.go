@@ -149,6 +149,34 @@ func TestOverlayOrderAcrossUnits(t *testing.T) {
 	}
 }
 
+func TestLookupOverlaysNewerUnits(t *testing.T) {
+	p := MustNewPool(testCfg(64, 4))
+	defer p.Close()
+	// A full-covering record seals into unit 1; a newer partial update
+	// lands in unit 2. A covering lookup must serve the newer bytes, not
+	// the sealed unit's stale full cover.
+	p.Append(blk(1), 0, bytes.Repeat([]byte{1}, 40), 0) // seals unit 1
+	p.Append(blk(1), 8, bytes.Repeat([]byte{2}, 4), 0)  // unit 2
+	d, ok := p.Lookup(blk(1), 0, 40)
+	if !ok {
+		t.Fatal("full range should hit the cache")
+	}
+	want := append(bytes.Repeat([]byte{1}, 8), append(bytes.Repeat([]byte{2}, 4), bytes.Repeat([]byte{1}, 28)...)...)
+	if !bytes.Equal(d, want) {
+		t.Fatalf("lookup ignored newer unit: got %v, want %v", d[:16], want[:16])
+	}
+	// The same holds after the covering unit recycles into a read-cache
+	// role: the retained index is still older than the pending update.
+	u := p.TakeRecyclable(false)
+	if u == nil {
+		t.Fatal("expected recyclable unit")
+	}
+	p.FinishRecycle(u, 0, 0, 1, 1, 40)
+	if d, ok = p.Lookup(blk(1), 0, 40); !ok || !bytes.Equal(d, want) {
+		t.Fatalf("post-recycle lookup ignored newer unit: ok=%v got %v", ok, d[:16])
+	}
+}
+
 func TestDrainWithRecycler(t *testing.T) {
 	p := MustNewPool(testCfg(128, 3))
 	var recycled atomic.Int64

@@ -1,0 +1,41 @@
+package mdslog
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// TestWriteSeedCorpus regenerates the committed fuzz seed corpus under
+// testdata/fuzz/FuzzMDSLogReplay (run with MDSLOG_WRITE_CORPUS=1 after
+// changing the record formats). The corpus keeps CI's non-fuzzing
+// `go test -run Fuzz` step exercising real torn-log shapes.
+func TestWriteSeedCorpus(t *testing.T) {
+	if os.Getenv("MDSLOG_WRITE_CORPUS") == "" {
+		t.Skip("set MDSLOG_WRITE_CORPUS=1 to regenerate the seed corpus")
+	}
+	valid := validLogBytes(t)
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0x40
+	badKind := frameRecord(t, Record{Kind: KindAddNode, Node: 3})
+	badKind[8] = 0xee
+	seeds := map[string][]byte{
+		"oplog-valid":   valid,
+		"oplog-torn":    valid[:len(valid)-4],
+		"oplog-bitflip": flipped,
+		"oplog-badkind": badKind,
+		"oplog-empty":   {},
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzMDSLogReplay")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,325 @@
+// Package mdslog is the MDS's durability layer: a mutation op log of
+// fixed-layout binary records (CRC-32C framed, in the internal/wire
+// codec style) plus a checkpointed namespace snapshot, following the
+// internal/store WAL idiom. The contract is log-before-ack: the MDS
+// appends the record for a namespace mutation with plain write(2)
+// before applying it in memory and acknowledging the caller, so a
+// process-level crash (kill -9) loses at most a torn tail no caller was
+// ever told about. Recovery loads the snapshot, scans the log tail,
+// discards everything at and after the first bad CRC, and redoes the
+// committed records through the MDS's unlogged apply path.
+//
+// Crash model and invariants:
+//
+//   - A record is committed once write(2) returned; the framing CRC
+//     detects the torn tail a crash can leave, never interleaving.
+//   - Compact writes the snapshot atomically (tmp + fsync + rename +
+//     dir fsync) and only then truncates the log. A crash between the
+//     two leaves the new snapshot plus a stale log prefix, which replay
+//     tolerates: every apply is idempotent, so redoing records the
+//     snapshot already folded in converges to the same state.
+//   - Any append failure freezes the log (fail-stop): the failing
+//     mutation was neither applied nor acknowledged, and every later
+//     mutation fails too, so memory never runs ahead of disk.
+package mdslog
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// ErrCrashed is returned by every mutator after the log froze — either
+// Crash simulating kill -9, or a failed append tripping fail-stop.
+var ErrCrashed = errors.New("mdslog: log crashed")
+
+// frameHeader is the framing overhead per record: payload length (u32),
+// CRC-32C over kind+payload (u32), kind (u8) — the internal/store WAL
+// frame.
+const frameHeader = 9
+
+// maxRecord bounds a single record so a corrupt length prefix in a torn
+// tail cannot drive a giant allocation during replay.
+const maxRecord = 1 << 20 // 1 MiB; records are name-sized, not data-sized
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SyncPolicy says when the op log fsyncs.
+type SyncPolicy int
+
+const (
+	// SyncBatched fsyncs on checkpoint only (group commit). The
+	// default: appends are still write(2)-visible immediately, which is
+	// what the process-crash model preserves.
+	SyncBatched SyncPolicy = iota
+	// SyncEveryRecord fsyncs after every append — the per-record
+	// durability row in the mds-scale bench.
+	SyncEveryRecord
+)
+
+// Options configures a Log.
+type Options struct {
+	// Sync selects the fsync policy (default SyncBatched).
+	Sync SyncPolicy
+	// SnapshotBytes is the log size beyond which NeedsCompact asks for
+	// a checkpoint; <= 0 selects 4 MiB.
+	SnapshotBytes int64
+}
+
+const defaultSnapshotBytes = 4 << 20
+
+// Log is the append-only MDS op log plus its snapshot file, both under
+// one directory. Append is safe for concurrent use; Compact excludes
+// appends through the caller's gate (the MDS stops the world), not
+// through the Log's own mutex.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	f       *os.File
+	off     int64
+	crashed bool
+	// failAfter is the kill-point test hook: >= 0 means that many more
+	// appends succeed, then appends fail and the log freezes.
+	failAfter int64
+	// skipTruncates makes Compact skip the log truncation after the
+	// snapshot rename — the test hook that fabricates the
+	// crash-between-rename-and-truncate window recovery must converge
+	// through.
+	skipTruncates int
+
+	records int64
+	bytes   int64
+	syncs   int64
+}
+
+// Open opens (or creates) the log directory, loads the snapshot if one
+// exists (nil for a fresh directory), scans the op log, truncates the
+// first torn or corrupt record and everything after it, and returns the
+// committed records for the caller to redo. The caller applies them and
+// then normally Compacts, folding the tail into a fresh snapshot.
+func Open(dir string, opts Options) (*Log, *State, []Record, error) {
+	if opts.SnapshotBytes <= 0 {
+		opts.SnapshotBytes = defaultSnapshotBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, nil, err
+	}
+	st, err := readSnapshot(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "oplog.bin"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	recs, tail, err := scanLog(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, nil, err
+	}
+	// Discard the torn tail now, so the next committed record never
+	// lands after garbage.
+	if err := f.Truncate(tail); err != nil {
+		f.Close()
+		return nil, nil, nil, err
+	}
+	l := &Log{dir: dir, opts: opts, f: f, off: tail, failAfter: -1}
+	return l, st, recs, nil
+}
+
+// scanLog walks the op log from the start, returning every committed
+// record and the offset of the first torn or corrupt one. A short
+// header, an implausible length, a short payload, a CRC mismatch, or a
+// CRC-valid record that fails strict decoding all end the scan:
+// everything before is committed, everything at and after never
+// finished.
+func scanLog(f *os.File) (recs []Record, tail int64, err error) {
+	info, err := f.Stat()
+	if err != nil {
+		return nil, 0, err
+	}
+	size := info.Size()
+	var off int64
+	hdr := make([]byte, frameHeader)
+	for {
+		if size-off < frameHeader {
+			return recs, off, nil
+		}
+		if _, err := f.ReadAt(hdr, off); err != nil {
+			return recs, off, nil
+		}
+		n := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+		if n > maxRecord || size-off-frameHeader < n {
+			return recs, off, nil
+		}
+		body := make([]byte, 1+n)
+		body[0] = hdr[8]
+		if _, err := f.ReadAt(body[1:], off+frameHeader); err != nil && err != io.EOF {
+			return recs, off, nil
+		}
+		if crc32.Checksum(body, castagnoli) != binary.LittleEndian.Uint32(hdr[4:8]) {
+			return recs, off, nil
+		}
+		rec, err := decodeRecord(body[0], body[1:])
+		if err != nil {
+			return recs, off, nil
+		}
+		recs = append(recs, rec)
+		off += frameHeader + n
+	}
+}
+
+// Append frames and writes one record with a single write(2) — a crash
+// can tear the record (detected by CRC at replay) but never interleave
+// two — returning only once the bytes are handed to the kernel (and,
+// under SyncEveryRecord, the media). Any failure freezes the log.
+func (l *Log) Append(r Record) error {
+	payload, err := encodeRecord(r)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.crashed {
+		return ErrCrashed
+	}
+	if l.failAfter >= 0 {
+		if l.failAfter == 0 {
+			l.crashed = true
+			return fmt.Errorf("mdslog: append failed at kill point: %w", ErrCrashed)
+		}
+		l.failAfter--
+	}
+	rec := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
+	rec[8] = byte(r.Kind)
+	copy(rec[frameHeader:], payload)
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.Checksum(rec[8:], castagnoli))
+	if _, err := l.f.WriteAt(rec, l.off); err != nil {
+		l.crashed = true
+		return fmt.Errorf("mdslog: append: %w", err)
+	}
+	l.off += int64(len(rec))
+	l.records++
+	l.bytes += int64(len(rec))
+	if l.opts.Sync == SyncEveryRecord {
+		l.syncs++
+		if err := l.f.Sync(); err != nil {
+			l.crashed = true
+			return fmt.Errorf("mdslog: append sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// NeedsCompact reports whether the log has outgrown the snapshot
+// threshold. The MDS checks it after releasing its mutation gate.
+func (l *Log) NeedsCompact() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return !l.crashed && l.off > l.opts.SnapshotBytes
+}
+
+// Compact checkpoints: the state is written as a snapshot — temp file,
+// fsync, atomic rename, directory fsync — and the log truncated. The
+// caller must exclude concurrent appends (the MDS holds its mutation
+// gate exclusively). A crash after the rename but before the truncate
+// leaves the new snapshot plus a stale log prefix; replay converges
+// through it.
+func (l *Log) Compact(st *State) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.crashed {
+		return ErrCrashed
+	}
+	if err := writeSnapshot(l.dir, st); err != nil {
+		return err
+	}
+	if l.skipTruncates > 0 {
+		l.skipTruncates--
+		return nil
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return err
+	}
+	l.off = 0
+	return nil
+}
+
+// Sync flushes the log file to the media (group commit's commit point).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.crashed {
+		return ErrCrashed
+	}
+	l.syncs++
+	return l.f.Sync()
+}
+
+// Crash freezes the log, simulating kill -9: every subsequent append
+// and compact fails with ErrCrashed, and Close skips the shutdown
+// checkpoint, so on-disk state stays exactly what the kernel saw.
+func (l *Log) Crash() {
+	l.mu.Lock()
+	l.crashed = true
+	l.mu.Unlock()
+}
+
+// Crashed reports whether the log froze (Crash, or a failed append).
+func (l *Log) Crashed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.crashed
+}
+
+// Close releases the file handle. It does not checkpoint — the MDS's
+// Close does that first for a clean shutdown.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}
+
+// FailAppends arms the kill-point hook: after n more successful
+// appends, the next append fails and the log freezes — the crash-at-
+// every-sync-boundary battery's lever. Negative n disarms it.
+func (l *Log) FailAppends(n int64) {
+	l.mu.Lock()
+	l.failAfter = n
+	l.mu.Unlock()
+}
+
+// SkipNextTruncate makes the next Compact stop after the snapshot
+// rename, leaving the log untruncated — fabricating the crash window
+// between the two halves of a checkpoint for recovery tests.
+func (l *Log) SkipNextTruncate() {
+	l.mu.Lock()
+	l.skipTruncates++
+	l.mu.Unlock()
+}
+
+// Dir returns the log's directory.
+func (l *Log) Dir() string { return l.dir }
+
+// Stats reports lifetime append counters: records and framed bytes
+// appended, and fsyncs issued.
+func (l *Log) Stats() (records, bytes, syncs int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.records, l.bytes, l.syncs
+}
+
+// Size returns the current log length in bytes.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.off
+}

@@ -1,0 +1,246 @@
+package mdslog
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// Kind names one namespace-mutation record. The catalog mirrors the
+// MDS's durable mutating entry points one-to-one; soft state (heartbeat
+// times, the dead set, address freshness stamps, the repair scheduler)
+// is deliberately absent — it is re-learned after a restart.
+type Kind uint8
+
+const (
+	// KindCreate registers a name → ino binding (open-or-create's
+	// create half). Replay also re-derives the owning name shard's
+	// inode-allocation counter from the ino.
+	KindCreate Kind = iota + 1
+	// KindBind installs a stripe's first placement (Lookup's
+	// deterministic first-touch bind), full node list and epoch.
+	KindBind
+	// KindRebind moves one block of a placed stripe to a new node and
+	// bumps the placement epoch — the only epoch-bump record. It
+	// carries the old node too so replay can fix the reverse index.
+	KindRebind
+	// KindAddNode admits a node to the placement pool. Logged only
+	// when the node was actually absent, so replay appends
+	// unconditionally (modulo the idempotency presence check).
+	KindAddNode
+	// KindRemoveNode evicts a node from the placement pool. Logged
+	// only when the K+M floor allowed the removal, so replay removes
+	// unconditionally.
+	KindRemoveNode
+	// KindAddr records a node's advertised listen address — logged on
+	// change only, never per heartbeat. Freshness stamps are soft
+	// state: a reopened MDS re-learns them from live heartbeats.
+	KindAddr
+	// KindDrainBegin marks a drain starting on a node: Fresh
+	// distinguishes a new drain (whose pool eviction, if the floor
+	// allowed it, rides in Removed) from the resume of an interrupted
+	// one.
+	KindDrainBegin
+	// KindDrainInterrupt downgrades a running drain to
+	// interrupted-awaiting-resume (operator cancellation).
+	KindDrainInterrupt
+	// KindDrainEnd clears a node's drain mark — finish, abort, and
+	// hard failure all end here; Readmitted says whether the node
+	// returned to the placement pool (abort/failure of a live node).
+	KindDrainEnd
+	// KindForget retires a node entirely: conditional pool removal
+	// (Removed), plus its address-map and drain-registry entries.
+	KindForget
+)
+
+var kindNames = map[Kind]string{
+	KindCreate: "create", KindBind: "bind", KindRebind: "rebind",
+	KindAddNode: "add-node", KindRemoveNode: "remove-node", KindAddr: "addr",
+	KindDrainBegin: "drain-begin", KindDrainInterrupt: "drain-interrupt",
+	KindDrainEnd: "drain-end", KindForget: "forget",
+}
+
+// String returns the record kind's catalog name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Record is one decoded namespace-mutation record. Exactly the fields
+// the Kind's layout carries are meaningful; the rest are zero.
+type Record struct {
+	Kind Kind
+
+	Ino    uint64 // KindCreate, KindBind, KindRebind
+	Stripe uint32 // KindBind, KindRebind
+	Epoch  uint64 // KindBind, KindRebind (the new epoch)
+
+	// Name is the file name (KindCreate) or the advertised listen
+	// address (KindAddr).
+	Name string
+
+	Node wire.NodeID // target node; the old node for KindRebind
+	To   wire.NodeID // KindRebind: the new node
+	Idx  uint8       // KindRebind: block index within the placement
+
+	Nodes []wire.NodeID // KindBind: the full placement
+
+	Fresh      bool // KindDrainBegin: new drain (vs resume)
+	Removed    bool // KindDrainBegin, KindForget: pool eviction happened
+	Readmitted bool // KindDrainEnd: node returned to the pool
+}
+
+// maxNameLen bounds the variable-length string fields so a corrupt
+// record cannot drive a giant allocation during replay.
+const maxNameLen = 1 << 16
+
+const (
+	flagFresh      = 1 << 0
+	flagRemoved    = 1 << 1
+	flagReadmitted = 1 << 2
+)
+
+// encodeRecord renders a record's fixed-layout little-endian payload
+// (the framing adds kind, length, and CRC).
+func encodeRecord(r Record) ([]byte, error) {
+	switch r.Kind {
+	case KindCreate:
+		if len(r.Name) >= maxNameLen {
+			return nil, fmt.Errorf("mdslog: name too long (%d bytes)", len(r.Name))
+		}
+		p := make([]byte, 10+len(r.Name))
+		binary.LittleEndian.PutUint64(p[0:8], r.Ino)
+		binary.LittleEndian.PutUint16(p[8:10], uint16(len(r.Name)))
+		copy(p[10:], r.Name)
+		return p, nil
+	case KindBind:
+		p := make([]byte, 22+4*len(r.Nodes))
+		binary.LittleEndian.PutUint64(p[0:8], r.Ino)
+		binary.LittleEndian.PutUint32(p[8:12], r.Stripe)
+		binary.LittleEndian.PutUint64(p[12:20], r.Epoch)
+		binary.LittleEndian.PutUint16(p[20:22], uint16(len(r.Nodes)))
+		for i, n := range r.Nodes {
+			binary.LittleEndian.PutUint32(p[22+4*i:], uint32(n))
+		}
+		return p, nil
+	case KindRebind:
+		p := make([]byte, 29)
+		binary.LittleEndian.PutUint64(p[0:8], r.Ino)
+		binary.LittleEndian.PutUint32(p[8:12], r.Stripe)
+		binary.LittleEndian.PutUint64(p[12:20], r.Epoch)
+		p[20] = r.Idx
+		binary.LittleEndian.PutUint32(p[21:25], uint32(r.Node))
+		binary.LittleEndian.PutUint32(p[25:29], uint32(r.To))
+		return p, nil
+	case KindAddNode, KindRemoveNode, KindDrainInterrupt:
+		p := make([]byte, 4)
+		binary.LittleEndian.PutUint32(p, uint32(r.Node))
+		return p, nil
+	case KindAddr:
+		if len(r.Name) >= maxNameLen {
+			return nil, fmt.Errorf("mdslog: addr too long (%d bytes)", len(r.Name))
+		}
+		p := make([]byte, 6+len(r.Name))
+		binary.LittleEndian.PutUint32(p[0:4], uint32(r.Node))
+		binary.LittleEndian.PutUint16(p[4:6], uint16(len(r.Name)))
+		copy(p[6:], r.Name)
+		return p, nil
+	case KindDrainBegin, KindDrainEnd, KindForget:
+		p := make([]byte, 5)
+		binary.LittleEndian.PutUint32(p[0:4], uint32(r.Node))
+		p[4] = r.flags()
+		return p, nil
+	}
+	return nil, fmt.Errorf("mdslog: cannot encode kind %v", r.Kind)
+}
+
+func (r Record) flags() byte {
+	var f byte
+	if r.Fresh {
+		f |= flagFresh
+	}
+	if r.Removed {
+		f |= flagRemoved
+	}
+	if r.Readmitted {
+		f |= flagReadmitted
+	}
+	return f
+}
+
+// decodeRecord parses one payload. Decoding is strict — the payload
+// length must match the kind's layout exactly — so every decoded record
+// re-encodes to the identical bytes, which is what lets recovery treat
+// "CRC-valid but undecodable" as the end of the committed prefix.
+func decodeRecord(kind byte, p []byte) (Record, error) {
+	r := Record{Kind: Kind(kind)}
+	switch r.Kind {
+	case KindCreate:
+		if len(p) < 10 {
+			return r, fmt.Errorf("mdslog: short create payload (%d bytes)", len(p))
+		}
+		r.Ino = binary.LittleEndian.Uint64(p[0:8])
+		n := int(binary.LittleEndian.Uint16(p[8:10]))
+		if len(p) != 10+n {
+			return r, fmt.Errorf("mdslog: create payload length %d, want %d", len(p), 10+n)
+		}
+		r.Name = string(p[10:])
+		return r, nil
+	case KindBind:
+		if len(p) < 22 {
+			return r, fmt.Errorf("mdslog: short bind payload (%d bytes)", len(p))
+		}
+		r.Ino = binary.LittleEndian.Uint64(p[0:8])
+		r.Stripe = binary.LittleEndian.Uint32(p[8:12])
+		r.Epoch = binary.LittleEndian.Uint64(p[12:20])
+		n := int(binary.LittleEndian.Uint16(p[20:22]))
+		if len(p) != 22+4*n {
+			return r, fmt.Errorf("mdslog: bind payload length %d, want %d", len(p), 22+4*n)
+		}
+		for i := 0; i < n; i++ {
+			r.Nodes = append(r.Nodes, wire.NodeID(int32(binary.LittleEndian.Uint32(p[22+4*i:]))))
+		}
+		return r, nil
+	case KindRebind:
+		if len(p) != 29 {
+			return r, fmt.Errorf("mdslog: rebind payload length %d, want 29", len(p))
+		}
+		r.Ino = binary.LittleEndian.Uint64(p[0:8])
+		r.Stripe = binary.LittleEndian.Uint32(p[8:12])
+		r.Epoch = binary.LittleEndian.Uint64(p[12:20])
+		r.Idx = p[20]
+		r.Node = wire.NodeID(int32(binary.LittleEndian.Uint32(p[21:25])))
+		r.To = wire.NodeID(int32(binary.LittleEndian.Uint32(p[25:29])))
+		return r, nil
+	case KindAddNode, KindRemoveNode, KindDrainInterrupt:
+		if len(p) != 4 {
+			return r, fmt.Errorf("mdslog: %v payload length %d, want 4", r.Kind, len(p))
+		}
+		r.Node = wire.NodeID(int32(binary.LittleEndian.Uint32(p)))
+		return r, nil
+	case KindAddr:
+		if len(p) < 6 {
+			return r, fmt.Errorf("mdslog: short addr payload (%d bytes)", len(p))
+		}
+		r.Node = wire.NodeID(int32(binary.LittleEndian.Uint32(p[0:4])))
+		n := int(binary.LittleEndian.Uint16(p[4:6]))
+		if len(p) != 6+n {
+			return r, fmt.Errorf("mdslog: addr payload length %d, want %d", len(p), 6+n)
+		}
+		r.Name = string(p[6:])
+		return r, nil
+	case KindDrainBegin, KindDrainEnd, KindForget:
+		if len(p) != 5 {
+			return r, fmt.Errorf("mdslog: %v payload length %d, want 5", r.Kind, len(p))
+		}
+		r.Node = wire.NodeID(int32(binary.LittleEndian.Uint32(p[0:4])))
+		r.Fresh = p[4]&flagFresh != 0
+		r.Removed = p[4]&flagRemoved != 0
+		r.Readmitted = p[4]&flagReadmitted != 0
+		return r, nil
+	}
+	return r, fmt.Errorf("mdslog: unknown record kind %d", kind)
+}

@@ -1,0 +1,244 @@
+package mdslog
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/wire"
+)
+
+// snapshotVersion guards the snapshot file layout.
+const snapshotVersion = 1
+
+// State is the neutral serialized form of the MDS's durable state: the
+// namespace (names, inodes, per-stripe placements with epochs), the
+// placement pool in order (placement determinism depends on pool
+// order), the address map, and the set of nodes with a drain in
+// progress. Soft state — heartbeat times, the dead set, address
+// freshness, the repair scheduler — is deliberately absent.
+type State struct {
+	// K, M, Shards pin the stripe geometry and the namespace shard
+	// count. Both feed deterministic placement (the shard choice
+	// decides a file's ino range, inos feed place()), so a reopen with
+	// different values would silently re-place everything; Open-side
+	// validation refuses instead.
+	K, M, Shards int
+
+	Files []FileState
+	// Pool is the placement pool in its exact order.
+	Pool  []wire.NodeID
+	Addrs []AddrState
+	// Draining lists every node with a drain in progress. Whether the
+	// drain was running or interrupted at snapshot time is not
+	// recorded: the engine executing a running drain died with the
+	// process, so a reopen demotes everything here to
+	// interrupted-awaiting-resume.
+	Draining []wire.NodeID
+}
+
+// FileState is one file: its name, inode, and placed stripes.
+type FileState struct {
+	Name    string
+	Ino     uint64
+	Stripes []StripeState
+}
+
+// StripeState is one placed stripe: index, epoch, and node list.
+type StripeState struct {
+	Stripe uint32
+	Epoch  uint64
+	Nodes  []wire.NodeID
+}
+
+// AddrState is one address-map entry.
+type AddrState struct {
+	Node wire.NodeID
+	Addr string
+}
+
+func encodeSnapshot(st *State) []byte {
+	var b []byte
+	u16 := func(v uint16) { b = binary.LittleEndian.AppendUint16(b, v) }
+	u32 := func(v uint32) { b = binary.LittleEndian.AppendUint32(b, v) }
+	u64 := func(v uint64) { b = binary.LittleEndian.AppendUint64(b, v) }
+	u32(snapshotVersion)
+	u16(uint16(st.K))
+	u16(uint16(st.M))
+	u32(uint32(st.Shards))
+	u32(uint32(len(st.Pool)))
+	for _, n := range st.Pool {
+		u32(uint32(n))
+	}
+	u32(uint32(len(st.Files)))
+	for _, f := range st.Files {
+		u16(uint16(len(f.Name)))
+		b = append(b, f.Name...)
+		u64(f.Ino)
+		u32(uint32(len(f.Stripes)))
+		for _, s := range f.Stripes {
+			u32(s.Stripe)
+			u64(s.Epoch)
+			u16(uint16(len(s.Nodes)))
+			for _, n := range s.Nodes {
+				u32(uint32(n))
+			}
+		}
+	}
+	u32(uint32(len(st.Addrs)))
+	for _, a := range st.Addrs {
+		u32(uint32(a.Node))
+		u16(uint16(len(a.Addr)))
+		b = append(b, a.Addr...)
+	}
+	u32(uint32(len(st.Draining)))
+	for _, n := range st.Draining {
+		u32(uint32(n))
+	}
+	// CRC trailer over everything above.
+	b = binary.LittleEndian.AppendUint32(b, crc32.Checksum(b, castagnoli))
+	return b
+}
+
+func decodeSnapshot(b []byte) (*State, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("mdslog: snapshot too short (%d bytes)", len(b))
+	}
+	body, tail := b[:len(b)-4], binary.LittleEndian.Uint32(b[len(b)-4:])
+	if crc32.Checksum(body, castagnoli) != tail {
+		return nil, fmt.Errorf("mdslog: snapshot checksum mismatch")
+	}
+	var off int
+	need := func(n int) error {
+		if len(body)-off < n {
+			return fmt.Errorf("mdslog: truncated snapshot at offset %d", off)
+		}
+		return nil
+	}
+	u16 := func() uint16 { v := binary.LittleEndian.Uint16(body[off:]); off += 2; return v }
+	u32 := func() uint32 { v := binary.LittleEndian.Uint32(body[off:]); off += 4; return v }
+	u64 := func() uint64 { v := binary.LittleEndian.Uint64(body[off:]); off += 8; return v }
+	if err := need(12); err != nil {
+		return nil, err
+	}
+	if v := u32(); v != snapshotVersion {
+		return nil, fmt.Errorf("mdslog: snapshot version %d, want %d", v, snapshotVersion)
+	}
+	st := &State{}
+	st.K = int(u16())
+	st.M = int(u16())
+	st.Shards = int(u32())
+	if err := need(4); err != nil {
+		return nil, err
+	}
+	np := u32()
+	if err := need(int(np) * 4); err != nil {
+		return nil, err
+	}
+	for ; np > 0; np-- {
+		st.Pool = append(st.Pool, wire.NodeID(int32(u32())))
+	}
+	if err := need(4); err != nil {
+		return nil, err
+	}
+	for nf := u32(); nf > 0; nf-- {
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		nl := int(u16())
+		if err := need(nl + 12); err != nil {
+			return nil, err
+		}
+		f := FileState{Name: string(body[off : off+nl])}
+		off += nl
+		f.Ino = u64()
+		for ns := u32(); ns > 0; ns-- {
+			if err := need(14); err != nil {
+				return nil, err
+			}
+			s := StripeState{Stripe: u32(), Epoch: u64()}
+			nn := int(u16())
+			if err := need(nn * 4); err != nil {
+				return nil, err
+			}
+			for ; nn > 0; nn-- {
+				s.Nodes = append(s.Nodes, wire.NodeID(int32(u32())))
+			}
+			f.Stripes = append(f.Stripes, s)
+		}
+		st.Files = append(st.Files, f)
+	}
+	if err := need(4); err != nil {
+		return nil, err
+	}
+	for na := u32(); na > 0; na-- {
+		if err := need(6); err != nil {
+			return nil, err
+		}
+		a := AddrState{Node: wire.NodeID(int32(u32()))}
+		al := int(u16())
+		if err := need(al); err != nil {
+			return nil, err
+		}
+		a.Addr = string(body[off : off+al])
+		off += al
+		st.Addrs = append(st.Addrs, a)
+	}
+	if err := need(4); err != nil {
+		return nil, err
+	}
+	nd := u32()
+	if err := need(int(nd) * 4); err != nil {
+		return nil, err
+	}
+	for ; nd > 0; nd-- {
+		st.Draining = append(st.Draining, wire.NodeID(int32(u32())))
+	}
+	return st, nil
+}
+
+// writeSnapshot persists the state atomically: write to a temp file,
+// fsync, rename over the live name, fsync the directory. A crash leaves
+// either the old snapshot or the new one, never a torn mix.
+func writeSnapshot(dir string, st *State) error {
+	path := filepath.Join(dir, "snapshot.bin")
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(encodeSnapshot(st)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// readSnapshot loads the snapshot; a missing file means a fresh data
+// directory and returns nil.
+func readSnapshot(dir string) (*State, error) {
+	b, err := os.ReadFile(filepath.Join(dir, "snapshot.bin"))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return decodeSnapshot(b)
+}

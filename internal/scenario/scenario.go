@@ -138,6 +138,10 @@ type Result struct {
 	ResilverKept    int
 	ResilverRebuilt int
 	ResilverDropped int
+	// MDSRestarts counts MDS crash/reopen cycles: each one is a full
+	// snapshot-load + op-log-replay recovery verified by the same
+	// checkpoint invariants as steady-state passes.
+	MDSRestarts int
 	// Timeline is the pass-0 fault schedule — the reproducibility
 	// contract for the seed.
 	Timeline []Event
@@ -173,6 +177,8 @@ type Engine struct {
 	clock atomic.Int64 // op attempts in the current phase
 	// kill-restart tallies, folded into the Result after each pass.
 	restarts, resKept, resRebuilt, resDropped atomic.Int64
+	// MDS crash/reopen tally, folded into the Result after each pass.
+	mdsRestarts atomic.Int64
 	// memClock counts membership-event edges: +1 when a kill or drain
 	// starts executing, +1 when it finishes. Even and unchanged across a
 	// read means no membership window overlapped it, so the inline
@@ -290,6 +296,9 @@ func (e *Engine) runPass(ctx context.Context, pass int, states []*tenantState, r
 		// soak's later passes don't replay the previous pass's state.
 		opts.DataDir = filepath.Join(opts.DataDir, fmt.Sprintf("pass%d", pass))
 	}
+	if opts.MDSDataDir != "" {
+		opts.MDSDataDir = filepath.Join(opts.MDSDataDir, fmt.Sprintf("pass%d", pass))
+	}
 	c, err := ecfs.NewCluster(opts)
 	if err != nil {
 		return err
@@ -329,6 +338,7 @@ func (e *Engine) runPass(ctx context.Context, pass int, states []*tenantState, r
 	res.ResilverKept += int(e.resKept.Swap(0))
 	res.ResilverRebuilt += int(e.resRebuilt.Swap(0))
 	res.ResilverDropped += int(e.resDropped.Swap(0))
+	res.MDSRestarts += int(e.mdsRestarts.Swap(0))
 	return nil
 }
 
@@ -598,6 +608,23 @@ func (e *Engine) fire(ctx context.Context, c *ecfs.Cluster, ev Event, phaseOps i
 		e.resKept.Add(int64(rres.Kept))
 		e.resRebuilt.Add(int64(rres.Rebuilt))
 		e.resDropped.Add(int64(rres.Dropped))
+
+	case EventMDSRestart:
+		// Crash the metadata server; ops that need a namespace lookup
+		// fail transiently for the outage window, then the MDS reopens
+		// from its op log under the same identity. No memClock bracket:
+		// membership is unchanged, and MDS-outage failures are transient
+		// classes the checkpoint heals. The restarted MDS must serve the
+		// exact pre-crash namespace or the checkpoint's shadow compare
+		// and epoch-monotonicity checks fail the soak.
+		if err := c.CrashMDS(); err != nil {
+			return fmt.Errorf("mds crash: %w", err)
+		}
+		e.waitClock(ctx, done, e.clock.Load()+int64(ev.Hold*float64(phaseOps)), 25*time.Millisecond)
+		if _, err := c.RestartMDS(); err != nil {
+			return fmt.Errorf("invariant namespace-survives-crash: mds restart: %w", err)
+		}
+		e.mdsRestarts.Add(1)
 
 	default:
 		return fmt.Errorf("unknown event kind %d", ev.Kind)

@@ -98,14 +98,15 @@ func TestScheduleMandatoryKindsAndBounds(t *testing.T) {
 }
 
 // durableCluster returns the scenario-default cluster geometry backed
-// by an on-disk data directory, making every fault kind — kill-restart
-// included — schedulable.
+// by on-disk OSD and MDS directories, making every fault kind —
+// kill-restart and mds-restart included — schedulable.
 func durableCluster(t *testing.T) *ecfs.Options {
 	t.Helper()
 	o := ecfs.DefaultOptions()
 	o.NumOSDs, o.K, o.M = 9, 4, 2
 	o.BlockSize = 16 << 10
 	o.DataDir = t.TempDir()
+	o.MDSDataDir = t.TempDir()
 	return &o
 }
 
@@ -116,7 +117,7 @@ func durableCluster(t *testing.T) *ecfs.Options {
 func TestScenarioAllEventKinds(t *testing.T) {
 	cluster := durableCluster(t)
 	// Deterministically find a seed whose "mixed" timeline covers all
-	// five kinds (the first two are forced; the rest draw evenly).
+	// six kinds (the first two are forced; the rest draw evenly).
 	var eng *Engine
 	for seed := int64(0); seed < 256; seed++ {
 		cand, err := New(Spec{Name: "mixed", Seed: seed, Tenants: 3, Clients: 2, Phases: 2, Events: 8, Ops: 300,
@@ -184,6 +185,56 @@ func TestScenarioKillRestart(t *testing.T) {
 	if res.ResilverRebuilt > res.ResilverKept {
 		t.Fatalf("resilver rebuilt %d stripes vs %d kept; crash-restart degenerated to full rebuild",
 			res.ResilverRebuilt, res.ResilverKept)
+	}
+}
+
+// TestScenarioMDSRestart is the metadata crash-recovery soak: an
+// MDS-durable cluster under the mds-restart preset, where the MDS is
+// crashed mid-workload and reopened from its op log while tenants keep
+// issuing traffic. The checkpoint suite (byte-exact shadow compare,
+// epoch monotonicity, parity scrub) must stay green across every
+// reopen — any namespace entry lost or resurrected by replay fails the
+// soak.
+func TestScenarioMDSRestart(t *testing.T) {
+	eng, err := New(Spec{Name: "mds-restart", Seed: 3, Tenants: 2, Clients: 3, Phases: 2, Events: 5, Ops: 400,
+		Cluster: durableCluster(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[EventKind]int{}
+	for _, ev := range eng.Timeline() {
+		kinds[ev.Kind]++
+	}
+	if kinds[EventMDSRestart] == 0 {
+		t.Fatalf("mds-restart preset scheduled no mds-restart:\n%s", FormatTimeline(eng.Timeline()))
+	}
+	res, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatalf("soak failed:\n%s\nerror: %v", FormatTimeline(eng.Timeline()), err)
+	}
+	if res.MDSRestarts != kinds[EventMDSRestart] {
+		t.Fatalf("executed %d MDS restarts, timeline scheduled %d", res.MDSRestarts, kinds[EventMDSRestart])
+	}
+}
+
+// TestScenarioMDSRestartGating pins the compatibility contract: a
+// cluster without an MDSDataDir never schedules an mds-restart, even
+// under the preset named for it, so pre-existing fault timelines stay
+// byte-identical for identical seeds.
+func TestScenarioMDSRestartGating(t *testing.T) {
+	o := ecfs.DefaultOptions()
+	o.NumOSDs, o.K, o.M = 9, 4, 2
+	o.DataDir = t.TempDir() // OSD-durable, MDS in-memory
+	for _, preset := range Presets() {
+		for seed := int64(0); seed < 20; seed++ {
+			spec := Spec{Name: preset, Seed: seed, Cluster: &o}
+			spec.applyDefaults()
+			for _, ev := range schedule(spec, 0) {
+				if ev.Kind == EventMDSRestart {
+					t.Fatalf("%s/%d scheduled mds-restart on a non-MDS-durable cluster", preset, seed)
+				}
+			}
+		}
 	}
 }
 

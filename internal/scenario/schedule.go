@@ -35,12 +35,21 @@ const (
 	// in-memory clusters draw it with weight zero, keeping their
 	// timelines identical to earlier releases.
 	EventKillRestart
+	// EventMDSRestart crashes the MDS process (its op log and snapshot
+	// survive on disk), holds the namespace offline for a Hold window
+	// while data-path traffic rides out metadata unavailability, then
+	// reopens the MDS from the same directory — snapshot load plus op-log
+	// replay must reproduce the exact pre-crash namespace. Only scheduled
+	// when the cluster has an MDSDataDir; clusters with an in-memory MDS
+	// draw it with weight zero, keeping their timelines identical to
+	// earlier releases.
+	EventMDSRestart
 
 	numEventKinds
 )
 
 var eventNames = [numEventKinds]string{
-	"kill-osd", "drain-cancel-resume", "slow-device", "cap-rebase", "kill-restart",
+	"kill-osd", "drain-cancel-resume", "slow-device", "cap-rebase", "kill-restart", "mds-restart",
 }
 
 // String returns the kind's catalog name.
@@ -93,6 +102,8 @@ func (e Event) String() string {
 		s += fmt.Sprintf(" cancel@%.0f%%", 100*e.Hold)
 	case EventKillRestart:
 		s += fmt.Sprintf(" outage=%.0f%%", 100*e.Hold)
+	case EventMDSRestart:
+		s += fmt.Sprintf(" outage=%.0f%%", 100*e.Hold)
 	}
 	return s
 }
@@ -110,15 +121,19 @@ func FormatTimeline(evs []Event) string {
 // for the events beyond the two mandatory ones.
 var presetWeights = map[string][numEventKinds]int{
 	// mixed exercises every kind evenly.
-	"mixed": {1, 1, 1, 1, 1},
+	"mixed": {1, 1, 1, 1, 1, 1},
 	// churn is membership-heavy: kills and drains dominate.
-	"churn": {3, 2, 1, 1, 2},
+	"churn": {3, 2, 1, 1, 2, 1},
 	// degrade is performance-fault-heavy: slow devices and cap churn.
-	"degrade": {1, 1, 3, 2, 0},
+	"degrade": {1, 1, 3, 2, 0, 0},
 	// restart is crash-recovery-heavy: kill-restart cycles dominate
 	// (durable clusters only; without a DataDir it degenerates to mixed
 	// weights minus the restarts).
-	"restart": {1, 1, 1, 1, 4},
+	"restart": {1, 1, 1, 1, 4, 1},
+	// mds-restart is metadata-crash-heavy: MDS crash/reopen cycles
+	// dominate (MDS-durable clusters only; without an MDSDataDir it
+	// degenerates to mixed weights minus the MDS restarts).
+	"mds-restart": {1, 1, 1, 1, 1, 4},
 }
 
 // Presets lists the scenario preset names accepted by Spec.Name.
@@ -149,6 +164,13 @@ func schedule(spec Spec, pass int) []Event {
 		// byte-identical to releases that predate the kind.
 		weights[EventKillRestart] = 0
 	}
+	mdsDurable := spec.Cluster != nil && spec.Cluster.MDSDataDir != ""
+	if !mdsDurable {
+		// MDS restart needs an op log to reopen from. Same zero-weight
+		// trick: non-MDS-durable timelines stay byte-identical to
+		// releases that predate the kind.
+		weights[EventMDSRestart] = 0
+	}
 	n := spec.Events
 	evs := make([]Event, 0, n)
 	for i := 0; i < n; i++ {
@@ -160,6 +182,11 @@ func schedule(spec Spec, pass int) []Event {
 				// The restart preset's mandatory opening fault is the
 				// crash-recovery cycle itself.
 				kind = EventKillRestart
+			}
+			if mdsDurable && spec.Name == "mds-restart" {
+				// Likewise, the mds-restart preset opens with the
+				// metadata crash-recovery cycle.
+				kind = EventMDSRestart
 			}
 		case 1:
 			kind = EventDrainCancelResume
